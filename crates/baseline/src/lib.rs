@@ -1,0 +1,24 @@
+//! # cerfix-baseline — heuristic repair baselines
+//!
+//! Implements the class of data-repairing methods the CerFix paper
+//! positions itself against (§1): cost-based value modification driven by
+//! integrity constraints (refs [2, 4] of the paper). Constraints *detect*
+//! errors but do not say which cell is wrong; the heuristic picks the
+//! cheapest modification — and therefore sometimes "messes up the correct
+//! attribute", which experiment `T1` quantifies against certain fixes.
+//!
+//! * [`mine_cfd`] — discover ψ1/ψ2-style constant CFDs from reference
+//!   data;
+//! * [`HeuristicRepair`] — greedy cheapest-fix repair over those CFDs;
+//! * [`CostModel`] — unit or edit-distance change costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod heuristic;
+mod mine;
+
+pub use cost::CostModel;
+pub use heuristic::{active_domains, HeuristicOutcome, HeuristicRepair, RepairStep};
+pub use mine::{mine_cfd, mine_constant_rows};

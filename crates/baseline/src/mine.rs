@@ -1,0 +1,127 @@
+//! Constant-CFD discovery from reference data.
+//!
+//! The demo notes that editing rules "may either be designed by experts
+//! or be discovered from cfds or mds for which discovery algorithms are
+//! already in place" (paper §3). The heuristic baseline needs CFDs too;
+//! this module mines single-LHS constant CFDs (the ψ1/ψ2 shape of
+//! Example 1) from a reference relation: one tableau row per distinct
+//! LHS value whose RHS is unanimous.
+
+use cerfix_relation::{AttrId, Relation, SchemaRef, Value};
+use cerfix_rules::{Cfd, Result, TableauCell, TableauRow};
+use std::collections::HashMap;
+
+/// Mine `(lhs = v → rhs = w)` rows from `reference`, skipping LHS values
+/// with disagreeing RHS values. Rows are emitted in first-seen order and
+/// capped at `max_rows`.
+pub fn mine_constant_rows(
+    reference: &Relation,
+    lhs: AttrId,
+    rhs: AttrId,
+    max_rows: usize,
+) -> Vec<(Value, Value)> {
+    let mut agreed: HashMap<Value, Option<Value>> = HashMap::new();
+    let mut order: Vec<Value> = Vec::new();
+    for (_, t) in reference.iter() {
+        let k = t.get(lhs);
+        let v = t.get(rhs);
+        if k.is_null() || v.is_null() {
+            continue;
+        }
+        match agreed.get_mut(k) {
+            None => {
+                agreed.insert(k.clone(), Some(v.clone()));
+                order.push(k.clone());
+            }
+            Some(slot) => {
+                if slot.as_ref().is_some_and(|existing| existing != v) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|k| agreed[&k].clone().map(|v| (k, v)))
+        .take(max_rows)
+        .collect()
+}
+
+/// Mine a constant CFD over `schema` (the *input* schema) using columns
+/// of the same names in `reference` (typically master data).
+pub fn mine_cfd(
+    name: impl Into<String>,
+    schema: &SchemaRef,
+    reference: &Relation,
+    lhs_name: &str,
+    rhs_name: &str,
+    max_rows: usize,
+) -> Result<Cfd> {
+    let ref_schema = reference.schema();
+    let ref_lhs = ref_schema.require_attr(lhs_name)?;
+    let ref_rhs = ref_schema.require_attr(rhs_name)?;
+    let rows = mine_constant_rows(reference, ref_lhs, ref_rhs, max_rows);
+    let lhs = schema.require_attr(lhs_name)?;
+    let rhs = schema.require_attr(rhs_name)?;
+    let tableau: Vec<TableauRow> = rows
+        .into_iter()
+        .map(|(k, v)| TableauRow { lhs: vec![TableauCell::Const(k)], rhs: TableauCell::Const(v) })
+        .collect();
+    Cfd::new(name, schema, vec![lhs], rhs, tableau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema};
+
+    fn reference() -> Relation {
+        let s = Schema::of_strings("m", ["AC", "city"]).unwrap();
+        RelationBuilder::new(s)
+            .row_strs(["020", "Ldn"])
+            .row_strs(["131", "Edi"])
+            .row_strs(["131", "Edi"]) // duplicate agrees
+            .row_strs(["161", "Mcr"])
+            .row_strs(["161", "Manchester"]) // disagreement: drop 161
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mines_agreed_rows_only() {
+        let rel = reference();
+        let rows = mine_constant_rows(&rel, 0, 1, 100);
+        assert_eq!(
+            rows,
+            vec![
+                (Value::str("020"), Value::str("Ldn")),
+                (Value::str("131"), Value::str("Edi")),
+            ]
+        );
+    }
+
+    #[test]
+    fn caps_rows() {
+        let rel = reference();
+        let rows = mine_constant_rows(&rel, 0, 1, 1);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn mined_cfd_reproduces_psi1_psi2() {
+        // Mining AC→city from the reference yields exactly Example 1's
+        // ψ1 and ψ2 as tableau rows, bound to the input schema.
+        let input = Schema::of_strings("customer", ["AC", "city", "zip"]).unwrap();
+        let cfd = mine_cfd("psi", &input, &reference(), "AC", "city", 10).unwrap();
+        assert_eq!(cfd.tableau().len(), 2);
+        let t = cerfix_relation::Tuple::of_strings(input, ["020", "Edi", "z"]).unwrap();
+        assert_eq!(cfd.check_tuple(&t), vec![0], "detects Example 1's violation");
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let input = Schema::of_strings("customer", ["AC", "city"]).unwrap();
+        assert!(mine_cfd("x", &input, &reference(), "AC", "postcode", 10).is_err());
+        assert!(mine_cfd("x", &input, &reference(), "nope", "city", 10).is_err());
+    }
+}

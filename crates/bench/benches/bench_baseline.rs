@@ -1,0 +1,38 @@
+//! Criterion bench for the heuristic-repair baseline (experiment T1's
+//! comparison arm): per-tuple greedy CFD repair.
+
+use cerfix_baseline::{active_domains, mine_cfd, HeuristicRepair};
+use cerfix_bench::{rng_for, workload_for};
+use cerfix_gen::uk;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_heuristic_repair(c: &mut Criterion) {
+    let mut rng = rng_for("bench-baseline");
+    let scenario = uk::scenario(1_000, &mut rng);
+    let cfds = [("AC", "city"), ("zip", "city"), ("zip", "AC")]
+        .iter()
+        .enumerate()
+        .map(|(i, (l, r))| {
+            mine_cfd(format!("m{i}"), &scenario.input, &scenario.master, l, r, 10_000)
+                .expect("columns exist")
+        })
+        .collect();
+    let repair =
+        HeuristicRepair::new(cfds, active_domains(&scenario.input, &scenario.master));
+    let workload = workload_for(&scenario, 64, 0.3, &mut rng);
+    c.bench_function("heuristic_repair_per_tuple", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &workload.dirty[i % workload.dirty.len()];
+            i += 1;
+            repair.repair(t)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_heuristic_repair
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench backing experiment T4: consistency checking across
+//! master sizes, in both quantification modes.
+
+use cerfix::{check_consistency, ConsistencyOptions, MasterData};
+use cerfix_bench::rng_for;
+use cerfix_gen::uk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_consistency(c: &mut Criterion) {
+    let rules = uk::rules();
+    let mut group = c.benchmark_group("consistency_check");
+    for &n_master in &[1_000usize, 10_000] {
+        let mut rng = rng_for(&format!("bench-consistency-{n_master}"));
+        let master = MasterData::new(uk::generate_master(n_master, &mut rng));
+        group.bench_with_input(
+            BenchmarkId::new("entity_coherent", n_master),
+            &n_master,
+            |b, _| {
+                b.iter(|| check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent()))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("strict", n_master), &n_master, |b, _| {
+            b.iter(|| check_consistency(&rules, &master, &ConsistencyOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_consistency
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benches for the rule engine: certain lookups against
+//! the master index and full correcting-process fixpoints.
+
+use cerfix::{run_fixpoint, MasterData};
+use cerfix_bench::rng_for;
+use cerfix_gen::uk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+fn bench_certain_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_lookup");
+    for &n_master in &[1_000usize, 100_000] {
+        let mut rng = rng_for(&format!("bench-lookup-{n_master}"));
+        let relation = uk::generate_master(n_master, &mut rng);
+        let master = MasterData::new(relation);
+        let rules = uk::rules();
+        let (_, phi1) = rules.get_by_name("phi1").expect("phi1");
+        master.warm_indexes([phi1]);
+        let universe = uk::truth_universe(master.relation());
+        group.bench_with_input(BenchmarkId::from_parameter(n_master), &n_master, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &universe[i % universe.len()];
+                i += 1;
+                master.certain_lookup(phi1, t)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut rng = rng_for("bench-fixpoint");
+    let scenario = uk::scenario(10_000, &mut rng);
+    let master = scenario.master_data();
+    master.warm_indexes(scenario.rules.iter().map(|(_, r)| r));
+    let input = scenario.input.clone();
+    let seed: BTreeSet<usize> = ["zip", "phn", "type", "item"]
+        .iter()
+        .map(|n| input.attr_id(n).expect("attr"))
+        .collect();
+    c.bench_function("fixpoint_from_size4_region", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let truth = &scenario.universe[(i * 2 + 1) % scenario.universe.len()]; // type=2
+            i += 1;
+            let mut t = cerfix::region::masked_input(truth, &seed);
+            let mut validated = seed.clone();
+            run_fixpoint(&scenario.rules, &master, &mut t, &mut validated).expect("consistent")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_certain_lookup, bench_fixpoint
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench backing experiment T3: per-tuple monitor latency as
+//! the master relation grows. With warmed hash indexes the curve should
+//! be near-flat in |Dm|.
+
+use cerfix::{DataMonitor, OracleUser};
+use cerfix_bench::{rng_for, workload_for};
+use cerfix_gen::uk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_monitor_clean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_clean_per_tuple");
+    for &n_master in &[1_000usize, 10_000, 50_000] {
+        let mut rng = rng_for(&format!("bench-monitor-{n_master}"));
+        let scenario = uk::scenario(n_master, &mut rng);
+        let master = scenario.master_data();
+        master.warm_indexes(scenario.rules.iter().map(|(_, r)| r));
+        let monitor = DataMonitor::new(&scenario.rules, &master);
+        let workload = workload_for(&scenario, 64, 0.3, &mut rng);
+
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n_master), &n_master, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let idx = i % workload.dirty.len();
+                i += 1;
+                let mut user = OracleUser::new(workload.truth[idx].clone());
+                monitor
+                    .clean(idx, workload.dirty[idx].clone(), &mut user)
+                    .expect("consistent rules")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_monitor_clean
+}
+criterion_main!(benches);

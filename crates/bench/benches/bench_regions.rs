@@ -1,0 +1,29 @@
+//! Criterion bench backing experiment T5: the region finder across
+//! scenarios (context enumeration + cover search + data certification).
+
+use cerfix::{find_regions, RegionFinderOptions};
+use cerfix_bench::rng_for;
+use cerfix_gen::{dblp, hosp, uk};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_region_finder(c: &mut Criterion) {
+    let mut rng = rng_for("bench-regions");
+    let scenarios =
+        [uk::scenario(200, &mut rng), hosp::scenario(200, &mut rng), dblp::scenario(200, &mut rng)];
+    let options = RegionFinderOptions::default();
+    let mut group = c.benchmark_group("region_finder");
+    for scenario in &scenarios {
+        let master = scenario.master_data();
+        group.bench_function(scenario.name, |b| {
+            b.iter(|| find_regions(&scenario.rules, &master, &scenario.universe, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_region_finder
+}
+criterion_main!(benches);

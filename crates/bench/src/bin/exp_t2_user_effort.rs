@@ -1,0 +1,87 @@
+//! Experiment T2 — user effort (paper §2/§3: the monitor "minimizes
+//! users' effort by identifying a minimal number of attributes for users
+//! to validate").
+//!
+//! Sweeps the noise rate and reports, per scenario: attributes the user
+//! validated per tuple, attributes CerFix validated automatically, the
+//! user/CerFix split, and interaction rounds. The paper's headline number
+//! (20% user / 80% CerFix) should hold across noise rates — user effort
+//! is governed by the rule structure (which attributes can seed the
+//! chase), not by how dirty the values are, because the oracle user
+//! supplies correct values either way.
+
+use cerfix::{find_regions, DataMonitor, RegionFinderOptions};
+use cerfix_bench::{clean_with_oracle, pct, print_table, rng_for, scale_from_args, workload_for};
+use cerfix_gen::{dblp, hosp, uk, Scenario};
+
+fn run(scenario: &Scenario, noise_rates: &[f64], n_tuples: usize) -> Vec<Vec<String>> {
+    let master = scenario.master_data();
+    // The demo's protocol: certain regions are pre-computed and used as
+    // initial suggestions.
+    let regions = find_regions(
+        &scenario.rules,
+        &master,
+        &scenario.universe,
+        &RegionFinderOptions::default(),
+    )
+    .regions;
+    let monitor = DataMonitor::new(&scenario.rules, &master).with_regions(regions);
+    let mut rows = Vec::new();
+    for &noise in noise_rates {
+        let mut rng = rng_for(&format!("t2-{}-{noise}", scenario.name));
+        let workload = workload_for(scenario, n_tuples, noise, &mut rng);
+        let report = clean_with_oracle(&monitor, &workload);
+        let n = report.len() as f64;
+        rows.push(vec![
+            scenario.name.into(),
+            format!("{:.0}%", noise * 100.0),
+            format!("{}", scenario.input.arity()),
+            format!("{:.2}", report.total_user_validated() as f64 / n),
+            format!("{:.2}", report.total_auto_validated() as f64 / n),
+            pct(report.user_fraction()),
+            pct(report.auto_fraction()),
+            format!("{:.2}", report.mean_rounds()),
+            report.complete_count().to_string(),
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let n_tuples = 400 * scale;
+    let noise_rates = [0.1, 0.3, 0.5];
+
+    let mut rng = rng_for("t2-setup");
+    let scenarios = vec![
+        uk::scenario(1_000 * scale, &mut rng),
+        hosp::scenario(1_000 * scale, &mut rng),
+        dblp::scenario(1_000 * scale, &mut rng),
+    ];
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        rows.extend(run(s, &noise_rates, n_tuples));
+    }
+    print_table(
+        "T2: user effort per tuple",
+        &[
+            "scenario",
+            "noise",
+            "arity",
+            "user attrs",
+            "auto attrs",
+            "user %",
+            "cerfix %",
+            "rounds",
+            "complete",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape checks: the user validates a fixed small core per scenario,\n\
+         independent of noise rate — the split is set by rule coverage. UK:\n\
+         mobile entities need the size-4 region, home-phone entities size 6\n\
+         (FN/LN unfixable), averaging ~55%; HOSP: 2 of 10 = 20%, exactly the\n\
+         paper's reported average; DBLP: 2 of 7 ≈ 29%."
+    );
+}

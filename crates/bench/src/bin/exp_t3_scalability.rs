@@ -1,0 +1,89 @@
+//! Experiment T3 — data-monitor scalability in |Dm|.
+//!
+//! The demo pre-computes indexes so that fixing a tuple costs hash
+//! lookups, not scans. This sweep grows the master relation and measures
+//! per-tuple cleaning latency and throughput. Shape: indexed latency is
+//! near-flat in |Dm| (hash lookups), so throughput is too; the scan
+//! ablation in T6 shows the linear alternative.
+
+use cerfix::{clean_stream_parallel, DataMonitor, OracleUser, UserAgent};
+use cerfix_bench::{
+    clean_with_oracle, fmt_duration, print_table, rng_for, scale_from_args, time, workload_for,
+};
+use cerfix_gen::uk;
+
+fn main() {
+    let scale = scale_from_args();
+    let n_tuples = 300 * scale;
+    let sizes = [1_000, 5_000, 20_000, 50_000, 100_000];
+
+    let mut rows = Vec::new();
+    for &n_master in &sizes {
+        let mut rng = rng_for(&format!("t3-{n_master}"));
+        let scenario = uk::scenario(n_master, &mut rng);
+        let master = scenario.master_data();
+        // Warm the per-rule indexes up front, as the demo pre-computes.
+        let (_, d_warm) = time(|| {
+            master.warm_indexes(scenario.rules.iter().map(|(_, r)| r));
+        });
+        let monitor = DataMonitor::new(&scenario.rules, &master);
+        let workload = workload_for(&scenario, n_tuples, 0.3, &mut rng);
+        let (report, d_clean) = time(|| clean_with_oracle(&monitor, &workload));
+        let per_tuple = d_clean / n_tuples as u32;
+        let throughput = n_tuples as f64 / d_clean.as_secs_f64();
+        rows.push(vec![
+            n_master.to_string(),
+            n_tuples.to_string(),
+            fmt_duration(d_warm),
+            fmt_duration(d_clean),
+            fmt_duration(per_tuple),
+            format!("{throughput:.0}"),
+            report.complete_count().to_string(),
+        ]);
+    }
+    print_table(
+        "T3a: monitor scalability vs master-data size (indexed, 1 thread)",
+        &["|Dm|", "tuples", "index build", "clean total", "per tuple", "tuples/s", "complete"],
+        &rows,
+    );
+
+    // Parallel arm: concurrent entry sessions over shared master data.
+    let mut rng = rng_for("t3-parallel");
+    let scenario = uk::scenario(20_000, &mut rng);
+    let master = scenario.master_data();
+    master.warm_indexes(scenario.rules.iter().map(|(_, r)| r));
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let workload = workload_for(&scenario, n_tuples * 4, 0.3, &mut rng);
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let truths = workload.truth.clone();
+        let (report, d) = time(|| {
+            clean_stream_parallel(
+                &monitor,
+                workload.dirty.clone(),
+                move |idx, _| -> Box<dyn UserAgent + Send> {
+                    Box::new(OracleUser::new(truths[idx].clone()))
+                },
+                threads,
+            )
+            .expect("consistent rules")
+        });
+        rows.push(vec![
+            threads.to_string(),
+            fmt_duration(d),
+            format!("{:.0}", report.len() as f64 / d.as_secs_f64()),
+            report.complete_count().to_string(),
+        ]);
+    }
+    print_table(
+        "T3b: parallel entry sessions (|Dm| = 20k, shared indexes)",
+        &["threads", "clean total", "tuples/s", "complete"],
+        &rows,
+    );
+    println!(
+        "\nshape checks: per-tuple latency stays near-flat as |Dm| grows 100x\n\
+         (hash indexes make rule application O(1) in master size; only the\n\
+         one-off index build grows linearly); throughput scales with worker\n\
+         threads since sessions only share read-mostly state."
+    );
+}

@@ -1,0 +1,114 @@
+//! Experiment T7 — rule discovery vs expert rules (extension).
+//!
+//! The demo "currently only supports manual specification of editing
+//! rules" but notes discovery algorithms exist (paper §2/§3). This
+//! experiment runs the `cerfix_rules::discover` pipeline on the UK master
+//! data and compares three rule sets on the same dirty stream:
+//!
+//! * the paper's nine expert rules φ1–φ9;
+//! * auto-discovered rules (single-LHS FDs mined from master data);
+//! * the union of both.
+//!
+//! Shape: discovered rules recover the zip-keyed family (and more — with
+//! unique zips, *every* shared attribute is functionally determined by
+//! zip, so FN/LN become zip-fixable and type never gates anything),
+//! lowering user effort below the expert set; they cannot use phone
+//! matching (phn has no same-named master column). All sets keep
+//! precision at 1.0 — discovered rules still go through consistency
+//! checking and certain application.
+
+use cerfix::{check_consistency, find_regions, ConsistencyOptions, DataMonitor, RegionFinderOptions};
+use cerfix_bench::{clean_with_oracle, pct, print_table, rng_for, scale_from_args, workload_for};
+use cerfix_gen::{evaluate_stream, uk};
+use cerfix_relation::Tuple;
+use cerfix_rules::{discover_rules, RuleSet};
+
+fn main() {
+    let scale = scale_from_args();
+    let n_tuples = 400 * scale;
+
+    let mut rng = rng_for("t7");
+    let scenario = uk::scenario(1_000 * scale, &mut rng);
+    let master = scenario.master_data();
+
+    // Discover rules from the master data.
+    let discovered = discover_rules(
+        &scenario.input,
+        &scenario.master_schema,
+        &scenario.master,
+        8, // require a non-trivial key domain
+    )
+    .expect("discovery succeeds");
+    let mut discovered_set =
+        RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
+    for dr in &discovered {
+        discovered_set.add(dr.rule.clone()).expect("unique auto names");
+    }
+
+    // Union set: experts + discovered.
+    let mut union_set = RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
+    for (_, r) in scenario.rules.iter() {
+        union_set.add(r.clone()).unwrap();
+    }
+    for dr in &discovered {
+        union_set.add(dr.rule.clone()).unwrap();
+    }
+
+    println!("== T7: discovered rules ({} FDs compiled) ==", discovered.len());
+    for dr in discovered.iter().take(12) {
+        println!(
+            "  {} (support {}, {} keys)",
+            cerfix_rules::render_er_dsl(&dr.rule, &scenario.input, &scenario.master_schema),
+            dr.source.support,
+            dr.source.distinct_keys
+        );
+    }
+    if discovered.len() > 12 {
+        println!("  … and {} more", discovered.len() - 12);
+    }
+
+    let mut rows = Vec::new();
+    for (name, rules) in [
+        ("expert (phi1-phi9)", &scenario.rules),
+        ("discovered", &discovered_set),
+        ("expert + discovered", &union_set),
+    ] {
+        let consistency =
+            check_consistency(rules, &master, &ConsistencyOptions::entity_coherent());
+        // Demo protocol: pre-computed certain regions seed suggestions
+        // (this also neutralizes static tie-breaking between same-size
+        // covers — regions are data-certified).
+        let regions =
+            find_regions(rules, &master, &scenario.universe, &RegionFinderOptions::default())
+                .regions;
+        let monitor = DataMonitor::new(rules, &master).with_regions(regions);
+        let mut wl_rng = rng_for(&format!("t7-{name}"));
+        let workload = workload_for(&scenario, n_tuples, 0.3, &mut wl_rng);
+        let report = clean_with_oracle(&monitor, &workload);
+        let repaired: Vec<Tuple> = report.outcomes.iter().map(|o| o.tuple.clone()).collect();
+        let eval = evaluate_stream(&workload.dirty, &repaired, &workload.truth);
+        rows.push(vec![
+            name.into(),
+            rules.len().to_string(),
+            consistency.is_consistent().to_string(),
+            format!("{:.2}", report.total_user_validated() as f64 / report.len() as f64),
+            pct(report.user_fraction()),
+            format!("{:.3}", eval.precision().unwrap_or(1.0)),
+            format!("{:.3}", eval.recall().unwrap_or(0.0)),
+            report.complete_count().to_string(),
+        ]);
+    }
+    print_table(
+        "T7: expert vs discovered rules (UK, noise 30%)",
+        &["rule set", "rules", "consistent", "user attrs/tuple", "user %", "precision", "recall", "complete"],
+        &rows,
+    );
+    println!(
+        "\nshape checks: every arm keeps precision 1.000 (certain application\n\
+         verifies against master data regardless of where rules came from);\n\
+         discovery lowers user effort below the expert set on this master\n\
+         (unique zips make all shared attributes zip-fixable) but cannot\n\
+         exploit the phone columns — expert knowledge encodes the phn↔{{M,H}}phn\n\
+         correspondence that name matching cannot see."
+    );
+}

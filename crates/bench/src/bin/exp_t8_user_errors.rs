@@ -1,0 +1,71 @@
+//! Experiment T8 — sensitivity to user validation errors (extension).
+//!
+//! "Certain" fixes are conditional on correct validations (paper §1:
+//! attributes must be "assured correct"). This experiment sweeps a
+//! fallible user's per-attribute error rate and measures how far the
+//! cleaned stream drifts from the truth.
+//!
+//! Shape: cell accuracy degrades roughly linearly in the user error rate,
+//! and *faster* than the error rate alone — one wrong evidence cell can
+//! mislead every rule keyed on it (error amplification through the
+//! correcting process). At rate 0 the guarantee is exact.
+
+use cerfix::{clean_stream, DataMonitor};
+use cerfix_bench::{pct, print_table, rng_for, scale_from_args, workload_for};
+use cerfix_gen::{uk, FallibleUser};
+use rand::Rng;
+
+fn main() {
+    let scale = scale_from_args();
+    let n_tuples = 300 * scale;
+
+    let mut rng = rng_for("t8");
+    let scenario = uk::scenario(1_000 * scale, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let arity = scenario.input.arity();
+
+    let mut rows = Vec::new();
+    for &error_rate in &[0.0, 0.02, 0.05, 0.1, 0.2] {
+        let mut wl_rng = rng_for(&format!("t8-{error_rate}"));
+        let workload = workload_for(&scenario, n_tuples, 0.3, &mut wl_rng);
+        let truths = workload.truth.clone();
+        let seeds: Vec<u64> = (0..n_tuples).map(|_| wl_rng.gen()).collect();
+        let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
+            Box::new(FallibleUser::new(truths[idx].clone(), error_rate, seeds[idx]))
+        })
+        .expect("entity-consistent rules never conflict on typo'd evidence keys");
+
+        // Cell accuracy of the final stream vs truth.
+        let mut wrong_cells = 0usize;
+        let mut total_cells = 0usize;
+        let mut perfect_tuples = 0usize;
+        for (outcome, truth) in report.outcomes.iter().zip(workload.truth.iter()) {
+            let diff = outcome.tuple.diff_count(truth);
+            wrong_cells += diff;
+            total_cells += arity;
+            if diff == 0 {
+                perfect_tuples += 1;
+            }
+        }
+        rows.push(vec![
+            pct(error_rate),
+            pct(wrong_cells as f64 / total_cells as f64),
+            pct(perfect_tuples as f64 / n_tuples as f64),
+            format!("{:.2}", report.mean_rounds()),
+            report.complete_count().to_string(),
+        ]);
+    }
+    print_table(
+        "T8: output quality vs user validation error rate (UK, noise 30%)",
+        &["user error rate", "wrong cells", "perfect tuples", "rounds", "complete"],
+        &rows,
+    );
+    println!(
+        "\nshape checks: at error rate 0 the output is exactly the truth (the\n\
+         certain-fix guarantee); wrong cells grow super-linearly relative to\n\
+         the per-attribute error rate because mis-validated *evidence* stalls\n\
+         or misleads every rule keyed on it — quantifying how much of the\n\
+         guarantee rests on the 'assured correct' precondition."
+    );
+}

@@ -1,0 +1,191 @@
+//! Human-readable provenance explanations.
+//!
+//! Fig. 4 of the paper: selecting a fixed cell, *"CerFix shows that it
+//! has been fixed by normalizing the first name 'M.' to 'Mark'. It
+//! further presents what master tuples and editing rules have been
+//! employed to make the change."* [`explain_cell`] renders exactly that
+//! sentence-level narrative from the audit log, resolving rule ids to
+//! names and master rows to their tuples.
+
+use crate::audit::log::{AuditLog, CellEvent};
+use crate::master::MasterData;
+use cerfix_relation::{AttrId, SchemaRef};
+use cerfix_rules::RuleSet;
+
+/// Render the history of one cell of one monitored tuple as prose, one
+/// line per event. Returns `None` if the cell has no audit history
+/// (never validated).
+pub fn explain_cell(
+    log: &AuditLog,
+    rules: &RuleSet,
+    master: &MasterData,
+    input: &SchemaRef,
+    tuple_id: usize,
+    attr: AttrId,
+) -> Option<String> {
+    let history = log.cell_history(tuple_id, attr);
+    if history.is_empty() {
+        return None;
+    }
+    let attr_name = input.attr_name(attr);
+    let mut out = String::new();
+    for record in history {
+        let line = match &record.event {
+            CellEvent::UserValidated { old, new } if old == new => format!(
+                "round {}: `{attr_name}` confirmed as '{new}' by the user",
+                record.round
+            ),
+            CellEvent::UserValidated { old, new } => format!(
+                "round {}: `{attr_name}` corrected from '{old}' to '{new}' by the user",
+                record.round
+            ),
+            CellEvent::RuleFixed { rule, master_row, old, new } => {
+                let rule_name =
+                    rules.get(*rule).map(|r| r.name().to_string()).unwrap_or_else(|| format!("#{rule}"));
+                let master_desc = master
+                    .tuple(*master_row)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("row {master_row}"));
+                format!(
+                    "round {}: `{attr_name}` fixed from '{old}' to '{new}' by rule {rule_name} \
+                     using master tuple {master_desc}",
+                    record.round
+                )
+            }
+            CellEvent::RuleConfirmed { rule } => {
+                let rule_name = rules
+                    .get(*rule)
+                    .map(|r| r.name().to_string())
+                    .unwrap_or_else(|| "the rule engine".to_string());
+                format!(
+                    "round {}: `{attr_name}` confirmed correct by {rule_name}",
+                    record.round
+                )
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Render the full per-tuple narrative (every audited cell, event order).
+pub fn explain_tuple(
+    log: &AuditLog,
+    rules: &RuleSet,
+    master: &MasterData,
+    input: &SchemaRef,
+    tuple_id: usize,
+) -> String {
+    let mut out = String::new();
+    for record in log.tuple_history(tuple_id) {
+        if let Some(text) = explain_cell(log, rules, master, input, tuple_id, record.attr) {
+            // explain_cell renders the whole cell history; avoid duplicate
+            // blocks by only emitting at the cell's first record.
+            let first = log
+                .cell_history(tuple_id, record.attr)
+                .first()
+                .map(|r| r.round)
+                .unwrap_or(0);
+            if record.round == first && !out.contains(&text) {
+                out.push_str(&text);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{DataMonitor, OracleUser};
+    use cerfix_gen_free_fixture::fixture;
+
+    /// A tiny self-contained fixture (no dependency on cerfix-gen, which
+    /// depends on this crate).
+    mod cerfix_gen_free_fixture {
+        use crate::master::MasterData;
+        use cerfix_relation::{RelationBuilder, Schema, SchemaRef, Tuple};
+        use cerfix_rules::{parse_rules, RuleDecl, RuleSet};
+
+        pub fn fixture() -> (SchemaRef, RuleSet, MasterData, Tuple, Tuple) {
+            let input = Schema::of_strings(
+                "customer",
+                ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            )
+            .unwrap();
+            let ms = Schema::of_strings(
+                "master",
+                ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            )
+            .unwrap();
+            let master = MasterData::new(
+                RelationBuilder::new(ms.clone())
+                    .row_strs([
+                        "Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn",
+                        "NW1 6XE", "25/12/67", "M",
+                    ])
+                    .build()
+                    .unwrap(),
+            );
+            let dsl = "er phi4: match phn=Mphn fix FN:=FN when (type='2')\n\
+                       er phi1: match zip=zip fix AC:=AC when ()";
+            let mut rules = RuleSet::new(input.clone(), ms.clone());
+            for decl in parse_rules(dsl, &input, &ms).unwrap() {
+                if let RuleDecl::Er(r) = decl {
+                    rules.add(r).unwrap();
+                }
+            }
+            let dirty = Tuple::of_strings(
+                input.clone(),
+                ["M.", "Smith", "201", "075568485", "2", "s", "c", "NW1 6XE", "DVD"],
+            )
+            .unwrap();
+            let truth = Tuple::of_strings(
+                input.clone(),
+                ["Mark", "Smith", "020", "075568485", "2", "s", "c", "NW1 6XE", "DVD"],
+            )
+            .unwrap();
+            (input, rules, master, dirty, truth)
+        }
+    }
+
+    #[test]
+    fn explains_the_fig4_fn_normalization() {
+        let (input, rules, master, dirty, truth) = fixture();
+        let monitor = DataMonitor::new(&rules, &master);
+        let mut user = OracleUser::new(truth);
+        monitor.clean(7, dirty, &mut user).unwrap();
+        let fn_attr = input.attr_id("FN").unwrap();
+        let text =
+            explain_cell(monitor.audit(), &rules, &master, &input, 7, fn_attr).expect("history");
+        assert!(text.contains("fixed from 'M.' to 'Mark'"), "{text}");
+        assert!(text.contains("rule phi4"), "{text}");
+        assert!(text.contains("Mark"), "{text}");
+        assert!(text.contains("master tuple"), "{text}");
+    }
+
+    #[test]
+    fn explains_user_events() {
+        let (input, rules, master, dirty, truth) = fixture();
+        let monitor = DataMonitor::new(&rules, &master);
+        let mut user = OracleUser::new(truth);
+        monitor.clean(0, dirty, &mut user).unwrap();
+        let phn = input.attr_id("phn").unwrap();
+        let text = explain_cell(monitor.audit(), &rules, &master, &input, 0, phn).unwrap();
+        assert!(text.contains("by the user"), "{text}");
+        // AC was corrected by the user (201 -> 020) since phi1's zip path
+        // also exists; either way the narrative mentions the value.
+        let tuple_text = explain_tuple(monitor.audit(), &rules, &master, &input, 0);
+        assert!(tuple_text.contains("phn"), "{tuple_text}");
+        assert!(tuple_text.lines().count() >= 5, "{tuple_text}");
+    }
+
+    #[test]
+    fn unknown_cell_has_no_explanation() {
+        let (input, rules, master, _, _) = fixture();
+        let log = AuditLog::new();
+        assert!(explain_cell(&log, &rules, &master, &input, 0, 0).is_none());
+        assert_eq!(explain_tuple(&log, &rules, &master, &input, 0), "");
+    }
+}

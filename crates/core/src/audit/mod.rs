@@ -1,0 +1,10 @@
+//! Data auditing (paper §2, Fig. 4): per-cell change history with
+//! provenance, and user-vs-CerFix validation statistics.
+
+mod explain;
+mod log;
+mod stats;
+
+pub use explain::{explain_cell, explain_tuple};
+pub use log::{AuditLog, AuditRecord, CellEvent};
+pub use stats::{AttrStats, AuditStats};

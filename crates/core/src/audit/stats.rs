@@ -1,0 +1,246 @@
+//! Audit statistics: the Fig. 4 percentages.
+//!
+//! *"CerFix presents the statistics about the attribute FN, namely, the
+//! percentage of FN values that were validated by the users and the
+//! percentage of values that were automatically fixed by CerFix. Our
+//! experimental study indicates that in average, 20% of values are
+//! validated by users while CerFix automatically fixes 80% of the data."*
+
+use crate::audit::log::{AuditLog, CellEvent};
+use cerfix_relation::{render_table, AttrId, SchemaRef};
+use std::collections::BTreeMap;
+
+/// Validation counts for one attribute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrStats {
+    /// Cells of this attribute validated by the user.
+    pub user_validated: usize,
+    /// Cells validated automatically by rules (changed or confirmed).
+    pub auto_validated: usize,
+    /// Of the automatic validations, how many changed the value.
+    pub auto_changed: usize,
+    /// Of the user validations, how many corrected the value.
+    pub user_corrections: usize,
+}
+
+impl AttrStats {
+    /// Total validations.
+    pub fn total(&self) -> usize {
+        self.user_validated + self.auto_validated
+    }
+
+    /// Fraction validated by the user, in `[0, 1]`; 0 for no data.
+    pub fn user_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.user_validated as f64 / total as f64
+        }
+    }
+
+    /// Fraction validated automatically, in `[0, 1]`; 0 for no data.
+    pub fn auto_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.auto_validated as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated audit statistics across attributes.
+#[derive(Debug, Clone, Default)]
+pub struct AuditStats {
+    /// Per-attribute counts.
+    pub per_attr: BTreeMap<AttrId, AttrStats>,
+}
+
+impl AuditStats {
+    /// Compute statistics from an audit log. Only the *first* validation
+    /// event of each cell counts (later confirmations by other rules do
+    /// not re-validate an already-validated cell; the engine never emits
+    /// them, but the statistics stay correct even if it did).
+    pub fn from_log(log: &AuditLog) -> AuditStats {
+        let mut per_attr: BTreeMap<AttrId, AttrStats> = BTreeMap::new();
+        let mut seen: std::collections::HashSet<(usize, AttrId)> = std::collections::HashSet::new();
+        for record in log.records() {
+            if !seen.insert((record.tuple_id, record.attr)) {
+                continue;
+            }
+            let stats = per_attr.entry(record.attr).or_default();
+            match &record.event {
+                CellEvent::UserValidated { old, new } => {
+                    stats.user_validated += 1;
+                    if old != new {
+                        stats.user_corrections += 1;
+                    }
+                }
+                CellEvent::RuleFixed { .. } => {
+                    stats.auto_validated += 1;
+                    stats.auto_changed += 1;
+                }
+                CellEvent::RuleConfirmed { .. } => {
+                    stats.auto_validated += 1;
+                }
+            }
+        }
+        AuditStats { per_attr }
+    }
+
+    /// Overall counts across all attributes.
+    pub fn totals(&self) -> AttrStats {
+        let mut total = AttrStats::default();
+        for s in self.per_attr.values() {
+            total.user_validated += s.user_validated;
+            total.auto_validated += s.auto_validated;
+            total.auto_changed += s.auto_changed;
+            total.user_corrections += s.user_corrections;
+        }
+        total
+    }
+
+    /// Render the Fig. 4 statistics table with attribute names.
+    pub fn render(&self, schema: &SchemaRef) -> String {
+        let header: Vec<String> = ["attribute", "user %", "cerfix %", "user n", "cerfix n", "auto-changed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (&attr, stats) in &self.per_attr {
+            rows.push(vec![
+                schema.attr_name(attr).to_string(),
+                format!("{:.1}", stats.user_fraction() * 100.0),
+                format!("{:.1}", stats.auto_fraction() * 100.0),
+                stats.user_validated.to_string(),
+                stats.auto_validated.to_string(),
+                stats.auto_changed.to_string(),
+            ]);
+        }
+        let t = self.totals();
+        rows.push(vec![
+            "TOTAL".to_string(),
+            format!("{:.1}", t.user_fraction() * 100.0),
+            format!("{:.1}", t.auto_fraction() * 100.0),
+            t.user_validated.to_string(),
+            t.auto_validated.to_string(),
+            t.auto_changed.to_string(),
+        ]);
+        render_table(&header, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::log::AuditRecord;
+    use cerfix_relation::{Schema, Value};
+
+    fn populated_log() -> AuditLog {
+        let log = AuditLog::new();
+        // Tuple 0: user validates attr 0, rules fix attrs 1 and 2.
+        log.record(AuditRecord {
+            tuple_id: 0,
+            attr: 0,
+            round: 1,
+            event: CellEvent::UserValidated { old: Value::str("x"), new: Value::str("x") },
+        });
+        log.record(AuditRecord {
+            tuple_id: 0,
+            attr: 1,
+            round: 1,
+            event: CellEvent::RuleFixed {
+                rule: 0,
+                master_row: 0,
+                old: Value::str("bad"),
+                new: Value::str("good"),
+            },
+        });
+        log.record(AuditRecord {
+            tuple_id: 0,
+            attr: 2,
+            round: 1,
+            event: CellEvent::RuleConfirmed { rule: 1 },
+        });
+        // Tuple 1: user corrects attr 0, rule fixes attr 1.
+        log.record(AuditRecord {
+            tuple_id: 1,
+            attr: 0,
+            round: 1,
+            event: CellEvent::UserValidated { old: Value::str("a"), new: Value::str("b") },
+        });
+        log.record(AuditRecord {
+            tuple_id: 1,
+            attr: 1,
+            round: 2,
+            event: CellEvent::RuleFixed {
+                rule: 0,
+                master_row: 3,
+                old: Value::Null,
+                new: Value::str("v"),
+            },
+        });
+        log
+    }
+
+    #[test]
+    fn per_attr_stats() {
+        let stats = AuditStats::from_log(&populated_log());
+        let a0 = &stats.per_attr[&0];
+        assert_eq!(a0.user_validated, 2);
+        assert_eq!(a0.auto_validated, 0);
+        assert_eq!(a0.user_corrections, 1);
+        assert_eq!(a0.user_fraction(), 1.0);
+        let a1 = &stats.per_attr[&1];
+        assert_eq!(a1.auto_validated, 2);
+        assert_eq!(a1.auto_changed, 2);
+        assert_eq!(a1.auto_fraction(), 1.0);
+        let a2 = &stats.per_attr[&2];
+        assert_eq!(a2.auto_validated, 1);
+        assert_eq!(a2.auto_changed, 0, "confirmation changed nothing");
+    }
+
+    #[test]
+    fn totals_give_the_paper_split() {
+        let stats = AuditStats::from_log(&populated_log());
+        let t = stats.totals();
+        assert_eq!(t.user_validated, 2);
+        assert_eq!(t.auto_validated, 3);
+        assert!((t.user_fraction() - 0.4).abs() < 1e-9);
+        assert!((t.auto_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_events_on_a_cell_count_once() {
+        let log = populated_log();
+        // A second (spurious) event on tuple 0 attr 0.
+        log.record(AuditRecord {
+            tuple_id: 0,
+            attr: 0,
+            round: 2,
+            event: CellEvent::RuleConfirmed { rule: 5 },
+        });
+        let stats = AuditStats::from_log(&log);
+        assert_eq!(stats.per_attr[&0].user_validated, 2, "first event wins");
+        assert_eq!(stats.per_attr[&0].auto_validated, 0);
+    }
+
+    #[test]
+    fn empty_log_fractions_are_zero() {
+        let stats = AuditStats::from_log(&AuditLog::new());
+        let t = stats.totals();
+        assert_eq!(t.user_fraction(), 0.0);
+        assert_eq!(t.auto_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_table_shape() {
+        let schema = Schema::of_strings("customer", ["FN", "LN", "AC"]).unwrap();
+        let stats = AuditStats::from_log(&populated_log());
+        let out = stats.render(&schema);
+        assert!(out.contains("FN"));
+        assert!(out.contains("TOTAL"));
+        assert!(out.lines().count() >= 5, "{out}");
+    }
+}

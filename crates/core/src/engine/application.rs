@@ -1,0 +1,318 @@
+//! Single-rule application: the atomic step of the correcting process.
+//!
+//! Applying `φ: ((X, Xm) → (B, Bm), tp)` to a tuple `t` with validated set
+//! `V` (paper §2, data monitor step 2):
+//!
+//! 1. the evidence `X ∪ Xp` must be validated (`⊆ V`) — only assured
+//!    attributes may justify a fix;
+//! 2. `t[Xp]` must match `tp`;
+//! 3. all master tuples with `s[Xm] = t[X]` must agree on `s[Bm]`
+//!    (otherwise the fix would not be *certain*);
+//! 4. then `t[B] := s[Bm]` and `B` joins `V`.
+//!
+//! A fired rule never overwrites a validated cell: if `B ∈ V` already and
+//! the derived value differs, the rule set is inconsistent and the engine
+//! surfaces [`CerfixError::ValidatedCellConflict`] instead of silently
+//! producing an order-dependent result.
+
+use crate::error::{CerfixError, Result};
+use crate::master::{CertainLookup, MasterData};
+use cerfix_relation::{AttrId, RowId, Tuple, Value};
+use cerfix_rules::{EditingRule, RuleId};
+use std::collections::BTreeSet;
+
+/// One cell changed by a rule application, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFix {
+    /// The fixed input attribute.
+    pub attr: AttrId,
+    /// The value before the fix.
+    pub old: Value,
+    /// The value copied from master data.
+    pub new: Value,
+    /// The rule that produced the fix.
+    pub rule: RuleId,
+    /// The master row the value came from.
+    pub master_row: RowId,
+}
+
+/// Outcome of attempting one rule on one tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// Every RHS attribute is already validated; nothing to do.
+    AlreadyCovered,
+    /// The rule's evidence (`X ∪ Xp`) is not fully validated.
+    NotEligible,
+    /// The (validated) pattern attributes do not satisfy `tp`.
+    PatternMismatch,
+    /// No master tuple matches `t[X]`.
+    NoMatch,
+    /// Matching master tuples disagree on the fix values: no certain fix
+    /// through this rule for this tuple.
+    Ambiguous {
+        /// How many master tuples matched.
+        matches: usize,
+    },
+    /// The rule fired: cells changed (possibly none, if the tuple already
+    /// carried the correct values) and attributes newly validated.
+    Applied {
+        /// Cells whose value actually changed.
+        fixes: Vec<CellFix>,
+        /// RHS attributes that became validated (changed or confirmed).
+        newly_validated: Vec<AttrId>,
+    },
+}
+
+impl ApplyOutcome {
+    /// True iff the application validated at least one new attribute.
+    pub fn made_progress(&self) -> bool {
+        matches!(self, ApplyOutcome::Applied { newly_validated, .. } if !newly_validated.is_empty())
+    }
+}
+
+/// Attempt to apply `rule` (with id `rule_id`) to `tuple` under the
+/// validated set `validated`, mutating both on success.
+pub fn apply_rule(
+    rule_id: RuleId,
+    rule: &EditingRule,
+    master: &MasterData,
+    tuple: &mut Tuple,
+    validated: &mut BTreeSet<AttrId>,
+) -> Result<ApplyOutcome> {
+    if rule.input_rhs().iter().all(|b| validated.contains(b)) {
+        return Ok(ApplyOutcome::AlreadyCovered);
+    }
+    if !rule.evidence_attrs().iter().all(|a| validated.contains(a)) {
+        return Ok(ApplyOutcome::NotEligible);
+    }
+    if !rule.pattern().matches(tuple) {
+        return Ok(ApplyOutcome::PatternMismatch);
+    }
+    let lookup = master.certain_lookup(rule, tuple);
+    let (values, witness) = match lookup {
+        CertainLookup::NoMatch => return Ok(ApplyOutcome::NoMatch),
+        CertainLookup::Ambiguous { matches } => return Ok(ApplyOutcome::Ambiguous { matches }),
+        CertainLookup::Unique { values, witness, .. } => (values, witness),
+    };
+    let mut fixes = Vec::new();
+    let mut newly_validated = Vec::new();
+    for (&b, value) in rule.input_rhs().iter().zip(values.iter()) {
+        if validated.contains(&b) {
+            // Validated cells are immutable. Agreement is fine (the rule
+            // confirms what is known); disagreement is an inconsistency.
+            if tuple.get(b) != value {
+                let schema = tuple.schema().clone();
+                return Err(CerfixError::ValidatedCellConflict {
+                    rule: rule.name().into(),
+                    attribute: schema.attr_name(b).into(),
+                    current: tuple.get(b).to_string(),
+                    incoming: value.to_string(),
+                });
+            }
+            continue;
+        }
+        let old = tuple.get(b).clone();
+        if old != *value {
+            tuple.set(b, value.clone())?;
+            fixes.push(CellFix {
+                attr: b,
+                old,
+                new: value.clone(),
+                rule: rule_id,
+                master_row: witness,
+            });
+        }
+        validated.insert(b);
+        newly_validated.push(b);
+    }
+    Ok(ApplyOutcome::Applied { fixes, newly_validated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema, SchemaRef};
+    use cerfix_rules::PatternTuple;
+
+    fn fixture() -> (SchemaRef, SchemaRef, MasterData) {
+        let input = Schema::of_strings("customer", ["AC", "phn", "city", "zip", "type"]).unwrap();
+        let master = Schema::of_strings("master", ["AC", "Mphn", "city", "zip"]).unwrap();
+        let md = MasterData::new(
+            RelationBuilder::new(master.clone())
+                .row_strs(["131", "079172485", "Edi", "EH8 4AH"])
+                .row_strs(["020", "079555555", "Ldn", "SW1A 1AA"])
+                .build()
+                .unwrap(),
+        );
+        (input, master, md)
+    }
+
+    fn zip_rule(input: &SchemaRef, master: &SchemaRef) -> EditingRule {
+        // zip → (AC, city), the φ1+φ3 combination.
+        EditingRule::new(
+            "zip_fixes",
+            input,
+            master,
+            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
+            vec![
+                (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
+                (input.attr_id("city").unwrap(), master.attr_id("city").unwrap()),
+            ],
+            PatternTuple::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example2_certain_fix() {
+        // Example 2 of the paper: with zip validated, t[AC] is corrected
+        // 020 → 131 from the master tuple.
+        let (input, ms, md) = fixture();
+        let rule = zip_rule(&input, &ms);
+        let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let out = apply_rule(7, &rule, &md, &mut t, &mut v).unwrap();
+        match out {
+            ApplyOutcome::Applied { fixes, newly_validated } => {
+                assert_eq!(fixes.len(), 1, "AC changed; city already correct");
+                assert_eq!(fixes[0].attr, input.attr_id("AC").unwrap());
+                assert_eq!(fixes[0].old, Value::str("020"));
+                assert_eq!(fixes[0].new, Value::str("131"));
+                assert_eq!(fixes[0].rule, 7);
+                assert_eq!(fixes[0].master_row, 0);
+                assert_eq!(newly_validated.len(), 2, "both AC and city validated");
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("131"));
+        assert!(v.contains(&input.attr_id("AC").unwrap()));
+        assert!(v.contains(&input.attr_id("city").unwrap()));
+    }
+
+    #[test]
+    fn not_eligible_without_evidence() {
+        let (input, ms, md) = fixture();
+        let rule = zip_rule(&input, &ms);
+        let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
+        let mut v = BTreeSet::new();
+        assert_eq!(apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(), ApplyOutcome::NotEligible);
+        assert!(v.is_empty(), "no side effects");
+        assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("020"));
+    }
+
+    #[test]
+    fn pattern_mismatch_blocks() {
+        let (input, ms, md) = fixture();
+        let ty = input.attr_id("type").unwrap();
+        let rule = EditingRule::new(
+            "mobile_only",
+            &input,
+            &ms,
+            vec![(input.attr_id("phn").unwrap(), ms.attr_id("Mphn").unwrap())],
+            vec![(input.attr_id("AC").unwrap(), ms.attr_id("AC").unwrap())],
+            PatternTuple::empty().with_eq(ty, Value::str("2")),
+        )
+        .unwrap();
+        let mut t =
+            Tuple::of_strings(input.clone(), ["?", "079172485", "c", "z", "1"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("phn").unwrap(), ty].into();
+        assert_eq!(
+            apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
+            ApplyOutcome::PatternMismatch
+        );
+    }
+
+    #[test]
+    fn no_match_and_ambiguous() {
+        let (input, ms, _) = fixture();
+        // Master where AC 131 maps to two different cities.
+        let md = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "a", "Edi", "z1"])
+                .row_strs(["131", "b", "Leith", "z2"])
+                .build()
+                .unwrap(),
+        );
+        let rule = EditingRule::new(
+            "ac_city",
+            &input,
+            &ms,
+            vec![(input.attr_id("AC").unwrap(), ms.attr_id("AC").unwrap())],
+            vec![(input.attr_id("city").unwrap(), ms.attr_id("city").unwrap())],
+            PatternTuple::empty(),
+        )
+        .unwrap();
+        let ac = input.attr_id("AC").unwrap();
+        let mut t = Tuple::of_strings(input.clone(), ["999", "p", "?", "z", "1"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [ac].into();
+        assert_eq!(apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(), ApplyOutcome::NoMatch);
+        let mut t2 = Tuple::of_strings(input.clone(), ["131", "p", "?", "z", "1"]).unwrap();
+        let mut v2: BTreeSet<AttrId> = [ac].into();
+        assert_eq!(
+            apply_rule(0, &rule, &md, &mut t2, &mut v2).unwrap(),
+            ApplyOutcome::Ambiguous { matches: 2 }
+        );
+        assert_eq!(t2.get_by_name("city").unwrap(), &Value::str("?"), "no partial writes");
+    }
+
+    #[test]
+    fn already_covered_short_circuits() {
+        let (input, ms, md) = fixture();
+        let rule = zip_rule(&input, &ms);
+        let mut t = Tuple::of_strings(input.clone(), ["131", "p", "Edi", "EH8 4AH", "2"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [
+            input.attr_id("zip").unwrap(),
+            input.attr_id("AC").unwrap(),
+            input.attr_id("city").unwrap(),
+        ]
+        .into();
+        assert_eq!(
+            apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
+            ApplyOutcome::AlreadyCovered
+        );
+    }
+
+    #[test]
+    fn confirming_correct_value_still_validates() {
+        // The tuple already has the right city: no CellFix, but city
+        // becomes validated — exactly how CerFix "expands the set of
+        // attributes validated" (paper §3 step 2).
+        let (input, ms, md) = fixture();
+        let rule = zip_rule(&input, &ms);
+        let mut t = Tuple::of_strings(input.clone(), ["131", "p", "Edi", "EH8 4AH", "2"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        match apply_rule(0, &rule, &md, &mut t, &mut v).unwrap() {
+            ApplyOutcome::Applied { fixes, newly_validated } => {
+                assert!(fixes.is_empty());
+                assert_eq!(newly_validated.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn validated_cells_never_overwritten() {
+        let (input, ms, md) = fixture();
+        let rule = zip_rule(&input, &ms);
+        // User validated city as "Edi"; rule would derive "Edi" too — fine.
+        let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
+        let city = input.attr_id("city").unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap(), city].into();
+        let out = apply_rule(0, &rule, &md, &mut t, &mut v).unwrap();
+        assert!(out.made_progress(), "AC still gets validated");
+
+        // But a *conflicting* validated value is an inconsistency error.
+        let mut t2 =
+            Tuple::of_strings(input.clone(), ["020", "p", "Leith", "EH8 4AH", "2"]).unwrap();
+        let mut v2: BTreeSet<AttrId> = [input.attr_id("zip").unwrap(), city].into();
+        let err = apply_rule(0, &rule, &md, &mut t2, &mut v2).unwrap_err();
+        assert!(matches!(err, CerfixError::ValidatedCellConflict { .. }));
+    }
+
+    #[test]
+    fn made_progress_flag() {
+        assert!(!ApplyOutcome::NotEligible.made_progress());
+        assert!(!ApplyOutcome::Applied { fixes: vec![], newly_validated: vec![] }.made_progress());
+        assert!(ApplyOutcome::Applied { fixes: vec![], newly_validated: vec![3] }.made_progress());
+    }
+}

@@ -1,0 +1,238 @@
+//! The correcting process: iterate rule applications to a fixpoint.
+//!
+//! Paper §2 (data monitor, step 2): *"Data monitor iteratively employs
+//! editing rules and master data to fix as many attributes in t as
+//! possible, and expands the correct attribute set S by including those
+//! attributes that are validated via the inference system of the rule
+//! engine."*
+//!
+//! The process is monotone (the validated set only grows, validated cells
+//! never change), hence terminates in at most `arity` productive passes.
+//! For consistent rule sets it is also Church–Rosser: the final tuple and
+//! validated set are independent of rule application order — asserted by
+//! the `order_independence` tests here and property tests in the
+//! integration suite.
+
+use crate::engine::application::{apply_rule, ApplyOutcome, CellFix};
+use crate::error::Result;
+use crate::master::MasterData;
+use cerfix_relation::{AttrId, Tuple};
+use cerfix_rules::RuleSet;
+use std::collections::BTreeSet;
+
+/// Outcome of running the correcting process on one tuple.
+#[derive(Debug, Clone, Default)]
+pub struct FixpointReport {
+    /// Every cell change, in application order.
+    pub fixes: Vec<CellFix>,
+    /// Attributes validated by rules during this run (excludes the seed).
+    pub newly_validated: Vec<AttrId>,
+    /// Full passes over the rule set (≥ 1).
+    pub passes: usize,
+    /// Rules that fired productively.
+    pub rule_firings: usize,
+}
+
+impl FixpointReport {
+    /// Merge a later report into this one (used by the monitor across
+    /// interaction rounds).
+    pub fn absorb(&mut self, later: FixpointReport) {
+        self.fixes.extend(later.fixes);
+        self.newly_validated.extend(later.newly_validated);
+        self.passes += later.passes;
+        self.rule_firings += later.rule_firings;
+    }
+}
+
+/// Run rules over `tuple` until no rule makes progress.
+///
+/// Rules are attempted in rule-id order within each pass; passes repeat
+/// until quiescence. Deterministic by construction, and order-independent
+/// for consistent rule sets.
+pub fn run_fixpoint(
+    rules: &RuleSet,
+    master: &MasterData,
+    tuple: &mut Tuple,
+    validated: &mut BTreeSet<AttrId>,
+) -> Result<FixpointReport> {
+    let mut report = FixpointReport::default();
+    loop {
+        report.passes += 1;
+        let mut progressed = false;
+        for (rule_id, rule) in rules.iter() {
+            let outcome = apply_rule(rule_id, rule, master, tuple, validated)?;
+            if let ApplyOutcome::Applied { fixes, newly_validated } = outcome {
+                if !newly_validated.is_empty() {
+                    progressed = true;
+                    report.rule_firings += 1;
+                }
+                report.fixes.extend(fixes);
+                report.newly_validated.extend(newly_validated);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema, SchemaRef, Value};
+    use cerfix_rules::{EditingRule, PatternTuple};
+
+    /// A 3-stage chain: zip → AC (φ1-like), AC → city (φ9-like),
+    /// city → str (synthetic), exercising multi-pass propagation.
+    fn chain_fixture() -> (SchemaRef, RuleSet, MasterData) {
+        let input = Schema::of_strings("in", ["zip", "AC", "city", "str"]).unwrap();
+        let ms = Schema::of_strings("m", ["zip", "AC", "city", "str"]).unwrap();
+        let md = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["EH8", "131", "Edi", "Elm St"])
+                .row_strs(["SW1", "020", "Ldn", "Oak Rd"])
+                .build()
+                .unwrap(),
+        );
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        rules
+            .add(
+                EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty())
+                    .unwrap(),
+            )
+            .unwrap();
+        rules
+            .add(
+                EditingRule::new("ac_city", &input, &ms, vec![pair("AC")], vec![pair("city")], PatternTuple::empty())
+                    .unwrap(),
+            )
+            .unwrap();
+        rules
+            .add(
+                EditingRule::new("city_str", &input, &ms, vec![pair("city")], vec![pair("str")], PatternTuple::empty())
+                    .unwrap(),
+            )
+            .unwrap();
+        (input, rules, md)
+    }
+
+    #[test]
+    fn chain_propagates_to_fixpoint() {
+        let (input, rules, md) = chain_fixture();
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "999", "Nowhere", "???"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        assert_eq!(v.len(), 4, "every attribute validated");
+        assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("131"));
+        assert_eq!(t.get_by_name("city").unwrap(), &Value::str("Edi"));
+        assert_eq!(t.get_by_name("str").unwrap(), &Value::str("Elm St"));
+        assert_eq!(report.fixes.len(), 3);
+        assert_eq!(report.rule_firings, 3);
+        // Rule order equals chain order here, so a single productive pass
+        // suffices plus one quiescent pass.
+        assert_eq!(report.passes, 2);
+    }
+
+    #[test]
+    fn reversed_rule_order_needs_more_passes_same_result() {
+        // Add rules in reverse chain order: the fixpoint must still reach
+        // the same final state (Church–Rosser), just in more passes.
+        let input = Schema::of_strings("in", ["zip", "AC", "city", "str"]).unwrap();
+        let ms = Schema::of_strings("m", ["zip", "AC", "city", "str"]).unwrap();
+        let md = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["EH8", "131", "Edi", "Elm St"])
+                .build()
+                .unwrap(),
+        );
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(EditingRule::new("city_str", &input, &ms, vec![pair("city")], vec![pair("str")], PatternTuple::empty()).unwrap())
+            .unwrap();
+        rules
+            .add(EditingRule::new("ac_city", &input, &ms, vec![pair("AC")], vec![pair("city")], PatternTuple::empty()).unwrap())
+            .unwrap();
+        rules
+            .add(EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty()).unwrap())
+            .unwrap();
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(t.get_by_name("str").unwrap(), &Value::str("Elm St"));
+        assert!(report.passes > 2, "reverse order forces multiple passes");
+    }
+
+    #[test]
+    fn order_independence_on_chain() {
+        // Run the chain under both orderings and compare final states.
+        let (input, rules_fwd, md) = chain_fixture();
+        let dirty = ["EH8", "bad", "bad", "bad"];
+        let mut t1 = Tuple::of_strings(input.clone(), dirty).unwrap();
+        let mut v1: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        run_fixpoint(&rules_fwd, &md, &mut t1, &mut v1).unwrap();
+
+        // Reversed insertion order.
+        let ms = rules_fwd.master_schema().clone();
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let mut rules_rev = RuleSet::new(input.clone(), ms.clone());
+        for (name, l, r) in [("city_str", "city", "str"), ("ac_city", "AC", "city"), ("zip_ac", "zip", "AC")] {
+            rules_rev
+                .add(EditingRule::new(name, &input, &ms, vec![pair(l)], vec![pair(r)], PatternTuple::empty()).unwrap())
+                .unwrap();
+        }
+        let mut t2 = Tuple::of_strings(input.clone(), dirty).unwrap();
+        let mut v2: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        run_fixpoint(&rules_rev, &md, &mut t2, &mut v2).unwrap();
+
+        assert_eq!(t1, t2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn stalls_without_evidence() {
+        let (input, rules, md) = chain_fixture();
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v = BTreeSet::new(); // nothing validated
+        let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        assert!(v.is_empty());
+        assert!(report.fixes.is_empty());
+        assert_eq!(report.passes, 1, "single quiescent pass");
+    }
+
+    #[test]
+    fn idempotent_after_fixpoint() {
+        let (input, rules, md) = chain_fixture();
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        let snapshot = (t.clone(), v.clone());
+        let second = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        assert_eq!((t, v), snapshot, "fixpoint is idempotent");
+        assert!(second.fixes.is_empty());
+        assert_eq!(second.rule_firings, 0);
+    }
+
+    #[test]
+    fn unknown_master_key_leaves_tuple_partially_fixed() {
+        let (input, rules, md) = chain_fixture();
+        let mut t = Tuple::of_strings(input.clone(), ["ZZ9", "x", "y", "z"]).unwrap();
+        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
+        assert_eq!(v.len(), 1, "zip validated but chain never starts");
+        assert!(report.fixes.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_reports() {
+        let mut a = FixpointReport { fixes: vec![], newly_validated: vec![1], passes: 2, rule_firings: 1 };
+        let b = FixpointReport { fixes: vec![], newly_validated: vec![2, 3], passes: 1, rule_firings: 2 };
+        a.absorb(b);
+        assert_eq!(a.newly_validated, vec![1, 2, 3]);
+        assert_eq!(a.passes, 3);
+        assert_eq!(a.rule_firings, 3);
+    }
+}

@@ -1,0 +1,435 @@
+//! The inference system: static reasoning about what *can* be validated.
+//!
+//! Paper §2 (rule engine): *"provided that some attributes of a tuple are
+//! correct, it automatically derives what other attributes can be
+//! validated by using editing rules and master data."*
+//!
+//! This module reasons at the *attribute* level: a rule `(X → B, tp)` is a
+//! hyperedge from its evidence set `X ∪ Xp` to `B`. The closure of a seed
+//! set under enabled rules over-approximates what the data-level fixpoint
+//! can validate (data-level runs can stall on missing or ambiguous master
+//! matches — the region *certification* step accounts for that). The
+//! closure drives both the region finder's candidate generation and the
+//! monitor's new-suggestion computation.
+
+use cerfix_relation::AttrId;
+use cerfix_rules::{EditingRule, RuleId, RuleSet};
+use std::collections::BTreeSet;
+
+/// Rule filter: decides whether a rule may be counted on during closure.
+/// The monitor passes a filter that drops rules whose patterns are already
+/// falsified by validated cells; the region finder passes tableau-context
+/// entailment.
+pub type RuleFilter<'a> = &'a dyn Fn(RuleId, &EditingRule) -> bool;
+
+/// Accept every rule.
+pub fn all_rules(_: RuleId, _: &EditingRule) -> bool {
+    true
+}
+
+/// Compute the closure of `seed` under the enabled rules: repeatedly add
+/// the RHS of every rule whose evidence is contained in the current set.
+pub fn attribute_closure(
+    rules: &RuleSet,
+    seed: &BTreeSet<AttrId>,
+    enabled: RuleFilter<'_>,
+) -> BTreeSet<AttrId> {
+    let mut closed = seed.clone();
+    // Materialize evidence/rhs per enabled rule once.
+    let mut pending: Vec<(BTreeSet<AttrId>, Vec<AttrId>)> = rules
+        .iter()
+        .filter(|&(id, r)| enabled(id, r))
+        .map(|(_, r)| (r.evidence_attrs(), r.input_rhs()))
+        .collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        pending.retain(|(evidence, rhs)| {
+            if evidence.is_subset(&closed) {
+                for &b in rhs {
+                    if closed.insert(b) {
+                        progressed = true;
+                    }
+                }
+                false // rule consumed
+            } else {
+                true
+            }
+        });
+    }
+    closed
+}
+
+/// True iff the closure of `seed` covers the whole input schema.
+pub fn covers_all(rules: &RuleSet, seed: &BTreeSet<AttrId>, enabled: RuleFilter<'_>) -> bool {
+    attribute_closure(rules, seed, enabled).len() == rules.input_schema().arity()
+}
+
+/// Attributes that no enabled rule can fix: these must be validated by the
+/// user in every certain region (`item`, `phn` and `type` in the paper's
+/// UK scenario).
+pub fn unfixable_attrs(rules: &RuleSet, enabled: RuleFilter<'_>) -> BTreeSet<AttrId> {
+    let fixable: BTreeSet<AttrId> = rules
+        .iter()
+        .filter(|&(id, r)| enabled(id, r))
+        .flat_map(|(_, r)| r.input_rhs())
+        .collect();
+    rules.input_schema().all_attr_ids().filter(|a| !fixable.contains(a)).collect()
+}
+
+/// Attributes worth considering as extra evidence: anything that appears
+/// in some enabled rule's evidence set. Validating an attribute that no
+/// rule reads (and that rules can fix) is wasted user effort.
+pub fn useful_evidence_attrs(rules: &RuleSet, enabled: RuleFilter<'_>) -> BTreeSet<AttrId> {
+    rules
+        .iter()
+        .filter(|&(id, r)| enabled(id, r))
+        .flat_map(|(_, r)| r.evidence_attrs())
+        .collect()
+}
+
+/// Enumerate **all minimal** extra-evidence sets `S ⊆ candidates` such
+/// that `closure(base ∪ S)` covers the whole schema, in ascending size.
+///
+/// Exhaustive by increasing cardinality with an antichain filter, which is
+/// exact for the schema widths of entity data (the search space is
+/// `2^|candidates|` where candidates are the useful evidence attributes —
+/// at most a dozen in the paper's scenarios). `max_size` bounds the search
+/// and `max_results` the output.
+pub fn minimal_covers(
+    rules: &RuleSet,
+    base: &BTreeSet<AttrId>,
+    candidates: &[AttrId],
+    enabled: RuleFilter<'_>,
+    max_size: usize,
+    max_results: usize,
+) -> Vec<BTreeSet<AttrId>> {
+    let mut results: Vec<BTreeSet<AttrId>> = Vec::new();
+    if covers_all(rules, base, enabled) {
+        results.push(BTreeSet::new());
+        return results;
+    }
+    let n = candidates.len();
+    for size in 1..=max_size.min(n) {
+        let mut combo: Vec<usize> = (0..size).collect();
+        loop {
+            let extra: BTreeSet<AttrId> = combo.iter().map(|&i| candidates[i]).collect();
+            // Antichain: skip supersets of an already-found cover.
+            let dominated = results.iter().any(|r| r.is_subset(&extra));
+            if !dominated {
+                let mut seed = base.clone();
+                seed.extend(extra.iter().copied());
+                if covers_all(rules, &seed, enabled) {
+                    results.push(extra);
+                    if results.len() >= max_results {
+                        return results;
+                    }
+                }
+            }
+            if !next_combination(&mut combo, n) {
+                break;
+            }
+        }
+    }
+    results
+}
+
+/// Advance `combo` to the next k-combination of `0..n` in lexicographic
+/// order; returns false when exhausted.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] != i + n - k {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// A single small cover for the monitor's *new suggestion* (paper §2,
+/// data monitor step 3: "a minimal number of attributes").
+///
+/// Finds the smallest extra set via [`minimal_covers`] when the candidate
+/// space is small, falling back to a greedy closure-gain heuristic for
+/// wide schemas. Returns `None` when even validating every candidate
+/// cannot cover the schema (the tuple can only be partially fixed).
+pub fn new_suggestion(
+    rules: &RuleSet,
+    validated: &BTreeSet<AttrId>,
+    enabled: RuleFilter<'_>,
+) -> Option<BTreeSet<AttrId>> {
+    let arity = rules.input_schema().arity();
+    // Anything unfixable and not yet validated must be user-validated.
+    let mut base = validated.clone();
+    let mandatory: BTreeSet<AttrId> = unfixable_attrs(rules, enabled)
+        .into_iter()
+        .filter(|a| !validated.contains(a))
+        .collect();
+    base.extend(mandatory.iter().copied());
+
+    let useful: Vec<AttrId> = useful_evidence_attrs(rules, enabled)
+        .into_iter()
+        .filter(|a| !base.contains(a))
+        .collect();
+
+    // Feasibility: even with every candidate validated?
+    let mut everything = base.clone();
+    everything.extend(useful.iter().copied());
+    if attribute_closure(rules, &everything, enabled).len() != arity {
+        return None;
+    }
+
+    const EXACT_LIMIT: usize = 16;
+    let extra = if useful.len() <= EXACT_LIMIT {
+        minimal_covers(rules, &base, &useful, enabled, useful.len(), 1)
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    } else {
+        greedy_cover(rules, &base, &useful, enabled)
+    };
+    let mut suggestion = mandatory;
+    suggestion.extend(extra);
+    Some(suggestion)
+}
+
+/// Greedy set cover over closure gain, pruned to minimality.
+fn greedy_cover(
+    rules: &RuleSet,
+    base: &BTreeSet<AttrId>,
+    candidates: &[AttrId],
+    enabled: RuleFilter<'_>,
+) -> BTreeSet<AttrId> {
+    let arity = rules.input_schema().arity();
+    let mut chosen: Vec<AttrId> = Vec::new();
+    let mut current = base.clone();
+    while attribute_closure(rules, &current, enabled).len() != arity {
+        let mut best: Option<(AttrId, usize)> = None;
+        for &c in candidates {
+            if current.contains(&c) {
+                continue;
+            }
+            let mut trial = current.clone();
+            trial.insert(c);
+            let gain = attribute_closure(rules, &trial, enabled).len();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((c, gain));
+            }
+        }
+        match best {
+            Some((c, _)) => {
+                chosen.push(c);
+                current.insert(c);
+            }
+            None => break, // no candidates left; caller checked feasibility
+        }
+    }
+    // Prune: drop any chosen attr whose removal keeps coverage.
+    let mut pruned: BTreeSet<AttrId> = chosen.iter().copied().collect();
+    for &c in &chosen {
+        let mut trial = base.clone();
+        trial.extend(pruned.iter().copied().filter(|&a| a != c));
+        if attribute_closure(rules, &trial, enabled).len() == arity {
+            pruned.remove(&c);
+        }
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{Schema, SchemaRef};
+    use cerfix_rules::{EditingRule, PatternTuple};
+
+    /// The paper's UK scenario skeleton: 9 input attrs, rules mirroring
+    /// φ1–φ9 at the attribute level.
+    fn uk_rules() -> (SchemaRef, RuleSet) {
+        let input = Schema::of_strings(
+            "customer",
+            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let master = Schema::of_strings(
+            "master",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+        )
+        .unwrap();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let m = |n: &str| master.attr_id(n).unwrap();
+        let mut rules = RuleSet::new(input.clone(), master.clone());
+        let mut add = |name: &str, lhs: Vec<(&str, &str)>, rhs: Vec<(&str, &str)>, pattern: PatternTuple| {
+            rules
+                .add(
+                    EditingRule::new(
+                        name,
+                        &input,
+                        &master,
+                        lhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                        rhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                        pattern,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        };
+        use cerfix_relation::Value;
+        let mobile = PatternTuple::empty().with_eq(t("type"), Value::str("2"));
+        let home = PatternTuple::empty().with_eq(t("type"), Value::str("1"));
+        let geo = PatternTuple::empty().with_ne(t("AC"), Value::str("0800"));
+        add("phi1", vec![("zip", "zip")], vec![("AC", "AC")], PatternTuple::empty());
+        add("phi2", vec![("zip", "zip")], vec![("str", "str")], PatternTuple::empty());
+        add("phi3", vec![("zip", "zip")], vec![("city", "city")], PatternTuple::empty());
+        add("phi4", vec![("phn", "Mphn")], vec![("FN", "FN")], mobile.clone());
+        add("phi5", vec![("phn", "Mphn")], vec![("LN", "LN")], mobile);
+        add("phi6", vec![("AC", "AC"), ("phn", "Hphn")], vec![("str", "str")], home.clone());
+        add("phi7", vec![("AC", "AC"), ("phn", "Hphn")], vec![("city", "city")], home.clone());
+        add("phi8", vec![("AC", "AC"), ("phn", "Hphn")], vec![("zip", "zip")], home);
+        add("phi9", vec![("AC", "AC")], vec![("city", "city")], geo);
+        (input, rules)
+    }
+
+    #[test]
+    fn closure_from_zip_phn_type_item() {
+        // The size-4 certain region of the UK scenario (type=2 context):
+        // closure must reach all nine attributes.
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let seed: BTreeSet<AttrId> = [t("zip"), t("phn"), t("type"), t("item")].into();
+        let closed = attribute_closure(&rules, &seed, &all_rules);
+        assert_eq!(closed.len(), 9, "zip→AC,str,city; phn/type→FN,LN");
+        assert!(covers_all(&rules, &seed, &all_rules));
+    }
+
+    #[test]
+    fn closure_from_fig3_suggestion_stalls() {
+        // Fig. 3(a)'s suggestion {AC, phn, type, item}: zip and str are
+        // unreachable when φ6–φ8 are unavailable (type=2 context) — this
+        // is why the demo needs a second round suggesting zip.
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let seed: BTreeSet<AttrId> = [t("AC"), t("phn"), t("type"), t("item")].into();
+        // Filter out the home-phone rules, as a type=2 tuple can never
+        // satisfy their pattern.
+        let type2_only = |_: RuleId, r: &EditingRule| !["phi6", "phi7", "phi8"].contains(&r.name());
+        let closed = attribute_closure(&rules, &seed, &type2_only);
+        assert!(!closed.contains(&t("zip")));
+        assert!(!closed.contains(&t("str")));
+        assert!(closed.contains(&t("FN")) && closed.contains(&t("LN")) && closed.contains(&t("city")));
+    }
+
+    #[test]
+    fn unfixable_attrs_must_be_user_validated() {
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let unfixable = unfixable_attrs(&rules, &all_rules);
+        assert_eq!(unfixable, [t("phn"), t("type"), t("item")].into());
+    }
+
+    #[test]
+    fn useful_evidence_excludes_item() {
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let useful = useful_evidence_attrs(&rules, &all_rules);
+        assert!(useful.contains(&t("zip")));
+        assert!(useful.contains(&t("AC")));
+        assert!(useful.contains(&t("phn")));
+        assert!(useful.contains(&t("type")));
+        assert!(!useful.contains(&t("item")), "no rule reads item");
+        assert!(!useful.contains(&t("FN")));
+    }
+
+    #[test]
+    fn minimal_covers_uk() {
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        // Base: the mandatory unfixable attributes.
+        let base: BTreeSet<AttrId> = [t("phn"), t("type"), t("item")].into();
+        let candidates: Vec<AttrId> = useful_evidence_attrs(&rules, &all_rules)
+            .into_iter()
+            .filter(|a| !base.contains(a))
+            .collect();
+        let covers = minimal_covers(&rules, &base, &candidates, &all_rules, 5, 10);
+        // {zip} alone suffices: closure adds AC,str,city then FN,LN via phn.
+        assert!(covers.contains(&[t("zip")].into()), "covers: {covers:?}");
+        // No returned cover is a superset of another.
+        for (i, a) in covers.iter().enumerate() {
+            for (j, b) in covers.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(b) || a == b, "antichain violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_covers_empty_when_base_covers() {
+        let (input, rules) = uk_rules();
+        let all: BTreeSet<AttrId> = input.all_attr_ids().collect();
+        let covers = minimal_covers(&rules, &all, &[], &all_rules, 3, 5);
+        assert_eq!(covers, vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn new_suggestion_initial_matches_fig3a() {
+        // From nothing validated, the minimal static suggestion is
+        // {AC, phn, type, item} — exactly the attributes highlighted in
+        // Fig. 3(a) of the paper. ({zip, phn, type, item} is the other
+        // size-4 cover; the search returns the lexicographically first.)
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let s = new_suggestion(&rules, &BTreeSet::new(), &all_rules).unwrap();
+        assert_eq!(s, [t("AC"), t("phn"), t("type"), t("item")].into());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn new_suggestion_after_fig3_round1() {
+        // Fig. 3(b): user validated {AC, phn, type, item}; monitor fixed
+        // FN, LN, city. The next suggestion must be {zip} (covering str
+        // via φ2 and zip itself).
+        let (input, rules) = uk_rules();
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let validated: BTreeSet<AttrId> =
+            [t("AC"), t("phn"), t("type"), t("item"), t("FN"), t("LN"), t("city")].into();
+        let type2_only = |_: RuleId, r: &EditingRule| !["phi6", "phi7", "phi8"].contains(&r.name());
+        let s = new_suggestion(&rules, &validated, &type2_only).unwrap();
+        assert_eq!(s, [t("zip")].into(), "the paper's round-2 suggestion");
+    }
+
+    #[test]
+    fn new_suggestion_none_when_unreachable() {
+        // Remove every rule: a fresh tuple needs all attrs validated, but
+        // they're all "mandatory"; suggestion = all attrs. With an
+        // *impossible* filter the schema is coverable only by validating
+        // everything — which IS feasible, so construct unreachability via
+        // an empty candidate set instead: no rules ⇒ mandatory = all ⇒
+        // base covers ⇒ suggestion = all attrs.
+        let (input, rules) = uk_rules();
+        let none = |_: RuleId, _: &EditingRule| false;
+        let s = new_suggestion(&rules, &BTreeSet::new(), &none).unwrap();
+        assert_eq!(s.len(), input.arity(), "user must validate everything");
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_uk() {
+        let (_, rules) = uk_rules();
+        let base: BTreeSet<AttrId> = unfixable_attrs(&rules, &all_rules);
+        let candidates: Vec<AttrId> = useful_evidence_attrs(&rules, &all_rules)
+            .into_iter()
+            .filter(|a| !base.contains(a))
+            .collect();
+        let exact = minimal_covers(&rules, &base, &candidates, &all_rules, candidates.len(), 1)
+            .into_iter()
+            .next()
+            .unwrap();
+        let greedy = greedy_cover(&rules, &base, &candidates, &all_rules);
+        assert_eq!(exact.len(), greedy.len(), "greedy finds a same-size cover here");
+    }
+}

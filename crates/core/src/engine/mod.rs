@@ -1,0 +1,15 @@
+//! The rule engine (paper §2): rule application, the correcting process,
+//! consistency checking, and the validated-attribute inference system.
+
+mod application;
+mod consistency;
+mod fixpoint;
+mod inference;
+
+pub use application::{apply_rule, ApplyOutcome, CellFix};
+pub use consistency::{check_consistency, ConsistencyOptions, ConsistencyReport, Inconsistency};
+pub use fixpoint::{run_fixpoint, FixpointReport};
+pub use inference::{
+    all_rules, attribute_closure, covers_all, minimal_covers, new_suggestion, unfixable_attrs,
+    useful_evidence_attrs, RuleFilter,
+};

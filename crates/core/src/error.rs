@@ -1,0 +1,107 @@
+//! Error types for the CerFix core system.
+
+use std::fmt;
+
+/// Errors raised by the rule engine, region finder, monitor and auditing.
+#[derive(Debug)]
+pub enum CerfixError {
+    /// An underlying relational-substrate failure.
+    Relation(cerfix_relation::RelationError),
+    /// An underlying rule-layer failure.
+    Rule(cerfix_rules::RuleError),
+    /// A fix attempted to overwrite an already-validated cell with a
+    /// different value — the run-time symptom of an inconsistent rule set.
+    ValidatedCellConflict {
+        /// Name of the rule that attempted the overwrite.
+        rule: String,
+        /// Attribute name of the conflicted cell.
+        attribute: String,
+        /// The validated value already in place.
+        current: String,
+        /// The conflicting value the rule derived.
+        incoming: String,
+    },
+    /// The user supplied a validation for an attribute id outside the
+    /// input schema.
+    InvalidValidation {
+        /// The offending attribute id.
+        attr: usize,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A monitor session operation was invoked in the wrong state
+    /// (e.g. validating a completed session).
+    SessionState {
+        /// Description of the misuse.
+        message: String,
+    },
+}
+
+impl fmt::Display for CerfixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CerfixError::Relation(e) => write!(f, "{e}"),
+            CerfixError::Rule(e) => write!(f, "{e}"),
+            CerfixError::ValidatedCellConflict { rule, attribute, current, incoming } => write!(
+                f,
+                "rule `{rule}` attempted to overwrite validated cell `{attribute}` \
+                 (current `{current}`, incoming `{incoming}`); the rule set is inconsistent"
+            ),
+            CerfixError::InvalidValidation { attr, message } => {
+                write!(f, "invalid validation of attribute {attr}: {message}")
+            }
+            CerfixError::SessionState { message } => write!(f, "session state error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CerfixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CerfixError::Relation(e) => Some(e),
+            CerfixError::Rule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cerfix_relation::RelationError> for CerfixError {
+    fn from(e: cerfix_relation::RelationError) -> Self {
+        CerfixError::Relation(e)
+    }
+}
+
+impl From<cerfix_rules::RuleError> for CerfixError {
+    fn from(e: cerfix_rules::RuleError) -> Self {
+        CerfixError::Rule(e)
+    }
+}
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, CerfixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_display_names_rule_and_cell() {
+        let e = CerfixError::ValidatedCellConflict {
+            rule: "phi3".into(),
+            attribute: "city".into(),
+            current: "Edi".into(),
+            incoming: "Ldn".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("phi3") && s.contains("city") && s.contains("inconsistent"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = CerfixError::from(cerfix_relation::RelationError::EmptySchema);
+        assert!(e.source().is_some());
+        let e = CerfixError::from(cerfix_rules::RuleError::UnknownRule { name: "x".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,413 @@
+//! The master data manager (paper §2).
+//!
+//! Owns the master relation `Dm` — "a single repository of high-quality
+//! data", assumed consistent and accurate — and answers the one query the
+//! correcting process needs: *which master tuples match `t[X] = s[Xm]` for
+//! a rule's LHS, and do they agree on the fix values `s[Bm]`?*
+//!
+//! Per distinct `Xm` attribute list, a [`HashIndex`] is built on first use
+//! and cached, so rule application is O(1) expected per lookup regardless
+//! of `|Dm|`. Experiment `T6` ablates the index against full scans; `T3`
+//! sweeps `|Dm|` to show the resulting flat latency curve.
+
+use cerfix_relation::{AttrId, HashIndex, Relation, RowId, SchemaRef, Tuple, Value};
+use cerfix_rules::EditingRule;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Outcome of a certain-lookup for one rule against one input tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertainLookup {
+    /// No master tuple matches `t[X]` (under the rule's join).
+    NoMatch,
+    /// Master tuples match but disagree on at least one fix value, so no
+    /// *certain* fix exists for this rule on this tuple.
+    Ambiguous {
+        /// Number of matching master tuples.
+        matches: usize,
+    },
+    /// All matching master tuples agree: the unique fix values, one per
+    /// RHS pair, plus a witness row for provenance.
+    Unique {
+        /// The agreed fix values, position-wise with the rule's RHS.
+        values: Vec<Value>,
+        /// A master row carrying those values (the first match), recorded
+        /// in audit provenance.
+        witness: RowId,
+        /// Number of matching master tuples (all agreeing).
+        matches: usize,
+    },
+}
+
+/// The master data manager: `Dm` plus per-LHS lookup indexes.
+#[derive(Debug)]
+pub struct MasterData {
+    relation: Relation,
+    /// Index cache keyed by the master-side LHS attribute list.
+    /// `RwLock` so concurrent monitor streams share lazily-built indexes.
+    indexes: RwLock<HashMap<Vec<AttrId>, HashIndex>>,
+    /// When false, lookups scan the relation (the `T6` ablation arm).
+    use_indexes: bool,
+}
+
+impl MasterData {
+    /// Wrap a master relation, with indexing enabled.
+    pub fn new(relation: Relation) -> MasterData {
+        MasterData { relation, indexes: RwLock::new(HashMap::new()), use_indexes: true }
+    }
+
+    /// Wrap a master relation with indexing disabled (every lookup scans).
+    /// Exists for the indexing ablation; production paths use [`new`].
+    ///
+    /// [`new`]: MasterData::new
+    pub fn new_unindexed(relation: Relation) -> MasterData {
+        MasterData { relation, indexes: RwLock::new(HashMap::new()), use_indexes: false }
+    }
+
+    /// The master schema.
+    pub fn schema(&self) -> &SchemaRef {
+        self.relation.schema()
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of master tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True iff the master relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Master tuple by row id.
+    pub fn tuple(&self, row: RowId) -> Option<&Tuple> {
+        self.relation.row(row)
+    }
+
+    /// Row ids of master tuples `s` with `s[attrs] = key` (match
+    /// semantics: null keys match nothing).
+    pub fn matching_rows(&self, attrs: &[AttrId], key: &[Value]) -> Vec<RowId> {
+        if key.iter().any(Value::is_null) {
+            return Vec::new();
+        }
+        if self.use_indexes {
+            {
+                let cache = self.indexes.read();
+                if let Some(idx) = cache.get(attrs) {
+                    return idx.lookup(key).to_vec();
+                }
+            }
+            let mut cache = self.indexes.write();
+            let idx = cache
+                .entry(attrs.to_vec())
+                .or_insert_with(|| HashIndex::build(&self.relation, attrs.to_vec()));
+            idx.lookup(key).to_vec()
+        } else {
+            self.relation
+                .iter()
+                .filter(|(_, s)| {
+                    attrs.iter().zip(key.iter()).all(|(&a, k)| s.get(a).matches(k))
+                })
+                .map(|(id, _)| id)
+                .collect()
+        }
+    }
+
+    /// The certain-lookup at the heart of rule application: find the
+    /// master tuples matching `t` under `rule`'s LHS join, and return the
+    /// unique fix values iff all matches agree on every RHS attribute.
+    ///
+    /// The rule's pattern is *not* evaluated here (it constrains the input
+    /// tuple only); callers gate on it first.
+    pub fn certain_lookup(&self, rule: &EditingRule, t: &Tuple) -> CertainLookup {
+        let input_lhs = rule.input_lhs();
+        let master_lhs = rule.master_lhs();
+        let key = t.project(&input_lhs);
+        let rows = self.matching_rows(&master_lhs, &key);
+        if rows.is_empty() {
+            return CertainLookup::NoMatch;
+        }
+        let master_rhs = rule.master_rhs();
+        let first = self.relation.row(rows[0]).expect("index row in range");
+        let values: Vec<Value> = master_rhs.iter().map(|&a| first.get(a).clone()).collect();
+        // A null master value is not evidence of anything: treat a null in
+        // the fix values as ambiguity (no certain fix through this rule).
+        if values.iter().any(Value::is_null) {
+            return CertainLookup::Ambiguous { matches: rows.len() };
+        }
+        for &row in &rows[1..] {
+            let s = self.relation.row(row).expect("index row in range");
+            let agrees = master_rhs.iter().zip(values.iter()).all(|(&a, v)| s.get(a) == v);
+            if !agrees {
+                return CertainLookup::Ambiguous { matches: rows.len() };
+            }
+        }
+        CertainLookup::Unique { values, witness: rows[0], matches: rows.len() }
+    }
+
+    /// Append a master tuple, keeping every materialized index current.
+    ///
+    /// Master data management (paper §2) is a living repository: new core
+    /// entities arrive. Appends are cheap — each cached index gains one
+    /// posting — but callers should re-run consistency checking and
+    /// region finding afterwards, since new rows can introduce key
+    /// ambiguities that invalidate both (the demo pre-computes regions
+    /// for exactly this reason; see `Explorer::recompute_regions`).
+    pub fn append(&mut self, tuple: Tuple) -> crate::error::Result<RowId> {
+        let row_id = self.relation.push(tuple)?;
+        let tuple = self.relation.row(row_id).expect("just pushed");
+        if self.use_indexes {
+            let mut cache = self.indexes.write();
+            for index in cache.values_mut() {
+                index.insert_row(row_id, tuple);
+            }
+        }
+        Ok(row_id)
+    }
+
+    /// Number of indexes materialized so far (diagnostics).
+    pub fn index_count(&self) -> usize {
+        self.indexes.read().len()
+    }
+
+    /// Pre-build the indexes needed by `rules` (bulk warm-up before a
+    /// monitoring run, mirroring the demo's pre-computation step).
+    pub fn warm_indexes<'a>(&self, rules: impl IntoIterator<Item = &'a EditingRule>) {
+        if !self.use_indexes {
+            return;
+        }
+        let mut cache = self.indexes.write();
+        for rule in rules {
+            let attrs = rule.master_lhs();
+            cache
+                .entry(attrs.clone())
+                .or_insert_with(|| HashIndex::build(&self.relation, attrs));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema};
+    use cerfix_rules::PatternTuple;
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        (
+            Schema::of_strings("customer", ["AC", "phn", "city", "zip", "type"]).unwrap(),
+            Schema::of_strings("master", ["AC", "Mphn", "city", "zip"]).unwrap(),
+        )
+    }
+
+    fn master_data(ms: &SchemaRef) -> MasterData {
+        MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "079172485", "Edi", "EH8 4AH"])
+                .row_strs(["020", "079555555", "Ldn", "SW1A 1AA"])
+                .row_strs(["131", "079666666", "Edi", "EH9 1PR"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn zip_to_city(input: &SchemaRef, master: &SchemaRef) -> EditingRule {
+        EditingRule::new(
+            "r",
+            input,
+            master,
+            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
+            vec![(input.attr_id("city").unwrap(), master.attr_id("city").unwrap())],
+            PatternTuple::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unique_lookup() {
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let rule = zip_to_city(&input, &ms);
+        let t = Tuple::of_strings(input.clone(), ["x", "p", "???", "EH8 4AH", "2"]).unwrap();
+        match md.certain_lookup(&rule, &t) {
+            CertainLookup::Unique { values, witness, matches } => {
+                assert_eq!(values, vec![Value::str("Edi")]);
+                assert_eq!(witness, 0);
+                assert_eq!(matches, 1);
+            }
+            other => panic!("expected unique, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_match_lookup() {
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let rule = zip_to_city(&input, &ms);
+        let t = Tuple::of_strings(input.clone(), ["x", "p", "c", "ZZ9 9ZZ", "2"]).unwrap();
+        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::NoMatch);
+    }
+
+    #[test]
+    fn null_key_never_matches() {
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let rule = zip_to_city(&input, &ms);
+        let t = Tuple::all_null(input.clone());
+        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::NoMatch);
+    }
+
+    #[test]
+    fn agreeing_duplicates_stay_unique() {
+        // Two Edinburgh rows share AC=131 and agree on city ⇒ AC→city is
+        // still a certain lookup.
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let rule = EditingRule::new(
+            "ac_city",
+            &input,
+            &ms,
+            vec![(input.attr_id("AC").unwrap(), ms.attr_id("AC").unwrap())],
+            vec![(input.attr_id("city").unwrap(), ms.attr_id("city").unwrap())],
+            PatternTuple::empty(),
+        )
+        .unwrap();
+        let t = Tuple::of_strings(input.clone(), ["131", "p", "?", "z", "2"]).unwrap();
+        match md.certain_lookup(&rule, &t) {
+            CertainLookup::Unique { values, matches, .. } => {
+                assert_eq!(values, vec![Value::str("Edi")]);
+                assert_eq!(matches, 2);
+            }
+            other => panic!("expected unique, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disagreeing_matches_are_ambiguous() {
+        // AC→zip is NOT certain: the two 131 rows have different zips.
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let rule = EditingRule::new(
+            "ac_zip",
+            &input,
+            &ms,
+            vec![(input.attr_id("AC").unwrap(), ms.attr_id("AC").unwrap())],
+            vec![(input.attr_id("zip").unwrap(), ms.attr_id("zip").unwrap())],
+            PatternTuple::empty(),
+        )
+        .unwrap();
+        let t = Tuple::of_strings(input.clone(), ["131", "p", "c", "?", "2"]).unwrap();
+        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { matches: 2 });
+    }
+
+    #[test]
+    fn null_master_fix_value_is_ambiguous() {
+        let (input, ms) = schemas();
+        let mut rel = RelationBuilder::new(ms.clone())
+            .row_strs(["131", "079", "Edi", "EH8"])
+            .build()
+            .unwrap();
+        rel.row_mut(0).unwrap().set_by_name("city", Value::Null).unwrap();
+        let md = MasterData::new(rel);
+        let rule = zip_to_city(&input, &ms);
+        let t = Tuple::of_strings(input.clone(), ["x", "p", "c", "EH8", "2"]).unwrap();
+        assert!(matches!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { .. }));
+    }
+
+    #[test]
+    fn indexed_and_scan_agree() {
+        let (input, ms) = schemas();
+        let indexed = master_data(&ms);
+        let scanned = MasterData::new_unindexed(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "079172485", "Edi", "EH8 4AH"])
+                .row_strs(["020", "079555555", "Ldn", "SW1A 1AA"])
+                .row_strs(["131", "079666666", "Edi", "EH9 1PR"])
+                .build()
+                .unwrap(),
+        );
+        let rule = zip_to_city(&input, &ms);
+        for zip in ["EH8 4AH", "SW1A 1AA", "EH9 1PR", "nope"] {
+            let t = Tuple::of_strings(input.clone(), ["x", "p", "c", zip, "2"]).unwrap();
+            assert_eq!(
+                indexed.certain_lookup(&rule, &t),
+                scanned.certain_lookup(&rule, &t),
+                "zip={zip}"
+            );
+        }
+        assert_eq!(scanned.index_count(), 0, "ablation arm must not build indexes");
+        assert!(indexed.index_count() >= 1);
+    }
+
+    #[test]
+    fn warm_indexes_prebuilds() {
+        let (input, ms) = schemas();
+        let md = master_data(&ms);
+        let r1 = zip_to_city(&input, &ms);
+        assert_eq!(md.index_count(), 0);
+        md.warm_indexes([&r1]);
+        assert_eq!(md.index_count(), 1);
+        md.warm_indexes([&r1]); // idempotent
+        assert_eq!(md.index_count(), 1);
+    }
+
+    #[test]
+    fn append_maintains_indexes() {
+        let (input, ms) = schemas();
+        let mut md = master_data(&ms);
+        let rule = zip_to_city(&input, &ms);
+        // Materialize the zip index, then append a new entity.
+        let t_probe = Tuple::of_strings(input.clone(), ["x", "p", "c", "G12 8QQ", "2"]).unwrap();
+        assert_eq!(md.certain_lookup(&rule, &t_probe), CertainLookup::NoMatch);
+        let new_row = Tuple::of_strings(ms.clone(), ["141", "077", "Gla", "G12 8QQ"]).unwrap();
+        let id = md.append(new_row).unwrap();
+        assert_eq!(id, 3);
+        match md.certain_lookup(&rule, &t_probe) {
+            CertainLookup::Unique { values, witness, .. } => {
+                assert_eq!(values, vec![Value::str("Gla")]);
+                assert_eq!(witness, 3);
+            }
+            other => panic!("index not maintained: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_can_introduce_ambiguity() {
+        // A new row that disagrees with an existing key turns certain
+        // lookups ambiguous — master-data drift that consistency
+        // re-checking would surface.
+        let (input, ms) = schemas();
+        let mut md = master_data(&ms);
+        let rule = zip_to_city(&input, &ms);
+        let t = Tuple::of_strings(input.clone(), ["x", "p", "c", "EH8 4AH", "2"]).unwrap();
+        assert!(matches!(md.certain_lookup(&rule, &t), CertainLookup::Unique { .. }));
+        md.append(Tuple::of_strings(ms.clone(), ["131", "079", "Leith", "EH8 4AH"]).unwrap())
+            .unwrap();
+        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { matches: 2 });
+    }
+
+    #[test]
+    fn append_rejects_foreign_schema() {
+        let (_, ms) = schemas();
+        let mut md = master_data(&ms);
+        let other = Schema::of_strings("master", ["AC", "Mphn", "city", "zip"]).unwrap();
+        let t = Tuple::of_strings(other, ["1", "2", "3", "4"]).unwrap();
+        assert!(md.append(t).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, ms) = schemas();
+        let md = master_data(&ms);
+        assert_eq!(md.len(), 3);
+        assert!(!md.is_empty());
+        assert!(md.tuple(0).is_some());
+        assert!(md.tuple(9).is_none());
+        assert_eq!(md.schema().name(), "master");
+        assert_eq!(md.relation().len(), 3);
+    }
+}

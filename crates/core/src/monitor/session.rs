@@ -1,0 +1,94 @@
+//! Per-tuple monitor sessions.
+
+use cerfix_relation::{AttrId, Tuple};
+use std::collections::BTreeSet;
+
+/// The state of one tuple's interactive cleaning session.
+#[derive(Debug, Clone)]
+pub struct MonitorSession {
+    /// Monitor-assigned id (position in the input stream).
+    pub tuple_id: usize,
+    /// The tuple, mutated in place as fixes are applied.
+    pub tuple: Tuple,
+    /// All validated attributes (user + rules).
+    pub validated: BTreeSet<AttrId>,
+    /// Attributes validated by the user.
+    pub user_validated: BTreeSet<AttrId>,
+    /// Attributes validated automatically by rules.
+    pub auto_validated: BTreeSet<AttrId>,
+    /// Completed interaction rounds.
+    pub rounds: usize,
+}
+
+impl MonitorSession {
+    /// Start a session over `tuple`.
+    pub fn new(tuple_id: usize, tuple: Tuple) -> MonitorSession {
+        MonitorSession {
+            tuple_id,
+            tuple,
+            validated: BTreeSet::new(),
+            user_validated: BTreeSet::new(),
+            auto_validated: BTreeSet::new(),
+            rounds: 0,
+        }
+    }
+
+    /// True iff every attribute of the tuple is validated — the session
+    /// has reached a certain fix (Fig. 3(c), everything green).
+    pub fn is_complete(&self) -> bool {
+        self.validated.len() == self.tuple.arity()
+    }
+
+    /// Attributes not yet validated.
+    pub fn unvalidated(&self) -> Vec<AttrId> {
+        (0..self.tuple.arity()).filter(|a| !self.validated.contains(a)).collect()
+    }
+}
+
+/// Session status as presented to the driver loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The monitor awaits user validation of the suggested attributes.
+    AwaitingUser {
+        /// The attributes recommended for validation.
+        suggestion: Vec<AttrId>,
+    },
+    /// All attributes are validated: a certain fix has been reached.
+    Complete,
+    /// No certain fix is reachable even if the user validates every
+    /// remaining useful attribute (e.g. master data lacks the entity).
+    /// The tuple remains partially validated.
+    Stuck {
+        /// Attributes still unvalidated.
+        unvalidated: Vec<AttrId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+
+    #[test]
+    fn lifecycle_flags() {
+        let s = Schema::of_strings("t", ["a", "b"]).unwrap();
+        let mut session = MonitorSession::new(7, Tuple::of_strings(s, ["1", "2"]).unwrap());
+        assert_eq!(session.tuple_id, 7);
+        assert!(!session.is_complete());
+        assert_eq!(session.unvalidated(), vec![0, 1]);
+        session.validated.insert(0);
+        assert_eq!(session.unvalidated(), vec![1]);
+        session.validated.insert(1);
+        assert!(session.is_complete());
+        assert!(session.unvalidated().is_empty());
+    }
+
+    #[test]
+    fn status_equality() {
+        assert_eq!(
+            SessionStatus::AwaitingUser { suggestion: vec![1] },
+            SessionStatus::AwaitingUser { suggestion: vec![1] }
+        );
+        assert_ne!(SessionStatus::Complete, SessionStatus::Stuck { unvalidated: vec![] });
+    }
+}

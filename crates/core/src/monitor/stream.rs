@@ -1,0 +1,324 @@
+//! Stream cleaning: monitor a sequence of input tuples.
+//!
+//! The demo fixes "a stream of input tuples" at the point of data entry
+//! (paper §3, data auditing); experiments `F4`, `T2` and `T3` run streams
+//! of generated dirty tuples through this driver and read the aggregate
+//! statistics.
+
+use crate::error::Result;
+use crate::monitor::{CleanOutcome, DataMonitor, UserAgent};
+use cerfix_relation::Tuple;
+
+/// Aggregate results of cleaning a stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Per-tuple outcomes, in stream order.
+    pub outcomes: Vec<CleanOutcome>,
+}
+
+impl StreamReport {
+    /// Number of tuples processed.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True iff no tuples were processed.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Tuples that reached a certain fix.
+    pub fn complete_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.complete).count()
+    }
+
+    /// Mean interaction rounds per tuple.
+    pub fn mean_rounds(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.rounds).sum::<usize>() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Total attributes validated by users across the stream.
+    pub fn total_user_validated(&self) -> usize {
+        self.outcomes.iter().map(|o| o.user_validated).sum()
+    }
+
+    /// Total attributes validated automatically across the stream.
+    pub fn total_auto_validated(&self) -> usize {
+        self.outcomes.iter().map(|o| o.auto_validated).sum()
+    }
+
+    /// Fraction of validations performed by users (the paper's "20%").
+    pub fn user_fraction(&self) -> f64 {
+        let u = self.total_user_validated();
+        let a = self.total_auto_validated();
+        if u + a == 0 {
+            0.0
+        } else {
+            u as f64 / (u + a) as f64
+        }
+    }
+
+    /// Fraction of validations performed by CerFix (the paper's "80%").
+    pub fn auto_fraction(&self) -> f64 {
+        let u = self.total_user_validated();
+        let a = self.total_auto_validated();
+        if u + a == 0 {
+            0.0
+        } else {
+            a as f64 / (u + a) as f64
+        }
+    }
+
+    /// Total cells changed by rules.
+    pub fn total_cells_fixed(&self) -> usize {
+        self.outcomes.iter().map(|o| o.cells_fixed_by_rules).sum()
+    }
+}
+
+/// Clean `tuples` through `monitor`, constructing a user per tuple with
+/// `make_user` (typically an [`OracleUser`](crate::monitor::OracleUser)
+/// seeded with that tuple's ground truth).
+pub fn clean_stream<F>(
+    monitor: &DataMonitor<'_>,
+    tuples: impl IntoIterator<Item = Tuple>,
+    mut make_user: F,
+) -> Result<StreamReport>
+where
+    F: FnMut(usize, &Tuple) -> Box<dyn UserAgent>,
+{
+    let mut report = StreamReport::default();
+    for (idx, tuple) in tuples.into_iter().enumerate() {
+        let mut user = make_user(idx, &tuple);
+        let outcome = monitor.clean(idx, tuple, user.as_mut())?;
+        report.outcomes.push(outcome);
+    }
+    Ok(report)
+}
+
+/// Clean a stream across `threads` worker threads.
+///
+/// The demo cleans tuples at the point of entry — entries from different
+/// users arrive concurrently, and sessions are independent, so the stream
+/// parallelizes embarrassingly: the master data's index cache is behind a
+/// `RwLock`, the audit log is append-only behind a lock, and each session
+/// owns its tuple. Outcomes are returned in input order regardless of
+/// completion order. Used by the `T3` scalability experiment's parallel
+/// arm.
+pub fn clean_stream_parallel<F>(
+    monitor: &DataMonitor<'_>,
+    tuples: Vec<Tuple>,
+    make_user: F,
+    threads: usize,
+) -> Result<StreamReport>
+where
+    F: Fn(usize, &Tuple) -> Box<dyn UserAgent + Send> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || tuples.len() <= 1 {
+        let mut mk = |idx: usize, t: &Tuple| -> Box<dyn UserAgent> { make_user(idx, t) };
+        return clean_stream(monitor, tuples, &mut mk);
+    }
+    let n = tuples.len();
+    let chunk = n.div_ceil(threads);
+    let mut outcomes: Vec<Option<CleanOutcome>> = Vec::with_capacity(n);
+    outcomes.resize_with(n, || None);
+    let first_error: parking_lot::Mutex<Option<crate::error::CerfixError>> =
+        parking_lot::Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, (tuple_chunk, out_chunk)) in
+            tuples.chunks(chunk).zip(outcomes.chunks_mut(chunk)).enumerate()
+        {
+            let base = chunk_idx * chunk;
+            let make_user = &make_user;
+            let first_error = &first_error;
+            scope.spawn(move |_| {
+                for (offset, tuple) in tuple_chunk.iter().enumerate() {
+                    if first_error.lock().is_some() {
+                        return; // fail fast across workers
+                    }
+                    let idx = base + offset;
+                    let mut user = make_user(idx, tuple);
+                    match monitor.clean(idx, tuple.clone(), user.as_mut()) {
+                        Ok(outcome) => out_chunk[offset] = Some(outcome),
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(StreamReport {
+        outcomes: outcomes.into_iter().map(|o| o.expect("no error ⇒ every slot filled")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::MasterData;
+    use crate::monitor::OracleUser;
+    use cerfix_relation::{RelationBuilder, Schema, Value};
+    use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+
+    #[test]
+    fn stream_aggregates() {
+        let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
+        let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
+        let master = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["k1", "v1"])
+                .row_strs(["k2", "v2"])
+                .build()
+                .unwrap(),
+        );
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(
+                EditingRule::new(
+                    "key_val",
+                    &input,
+                    &ms,
+                    vec![(0, 0)],
+                    vec![(1, 1)],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let monitor = DataMonitor::new(&rules, &master);
+
+        let truths = vec![
+            Tuple::of_strings(input.clone(), ["k1", "v1", "n1"]).unwrap(),
+            Tuple::of_strings(input.clone(), ["k2", "v2", "n2"]).unwrap(),
+            // Entity missing from master ⇒ incomplete.
+            Tuple::of_strings(input.clone(), ["k9", "v9", "n9"]).unwrap(),
+        ];
+        let dirty: Vec<Tuple> = truths
+            .iter()
+            .map(|t| {
+                let mut d = t.clone();
+                d.set_by_name("val", Value::str("WRONG")).unwrap();
+                d
+            })
+            .collect();
+        let truths2 = truths.clone();
+        let report = clean_stream(&monitor, dirty, move |idx, _| {
+            Box::new(OracleUser::new(truths2[idx].clone()))
+        })
+        .unwrap();
+
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+        assert_eq!(report.complete_count(), 3, "k9 completes via full user validation");
+        assert_eq!(report.total_cells_fixed(), 2, "val corrected for k1 and k2");
+        assert!(report.mean_rounds() >= 1.0);
+        // key and note user-validated (2 per tuple); val auto for k1/k2
+        // but user-validated for the master-missing k9.
+        assert_eq!(report.total_user_validated(), 3 * 2 + 1);
+        assert_eq!(report.total_auto_validated(), 2);
+        assert!(report.user_fraction() > 0.0 && report.auto_fraction() > 0.0);
+        assert!((report.user_fraction() + report.auto_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let input = Schema::of_strings("in", ["key", "val"]).unwrap();
+        let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
+        let mut builder = RelationBuilder::new(ms.clone());
+        for i in 0..50 {
+            builder = builder.row_strs([format!("k{i}"), format!("v{i}")]);
+        }
+        let master = MasterData::new(builder.build().unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(
+                EditingRule::new("kv", &input, &ms, vec![(0, 0)], vec![(1, 1)], PatternTuple::empty())
+                    .unwrap(),
+            )
+            .unwrap();
+        let monitor = DataMonitor::new(&rules, &master);
+
+        let truths: Vec<Tuple> = (0..50)
+            .map(|i| Tuple::of_strings(input.clone(), [format!("k{i}"), format!("v{i}")]).unwrap())
+            .collect();
+        let dirty: Vec<Tuple> = truths
+            .iter()
+            .map(|t| {
+                let mut d = t.clone();
+                d.set_by_name("val", Value::str("WRONG")).unwrap();
+                d
+            })
+            .collect();
+
+        let truths_seq = truths.clone();
+        let sequential = clean_stream(&monitor, dirty.clone(), move |idx, _| {
+            Box::new(OracleUser::new(truths_seq[idx].clone()))
+        })
+        .unwrap();
+
+        let monitor2 = DataMonitor::new(&rules, &master);
+        let truths_par = truths.clone();
+        let parallel = super::clean_stream_parallel(
+            &monitor2,
+            dirty,
+            move |idx, _| Box::new(OracleUser::new(truths_par[idx].clone())),
+            4,
+        )
+        .unwrap();
+
+        assert_eq!(parallel.len(), sequential.len());
+        assert_eq!(parallel.complete_count(), sequential.complete_count());
+        for (p, s) in parallel.outcomes.iter().zip(sequential.outcomes.iter()) {
+            assert_eq!(p.tuple, s.tuple, "in-order outcomes must match");
+            assert_eq!(p.rounds, s.rounds);
+        }
+        // Both monitors audited every cell event (ordering may differ).
+        assert_eq!(monitor.audit().len(), monitor2.audit().len());
+    }
+
+    #[test]
+    fn parallel_single_thread_falls_back() {
+        let input = Schema::of_strings("in", ["a"]).unwrap();
+        let ms = Schema::of_strings("m", ["a"]).unwrap();
+        let master = MasterData::new(RelationBuilder::new(ms.clone()).build().unwrap());
+        let rules = RuleSet::new(input.clone(), ms);
+        let monitor = DataMonitor::new(&rules, &master);
+        let truth = Tuple::of_strings(input.clone(), ["x"]).unwrap();
+        let report = super::clean_stream_parallel(
+            &monitor,
+            vec![truth.clone()],
+            move |_, _| Box::new(OracleUser::new(truth.clone())),
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(report.outcomes[0].complete);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let input = Schema::of_strings("in", ["a"]).unwrap();
+        let ms = Schema::of_strings("m", ["a"]).unwrap();
+        let master = MasterData::new(RelationBuilder::new(ms.clone()).build().unwrap());
+        let rules = RuleSet::new(input, ms);
+        let monitor = DataMonitor::new(&rules, &master);
+        let report = clean_stream(&monitor, Vec::new(), |_, _| Box::new(crate::monitor::SilentUser)).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.mean_rounds(), 0.0);
+        assert_eq!(report.user_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! User models for the interactive monitor.
+//!
+//! The demo interacts with a human filling a form; benchmark runs
+//! substitute *simulated users* (DESIGN.md §2). The [`UserAgent`] trait
+//! captures exactly the interaction surface the paper describes: the
+//! monitor presents a suggestion, the user responds with a set of
+//! attributes they assure correct (possibly different from the
+//! suggestion) and the true values for them.
+
+use cerfix_relation::{AttrId, Tuple, Value};
+
+/// A (simulated) user in a monitor session.
+pub trait UserAgent {
+    /// Respond to a suggestion: return the attributes the user validates
+    /// this round with their asserted (true) values. Returning an empty
+    /// vector means the user declines to validate anything — the monitor
+    /// then terminates the session as incomplete.
+    fn validate(&mut self, tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)>;
+}
+
+/// Follows every suggestion, answering with the ground-truth values.
+/// This reproduces the demo protocol: the user knows the real entity (it
+/// is *their* form) and validates what CerFix asks for.
+#[derive(Debug, Clone)]
+pub struct OracleUser {
+    truth: Tuple,
+}
+
+impl OracleUser {
+    /// A user who knows `truth`.
+    pub fn new(truth: Tuple) -> OracleUser {
+        OracleUser { truth }
+    }
+
+    /// The truth tuple (for assertions in tests/experiments).
+    pub fn truth(&self) -> &Tuple {
+        &self.truth
+    }
+}
+
+impl UserAgent for OracleUser {
+    fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        suggestion.iter().map(|&a| (a, self.truth.get(a).clone())).collect()
+    }
+}
+
+/// Validates at most `cap` attributes per round (a reluctant user). Used
+/// by the suggestion-strategy ablation: smaller caps mean more rounds.
+#[derive(Debug, Clone)]
+pub struct CappedUser {
+    truth: Tuple,
+    cap: usize,
+}
+
+impl CappedUser {
+    /// A user validating at most `cap` suggested attributes per round.
+    pub fn new(truth: Tuple, cap: usize) -> CappedUser {
+        CappedUser { truth, cap }
+    }
+}
+
+impl UserAgent for CappedUser {
+    fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        suggestion.iter().take(self.cap).map(|&a| (a, self.truth.get(a).clone())).collect()
+    }
+}
+
+/// Ignores the first suggestion and validates a preferred attribute set
+/// instead — the paper's §3 step 2: *"The users may decide to validate
+/// attributes other than those suggested. CerFix reacts by fixing data
+/// with editing rules and master data in the same way."* Subsequent
+/// rounds follow suggestions.
+#[derive(Debug, Clone)]
+pub struct PreferringUser {
+    truth: Tuple,
+    preferred: Vec<AttrId>,
+    first_round_done: bool,
+}
+
+impl PreferringUser {
+    /// A user who validates `preferred` in the first round.
+    pub fn new(truth: Tuple, preferred: Vec<AttrId>) -> PreferringUser {
+        PreferringUser { truth, preferred, first_round_done: false }
+    }
+}
+
+impl UserAgent for PreferringUser {
+    fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        let attrs: Vec<AttrId> = if self.first_round_done {
+            suggestion.to_vec()
+        } else {
+            self.first_round_done = true;
+            self.preferred.clone()
+        };
+        attrs.iter().map(|&a| (a, self.truth.get(a).clone())).collect()
+    }
+}
+
+/// Refuses to validate anything: drives the monitor's incomplete-session
+/// path in failure-injection tests.
+#[derive(Debug, Clone, Default)]
+pub struct SilentUser;
+
+impl UserAgent for SilentUser {
+    fn validate(&mut self, _tuple: &Tuple, _suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+
+    fn truth() -> Tuple {
+        let s = Schema::of_strings("t", ["a", "b", "c"]).unwrap();
+        Tuple::of_strings(s, ["1", "2", "3"]).unwrap()
+    }
+
+    #[test]
+    fn oracle_follows_suggestion() {
+        let t = truth();
+        let mut u = OracleUser::new(t.clone());
+        let out = u.validate(&t, &[2, 0]);
+        assert_eq!(out, vec![(2, Value::str("3")), (0, Value::str("1"))]);
+        assert_eq!(u.truth().arity(), 3);
+    }
+
+    #[test]
+    fn capped_limits_per_round() {
+        let t = truth();
+        let mut u = CappedUser::new(t.clone(), 1);
+        assert_eq!(u.validate(&t, &[0, 1, 2]).len(), 1);
+        let mut u0 = CappedUser::new(t.clone(), 0);
+        assert!(u0.validate(&t, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn preferring_overrides_first_round_only() {
+        let t = truth();
+        let mut u = PreferringUser::new(t.clone(), vec![1]);
+        assert_eq!(u.validate(&t, &[0, 2]), vec![(1, Value::str("2"))]);
+        assert_eq!(u.validate(&t, &[0]), vec![(0, Value::str("1"))]);
+    }
+
+    #[test]
+    fn silent_declines() {
+        let t = truth();
+        assert!(SilentUser.validate(&t, &[0, 1, 2]).is_empty());
+    }
+}

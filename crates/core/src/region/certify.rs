@@ -1,0 +1,241 @@
+//! Data-level certification of candidate regions.
+//!
+//! The attribute-level closure (static phase) over-approximates: a rule
+//! counted on by the closure can still stall at run time when its join key
+//! is absent from master data or matches master tuples that disagree
+//! (certain-application semantics). Certification closes that gap by
+//! *simulating the correcting process* for every possible ground truth:
+//!
+//! For each truth tuple `u` in the scenario's universe that matches the
+//! candidate pattern, build the input tuple a user would present —
+//! `t[Z] = u[Z]` validated, everything else unknown — run the fixpoint,
+//! and require (a) every attribute becomes validated and (b) every fixed
+//! value equals the truth. A candidate failing for *any* truth is not a
+//! certain region.
+//!
+//! The universe is scenario-provided (`cerfix-gen` derives it from master
+//! data: one truth per master tuple per pattern context), mirroring the
+//! MDM assumption that entities to be cleaned are represented in `Dm`.
+
+use crate::engine::run_fixpoint;
+use crate::master::MasterData;
+use cerfix_relation::{AttrId, Tuple, Value};
+use cerfix_rules::{PatternTuple, RuleSet};
+use std::collections::BTreeSet;
+
+/// Outcome of certifying one `(Z, pattern)` candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifyResult {
+    /// True iff every applicable truth tuple reached a full, correct fix.
+    pub certified: bool,
+    /// Number of universe tuples the pattern applied to.
+    pub checked: usize,
+    /// Indices (into the universe) of failing truths, capped at 8.
+    pub failures: Vec<usize>,
+}
+
+/// Certify candidate attributes `attrs` under `pattern` against the truth
+/// `universe`.
+///
+/// An empty applicable set certifies vacuously (`checked == 0`); callers
+/// that want non-vacuous regions should check `checked > 0`.
+pub fn certify_region(
+    rules: &RuleSet,
+    master: &MasterData,
+    attrs: &BTreeSet<AttrId>,
+    pattern: &PatternTuple,
+    universe: &[Tuple],
+) -> CertifyResult {
+    let arity = rules.input_schema().arity();
+    let mut result = CertifyResult { certified: true, checked: 0, failures: Vec::new() };
+    for (idx, truth) in universe.iter().enumerate() {
+        if !pattern.matches(truth) {
+            continue;
+        }
+        result.checked += 1;
+        // Input as the monitor sees it after the user validates Z with the
+        // true values: Z cells carry truth, the rest is unknown.
+        let mut t = Tuple::all_null(rules.input_schema().clone());
+        for &a in attrs {
+            t.set(a, truth.get(a).clone()).expect("attr in schema");
+        }
+        let mut validated = attrs.clone();
+        let ok = match run_fixpoint(rules, master, &mut t, &mut validated) {
+            Err(_) => false, // validated-cell conflict: inconsistent rules
+            Ok(_) => {
+                validated.len() == arity
+                    && (0..arity).all(|a| {
+                        let fixed = t.get(a);
+                        // Never null after full validation, and equal to truth.
+                        !fixed.is_null() && fixed == truth.get(a)
+                    })
+            }
+        };
+        if !ok {
+            result.certified = false;
+            if result.failures.len() < 8 {
+                result.failures.push(idx);
+            }
+        }
+    }
+    result
+}
+
+/// Convenience: does validating `attrs` yield a full correct fix for this
+/// single `truth` tuple? Used by tests and the monitor's diagnostics.
+pub fn certifies_for(
+    rules: &RuleSet,
+    master: &MasterData,
+    attrs: &BTreeSet<AttrId>,
+    truth: &Tuple,
+) -> bool {
+    let empty_pattern = PatternTuple::empty();
+    let universe = std::slice::from_ref(truth);
+    certify_region(rules, master, attrs, &empty_pattern, universe).certified
+}
+
+/// Build the "unknown form" input for a truth tuple: `Z` validated with
+/// truth values, other cells null. Exposed for the experiment harness.
+pub fn masked_input(truth: &Tuple, attrs: &BTreeSet<AttrId>) -> Tuple {
+    let mut t = Tuple::all_null(truth.schema().clone());
+    for &a in attrs {
+        t.set(a, truth.get(a).clone()).expect("attr in schema");
+    }
+    debug_assert!(t.values().iter().enumerate().all(|(i, v)| {
+        attrs.contains(&i) || matches!(v, Value::Null)
+    }));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema, SchemaRef};
+    use cerfix_rules::EditingRule;
+
+    /// Two-rule fixture: zip→city and zip→AC, with a master where one zip
+    /// key is ambiguous (two rows, different city).
+    fn fixture() -> (SchemaRef, RuleSet, MasterData) {
+        let input = Schema::of_strings("in", ["AC", "city", "zip"]).unwrap();
+        let ms = Schema::of_strings("m", ["AC", "city", "zip"]).unwrap();
+        let master = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "Edi", "EH8"])
+                .row_strs(["020", "Ldn", "SW1"])
+                .row_strs(["0141", "Gla", "G12"])
+                .row_strs(["0141", "Partick", "G12"]) // ambiguous zip G12 for city
+                .build()
+                .unwrap(),
+        );
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(EditingRule::new("zip_city", &input, &ms, vec![pair("zip")], vec![pair("city")], PatternTuple::empty()).unwrap())
+            .unwrap();
+        rules
+            .add(EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty()).unwrap())
+            .unwrap();
+        (input, rules, master)
+    }
+
+    fn truth(input: &SchemaRef, vals: [&str; 3]) -> Tuple {
+        Tuple::of_strings(input.clone(), vals).unwrap()
+    }
+
+    #[test]
+    fn certifies_clean_universe() {
+        let (input, rules, master) = fixture();
+        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let universe = vec![truth(&input, ["131", "Edi", "EH8"]), truth(&input, ["020", "Ldn", "SW1"])];
+        let res = certify_region(&rules, &master, &zip, &PatternTuple::empty(), &universe);
+        assert!(res.certified);
+        assert_eq!(res.checked, 2);
+        assert!(res.failures.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_master_key_fails_certification() {
+        // G12 maps to two cities: closure says {zip} covers, but the
+        // fixpoint stalls on the ambiguous key ⇒ certification must fail.
+        let (input, rules, master) = fixture();
+        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let universe = vec![
+            truth(&input, ["131", "Edi", "EH8"]),
+            truth(&input, ["0141", "Gla", "G12"]),
+        ];
+        let res = certify_region(&rules, &master, &zip, &PatternTuple::empty(), &universe);
+        assert!(!res.certified);
+        assert_eq!(res.failures, vec![1]);
+        assert_eq!(res.checked, 2);
+    }
+
+    #[test]
+    fn pattern_scopes_the_check() {
+        // Restrict the pattern to zip='EH8': the ambiguous G12 truth is
+        // out of scope, so certification succeeds (non-vacuously).
+        let (input, rules, master) = fixture();
+        let zip_id = input.attr_id("zip").unwrap();
+        let zip: BTreeSet<AttrId> = [zip_id].into();
+        let pattern = PatternTuple::empty().with_eq(zip_id, Value::str("EH8"));
+        let universe = vec![
+            truth(&input, ["131", "Edi", "EH8"]),
+            truth(&input, ["0141", "Gla", "G12"]),
+        ];
+        let res = certify_region(&rules, &master, &zip, &pattern, &universe);
+        assert!(res.certified);
+        assert_eq!(res.checked, 1);
+    }
+
+    #[test]
+    fn vacuous_certification_is_flagged_by_checked_zero() {
+        let (input, rules, master) = fixture();
+        let zip_id = input.attr_id("zip").unwrap();
+        let pattern = PatternTuple::empty().with_eq(zip_id, Value::str("NOPE"));
+        let res = certify_region(
+            &rules,
+            &master,
+            &[zip_id].into(),
+            &pattern,
+            &[truth(&input, ["131", "Edi", "EH8"])],
+        );
+        assert!(res.certified);
+        assert_eq!(res.checked, 0, "caller must treat checked=0 as vacuous");
+    }
+
+    #[test]
+    fn unknown_truth_entity_fails() {
+        // A truth whose zip is absent from master: the chain never fires.
+        let (input, rules, master) = fixture();
+        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let res = certify_region(
+            &rules,
+            &master,
+            &zip,
+            &PatternTuple::empty(),
+            &[truth(&input, ["999", "Nowhere", "ZZ9"])],
+        );
+        assert!(!res.certified);
+    }
+
+    #[test]
+    fn insufficient_attrs_fail() {
+        // Validating only AC fixes nothing (no rule keys on AC).
+        let (input, rules, master) = fixture();
+        let ac: BTreeSet<AttrId> = [input.attr_id("AC").unwrap()].into();
+        assert!(!certifies_for(&rules, &master, &ac, &truth(&input, ["131", "Edi", "EH8"])));
+        // Validating everything trivially certifies.
+        let all: BTreeSet<AttrId> = input.all_attr_ids().collect();
+        assert!(certifies_for(&rules, &master, &all, &truth(&input, ["131", "Edi", "EH8"])));
+    }
+
+    #[test]
+    fn masked_input_shape() {
+        let (input, _, _) = fixture();
+        let u = truth(&input, ["131", "Edi", "EH8"]);
+        let zip_id = input.attr_id("zip").unwrap();
+        let masked = masked_input(&u, &[zip_id].into());
+        assert_eq!(masked.get(zip_id), &Value::str("EH8"));
+        assert!(masked.get(input.attr_id("AC").unwrap()).is_null());
+        assert!(masked.get(input.attr_id("city").unwrap()).is_null());
+    }
+}

@@ -1,0 +1,440 @@
+//! The region finder: compute top-k certain regions (paper §2).
+//!
+//! *"Based on the algorithms in [7], top-k certain regions are
+//! pre-computed that are ranked ascendingly by the number of attributes,
+//! and are recommended to users as (initial) suggestions."*
+//!
+//! Finding minimal certain regions is intractable in general ([7]); for
+//! the demo's pattern language the search decomposes cleanly:
+//!
+//! 1. **Context enumeration.** The attributes constrained by any rule
+//!    pattern (`type` and `AC` in the UK scenario) partition the input
+//!    space. Each *context* picks, per gate attribute, either one of the
+//!    constants appearing in patterns or the "anything else" choice. A
+//!    rule can be counted on within a context iff the context *entails*
+//!    its pattern (every tuple in the context satisfies it).
+//! 2. **Static phase.** Within a context, attributes unfixable by the
+//!    entailed rules are mandatory; [`minimal_covers`] enumerates the
+//!    minimal extra evidence sets whose closure spans the schema.
+//! 3. **Data phase.** Each candidate `(Z, context)` is certified against
+//!    the scenario's truth universe ([`certify_region`]): the closure can
+//!    overshoot when master keys are missing or ambiguous.
+//!
+//! Certified candidates with the same `Z` merge their contexts into one
+//! tableau; regions are ranked ascending by `|Z|` and cut to `top_k`.
+
+use crate::engine::{minimal_covers, unfixable_attrs, useful_evidence_attrs};
+use crate::master::MasterData;
+use crate::region::certify::certify_region;
+use crate::region::tableau::Region;
+use cerfix_relation::{AttrId, Tuple, Value};
+use cerfix_rules::{EditingRule, PatternOp, PatternTuple, RuleId, RuleSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for the region search.
+#[derive(Debug, Clone)]
+pub struct RegionFinderOptions {
+    /// Number of regions to return (the paper's "top-k").
+    pub top_k: usize,
+    /// Maximum extra evidence attributes per cover (search depth bound).
+    pub max_cover_size: usize,
+    /// Maximum minimal covers enumerated per context.
+    pub max_covers_per_context: usize,
+    /// Require certification to be non-vacuous (at least one truth tuple
+    /// in scope). Vacuous contexts produce no region.
+    pub require_nonvacuous: bool,
+}
+
+impl Default for RegionFinderOptions {
+    fn default() -> Self {
+        RegionFinderOptions {
+            top_k: 8,
+            max_cover_size: 6,
+            max_covers_per_context: 16,
+            require_nonvacuous: true,
+        }
+    }
+}
+
+/// One pattern context: a total choice over the gate attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Context {
+    pattern: PatternTuple,
+}
+
+impl Context {
+    /// Does this context entail `op` on `attr` (i.e. every tuple matching
+    /// the context satisfies the cell)?
+    fn entails(&self, attr: AttrId, op: &PatternOp) -> bool {
+        // Find this context's constraint on the attribute.
+        let own = self.pattern.cells().iter().find(|c| c.attr == attr).map(|c| &c.op);
+        match (own, op) {
+            (_, PatternOp::Any) => true,
+            (Some(PatternOp::Eq(c)), PatternOp::Eq(c2)) => c == c2,
+            (Some(PatternOp::Eq(c)), PatternOp::Ne(set)) => !set.contains(c),
+            (Some(PatternOp::Ne(excluded)), PatternOp::Ne(set)) => {
+                set.iter().all(|v| excluded.contains(v))
+            }
+            // Unconstrained or Ne-context cannot entail an equality.
+            _ => false,
+        }
+    }
+
+    /// True iff every cell of `rule`'s pattern is entailed.
+    fn entails_rule(&self, rule: &EditingRule) -> bool {
+        rule.pattern().cells().iter().all(|c| self.entails(c.attr, &c.op))
+    }
+}
+
+/// Enumerate contexts from the rule patterns: per gate attribute, each
+/// equality constant seen in any pattern plus the "else" choice excluding
+/// all seen constants.
+fn enumerate_contexts(rules: &RuleSet) -> Vec<Context> {
+    // Gate attr → constants mentioned in any pattern cell on it.
+    let mut gates: BTreeMap<AttrId, BTreeSet<Value>> = BTreeMap::new();
+    for (_, rule) in rules.iter() {
+        for cell in rule.pattern().cells() {
+            let entry = gates.entry(cell.attr).or_default();
+            match &cell.op {
+                PatternOp::Any => {}
+                PatternOp::Eq(v) => {
+                    entry.insert(v.clone());
+                }
+                PatternOp::Ne(vs) => {
+                    entry.extend(vs.iter().cloned());
+                }
+            }
+        }
+    }
+    let mut contexts = vec![Context { pattern: PatternTuple::empty() }];
+    for (attr, constants) in &gates {
+        let mut expanded = Vec::with_capacity(contexts.len() * (constants.len() + 1));
+        for ctx in &contexts {
+            for c in constants {
+                let p = PatternTuple::new(
+                    ctx.pattern
+                        .cells()
+                        .iter()
+                        .cloned()
+                        .chain(std::iter::once(cerfix_rules::PatternCell {
+                            attr: *attr,
+                            op: PatternOp::Eq(c.clone()),
+                        }))
+                        .collect::<Vec<_>>(),
+                );
+                expanded.push(Context { pattern: p });
+            }
+            // The "anything else" choice.
+            let p = PatternTuple::new(
+                ctx.pattern
+                    .cells()
+                    .iter()
+                    .cloned()
+                    .chain(std::iter::once(cerfix_rules::PatternCell {
+                        attr: *attr,
+                        op: PatternOp::Ne(constants.iter().cloned().collect()),
+                    }))
+                    .collect::<Vec<_>>(),
+            );
+            expanded.push(Context { pattern: p });
+        }
+        contexts = expanded;
+    }
+    contexts
+}
+
+/// Diagnostics from a region search.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSearchStats {
+    /// Pattern contexts enumerated.
+    pub contexts: usize,
+    /// `(Z, context)` candidates produced by the static phase.
+    pub candidates: usize,
+    /// Candidates rejected by data certification.
+    pub rejected_by_certification: usize,
+    /// Candidates rejected as vacuous (no truth tuple in scope).
+    pub vacuous: usize,
+}
+
+/// Result of [`find_regions`]: ranked regions plus search diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSearchResult {
+    /// Certified regions, ranked ascending by size, at most `top_k`.
+    pub regions: Vec<Region>,
+    /// Search statistics.
+    pub stats: RegionSearchStats,
+}
+
+/// Compute top-k certain regions for `rules` against `master`, certified
+/// over the `universe` of possible ground-truth input tuples.
+pub fn find_regions(
+    rules: &RuleSet,
+    master: &MasterData,
+    universe: &[Tuple],
+    options: &RegionFinderOptions,
+) -> RegionSearchResult {
+    let mut stats = RegionSearchStats::default();
+    let contexts = enumerate_contexts(rules);
+    stats.contexts = contexts.len();
+
+    // Z (sorted attrs) → region under construction.
+    let mut by_attrs: BTreeMap<Vec<AttrId>, Region> = BTreeMap::new();
+
+    for ctx in &contexts {
+        let enabled = |_: RuleId, r: &EditingRule| ctx.entails_rule(r);
+        let mandatory = unfixable_attrs(rules, &enabled);
+        let candidates: Vec<AttrId> = useful_evidence_attrs(rules, &enabled)
+            .into_iter()
+            .filter(|a| !mandatory.contains(a))
+            .collect();
+        let covers = minimal_covers(
+            rules,
+            &mandatory,
+            &candidates,
+            &enabled,
+            options.max_cover_size,
+            options.max_covers_per_context,
+        );
+        for cover in covers {
+            stats.candidates += 1;
+            let mut attrs = mandatory.clone();
+            attrs.extend(cover.iter().copied());
+            let result = certify_region(rules, master, &attrs, &ctx.pattern, universe);
+            if !result.certified {
+                stats.rejected_by_certification += 1;
+                continue;
+            }
+            if options.require_nonvacuous && result.checked == 0 {
+                stats.vacuous += 1;
+                continue;
+            }
+            let key: Vec<AttrId> = attrs.iter().copied().collect();
+            by_attrs
+                .entry(key.clone())
+                .or_insert_with(|| Region::new(key, Vec::new()))
+                .add_pattern(ctx.pattern.clone());
+        }
+    }
+
+    // Drop regions dominated by a certified subset region whose tableau
+    // covers at least the same contexts, then rank ascending by size.
+    let mut regions: Vec<Region> = by_attrs.into_values().collect();
+    regions.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.attrs().cmp(b.attrs())));
+    regions.truncate(options.top_k);
+    RegionSearchResult { regions, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema, SchemaRef};
+
+    /// The full UK scenario of the paper: 9 rules φ1–φ9, master data with
+    /// the two figures' tuples plus extras, and a truth universe derived
+    /// from the master rows.
+    fn uk_fixture() -> (SchemaRef, RuleSet, MasterData, Vec<Tuple>) {
+        let input = Schema::of_strings(
+            "customer",
+            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let ms = Schema::of_strings(
+            "master",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+        )
+        .unwrap();
+        let master_rows: Vec<[&str; 10]> = vec![
+            ["Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"],
+            ["Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn", "NW1 6XE", "25/12/67", "M"],
+            ["Nina", "Patel", "0141", "5550101", "077001122", "3 Clyde Way", "Gla", "G12 8QQ", "01/02/80", "F"],
+        ];
+        let mut b = RelationBuilder::new(ms.clone());
+        for row in &master_rows {
+            b = b.row_strs(row.iter().copied());
+        }
+        let master = MasterData::new(b.build().unwrap());
+
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let m = |n: &str| ms.attr_id(n).unwrap();
+        let mobile = PatternTuple::empty().with_eq(t("type"), Value::str("2"));
+        let home = PatternTuple::empty().with_eq(t("type"), Value::str("1"));
+        let geo = PatternTuple::empty().with_ne(t("AC"), Value::str("0800"));
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        #[allow(clippy::type_complexity)]
+        let specs: Vec<(&str, Vec<(&str, &str)>, Vec<(&str, &str)>, PatternTuple)> = vec![
+            ("phi1", vec![("zip", "zip")], vec![("AC", "AC")], PatternTuple::empty()),
+            ("phi2", vec![("zip", "zip")], vec![("str", "str")], PatternTuple::empty()),
+            ("phi3", vec![("zip", "zip")], vec![("city", "city")], PatternTuple::empty()),
+            ("phi4", vec![("phn", "Mphn")], vec![("FN", "FN")], mobile.clone()),
+            ("phi5", vec![("phn", "Mphn")], vec![("LN", "LN")], mobile),
+            ("phi6", vec![("AC", "AC"), ("phn", "Hphn")], vec![("str", "str")], home.clone()),
+            ("phi7", vec![("AC", "AC"), ("phn", "Hphn")], vec![("city", "city")], home.clone()),
+            ("phi8", vec![("AC", "AC"), ("phn", "Hphn")], vec![("zip", "zip")], home),
+            ("phi9", vec![("AC", "AC")], vec![("city", "city")], geo),
+        ];
+        for (name, lhs, rhs, pattern) in specs {
+            rules
+                .add(
+                    EditingRule::new(
+                        name,
+                        &input,
+                        &ms,
+                        lhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                        rhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                        pattern,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+
+        // Truth universe: each master row as a type=1 and a type=2 entity.
+        let mut universe = Vec::new();
+        for row in &master_rows {
+            let [fn_, ln, ac, hphn, mphn, st, city, zip, _dob, _g] = row;
+            universe.push(
+                Tuple::of_strings(input.clone(), [fn_, ln, ac, hphn, "1", st, city, zip, "CD"])
+                    .unwrap(),
+            );
+            universe.push(
+                Tuple::of_strings(input.clone(), [fn_, ln, ac, mphn, "2", st, city, zip, "DVD"])
+                    .unwrap(),
+            );
+        }
+        (input, rules, master, universe)
+    }
+
+    #[test]
+    fn contexts_enumerated_over_gates() {
+        let (_, rules, _, _) = uk_fixture();
+        let contexts = enumerate_contexts(&rules);
+        // Gates: type ∈ {1, 2, else} × AC ∈ {0800, else} = 6 contexts.
+        assert_eq!(contexts.len(), 6);
+    }
+
+    #[test]
+    fn context_entailment() {
+        let (input, rules, _, _) = uk_fixture();
+        let ty = input.attr_id("type").unwrap();
+        let ac = input.attr_id("AC").unwrap();
+        let ctx = Context {
+            pattern: PatternTuple::empty()
+                .with_eq(ty, Value::str("2"))
+                .with_ne(ac, Value::str("0800")),
+        };
+        let phi4 = rules.get_by_name("phi4").unwrap().1;
+        let phi6 = rules.get_by_name("phi6").unwrap().1;
+        let phi9 = rules.get_by_name("phi9").unwrap().1;
+        let phi1 = rules.get_by_name("phi1").unwrap().1;
+        assert!(ctx.entails_rule(phi4), "type=2 entailed");
+        assert!(!ctx.entails_rule(phi6), "type=1 not entailed");
+        assert!(ctx.entails_rule(phi9), "AC≠0800 entailed");
+        assert!(ctx.entails_rule(phi1), "empty pattern always entailed");
+    }
+
+    #[test]
+    fn uk_minimal_region_is_the_size4_mobile_region() {
+        let (input, rules, master, universe) = uk_fixture();
+        let result = find_regions(&rules, &master, &universe, &RegionFinderOptions::default());
+        assert!(!result.regions.is_empty(), "stats: {:?}", result.stats);
+        let t = |n: &str| input.attr_id(n).unwrap();
+        let first = &result.regions[0];
+        assert_eq!(
+            first.attrs(),
+            &[t("phn"), t("type"), t("zip"), t("item")]
+                .iter()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()[..],
+            "the paper's size-4 region {{zip, phn, type, item}}"
+        );
+        assert_eq!(first.size(), 4);
+        // Its tableau must require type=2 (mobile): under type=1 FN/LN
+        // are unfixable.
+        let type2_truth = &universe[1];
+        assert!(first.covers(type2_truth));
+        let type1_truth = &universe[0];
+        assert!(!first.covers(type1_truth));
+        // Ranking is ascending by size.
+        for w in result.regions.windows(2) {
+            assert!(w[0].size() <= w[1].size());
+        }
+    }
+
+    #[test]
+    fn uk_type1_regions_include_fn_ln() {
+        let (input, rules, master, universe) = uk_fixture();
+        let options = RegionFinderOptions { top_k: 32, ..Default::default() };
+        let result = find_regions(&rules, &master, &universe, &options);
+        let t = |n: &str| input.attr_id(n).unwrap();
+        // Some region must cover type=1 truths; any such region contains
+        // FN and LN (unfixable without mobile-phone rules).
+        let type1_truth = &universe[0];
+        let covering: Vec<&Region> =
+            result.regions.iter().filter(|r| r.covers(type1_truth)).collect();
+        assert!(!covering.is_empty(), "no region covers type=1 truths");
+        for r in covering {
+            assert!(r.attrs().contains(&t("FN")), "{:?}", r.attrs());
+            assert!(r.attrs().contains(&t("LN")));
+        }
+    }
+
+    #[test]
+    fn certification_rejects_ambiguous_master() {
+        // Duplicate a zip with a different street: {zip,…} candidates must
+        // fail certification for entities in that zip.
+        let (input, rules, _, universe) = uk_fixture();
+        let ms = rules.master_schema().clone();
+        let mut b = RelationBuilder::new(ms.clone());
+        b = b.row_strs([
+            "Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH",
+            "11/11/55", "M",
+        ]);
+        b = b.row_strs([
+            "Jane", "Doe", "131", "1112223", "070000001", "7 Oak Ave", "Edi", "EH8 4AH",
+            "02/03/90", "F",
+        ]);
+        let master = MasterData::new(b.build().unwrap());
+        let zip_only: BTreeSet<AttrId> = [
+            input.attr_id("zip").unwrap(),
+            input.attr_id("phn").unwrap(),
+            input.attr_id("type").unwrap(),
+            input.attr_id("item").unwrap(),
+        ]
+        .into();
+        let res = certify_region(
+            &rules,
+            &master,
+            &zip_only,
+            &PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("2")),
+            &universe[..2],
+        );
+        assert!(!res.certified, "shared zip with conflicting str must fail");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, rules, master, universe) = uk_fixture();
+        let result = find_regions(&rules, &master, &universe, &RegionFinderOptions::default());
+        assert_eq!(result.stats.contexts, 6);
+        assert!(result.stats.candidates > 0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (_, rules, master, universe) = uk_fixture();
+        let options = RegionFinderOptions { top_k: 1, ..Default::default() };
+        let result = find_regions(&rules, &master, &universe, &options);
+        assert_eq!(result.regions.len(), 1);
+    }
+
+    #[test]
+    fn no_rules_yields_all_attr_region() {
+        let (input, _, master, universe) = uk_fixture();
+        let rules = RuleSet::new(input.clone(), master.relation().schema().clone());
+        let result = find_regions(&rules, &master, &universe, &RegionFinderOptions::default());
+        assert_eq!(result.regions.len(), 1);
+        assert_eq!(result.regions[0].size(), input.arity(), "validate everything");
+    }
+}

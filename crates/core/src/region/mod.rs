@@ -1,0 +1,9 @@
+//! Certain regions and the region finder (paper §2).
+
+mod certify;
+mod finder;
+mod tableau;
+
+pub use certify::{certifies_for, certify_region, masked_input, CertifyResult};
+pub use finder::{find_regions, RegionFinderOptions, RegionSearchResult, RegionSearchStats};
+pub use tableau::Region;

@@ -1,0 +1,133 @@
+//! Certain regions: attribute sets plus pattern tableaux.
+//!
+//! Paper §2 (region finder): *"A region is a pair (Z, Tc), where Z is a
+//! list of attributes of an input tuple and Tc is a pattern tableau… A
+//! region (Z, Tc) is a certain region w.r.t. a set of editing rules and
+//! master data if for any input tuple t, as long as t[Z] is correct and
+//! t[Z] matches a pattern in Tc, the editing rules warrant to find a
+//! certain fix for t."*
+
+use cerfix_relation::{AttrId, SchemaRef, Tuple};
+use cerfix_rules::PatternTuple;
+
+/// A (certain) region `(Z, Tc)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// `Z`: the attributes to validate, sorted ascending.
+    attrs: Vec<AttrId>,
+    /// `Tc`: tableau rows; a tuple is covered if it matches *any* row.
+    tableau: Vec<PatternTuple>,
+}
+
+impl Region {
+    /// Build a region; attributes are sorted and deduplicated.
+    pub fn new(attrs: impl Into<Vec<AttrId>>, tableau: impl Into<Vec<PatternTuple>>) -> Region {
+        let mut attrs: Vec<AttrId> = attrs.into();
+        attrs.sort_unstable();
+        attrs.dedup();
+        Region { attrs, tableau: tableau.into() }
+    }
+
+    /// The attribute list `Z`.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The pattern tableau `Tc`.
+    pub fn tableau(&self) -> &[PatternTuple] {
+        &self.tableau
+    }
+
+    /// Number of attributes (the ranking key: the paper ranks regions
+    /// "ascendingly by the number of attributes").
+    pub fn size(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff `tuple` matches at least one tableau row. (Callers ensure
+    /// `tuple[Z]` is validated before trusting the match.)
+    pub fn covers(&self, tuple: &Tuple) -> bool {
+        self.tableau.iter().any(|p| p.matches(tuple))
+    }
+
+    /// Merge another tableau row into this region.
+    pub fn add_pattern(&mut self, pattern: PatternTuple) {
+        if !self.tableau.contains(&pattern) {
+            self.tableau.push(pattern);
+        }
+    }
+
+    /// Render as `(Z, Tc)` with attribute names.
+    pub fn render(&self, schema: &SchemaRef) -> String {
+        let names: Vec<&str> = self.attrs.iter().map(|&a| schema.attr_name(a)).collect();
+        let rows: Vec<String> = self.tableau.iter().map(|p| p.render(schema)).collect();
+        format!("({{{}}}, [{}])", names.join(", "), rows.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::of_strings("customer", ["AC", "phn", "type", "zip", "item"]).unwrap()
+    }
+
+    #[test]
+    fn attrs_sorted_and_deduped() {
+        let r = Region::new(vec![3, 1, 3, 0], vec![PatternTuple::empty()]);
+        assert_eq!(r.attrs(), &[0, 1, 3]);
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn covers_any_row() {
+        let s = schema();
+        let ty = s.attr_id("type").unwrap();
+        let r = Region::new(
+            vec![ty],
+            vec![
+                PatternTuple::empty().with_eq(ty, Value::str("1")),
+                PatternTuple::empty().with_eq(ty, Value::str("2")),
+            ],
+        );
+        let t1 = Tuple::of_strings(s.clone(), ["131", "p", "1", "z", "i"]).unwrap();
+        let t2 = Tuple::of_strings(s.clone(), ["131", "p", "2", "z", "i"]).unwrap();
+        let t3 = Tuple::of_strings(s.clone(), ["131", "p", "9", "z", "i"]).unwrap();
+        assert!(r.covers(&t1));
+        assert!(r.covers(&t2));
+        assert!(!r.covers(&t3));
+    }
+
+    #[test]
+    fn empty_tableau_covers_nothing() {
+        let s = schema();
+        let r = Region::new(vec![0], Vec::<PatternTuple>::new());
+        let t = Tuple::of_strings(s, ["131", "p", "1", "z", "i"]).unwrap();
+        assert!(!r.covers(&t));
+    }
+
+    #[test]
+    fn add_pattern_dedupes() {
+        let s = schema();
+        let ty = s.attr_id("type").unwrap();
+        let mut r = Region::new(vec![ty], vec![]);
+        let p = PatternTuple::empty().with_eq(ty, Value::str("1"));
+        r.add_pattern(p.clone());
+        r.add_pattern(p);
+        assert_eq!(r.tableau().len(), 1);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let s = schema();
+        let ty = s.attr_id("type").unwrap();
+        let zip = s.attr_id("zip").unwrap();
+        let r = Region::new(
+            vec![zip, ty],
+            vec![PatternTuple::empty().with_eq(ty, Value::str("2"))],
+        );
+        assert_eq!(r.render(&s), "({type, zip}, [(type = '2')])");
+    }
+}

@@ -1,0 +1,162 @@
+//! A DBLP-style scenario (bibliographic records).
+//!
+//! The theory paper's second evaluation dataset is DBLP. The synthetic
+//! equivalent: publication records keyed by a DBLP-style key, where the
+//! key determines title/authors/venue/year and the venue determines the
+//! publisher. A pattern-gated rule (`kind = 'conf'`) exercises pattern
+//! tableaux outside the UK scenario.
+
+use crate::names::{FIRST_NAMES, LAST_NAMES, TITLE_WORDS, VENUES};
+use crate::scenario::Scenario;
+use cerfix_relation::{Relation, RelationBuilder, Schema, SchemaRef, Tuple};
+use cerfix_rules::{parse_rules, RuleDecl, RuleSet};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Editing rules for the DBLP scenario. `key` and `kind` are evidence
+/// only; conference records additionally get their venue's publisher.
+pub const DBLP_RULES_DSL: &str = "\
+# DBLP-style rules: the key identifies the record; venue determines the
+# publisher for conference papers.
+er d1: match key=key fix title:=title when ()
+er d2: match key=key fix authors:=authors when ()
+er d3: match key=key fix venue:=venue when ()
+er d4: match key=key fix year:=year when ()
+er d5: match venue=venue fix publisher:=publisher when (kind='conf')
+";
+
+const ATTRS: [&str; 7] = ["key", "title", "authors", "venue", "year", "publisher", "kind"];
+
+/// The input schema.
+pub fn input_schema() -> SchemaRef {
+    Schema::of_strings("pub_entry", ATTRS).expect("static schema")
+}
+
+/// The master schema.
+pub fn master_schema() -> SchemaRef {
+    Schema::of_strings("pub_master", ATTRS).expect("static schema")
+}
+
+/// Generate `n` publication records.
+pub fn generate_master(n: usize, rng: &mut StdRng) -> Relation {
+    let schema = master_schema();
+    let mut builder = RelationBuilder::new(schema);
+    for i in 0..n {
+        let (venue, publisher) = VENUES[i % VENUES.len()];
+        let year = 1995 + (i % 25);
+        let key = format!("conf/{}/{}{}", venue.to_lowercase(), LAST_NAMES[i % LAST_NAMES.len()], year);
+        let title: Vec<&str> = (0..4)
+            .map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())])
+            .collect();
+        let n_authors = rng.gen_range(1..4usize);
+        let authors: Vec<String> = (0..n_authors)
+            .map(|_| {
+                format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                    LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+                )
+            })
+            .collect();
+        builder = builder.row_strs([
+            key.as_str(),
+            &title.join(" "),
+            &authors.join(", "),
+            venue,
+            &year.to_string(),
+            publisher,
+            "conf",
+        ]);
+    }
+    builder.build().expect("generated rows conform")
+}
+
+/// Parse the DBLP rules.
+pub fn rules() -> RuleSet {
+    let input = input_schema();
+    let master = master_schema();
+    let mut set = RuleSet::new(input.clone(), master.clone());
+    for decl in parse_rules(DBLP_RULES_DSL, &input, &master).expect("static DSL parses") {
+        match decl {
+            RuleDecl::Er(r) => {
+                set.add(r).expect("unique names");
+            }
+            _ => unreachable!("only er declarations"),
+        }
+    }
+    set
+}
+
+/// Truth universe: every master record as a correct entry.
+pub fn truth_universe(master: &Relation) -> Vec<Tuple> {
+    let input = input_schema();
+    master
+        .iter()
+        .map(|(_, s)| Tuple::new(input.clone(), s.values().to_vec()).expect("same layout"))
+        .collect()
+}
+
+/// Build the complete DBLP scenario with `n` records.
+pub fn scenario(n: usize, rng: &mut StdRng) -> Scenario {
+    let master = generate_master(n, rng);
+    let universe = truth_universe(&master);
+    // Share the universe tuples' schema object so workload tuples can be
+    // collected into relations over `Scenario::input` (schema identity,
+    // not just structural equality, is enforced by `Relation::push`).
+    let input = universe.first().map(|t| t.schema().clone()).unwrap_or_else(input_schema);
+    Scenario {
+        name: "dblp",
+        input,
+        master_schema: master_schema(),
+        master,
+        rules: rules(),
+        universe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix::{check_consistency, ConsistencyOptions, MasterData};
+    use rand::SeedableRng;
+
+    #[test]
+    fn rules_parse_with_pattern() {
+        let r = rules();
+        assert_eq!(r.len(), 5);
+        let (_, d5) = r.get_by_name("d5").unwrap();
+        assert!(!d5.pattern().is_empty());
+    }
+
+    #[test]
+    fn keys_unique_and_venue_publisher_functional() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let master = generate_master(300, &mut rng);
+        let mut keys = std::collections::HashSet::new();
+        let mut venue_pub: std::collections::HashMap<String, String> = Default::default();
+        for (_, s) in master.iter() {
+            assert!(keys.insert(s.get_by_name("key").unwrap().render()), "keys unique");
+            let v = s.get_by_name("venue").unwrap().render();
+            let p = s.get_by_name("publisher").unwrap().render();
+            if let Some(prev) = venue_pub.insert(v, p.clone()) {
+                assert_eq!(prev, p, "venue → publisher functional");
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_in_entity_mode() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let master = MasterData::new(generate_master(150, &mut rng));
+        let report = check_consistency(&rules(), &master, &ConsistencyOptions::entity_coherent());
+        assert!(report.is_consistent(), "{:?}", report.conflicts);
+    }
+
+    #[test]
+    fn scenario_builds() {
+        let s = scenario(30, &mut StdRng::seed_from_u64(13));
+        assert_eq!(s.name, "dblp");
+        assert_eq!(s.universe.len(), 30);
+        assert_eq!(s.master.len(), 30);
+    }
+}

@@ -1,0 +1,240 @@
+//! Workloads with retained ground truth, and repair-quality metrics.
+//!
+//! Every generated dirty tuple keeps a pointer to its truth, so
+//! experiments can measure exactly what the paper argues in §1: certain
+//! fixes change cells *only* to their true values, while heuristic
+//! repairs "may introduce new errors when trying to repair the data".
+
+use crate::noise::{corrupt, NoiseSpec};
+use cerfix_relation::Tuple;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dirty stream paired with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Dirty tuples as entered.
+    pub dirty: Vec<Tuple>,
+    /// The true tuple for each dirty tuple (same index).
+    pub truth: Vec<Tuple>,
+}
+
+impl Workload {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// True iff the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Total number of erroneous cells across the workload.
+    pub fn total_errors(&self) -> usize {
+        self.dirty.iter().zip(self.truth.iter()).map(|(d, t)| d.diff_count(t)).sum()
+    }
+}
+
+/// Sample `n` dirty tuples from the truth `universe` under `spec`.
+pub fn make_workload(
+    universe: &[Tuple],
+    n: usize,
+    spec: &NoiseSpec,
+    rng: &mut StdRng,
+) -> Workload {
+    assert!(!universe.is_empty(), "truth universe must be non-empty");
+    let mut dirty = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = &universe[rng.gen_range(0..universe.len())];
+        let (d, _) = corrupt(u, universe, spec, rng);
+        dirty.push(d);
+        truth.push(u.clone());
+    }
+    Workload { dirty, truth }
+}
+
+/// Cell-level quality of one repaired tuple against its truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairEval {
+    /// Cells the repair changed (dirty → repaired differ).
+    pub cells_changed: usize,
+    /// Changed cells now equal to the truth (good changes).
+    pub correct_changes: usize,
+    /// Changed cells that were *correct* in the dirty tuple and are now
+    /// wrong — the §1 failure mode ("messes up the correct attribute").
+    pub broke_correct: usize,
+    /// Cells that were erroneous in the dirty tuple.
+    pub erroneous_cells: usize,
+    /// Erroneous cells now equal to the truth (errors actually fixed).
+    pub errors_corrected: usize,
+}
+
+impl RepairEval {
+    /// Evaluate `repaired` against `dirty` and `truth` (all same schema).
+    pub fn of(dirty: &Tuple, repaired: &Tuple, truth: &Tuple) -> RepairEval {
+        let arity = dirty.arity();
+        let mut eval = RepairEval::default();
+        for a in 0..arity {
+            let was_wrong = dirty.get(a) != truth.get(a);
+            let changed = dirty.get(a) != repaired.get(a);
+            let now_right = repaired.get(a) == truth.get(a);
+            if was_wrong {
+                eval.erroneous_cells += 1;
+                if now_right {
+                    eval.errors_corrected += 1;
+                }
+            }
+            if changed {
+                eval.cells_changed += 1;
+                if now_right {
+                    eval.correct_changes += 1;
+                }
+                if !was_wrong {
+                    eval.broke_correct += 1;
+                }
+            }
+        }
+        eval
+    }
+
+    /// Merge another evaluation into this one (aggregate over a stream).
+    pub fn absorb(&mut self, other: RepairEval) {
+        self.cells_changed += other.cells_changed;
+        self.correct_changes += other.correct_changes;
+        self.broke_correct += other.broke_correct;
+        self.erroneous_cells += other.erroneous_cells;
+        self.errors_corrected += other.errors_corrected;
+    }
+
+    /// Precision of changes: fraction of changed cells that are now
+    /// correct. Certain fixes guarantee 1.0; `None` if nothing changed.
+    pub fn precision(&self) -> Option<f64> {
+        if self.cells_changed == 0 {
+            None
+        } else {
+            Some(self.correct_changes as f64 / self.cells_changed as f64)
+        }
+    }
+
+    /// Recall: fraction of erroneous cells corrected. `None` if the dirty
+    /// tuple had no errors.
+    pub fn recall(&self) -> Option<f64> {
+        if self.erroneous_cells == 0 {
+            None
+        } else {
+            Some(self.errors_corrected as f64 / self.erroneous_cells as f64)
+        }
+    }
+
+    /// Harmonic mean of precision and recall; `None` when undefined.
+    pub fn f1(&self) -> Option<f64> {
+        match (self.precision(), self.recall()) {
+            (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate repair quality over a whole workload.
+pub fn evaluate_stream(dirty: &[Tuple], repaired: &[Tuple], truth: &[Tuple]) -> RepairEval {
+    debug_assert_eq!(dirty.len(), repaired.len());
+    debug_assert_eq!(dirty.len(), truth.len());
+    let mut total = RepairEval::default();
+    for ((d, r), t) in dirty.iter().zip(repaired.iter()).zip(truth.iter()) {
+        total.absorb(RepairEval::of(d, r, t));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+    use rand::SeedableRng;
+
+    fn t(vals: [&str; 3]) -> Tuple {
+        let s = Schema::of_strings("t", ["a", "b", "c"]).unwrap();
+        Tuple::of_strings(s, vals).unwrap()
+    }
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let truth = t(["1", "2", "3"]);
+        let dirty = t(["x", "2", "y"]);
+        let eval = RepairEval::of(&dirty, &truth, &truth);
+        assert_eq!(eval.cells_changed, 2);
+        assert_eq!(eval.correct_changes, 2);
+        assert_eq!(eval.erroneous_cells, 2);
+        assert_eq!(eval.errors_corrected, 2);
+        assert_eq!(eval.broke_correct, 0);
+        assert_eq!(eval.precision(), Some(1.0));
+        assert_eq!(eval.recall(), Some(1.0));
+        assert_eq!(eval.f1(), Some(1.0));
+    }
+
+    #[test]
+    fn heuristic_breaking_a_correct_cell() {
+        // The paper's §1 story: t[AC]=020 wrong, t[city]=Edi right; the
+        // heuristic "fixes" city to Ldn instead.
+        let truth = t(["131", "Edi", "z"]);
+        let dirty = t(["020", "Edi", "z"]);
+        let repaired = t(["020", "Ldn", "z"]);
+        let eval = RepairEval::of(&dirty, &repaired, &truth);
+        assert_eq!(eval.cells_changed, 1);
+        assert_eq!(eval.correct_changes, 0);
+        assert_eq!(eval.broke_correct, 1);
+        assert_eq!(eval.errors_corrected, 0);
+        assert_eq!(eval.precision(), Some(0.0));
+        assert_eq!(eval.recall(), Some(0.0));
+    }
+
+    #[test]
+    fn no_change_no_precision() {
+        let truth = t(["1", "2", "3"]);
+        let clean = truth.clone();
+        let eval = RepairEval::of(&clean, &clean, &truth);
+        assert_eq!(eval.precision(), None);
+        assert_eq!(eval.recall(), None);
+        assert_eq!(eval.f1(), None);
+    }
+
+    #[test]
+    fn stream_aggregation() {
+        let truth = vec![t(["1", "2", "3"]), t(["4", "5", "6"])];
+        let dirty = vec![t(["x", "2", "3"]), t(["4", "y", "6"])];
+        let repaired = vec![t(["1", "2", "3"]), t(["4", "y", "6"])]; // second unfixed
+        let eval = evaluate_stream(&dirty, &repaired, &truth);
+        assert_eq!(eval.erroneous_cells, 2);
+        assert_eq!(eval.errors_corrected, 1);
+        assert_eq!(eval.cells_changed, 1);
+        assert_eq!(eval.precision(), Some(1.0));
+        assert_eq!(eval.recall(), Some(0.5));
+    }
+
+    #[test]
+    fn workload_generation_counts() {
+        let universe = vec![t(["1", "2", "3"]), t(["4", "5", "6"])];
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = make_workload(&universe, 100, &NoiseSpec::with_rate(0.4), &mut rng);
+        assert_eq!(w.len(), 100);
+        assert!(!w.is_empty());
+        let errors = w.total_errors();
+        // ~0.4 × 3 cells × 100 tuples = ~120 errors; loose bounds.
+        assert!(errors > 60 && errors < 180, "errors = {errors}");
+        // Truth tuples come from the universe.
+        for truth in &w.truth {
+            assert!(universe.contains(truth));
+        }
+    }
+
+    #[test]
+    fn workload_deterministic_under_seed() {
+        let universe = vec![t(["1", "2", "3"])];
+        let spec = NoiseSpec::with_rate(0.5);
+        let w1 = make_workload(&universe, 10, &spec, &mut StdRng::seed_from_u64(9));
+        let w2 = make_workload(&universe, 10, &spec, &mut StdRng::seed_from_u64(9));
+        assert_eq!(w1.dirty, w2.dirty);
+    }
+}

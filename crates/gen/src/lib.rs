@@ -1,0 +1,35 @@
+//! # cerfix-gen — workload generators for the CerFix reproduction
+//!
+//! Synthetic master data, truth universes and dirty input streams with
+//! retained ground truth, for three scenarios:
+//!
+//! * [`uk`] — the paper's UK-customer running example, verbatim (the nine
+//!   rules of Fig. 2, the master tuples of Example 2 and Fig. 2, the
+//!   dirty tuple of Example 1), extrapolated to any master-data size;
+//! * [`hosp`] — a HOSP-style hospital-quality scenario mirroring the
+//!   dataset used in the theory paper's experiments;
+//! * [`dblp`] — a DBLP-style bibliographic scenario.
+//!
+//! Noise injection ([`noise`]) models the error classes the demo fixes:
+//! domain swaps (Example 1's wrong area code), typos, and abbreviations
+//! (Fig. 3's `'M.'` for `'Mark'`). Every workload keeps ground truth so
+//! experiments can score repairs exactly ([`ground_truth`]).
+//!
+//! All generation is deterministic under seeded [`rand::rngs::StdRng`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod ground_truth;
+pub mod hosp;
+pub mod names;
+pub mod noise;
+mod scenario;
+pub mod uk;
+pub mod users;
+
+pub use ground_truth::{evaluate_stream, make_workload, RepairEval, Workload};
+pub use noise::{abbreviate, corrupt, typo, NoiseChannel, NoiseSpec};
+pub use scenario::Scenario;
+pub use users::FallibleUser;

@@ -1,0 +1,140 @@
+//! Value pools for synthetic master data.
+//!
+//! The demo runs on UK customer data we do not have; these pools let the
+//! generators extrapolate the *shape* of that data (names, UK cities with
+//! their real dialling codes and postcode areas, streets) to arbitrary
+//! scale, deterministically under a seeded RNG.
+
+/// First names (the paper's Robert/Mark plus a spread).
+pub const FIRST_NAMES: &[&str] = &[
+    "Robert", "Mark", "Wenfei", "Nan", "Shuai", "Jianzhong", "Wenyuan", "Alice", "Brian",
+    "Clara", "David", "Emma", "Fiona", "George", "Helen", "Ian", "Julia", "Kevin", "Laura",
+    "Martin", "Nadia", "Oliver", "Petra", "Quentin", "Rachel", "Simon", "Tanya", "Umar",
+    "Vera", "William", "Xenia", "Yusuf", "Zoe", "Andrew", "Bella", "Colin", "Donna",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Brady", "Smith", "Fan", "Li", "Ma", "Tang", "Yu", "Brown", "Campbell", "Davies",
+    "Evans", "Fraser", "Graham", "Hughes", "Irving", "Jones", "Kerr", "Lewis", "MacLeod",
+    "Nelson", "Owens", "Patel", "Quinn", "Ross", "Stewart", "Taylor", "Urquhart", "Walker",
+    "Young", "Adams", "Baker", "Clark", "Duncan", "Elliott", "Ferguson", "Gibson",
+];
+
+/// Street name stems (number prefixes are generated).
+pub const STREETS: &[&str] = &[
+    "Elm St", "Baker St", "High St", "Mill Ln", "Station Rd", "Church Way", "Victoria Ave",
+    "King St", "Queen Rd", "Castle Ter", "Bridge St", "Park Cres", "Abbey Walk", "Clyde Way",
+    "Forth Pl", "Thames Rd", "Morningside Dr", "Leith Walk", "Canal St", "Harbour Ln",
+];
+
+/// UK city with its real geographic dialling code and postcode area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CityInfo {
+    /// City short name as in the paper ("Edi", "Ldn").
+    pub city: &'static str,
+    /// Geographic dialling (area) code.
+    pub area_code: &'static str,
+    /// Postcode area prefix.
+    pub zip_prefix: &'static str,
+}
+
+/// Cities: each with a distinct area code and postcode area, so the
+/// generated master data satisfies `zip → city`, `zip → AC` and
+/// `AC → city` functionally — the paper's rules φ1/φ3/φ9 are consistent
+/// on this data by construction.
+pub const CITIES: &[CityInfo] = &[
+    CityInfo { city: "Edi", area_code: "131", zip_prefix: "EH" },
+    CityInfo { city: "Ldn", area_code: "020", zip_prefix: "NW" },
+    CityInfo { city: "Gla", area_code: "141", zip_prefix: "G" },
+    CityInfo { city: "Mcr", area_code: "161", zip_prefix: "M" },
+    CityInfo { city: "Brm", area_code: "121", zip_prefix: "B" },
+    CityInfo { city: "Lds", area_code: "113", zip_prefix: "LS" },
+    CityInfo { city: "Lvp", area_code: "151", zip_prefix: "L" },
+    CityInfo { city: "Shf", area_code: "114", zip_prefix: "S" },
+    CityInfo { city: "Brs", area_code: "117", zip_prefix: "BS" },
+    CityInfo { city: "Ncl", area_code: "191", zip_prefix: "NE" },
+];
+
+/// Items purchasable in the demo's customer scenario.
+pub const ITEMS: &[&str] = &["CD", "DVD", "BOOK", "GAME", "VINYL", "POSTER"];
+
+/// US states for the HOSP-style scenario.
+pub const US_STATES: &[(&str, &str)] = &[
+    ("AL", "Alabama"),
+    ("AK", "Alaska"),
+    ("AZ", "Arizona"),
+    ("CA", "California"),
+    ("CO", "Colorado"),
+    ("FL", "Florida"),
+    ("GA", "Georgia"),
+    ("IL", "Illinois"),
+    ("IN", "Indiana"),
+    ("MA", "Massachusetts"),
+    ("NY", "New York"),
+    ("OH", "Ohio"),
+    ("TX", "Texas"),
+    ("WA", "Washington"),
+];
+
+/// Hospital quality measures (code, name, condition) in the style of the
+/// HOSP dataset used by the theory paper's experiments.
+pub const MEASURES: &[(&str, &str, &str)] = &[
+    ("AMI-1", "Aspirin at Arrival", "Heart Attack"),
+    ("AMI-2", "Aspirin at Discharge", "Heart Attack"),
+    ("AMI-3", "ACEI or ARB for LVSD", "Heart Attack"),
+    ("HF-1", "Discharge Instructions", "Heart Failure"),
+    ("HF-2", "LVS Assessment", "Heart Failure"),
+    ("PN-2", "Pneumococcal Vaccination", "Pneumonia"),
+    ("PN-3B", "Blood Culture Timing", "Pneumonia"),
+    ("SCIP-1", "Prophylactic Antibiotic", "Surgical Care"),
+    ("SCIP-2", "Antibiotic Selection", "Surgical Care"),
+];
+
+/// Publication venues for the DBLP-style scenario: (venue, publisher).
+pub const VENUES: &[(&str, &str)] = &[
+    ("VLDB", "VLDB Endowment"),
+    ("SIGMOD", "ACM"),
+    ("ICDE", "IEEE"),
+    ("PODS", "ACM"),
+    ("EDBT", "OpenProceedings"),
+    ("CIKM", "ACM"),
+    ("KDD", "ACM"),
+];
+
+/// Title words for generated publications.
+pub const TITLE_WORDS: &[&str] = &[
+    "Certain", "Fixes", "Editing", "Rules", "Master", "Data", "Cleaning", "Quality",
+    "Dependencies", "Conditional", "Functional", "Matching", "Records", "Repairing",
+    "Consistency", "Queries", "Incremental", "Distributed", "Provenance", "Streams",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn city_area_codes_unique() {
+        let codes: HashSet<&str> = CITIES.iter().map(|c| c.area_code).collect();
+        assert_eq!(codes.len(), CITIES.len(), "AC → city must be functional");
+        let zips: HashSet<&str> = CITIES.iter().map(|c| c.zip_prefix).collect();
+        assert_eq!(zips.len(), CITIES.len(), "zip prefix → city must be functional");
+    }
+
+    #[test]
+    fn pools_nonempty() {
+        assert!(FIRST_NAMES.len() >= 30);
+        assert!(LAST_NAMES.len() >= 30);
+        assert!(STREETS.len() >= 10);
+        assert!(ITEMS.len() >= 4);
+        assert!(MEASURES.len() >= 5);
+        assert!(VENUES.len() >= 5);
+    }
+
+    #[test]
+    fn measures_unique_codes() {
+        let codes: HashSet<&str> = MEASURES.iter().map(|m| m.0).collect();
+        assert_eq!(codes.len(), MEASURES.len());
+    }
+}

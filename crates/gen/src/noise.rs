@@ -1,0 +1,273 @@
+//! Noise injection: turning ground truth into dirty input tuples.
+//!
+//! The demo cleans data "at the point of data entry" — the errors it
+//! corrects are entry errors. The channels here model the classes its
+//! rules actually fix: wrong values from the domain (Example 1's
+//! `AC = 020` for an Edinburgh customer), typos (keyboard slips), and
+//! format variants (Fig. 3's `'M.'` for `'Mark'`).
+
+use cerfix_relation::{AttrId, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One way a cell can be corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseChannel {
+    /// Replace the value with the same attribute's value from a different
+    /// truth tuple (a plausible-but-wrong domain value).
+    DomainSwap,
+    /// Apply a random character edit (substitute/insert/delete).
+    Typo,
+    /// Abbreviate to the first character plus `.` (Fig. 3's 'M.').
+    Abbreviate,
+}
+
+/// Noise configuration for a workload.
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    /// Per-cell corruption probability.
+    pub cell_noise_rate: f64,
+    /// Relative weights of the channels `(DomainSwap, Typo, Abbreviate)`.
+    pub channel_weights: (f64, f64, f64),
+    /// Attributes never corrupted (e.g. an entry form's drop-downs that
+    /// cannot carry free-text errors). Empty by default.
+    pub immune_attrs: Vec<AttrId>,
+}
+
+impl Default for NoiseSpec {
+    fn default() -> Self {
+        NoiseSpec {
+            cell_noise_rate: 0.3,
+            channel_weights: (0.5, 0.3, 0.2),
+            immune_attrs: Vec::new(),
+        }
+    }
+}
+
+impl NoiseSpec {
+    /// A spec with the given per-cell noise rate and default channels.
+    pub fn with_rate(rate: f64) -> NoiseSpec {
+        NoiseSpec { cell_noise_rate: rate, ..Default::default() }
+    }
+
+    fn pick_channel(&self, rng: &mut StdRng) -> NoiseChannel {
+        let (a, b, c) = self.channel_weights;
+        let total = a + b + c;
+        let x: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        if x < a {
+            NoiseChannel::DomainSwap
+        } else if x < a + b {
+            NoiseChannel::Typo
+        } else {
+            NoiseChannel::Abbreviate
+        }
+    }
+}
+
+/// Apply a random single-character edit to `s`. Always returns a string
+/// different from the input (for non-empty inputs).
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    for _ in 0..8 {
+        let mut out = chars.clone();
+        match rng.gen_range(0..3u8) {
+            0 => {
+                // substitute
+                let i = rng.gen_range(0..out.len());
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                out[i] = c;
+            }
+            1 => {
+                // insert
+                let i = rng.gen_range(0..=out.len());
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                out.insert(i, c);
+            }
+            _ => {
+                // delete (only if something remains)
+                if out.len() > 1 {
+                    let i = rng.gen_range(0..out.len());
+                    out.remove(i);
+                }
+            }
+        }
+        let candidate: String = out.into_iter().collect();
+        if candidate != s {
+            return candidate;
+        }
+    }
+    format!("{s}~")
+}
+
+/// Abbreviate a string to its first character plus `.` (identity for
+/// strings already that short).
+pub fn abbreviate(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) if s.chars().count() > 2 => format!("{first}."),
+        _ => s.to_string(),
+    }
+}
+
+/// Corrupt `truth` into a dirty tuple per `spec`, drawing replacement
+/// domain values from `pool` (typically the full truth universe).
+/// Returns the dirty tuple and the ids of corrupted attributes.
+pub fn corrupt(
+    truth: &Tuple,
+    pool: &[Tuple],
+    spec: &NoiseSpec,
+    rng: &mut StdRng,
+) -> (Tuple, Vec<AttrId>) {
+    let mut dirty = truth.clone();
+    let mut corrupted = Vec::new();
+    for attr in 0..truth.arity() {
+        if spec.immune_attrs.contains(&attr) {
+            continue;
+        }
+        if !rng.gen_bool(spec.cell_noise_rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let original = truth.get(attr);
+        let Some(text) = original.as_str() else { continue };
+        let new_value = match spec.pick_channel(rng) {
+            NoiseChannel::DomainSwap => {
+                // Try a few pool tuples for a *different* value.
+                let mut replacement = None;
+                for _ in 0..8 {
+                    if pool.is_empty() {
+                        break;
+                    }
+                    let other = &pool[rng.gen_range(0..pool.len())];
+                    let v = other.get(attr);
+                    if !v.is_null() && v != original {
+                        replacement = Some(v.clone());
+                        break;
+                    }
+                }
+                replacement.unwrap_or_else(|| Value::str(typo(text, rng)))
+            }
+            NoiseChannel::Typo => Value::str(typo(text, rng)),
+            NoiseChannel::Abbreviate => {
+                let abbr = abbreviate(text);
+                if abbr == *text {
+                    Value::str(typo(text, rng))
+                } else {
+                    Value::str(abbr)
+                }
+            }
+        };
+        if new_value != *original {
+            dirty.set(attr, new_value).expect("same attr, string type");
+            corrupted.push(attr);
+        }
+    }
+    (dirty, corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn tuples() -> Vec<Tuple> {
+        let s = Schema::of_strings("t", ["a", "b", "c"]).unwrap();
+        vec![
+            Tuple::of_strings(s.clone(), ["alpha", "beta", "gamma"]).unwrap(),
+            Tuple::of_strings(s.clone(), ["delta", "epsilon", "zeta"]).unwrap(),
+            Tuple::of_strings(s, ["eta", "theta", "iota"]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn typo_always_changes() {
+        let mut r = rng();
+        for s in ["Mark", "a", "EH8 4AH", "020"] {
+            for _ in 0..50 {
+                assert_ne!(typo(s, &mut r), s);
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviate_matches_paper_example() {
+        assert_eq!(abbreviate("Mark"), "M.");
+        assert_eq!(abbreviate("Robert"), "R.");
+        assert_eq!(abbreviate("ab"), "ab", "too short to abbreviate");
+        assert_eq!(abbreviate(""), "");
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let ts = tuples();
+        let mut r = rng();
+        let (dirty, corrupted) = corrupt(&ts[0], &ts, &NoiseSpec::with_rate(0.0), &mut r);
+        assert_eq!(dirty, ts[0]);
+        assert!(corrupted.is_empty());
+    }
+
+    #[test]
+    fn full_rate_corrupts_everything() {
+        let ts = tuples();
+        let mut r = rng();
+        let (dirty, corrupted) = corrupt(&ts[0], &ts, &NoiseSpec::with_rate(1.0), &mut r);
+        assert_eq!(corrupted.len(), 3);
+        for a in 0..3 {
+            assert_ne!(dirty.get(a), ts[0].get(a));
+        }
+    }
+
+    #[test]
+    fn corrupted_list_matches_diff() {
+        let ts = tuples();
+        let mut r = rng();
+        for _ in 0..20 {
+            let (dirty, corrupted) = corrupt(&ts[1], &ts, &NoiseSpec::with_rate(0.5), &mut r);
+            assert_eq!(dirty.diff_attrs(&ts[1]), corrupted);
+        }
+    }
+
+    #[test]
+    fn immune_attrs_respected() {
+        let ts = tuples();
+        let mut r = rng();
+        let spec = NoiseSpec { cell_noise_rate: 1.0, immune_attrs: vec![1], ..Default::default() };
+        for _ in 0..10 {
+            let (dirty, _) = corrupt(&ts[0], &ts, &spec, &mut r);
+            assert_eq!(dirty.get(1), ts[0].get(1));
+        }
+    }
+
+    #[test]
+    fn domain_swap_draws_from_pool() {
+        let ts = tuples();
+        let mut r = rng();
+        let spec = NoiseSpec {
+            cell_noise_rate: 1.0,
+            channel_weights: (1.0, 0.0, 0.0),
+            immune_attrs: vec![],
+        };
+        let pool_values: Vec<&str> = ts.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+        let (dirty, _) = corrupt(&ts[0], &ts, &spec, &mut r);
+        let v = dirty.get(0).as_str().unwrap();
+        assert!(pool_values.contains(&v), "domain swap picks an in-domain value, got {v}");
+        assert_ne!(v, "alpha");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ts = tuples();
+        let spec = NoiseSpec::with_rate(0.7);
+        let (d1, c1) = corrupt(&ts[0], &ts, &spec, &mut StdRng::seed_from_u64(7));
+        let (d2, c2) = corrupt(&ts[0], &ts, &spec, &mut StdRng::seed_from_u64(7));
+        assert_eq!(d1, d2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,36 @@
+//! A packaged scenario: schemas, master data, rules and truth universe.
+
+use cerfix::MasterData;
+use cerfix_relation::{Relation, SchemaRef, Tuple};
+use cerfix_rules::RuleSet;
+
+/// Everything an experiment needs: the input/master schema pair, the
+/// master relation, the editing rules, and the universe of possible true
+/// input tuples (used for region certification and workload generation).
+#[derive(Debug)]
+pub struct Scenario {
+    /// Scenario name ("uk", "hosp", "dblp").
+    pub name: &'static str,
+    /// Schema of input (dirty) tuples.
+    pub input: SchemaRef,
+    /// Schema of master data.
+    pub master_schema: SchemaRef,
+    /// The master relation `Dm`.
+    pub master: Relation,
+    /// The editing rules.
+    pub rules: RuleSet,
+    /// Possible ground-truth input tuples derived from master data.
+    pub universe: Vec<Tuple>,
+}
+
+impl Scenario {
+    /// Wrap the master relation in a [`MasterData`] manager (indexed).
+    pub fn master_data(&self) -> MasterData {
+        MasterData::new(self.master.clone())
+    }
+
+    /// Wrap the master relation without indexes (ablation arm).
+    pub fn master_data_unindexed(&self) -> MasterData {
+        MasterData::new_unindexed(self.master.clone())
+    }
+}

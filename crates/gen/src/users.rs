@@ -1,0 +1,109 @@
+//! Simulated users beyond the oracle: imperfect validators.
+//!
+//! The certain-fix guarantee is conditional: fixes are correct *"provided
+//! that master data is available and that some other attributes are
+//! validated (assured correct)"* (paper §1). A user who mis-validates
+//! breaks the precondition. [`FallibleUser`] models that, and experiment
+//! `T8` measures how output accuracy degrades with the user's error rate
+//! — quantifying exactly how much of the guarantee rests on the user.
+
+use crate::noise::typo;
+use cerfix::UserAgent;
+use cerfix_relation::{AttrId, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Follows suggestions like an oracle, but with probability `error_rate`
+/// validates a *wrong* value (a typo of the truth) for an attribute.
+#[derive(Debug, Clone)]
+pub struct FallibleUser {
+    truth: Tuple,
+    error_rate: f64,
+    rng: StdRng,
+    /// Attributes mis-validated so far (for experiment bookkeeping).
+    mistakes: Vec<AttrId>,
+}
+
+impl FallibleUser {
+    /// A user who knows `truth` but errs at `error_rate` per validated
+    /// attribute, deterministically under `seed`.
+    pub fn new(truth: Tuple, error_rate: f64, seed: u64) -> FallibleUser {
+        FallibleUser {
+            truth,
+            error_rate: error_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            mistakes: Vec::new(),
+        }
+    }
+
+    /// Attributes the user validated incorrectly.
+    pub fn mistakes(&self) -> &[AttrId] {
+        &self.mistakes
+    }
+}
+
+impl UserAgent for FallibleUser {
+    fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        suggestion
+            .iter()
+            .map(|&a| {
+                let true_value = self.truth.get(a).clone();
+                if self.rng.gen_bool(self.error_rate) {
+                    self.mistakes.push(a);
+                    let wrong = typo(&true_value.render(), &mut self.rng);
+                    (a, Value::str(wrong))
+                } else {
+                    (a, true_value)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+
+    fn truth() -> Tuple {
+        let s = Schema::of_strings("t", ["a", "b", "c"]).unwrap();
+        Tuple::of_strings(s, ["alpha", "beta", "gamma"]).unwrap()
+    }
+
+    #[test]
+    fn zero_error_rate_is_an_oracle() {
+        let t = truth();
+        let mut u = FallibleUser::new(t.clone(), 0.0, 1);
+        let out = u.validate(&t, &[0, 1, 2]);
+        assert_eq!(out[0].1, Value::str("alpha"));
+        assert_eq!(out[2].1, Value::str("gamma"));
+        assert!(u.mistakes().is_empty());
+    }
+
+    #[test]
+    fn full_error_rate_always_errs() {
+        let t = truth();
+        let mut u = FallibleUser::new(t.clone(), 1.0, 2);
+        let out = u.validate(&t, &[0, 1]);
+        assert_ne!(out[0].1, Value::str("alpha"));
+        assert_ne!(out[1].1, Value::str("beta"));
+        assert_eq!(u.mistakes(), &[0, 1]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = truth();
+        let mut u1 = FallibleUser::new(t.clone(), 0.5, 7);
+        let mut u2 = FallibleUser::new(t.clone(), 0.5, 7);
+        assert_eq!(u1.validate(&t, &[0, 1, 2]), u2.validate(&t, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn wrong_values_are_never_null() {
+        let t = truth();
+        let mut u = FallibleUser::new(t.clone(), 1.0, 3);
+        for (_, v) in u.validate(&t, &[0, 1, 2]) {
+            assert!(!v.is_null(), "monitor rejects null validations");
+        }
+    }
+}

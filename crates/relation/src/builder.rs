@@ -1,0 +1,155 @@
+//! Fluent builders for schemas and relations.
+//!
+//! Scenario code constructs many small schemas and literal relations (the
+//! paper's master/customer examples, test fixtures); the builders keep that
+//! construction readable while funnelling through the same validation as
+//! the core constructors.
+
+use crate::datatype::DataType;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::{Schema, SchemaRef};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Incremental schema construction.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    name: String,
+    attrs: Vec<(String, DataType)>,
+}
+
+impl SchemaBuilder {
+    /// Start a schema named `name`.
+    pub fn new(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder { name: name.into(), attrs: Vec::new() }
+    }
+
+    /// Add an attribute with an explicit type.
+    pub fn attr(mut self, name: impl Into<String>, dtype: DataType) -> SchemaBuilder {
+        self.attrs.push((name.into(), dtype));
+        self
+    }
+
+    /// Add a string attribute (the dominant case).
+    pub fn string(self, name: impl Into<String>) -> SchemaBuilder {
+        self.attr(name, DataType::String)
+    }
+
+    /// Add an integer attribute.
+    pub fn int(self, name: impl Into<String>) -> SchemaBuilder {
+        self.attr(name, DataType::Int)
+    }
+
+    /// Add several string attributes at once.
+    pub fn strings(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> SchemaBuilder {
+        for n in names {
+            self.attrs.push((n.into(), DataType::String));
+        }
+        self
+    }
+
+    /// Finalize into a shared schema.
+    pub fn build(self) -> Result<SchemaRef> {
+        Schema::new(self.name, self.attrs)
+    }
+}
+
+/// Incremental relation construction with row-literal ergonomics.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: SchemaRef,
+    relation: Relation,
+    error: Option<crate::RelationError>,
+}
+
+impl RelationBuilder {
+    /// Start building a relation over `schema`.
+    pub fn new(schema: SchemaRef) -> RelationBuilder {
+        RelationBuilder { relation: Relation::empty(schema.clone()), schema, error: None }
+    }
+
+    /// Append a row of [`Value`]s. Errors are deferred to [`build`].
+    ///
+    /// [`build`]: RelationBuilder::build
+    pub fn row(mut self, values: impl Into<Vec<Value>>) -> RelationBuilder {
+        if self.error.is_some() {
+            return self;
+        }
+        match Tuple::new(self.schema.clone(), values).and_then(|t| self.relation.push(t)) {
+            Ok(_) => {}
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Append a row of string cells.
+    pub fn row_strs(mut self, values: impl IntoIterator<Item = impl AsRef<str>>) -> RelationBuilder {
+        if self.error.is_some() {
+            return self;
+        }
+        match Tuple::of_strings(self.schema.clone(), values).and_then(|t| self.relation.push(t)) {
+            Ok(_) => {}
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finish, surfacing the first deferred error if any row was invalid.
+    pub fn build(self) -> Result<Relation> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.relation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builder_mixed_types() {
+        let s = SchemaBuilder::new("person")
+            .string("name")
+            .int("age")
+            .attr("height", DataType::Float)
+            .build()
+            .unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attribute(1).unwrap().data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn schema_builder_strings_bulk() {
+        let s = SchemaBuilder::new("m").strings(["a", "b"]).string("c").build().unwrap();
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn schema_builder_detects_duplicates_at_build() {
+        assert!(SchemaBuilder::new("m").string("a").string("a").build().is_err());
+    }
+
+    #[test]
+    fn relation_builder_rows() {
+        let s = SchemaBuilder::new("m").string("AC").string("city").build().unwrap();
+        let rel = RelationBuilder::new(s)
+            .row_strs(["020", "Ldn"])
+            .row(vec![Value::str("131"), Value::str("Edi")])
+            .build()
+            .unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn relation_builder_defers_errors() {
+        let s = SchemaBuilder::new("m").string("a").build().unwrap();
+        let res = RelationBuilder::new(s)
+            .row_strs(["ok"])
+            .row_strs(["too", "many"]) // arity error here
+            .row_strs(["fine"]) // skipped after error
+            .build();
+        assert!(res.is_err());
+    }
+}

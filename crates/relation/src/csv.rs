@@ -1,0 +1,345 @@
+//! Minimal CSV reader/writer for relations.
+//!
+//! Replaces the demo system's JDBC data connection: scenario data and
+//! experiment outputs round-trip through CSV files. Supports RFC-4180-style
+//! quoting (`"` delimiter, doubled quotes inside quoted fields, embedded
+//! commas and newlines), headers, and typed parsing against a schema.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV record from `input` starting at byte `pos`.
+///
+/// Returns the fields and the position just past the record's terminating
+/// newline (or end of input), or `None` at end of input.
+fn parse_record(input: &str, pos: &mut usize, line: &mut usize) -> Option<Vec<String>> {
+    let bytes = input.as_bytes();
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut i = *pos;
+    loop {
+        if i >= bytes.len() {
+            fields.push(std::mem::take(&mut field));
+            *pos = i;
+            break;
+        }
+        let c = bytes[i];
+        if in_quotes {
+            match c {
+                b'"' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        in_quotes = false;
+                        i += 1;
+                    }
+                }
+                _ => {
+                    // Preserve multi-byte characters: copy the full char.
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[i..i + ch_len]);
+                    if c == b'\n' {
+                        *line += 1;
+                    }
+                    i += ch_len;
+                }
+            }
+        } else {
+            match c {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                b'\r' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+                        i += 1;
+                    }
+                    fields.push(std::mem::take(&mut field));
+                    *line += 1;
+                    *pos = i + 1;
+                    return Some(fields);
+                }
+                b'\n' => {
+                    fields.push(std::mem::take(&mut field));
+                    *line += 1;
+                    *pos = i + 1;
+                    return Some(fields);
+                }
+                _ => {
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    Some(fields)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Quote a field if it contains a comma, quote, or newline.
+fn quote_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let escaped = field.replace('"', "\"\"");
+        format!("\"{escaped}\"")
+    } else {
+        field.to_string()
+    }
+}
+
+/// Read a relation from CSV text. The first record must be a header whose
+/// column names match the schema's attribute names in order.
+pub fn read_relation_str(schema: SchemaRef, text: &str) -> Result<Relation> {
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let header = parse_record(text, &mut pos, &mut line)
+        .ok_or(RelationError::Csv { line: 1, message: "empty input, expected header".into() })?;
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
+    if header != expected {
+        return Err(RelationError::Csv {
+            line: 1,
+            message: format!("header {header:?} does not match schema attributes {expected:?}"),
+        });
+    }
+    let mut rel = Relation::empty(schema.clone());
+    loop {
+        let record_line = line;
+        let Some(fields) = parse_record(text, &mut pos, &mut line) else { break };
+        // Skip a trailing blank line.
+        if fields.len() == 1 && fields[0].is_empty() && pos >= text.len() {
+            break;
+        }
+        if fields.len() != schema.arity() {
+            return Err(RelationError::Csv {
+                line: record_line,
+                message: format!("expected {} fields, got {}", schema.arity(), fields.len()),
+            });
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Value::parse_as(f, schema.attributes()[i].data_type()))
+            .collect::<Result<_>>()?;
+        rel.push(Tuple::new(schema.clone(), values)?)?;
+    }
+    Ok(rel)
+}
+
+/// Read a relation from a CSV file (buffered).
+pub fn read_relation_file(schema: SchemaRef, path: impl AsRef<Path>) -> Result<Relation> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    read_relation_str(schema, &text)
+}
+
+/// Serialize a relation to CSV text with a header row.
+pub fn write_relation_str(relation: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        relation.schema().attributes().iter().map(|a| quote_field(a.name())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, tuple) in relation.iter() {
+        let fields: Vec<String> = tuple.values().iter().map(|v| quote_field(&v.render())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a relation to a CSV file (buffered, explicit flush).
+pub fn write_relation_file(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(write_relation_str(relation).as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read CSV lines from any reader, yielding raw string records (no header
+/// handling). Exposed for tooling that wants to inspect files before a
+/// schema is known.
+pub fn read_raw_records(reader: impl Read) -> Result<Vec<Vec<String>>> {
+    let mut buf = String::new();
+    let mut r = BufReader::new(reader);
+    r.read_to_string(&mut buf)?;
+    let mut pos = 0;
+    let mut line = 1;
+    let mut records = Vec::new();
+    while let Some(rec) = parse_record(&buf, &mut pos, &mut line) {
+        if rec.len() == 1 && rec[0].is_empty() && pos >= buf.len() {
+            break;
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Infer an all-string schema named `name` from a CSV header line and load
+/// the body. Convenience for exploratory tooling.
+pub fn read_untyped_str(name: &str, text: &str) -> Result<Relation> {
+    let mut pos = 0;
+    let mut line = 1;
+    let header = parse_record(text, &mut pos, &mut line)
+        .ok_or(RelationError::Csv { line: 1, message: "empty input, expected header".into() })?;
+    let schema = crate::schema::Schema::of_strings(name, header)?;
+    read_relation_str(schema, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::Schema;
+
+    fn schema() -> SchemaRef {
+        Schema::new("p", [("name", DataType::String), ("age", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let s = schema();
+        let rel = Relation::from_tuples(
+            s.clone(),
+            [
+                Tuple::new(s.clone(), vec![Value::str("Bob"), Value::int(30)]).unwrap(),
+                Tuple::new(s.clone(), vec![Value::str("Ann"), Value::Null]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let text = write_relation_str(&rel);
+        assert_eq!(text, "name,age\nBob,30\nAnn,\n");
+        let back = read_relation_str(s, &text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.row(0).unwrap().get(1), &Value::int(30));
+        assert!(back.row(1).unwrap().get(1).is_null());
+    }
+
+    #[test]
+    fn quoting_commas_quotes_newlines() {
+        let s = Schema::of_strings("r", ["a"]).unwrap();
+        let tricky = "He said \"hi\", then\nleft";
+        let rel = Relation::from_tuples(
+            s.clone(),
+            [Tuple::of_strings(s.clone(), [tricky]).unwrap()],
+        )
+        .unwrap();
+        let text = write_relation_str(&rel);
+        let back = read_relation_str(s, &text).unwrap();
+        assert_eq!(back.row(0).unwrap().get(0), &Value::str(tricky));
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let s = schema();
+        let err = read_relation_str(s, "name,years\nBob,30\n").unwrap_err();
+        assert!(matches!(err, RelationError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let s = schema();
+        let err = read_relation_str(s, "name,age\nBob,30\nAnn\n").unwrap_err();
+        match err {
+            RelationError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("expected 2"));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let s = schema();
+        let err = read_relation_str(s, "name,age\nBob,old\n").unwrap_err();
+        assert!(matches!(err, RelationError::ParseValue { .. }));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let s = schema();
+        let rel = read_relation_str(s, "name,age\r\nBob,30\r\nAnn,41\r\n").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1).unwrap().get(0), &Value::str("Ann"));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let s = schema();
+        let rel = read_relation_str(s, "name,age\nBob,30").unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let s = schema();
+        assert!(read_relation_str(s, "").is_err());
+    }
+
+    #[test]
+    fn untyped_read_infers_string_schema() {
+        let rel = read_untyped_str("t", "a,b\n1,x\n2,y\n").unwrap();
+        assert_eq!(rel.schema().arity(), 2);
+        assert_eq!(rel.row(0).unwrap().get(0), &Value::str("1"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = schema();
+        let rel = Relation::from_tuples(
+            s.clone(),
+            [Tuple::new(s.clone(), vec![Value::str("Bob"), Value::int(30)]).unwrap()],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("cerfix_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("people.csv");
+        write_relation_file(&rel, &path).unwrap();
+        let back = read_relation_file(s, &path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn raw_records() {
+        let recs = read_raw_records("a,b\n1,\"x,y\"\n".as_bytes()).unwrap();
+        assert_eq!(recs, vec![vec!["a".to_string(), "b".into()], vec!["1".into(), "x,y".into()]]);
+    }
+
+    #[test]
+    fn unicode_fields_survive() {
+        let s = Schema::of_strings("r", ["a"]).unwrap();
+        let rel = Relation::from_tuples(
+            s.clone(),
+            [Tuple::of_strings(s.clone(), ["Šuai-馬"]).unwrap()],
+        )
+        .unwrap();
+        let back = read_relation_str(s, &write_relation_str(&rel)).unwrap();
+        assert_eq!(back.row(0).unwrap().get(0), &Value::str("Šuai-馬"));
+    }
+}

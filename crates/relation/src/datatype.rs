@@ -1,0 +1,77 @@
+//! Attribute data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of an attribute in a [`Schema`](crate::Schema).
+///
+/// CerFix operates over business-entity data (names, phone numbers, zip
+/// codes, ages); four scalar types cover every schema in the paper and the
+/// derived workloads. Values of every type may additionally be null (missing)
+/// — nullness is a property of [`Value`](crate::Value), not of the type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// UTF-8 text. The dominant type in master data.
+    String,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float, compared by total order.
+    Float,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Stable lowercase name used in schema serialization and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::String => "string",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+        }
+    }
+
+    /// Parse a type name as produced by [`DataType::name`].
+    pub fn parse(text: &str) -> Option<DataType> {
+        match text {
+            "string" | "str" | "text" => Some(DataType::String),
+            "int" | "integer" | "i64" => Some(DataType::Int),
+            "float" | "double" | "f64" => Some(DataType::Float),
+            "bool" | "boolean" => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for dt in [DataType::String, DataType::Int, DataType::Float, DataType::Bool] {
+            assert_eq!(DataType::parse(dt.name()), Some(dt));
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(DataType::parse("text"), Some(DataType::String));
+        assert_eq!(DataType::parse("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse("boolean"), Some(DataType::Bool));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DataType::Int.to_string(), "int");
+    }
+}

@@ -1,0 +1,156 @@
+//! ASCII table rendering for relations and tuples.
+//!
+//! The demo system's Web interface (Figs. 2–4) displays master data, input
+//! tuples and audit summaries as tables; the examples and experiment
+//! binaries render the same views textually with this module.
+
+use crate::relation::Relation;
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Render a full relation as an ASCII table (header + separator + rows).
+pub fn render_relation(relation: &Relation) -> String {
+    let header: Vec<String> =
+        relation.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+    let rows: Vec<Vec<String>> = relation
+        .iter()
+        .map(|(_, t)| t.values().iter().map(|v| v.to_string()).collect())
+        .collect();
+    render_table(&header, &rows)
+}
+
+/// Render at most `limit` rows of a relation, with an ellipsis line when
+/// truncated.
+pub fn render_relation_head(relation: &Relation, limit: usize) -> String {
+    let header: Vec<String> =
+        relation.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+    let mut rows: Vec<Vec<String>> = relation
+        .iter()
+        .take(limit)
+        .map(|(_, t)| t.values().iter().map(|v| v.to_string()).collect())
+        .collect();
+    let truncated = relation.len() > limit;
+    if truncated {
+        rows.push(vec!["…".to_string(); header.len()]);
+    }
+    render_table(&header, &rows)
+}
+
+/// Render a set of same-schema tuples as a table.
+pub fn render_tuples(schema: &SchemaRef, tuples: &[&Tuple]) -> String {
+    let header: Vec<String> = schema.attributes().iter().map(|a| a.name().to_string()).collect();
+    let rows: Vec<Vec<String>> =
+        tuples.iter().map(|t| t.values().iter().map(|v| v.to_string()).collect()).collect();
+    render_table(&header, &rows)
+}
+
+/// Render an arbitrary header + row matrix as an aligned ASCII table.
+///
+/// Column widths are computed over header and body; cells are left-aligned
+/// and padded with spaces; the separator uses `-` under each column.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| display_width(h)).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(display_width(cell));
+        }
+    }
+    let mut out = String::new();
+    push_row(&mut out, header, &widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    push_row(&mut out, &sep, &widths);
+    for row in rows {
+        push_row(&mut out, row, &widths);
+    }
+    out
+}
+
+fn push_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, w) in widths.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(cell);
+        let pad = w.saturating_sub(display_width(cell));
+        out.extend(std::iter::repeat_n(' ', pad));
+    }
+    // Trim trailing spaces for clean diffs.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Character count as a display-width proxy (monospace assumption; the
+/// null marker `∅` and generated data are effectively single-width).
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn renders_aligned_table() {
+        let schema = Schema::of_strings("m", ["AC", "city"]).unwrap();
+        let rel = Relation::from_tuples(
+            schema.clone(),
+            [
+                Tuple::of_strings(schema.clone(), ["020", "Ldn"]).unwrap(),
+                Tuple::of_strings(schema.clone(), ["131", "Edinburgh"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let out = render_relation(&rel);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "AC   city");
+        assert_eq!(lines[1], "---  ---------");
+        assert_eq!(lines[2], "020  Ldn");
+        assert_eq!(lines[3], "131  Edinburgh");
+    }
+
+    #[test]
+    fn head_truncates_with_ellipsis() {
+        let schema = Schema::of_strings("m", ["a"]).unwrap();
+        let rel = Relation::from_tuples(
+            schema.clone(),
+            (0..5).map(|i| Tuple::of_strings(schema.clone(), [format!("{i}")]).unwrap()),
+        )
+        .unwrap();
+        let out = render_relation_head(&rel, 2);
+        assert!(out.contains('…'));
+        assert_eq!(out.lines().count(), 2 + 2 + 1); // header, sep, 2 rows, ellipsis
+        let full = render_relation_head(&rel, 10);
+        assert!(!full.contains('…'));
+    }
+
+    #[test]
+    fn render_tuples_subset() {
+        let schema = Schema::of_strings("m", ["x", "y"]).unwrap();
+        let t1 = Tuple::of_strings(schema.clone(), ["1", "2"]).unwrap();
+        let out = render_tuples(&schema, &[&t1]);
+        assert!(out.starts_with("x  y\n"));
+        assert!(out.contains("1  2"));
+    }
+
+    #[test]
+    fn handles_ragged_rows_defensively() {
+        let out = render_table(
+            &["a".to_string(), "b".to_string()],
+            &[vec!["1".to_string()]], // short row
+        );
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn null_cells_render_as_marker() {
+        let schema = Schema::of_strings("m", ["a"]).unwrap();
+        let rel =
+            Relation::from_tuples(schema.clone(), [Tuple::all_null(schema.clone())]).unwrap();
+        assert!(render_relation(&rel).contains('∅'));
+    }
+}

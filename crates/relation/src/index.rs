@@ -1,0 +1,157 @@
+//! Multi-attribute hash indexes over relations.
+//!
+//! The master data manager builds one index per distinct editing-rule LHS
+//! (`Xm` attribute list) so that the correcting process answers
+//! "which master tuples have `s[Xm] = t[X]`?" in O(1) expected time instead
+//! of scanning `Dm`. Experiment `T6` ablates exactly this structure.
+
+use crate::relation::{Relation, RowId};
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index on a fixed attribute list of one relation.
+///
+/// Keys containing nulls are *not* indexed: a null master cell can never be
+/// matched by rule semantics (nulls match nothing), so omitting them keeps
+/// lookups and rule semantics aligned.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    attrs: Vec<AttrId>,
+    map: HashMap<Box<[Value]>, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Build an index over `attrs` for every current row of `relation`.
+    pub fn build(relation: &Relation, attrs: impl Into<Vec<AttrId>>) -> HashIndex {
+        let attrs: Vec<AttrId> = attrs.into();
+        let mut map: HashMap<Box<[Value]>, Vec<RowId>> = HashMap::new();
+        for (row_id, tuple) in relation.iter() {
+            let key = tuple.project(&attrs);
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            map.entry(key.into_boxed_slice()).or_default().push(row_id);
+        }
+        HashIndex { attrs, map }
+    }
+
+    /// The indexed attribute list (in key order).
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Row ids whose projection equals `key`, in insertion order. Keys with
+    /// nulls return the empty slice (consistent with match semantics).
+    pub fn lookup(&self, key: &[Value]) -> &[RowId] {
+        if key.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Convenience: look up using the projection of `tuple` onto
+    /// `probe_attrs` (attribute ids in the *probing* tuple's schema).
+    pub fn lookup_tuple(&self, tuple: &Tuple, probe_attrs: &[AttrId]) -> &[RowId] {
+        debug_assert_eq!(probe_attrs.len(), self.attrs.len());
+        let key = tuple.project(probe_attrs);
+        self.lookup(&key)
+    }
+
+    /// Register one additional row (used when master data grows).
+    pub fn insert_row(&mut self, row_id: RowId, tuple: &Tuple) {
+        let key = tuple.project(&self.attrs);
+        if key.iter().any(Value::is_null) {
+            return;
+        }
+        self.map.entry(key.into_boxed_slice()).or_default().push(row_id);
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings.
+    pub fn postings(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn master() -> Relation {
+        let schema = Schema::of_strings("m", ["zip", "AC", "city"]).unwrap();
+        let rows = [
+            ("EH8 4AH", "131", "Edi"),
+            ("SW1A 1AA", "020", "Ldn"),
+            ("EH8 4AH", "131", "Edi"), // duplicate key
+        ];
+        Relation::from_tuples(
+            schema.clone(),
+            rows.iter().map(|(z, a, c)| Tuple::of_strings(schema.clone(), [*z, *a, *c]).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_attr_lookup() {
+        let rel = master();
+        let idx = HashIndex::build(&rel, vec![0]);
+        assert_eq!(idx.lookup(&[Value::str("EH8 4AH")]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::str("SW1A 1AA")]), &[1]);
+        assert!(idx.lookup(&[Value::str("nowhere")]).is_empty());
+    }
+
+    #[test]
+    fn multi_attr_lookup() {
+        let rel = master();
+        let idx = HashIndex::build(&rel, vec![1, 0]); // (AC, zip)
+        assert_eq!(idx.lookup(&[Value::str("131"), Value::str("EH8 4AH")]), &[0, 2]);
+        assert!(idx.lookup(&[Value::str("131"), Value::str("SW1A 1AA")]).is_empty());
+        assert_eq!(idx.attrs(), &[1, 0]);
+    }
+
+    #[test]
+    fn null_keys_not_indexed_and_not_matched() {
+        let schema = Schema::of_strings("m", ["zip"]).unwrap();
+        let mut rel = Relation::empty(schema.clone());
+        rel.push(Tuple::all_null(schema.clone())).unwrap();
+        rel.push(Tuple::of_strings(schema, ["EH8"]).unwrap()).unwrap();
+        let idx = HashIndex::build(&rel, vec![0]);
+        assert_eq!(idx.distinct_keys(), 1);
+        assert!(idx.lookup(&[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn lookup_tuple_cross_schema() {
+        let rel = master();
+        let idx = HashIndex::build(&rel, vec![0]); // master zip
+        let input = Schema::of_strings("t", ["name", "postcode"]).unwrap();
+        let t = Tuple::of_strings(input, ["Bob", "EH8 4AH"]).unwrap();
+        assert_eq!(idx.lookup_tuple(&t, &[1]), &[0, 2]);
+    }
+
+    #[test]
+    fn insert_row_extends_index() {
+        let rel = master();
+        let mut idx = HashIndex::build(&rel, vec![0]);
+        let schema = rel.schema().clone();
+        let t = Tuple::of_strings(schema, ["G12 8QQ", "141", "Gla"]).unwrap();
+        idx.insert_row(3, &t);
+        assert_eq!(idx.lookup(&[Value::str("G12 8QQ")]), &[3]);
+        assert_eq!(idx.postings(), 4);
+    }
+
+    #[test]
+    fn stats() {
+        let rel = master();
+        let idx = HashIndex::build(&rel, vec![0]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.postings(), 3);
+    }
+}

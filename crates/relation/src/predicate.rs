@@ -1,0 +1,165 @@
+//! Scan predicates: per-attribute comparisons against constants.
+//!
+//! These power `Relation::scan` and the unindexed fallback paths of the
+//! master data manager. The richer *pattern* language of editing rules
+//! (constants, negations, wildcards over pattern tuples) lives in
+//! `cerfix-rules`; predicates here are deliberately minimal.
+
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators for scan predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Equal (null never compares equal to anything, including null).
+    Eq,
+    /// Not equal (null never satisfies `Ne` either: unknown ≠ known is unknown).
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate `left op right` with three-valued-logic nulls collapsed to
+    /// false (a scan never returns rows on the strength of missing data).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            CompareOp::Eq => left == right,
+            CompareOp::Ne => left != right,
+            CompareOp::Lt => left < right,
+            CompareOp::Le => left <= right,
+            CompareOp::Gt => left > right,
+            CompareOp::Ge => left >= right,
+        }
+    }
+
+    /// Symbol used in rendered predicates.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate `tuple[attr] op constant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    attr: AttrId,
+    op: CompareOp,
+    constant: Value,
+}
+
+impl Predicate {
+    /// Build a predicate over attribute `attr`.
+    pub fn new(attr: AttrId, op: CompareOp, constant: Value) -> Predicate {
+        Predicate { attr, op, constant }
+    }
+
+    /// Shorthand for an equality predicate.
+    pub fn eq(attr: AttrId, constant: Value) -> Predicate {
+        Predicate::new(attr, CompareOp::Eq, constant)
+    }
+
+    /// The attribute tested.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CompareOp {
+        self.op
+    }
+
+    /// The constant compared against.
+    pub fn constant(&self) -> &Value {
+        &self.constant
+    }
+
+    /// Evaluate the predicate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.op.eval(tuple.get(self.attr), &self.constant)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} {}", self.attr, self.op.symbol(), self.constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::datatype::DataType;
+
+    fn tuple(age: i64) -> Tuple {
+        let s = Schema::new("p", [("age", DataType::Int)]).unwrap();
+        Tuple::new(s, vec![Value::int(age)]).unwrap()
+    }
+
+    #[test]
+    fn all_operators() {
+        let t = tuple(30);
+        let c = Value::int(30);
+        assert!(Predicate::new(0, CompareOp::Eq, c.clone()).eval(&t));
+        assert!(!Predicate::new(0, CompareOp::Ne, c.clone()).eval(&t));
+        assert!(Predicate::new(0, CompareOp::Le, c.clone()).eval(&t));
+        assert!(Predicate::new(0, CompareOp::Ge, c).eval(&t));
+        assert!(Predicate::new(0, CompareOp::Lt, Value::int(31)).eval(&t));
+        assert!(Predicate::new(0, CompareOp::Gt, Value::int(29)).eval(&t));
+        assert!(!Predicate::new(0, CompareOp::Lt, Value::int(30)).eval(&t));
+    }
+
+    #[test]
+    fn null_satisfies_no_operator() {
+        let s = Schema::new("p", [("age", DataType::Int)]).unwrap();
+        let t = Tuple::all_null(s);
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge]
+        {
+            assert!(!Predicate::new(0, op, Value::int(1)).eval(&t), "{op:?}");
+            assert!(!Predicate::new(0, op, Value::Null).eval(&t), "{op:?} vs null");
+        }
+    }
+
+    #[test]
+    fn eq_shorthand() {
+        let p = Predicate::eq(0, Value::int(30));
+        assert_eq!(p.op(), CompareOp::Eq);
+        assert!(p.eval(&tuple(30)));
+        assert!(!p.eval(&tuple(31)));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let p = Predicate::new(2, CompareOp::Ne, Value::str("0800"));
+        assert_eq!(p.attr(), 2);
+        assert_eq!(p.constant(), &Value::str("0800"));
+        assert_eq!(p.to_string(), "#2 != 0800");
+    }
+
+    #[test]
+    fn string_ordering_comparisons() {
+        let s = Schema::of_strings("r", ["name"]).unwrap();
+        let t = Tuple::of_strings(s, ["Brady"]).unwrap();
+        assert!(Predicate::new(0, CompareOp::Lt, Value::str("Smith")).eval(&t));
+        assert!(Predicate::new(0, CompareOp::Gt, Value::str("Adams")).eval(&t));
+    }
+}

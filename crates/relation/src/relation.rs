@@ -1,0 +1,178 @@
+//! In-memory relations: ordered collections of same-schema tuples.
+
+use crate::error::{RelationError, Result};
+use crate::predicate::Predicate;
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// Identifier of a row within a relation. Rows are append-only, so `RowId`s
+/// are stable; audit records and index postings refer to rows by id.
+pub type RowId = usize;
+
+/// An in-memory relation (row store).
+///
+/// This substrate replaces the JDBC-connected DBMS of the demo system. The
+/// data monitor only needs append, point access by [`RowId`], scans and
+/// (via [`HashIndex`](crate::index::HashIndex)) equality lookups, so the
+/// representation is a plain vector of tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: SchemaRef,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation over `schema`.
+    pub fn empty(schema: SchemaRef) -> Relation {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Create a relation from tuples, validating every tuple's schema.
+    pub fn from_tuples(schema: SchemaRef, tuples: impl IntoIterator<Item = Tuple>) -> Result<Relation> {
+        let mut rel = Relation::empty(schema);
+        for t in tuples {
+            rel.push(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a tuple, returning its new [`RowId`]. The tuple must be bound
+    /// to the *same* schema object as the relation.
+    pub fn push(&mut self, tuple: Tuple) -> Result<RowId> {
+        if !self.schema.same_as(tuple.schema()) {
+            return Err(RelationError::SchemaMismatch {
+                expected: self.schema.name().into(),
+                actual: tuple.schema().name().into(),
+            });
+        }
+        let id = self.rows.len();
+        self.rows.push(tuple);
+        Ok(id)
+    }
+
+    /// The row at `id`, if present.
+    pub fn row(&self, id: RowId) -> Option<&Tuple> {
+        self.rows.get(id)
+    }
+
+    /// Mutable access to the row at `id`, if present.
+    pub fn row_mut(&mut self, id: RowId) -> Option<&mut Tuple> {
+        self.rows.get_mut(id)
+    }
+
+    /// Iterator over `(RowId, &Tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Full scan returning the ids of rows satisfying every predicate.
+    pub fn scan(&self, predicates: &[Predicate]) -> Vec<RowId> {
+        self.iter()
+            .filter(|(_, t)| predicates.iter().all(|p| p.eval(t)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Reserve capacity for `additional` more rows (bulk loads).
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        let schema = Schema::of_strings("city_codes", ["AC", "city"]).unwrap();
+        let rows = [("020", "Ldn"), ("131", "Edi"), ("161", "Mcr")];
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|(ac, c)| Tuple::of_strings(schema.clone(), [*ac, *c]).unwrap())
+            .collect();
+        Relation::from_tuples(schema, tuples).unwrap()
+    }
+
+    #[test]
+    fn push_and_access() {
+        let rel = sample();
+        assert_eq!(rel.len(), 3);
+        assert!(!rel.is_empty());
+        assert_eq!(rel.row(1).unwrap().get_by_name("city").unwrap(), &Value::str("Edi"));
+        assert!(rel.row(3).is_none());
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        let mut rel = sample();
+        let other = Schema::of_strings("city_codes", ["AC", "city"]).unwrap();
+        let t = Tuple::of_strings(other, ["0131", "Edi"]).unwrap();
+        // Structurally identical but a different schema object: rejected, so
+        // AttrIds can never dangle across relations.
+        assert!(matches!(rel.push(t), Err(RelationError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn scan_with_predicates() {
+        let rel = sample();
+        let ac = rel.schema().attr_id("AC").unwrap();
+        let hits = rel.scan(&[Predicate::new(ac, CompareOp::Eq, Value::str("131"))]);
+        assert_eq!(hits, vec![1]);
+        let all = rel.scan(&[]);
+        assert_eq!(all, vec![0, 1, 2]);
+        let none = rel.scan(&[Predicate::new(ac, CompareOp::Eq, Value::str("999"))]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn row_ids_stable_across_pushes() {
+        let mut rel = sample();
+        let schema = rel.schema().clone();
+        let id = rel.push(Tuple::of_strings(schema, ["0141", "Gla"]).unwrap()).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(rel.row(0).unwrap().get_by_name("AC").unwrap(), &Value::str("020"));
+    }
+
+    #[test]
+    fn row_mut_allows_in_place_fix() {
+        let mut rel = sample();
+        rel.row_mut(0).unwrap().set_by_name("city", Value::str("London")).unwrap();
+        assert_eq!(rel.row(0).unwrap().get_by_name("city").unwrap(), &Value::str("London"));
+    }
+
+    #[test]
+    fn display_mentions_row_count() {
+        let rel = sample();
+        assert!(rel.to_string().contains("3 rows"));
+    }
+}

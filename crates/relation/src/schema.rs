@@ -1,0 +1,250 @@
+//! Relation schemas: named, typed attribute lists with O(1) name lookup.
+
+use crate::datatype::DataType;
+use crate::error::{RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within its schema. Attribute ids are dense
+/// (0..arity) and stable for the lifetime of the schema, so rule structures
+/// store `AttrId` rather than names on hot paths.
+pub type AttrId = usize;
+
+/// One attribute: a name and a declared type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    dtype: DataType,
+}
+
+impl Attribute {
+    /// Create an attribute.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
+        Attribute { name: name.into(), dtype }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's declared type.
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+}
+
+/// An immutable relation schema.
+///
+/// Schemas are shared via [`SchemaRef`] (`Arc<Schema>`): every tuple holds a
+/// reference to its schema, and input/master schemas differ in CerFix (the
+/// paper's running example has a 9-attribute input schema and a 10-attribute
+/// master schema), so identity comparisons between schemas matter and are
+/// exposed via [`Schema::same_as`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<Attribute>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+/// Shared handle to a schema.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// Errors on duplicate attribute names or an empty attribute list.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = (impl Into<String>, DataType)>,
+    ) -> Result<SchemaRef> {
+        let name = name.into();
+        let attrs: Vec<Attribute> =
+            attrs.into_iter().map(|(n, t)| Attribute::new(n.into(), t)).collect();
+        if attrs.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (id, attr) in attrs.iter().enumerate() {
+            if by_name.insert(attr.name.clone(), id).is_some() {
+                return Err(RelationError::DuplicateAttribute { name: attr.name.clone() });
+            }
+        }
+        Ok(Arc::new(Schema { name, attrs, by_name }))
+    }
+
+    /// Build a schema where every attribute has type [`DataType::String`].
+    /// Master data in the paper is predominantly textual; this is the common
+    /// constructor for scenario schemas.
+    pub fn of_strings(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<SchemaRef> {
+        Schema::new(name, attrs.into_iter().map(|a| (a, DataType::String)))
+    }
+
+    /// The schema's name (e.g. `"customer"` or `"master"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at `id`, if in range.
+    pub fn attribute(&self, id: AttrId) -> Option<&Attribute> {
+        self.attrs.get(id)
+    }
+
+    /// The id of the attribute named `name`.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Schema::attr_id`] but returns a descriptive error.
+    pub fn require_attr(&self, name: &str) -> Result<AttrId> {
+        self.attr_id(name).ok_or_else(|| RelationError::UnknownAttribute {
+            name: name.into(),
+            schema: self.name.clone(),
+        })
+    }
+
+    /// Resolve a list of attribute names to ids, failing on the first
+    /// unknown name.
+    pub fn resolve_all(&self, names: &[&str]) -> Result<Vec<AttrId>> {
+        names.iter().map(|n| self.require_attr(n)).collect()
+    }
+
+    /// Name of the attribute at `id` (panics if out of range — ids are only
+    /// produced by this schema's lookups).
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs[id].name()
+    }
+
+    /// Iterator over `(AttrId, &Attribute)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate()
+    }
+
+    /// All attribute ids, `0..arity`.
+    pub fn all_attr_ids(&self) -> impl Iterator<Item = AttrId> + 'static {
+        0..self.arity()
+    }
+
+    /// True iff `self` and `other` are the same schema object (pointer
+    /// identity on the shared allocation).
+    pub fn same_as(self: &Arc<Self>, other: &Arc<Self>) -> bool {
+        Arc::ptr_eq(self, other)
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Schema) -> bool {
+        self.name == other.name && self.attrs == other.attrs
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", a.name(), a.data_type())?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> SchemaRef {
+        Schema::of_strings(
+            "customer",
+            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = customer();
+        assert_eq!(s.arity(), 9);
+        assert_eq!(s.attr_id("zip"), Some(7));
+        assert_eq!(s.attr_name(7), "zip");
+        assert_eq!(s.attr_id("ZIP"), None, "names are case-sensitive");
+        assert!(s.attribute(9).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::of_strings("r", ["a", "b", "a"]).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let err = Schema::of_strings("r", Vec::<String>::new()).unwrap_err();
+        assert!(matches!(err, RelationError::EmptySchema));
+    }
+
+    #[test]
+    fn require_attr_error_mentions_schema() {
+        let s = customer();
+        let err = s.require_attr("DoB").unwrap_err();
+        assert!(err.to_string().contains("customer"));
+    }
+
+    #[test]
+    fn resolve_all_preserves_order() {
+        let s = customer();
+        let ids = s.resolve_all(&["zip", "AC", "city"]).unwrap();
+        assert_eq!(ids, vec![7, 2, 6]);
+        assert!(s.resolve_all(&["zip", "nope"]).is_err());
+    }
+
+    #[test]
+    fn typed_schema() {
+        let s = Schema::new(
+            "person",
+            [("name", DataType::String), ("age", DataType::Int), ("height", DataType::Float)],
+        )
+        .unwrap();
+        assert_eq!(s.attribute(1).unwrap().data_type(), DataType::Int);
+        assert_eq!(s.to_string(), "person(name: string, age: int, height: float)");
+    }
+
+    #[test]
+    fn same_as_is_pointer_identity() {
+        let a = customer();
+        let b = customer();
+        assert!(a.same_as(&a.clone()));
+        assert!(!a.same_as(&b), "structurally equal but distinct allocations");
+        assert_eq!(*a, *b, "structural equality still holds");
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let s = customer();
+        let names: Vec<&str> = s.iter().map(|(_, a)| a.name()).collect();
+        assert_eq!(names[0], "FN");
+        assert_eq!(names.len(), 9);
+        assert_eq!(s.all_attr_ids().count(), 9);
+    }
+}

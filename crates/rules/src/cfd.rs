@@ -1,0 +1,453 @@
+//! Conditional functional dependencies (CFDs).
+//!
+//! The paper's Example 1 uses CFDs `ψ1: AC = 020 → city = Ldn` and
+//! `ψ2: AC = 131 → city = Edi` to *detect* errors — and §1 argues they
+//! cannot *repair* with certainty. We implement CFDs for three purposes:
+//!
+//! 1. violation detection (Example 1's analysis, and the error detector of
+//!    the heuristic-repair baseline in `cerfix-baseline`);
+//! 2. derivation of editing rules (`crate::derive`), as the demo's rule
+//!    manager imports rules "discovered from cfds or mds";
+//! 3. the `T1` experiment comparing certain fixes against CFD repair.
+//!
+//! A CFD `(X → A, Tp)` has an embedded pattern tableau `Tp`; each pattern
+//! row constrains `X` cells with constants or wildcards and the RHS cell
+//! with a constant or wildcard. A wildcard RHS row is a *variable* CFD
+//! (standard FD semantics conditioned on the LHS pattern); a constant RHS
+//! row asserts the RHS value outright.
+
+use crate::error::{Result, RuleError};
+use cerfix_relation::{AttrId, Relation, RowId, SchemaRef, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A tableau cell: a constant or the wildcard `_`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableauCell {
+    /// Matches any non-null value (and imposes/implies nothing by itself).
+    Wildcard,
+    /// Matches exactly this constant.
+    Const(Value),
+}
+
+impl TableauCell {
+    /// Does a data cell match this tableau cell? Nulls match nothing.
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            TableauCell::Wildcard => !value.is_null(),
+            TableauCell::Const(c) => !value.is_null() && value == c,
+        }
+    }
+
+    /// The constant, if this cell is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            TableauCell::Wildcard => None,
+            TableauCell::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for TableauCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableauCell::Wildcard => f.write_str("_"),
+            TableauCell::Const(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+/// One row of a CFD pattern tableau: LHS cells plus an RHS cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableauRow {
+    /// Cells for the LHS attributes, position-wise.
+    pub lhs: Vec<TableauCell>,
+    /// Cell for the RHS attribute.
+    pub rhs: TableauCell,
+}
+
+impl TableauRow {
+    /// True iff the row's RHS is a constant (a *constant CFD* row).
+    pub fn is_constant(&self) -> bool {
+        matches!(self.rhs, TableauCell::Const(_))
+    }
+}
+
+/// A conditional functional dependency `(X → A, Tp)` over one schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfd {
+    name: String,
+    lhs: Vec<AttrId>,
+    rhs: AttrId,
+    tableau: Vec<TableauRow>,
+}
+
+/// A violation of a CFD found in a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfdViolation {
+    /// A single tuple contradicts a constant tableau row: its LHS matches
+    /// but its RHS differs from the row's constant.
+    Constant {
+        /// The violating row.
+        row: RowId,
+        /// Index of the tableau row violated.
+        tableau_row: usize,
+        /// The constant the RHS should have had.
+        expected: Value,
+    },
+    /// Two tuples agree on the (pattern-matched) LHS but differ on the RHS
+    /// under a variable tableau row.
+    Variable {
+        /// First involved row.
+        row_a: RowId,
+        /// Second involved row.
+        row_b: RowId,
+        /// Index of the tableau row violated.
+        tableau_row: usize,
+    },
+}
+
+impl Cfd {
+    /// Build and validate a CFD.
+    pub fn new(
+        name: impl Into<String>,
+        schema: &SchemaRef,
+        lhs: impl Into<Vec<AttrId>>,
+        rhs: AttrId,
+        tableau: impl Into<Vec<TableauRow>>,
+    ) -> Result<Cfd> {
+        let name = name.into();
+        let lhs: Vec<AttrId> = lhs.into();
+        let tableau: Vec<TableauRow> = tableau.into();
+        if lhs.is_empty() {
+            return Err(RuleError::InvalidRule { rule: name, message: "CFD LHS must not be empty".into() });
+        }
+        if tableau.is_empty() {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "CFD tableau must have at least one row".into(),
+            });
+        }
+        for &a in lhs.iter().chain(std::iter::once(&rhs)) {
+            if schema.attribute(a).is_none() {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: format!("attribute id {a} out of range"),
+                });
+            }
+        }
+        if lhs.contains(&rhs) {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "CFD RHS attribute may not appear in its LHS".into(),
+            });
+        }
+        for (i, row) in tableau.iter().enumerate() {
+            if row.lhs.len() != lhs.len() {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: format!(
+                        "tableau row {i} has {} LHS cells, expected {}",
+                        row.lhs.len(),
+                        lhs.len()
+                    ),
+                });
+            }
+        }
+        Ok(Cfd { name, lhs, rhs, tableau })
+    }
+
+    /// Convenience: a single-row constant CFD like ψ1 (`AC = 020 → city = Ldn`).
+    pub fn constant(
+        name: impl Into<String>,
+        schema: &SchemaRef,
+        lhs: impl Into<Vec<AttrId>>,
+        lhs_consts: Vec<Value>,
+        rhs: AttrId,
+        rhs_const: Value,
+    ) -> Result<Cfd> {
+        let row = TableauRow {
+            lhs: lhs_consts.into_iter().map(TableauCell::Const).collect(),
+            rhs: TableauCell::Const(rhs_const),
+        };
+        Cfd::new(name, schema, lhs, rhs, vec![row])
+    }
+
+    /// Convenience: a single-row all-wildcard variable CFD (a plain FD).
+    pub fn functional(
+        name: impl Into<String>,
+        schema: &SchemaRef,
+        lhs: impl Into<Vec<AttrId>>,
+        rhs: AttrId,
+    ) -> Result<Cfd> {
+        let lhs: Vec<AttrId> = lhs.into();
+        let row = TableauRow {
+            lhs: vec![TableauCell::Wildcard; lhs.len()],
+            rhs: TableauCell::Wildcard,
+        };
+        Cfd::new(name, schema, lhs, rhs, vec![row])
+    }
+
+    /// The CFD's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// LHS attribute ids.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// RHS attribute id.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// The pattern tableau.
+    pub fn tableau(&self) -> &[TableauRow] {
+        &self.tableau
+    }
+
+    /// Does `t[lhs]` match tableau row `row`'s LHS cells?
+    fn lhs_matches(&self, row: &TableauRow, t: &Tuple) -> bool {
+        self.lhs.iter().zip(row.lhs.iter()).all(|(&a, cell)| cell.matches(t.get(a)))
+    }
+
+    /// Check a *single tuple* against the constant rows of the tableau.
+    /// Returns the indices of violated constant rows.
+    pub fn check_tuple(&self, t: &Tuple) -> Vec<usize> {
+        self.tableau
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                if let TableauCell::Const(expected) = &row.rhs {
+                    self.lhs_matches(row, t) && {
+                        let actual = t.get(self.rhs);
+                        !actual.is_null() && actual != expected
+                    }
+                } else {
+                    false
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Detect all violations of this CFD in `relation`.
+    ///
+    /// Constant rows are checked per tuple; variable rows by grouping on
+    /// the LHS projection (hash-based, O(n) expected per row).
+    pub fn violations(&self, relation: &Relation) -> Vec<CfdViolation> {
+        let mut out = Vec::new();
+        // Constant rows.
+        for (row_id, t) in relation.iter() {
+            for tr in self.check_tuple(t) {
+                let expected = self.tableau[tr].rhs.as_const().cloned().expect("constant row");
+                out.push(CfdViolation::Constant { row: row_id, tableau_row: tr, expected });
+            }
+        }
+        // Variable rows.
+        for (tr, row) in self.tableau.iter().enumerate() {
+            if row.is_constant() {
+                continue;
+            }
+            let mut groups: HashMap<Vec<Value>, (RowId, Value)> = HashMap::new();
+            for (row_id, t) in relation.iter() {
+                if !self.lhs_matches(row, t) {
+                    continue;
+                }
+                let rhs_val = t.get(self.rhs);
+                if rhs_val.is_null() {
+                    continue;
+                }
+                let key = t.project(&self.lhs);
+                match groups.get(&key) {
+                    None => {
+                        groups.insert(key, (row_id, rhs_val.clone()));
+                    }
+                    Some((first_row, first_val)) => {
+                        if first_val != rhs_val {
+                            out.push(CfdViolation::Variable {
+                                row_a: *first_row,
+                                row_b: row_id,
+                                tableau_row: tr,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render in `ψ: (X → A, tableau)` notation.
+    pub fn render(&self, schema: &SchemaRef) -> String {
+        let lhs_names: Vec<&str> = self.lhs.iter().map(|&a| schema.attr_name(a)).collect();
+        let rows: Vec<String> = self
+            .tableau
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.lhs.iter().map(|c| c.to_string()).collect();
+                format!("({}) -> {}", cells.join(", "), r.rhs)
+            })
+            .collect();
+        format!(
+            "{}: ({} -> {}, {{ {} }})",
+            self.name,
+            lhs_names.join(", "),
+            schema.attr_name(self.rhs),
+            rows.join(" ; ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::of_strings("customer", ["AC", "city", "zip"]).unwrap()
+    }
+
+    fn psi1(schema: &SchemaRef) -> Cfd {
+        // ψ1: AC = 020 → city = Ldn
+        Cfd::constant(
+            "psi1",
+            schema,
+            vec![schema.attr_id("AC").unwrap()],
+            vec![Value::str("020")],
+            schema.attr_id("city").unwrap(),
+            Value::str("Ldn"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_detection() {
+        // Example 1: t[AC] = 020 but t[city] = Edi violates ψ1.
+        let s = schema();
+        let t = Tuple::of_strings(s.clone(), ["020", "Edi", "EH8 4AH"]).unwrap();
+        let cfd = psi1(&s);
+        assert_eq!(cfd.check_tuple(&t), vec![0]);
+        // The corrected tuple (131, Edi) does not violate ψ1 (LHS no longer matches).
+        let fixed = Tuple::of_strings(s.clone(), ["131", "Edi", "EH8 4AH"]).unwrap();
+        assert!(cfd.check_tuple(&fixed).is_empty());
+        // And (020, Ldn) satisfies it.
+        let ldn = Tuple::of_strings(s, ["020", "Ldn", "SW1"]).unwrap();
+        assert!(cfd.check_tuple(&ldn).is_empty());
+    }
+
+    #[test]
+    fn constant_violations_in_relation() {
+        let s = schema();
+        let rel = RelationBuilder::new(s.clone())
+            .row_strs(["020", "Edi", "z1"]) // violates
+            .row_strs(["020", "Ldn", "z2"]) // ok
+            .row_strs(["131", "Edi", "z3"]) // LHS doesn't match ψ1
+            .build()
+            .unwrap();
+        let v = psi1(&s).violations(&rel);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], CfdViolation::Constant { row: 0, tableau_row: 0, .. }));
+    }
+
+    #[test]
+    fn variable_cfd_violations() {
+        // zip → city as a plain FD.
+        let s = schema();
+        let fd = Cfd::functional(
+            "fd_zip_city",
+            &s,
+            vec![s.attr_id("zip").unwrap()],
+            s.attr_id("city").unwrap(),
+        )
+        .unwrap();
+        let rel = RelationBuilder::new(s.clone())
+            .row_strs(["020", "Ldn", "EH8"]) // group EH8: Ldn
+            .row_strs(["131", "Edi", "EH8"]) // group EH8: Edi -> violation
+            .row_strs(["131", "Edi", "G12"]) // distinct group
+            .build()
+            .unwrap();
+        let v = fd.violations(&rel);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], CfdViolation::Variable { row_a: 0, row_b: 1, tableau_row: 0 }));
+    }
+
+    #[test]
+    fn conditioned_variable_row() {
+        // (AC='131', zip) → city: FD applies only to Edinburgh area codes.
+        let s = schema();
+        let cfd = Cfd::new(
+            "cond",
+            &s,
+            vec![s.attr_id("AC").unwrap(), s.attr_id("zip").unwrap()],
+            s.attr_id("city").unwrap(),
+            vec![TableauRow {
+                lhs: vec![TableauCell::Const(Value::str("131")), TableauCell::Wildcard],
+                rhs: TableauCell::Wildcard,
+            }],
+        )
+        .unwrap();
+        let rel = RelationBuilder::new(s.clone())
+            .row_strs(["020", "Ldn", "EH8"]) // not in condition scope
+            .row_strs(["020", "Xxx", "EH8"]) // not in scope either
+            .row_strs(["131", "Edi", "EH8"])
+            .row_strs(["131", "Leith", "EH8"]) // violation within scope
+            .build()
+            .unwrap();
+        let v = cfd.violations(&rel);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], CfdViolation::Variable { row_a: 2, row_b: 3, .. }));
+    }
+
+    #[test]
+    fn nulls_do_not_trigger_violations() {
+        let s = schema();
+        let rel = RelationBuilder::new(s.clone())
+            .row(vec![Value::str("020"), Value::Null, Value::str("z")])
+            .build()
+            .unwrap();
+        assert!(psi1(&s).violations(&rel).is_empty());
+    }
+
+    #[test]
+    fn multi_row_tableau() {
+        // ψ1 and ψ2 as a two-row tableau of one CFD.
+        let s = schema();
+        let cfd = Cfd::new(
+            "psi12",
+            &s,
+            vec![s.attr_id("AC").unwrap()],
+            s.attr_id("city").unwrap(),
+            vec![
+                TableauRow { lhs: vec![TableauCell::Const(Value::str("020"))], rhs: TableauCell::Const(Value::str("Ldn")) },
+                TableauRow { lhs: vec![TableauCell::Const(Value::str("131"))], rhs: TableauCell::Const(Value::str("Edi")) },
+            ],
+        )
+        .unwrap();
+        let bad = Tuple::of_strings(s.clone(), ["131", "Ldn", "z"]).unwrap();
+        assert_eq!(cfd.check_tuple(&bad), vec![1]);
+        assert_eq!(cfd.tableau().len(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = schema();
+        let city = s.attr_id("city").unwrap();
+        assert!(Cfd::functional("x", &s, vec![], city).is_err());
+        assert!(Cfd::functional("x", &s, vec![city], city).is_err(), "rhs in lhs");
+        assert!(Cfd::new("x", &s, vec![0], 1, vec![]).is_err(), "empty tableau");
+        let bad_row = TableauRow { lhs: vec![], rhs: TableauCell::Wildcard };
+        assert!(Cfd::new("x", &s, vec![0], 1, vec![bad_row]).is_err(), "ragged row");
+        assert!(Cfd::functional("x", &s, vec![99], city).is_err(), "attr range");
+    }
+
+    #[test]
+    fn render_notation() {
+        let s = schema();
+        let r = psi1(&s).render(&s);
+        assert_eq!(r, "psi1: (AC -> city, { ('020') -> 'Ldn' })");
+    }
+}

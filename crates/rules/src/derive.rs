@@ -1,0 +1,321 @@
+//! Deriving editing rules from CFDs and MDs.
+//!
+//! Paper §2 (rule engine): *"Editing rules can be either explicitly
+//! specified by the users, or derived from integrity constraints, e.g.,
+//! cfds and matching dependencies for which discovery algorithms are
+//! already in place."* This module implements that derivation.
+//!
+//! CFDs are defined over the *input* schema while editing rules join input
+//! tuples to *master* tuples; the bridge is an [`AttrCorrespondence`]
+//! mapping input attributes to the master attributes that carry the same
+//! real-world field (built by name equality by default). Soundness rests
+//! on the master data satisfying the source CFDs — master data is assumed
+//! "consistent and accurate" (paper §2, master data manager).
+
+use crate::cfd::{Cfd, TableauCell};
+use crate::editing_rule::EditingRule;
+use crate::error::{Result, RuleError};
+use crate::md::MatchingDependency;
+use crate::pattern::PatternTuple;
+use cerfix_relation::{AttrId, SchemaRef};
+use std::collections::HashMap;
+
+/// A mapping from input-schema attributes to the corresponding
+/// master-schema attributes.
+#[derive(Debug, Clone, Default)]
+pub struct AttrCorrespondence {
+    map: HashMap<AttrId, AttrId>,
+}
+
+impl AttrCorrespondence {
+    /// Build from explicit `(input, master)` pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (AttrId, AttrId)>) -> AttrCorrespondence {
+        AttrCorrespondence { map: pairs.into_iter().collect() }
+    }
+
+    /// Pair up attributes that share a name in both schemas. For the
+    /// paper's UK schemas this maps FN, LN, AC, str, city and zip; phn /
+    /// Hphn / Mphn are deliberately unmapped (they do not correspond 1:1).
+    pub fn by_name(input: &SchemaRef, master: &SchemaRef) -> AttrCorrespondence {
+        let mut map = HashMap::new();
+        for (id, attr) in input.iter() {
+            if let Some(mid) = master.attr_id(attr.name()) {
+                map.insert(id, mid);
+            }
+        }
+        AttrCorrespondence { map }
+    }
+
+    /// Extend with an explicit pair, overriding any name-based match.
+    pub fn with_pair(mut self, input: AttrId, master: AttrId) -> AttrCorrespondence {
+        self.map.insert(input, master);
+        self
+    }
+
+    /// The master attribute corresponding to `input_attr`, if mapped.
+    pub fn master_of(&self, input_attr: AttrId) -> Option<AttrId> {
+        self.map.get(&input_attr).copied()
+    }
+
+    /// Number of mapped attributes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no attributes are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Derive one editing rule per tableau row of `cfd`.
+///
+/// * A **variable row** `(x̄ ∥ _)` becomes
+///   `((X, map(X)) → (A, map(A)), tp)` where `tp` pins the constant LHS
+///   cells: if the input tuple matches a master tuple on all of `X`
+///   (within the row's condition scope) and `X` is validated, copy the
+///   master's `A`.
+/// * A **constant row** `(x̄ ∥ b)` becomes the same join rule with the
+///   full `X = x̄` pattern. Master tuples matching `x̄` carry `A = b`
+///   because master data satisfies the CFD, so the derived rule assigns
+///   exactly the constant the CFD dictates.
+///
+/// Errors if the CFD's LHS or RHS attribute has no master correspondence.
+pub fn derive_from_cfd(
+    cfd: &Cfd,
+    input: &SchemaRef,
+    master: &SchemaRef,
+    correspondence: &AttrCorrespondence,
+) -> Result<Vec<EditingRule>> {
+    let map_attr = |a: AttrId| -> Result<AttrId> {
+        correspondence.master_of(a).ok_or_else(|| RuleError::Underivable {
+            source: cfd.name().to_string(),
+            message: format!(
+                "input attribute `{}` has no corresponding master attribute",
+                input.attr_name(a)
+            ),
+        })
+    };
+    let master_rhs = map_attr(cfd.rhs())?;
+    let master_lhs: Vec<AttrId> =
+        cfd.lhs().iter().map(|&a| map_attr(a)).collect::<Result<_>>()?;
+
+    let mut rules = Vec::with_capacity(cfd.tableau().len());
+    for (i, row) in cfd.tableau().iter().enumerate() {
+        let mut pattern = PatternTuple::empty();
+        for (&attr, cell) in cfd.lhs().iter().zip(row.lhs.iter()) {
+            if let TableauCell::Const(c) = cell {
+                pattern = pattern.with_eq(attr, c.clone());
+            }
+        }
+        let lhs: Vec<(AttrId, AttrId)> =
+            cfd.lhs().iter().copied().zip(master_lhs.iter().copied()).collect();
+        let rule = EditingRule::new(
+            format!("{}#{}", cfd.name(), i),
+            input,
+            master,
+            lhs,
+            vec![(cfd.rhs(), master_rhs)],
+            pattern,
+        )?;
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+/// Compile an exact MD into an editing rule.
+///
+/// The MD's equality clauses become the rule's LHS join and its identified
+/// pairs become the RHS fixes (master side wins: an MD across input and
+/// *authoritative* master data resolves identification in the master's
+/// favor, which is exactly the editing-rule reading the paper's rule
+/// manager uses). Non-exact operators are rejected: similarity joins are
+/// not certain evidence.
+pub fn derive_from_md(
+    md: &MatchingDependency,
+    input: &SchemaRef,
+    master: &SchemaRef,
+) -> Result<EditingRule> {
+    if !md.is_exact() {
+        return Err(RuleError::Underivable {
+            source: md.name().to_string(),
+            message: "MD uses similarity operators; only exact (==) MDs compile to editing rules"
+                .into(),
+        });
+    }
+    let lhs: Vec<(AttrId, AttrId)> = md.lhs().iter().map(|c| (c.left, c.right)).collect();
+    let rhs: Vec<(AttrId, AttrId)> = md.rhs().to_vec();
+    EditingRule::new(format!("{}!er", md.name()), input, master, lhs, rhs, PatternTuple::empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::TableauRow;
+    use crate::md::MdClause;
+    use crate::similarity::SimilarityOp;
+    use cerfix_relation::{Schema, Tuple, Value};
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        (
+            Schema::of_strings("customer", ["FN", "AC", "phn", "city", "zip"]).unwrap(),
+            Schema::of_strings("master", ["FN", "AC", "Mphn", "city", "zip", "DoB"]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn by_name_correspondence() {
+        let (input, master) = schemas();
+        let c = AttrCorrespondence::by_name(&input, &master);
+        assert_eq!(c.master_of(input.attr_id("zip").unwrap()), Some(master.attr_id("zip").unwrap()));
+        assert_eq!(c.master_of(input.attr_id("phn").unwrap()), None, "phn ≠ Mphn by name");
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn explicit_pairs_override() {
+        let (input, master) = schemas();
+        let c = AttrCorrespondence::by_name(&input, &master)
+            .with_pair(input.attr_id("phn").unwrap(), master.attr_id("Mphn").unwrap());
+        assert_eq!(
+            c.master_of(input.attr_id("phn").unwrap()),
+            Some(master.attr_id("Mphn").unwrap())
+        );
+    }
+
+    #[test]
+    fn variable_cfd_derives_join_rule() {
+        // zip → city (plain FD) ⇒ eR: ((zip, zip) → (city, city), ()) — the
+        // paper's φ3 recovered from a CFD.
+        let (input, master) = schemas();
+        let fd = Cfd::functional(
+            "fd1",
+            &input,
+            vec![input.attr_id("zip").unwrap()],
+            input.attr_id("city").unwrap(),
+        )
+        .unwrap();
+        let c = AttrCorrespondence::by_name(&input, &master);
+        let rules = derive_from_cfd(&fd, &input, &master, &c).unwrap();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.input_lhs(), vec![input.attr_id("zip").unwrap()]);
+        assert_eq!(r.master_lhs(), vec![master.attr_id("zip").unwrap()]);
+        assert_eq!(r.input_rhs(), vec![input.attr_id("city").unwrap()]);
+        assert!(r.pattern().is_empty());
+    }
+
+    #[test]
+    fn constant_cfd_rows_become_patterned_rules() {
+        // ψ1/ψ2 as a two-row CFD ⇒ two rules, each pinning AC.
+        let (input, master) = schemas();
+        let ac = input.attr_id("AC").unwrap();
+        let city = input.attr_id("city").unwrap();
+        let cfd = Cfd::new(
+            "psi",
+            &input,
+            vec![ac],
+            city,
+            vec![
+                TableauRow {
+                    lhs: vec![TableauCell::Const(Value::str("020"))],
+                    rhs: TableauCell::Const(Value::str("Ldn")),
+                },
+                TableauRow {
+                    lhs: vec![TableauCell::Const(Value::str("131"))],
+                    rhs: TableauCell::Const(Value::str("Edi")),
+                },
+            ],
+        )
+        .unwrap();
+        let c = AttrCorrespondence::by_name(&input, &master);
+        let rules = derive_from_cfd(&cfd, &input, &master, &c).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name(), "psi#0");
+        // Row 0's pattern requires AC = 020.
+        let t020 = Tuple::of_strings(input.clone(), ["f", "020", "p", "c", "z"]).unwrap();
+        let t131 = Tuple::of_strings(input.clone(), ["f", "131", "p", "c", "z"]).unwrap();
+        assert!(rules[0].pattern().matches(&t020));
+        assert!(!rules[0].pattern().matches(&t131));
+        assert!(rules[1].pattern().matches(&t131));
+    }
+
+    #[test]
+    fn unmapped_attribute_fails_derivation() {
+        let (input, master) = schemas();
+        let fd = Cfd::functional(
+            "fd_phone",
+            &input,
+            vec![input.attr_id("phn").unwrap()],
+            input.attr_id("city").unwrap(),
+        )
+        .unwrap();
+        let c = AttrCorrespondence::by_name(&input, &master);
+        let err = derive_from_cfd(&fd, &input, &master, &c).unwrap_err();
+        assert!(matches!(err, RuleError::Underivable { .. }));
+        assert!(err.to_string().contains("phn"));
+    }
+
+    #[test]
+    fn exact_md_compiles() {
+        // customer[phn] == master[Mphn] → FN ⇌ FN: the MD behind φ4.
+        let (input, master) = schemas();
+        let md = MatchingDependency::new(
+            "m1",
+            &input,
+            &master,
+            vec![MdClause {
+                left: input.attr_id("phn").unwrap(),
+                right: master.attr_id("Mphn").unwrap(),
+                op: SimilarityOp::Exact,
+            }],
+            vec![(input.attr_id("FN").unwrap(), master.attr_id("FN").unwrap())],
+        )
+        .unwrap();
+        let r = derive_from_md(&md, &input, &master).unwrap();
+        assert_eq!(r.name(), "m1!er");
+        assert_eq!(r.input_lhs(), vec![input.attr_id("phn").unwrap()]);
+        assert_eq!(r.master_lhs(), vec![master.attr_id("Mphn").unwrap()]);
+        assert_eq!(r.input_rhs(), vec![input.attr_id("FN").unwrap()]);
+    }
+
+    #[test]
+    fn similarity_md_rejected() {
+        let (input, master) = schemas();
+        let md = MatchingDependency::new(
+            "m2",
+            &input,
+            &master,
+            vec![MdClause {
+                left: input.attr_id("FN").unwrap(),
+                right: master.attr_id("FN").unwrap(),
+                op: SimilarityOp::Abbreviation,
+            }],
+            vec![(input.attr_id("city").unwrap(), master.attr_id("city").unwrap())],
+        )
+        .unwrap();
+        let err = derive_from_md(&md, &input, &master).unwrap_err();
+        assert!(matches!(err, RuleError::Underivable { .. }));
+    }
+
+    #[test]
+    fn derived_rule_semantics_against_master_tuple() {
+        // End-to-end: the rule derived from zip→city matches Example 2's pair.
+        let (input, master) = schemas();
+        let fd = Cfd::functional(
+            "fd1",
+            &input,
+            vec![input.attr_id("zip").unwrap()],
+            input.attr_id("city").unwrap(),
+        )
+        .unwrap();
+        let c = AttrCorrespondence::by_name(&input, &master);
+        let r = derive_from_cfd(&fd, &input, &master, &c).unwrap().remove(0);
+        let t = Tuple::of_strings(input.clone(), ["Bob", "020", "079", "Edi", "EH8 4AH"]).unwrap();
+        let s =
+            Tuple::of_strings(master.clone(), ["Robert", "131", "079", "Edi", "EH8 4AH", "11/11/55"])
+                .unwrap();
+        assert!(r.matches_pair(&t, &s));
+    }
+}

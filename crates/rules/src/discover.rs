@@ -1,0 +1,234 @@
+//! Dependency discovery from reference data.
+//!
+//! Paper §2: editing rules can be "derived from integrity constraints,
+//! e.g., cfds and matching dependencies for which discovery algorithms
+//! are already in place". This module provides those discovery
+//! algorithms for the single-LHS case: exact functional dependencies
+//! `X → A` (one attribute each side) holding on a reference relation,
+//! with support statistics, plus a pipeline that discovers FDs on master
+//! data and compiles them straight into editing rules over an input
+//! schema.
+//!
+//! Discovery is deliberately conservative: a dependency is reported only
+//! if it holds *exactly* (no violating pair) and its LHS has at least
+//! `min_distinct` distinct values (tiny domains make accidental FDs
+//! likely). Discovered rules are still subject to the engine's
+//! consistency check and the region finder's certification — discovery
+//! proposes, verification disposes.
+
+use crate::derive::{derive_from_cfd, AttrCorrespondence};
+use crate::editing_rule::EditingRule;
+use crate::error::Result;
+use crate::cfd::Cfd;
+use cerfix_relation::{AttrId, Relation, SchemaRef, Value};
+use std::collections::HashMap;
+
+/// A discovered single-attribute functional dependency with support
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredFd {
+    /// LHS attribute (in the reference relation's schema).
+    pub lhs: AttrId,
+    /// RHS attribute.
+    pub rhs: AttrId,
+    /// Number of distinct LHS values observed.
+    pub distinct_keys: usize,
+    /// Number of rows supporting the dependency (non-null key and value).
+    pub support: usize,
+}
+
+/// Check whether `lhs → rhs` holds exactly on `relation`; returns the
+/// discovery record if it does.
+pub fn check_fd(relation: &Relation, lhs: AttrId, rhs: AttrId) -> Option<DiscoveredFd> {
+    let mut seen: HashMap<&Value, &Value> = HashMap::new();
+    let mut support = 0usize;
+    for (_, t) in relation.iter() {
+        let k = t.get(lhs);
+        let v = t.get(rhs);
+        if k.is_null() || v.is_null() {
+            continue;
+        }
+        support += 1;
+        match seen.get(k) {
+            None => {
+                seen.insert(k, v);
+            }
+            Some(existing) => {
+                if *existing != v {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(DiscoveredFd { lhs, rhs, distinct_keys: seen.len(), support })
+}
+
+/// Discover every single-LHS FD `X → A` (X ≠ A) holding exactly on
+/// `relation` with at least `min_distinct` distinct LHS values.
+///
+/// O(arity² · n) with hash grouping — ample for entity-style schemas
+/// (≤ a few dozen attributes).
+pub fn discover_fds(relation: &Relation, min_distinct: usize) -> Vec<DiscoveredFd> {
+    let arity = relation.schema().arity();
+    let mut out = Vec::new();
+    for lhs in 0..arity {
+        for rhs in 0..arity {
+            if lhs == rhs {
+                continue;
+            }
+            if let Some(fd) = check_fd(relation, lhs, rhs) {
+                if fd.distinct_keys >= min_distinct {
+                    out.push(fd);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A discovered rule with its provenance.
+#[derive(Debug, Clone)]
+pub struct DiscoveredRule {
+    /// The compiled editing rule (over the input schema).
+    pub rule: EditingRule,
+    /// The FD it came from (attribute ids in the *master* schema).
+    pub source: DiscoveredFd,
+}
+
+/// Full pipeline: discover FDs on `master_relation`, keep those whose
+/// attributes exist (by name) in `input`, and compile each into an
+/// editing rule `((x, X) → (a, A), ())`.
+///
+/// Returns the rules in deterministic (lhs, rhs) order, named
+/// `auto_<lhs>_<rhs>`.
+pub fn discover_rules(
+    input: &SchemaRef,
+    master: &SchemaRef,
+    master_relation: &Relation,
+    min_distinct: usize,
+) -> Result<Vec<DiscoveredRule>> {
+    debug_assert_eq!(master.arity(), master_relation.schema().arity());
+    let correspondence = AttrCorrespondence::by_name(input, master);
+    let mut out = Vec::new();
+    for fd in discover_fds(master_relation, min_distinct) {
+        // Map master attrs back to input attrs by name.
+        let lhs_name = master_relation.schema().attr_name(fd.lhs);
+        let rhs_name = master_relation.schema().attr_name(fd.rhs);
+        let (Some(input_lhs), Some(input_rhs)) =
+            (input.attr_id(lhs_name), input.attr_id(rhs_name))
+        else {
+            continue; // master-only attributes cannot seed input rules
+        };
+        // Reuse the CFD derivation machinery: the FD is a single
+        // wildcard-row CFD over the input schema.
+        let cfd = Cfd::functional(
+            format!("auto_{lhs_name}_{rhs_name}"),
+            input,
+            vec![input_lhs],
+            input_rhs,
+        )?;
+        let rules = derive_from_cfd(&cfd, input, master, &correspondence)?;
+        for rule in rules {
+            out.push(DiscoveredRule { rule, source: fd.clone() });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema};
+
+    fn reference() -> Relation {
+        let s = Schema::of_strings("m", ["zip", "AC", "city", "name"]).unwrap();
+        RelationBuilder::new(s)
+            .row_strs(["EH8", "131", "Edi", "Ann"])
+            .row_strs(["EH9", "131", "Edi", "Bob"])
+            .row_strs(["SW1", "020", "Ldn", "Cat"])
+            .row_strs(["NW1", "020", "Ldn", "Ann"]) // name repeats: name→* fails
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn check_fd_accepts_and_rejects() {
+        let rel = reference();
+        // zip → city holds (zips unique).
+        let fd = check_fd(&rel, 0, 2).unwrap();
+        assert_eq!(fd.distinct_keys, 4);
+        assert_eq!(fd.support, 4);
+        // AC → city holds (131→Edi, 020→Ldn).
+        assert!(check_fd(&rel, 1, 2).is_some());
+        // city → zip fails (Edi has two zips).
+        assert!(check_fd(&rel, 2, 0).is_none());
+        // name → zip fails (Ann has two zips).
+        assert!(check_fd(&rel, 3, 0).is_none());
+    }
+
+    #[test]
+    fn discovery_respects_min_distinct() {
+        let rel = reference();
+        let all = discover_fds(&rel, 1);
+        let strict = discover_fds(&rel, 3);
+        assert!(all.len() > strict.len());
+        // AC has 2 distinct keys: excluded at min_distinct = 3.
+        assert!(all.iter().any(|fd| fd.lhs == 1 && fd.rhs == 2));
+        assert!(!strict.iter().any(|fd| fd.lhs == 1));
+        // zip-keyed FDs (4 distinct) survive.
+        assert!(strict.iter().any(|fd| fd.lhs == 0 && fd.rhs == 2));
+    }
+
+    #[test]
+    fn nulls_do_not_support_or_violate() {
+        let s = Schema::of_strings("m", ["k", "v"]).unwrap();
+        let mut rel = RelationBuilder::new(s.clone())
+            .row_strs(["a", "1"])
+            .build()
+            .unwrap();
+        rel.push(cerfix_relation::Tuple::new(s.clone(), vec![Value::str("a"), Value::Null]).unwrap())
+            .unwrap();
+        let fd = check_fd(&rel, 0, 1).unwrap();
+        assert_eq!(fd.support, 1, "null value rows don't count");
+    }
+
+    #[test]
+    fn pipeline_compiles_rules_over_input_schema() {
+        // Input lacks `name`; master-only columns are skipped.
+        let input = Schema::of_strings("in", ["zip", "AC", "city", "extra"]).unwrap();
+        let master = reference().schema().clone();
+        let rel = reference();
+        let rules = discover_rules(&input, &master, &rel, 2).unwrap();
+        assert!(!rules.is_empty());
+        for dr in &rules {
+            // Every rule is a 1-1 join on same-named attrs with empty pattern.
+            assert_eq!(dr.rule.lhs().len(), 1);
+            assert!(dr.rule.pattern().is_empty());
+            let (t, s) = dr.rule.lhs()[0];
+            assert_eq!(input.attr_name(t), master.attr_name(s));
+        }
+        // zip→city must be among them; name-keyed rules must not.
+        assert!(rules.iter().any(|dr| {
+            let (t, _) = dr.rule.lhs()[0];
+            let (b, _) = dr.rule.rhs()[0];
+            input.attr_name(t) == "zip" && input.attr_name(b) == "city"
+        }));
+        assert!(rules.iter().all(|dr| {
+            let (t, _) = dr.rule.lhs()[0];
+            input.attr_name(t) != "name"
+        }));
+    }
+
+    #[test]
+    fn discovered_rule_names_are_deterministic() {
+        let input = Schema::of_strings("in", ["zip", "AC", "city"]).unwrap();
+        let master = reference().schema().clone();
+        let rel = reference();
+        let a = discover_rules(&input, &master, &rel, 2).unwrap();
+        let b = discover_rules(&input, &master, &rel, 2).unwrap();
+        let names_a: Vec<&str> = a.iter().map(|d| d.rule.name()).collect();
+        let names_b: Vec<&str> = b.iter().map(|d| d.rule.name()).collect();
+        assert_eq!(names_a, names_b);
+        assert!(names_a[0].starts_with("auto_"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Editing rules — the paper's central formalism.
+//!
+//! An editing rule `φ: ((X, Xm) → (B, Bm), tp[Xp])` relates an *input*
+//! schema `R` and a *master* schema `Rm` (Example 2 of the paper):
+//! for an input tuple `t` and master tuple `s`, if `t[X] = s[Xm]`,
+//! `t[Xp]` matches the pattern `tp`, and `t[X ∪ Xp]` is validated,
+//! then `t[B] := s[Bm]` and `B` becomes validated.
+//!
+//! Rules are *structural* objects here; their application semantics (the
+//! certain-fix requirement that all matching master tuples agree) lives in
+//! `cerfix::engine`.
+
+use crate::error::{Result, RuleError};
+use crate::pattern::PatternTuple;
+use cerfix_relation::{AttrId, SchemaRef, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A pair of attribute ids: `(input-schema attr, master-schema attr)`.
+pub type AttrPair = (AttrId, AttrId);
+
+/// An editing rule over a fixed `(input, master)` schema pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditingRule {
+    name: String,
+    /// `X` / `Xm`: `t[X] = s[Xm]` match condition, position-wise.
+    lhs: Vec<AttrPair>,
+    /// `B` / `Bm`: the cells updated, `t[B] := s[Bm]` position-wise.
+    rhs: Vec<AttrPair>,
+    /// `tp[Xp]`: pattern over the *input* tuple.
+    pattern: PatternTuple,
+}
+
+impl EditingRule {
+    /// Build and validate an editing rule.
+    ///
+    /// Validation (against the schema pair):
+    /// * LHS and RHS must be non-empty and reference in-range attributes;
+    /// * matched and copied attribute pairs must have identical types;
+    /// * RHS input attributes must be disjoint from `X ∪ Xp` (a rule may
+    ///   not overwrite its own evidence) and duplicate-free;
+    /// * pattern attributes must be in range.
+    pub fn new(
+        name: impl Into<String>,
+        input: &SchemaRef,
+        master: &SchemaRef,
+        lhs: impl Into<Vec<AttrPair>>,
+        rhs: impl Into<Vec<AttrPair>>,
+        pattern: PatternTuple,
+    ) -> Result<EditingRule> {
+        let name = name.into();
+        let lhs: Vec<AttrPair> = lhs.into();
+        let rhs: Vec<AttrPair> = rhs.into();
+        if lhs.is_empty() {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "LHS (match condition) must not be empty".into(),
+            });
+        }
+        if rhs.is_empty() {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "RHS (fix targets) must not be empty".into(),
+            });
+        }
+        let check_pair = |pair: &AttrPair, role: &str| -> Result<()> {
+            let (ti, si) = *pair;
+            let t_attr = input.attribute(ti).ok_or_else(|| RuleError::InvalidRule {
+                rule: name.clone(),
+                message: format!("{role} input attribute id {ti} out of range"),
+            })?;
+            let s_attr = master.attribute(si).ok_or_else(|| RuleError::InvalidRule {
+                rule: name.clone(),
+                message: format!("{role} master attribute id {si} out of range"),
+            })?;
+            if t_attr.data_type() != s_attr.data_type() {
+                return Err(RuleError::TypeIncompatible {
+                    rule: name.clone(),
+                    input_attr: t_attr.name().into(),
+                    master_attr: s_attr.name().into(),
+                });
+            }
+            Ok(())
+        };
+        for pair in &lhs {
+            check_pair(pair, "LHS")?;
+        }
+        for pair in &rhs {
+            check_pair(pair, "RHS")?;
+        }
+        for attr in pattern.attrs() {
+            if input.attribute(attr).is_none() {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: format!("pattern attribute id {attr} out of range"),
+                });
+            }
+        }
+        let evidence: BTreeSet<AttrId> =
+            lhs.iter().map(|&(t, _)| t).chain(pattern.attrs()).collect();
+        let mut rhs_seen = BTreeSet::new();
+        for &(t, _) in &rhs {
+            if evidence.contains(&t) {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: format!(
+                        "RHS attribute `{}` overlaps the rule's own evidence (X ∪ Xp)",
+                        input.attr_name(t)
+                    ),
+                });
+            }
+            if !rhs_seen.insert(t) {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: format!("RHS attribute `{}` listed twice", input.attr_name(t)),
+                });
+            }
+        }
+        Ok(EditingRule { name, lhs, rhs, pattern })
+    }
+
+    /// The rule's name (`φ1` … in the paper).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The match condition pairs `(X, Xm)`.
+    pub fn lhs(&self) -> &[AttrPair] {
+        &self.lhs
+    }
+
+    /// The fix pairs `(B, Bm)`.
+    pub fn rhs(&self) -> &[AttrPair] {
+        &self.rhs
+    }
+
+    /// The pattern tuple `tp[Xp]`.
+    pub fn pattern(&self) -> &PatternTuple {
+        &self.pattern
+    }
+
+    /// Input-side LHS attributes `X`, in rule order.
+    pub fn input_lhs(&self) -> Vec<AttrId> {
+        self.lhs.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// Master-side LHS attributes `Xm`, in rule order.
+    pub fn master_lhs(&self) -> Vec<AttrId> {
+        self.lhs.iter().map(|&(_, s)| s).collect()
+    }
+
+    /// Input-side RHS attributes `B`.
+    pub fn input_rhs(&self) -> Vec<AttrId> {
+        self.rhs.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// Master-side RHS attributes `Bm`.
+    pub fn master_rhs(&self) -> Vec<AttrId> {
+        self.rhs.iter().map(|&(_, s)| s).collect()
+    }
+
+    /// The *evidence set* `X ∪ Xp`: every input attribute that must be
+    /// validated before this rule may fire.
+    pub fn evidence_attrs(&self) -> BTreeSet<AttrId> {
+        self.lhs.iter().map(|&(t, _)| t).chain(self.pattern.attrs()).collect()
+    }
+
+    /// True iff `t[X] = s[Xm]` (nulls never match) and `t` satisfies the
+    /// pattern. This is the per-master-tuple applicability test; the
+    /// validation precondition is the engine's concern.
+    pub fn matches_pair(&self, t: &Tuple, s: &Tuple) -> bool {
+        self.pattern.matches(t)
+            && self
+                .lhs
+                .iter()
+                .all(|&(ti, si)| t.get(ti).matches(s.get(si)))
+    }
+
+    /// Render the rule in the paper's notation using schema names.
+    pub fn render(&self, input: &SchemaRef, master: &SchemaRef) -> String {
+        let fmt_pairs = |pairs: &[AttrPair]| -> String {
+            let xs: Vec<&str> = pairs.iter().map(|&(t, _)| input.attr_name(t)).collect();
+            let ys: Vec<&str> = pairs.iter().map(|&(_, s)| master.attr_name(s)).collect();
+            format!("(({}), ({}))", xs.join(", "), ys.join(", "))
+        };
+        format!(
+            "{}: {} -> {}, tp = {}",
+            self.name,
+            fmt_pairs(&self.lhs),
+            fmt_pairs(&self.rhs),
+            self.pattern.render(input)
+        )
+    }
+}
+
+impl fmt::Display for EditingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(|X|={}, |B|={})", self.name, self.lhs.len(), self.rhs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{Schema, Value};
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        let input = Schema::of_strings(
+            "customer",
+            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let master = Schema::of_strings(
+            "master",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+        )
+        .unwrap();
+        (input, master)
+    }
+
+    /// The paper's rule φ1: ((zip, zip) → (AC, AC), tp1 = ()).
+    fn phi1(input: &SchemaRef, master: &SchemaRef) -> EditingRule {
+        let zip_t = input.attr_id("zip").unwrap();
+        let zip_s = master.attr_id("zip").unwrap();
+        let ac_t = input.attr_id("AC").unwrap();
+        let ac_s = master.attr_id("AC").unwrap();
+        EditingRule::new("phi1", input, master, vec![(zip_t, zip_s)], vec![(ac_t, ac_s)], PatternTuple::empty())
+            .unwrap()
+    }
+
+    #[test]
+    fn phi1_shape() {
+        let (input, master) = schemas();
+        let r = phi1(&input, &master);
+        assert_eq!(r.input_lhs(), vec![input.attr_id("zip").unwrap()]);
+        assert_eq!(r.master_lhs(), vec![master.attr_id("zip").unwrap()]);
+        assert_eq!(r.input_rhs(), vec![input.attr_id("AC").unwrap()]);
+        assert_eq!(r.evidence_attrs().len(), 1);
+        assert_eq!(
+            r.render(&input, &master),
+            "phi1: ((zip), (zip)) -> ((AC), (AC)), tp = ()"
+        );
+    }
+
+    #[test]
+    fn matches_pair_example2() {
+        // Example 2: t and s share zip EH8 4AH, so φ1 matches the pair.
+        let (input, master) = schemas();
+        let r = phi1(&input, &master);
+        let t = Tuple::of_strings(
+            input.clone(),
+            ["Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD"],
+        )
+        .unwrap();
+        let s = Tuple::of_strings(
+            master.clone(),
+            ["Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"],
+        )
+        .unwrap();
+        assert!(r.matches_pair(&t, &s));
+        let mut t2 = t.clone();
+        t2.set_by_name("zip", Value::str("XX1 1XX")).unwrap();
+        assert!(!r.matches_pair(&t2, &s));
+    }
+
+    #[test]
+    fn pattern_gates_match() {
+        // φ4-style rule: phn ↔ Mphn with pattern type = 2.
+        let (input, master) = schemas();
+        let r = EditingRule::new(
+            "phi4",
+            &input,
+            &master,
+            vec![(input.attr_id("phn").unwrap(), master.attr_id("Mphn").unwrap())],
+            vec![(input.attr_id("FN").unwrap(), master.attr_id("FN").unwrap())],
+            PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("2")),
+        )
+        .unwrap();
+        let t_mobile = Tuple::of_strings(
+            input.clone(),
+            ["M.", "Smith", "131", "079172485", "2", "x", "Edi", "EH8", "CD"],
+        )
+        .unwrap();
+        let t_home = Tuple::of_strings(
+            input.clone(),
+            ["M.", "Smith", "131", "079172485", "1", "x", "Edi", "EH8", "CD"],
+        )
+        .unwrap();
+        let s = Tuple::of_strings(
+            master.clone(),
+            ["Mark", "Smith", "131", "5550000", "079172485", "y", "Edi", "EH8", "1/1/70", "M"],
+        )
+        .unwrap();
+        assert!(r.matches_pair(&t_mobile, &s));
+        assert!(!r.matches_pair(&t_home, &s), "pattern type=2 must gate");
+        // Evidence includes both the LHS attribute and the pattern attribute.
+        let ev = r.evidence_attrs();
+        assert!(ev.contains(&input.attr_id("phn").unwrap()));
+        assert!(ev.contains(&input.attr_id("type").unwrap()));
+    }
+
+    #[test]
+    fn multi_attribute_lhs() {
+        // φ6-style: (AC, phn) ↔ (AC, Hphn), pattern type = 1.
+        let (input, master) = schemas();
+        let r = EditingRule::new(
+            "phi6",
+            &input,
+            &master,
+            vec![
+                (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
+                (input.attr_id("phn").unwrap(), master.attr_id("Hphn").unwrap()),
+            ],
+            vec![(input.attr_id("str").unwrap(), master.attr_id("str").unwrap())],
+            PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("1")),
+        )
+        .unwrap();
+        assert_eq!(r.lhs().len(), 2);
+        assert_eq!(r.evidence_attrs().len(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_sides() {
+        let (input, master) = schemas();
+        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        let ac = (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap());
+        assert!(matches!(
+            EditingRule::new("e", &input, &master, vec![], vec![ac], PatternTuple::empty()),
+            Err(RuleError::InvalidRule { .. })
+        ));
+        assert!(matches!(
+            EditingRule::new("e", &input, &master, vec![zip], vec![], PatternTuple::empty()),
+            Err(RuleError::InvalidRule { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rhs_overlapping_evidence() {
+        let (input, master) = schemas();
+        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        // RHS = zip while LHS = zip: would overwrite its own evidence.
+        let err =
+            EditingRule::new("bad", &input, &master, vec![zip], vec![zip], PatternTuple::empty())
+                .unwrap_err();
+        assert!(err.to_string().contains("evidence"));
+        // RHS overlapping a pattern attribute is equally rejected.
+        let ty = input.attr_id("type").unwrap();
+        let err = EditingRule::new(
+            "bad2",
+            &input,
+            &master,
+            vec![zip],
+            vec![(ty, master.attr_id("gender").unwrap())],
+            PatternTuple::empty().with_eq(ty, Value::str("1")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("evidence"));
+    }
+
+    #[test]
+    fn rejects_duplicate_rhs() {
+        let (input, master) = schemas();
+        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        let ac = (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap());
+        let err = EditingRule::new(
+            "dup",
+            &input,
+            &master,
+            vec![zip],
+            vec![ac, ac],
+            PatternTuple::empty(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_type_mismatch() {
+        let (input, master) = schemas();
+        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        assert!(EditingRule::new("r", &input, &master, vec![(99, 0)], vec![zip], PatternTuple::empty()).is_err());
+        assert!(EditingRule::new("r", &input, &master, vec![zip], vec![(0, 99)], PatternTuple::empty()).is_err());
+
+        let typed_in = Schema::new("i", [("a", cerfix_relation::DataType::Int), ("b", cerfix_relation::DataType::String)]).unwrap();
+        let typed_m = Schema::new("m", [("a", cerfix_relation::DataType::String), ("b", cerfix_relation::DataType::String)]).unwrap();
+        let err = EditingRule::new("r", &typed_in, &typed_m, vec![(0, 0)], vec![(1, 1)], PatternTuple::empty())
+            .unwrap_err();
+        assert!(matches!(err, RuleError::TypeIncompatible { .. }));
+    }
+
+    #[test]
+    fn multi_rhs_rule() {
+        // A combined φ1+φ2+φ3-style rule: zip fixes AC, str and city at once.
+        let (input, master) = schemas();
+        let r = EditingRule::new(
+            "phi123",
+            &input,
+            &master,
+            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
+            vec![
+                (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
+                (input.attr_id("str").unwrap(), master.attr_id("str").unwrap()),
+                (input.attr_id("city").unwrap(), master.attr_id("city").unwrap()),
+            ],
+            PatternTuple::empty(),
+        )
+        .unwrap();
+        assert_eq!(r.input_rhs().len(), 3);
+        assert_eq!(r.master_rhs().len(), 3);
+    }
+
+    #[test]
+    fn null_lhs_never_matches() {
+        let (input, master) = schemas();
+        let r = phi1(&input, &master);
+        let t = Tuple::all_null(input.clone());
+        let s = Tuple::all_null(master.clone());
+        assert!(!r.matches_pair(&t, &s));
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for rule construction, parsing and derivation.
+
+use std::fmt;
+
+/// Errors raised while building, parsing, or deriving rules.
+#[derive(Debug)]
+pub enum RuleError {
+    /// A rule referenced an attribute missing from its schema.
+    Relation(cerfix_relation::RelationError),
+    /// The LHS/RHS attribute lists of a rule were structurally invalid.
+    InvalidRule {
+        /// Rule name for diagnostics.
+        rule: String,
+        /// What is wrong.
+        message: String,
+    },
+    /// Types of a matched or copied attribute pair disagree.
+    TypeIncompatible {
+        /// Rule name.
+        rule: String,
+        /// Input-side attribute name.
+        input_attr: String,
+        /// Master-side attribute name.
+        master_attr: String,
+    },
+    /// The rule DSL text was malformed.
+    Parse {
+        /// 1-based line of the offending declaration.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A matching dependency could not be compiled into an editing rule.
+    Underivable {
+        /// Source constraint name.
+        source: String,
+        /// Why the derivation is impossible.
+        message: String,
+    },
+    /// A rule name was already present in the rule set.
+    DuplicateRule {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A rule name was not found in the rule set.
+    UnknownRule {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Relation(e) => write!(f, "{e}"),
+            RuleError::InvalidRule { rule, message } => {
+                write!(f, "invalid rule `{rule}`: {message}")
+            }
+            RuleError::TypeIncompatible { rule, input_attr, master_attr } => write!(
+                f,
+                "rule `{rule}`: attribute types of `{input_attr}` and `{master_attr}` are incompatible"
+            ),
+            RuleError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            RuleError::Underivable { source, message } => {
+                write!(f, "cannot derive editing rule from `{source}`: {message}")
+            }
+            RuleError::DuplicateRule { name } => write!(f, "duplicate rule name `{name}`"),
+            RuleError::UnknownRule { name } => write!(f, "unknown rule `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuleError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cerfix_relation::RelationError> for RuleError {
+    fn from(e: cerfix_relation::RelationError) -> Self {
+        RuleError::Relation(e)
+    }
+}
+
+/// Result alias for rule operations.
+pub type Result<T> = std::result::Result<T, RuleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RuleError::InvalidRule { rule: "phi1".into(), message: "empty LHS".into() };
+        assert_eq!(e.to_string(), "invalid rule `phi1`: empty LHS");
+
+        let e = RuleError::Parse { line: 7, message: "expected `->`".into() };
+        assert!(e.to_string().contains("line 7"));
+
+        let e = RuleError::DuplicateRule { name: "phi1".into() };
+        assert!(e.to_string().contains("phi1"));
+    }
+
+    #[test]
+    fn wraps_relation_errors() {
+        use std::error::Error;
+        let inner = cerfix_relation::RelationError::EmptySchema;
+        let e = RuleError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

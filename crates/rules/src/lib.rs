@@ -1,0 +1,51 @@
+//! # cerfix-rules — constraints and rules for the CerFix reproduction
+//!
+//! Implements the rule formalisms of *CerFix: A System for Cleaning Data
+//! with Certain Fixes* (Fan et al., PVLDB 4(12), 2011) and its companion
+//! theory paper (*Towards certain fixes with editing rules and master
+//! data*, PVLDB 2010):
+//!
+//! * [`EditingRule`] — the central formalism `((X, Xm) → (B, Bm), tp[Xp])`
+//!   relating an input schema to a master schema;
+//! * [`PatternTuple`] / [`PatternOp`] — the pattern language (`= c`,
+//!   `≠ c`, wildcard) with an exact satisfiability procedure
+//!   ([`ConstraintSet`]) used by consistency checking;
+//! * [`Cfd`] — conditional functional dependencies with embedded pattern
+//!   tableaux and violation detection (Example 1 of the paper, and the
+//!   error detector of the heuristic baseline);
+//! * [`MatchingDependency`] — matching dependencies with similarity
+//!   operators ([`SimilarityOp`]);
+//! * [`derive_from_cfd`] / [`derive_from_md`] — rule derivation, as the
+//!   demo's rule manager imports rules "discovered from cfds or mds";
+//! * [`parse_rules`] — a textual DSL standing in for the demo's rule
+//!   management Web form;
+//! * [`RuleSet`] — the managed rule collection (view/add/modify/delete).
+//!
+//! Application semantics (certain fixes, fixpoints, consistency,
+//! regions) live in the `cerfix` core crate; this crate is purely the
+//! rule layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfd;
+mod derive;
+mod discover;
+mod editing_rule;
+mod error;
+mod md;
+mod parser;
+mod pattern;
+mod ruleset;
+mod similarity;
+
+pub use cfd::{Cfd, CfdViolation, TableauCell, TableauRow};
+pub use derive::{derive_from_cfd, derive_from_md, AttrCorrespondence};
+pub use discover::{check_fd, discover_fds, discover_rules, DiscoveredFd, DiscoveredRule};
+pub use editing_rule::{AttrPair, EditingRule};
+pub use error::{Result, RuleError};
+pub use md::{MatchingDependency, MdClause};
+pub use parser::{parse_rules, render_er_dsl, RuleDecl};
+pub use pattern::{ConstraintSet, PatternCell, PatternOp, PatternTuple};
+pub use ruleset::{RuleId, RuleSet};
+pub use similarity::{abbreviation_match, edit_distance, edit_distance_within, SimilarityOp};

@@ -1,0 +1,246 @@
+//! Matching dependencies (MDs).
+//!
+//! An MD `R1[X1] ≈ R2[X2] → R1[Y1] ⇌ R2[Y2]` (Fan et al., PVLDB 2009 — the
+//! paper's reference [6]) asserts that when two tuples from `R1` and `R2`
+//! are similar on `X1`/`X2` under the listed operators, their `Y1`/`Y2`
+//! cells identify the same real-world value. The demo's rule manager
+//! imports editing rules "discovered from cfds or mds"; MDs with exact
+//! operators compile directly to editing rules (`crate::derive`), and
+//! similarity MDs are used by the workload evaluation to justify matches
+//! like `"M." ≈ "Mark"`.
+
+use crate::error::{Result, RuleError};
+use crate::similarity::SimilarityOp;
+use cerfix_relation::{AttrId, SchemaRef, Tuple};
+use std::fmt;
+
+/// One similarity comparison in an MD's LHS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdClause {
+    /// Attribute in the left (input) schema.
+    pub left: AttrId,
+    /// Attribute in the right (master) schema.
+    pub right: AttrId,
+    /// Similarity operator.
+    pub op: SimilarityOp,
+}
+
+/// A matching dependency across an `(input, master)` schema pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingDependency {
+    name: String,
+    lhs: Vec<MdClause>,
+    /// Identified pairs `(Y1, Y2)`: on match, `t[Y1]` and `s[Y2]` refer to
+    /// the same value.
+    rhs: Vec<(AttrId, AttrId)>,
+}
+
+impl MatchingDependency {
+    /// Build and validate an MD against its schema pair.
+    pub fn new(
+        name: impl Into<String>,
+        input: &SchemaRef,
+        master: &SchemaRef,
+        lhs: impl Into<Vec<MdClause>>,
+        rhs: impl Into<Vec<(AttrId, AttrId)>>,
+    ) -> Result<MatchingDependency> {
+        let name = name.into();
+        let lhs: Vec<MdClause> = lhs.into();
+        let rhs: Vec<(AttrId, AttrId)> = rhs.into();
+        if lhs.is_empty() {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "MD LHS must not be empty".into(),
+            });
+        }
+        if rhs.is_empty() {
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "MD RHS must not be empty".into(),
+            });
+        }
+        for c in &lhs {
+            if input.attribute(c.left).is_none() || master.attribute(c.right).is_none() {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: "MD LHS attribute out of range".into(),
+                });
+            }
+        }
+        for &(l, r) in &rhs {
+            if input.attribute(l).is_none() || master.attribute(r).is_none() {
+                return Err(RuleError::InvalidRule {
+                    rule: name,
+                    message: "MD RHS attribute out of range".into(),
+                });
+            }
+        }
+        Ok(MatchingDependency { name, lhs, rhs })
+    }
+
+    /// The MD's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The LHS similarity clauses.
+    pub fn lhs(&self) -> &[MdClause] {
+        &self.lhs
+    }
+
+    /// The identified RHS attribute pairs.
+    pub fn rhs(&self) -> &[(AttrId, AttrId)] {
+        &self.rhs
+    }
+
+    /// True iff every LHS clause holds for `(t, s)`.
+    pub fn matches_pair(&self, t: &Tuple, s: &Tuple) -> bool {
+        self.lhs.iter().all(|c| c.op.matches(t.get(c.left), s.get(c.right)))
+    }
+
+    /// True iff every LHS operator is exact equality (and hence the MD is
+    /// compilable to an editing rule).
+    pub fn is_exact(&self) -> bool {
+        self.lhs.iter().all(|c| c.op.is_exact())
+    }
+
+    /// Render with attribute names.
+    pub fn render(&self, input: &SchemaRef, master: &SchemaRef) -> String {
+        let lhs: Vec<String> = self
+            .lhs
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}[{}] {} {}[{}]",
+                    input.name(),
+                    input.attr_name(c.left),
+                    c.op,
+                    master.name(),
+                    master.attr_name(c.right)
+                )
+            })
+            .collect();
+        let rhs: Vec<String> = self
+            .rhs
+            .iter()
+            .map(|&(l, r)| {
+                format!(
+                    "{}[{}] <=> {}[{}]",
+                    input.name(),
+                    input.attr_name(l),
+                    master.name(),
+                    master.attr_name(r)
+                )
+            })
+            .collect();
+        format!("{}: {} -> {}", self.name, lhs.join(" & "), rhs.join(", "))
+    }
+}
+
+impl fmt::Display for MatchingDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(|lhs|={}, |rhs|={})", self.name, self.lhs.len(), self.rhs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        (
+            Schema::of_strings("customer", ["FN", "LN", "phn"]).unwrap(),
+            Schema::of_strings("master", ["FN", "LN", "Mphn"]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn phone_name_md() {
+        // customer[phn] == master[Mphn] ∧ customer[FN] abbr master[FN]
+        //   → customer[FN] ⇌ master[FN]
+        let (input, master) = schemas();
+        let md = MatchingDependency::new(
+            "m1",
+            &input,
+            &master,
+            vec![
+                MdClause { left: 2, right: 2, op: SimilarityOp::Exact },
+                MdClause { left: 0, right: 0, op: SimilarityOp::Abbreviation },
+            ],
+            vec![(0, 0)],
+        )
+        .unwrap();
+        let t = Tuple::of_strings(input.clone(), ["M.", "Smith", "079172485"]).unwrap();
+        let s = Tuple::of_strings(master.clone(), ["Mark", "Smith", "079172485"]).unwrap();
+        assert!(md.matches_pair(&t, &s));
+        assert!(!md.is_exact());
+
+        let s2 = Tuple::of_strings(master.clone(), ["Nina", "Smith", "079172485"]).unwrap();
+        assert!(!md.matches_pair(&t, &s2), "abbreviation clause must fail");
+        let s3 = Tuple::of_strings(master, ["Mark", "Smith", "000"]).unwrap();
+        assert!(!md.matches_pair(&t, &s3), "phone clause must fail");
+    }
+
+    #[test]
+    fn exact_md_detected() {
+        let (input, master) = schemas();
+        let md = MatchingDependency::new(
+            "m2",
+            &input,
+            &master,
+            vec![MdClause { left: 2, right: 2, op: SimilarityOp::Exact }],
+            vec![(0, 0), (1, 1)],
+        )
+        .unwrap();
+        assert!(md.is_exact());
+        assert_eq!(md.rhs().len(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        let (input, master) = schemas();
+        assert!(MatchingDependency::new("m", &input, &master, vec![], vec![(0, 0)]).is_err());
+        assert!(MatchingDependency::new(
+            "m",
+            &input,
+            &master,
+            vec![MdClause { left: 0, right: 0, op: SimilarityOp::Exact }],
+            vec![],
+        )
+        .is_err());
+        assert!(MatchingDependency::new(
+            "m",
+            &input,
+            &master,
+            vec![MdClause { left: 9, right: 0, op: SimilarityOp::Exact }],
+            vec![(0, 0)],
+        )
+        .is_err());
+        assert!(MatchingDependency::new(
+            "m",
+            &input,
+            &master,
+            vec![MdClause { left: 0, right: 0, op: SimilarityOp::Exact }],
+            vec![(0, 9)],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn render_readable() {
+        let (input, master) = schemas();
+        let md = MatchingDependency::new(
+            "m1",
+            &input,
+            &master,
+            vec![MdClause { left: 2, right: 2, op: SimilarityOp::EditDistance(1) }],
+            vec![(0, 0)],
+        )
+        .unwrap();
+        assert_eq!(
+            md.render(&input, &master),
+            "m1: customer[phn] ~1 master[Mphn] -> customer[FN] <=> master[FN]"
+        );
+    }
+}

@@ -1,0 +1,761 @@
+//! A textual DSL for editing rules, CFDs and MDs.
+//!
+//! The demo manages rules through a Web form (Fig. 2); the reproduction
+//! manages them as text, one declaration per line:
+//!
+//! ```text
+//! # The paper's nine editing rules (Fig. 2).
+//! er phi1: match zip=zip fix zip:=zip when ()          # (sic: φ1 fixes AC)
+//! er phi4: match phn=Mphn fix FN:=FN when (type='2')
+//! er phi9: match AC=AC fix city:=city when (AC!='0800')
+//!
+//! # CFDs over the input schema (Example 1).
+//! cfd psi1: AC -> city | '020' -> 'Ldn' ; '131' -> 'Edi'
+//! cfd fd1: zip -> city | _ -> _
+//!
+//! # Matching dependencies across the schema pair.
+//! md m1: phn==Mphn & FN abbr FN identify FN<=>FN
+//! ```
+//!
+//! Grammar (per line, after stripping `#`-comments):
+//!
+//! ```text
+//! er   NAME ':' 'match' pair (',' pair)* 'fix' fixpair (',' fixpair)* 'when' pattern
+//! pair     := ATTR '=' ATTR                  (input = master)
+//! fixpair  := ATTR ':=' ATTR                 (input := master)
+//! pattern  := '(' ')' | '(' cond (',' cond)* ')'
+//! cond     := ATTR '=' STRING | ATTR '!=' STRING
+//!
+//! cfd  NAME ':' attrs '->' ATTR '|' row (';' row)*
+//! attrs    := ATTR (',' ATTR)*
+//! row      := cell (',' cell)* '->' cell
+//! cell     := '_' | STRING
+//!
+//! md   NAME ':' clause ('&' clause)* 'identify' ident (',' ident)*
+//! clause   := ATTR simop ATTR                (input op master)
+//! simop    := '==' | '=i=' | 'abbr' | '~' INT
+//! ident    := ATTR '<=>' ATTR
+//! ```
+//!
+//! `STRING` is single-quoted with `''` as the escape for a literal quote.
+
+use crate::cfd::{Cfd, TableauCell, TableauRow};
+use crate::editing_rule::EditingRule;
+use crate::error::{Result, RuleError};
+use crate::md::{MatchingDependency, MdClause};
+use crate::pattern::PatternTuple;
+use crate::similarity::SimilarityOp;
+use cerfix_relation::{SchemaRef, Value};
+
+/// A parsed top-level declaration.
+#[derive(Debug, Clone)]
+pub enum RuleDecl {
+    /// An editing rule.
+    Er(EditingRule),
+    /// A conditional functional dependency (over the input schema).
+    Cfd(Cfd),
+    /// A matching dependency (across the schema pair).
+    Md(MatchingDependency),
+}
+
+impl RuleDecl {
+    /// The declaration's name.
+    pub fn name(&self) -> &str {
+        match self {
+            RuleDecl::Er(r) => r.name(),
+            RuleDecl::Cfd(c) => c.name(),
+            RuleDecl::Md(m) => m.name(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(u32),
+    Colon,
+    Comma,
+    Semicolon,
+    LParen,
+    RParen,
+    Eq,        // =
+    EqEq,      // ==
+    EqIEq,     // =i=
+    Ne,        // !=
+    Assign,    // :=
+    Arrow,     // ->
+    Identify,  // <=>
+    Amp,       // &
+    Tilde,     // ~
+    Underscore,
+    Pipe,
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| RuleError::Parse { line: line_no, message: msg };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '#' => break, // comment to end of line
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semicolon);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '~' => {
+                toks.push(Tok::Tilde);
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Assign);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Colon);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(err("stray `-` (expected `->`)".into()));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') && chars.get(i + 2) == Some(&'>') {
+                    toks.push(Tok::Identify);
+                    i += 3;
+                } else {
+                    return Err(err("stray `<` (expected `<=>`)".into()));
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(err("stray `!` (expected `!=`)".into()));
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'i') && chars.get(i + 2) == Some(&'=') {
+                    toks.push(Tok::EqIEq);
+                    i += 3;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Eq);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Quoted string; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(err("unterminated string literal".into())),
+                        Some('\'') => {
+                            if chars.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '_' if !chars
+                .get(i + 1)
+                .map(|c| c.is_alphanumeric() || *c == '_')
+                .unwrap_or(false) =>
+            {
+                toks.push(Tok::Underscore);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // A digit run followed by identifier chars is an identifier
+                // (attribute names may start with digits in odd schemas).
+                if i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Tok::Ident(chars[start..i].iter().collect()));
+                } else {
+                    let n: u32 = text
+                        .parse()
+                        .map_err(|_| err(format!("integer literal `{text}` out of range")))?;
+                    toks.push(Tok::Int(n));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> RuleError {
+        RuleError::Parse { line: self.line, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+/// Parse an entire DSL document into declarations.
+pub fn parse_rules(text: &str, input: &SchemaRef, master: &SchemaRef) -> Result<Vec<RuleDecl>> {
+    let mut decls = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let toks = tokenize(raw_line, line_no)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor { toks: &toks, pos: 0, line: line_no };
+        let kind = cur.ident("declaration keyword (`er`, `cfd` or `md`)")?;
+        let decl = match kind.as_str() {
+            "er" => RuleDecl::Er(parse_er(&mut cur, input, master)?),
+            "cfd" => RuleDecl::Cfd(parse_cfd(&mut cur, input)?),
+            "md" => RuleDecl::Md(parse_md(&mut cur, input, master)?),
+            other => {
+                return Err(cur.err(format!(
+                    "unknown declaration `{other}` (expected `er`, `cfd` or `md`)"
+                )))
+            }
+        };
+        if !cur.at_end() {
+            return Err(cur.err("trailing tokens after declaration"));
+        }
+        decls.push(decl);
+    }
+    Ok(decls)
+}
+
+fn parse_er(cur: &mut Cursor<'_>, input: &SchemaRef, master: &SchemaRef) -> Result<EditingRule> {
+    let name = cur.ident("rule name")?;
+    cur.expect(&Tok::Colon, "`:`")?;
+    let kw = cur.ident("`match`")?;
+    if kw != "match" {
+        return Err(cur.err(format!("expected `match`, found `{kw}`")));
+    }
+    let mut lhs = Vec::new();
+    loop {
+        let t_attr = cur.ident("input attribute")?;
+        cur.expect(&Tok::Eq, "`=`")?;
+        let s_attr = cur.ident("master attribute")?;
+        lhs.push((
+            input.require_attr(&t_attr)?,
+            master.require_attr(&s_attr)?,
+        ));
+        match cur.peek() {
+            Some(Tok::Comma) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    let kw = cur.ident("`fix`")?;
+    if kw != "fix" {
+        return Err(cur.err(format!("expected `fix`, found `{kw}`")));
+    }
+    let mut rhs = Vec::new();
+    loop {
+        let t_attr = cur.ident("input attribute")?;
+        cur.expect(&Tok::Assign, "`:=`")?;
+        let s_attr = cur.ident("master attribute")?;
+        rhs.push((
+            input.require_attr(&t_attr)?,
+            master.require_attr(&s_attr)?,
+        ));
+        match cur.peek() {
+            Some(Tok::Comma) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    let kw = cur.ident("`when`")?;
+    if kw != "when" {
+        return Err(cur.err(format!("expected `when`, found `{kw}`")));
+    }
+    cur.expect(&Tok::LParen, "`(`")?;
+    let mut pattern = PatternTuple::empty();
+    if cur.peek() != Some(&Tok::RParen) {
+        loop {
+            let attr = cur.ident("pattern attribute")?;
+            let attr_id = input.require_attr(&attr)?;
+            match cur.next() {
+                Some(Tok::Eq) => {
+                    let v = cur.string("pattern constant")?;
+                    pattern = pattern.with_eq(attr_id, Value::str(v));
+                }
+                Some(Tok::Ne) => {
+                    let v = cur.string("pattern constant")?;
+                    pattern = pattern.with_ne(attr_id, Value::str(v));
+                }
+                other => return Err(cur.err(format!("expected `=` or `!=`, found {other:?}"))),
+            }
+            match cur.peek() {
+                Some(Tok::Comma) => {
+                    cur.next();
+                }
+                _ => break,
+            }
+        }
+    }
+    cur.expect(&Tok::RParen, "`)`")?;
+    EditingRule::new(name, input, master, lhs, rhs, pattern)
+}
+
+fn parse_cfd(cur: &mut Cursor<'_>, input: &SchemaRef) -> Result<Cfd> {
+    let name = cur.ident("CFD name")?;
+    cur.expect(&Tok::Colon, "`:`")?;
+    let mut lhs = Vec::new();
+    loop {
+        let attr = cur.ident("LHS attribute")?;
+        lhs.push(input.require_attr(&attr)?);
+        match cur.peek() {
+            Some(Tok::Comma) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    cur.expect(&Tok::Arrow, "`->`")?;
+    let rhs_attr = cur.ident("RHS attribute")?;
+    let rhs = input.require_attr(&rhs_attr)?;
+    cur.expect(&Tok::Pipe, "`|`")?;
+    let mut tableau = Vec::new();
+    loop {
+        let mut cells = Vec::new();
+        loop {
+            cells.push(parse_cell(cur)?);
+            match cur.peek() {
+                Some(Tok::Comma) => {
+                    cur.next();
+                }
+                _ => break,
+            }
+        }
+        cur.expect(&Tok::Arrow, "`->`")?;
+        let rhs_cell = parse_cell(cur)?;
+        tableau.push(TableauRow { lhs: cells, rhs: rhs_cell });
+        match cur.peek() {
+            Some(Tok::Semicolon) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    Cfd::new(name, input, lhs, rhs, tableau)
+}
+
+fn parse_cell(cur: &mut Cursor<'_>) -> Result<TableauCell> {
+    match cur.next() {
+        Some(Tok::Underscore) => Ok(TableauCell::Wildcard),
+        Some(Tok::Str(s)) => Ok(TableauCell::Const(Value::str(s.clone()))),
+        other => Err(cur.err(format!("expected `_` or a quoted constant, found {other:?}"))),
+    }
+}
+
+fn parse_md(
+    cur: &mut Cursor<'_>,
+    input: &SchemaRef,
+    master: &SchemaRef,
+) -> Result<MatchingDependency> {
+    let name = cur.ident("MD name")?;
+    cur.expect(&Tok::Colon, "`:`")?;
+    let mut lhs = Vec::new();
+    loop {
+        let left = cur.ident("input attribute")?;
+        let left_id = input.require_attr(&left)?;
+        let op = match cur.next() {
+            Some(Tok::EqEq) => SimilarityOp::Exact,
+            Some(Tok::EqIEq) => SimilarityOp::CaseInsensitive,
+            Some(Tok::Tilde) => match cur.next() {
+                Some(Tok::Int(k)) => SimilarityOp::EditDistance(k),
+                other => {
+                    return Err(cur.err(format!("expected distance bound after `~`, found {other:?}")))
+                }
+            },
+            Some(Tok::Ident(kw)) if kw == "abbr" => SimilarityOp::Abbreviation,
+            other => {
+                return Err(cur.err(format!(
+                    "expected similarity operator (`==`, `=i=`, `~k`, `abbr`), found {other:?}"
+                )))
+            }
+        };
+        let right = cur.ident("master attribute")?;
+        let right_id = master.require_attr(&right)?;
+        lhs.push(MdClause { left: left_id, right: right_id, op });
+        match cur.peek() {
+            Some(Tok::Amp) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    let kw = cur.ident("`identify`")?;
+    if kw != "identify" {
+        return Err(cur.err(format!("expected `identify`, found `{kw}`")));
+    }
+    let mut rhs = Vec::new();
+    loop {
+        let left = cur.ident("input attribute")?;
+        cur.expect(&Tok::Identify, "`<=>`")?;
+        let right = cur.ident("master attribute")?;
+        rhs.push((input.require_attr(&left)?, master.require_attr(&right)?));
+        match cur.peek() {
+            Some(Tok::Comma) => {
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+    MatchingDependency::new(name, input, master, lhs, rhs)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering (inverse of parsing, for the explorer's rule listing)
+// ---------------------------------------------------------------------------
+
+/// Render an editing rule back into DSL syntax.
+pub fn render_er_dsl(rule: &EditingRule, input: &SchemaRef, master: &SchemaRef) -> String {
+    let lhs: Vec<String> = rule
+        .lhs()
+        .iter()
+        .map(|&(t, s)| format!("{}={}", input.attr_name(t), master.attr_name(s)))
+        .collect();
+    let rhs: Vec<String> = rule
+        .rhs()
+        .iter()
+        .map(|&(t, s)| format!("{}:={}", input.attr_name(t), master.attr_name(s)))
+        .collect();
+    let pattern = if rule.pattern().is_empty() {
+        "()".to_string()
+    } else {
+        let conds: Vec<String> = rule
+            .pattern()
+            .cells()
+            .iter()
+            .map(|c| {
+                use crate::pattern::PatternOp;
+                match &c.op {
+                    PatternOp::Any => format!("{}!=''", input.attr_name(c.attr)),
+                    PatternOp::Eq(v) => format!("{}='{}'", input.attr_name(c.attr), quote(v)),
+                    PatternOp::Ne(vs) => vs
+                        .iter()
+                        .map(|v| format!("{}!='{}'", input.attr_name(c.attr), quote(v)))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                }
+            })
+            .collect();
+        format!("({})", conds.join(", "))
+    };
+    format!("er {}: match {} fix {} when {}", rule.name(), lhs.join(", "), rhs.join(", "), pattern)
+}
+
+fn quote(v: &Value) -> String {
+    v.render().replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{Schema, Tuple};
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        (
+            Schema::of_strings(
+                "customer",
+                ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            )
+            .unwrap(),
+            Schema::of_strings(
+                "master",
+                ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn parse_phi1() {
+        let (input, master) = schemas();
+        let decls =
+            parse_rules("er phi1: match zip=zip fix AC:=AC when ()", &input, &master).unwrap();
+        assert_eq!(decls.len(), 1);
+        let RuleDecl::Er(r) = &decls[0] else { panic!("expected er") };
+        assert_eq!(r.name(), "phi1");
+        assert_eq!(r.input_lhs(), vec![input.attr_id("zip").unwrap()]);
+        assert_eq!(r.input_rhs(), vec![input.attr_id("AC").unwrap()]);
+        assert!(r.pattern().is_empty());
+    }
+
+    #[test]
+    fn parse_phi4_with_pattern() {
+        let (input, master) = schemas();
+        let decls = parse_rules(
+            "er phi4: match phn=Mphn fix FN:=FN when (type='2')",
+            &input,
+            &master,
+        )
+        .unwrap();
+        let RuleDecl::Er(r) = &decls[0] else { panic!() };
+        let t = Tuple::of_strings(
+            input.clone(),
+            ["M.", "Smith", "131", "079", "2", "s", "Edi", "EH8", "CD"],
+        )
+        .unwrap();
+        assert!(r.pattern().matches(&t));
+    }
+
+    #[test]
+    fn parse_phi9_negation() {
+        let (input, master) = schemas();
+        let decls = parse_rules(
+            "er phi9: match AC=AC fix city:=city when (AC!='0800')",
+            &input,
+            &master,
+        )
+        .unwrap();
+        let RuleDecl::Er(r) = &decls[0] else { panic!() };
+        let toll_free = Tuple::of_strings(
+            input.clone(),
+            ["f", "l", "0800", "p", "1", "s", "c", "z", "i"],
+        )
+        .unwrap();
+        assert!(!r.pattern().matches(&toll_free));
+    }
+
+    #[test]
+    fn parse_multi_attr_and_multi_fix() {
+        let (input, master) = schemas();
+        let decls = parse_rules(
+            "er phi678: match AC=AC, phn=Hphn fix str:=str, city:=city, zip:=zip when (type='1')",
+            &input,
+            &master,
+        )
+        .unwrap();
+        let RuleDecl::Er(r) = &decls[0] else { panic!() };
+        assert_eq!(r.lhs().len(), 2);
+        assert_eq!(r.rhs().len(), 3);
+    }
+
+    #[test]
+    fn parse_cfd_constant_and_variable() {
+        let (input, master) = schemas();
+        let text = "cfd psi: AC -> city | '020' -> 'Ldn' ; '131' -> 'Edi' ; _ -> _";
+        let decls = parse_rules(text, &input, &master).unwrap();
+        let RuleDecl::Cfd(c) = &decls[0] else { panic!() };
+        assert_eq!(c.tableau().len(), 3);
+        assert!(c.tableau()[0].is_constant());
+        assert!(!c.tableau()[2].is_constant());
+    }
+
+    #[test]
+    fn parse_md_operators() {
+        let (input, master) = schemas();
+        let text = "md m1: phn==Mphn & FN abbr FN & LN~1 LN & city=i=city identify FN<=>FN, LN<=>LN";
+        let decls = parse_rules(text, &input, &master).unwrap();
+        let RuleDecl::Md(m) = &decls[0] else { panic!() };
+        assert_eq!(m.lhs().len(), 4);
+        assert_eq!(m.lhs()[0].op, SimilarityOp::Exact);
+        assert_eq!(m.lhs()[1].op, SimilarityOp::Abbreviation);
+        assert_eq!(m.lhs()[2].op, SimilarityOp::EditDistance(1));
+        assert_eq!(m.lhs()[3].op, SimilarityOp::CaseInsensitive);
+        assert_eq!(m.rhs().len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let (input, master) = schemas();
+        let text = "\n# all nine rules below\n\ner phi1: match zip=zip fix AC:=AC when () # trailing\n";
+        let decls = parse_rules(text, &input, &master).unwrap();
+        assert_eq!(decls.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let (input, master) = schemas();
+        let text = "er ok1: match zip=zip fix AC:=AC when ()\ner broken match";
+        let err = parse_rules(text, &input, &master).unwrap_err();
+        match err {
+            RuleError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_reported() {
+        let (input, master) = schemas();
+        let err =
+            parse_rules("er r: match postcode=zip fix AC:=AC when ()", &input, &master).unwrap_err();
+        assert!(err.to_string().contains("postcode"));
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let (input, master) = schemas();
+        let err = parse_rules("rule r: match zip=zip", &input, &master).unwrap_err();
+        assert!(err.to_string().contains("unknown declaration"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let (input, master) = schemas();
+        let err = parse_rules(
+            "er r: match zip=zip fix AC:=AC when () garbage",
+            &input,
+            &master,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let (input, master) = schemas();
+        let decls = parse_rules(
+            "er r: match zip=zip fix AC:=AC when (city='O''Brien''s')",
+            &input,
+            &master,
+        )
+        .unwrap();
+        let RuleDecl::Er(r) = &decls[0] else { panic!() };
+        let cell = &r.pattern().cells()[0];
+        assert_eq!(cell.op, crate::pattern::PatternOp::Eq(Value::str("O'Brien's")));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let (input, master) = schemas();
+        let err = parse_rules(
+            "er r: match zip=zip fix AC:=AC when (city='oops)",
+            &input,
+            &master,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn render_round_trip() {
+        let (input, master) = schemas();
+        let text = "er phi9: match AC=AC fix city:=city when (AC!='0800')";
+        let decls = parse_rules(text, &input, &master).unwrap();
+        let RuleDecl::Er(r) = &decls[0] else { panic!() };
+        let rendered = render_er_dsl(r, &input, &master);
+        let reparsed = parse_rules(&rendered, &input, &master).unwrap();
+        let RuleDecl::Er(r2) = &reparsed[0] else { panic!() };
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn decl_names() {
+        let (input, master) = schemas();
+        let text = "er a: match zip=zip fix AC:=AC when ()\ncfd b: AC -> city | _ -> _\nmd c: phn==Mphn identify FN<=>FN";
+        let decls = parse_rules(text, &input, &master).unwrap();
+        let names: Vec<&str> = decls.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Rule sets: the managed collection behind the demo's rule manager.
+//!
+//! A [`RuleSet`] binds a set of editing rules to one `(input, master)`
+//! schema pair and supports the management operations the demo's Web
+//! interface exposes (view / add / modify / delete, Fig. 2), with name
+//! uniqueness enforced. The consistency *analysis* of a rule set lives in
+//! `cerfix::engine::consistency` — this type is purely the container.
+
+use crate::editing_rule::EditingRule;
+use crate::error::{Result, RuleError};
+use cerfix_relation::{AttrId, SchemaRef};
+use std::collections::{BTreeSet, HashMap};
+
+/// Stable identifier of a rule within a rule set (dense, in insertion
+/// order; unaffected by deletions so audit records stay valid).
+pub type RuleId = usize;
+
+/// A managed collection of editing rules over one schema pair.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    input: SchemaRef,
+    master: SchemaRef,
+    /// Slot per ever-added rule; `None` marks a deleted rule.
+    rules: Vec<Option<EditingRule>>,
+    by_name: HashMap<String, RuleId>,
+}
+
+impl RuleSet {
+    /// Create an empty rule set over the schema pair.
+    pub fn new(input: SchemaRef, master: SchemaRef) -> RuleSet {
+        RuleSet { input, master, rules: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The input (dirty-tuple) schema.
+    pub fn input_schema(&self) -> &SchemaRef {
+        &self.input
+    }
+
+    /// The master schema.
+    pub fn master_schema(&self) -> &SchemaRef {
+        &self.master
+    }
+
+    /// Add a rule, enforcing name uniqueness. Returns the new rule's id.
+    pub fn add(&mut self, rule: EditingRule) -> Result<RuleId> {
+        if self.by_name.contains_key(rule.name()) {
+            return Err(RuleError::DuplicateRule { name: rule.name().into() });
+        }
+        let id = self.rules.len();
+        self.by_name.insert(rule.name().to_string(), id);
+        self.rules.push(Some(rule));
+        Ok(id)
+    }
+
+    /// Add several rules, stopping at the first failure.
+    pub fn add_all(&mut self, rules: impl IntoIterator<Item = EditingRule>) -> Result<Vec<RuleId>> {
+        rules.into_iter().map(|r| self.add(r)).collect()
+    }
+
+    /// Remove the rule named `name`. The id is retired, not reused.
+    pub fn remove(&mut self, name: &str) -> Result<EditingRule> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| RuleError::UnknownRule { name: name.into() })?;
+        Ok(self.rules[id].take().expect("by_name points at live rule"))
+    }
+
+    /// Replace the rule named `name` with `rule` (which may be renamed;
+    /// the new name must not collide with another live rule).
+    pub fn update(&mut self, name: &str, rule: EditingRule) -> Result<RuleId> {
+        let id = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| RuleError::UnknownRule { name: name.into() })?;
+        if rule.name() != name && self.by_name.contains_key(rule.name()) {
+            return Err(RuleError::DuplicateRule { name: rule.name().into() });
+        }
+        self.by_name.remove(name);
+        self.by_name.insert(rule.name().to_string(), id);
+        self.rules[id] = Some(rule);
+        Ok(id)
+    }
+
+    /// The rule with the given id, if live.
+    pub fn get(&self, id: RuleId) -> Option<&EditingRule> {
+        self.rules.get(id).and_then(Option::as_ref)
+    }
+
+    /// The rule named `name`, if present.
+    pub fn get_by_name(&self, name: &str) -> Option<(RuleId, &EditingRule)> {
+        let id = *self.by_name.get(name)?;
+        Some((id, self.rules[id].as_ref()?))
+    }
+
+    /// Number of live rules.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True iff there are no live rules.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Iterator over live rules as `(RuleId, &EditingRule)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &EditingRule)> {
+        self.rules.iter().enumerate().filter_map(|(id, r)| r.as_ref().map(|r| (id, r)))
+    }
+
+    /// Every input attribute fixable by some rule (union of RHS sets).
+    pub fn fixable_attrs(&self) -> BTreeSet<AttrId> {
+        self.iter().flat_map(|(_, r)| r.input_rhs()).collect()
+    }
+
+    /// Every input attribute used as evidence by some rule (union of
+    /// `X ∪ Xp` sets).
+    pub fn evidence_attrs(&self) -> BTreeSet<AttrId> {
+        self.iter().flat_map(|(_, r)| r.evidence_attrs()).collect()
+    }
+
+    /// Rules whose full evidence set is contained in `validated`, i.e.
+    /// rules eligible to fire given the validated attributes.
+    pub fn eligible(&self, validated: &BTreeSet<AttrId>) -> Vec<RuleId> {
+        self.iter()
+            .filter(|(_, r)| r.evidence_attrs().is_subset(validated))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternTuple;
+    use cerfix_relation::Schema;
+
+    fn schemas() -> (SchemaRef, SchemaRef) {
+        (
+            Schema::of_strings("customer", ["AC", "phn", "city", "zip"]).unwrap(),
+            Schema::of_strings("master", ["AC", "Mphn", "city", "zip"]).unwrap(),
+        )
+    }
+
+    fn rule(name: &str, input: &SchemaRef, master: &SchemaRef, lhs: &str, rhs: &str) -> EditingRule {
+        EditingRule::new(
+            name,
+            input,
+            master,
+            vec![(input.attr_id(lhs).unwrap(), master.attr_id(lhs).unwrap())],
+            vec![(input.attr_id(rhs).unwrap(), master.attr_id(rhs).unwrap())],
+            PatternTuple::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        assert!(rs.is_empty());
+        let id = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(id).unwrap().name(), "r1");
+        assert_eq!(rs.get_by_name("r1").unwrap().0, id);
+        let removed = rs.remove("r1").unwrap();
+        assert_eq!(removed.name(), "r1");
+        assert!(rs.is_empty());
+        assert!(rs.get(id).is_none());
+        assert!(matches!(rs.remove("r1"), Err(RuleError::UnknownRule { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        let err = rs.add(rule("r1", &input, &master, "zip", "city")).unwrap_err();
+        assert!(matches!(err, RuleError::DuplicateRule { .. }));
+    }
+
+    #[test]
+    fn ids_not_reused_after_removal() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        let id1 = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        rs.remove("r1").unwrap();
+        let id2 = rs.add(rule("r2", &input, &master, "zip", "city")).unwrap();
+        assert_ne!(id1, id2, "retired ids stay retired so audit records stay valid");
+    }
+
+    #[test]
+    fn update_in_place_and_rename() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        let id = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        // Same-name update.
+        rs.update("r1", rule("r1", &input, &master, "zip", "city")).unwrap();
+        assert_eq!(rs.get(id).unwrap().input_rhs(), vec![input.attr_id("city").unwrap()]);
+        // Rename keeps the id.
+        let id2 = rs.update("r1", rule("r1v2", &input, &master, "zip", "AC")).unwrap();
+        assert_eq!(id, id2);
+        assert!(rs.get_by_name("r1").is_none());
+        assert!(rs.get_by_name("r1v2").is_some());
+        // Renaming onto an existing name fails.
+        rs.add(rule("other", &input, &master, "zip", "city")).unwrap();
+        assert!(rs.update("r1v2", rule("other", &input, &master, "zip", "AC")).is_err());
+    }
+
+    #[test]
+    fn attr_summaries() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        rs.add(rule("r2", &input, &master, "zip", "city")).unwrap();
+        let fixable = rs.fixable_attrs();
+        assert!(fixable.contains(&input.attr_id("AC").unwrap()));
+        assert!(fixable.contains(&input.attr_id("city").unwrap()));
+        assert!(!fixable.contains(&input.attr_id("zip").unwrap()));
+        let evidence = rs.evidence_attrs();
+        assert_eq!(evidence.len(), 1);
+        assert!(evidence.contains(&input.attr_id("zip").unwrap()));
+    }
+
+    #[test]
+    fn eligibility_by_validated_set() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        let r_zip = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        let r_phn = rs.add(rule("r2", &input, &master, "AC", "city")).unwrap();
+        let zip = input.attr_id("zip").unwrap();
+        let ac = input.attr_id("AC").unwrap();
+
+        let only_zip: BTreeSet<AttrId> = [zip].into();
+        assert_eq!(rs.eligible(&only_zip), vec![r_zip]);
+        let both: BTreeSet<AttrId> = [zip, ac].into();
+        assert_eq!(rs.eligible(&both), vec![r_zip, r_phn]);
+        assert!(rs.eligible(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let (input, master) = schemas();
+        let mut rs = RuleSet::new(input.clone(), master.clone());
+        rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
+        rs.add(rule("r2", &input, &master, "zip", "city")).unwrap();
+        rs.remove("r1").unwrap();
+        let names: Vec<&str> = rs.iter().map(|(_, r)| r.name()).collect();
+        assert_eq!(names, vec!["r2"]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Similarity operators for matching dependencies.
+//!
+//! MDs relate attributes under similarity rather than strict equality
+//! (Fan et al., *Reasoning about record matching rules*, PVLDB 2009 — the
+//! paper's reference [6], cited as a source of editing rules). The demo's
+//! rule manager can import rules discovered from MDs, and the FN
+//! normalization of Fig. 3 ("M." → "Mark") motivates the abbreviation
+//! matcher implemented here.
+
+use cerfix_relation::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A similarity operator usable on the LHS of a matching dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityOp {
+    /// Strict equality (the only operator compilable to an editing rule).
+    Exact,
+    /// Levenshtein distance at most the given bound.
+    EditDistance(u32),
+    /// Case-insensitive equality.
+    CaseInsensitive,
+    /// Abbreviation match: `"M."` ≈ `"Mark"`, `"Rob"` ≈ `"Robert"`.
+    Abbreviation,
+}
+
+impl SimilarityOp {
+    /// Evaluate the operator on two values. Non-string values only ever
+    /// match under [`SimilarityOp::Exact`]; nulls match nothing.
+    pub fn matches(self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            SimilarityOp::Exact => left == right,
+            SimilarityOp::EditDistance(k) => match (left.as_str(), right.as_str()) {
+                (Some(a), Some(b)) => edit_distance_within(a, b, k as usize),
+                _ => left == right,
+            },
+            SimilarityOp::CaseInsensitive => match (left.as_str(), right.as_str()) {
+                (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                _ => left == right,
+            },
+            SimilarityOp::Abbreviation => match (left.as_str(), right.as_str()) {
+                (Some(a), Some(b)) => abbreviation_match(a, b),
+                _ => left == right,
+            },
+        }
+    }
+
+    /// True iff the operator is plain equality (and hence an MD using it
+    /// can be compiled into an editing rule).
+    pub fn is_exact(self) -> bool {
+        matches!(self, SimilarityOp::Exact)
+    }
+}
+
+impl fmt::Display for SimilarityOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimilarityOp::Exact => f.write_str("=="),
+            SimilarityOp::EditDistance(k) => write!(f, "~{k}"),
+            SimilarityOp::CaseInsensitive => f.write_str("=i="),
+            SimilarityOp::Abbreviation => f.write_str("abbr"),
+        }
+    }
+}
+
+/// Levenshtein distance with the standard O(|a|·|b|) dynamic program,
+/// single-row formulation (no quadratic allocation).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Early-exit check `edit_distance(a, b) <= k` (band optimization: lengths
+/// differing by more than `k` can never be within distance `k`).
+pub fn edit_distance_within(a: &str, b: &str, k: usize) -> bool {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la.abs_diff(lb) > k {
+        return false;
+    }
+    edit_distance(a, b) <= k
+}
+
+/// Abbreviation match in either direction.
+///
+/// `abbr` matches `full` when `abbr` (sans a trailing `.`) is a non-empty
+/// case-insensitive prefix of `full` and strictly shorter, e.g. `"M."` ≈
+/// `"Mark"`, `"Rob"` ≈ `"Robert"`. Identical strings also match.
+pub fn abbreviation_match(a: &str, b: &str) -> bool {
+    if a.eq_ignore_ascii_case(b) {
+        return true;
+    }
+    is_abbreviation_of(a, b) || is_abbreviation_of(b, a)
+}
+
+fn is_abbreviation_of(abbr: &str, full: &str) -> bool {
+    let stem = abbr.strip_suffix('.').unwrap_or(abbr);
+    if stem.is_empty() || stem.len() >= full.len() {
+        return false;
+    }
+    full.len() >= stem.len()
+        && full.chars()
+            .zip(stem.chars())
+            .all(|(f, s)| f.eq_ignore_ascii_case(&s))
+        && full.chars().count() > stem.chars().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("Edi", "Edi"), 0);
+        assert_eq!(edit_distance("Ldn", "Edi"), 2); // the shared `d` aligns
+        assert_eq!(edit_distance("Brady", "Bradey"), 1);
+    }
+
+    #[test]
+    fn edit_distance_unicode() {
+        assert_eq!(edit_distance("naïve", "naive"), 1);
+        assert_eq!(edit_distance("Šuai", "Suai"), 1);
+    }
+
+    #[test]
+    fn within_band_short_circuits() {
+        assert!(!edit_distance_within("a", "abcdef", 2));
+        assert!(edit_distance_within("Brady", "Bradey", 1));
+        assert!(!edit_distance_within("Brady", "Smith", 2));
+    }
+
+    #[test]
+    fn abbreviation_paper_example() {
+        // Fig. 3: FN normalized from 'M.' to 'Mark' — matched by
+        // abbreviation before rule φ4 copies the master value.
+        assert!(abbreviation_match("M.", "Mark"));
+        assert!(abbreviation_match("Mark", "M."));
+        assert!(abbreviation_match("Rob", "Robert"));
+        assert!(!abbreviation_match("N.", "Mark"));
+        assert!(!abbreviation_match("Mark", "Mar2"));
+        assert!(abbreviation_match("mark", "Mark"));
+    }
+
+    #[test]
+    fn abbreviation_edge_cases() {
+        assert!(!abbreviation_match(".", "Mark"), "bare dot has no stem");
+        assert!(!abbreviation_match("", "Mark"));
+        assert!(abbreviation_match("Same", "Same"));
+    }
+
+    #[test]
+    fn abbreviation_is_symmetric_prefix() {
+        assert!(abbreviation_match("Mark", "Markus"));
+        assert!(abbreviation_match("Markus", "Mark"));
+    }
+
+    #[test]
+    fn ops_match() {
+        let m = Value::str("Mark");
+        let mdot = Value::str("M.");
+        assert!(SimilarityOp::Abbreviation.matches(&mdot, &m));
+        assert!(!SimilarityOp::Exact.matches(&mdot, &m));
+        assert!(SimilarityOp::Exact.matches(&m, &m));
+        assert!(SimilarityOp::EditDistance(1).matches(&Value::str("Brady"), &Value::str("Bradey")));
+        assert!(!SimilarityOp::EditDistance(1).matches(&Value::str("Brady"), &Value::str("Smith")));
+        assert!(SimilarityOp::CaseInsensitive.matches(&Value::str("EDI"), &Value::str("edi")));
+    }
+
+    #[test]
+    fn nulls_never_similar() {
+        for op in [
+            SimilarityOp::Exact,
+            SimilarityOp::EditDistance(5),
+            SimilarityOp::CaseInsensitive,
+            SimilarityOp::Abbreviation,
+        ] {
+            assert!(!op.matches(&Value::Null, &Value::Null));
+            assert!(!op.matches(&Value::Null, &Value::str("x")));
+        }
+    }
+
+    #[test]
+    fn non_string_values_fall_back_to_equality() {
+        assert!(SimilarityOp::EditDistance(2).matches(&Value::int(5), &Value::int(5)));
+        assert!(!SimilarityOp::EditDistance(2).matches(&Value::int(5), &Value::int(6)));
+        assert!(SimilarityOp::Abbreviation.matches(&Value::int(5), &Value::int(5)));
+    }
+
+    #[test]
+    fn is_exact_flag() {
+        assert!(SimilarityOp::Exact.is_exact());
+        assert!(!SimilarityOp::Abbreviation.is_exact());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimilarityOp::Exact.to_string(), "==");
+        assert_eq!(SimilarityOp::EditDistance(2).to_string(), "~2");
+        assert_eq!(SimilarityOp::Abbreviation.to_string(), "abbr");
+    }
+}

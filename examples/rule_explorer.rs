@@ -1,0 +1,94 @@
+//! Rule management with the data-explorer facade — the textual stand-in
+//! for the demo's Web interface (paper Fig. 2): view, add, modify and
+//! delete editing rules, re-check consistency after each change, and
+//! derive rules from CFDs and MDs.
+//!
+//! Run with: `cargo run --example rule_explorer`
+
+use cerfix::{Explorer, MasterData};
+use cerfix_gen::uk;
+use cerfix_rules::{
+    derive_from_cfd, derive_from_md, parse_rules, render_er_dsl, AttrCorrespondence, RuleDecl,
+    RuleSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let input = uk::input_schema();
+    let master_schema = uk::master_schema();
+    let mut rng = StdRng::seed_from_u64(7);
+    let master = MasterData::new(uk::generate_master(300, &mut rng));
+    let mut explorer =
+        Explorer::new(RuleSet::new(input.clone(), master_schema.clone()), master);
+
+    // Import the nine paper rules.
+    let added = explorer.add_rules_dsl(uk::UK_RULES_DSL).expect("paper rules parse");
+    println!("imported {added} rules:\n{}", explorer.render_rules());
+
+    // The automatic consistency check after a rule change.
+    let report = explorer.check_consistency();
+    println!(
+        "strict consistency: {} ({} conflicts reported)",
+        report.is_consistent(),
+        report.conflicts.len()
+    );
+
+    // Modify φ9's pattern via the pop-up-equivalent DSL update (Fig. 2
+    // shows the '≠ 0800' pattern being edited in a frame).
+    explorer
+        .update_rule_dsl(
+            "phi9",
+            "er phi9: match AC=AC fix city:=city when (AC!='0800', AC!='0500')",
+        )
+        .expect("update parses");
+    println!("\nafter editing phi9's pattern:");
+    let (_, phi9) = explorer.rules().get_by_name("phi9").expect("phi9");
+    println!("  {}", render_er_dsl(phi9, &input, &master_schema));
+
+    // Delete and re-add a rule.
+    explorer.delete_rule("phi2").expect("phi2 exists");
+    println!("\ndeleted phi2; {} rules remain", explorer.rules().len());
+    explorer
+        .add_rules_dsl("er phi2: match zip=zip fix str:=str when ()")
+        .expect("re-add parses");
+    println!("re-added phi2; {} rules", explorer.rules().len());
+
+    // Derive additional rules from a CFD and an MD, then import them —
+    // the demo's "discovered from cfds or mds" path.
+    let decls = parse_rules(
+        "cfd psi: AC -> city | '020' -> 'Ldn' ; '131' -> 'Edi'\n\
+         md m1: phn==Mphn identify FN<=>FN",
+        &input,
+        &master_schema,
+    )
+    .expect("constraints parse");
+    let corr = AttrCorrespondence::by_name(&input, &master_schema);
+    println!("\nderived rules:");
+    for decl in &decls {
+        match decl {
+            RuleDecl::Cfd(cfd) => {
+                for rule in derive_from_cfd(cfd, &input, &master_schema, &corr).expect("derivable") {
+                    println!("  from cfd: {}", render_er_dsl(&rule, &input, &master_schema));
+                }
+            }
+            RuleDecl::Md(md) => {
+                let rule = derive_from_md(md, &input, &master_schema).expect("exact MD");
+                println!("  from md:  {}", render_er_dsl(&rule, &input, &master_schema));
+            }
+            RuleDecl::Er(_) => {}
+        }
+    }
+
+    // Recompute the certain regions after rule changes, certifying
+    // against the truth universe of this instance's own master data.
+    let universe = uk::truth_universe(explorer.master().relation());
+    let result = explorer.recompute_regions(&universe, &cerfix::RegionFinderOptions::default());
+    println!(
+        "\nrecomputed {} certain regions ({} candidates, {} rejected by certification):",
+        result.regions.len(),
+        result.stats.candidates,
+        result.stats.rejected_by_certification
+    );
+    print!("{}", explorer.render_regions());
+}

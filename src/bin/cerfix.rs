@@ -1,0 +1,298 @@
+//! `cerfix` — command-line front end for the CerFix reproduction.
+//!
+//! A small operational tool over CSV files (the substitution for the
+//! demo's JDBC-connected deployment):
+//!
+//! ```text
+//! cerfix check   --master M.csv --rules R.dsl [--input-header a,b,c]
+//! cerfix regions --master M.csv --rules R.dsl [--input-header a,b,c] [--top-k N]
+//! cerfix clean   --master M.csv --rules R.dsl --input D.csv --output OUT.csv \
+//!                --trust col1,col2[,...]
+//! cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]
+//! ```
+//!
+//! * `check` parses the rules and runs the consistency analysis in both
+//!   modes.
+//! * `regions` prints the top-k certain regions (certified against the
+//!   master rows reinterpreted as truth entities).
+//! * `clean` monitors each input row: the columns in `--trust` are taken
+//!   as validated (the operator vouches for them — e.g. the entry form's
+//!   key fields), rules fix what they can, and the result is written out
+//!   with a per-column audit summary.
+//! * `discover` mines single-LHS FDs from the master data and prints the
+//!   editing rules they compile to.
+//!
+//! Schemas: the master schema comes from the master CSV header; the
+//! input schema from `--input-header` (or the input CSV's header for
+//! `clean`). All columns are strings, matching the demo's form data.
+
+use cerfix::{
+    check_consistency, find_regions, AuditStats, ConsistencyOptions, DataMonitor, MasterData,
+    RegionFinderOptions,
+};
+use cerfix_relation::{
+    read_untyped_str, write_relation_file, Relation, Schema, SchemaRef, Tuple, Value,
+};
+use cerfix_rules::{discover_rules, parse_rules, render_er_dsl, RuleDecl, RuleSet};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut options = BTreeMap::new();
+    let mut key: Option<String> = None;
+    for arg in argv {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            if let Some((k, v)) = stripped.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+            } else {
+                key = Some(stripped.to_string());
+                options.insert(stripped.to_string(), String::new());
+            }
+        } else if let Some(k) = key.take() {
+            options.insert(k, arg);
+        } else {
+            eprintln!("unexpected positional argument `{arg}`");
+            return None;
+        }
+    }
+    Some(Args { command, options })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cerfix check    --master M.csv --rules R.dsl [--input-header a,b,c]\n  \
+         cerfix regions  --master M.csv --rules R.dsl [--input-header a,b,c] [--top-k N]\n  \
+         cerfix clean    --master M.csv --rules R.dsl --input D.csv --output OUT.csv --trust cols\n  \
+         cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_master(args: &Args) -> Result<Relation, String> {
+    let path = args.options.get("master").ok_or("missing --master")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    read_untyped_str("master", &text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn input_schema_from(args: &Args, master: &Relation) -> Result<SchemaRef, String> {
+    match args.options.get("input-header") {
+        Some(header) => Schema::of_strings("input", header.split(','))
+            .map_err(|e| format!("--input-header: {e}")),
+        None => {
+            // Default: same columns as master (shared-schema deployments).
+            let names: Vec<String> =
+                master.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+            Schema::of_strings("input", names).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn load_rules(args: &Args, input: &SchemaRef, master: &SchemaRef) -> Result<RuleSet, String> {
+    let path = args.options.get("rules").ok_or("missing --rules")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut set = RuleSet::new(input.clone(), master.clone());
+    for decl in parse_rules(&text, input, master).map_err(|e| e.to_string())? {
+        match decl {
+            RuleDecl::Er(rule) => {
+                set.add(rule).map_err(|e| e.to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "`{}` is not an editing rule; derive CFDs/MDs first (see `cerfix discover`)",
+                    other.name()
+                ))
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Master rows reinterpreted over the input schema (by name) as the truth
+/// universe for region certification.
+fn universe_from_master(input: &SchemaRef, master: &Relation) -> Vec<Tuple> {
+    let mapping: Vec<Option<usize>> = input
+        .attributes()
+        .iter()
+        .map(|a| master.schema().attr_id(a.name()))
+        .collect();
+    master
+        .iter()
+        .map(|(_, s)| {
+            let values: Vec<Value> = mapping
+                .iter()
+                .map(|m| m.map(|id| s.get(id).clone()).unwrap_or(Value::Null))
+                .collect();
+            Tuple::new(input.clone(), values).expect("string schema accepts all values")
+        })
+        .collect()
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let master_rel = load_master(args)?;
+    let input = input_schema_from(args, &master_rel)?;
+    let rules = load_rules(args, &input, master_rel.schema())?;
+    let master = MasterData::new(master_rel);
+    println!("{} rules over {} master rows", rules.len(), master.len());
+    for (mode, options) in [
+        ("entity-coherent", ConsistencyOptions::entity_coherent()),
+        ("strict", ConsistencyOptions::default()),
+    ] {
+        let report = check_consistency(&rules, &master, &options);
+        println!(
+            "{mode}: {} ({} conflicts, {} ambiguous keys{})",
+            if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" },
+            report.conflicts.len(),
+            report.ambiguities.len(),
+            if report.budget_exhausted { ", budget exhausted" } else { "" }
+        );
+        for conflict in report.conflicts.iter().take(4) {
+            println!("  {conflict:?}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_regions(args: &Args) -> Result<(), String> {
+    let master_rel = load_master(args)?;
+    let input = input_schema_from(args, &master_rel)?;
+    let rules = load_rules(args, &input, master_rel.schema())?;
+    let universe = universe_from_master(&input, &master_rel);
+    let master = MasterData::new(master_rel);
+    let top_k = args
+        .options
+        .get("top-k")
+        .map(|v| v.parse().map_err(|_| "--top-k must be a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let result = find_regions(
+        &rules,
+        &master,
+        &universe,
+        &RegionFinderOptions { top_k, ..Default::default() },
+    );
+    println!(
+        "{} regions ({} candidates, {} rejected by certification, {} vacuous)",
+        result.regions.len(),
+        result.stats.candidates,
+        result.stats.rejected_by_certification,
+        result.stats.vacuous
+    );
+    for (i, region) in result.regions.iter().enumerate() {
+        println!("{}. {}", i + 1, region.render(&input));
+    }
+    Ok(())
+}
+
+fn cmd_clean(args: &Args) -> Result<(), String> {
+    let master_rel = load_master(args)?;
+    let input_path = args.options.get("input").ok_or("missing --input")?;
+    let text = std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
+    let dirty = read_untyped_str("input", &text).map_err(|e| e.to_string())?;
+    let input = dirty.schema().clone();
+    let rules = load_rules(args, &input, master_rel.schema())?;
+    let trust = args.options.get("trust").ok_or("missing --trust (validated columns)")?;
+    let trusted: Vec<usize> = trust
+        .split(',')
+        .map(|name| {
+            input
+                .attr_id(name.trim())
+                .ok_or_else(|| format!("--trust column `{name}` not in input header"))
+        })
+        .collect::<Result<_, _>>()?;
+    let master = MasterData::new(master_rel);
+    master.warm_indexes(rules.iter().map(|(_, r)| r));
+    let monitor = DataMonitor::new(&rules, &master);
+
+    let mut cleaned = Vec::with_capacity(dirty.len());
+    let mut complete = 0usize;
+    for (idx, tuple) in dirty.iter() {
+        let mut session = monitor.start(idx, tuple.clone());
+        let validations: Vec<(usize, Value)> = trusted
+            .iter()
+            .filter_map(|&a| {
+                let v = tuple.get(a);
+                (!v.is_null()).then(|| (a, v.clone()))
+            })
+            .collect();
+        monitor
+            .apply_validation(&mut session, &validations)
+            .map_err(|e| format!("row {idx}: {e}"))?;
+        if session.is_complete() {
+            complete += 1;
+        }
+        cleaned.push(session.tuple);
+    }
+    let out_path = args.options.get("output").ok_or("missing --output")?;
+    let out_rel = Relation::from_tuples(input.clone(), cleaned).map_err(|e| e.to_string())?;
+    write_relation_file(&out_rel, out_path).map_err(|e| e.to_string())?;
+
+    println!(
+        "cleaned {} rows → {out_path} ({} fully validated, {} partial)",
+        dirty.len(),
+        complete,
+        dirty.len() - complete
+    );
+    let stats = AuditStats::from_log(monitor.audit());
+    print!("{}", stats.render(&input));
+    Ok(())
+}
+
+fn cmd_discover(args: &Args) -> Result<(), String> {
+    let master_rel = load_master(args)?;
+    let input = input_schema_from(args, &master_rel)?;
+    let min_keys = args
+        .options
+        .get("min-keys")
+        .map(|v| v.parse().map_err(|_| "--min-keys must be a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let master_schema = master_rel.schema().clone();
+    let discovered = discover_rules(&input, &master_schema, &master_rel, min_keys)
+        .map_err(|e| e.to_string())?;
+    // Tolerate a closed pipe (`cerfix discover | head`): stop printing
+    // instead of panicking.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let _ = writeln!(out, "# {} rules discovered (min {} distinct keys)", discovered.len(), min_keys);
+    for dr in &discovered {
+        if writeln!(
+            out,
+            "{}  # support {}, {} keys",
+            render_er_dsl(&dr.rule, &input, &master_schema),
+            dr.source.support,
+            dr.source.distinct_keys
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    let _ = out.flush();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    let result = match args.command.as_str() {
+        "check" => cmd_check(&args),
+        "regions" => cmd_regions(&args),
+        "clean" => cmd_clean(&args),
+        "discover" => cmd_discover(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

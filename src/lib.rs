@@ -1,0 +1,30 @@
+//! # cerfix-suite — workspace umbrella
+//!
+//! Re-exports the CerFix reproduction's crates under one roof and hosts
+//! the workspace-level integration tests (`tests/`), runnable examples
+//! (`examples/`) and the `cerfix` CLI (`src/bin/cerfix.rs`).
+//!
+//! Start from [`cerfix`] (the system), [`cerfix_gen`] (scenarios and
+//! workloads) and [`cerfix_baseline`] (the heuristic comparison).
+
+#![forbid(unsafe_code)]
+
+pub use cerfix;
+pub use cerfix_baseline;
+pub use cerfix_gen;
+pub use cerfix_relation;
+pub use cerfix_rules;
+
+#[cfg(test)]
+mod tests {
+    /// The workspace wiring itself: every crate is reachable and the
+    /// flagship types line up across crate boundaries.
+    #[test]
+    fn crates_interoperate() {
+        let input = crate::cerfix_gen::uk::input_schema();
+        assert_eq!(input.arity(), 9);
+        let rules = crate::cerfix_gen::uk::rules();
+        assert_eq!(rules.len(), 9);
+        assert_eq!(rules.input_schema().arity(), input.arity());
+    }
+}

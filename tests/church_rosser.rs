@@ -1,0 +1,143 @@
+//! Property tests for the correcting process: Church–Rosser
+//! (order-independence), monotonicity, idempotence, and
+//! validated-cell immutability — the invariants that make fixes
+//! *certain* rather than order-dependent heuristics.
+
+use cerfix::{run_fixpoint, MasterData};
+use cerfix_gen::uk;
+use cerfix_relation::{AttrId, Tuple};
+use cerfix_rules::{EditingRule, RuleSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Build the UK fixture once per case: 40 master entities, 9 paper rules.
+fn fixture() -> (RuleSet, MasterData, Vec<Tuple>) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let scenario = uk::scenario(40, &mut rng);
+    let master = MasterData::new(scenario.master.clone());
+    (scenario.rules, master, scenario.universe)
+}
+
+/// Re-add the rules of `rules` in the order given by `perm`.
+fn permuted(rules: &RuleSet, perm: &[usize]) -> RuleSet {
+    let list: Vec<&EditingRule> = rules.iter().map(|(_, r)| r).collect();
+    let mut out = RuleSet::new(rules.input_schema().clone(), rules.master_schema().clone());
+    for &i in perm {
+        out.add(list[i % list.len()].clone()).ok(); // duplicates skipped by name
+    }
+    // Ensure every rule is present regardless of the permutation sample.
+    for r in &list {
+        out.add((*r).clone()).ok();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Church–Rosser: for any truth entity, any seed set of validated
+    /// attributes, and any rule ordering, the fixpoint reaches the same
+    /// tuple and validated set.
+    #[test]
+    fn fixpoint_is_order_independent(
+        entity in 0usize..80,
+        seed_mask in 0u16..512,
+        perm in proptest::collection::vec(0usize..9, 9),
+    ) {
+        let (rules, master, universe) = fixture();
+        let truth = &universe[entity % universe.len()];
+        let seed: BTreeSet<AttrId> =
+            (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+
+        let mut t1 = cerfix::region::masked_input(truth, &seed);
+        let mut v1 = seed.clone();
+        run_fixpoint(&rules, &master, &mut t1, &mut v1).unwrap();
+
+        let shuffled = permuted(&rules, &perm);
+        let mut t2 = cerfix::region::masked_input(truth, &seed);
+        let mut v2 = seed.clone();
+        run_fixpoint(&shuffled, &master, &mut t2, &mut v2).unwrap();
+
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Monotonicity: a larger validated seed never yields a smaller
+    /// validated closure.
+    #[test]
+    fn fixpoint_is_monotone(
+        entity in 0usize..80,
+        seed_mask in 0u16..512,
+        extra in 0usize..9,
+    ) {
+        let (rules, master, universe) = fixture();
+        let truth = &universe[entity % universe.len()];
+        let small: BTreeSet<AttrId> =
+            (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+        let mut large = small.clone();
+        large.insert(extra);
+
+        let mut t_small = cerfix::region::masked_input(truth, &small);
+        let mut v_small = small;
+        run_fixpoint(&rules, &master, &mut t_small, &mut v_small).unwrap();
+
+        let mut t_large = cerfix::region::masked_input(truth, &large);
+        let mut v_large = large;
+        run_fixpoint(&rules, &master, &mut t_large, &mut v_large).unwrap();
+
+        prop_assert!(v_small.is_subset(&v_large),
+            "validated {v_small:?} not ⊆ {v_large:?}");
+    }
+
+    /// Idempotence: running the fixpoint twice changes nothing the second
+    /// time.
+    #[test]
+    fn fixpoint_is_idempotent(entity in 0usize..80, seed_mask in 0u16..512) {
+        let (rules, master, universe) = fixture();
+        let truth = &universe[entity % universe.len()];
+        let seed: BTreeSet<AttrId> =
+            (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+        let mut t = cerfix::region::masked_input(truth, &seed);
+        let mut v = seed;
+        run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
+        let snapshot = (t.clone(), v.clone());
+        let second = run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
+        prop_assert!(second.fixes.is_empty());
+        prop_assert_eq!((t, v), snapshot);
+    }
+
+    /// Validated cells are never overwritten: whatever the seed, the
+    /// seeded values survive in the final tuple.
+    #[test]
+    fn validated_cells_are_immutable(entity in 0usize..80, seed_mask in 0u16..512) {
+        let (rules, master, universe) = fixture();
+        let truth = &universe[entity % universe.len()];
+        let seed: BTreeSet<AttrId> =
+            (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+        let mut t = cerfix::region::masked_input(truth, &seed);
+        let mut v = seed.clone();
+        run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
+        for &a in &seed {
+            prop_assert_eq!(t.get(a), truth.get(a), "seeded cell {} changed", a);
+        }
+    }
+
+    /// Soundness on truth entities: every value the fixpoint writes (from
+    /// a truthful seed) equals the entity's true value.
+    #[test]
+    fn fixes_from_truthful_seeds_are_correct(entity in 0usize..80, seed_mask in 0u16..512) {
+        let (rules, master, universe) = fixture();
+        let truth = &universe[entity % universe.len()];
+        let seed: BTreeSet<AttrId> =
+            (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+        let mut t = cerfix::region::masked_input(truth, &seed);
+        let mut v = seed;
+        run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
+        for a in &v {
+            prop_assert_eq!(t.get(*a), truth.get(*a),
+                "validated cell {} has a wrong value", a);
+        }
+    }
+}

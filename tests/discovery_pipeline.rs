@@ -1,0 +1,118 @@
+//! Integration: the discovery → verification → deployment pipeline.
+//!
+//! Rules mined from master data must flow through the same gates as
+//! expert rules — consistency checking, region certification, monitoring
+//! — and deliver the same correctness guarantee.
+
+use cerfix::{
+    check_consistency, clean_stream, find_regions, ConsistencyOptions, DataMonitor, OracleUser,
+    RegionFinderOptions,
+};
+use cerfix_gen::{hosp, make_workload, uk, NoiseSpec};
+use cerfix_rules::{discover_rules, RuleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn discovered_uk_rules_pass_all_gates() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let scenario = uk::scenario(300, &mut rng);
+    let master = scenario.master_data();
+
+    let discovered = discover_rules(
+        &scenario.input,
+        &scenario.master_schema,
+        &scenario.master,
+        8,
+    )
+    .unwrap();
+    assert!(!discovered.is_empty());
+    // Expected FD structure on the UK master: zip determines every shared
+    // attribute; AC and city determine each other.
+    let names: Vec<&str> = discovered.iter().map(|d| d.rule.name()).collect();
+    assert!(names.contains(&"auto_zip_city#0"), "{names:?}");
+    assert!(names.contains(&"auto_zip_AC#0"));
+    assert!(names.contains(&"auto_AC_city#0"));
+    assert!(!names.iter().any(|n| n.contains("phn")), "no phone correspondence by name");
+
+    let mut rules = RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
+    for d in &discovered {
+        rules.add(d.rule.clone()).unwrap();
+    }
+
+    // Gate 1: consistency.
+    let report = check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent());
+    assert!(report.is_consistent(), "{:?}", report.conflicts);
+
+    // Gate 2: certified regions exist; discovered rules are not type-gated
+    // so the minimal region's tableau covers both phone types.
+    let regions =
+        find_regions(&rules, &master, &scenario.universe, &RegionFinderOptions::default())
+            .regions;
+    assert!(!regions.is_empty());
+    let first = &regions[0];
+    assert_eq!(first.size(), 4, "{:?}", first);
+    assert!(first.covers(&scenario.universe[0]), "covers type=1 truths");
+    assert!(first.covers(&scenario.universe[1]), "covers type=2 truths");
+
+    // Gate 3: monitoring with discovered rules reaches exact truth.
+    let monitor = DataMonitor::new(&rules, &master).with_regions(regions);
+    let workload = make_workload(&scenario.universe, 40, &NoiseSpec::with_rate(0.4), &mut rng);
+    let truths = workload.truth.clone();
+    let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
+        Box::new(OracleUser::new(truths[idx].clone()))
+    })
+    .unwrap();
+    assert_eq!(report.complete_count(), 40);
+    for (outcome, truth) in report.outcomes.iter().zip(workload.truth.iter()) {
+        assert_eq!(&outcome.tuple, truth);
+    }
+}
+
+#[test]
+fn discovery_threshold_filters_small_domains() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let scenario = uk::scenario(300, &mut rng);
+    let loose = discover_rules(&scenario.input, &scenario.master_schema, &scenario.master, 2)
+        .unwrap();
+    let strict = discover_rules(&scenario.input, &scenario.master_schema, &scenario.master, 50)
+        .unwrap();
+    assert!(loose.len() > strict.len());
+    // The 10-key AC/city bijection survives only the loose threshold.
+    assert!(loose.iter().any(|d| d.rule.name() == "auto_AC_city#0"));
+    assert!(!strict.iter().any(|d| d.rule.name() == "auto_AC_city#0"));
+    // zip-keyed FDs (hundreds of keys) survive both.
+    assert!(strict.iter().any(|d| d.rule.name() == "auto_zip_city#0"));
+}
+
+#[test]
+fn discovered_hosp_rules_match_expert_coverage() {
+    // On HOSP, name-based discovery recovers the full expert structure
+    // (all correspondences are same-named), so user effort matches.
+    let mut rng = StdRng::seed_from_u64(23);
+    let scenario = hosp::scenario(400, &mut rng);
+    let master = scenario.master_data();
+    let discovered = discover_rules(
+        &scenario.input,
+        &scenario.master_schema,
+        &scenario.master,
+        8,
+    )
+    .unwrap();
+    let mut rules = RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
+    for d in &discovered {
+        rules.add(d.rule.clone()).unwrap();
+    }
+    let monitor = DataMonitor::new(&rules, &master);
+    let workload = make_workload(&scenario.universe, 30, &NoiseSpec::with_rate(0.3), &mut rng);
+    let truths = workload.truth.clone();
+    let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
+        Box::new(OracleUser::new(truths[idx].clone()))
+    })
+    .unwrap();
+    assert_eq!(report.complete_count(), 30);
+    // Discovered rules can even beat the expert set here: provider alone
+    // determines measure-agnostic attributes AND the row's measure fields
+    // are keyed by measure — the same 20% floor.
+    assert!(report.user_fraction() <= 0.2 + 1e-9, "got {}", report.user_fraction());
+}

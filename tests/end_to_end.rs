@@ -1,0 +1,151 @@
+//! End-to-end integration tests: generator → rules → consistency →
+//! regions → monitor → audit → evaluation, for every scenario.
+
+use cerfix::{
+    check_consistency, clean_stream, find_regions, AuditStats, ConsistencyOptions, DataMonitor,
+    OracleUser, RegionFinderOptions,
+};
+use cerfix_gen::{dblp, evaluate_stream, hosp, make_workload, uk, NoiseSpec, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full_pipeline(scenario: &Scenario, n_tuples: usize, noise: f64, seed: u64) {
+    let master = scenario.master_data();
+
+    // Rules must be consistent in the demo's operating regime.
+    let consistency =
+        check_consistency(&scenario.rules, &master, &ConsistencyOptions::entity_coherent());
+    assert!(consistency.is_consistent(), "{}: {:?}", scenario.name, consistency.conflicts);
+
+    // Regions exist and are ranked ascending.
+    let regions = find_regions(
+        &scenario.rules,
+        &master,
+        &scenario.universe,
+        &RegionFinderOptions::default(),
+    )
+    .regions;
+    assert!(!regions.is_empty(), "{}: no certain regions", scenario.name);
+    for w in regions.windows(2) {
+        assert!(w[0].size() <= w[1].size(), "{}: ranking violated", scenario.name);
+    }
+
+    // Clean a dirty stream with oracle users.
+    let monitor = DataMonitor::new(&scenario.rules, &master).with_regions(regions);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = make_workload(&scenario.universe, n_tuples, &NoiseSpec::with_rate(noise), &mut rng);
+    let truths = workload.truth.clone();
+    let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
+        Box::new(OracleUser::new(truths[idx].clone()))
+    })
+    .unwrap();
+
+    // Every tuple reaches a certain fix equal to its ground truth.
+    assert_eq!(report.complete_count(), n_tuples, "{}", scenario.name);
+    for (outcome, truth) in report.outcomes.iter().zip(workload.truth.iter()) {
+        assert_eq!(&outcome.tuple, truth, "{}: fix differs from truth", scenario.name);
+    }
+
+    // Cell-level scores: certain fixes have perfect precision and recall
+    // (with an oracle user) and never break correct cells.
+    let repaired: Vec<_> = report.outcomes.iter().map(|o| o.tuple.clone()).collect();
+    let eval = evaluate_stream(&workload.dirty, &repaired, &workload.truth);
+    assert_eq!(eval.broke_correct, 0, "{}", scenario.name);
+    if eval.cells_changed > 0 {
+        assert_eq!(eval.precision(), Some(1.0), "{}", scenario.name);
+    }
+    if eval.erroneous_cells > 0 {
+        assert_eq!(eval.recall(), Some(1.0), "{}", scenario.name);
+    }
+
+    // The audit log accounts for every validated cell exactly once.
+    let stats = AuditStats::from_log(monitor.audit());
+    let totals = stats.totals();
+    assert_eq!(
+        totals.user_validated + totals.auto_validated,
+        n_tuples * scenario.input.arity(),
+        "{}: audit does not cover every cell",
+        scenario.name
+    );
+}
+
+#[test]
+fn uk_pipeline() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let scenario = uk::scenario(300, &mut rng);
+    full_pipeline(&scenario, 60, 0.3, 101);
+}
+
+#[test]
+fn hosp_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let scenario = hosp::scenario(300, &mut rng);
+    full_pipeline(&scenario, 60, 0.3, 102);
+}
+
+#[test]
+fn dblp_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let scenario = dblp::scenario(300, &mut rng);
+    full_pipeline(&scenario, 60, 0.3, 103);
+}
+
+#[test]
+fn uk_pipeline_heavy_noise() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let scenario = uk::scenario(200, &mut rng);
+    full_pipeline(&scenario, 40, 0.8, 104);
+}
+
+#[test]
+fn hosp_reproduces_twenty_eighty() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let scenario = hosp::scenario(400, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let workload = make_workload(&scenario.universe, 100, &NoiseSpec::with_rate(0.3), &mut rng);
+    let truths = workload.truth.clone();
+    let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
+        Box::new(OracleUser::new(truths[idx].clone()))
+    })
+    .unwrap();
+    assert!((report.user_fraction() - 0.2).abs() < 1e-9, "got {}", report.user_fraction());
+    assert!((report.auto_fraction() - 0.8).abs() < 1e-9);
+}
+
+#[test]
+fn paper_example1_certain_fix_via_uk_scenario() {
+    // The complete paper narrative through the generated scenario: the
+    // Example 1 tuple is cleaned against the Example 2 master tuple.
+    let mut rng = StdRng::seed_from_u64(6);
+    let scenario = uk::scenario(50, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    // Note: Example 1's tuple is bound to its own schema instance; rebuild
+    // it over the scenario's shared schema object.
+    let e1 = uk::example1_tuple();
+    let t = cerfix_relation::Tuple::new(scenario.input.clone(), e1.values().to_vec()).unwrap();
+    // Truth: Robert Brady's mobile-phone entity.
+    let truth = scenario
+        .universe
+        .iter()
+        .find(|u| {
+            u.get_by_name("LN").unwrap() == &cerfix_relation::Value::str("Brady")
+                && u.get_by_name("type").unwrap() == &cerfix_relation::Value::str("2")
+        })
+        .expect("Brady type=2 in universe")
+        .clone();
+    let mut user = OracleUser::new(truth);
+    let outcome = monitor.clean(0, t, &mut user).unwrap();
+    assert!(outcome.complete);
+    assert_eq!(
+        outcome.tuple.get_by_name("AC").unwrap(),
+        &cerfix_relation::Value::str("131"),
+        "the erroneous area code is certainly fixed to 131"
+    );
+    assert_eq!(
+        outcome.tuple.get_by_name("city").unwrap(),
+        &cerfix_relation::Value::str("Edi"),
+        "the correct city is never messed up"
+    );
+}

@@ -1,0 +1,196 @@
+//! Failure injection: the system must *detect* bad configurations and
+//! degrade explicitly, never silently produce wrong fixes.
+
+use cerfix::{
+    check_consistency, clean_stream, CerfixError, ConsistencyOptions, DataMonitor, MasterData,
+    OracleUser, SilentUser,
+};
+use cerfix_gen::uk;
+use cerfix_relation::{RelationBuilder, Schema, Tuple, Value};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dirty master data (the MDM assumption violated): two rules whose
+/// derivations disagree for one entity must be reported by the checker,
+/// and the run-time engine must refuse to overwrite the validated cell.
+#[test]
+fn dirty_master_is_detected_statically_and_dynamically() {
+    // Input: (zip, AC, city, phone); master additionally carries a
+    // mail_city column that disagrees with city on the same row — the
+    // MDM "consistent and accurate" assumption violated.
+    let input = Schema::of_strings("in", ["zip", "AC", "city", "phone"]).unwrap();
+    let ms = Schema::of_strings("m", ["zip", "AC", "city", "mail_city", "phone"]).unwrap();
+    let master = MasterData::new(
+        RelationBuilder::new(ms.clone())
+            .row_strs(["EH8", "131", "Edi", "Leith", "555"]) // inconsistent row
+            .build()
+            .unwrap(),
+    );
+    let a = |s: &str| input.attr_id(s).unwrap();
+    let m = |s: &str| ms.attr_id(s).unwrap();
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    rules
+        .add(
+            EditingRule::new(
+                "zip_city",
+                &input,
+                &ms,
+                vec![(a("zip"), m("zip"))],
+                vec![(a("city"), m("city"))],
+                PatternTuple::empty(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    rules
+        .add(
+            EditingRule::new(
+                "ac_mail",
+                &input,
+                &ms,
+                vec![(a("AC"), m("AC"))],
+                // Fixes city from mail_city *and* phone, so it still has
+                // work to do after zip_city validated city — the path on
+                // which the engine checks agreement with validated cells.
+                vec![(a("city"), m("mail_city")), (a("phone"), m("phone"))],
+                PatternTuple::empty(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // Static: flagged in the entity-coherent mode already (one row's own
+    // columns disagree).
+    let report = check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent());
+    assert!(!report.is_consistent());
+
+    // Dynamic: running anyway surfaces the conflict as an error instead
+    // of an order-dependent fix.
+    let monitor = DataMonitor::new(&rules, &master);
+    let t = Tuple::of_strings(input.clone(), ["EH8", "131", "???", "???"]).unwrap();
+    let mut session = monitor.start(0, t);
+    let err = monitor
+        .apply_validation(
+            &mut session,
+            &[(a("zip"), Value::str("EH8")), (a("AC"), Value::str("131"))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CerfixError::ValidatedCellConflict { .. }), "{err}");
+}
+
+#[test]
+fn silent_user_terminates_incomplete_without_changes() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let scenario = uk::scenario(20, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let dirty = scenario.universe[0].clone();
+    let outcome = monitor.clean(0, dirty.clone(), &mut SilentUser).unwrap();
+    assert!(!outcome.complete);
+    assert_eq!(outcome.tuple, dirty, "no unsanctioned changes");
+    assert_eq!(monitor.audit().len(), 0);
+}
+
+#[test]
+fn invalid_validations_rejected() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let scenario = uk::scenario(10, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let mut session = monitor.start(0, scenario.universe[0].clone());
+    assert!(matches!(
+        monitor.apply_validation(&mut session, &[(99, Value::str("x"))]),
+        Err(CerfixError::InvalidValidation { attr: 99, .. })
+    ));
+    assert!(matches!(
+        monitor.apply_validation(&mut session, &[(0, Value::Null)]),
+        Err(CerfixError::InvalidValidation { .. })
+    ));
+}
+
+#[test]
+fn empty_master_means_full_user_validation() {
+    let scenario_rules = uk::rules();
+    let master = MasterData::new(cerfix_relation::Relation::empty(uk::master_schema()));
+    let monitor = DataMonitor::new(&scenario_rules, &master);
+    let input = scenario_rules.input_schema().clone();
+    let truth = Tuple::of_strings(
+        input.clone(),
+        ["Ann", "Lee", "131", "079", "2", "1 A St", "Edi", "EH1", "CD"],
+    )
+    .unwrap();
+    let mut user = OracleUser::new(truth.clone());
+    let outcome = monitor.clean(0, Tuple::all_null(input.clone()), &mut user).unwrap();
+    assert!(outcome.complete, "degrades to all-user validation");
+    assert_eq!(outcome.user_validated, input.arity());
+    assert_eq!(outcome.auto_validated, 0);
+    assert_eq!(outcome.tuple, truth);
+}
+
+#[test]
+fn budget_exhaustion_is_reported_not_silent() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let master = MasterData::new(uk::generate_master(200, &mut rng));
+    let rules = uk::rules();
+    let opts = ConsistencyOptions { pair_budget: 5, ..ConsistencyOptions::entity_coherent() };
+    let report = check_consistency(&rules, &master, &opts);
+    assert!(report.budget_exhausted, "saturation must be flagged");
+}
+
+#[test]
+fn stream_with_unknown_entities_still_converges() {
+    // Half the stream's entities are missing from master data: rules
+    // stall, the monitor widens suggestions, and every session still
+    // completes (user validates everything for unknown entities).
+    let mut rng = StdRng::seed_from_u64(12);
+    let scenario = uk::scenario(30, &mut rng);
+    let master = scenario.master_data();
+    let monitor = DataMonitor::new(&scenario.rules, &master);
+    let input = scenario.input.clone();
+
+    let known = scenario.universe[0].clone();
+    let unknown = Tuple::of_strings(
+        input.clone(),
+        ["Zoe", "Quinn", "151", "070009999", "2", "9 Void St", "Lvp", "ZZ9 9ZZ", "CD"],
+    )
+    .unwrap();
+    let truths = vec![known.clone(), unknown.clone(), known.clone()];
+    let dirty: Vec<Tuple> = truths
+        .iter()
+        .map(|t| {
+            let mut d = t.clone();
+            d.set_by_name("city", Value::str("WRONG")).unwrap();
+            d
+        })
+        .collect();
+    let truths2 = truths.clone();
+    let report = clean_stream(&monitor, dirty, move |idx, _| {
+        Box::new(OracleUser::new(truths2[idx].clone()))
+    })
+    .unwrap();
+    assert_eq!(report.complete_count(), 3);
+    for (outcome, truth) in report.outcomes.iter().zip(truths.iter()) {
+        assert_eq!(&outcome.tuple, truth);
+    }
+    // The unknown entity required strictly more user effort.
+    assert!(report.outcomes[1].user_validated > report.outcomes[0].user_validated);
+}
+
+#[test]
+fn explorer_rejects_malformed_dsl_without_mutating() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let master = MasterData::new(uk::generate_master(10, &mut rng));
+    let mut explorer = cerfix::Explorer::new(
+        RuleSet::new(uk::input_schema(), uk::master_schema()),
+        master,
+    );
+    explorer.add_rules_dsl(uk::UK_RULES_DSL).unwrap();
+    let before = explorer.rules().len();
+    assert!(explorer.add_rules_dsl("er broken match nothing").is_err());
+    assert!(explorer.add_rules_dsl("er dup: match zip=zip fix AC:=AC when ()\ner phi1: match zip=zip fix AC:=AC when ()").is_err());
+    // The first decl of the failing batch may have landed; rule names
+    // stay unique and the set remains usable.
+    assert!(explorer.rules().len() >= before);
+    assert!(explorer.check_consistency().pairs_checked > 0);
+}

@@ -1,0 +1,93 @@
+//! Property tests for the rule DSL: rendering any structurally valid
+//! editing rule and re-parsing it yields the same rule.
+
+use cerfix_gen::uk;
+use cerfix_relation::Value;
+use cerfix_rules::{parse_rules, render_er_dsl, EditingRule, PatternTuple, RuleDecl};
+use proptest::prelude::*;
+
+/// Candidate (input, master) attribute pairs with matching types over the
+/// UK schema pair (everything is a string there, so any pair works).
+fn any_pair() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..9, 0usize..10)
+}
+
+/// A printable constant for pattern cells: letters, digits, spaces and
+/// quotes (exercising the `''` escape).
+fn any_const() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ']{1,12}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn er_render_parse_round_trip(
+        lhs in proptest::collection::vec(any_pair(), 1..3),
+        rhs_seed in proptest::collection::vec(any_pair(), 1..3),
+        pattern_attr in 0usize..9,
+        pattern_const in any_const(),
+        pattern_kind in 0u8..3,
+    ) {
+        let input = uk::input_schema();
+        let master = uk::master_schema();
+
+        // Make the RHS disjoint from LHS evidence and the pattern attr,
+        // and duplicate-free, as EditingRule::new requires.
+        let evidence: std::collections::BTreeSet<usize> = lhs
+            .iter()
+            .map(|&(t, _)| t)
+            .chain((pattern_kind != 0).then_some(pattern_attr))
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        let rhs: Vec<(usize, usize)> = rhs_seed
+            .into_iter()
+            .map(|(t, s)| ((t + 1) % 9, s))
+            .filter(|(t, _)| !evidence.contains(t) && seen.insert(*t))
+            .collect();
+        prop_assume!(!rhs.is_empty());
+
+        let pattern = match pattern_kind {
+            0 => PatternTuple::empty(),
+            1 => PatternTuple::empty().with_eq(pattern_attr, Value::str(&pattern_const)),
+            _ => PatternTuple::empty().with_ne(pattern_attr, Value::str(&pattern_const)),
+        };
+        let Ok(rule) = EditingRule::new("r0", &input, &master, lhs, rhs, pattern) else {
+            // Skip structurally invalid combinations the filters missed.
+            return Ok(());
+        };
+
+        let text = render_er_dsl(&rule, &input, &master);
+        let decls = parse_rules(&text, &input, &master)
+            .unwrap_or_else(|e| panic!("rendered DSL failed to parse: {e}\n{text}"));
+        prop_assert_eq!(decls.len(), 1);
+        match &decls[0] {
+            RuleDecl::Er(parsed) => prop_assert_eq!(parsed, &rule, "text: {}", text),
+            other => prop_assert!(false, "unexpected decl {:?}", other),
+        }
+    }
+
+    /// The parser never panics on arbitrary input lines (it returns
+    /// errors instead).
+    #[test]
+    fn parser_total_on_garbage(line in "\\PC{0,60}") {
+        let input = uk::input_schema();
+        let master = uk::master_schema();
+        let _ = parse_rules(&line, &input, &master); // must not panic
+    }
+}
+
+#[test]
+fn paper_rules_round_trip() {
+    let input = uk::input_schema();
+    let master = uk::master_schema();
+    let decls = parse_rules(uk::UK_RULES_DSL, &input, &master).unwrap();
+    assert_eq!(decls.len(), 9);
+    for decl in decls {
+        let RuleDecl::Er(rule) = decl else { panic!("er expected") };
+        let text = render_er_dsl(&rule, &input, &master);
+        let reparsed = parse_rules(&text, &input, &master).unwrap();
+        let RuleDecl::Er(rule2) = &reparsed[0] else { panic!("er expected") };
+        assert_eq!(&rule, rule2, "{text}");
+    }
+}

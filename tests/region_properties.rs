@@ -1,0 +1,109 @@
+//! Property tests for certain regions: the certification contract.
+//!
+//! The defining guarantee (paper §2): for a certain region `(Z, Tc)` and
+//! *any* input tuple whose `t[Z]` is correct and matches `Tc`, the
+//! monitor finds a certain fix. We test exactly that, with adversarially
+//! corrupted non-Z cells.
+
+use cerfix::{certify_region, find_regions, DataMonitor, RegionFinderOptions};
+use cerfix_gen::{noise, uk, NoiseSpec};
+use cerfix_relation::{AttrId, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn fixture() -> (cerfix_gen::Scenario, cerfix::MasterData) {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let scenario = uk::scenario(60, &mut rng);
+    let master = scenario.master_data();
+    (scenario, master)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every found region and every truth covered by its tableau,
+    /// corrupt all non-region cells arbitrarily, validate exactly `Z`
+    /// with the truth values, and require a complete, correct fix from
+    /// the rules alone (no further user input).
+    #[test]
+    fn regions_guarantee_fixes_under_adversarial_noise(
+        entity in 0usize..120,
+        corruption_seed in 0u64..1000,
+    ) {
+        let (scenario, master) = fixture();
+        let regions = find_regions(
+            &scenario.rules,
+            &master,
+            &scenario.universe,
+            &RegionFinderOptions::default(),
+        )
+        .regions;
+        prop_assume!(!regions.is_empty());
+        let truth = &scenario.universe[entity % scenario.universe.len()];
+        let mut rng = StdRng::seed_from_u64(corruption_seed);
+
+        for region in &regions {
+            if !region.covers(truth) {
+                continue;
+            }
+            let z: BTreeSet<AttrId> = region.attrs().iter().copied().collect();
+            // Adversarial tuple: truth on Z, noise everywhere else.
+            let mut t = truth.clone();
+            for attr in 0..t.arity() {
+                if z.contains(&attr) {
+                    continue;
+                }
+                let garbage = noise::typo(&t.get(attr).render(), &mut rng);
+                t.set(attr, Value::str(garbage)).unwrap();
+            }
+            // Validate exactly Z (truth values are already in place).
+            let monitor = DataMonitor::new(&scenario.rules, &master);
+            let mut session = monitor.start(0, t);
+            let validations: Vec<(AttrId, Value)> =
+                z.iter().map(|&a| (a, truth.get(a).clone())).collect();
+            monitor.apply_validation(&mut session, &validations).unwrap();
+            prop_assert!(
+                session.is_complete(),
+                "region {:?} failed for entity {} (validated {:?})",
+                region.attrs(),
+                entity % scenario.universe.len(),
+                session.validated
+            );
+            prop_assert_eq!(&session.tuple, truth);
+        }
+    }
+
+    /// Certification is monotone in Z: adding attributes to a certified
+    /// region keeps it certified.
+    #[test]
+    fn certification_monotone(extra in 0usize..9) {
+        let (scenario, master) = fixture();
+        let regions = find_regions(
+            &scenario.rules,
+            &master,
+            &scenario.universe,
+            &RegionFinderOptions::default(),
+        )
+        .regions;
+        prop_assume!(!regions.is_empty());
+        let region = &regions[0];
+        let mut attrs: BTreeSet<AttrId> = region.attrs().iter().copied().collect();
+        attrs.insert(extra);
+        for pattern in region.tableau() {
+            let result = certify_region(&scenario.rules, &master, &attrs, pattern, &scenario.universe);
+            prop_assert!(result.certified, "superset of a region failed certification");
+        }
+    }
+}
+
+#[test]
+fn workload_noise_rate_scales_errors() {
+    // Sanity link between the noise model and the evaluation metrics.
+    let (scenario, _) = fixture();
+    let mut rng = StdRng::seed_from_u64(5);
+    let low = cerfix_gen::make_workload(&scenario.universe, 200, &NoiseSpec::with_rate(0.1), &mut rng);
+    let high = cerfix_gen::make_workload(&scenario.universe, 200, &NoiseSpec::with_rate(0.6), &mut rng);
+    assert!(high.total_errors() > low.total_errors() * 2);
+}

@@ -1,0 +1,134 @@
+//! Property tests over the relational substrate: CSV round-trips for
+//! arbitrary content, total ordering of values, index/scan agreement,
+//! and constraint-set satisfiability versus brute force.
+
+use cerfix_relation::{
+    read_relation_str, write_relation_str, CompareOp, DataType, HashIndex, Predicate, Relation,
+    Schema, Tuple, Value,
+};
+use cerfix_rules::ConstraintSet;
+use proptest::prelude::*;
+
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        proptest::string::string_regex("[\\x20-\\x7E]{0,16}").unwrap().prop_map(Value::str),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// CSV round-trips arbitrary printable strings, including quotes,
+    /// commas and newlines.
+    #[test]
+    fn csv_round_trip(cells in proptest::collection::vec(
+        proptest::collection::vec("[\\x20-\\x7E\\n]{0,20}", 3), 0..12)
+    ) {
+        let schema = Schema::of_strings("t", ["a", "b", "c"]).unwrap();
+        let mut rel = Relation::empty(schema.clone());
+        for row in &cells {
+            // Empty strings parse back as nulls; normalize expectation by
+            // writing a sentinel for empties.
+            let row: Vec<String> =
+                row.iter().map(|s| if s.is_empty() { "∅mark".into() } else { s.clone() }).collect();
+            rel.push(Tuple::of_strings(schema.clone(), row).unwrap()).unwrap();
+        }
+        let text = write_relation_str(&rel);
+        let back = read_relation_str(schema, &text).unwrap();
+        prop_assert_eq!(back.len(), rel.len());
+        for ((_, a), (_, b)) in rel.iter().zip(back.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Value ordering is a total order: antisymmetric, transitive, and
+    /// consistent with equality; equal values hash identically.
+    #[test]
+    fn value_order_is_total(a in any_value(), b in any_value(), c in any_value()) {
+        use std::cmp::Ordering;
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Totality + antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Equal => {
+                prop_assert_eq!(&a, &b);
+                let mut ha = DefaultHasher::new();
+                let mut hb = DefaultHasher::new();
+                a.hash(&mut ha);
+                b.hash(&mut hb);
+                prop_assert_eq!(ha.finish(), hb.finish());
+            }
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// Index lookups agree with predicate scans for every key.
+    #[test]
+    fn index_agrees_with_scan(keys in proptest::collection::vec("[a-c]{1,2}", 1..40)) {
+        let schema = Schema::of_strings("t", ["k", "v"]).unwrap();
+        let mut rel = Relation::empty(schema.clone());
+        for (i, k) in keys.iter().enumerate() {
+            rel.push(Tuple::of_strings(schema.clone(), [k.as_str(), &i.to_string()]).unwrap())
+                .unwrap();
+        }
+        let idx = HashIndex::build(&rel, vec![0]);
+        for k in &keys {
+            let via_index = idx.lookup(&[Value::str(k)]).to_vec();
+            let via_scan = rel.scan(&[Predicate::new(0, CompareOp::Eq, Value::str(k))]);
+            prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    /// ConstraintSet satisfiability matches brute-force enumeration over
+    /// a closed world of candidate strings.
+    #[test]
+    fn constraints_match_brute_force(
+        eq in proptest::option::of(0usize..4),
+        nes in proptest::collection::btree_set(0usize..4, 0..4),
+    ) {
+        let consts: Vec<Value> =
+            ["a", "b", "c", "d"].iter().map(|s| Value::str(*s)).collect();
+        let mut cs = ConstraintSet::unconstrained();
+        if let Some(e) = eq {
+            cs.add_eq(consts[e].clone());
+        }
+        for &n in &nes {
+            cs.add_ne(consts[n].clone());
+        }
+        // Brute force over the constants plus one fresh value.
+        let mut candidates = consts.clone();
+        candidates.push(Value::str("fresh"));
+        let brute = candidates.iter().any(|cand| {
+            eq.is_none_or(|e| &consts[e] == cand)
+                && nes.iter().all(|&n| &consts[n] != cand)
+        });
+        prop_assert_eq!(cs.is_satisfiable(DataType::String), brute);
+        // Witnesses, when produced, satisfy the constraints.
+        if let Some(w) = cs.witness(DataType::String) {
+            if let Some(e) = eq {
+                prop_assert_eq!(&w, &consts[e]);
+            }
+            for &n in &nes {
+                prop_assert_ne!(&w, &consts[n]);
+            }
+        }
+    }
+
+    /// Tuple projection preserves order and values.
+    #[test]
+    fn projection_preserves(vals in proptest::collection::vec("[a-z]{0,6}", 4)) {
+        let schema = Schema::of_strings("t", ["a", "b", "c", "d"]).unwrap();
+        let t = Tuple::of_strings(schema, vals.clone()).unwrap();
+        let proj = t.project(&[3, 1]);
+        prop_assert_eq!(proj, vec![Value::str(&vals[3]), Value::str(&vals[1])]);
+    }
+}
