@@ -68,7 +68,12 @@ impl HeuristicRepair {
     /// Build a repairer over `cfds` with per-attribute active `domains`
     /// (typically the distinct values of master-data columns).
     pub fn new(cfds: Vec<Cfd>, domains: HashMap<AttrId, Vec<Value>>) -> HeuristicRepair {
-        HeuristicRepair { cfds, domains, cost: CostModel::EditDistance, max_steps: 32 }
+        HeuristicRepair {
+            cfds,
+            domains,
+            cost: CostModel::EditDistance,
+            max_steps: 32,
+        }
     }
 
     /// Override the cost model.
@@ -103,7 +108,9 @@ impl HeuristicRepair {
         // (b) Move one LHS cell off the pattern constant, to the nearest
         // other active-domain value.
         for (&attr, cell) in cfd.lhs().iter().zip(row.lhs.iter()) {
-            let TableauCell::Const(pattern_const) = cell else { continue };
+            let TableauCell::Const(pattern_const) = cell else {
+                continue;
+            };
             let old = tuple.get(attr);
             if old != pattern_const {
                 continue; // this cell is not what matches the pattern
@@ -115,7 +122,11 @@ impl HeuristicRepair {
                     .map(|v| (self.cost.change_cost(old, v), v))
                     .min_by_key(|(c, v)| (*c, (*v).clone()));
                 if let Some((cost, v)) = best {
-                    out.push(Candidate { attr, new_value: v.clone(), cost });
+                    out.push(Candidate {
+                        attr,
+                        new_value: v.clone(),
+                        cost,
+                    });
                 }
             }
         }
@@ -145,7 +156,9 @@ impl HeuristicRepair {
                 .into_iter()
                 .map(|c| {
                     let mut trial = current.clone();
-                    trial.set(c.attr, c.new_value.clone()).expect("domain values conform");
+                    trial
+                        .set(c.attr, c.new_value.clone())
+                        .expect("domain values conform");
                     (self.violation_count(&trial), c)
                 })
                 .min_by_key(|(left, c)| (*left, c.cost, c.attr, c.new_value.clone()))
@@ -155,11 +168,22 @@ impl HeuristicRepair {
             if old == best.new_value {
                 break; // no-op candidate: cannot make progress
             }
-            current.set(best.attr, best.new_value.clone()).expect("domain values conform");
-            steps.push(RepairStep { attr: best.attr, old, new: best.new_value, cost: best.cost });
+            current
+                .set(best.attr, best.new_value.clone())
+                .expect("domain values conform");
+            steps.push(RepairStep {
+                attr: best.attr,
+                old,
+                new: best.new_value,
+                cost: best.cost,
+            });
         }
         let clean = self.violation_count(&current) == 0;
-        HeuristicOutcome { tuple: current, steps, clean }
+        HeuristicOutcome {
+            tuple: current,
+            steps,
+            clean,
+        }
     }
 
     /// Repair a stream of tuples independently.
@@ -176,7 +200,9 @@ pub fn active_domains(
 ) -> HashMap<AttrId, Vec<Value>> {
     let mut domains: HashMap<AttrId, Vec<Value>> = HashMap::new();
     for (attr_id, attr) in schema.iter() {
-        let Some(ref_attr) = reference.schema().attr_id(attr.name()) else { continue };
+        let Some(ref_attr) = reference.schema().attr_id(attr.name()) else {
+            continue;
+        };
         let mut seen = std::collections::HashSet::new();
         let mut values = Vec::new();
         for (_, t) in reference.iter() {
@@ -198,13 +224,11 @@ mod tests {
     /// Example 1's setting: ψ1: AC=020→city=Ldn, ψ2: AC=131→city=Edi.
     fn example1() -> (SchemaRef, HeuristicRepair) {
         let input = Schema::of_strings("customer", ["AC", "city", "zip"]).unwrap();
-        let reference = RelationBuilder::new(
-            Schema::of_strings("m", ["AC", "city"]).unwrap(),
-        )
-        .row_strs(["020", "Ldn"])
-        .row_strs(["131", "Edi"])
-        .build()
-        .unwrap();
+        let reference = RelationBuilder::new(Schema::of_strings("m", ["AC", "city"]).unwrap())
+            .row_strs(["020", "Ldn"])
+            .row_strs(["131", "Edi"])
+            .build()
+            .unwrap();
         let cfd = crate::mine::mine_cfd("psi", &input, &reference, "AC", "city", 10).unwrap();
         let domains = active_domains(&input, &reference);
         (input.clone(), HeuristicRepair::new(vec![cfd], domains))
@@ -221,7 +245,11 @@ mod tests {
         assert!(out.clean);
         assert_eq!(out.steps.len(), 1);
         assert_eq!(out.tuple.get_by_name("city").unwrap(), &Value::str("Ldn"));
-        assert_eq!(out.tuple.get_by_name("AC").unwrap(), &Value::str("020"), "error survives");
+        assert_eq!(
+            out.tuple.get_by_name("AC").unwrap(),
+            &Value::str("020"),
+            "error survives"
+        );
     }
 
     #[test]
@@ -304,7 +332,10 @@ mod tests {
         let domains = active_domains(&input, &reference);
         assert_eq!(domains[&input.attr_id("AC").unwrap()].len(), 2);
         assert_eq!(domains[&input.attr_id("city").unwrap()].len(), 2);
-        assert!(!domains.contains_key(&input.attr_id("zip").unwrap()), "no zip column in reference");
+        assert!(
+            !domains.contains_key(&input.attr_id("zip").unwrap()),
+            "no zip column in reference"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn mine_cfd(
     let rhs = schema.require_attr(rhs_name)?;
     let tableau: Vec<TableauRow> = rows
         .into_iter()
-        .map(|(k, v)| TableauRow { lhs: vec![TableauCell::Const(k)], rhs: TableauCell::Const(v) })
+        .map(|(k, v)| TableauRow {
+            lhs: vec![TableauCell::Const(k)],
+            rhs: TableauCell::Const(v),
+        })
         .collect();
     Cfd::new(name, schema, vec![lhs], rhs, tableau)
 }
@@ -115,7 +118,11 @@ mod tests {
         let cfd = mine_cfd("psi", &input, &reference(), "AC", "city", 10).unwrap();
         assert_eq!(cfd.tableau().len(), 2);
         let t = cerfix_relation::Tuple::of_strings(input, ["020", "Edi", "z"]).unwrap();
-        assert_eq!(cfd.check_tuple(&t), vec![0], "detects Example 1's violation");
+        assert_eq!(
+            cfd.check_tuple(&t),
+            vec![0],
+            "detects Example 1's violation"
+        );
     }
 
     #[test]

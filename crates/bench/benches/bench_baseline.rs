@@ -13,12 +13,18 @@ fn bench_heuristic_repair(c: &mut Criterion) {
         .iter()
         .enumerate()
         .map(|(i, (l, r))| {
-            mine_cfd(format!("m{i}"), &scenario.input, &scenario.master, l, r, 10_000)
-                .expect("columns exist")
+            mine_cfd(
+                format!("m{i}"),
+                &scenario.input,
+                &scenario.master,
+                l,
+                r,
+                10_000,
+            )
+            .expect("columns exist")
         })
         .collect();
-    let repair =
-        HeuristicRepair::new(cfds, active_domains(&scenario.input, &scenario.master));
+    let repair = HeuristicRepair::new(cfds, active_domains(&scenario.input, &scenario.master));
     let workload = workload_for(&scenario, 64, 0.3, &mut rng);
     c.bench_function("heuristic_repair_per_tuple", |b| {
         let mut i = 0usize;

@@ -16,7 +16,9 @@ fn bench_consistency(c: &mut Criterion) {
             BenchmarkId::new("entity_coherent", n_master),
             &n_master,
             |b, _| {
-                b.iter(|| check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent()))
+                b.iter(|| {
+                    check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent())
+                })
             },
         );
         group.bench_with_input(BenchmarkId::new("strict", n_master), &n_master, |b, _| {

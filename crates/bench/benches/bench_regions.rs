@@ -8,8 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_region_finder(c: &mut Criterion) {
     let mut rng = rng_for("bench-regions");
-    let scenarios =
-        [uk::scenario(200, &mut rng), hosp::scenario(200, &mut rng), dblp::scenario(200, &mut rng)];
+    let scenarios = [
+        uk::scenario(200, &mut rng),
+        hosp::scenario(200, &mut rng),
+        dblp::scenario(200, &mut rng),
+    ];
     let options = RegionFinderOptions::default();
     let mut group = c.benchmark_group("region_finder");
     for scenario in &scenarios {

@@ -1,0 +1,130 @@
+//! Service throughput: batched `clean` requests through the
+//! `cerfix-server` worker pool at 1 vs N workers.
+//!
+//! Goes through the full wire path (request JSON → service → pool →
+//! response JSON) via the in-process client, so the number includes
+//! protocol overhead but not socket I/O — the same shape a TCP client
+//! sees on loopback minus kernel round-trips. The interesting read-out
+//! is the 1-vs-N scaling of elem/s.
+
+use cerfix_bench::{rng_for, workload_for};
+use cerfix_gen::uk;
+use cerfix_relation::Value;
+use cerfix_server::{CleaningService, LocalClient, Request, ServiceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+const BATCH: usize = 128;
+
+fn bench_server_batch_clean(c: &mut Criterion) {
+    let mut rng = rng_for("bench-server");
+    let scenario = uk::scenario(5_000, &mut rng);
+    let workload = workload_for(&scenario, BATCH, 0.3, &mut rng);
+    let schema = scenario.input.clone();
+    let trusted: Vec<usize> = ["phn", "type", "zip"]
+        .iter()
+        .map(|n| schema.attr_id(n).unwrap())
+        .collect();
+    // Entry-form shape: trusted columns carry true values, rest dirty.
+    let tuples: Vec<Vec<Value>> = workload
+        .dirty
+        .iter()
+        .zip(&workload.truth)
+        .map(|(dirty, truth)| {
+            let mut entered = dirty.clone();
+            for &a in &trusted {
+                entered.set(a, truth.get(a).clone()).unwrap();
+            }
+            entered.values().to_vec()
+        })
+        .collect();
+    let request = Request::Clean {
+        tuples,
+        trust: ["phn", "type", "zip"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+
+    // At least 2 so the N-arm exercises real pool fan-out even on a
+    // single-core box (where the read-out is pool overhead, not speedup).
+    let n_workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(2);
+    let mut group = c.benchmark_group("server_batch_clean");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for workers in [1usize, n_workers] {
+        let service = CleaningService::new(
+            Arc::new(scenario.master_data()),
+            Arc::new(scenario.rules.clone()),
+            ServiceConfig {
+                workers,
+                precompute_regions: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut client = LocalClient::in_process(&service);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| client.request(&request).expect("clean batch"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_session_round_trip(c: &mut Criterion) {
+    let mut rng = rng_for("bench-server-session");
+    let scenario = uk::scenario(5_000, &mut rng);
+    let workload = workload_for(&scenario, 256, 0.3, &mut rng);
+    let schema = scenario.input.clone();
+    let service = CleaningService::new(
+        Arc::new(scenario.master_data()),
+        Arc::new(scenario.rules.clone()),
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = LocalClient::in_process(&service);
+
+    // One full interactive session per iteration: create → oracle-follow
+    // suggestions → commit. The per-session latency a clerk's form sees.
+    let mut group = c.benchmark_group("server_session_lifecycle");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("oracle_session", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let idx = i % workload.len();
+            i += 1;
+            let truth = &workload.truth[idx];
+            let mut view = client
+                .create_session(workload.dirty[idx].values().to_vec())
+                .expect("create");
+            let mut guard = 0;
+            while view.status == "awaiting_user" {
+                guard += 1;
+                assert!(guard <= 64, "runaway session");
+                let validations: Vec<(String, Value)> = view
+                    .suggestion
+                    .iter()
+                    .map(|name| {
+                        let attr = schema.attr_id(name).expect("known attr");
+                        (name.clone(), truth.get(attr).clone())
+                    })
+                    .collect();
+                view = client
+                    .validate(view.session, validations)
+                    .expect("validate");
+            }
+            client.commit(view.session).expect("commit")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_server_batch_clean, bench_server_session_round_trip
+}
+criterion_main!(benches);

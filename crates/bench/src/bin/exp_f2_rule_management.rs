@@ -23,7 +23,9 @@ fn main() {
         cerfix_rules::RuleSet::new(input.clone(), master_schema.clone()),
         master,
     );
-    let added = explorer.add_rules_dsl(uk::UK_RULES_DSL).expect("paper rules parse");
+    let added = explorer
+        .add_rules_dsl(uk::UK_RULES_DSL)
+        .expect("paper rules parse");
     println!("== F2: rule manager listing (paper Fig. 2, {added} rules) ==");
     print!("{}", explorer.render_rules());
 
@@ -35,11 +37,23 @@ fn main() {
             &ConsistencyOptions::entity_coherent(),
         )
     });
-    let (strict, d_strict) =
-        time(|| check_consistency(explorer.rules(), explorer.master(), &ConsistencyOptions::default()));
+    let (strict, d_strict) = time(|| {
+        check_consistency(
+            explorer.rules(),
+            explorer.master(),
+            &ConsistencyOptions::default(),
+        )
+    });
     print_table(
         "F2: consistency check (|Dm| = 1000)",
-        &["mode", "consistent", "conflicts", "ambiguities", "key pairs", "time"],
+        &[
+            "mode",
+            "consistent",
+            "conflicts",
+            "ambiguities",
+            "key pairs",
+            "time",
+        ],
         &[
             vec![
                 "entity-coherent".into(),
@@ -69,12 +83,8 @@ fn main() {
     // --- Rule import from CFDs and MDs ------------------------------------
     let cfd_text = "cfd psi: AC -> city | '020' -> 'Ldn' ; '131' -> 'Edi'";
     let md_text = "md m1: phn==Mphn identify FN<=>FN, LN<=>LN";
-    let decls = parse_rules(
-        &format!("{cfd_text}\n{md_text}"),
-        &input,
-        &master_schema,
-    )
-    .expect("import text parses");
+    let decls = parse_rules(&format!("{cfd_text}\n{md_text}"), &input, &master_schema)
+        .expect("import text parses");
     let corr = AttrCorrespondence::by_name(&input, &master_schema);
     let mut rows = Vec::new();
     for decl in &decls {
@@ -99,5 +109,9 @@ fn main() {
             RuleDecl::Er(_) => {}
         }
     }
-    print_table("F2: rules imported from CFDs / MDs", &["source", "derived editing rule"], &rows);
+    print_table(
+        "F2: rules imported from CFDs / MDs",
+        &["source", "derived editing rule"],
+        &rows,
+    );
 }

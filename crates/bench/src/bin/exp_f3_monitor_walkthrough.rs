@@ -41,17 +41,36 @@ fn main() {
     // abbreviated first name and several wrong fields.
     let dirty = Tuple::of_strings(
         input.clone(),
-        ["M.", "Smith", "201", "075568485", "2", "1 Nowhere", "???", "XXX", "DVD"],
+        [
+            "M.",
+            "Smith",
+            "201",
+            "075568485",
+            "2",
+            "1 Nowhere",
+            "???",
+            "XXX",
+            "DVD",
+        ],
     )
     .expect("entry tuple");
     let truth = Tuple::of_strings(
         input.clone(),
-        ["Mark", "Smith", "020", "075568485", "2", "20 Baker St", "Ldn", "NW1 6XE", "DVD"],
+        [
+            "Mark",
+            "Smith",
+            "020",
+            "075568485",
+            "2",
+            "20 Baker St",
+            "Ldn",
+            "NW1 6XE",
+            "DVD",
+        ],
     )
     .expect("truth tuple");
 
-    let header: Vec<&str> =
-        input.attributes().iter().map(|a| a.name()).collect();
+    let header: Vec<&str> = input.attributes().iter().map(|a| a.name()).collect();
 
     let mut session = monitor.start(0, dirty);
     let mut round_rows: Vec<Vec<String>> = Vec::new();
@@ -69,17 +88,22 @@ fn main() {
                 break;
             }
             SessionStatus::AwaitingUser { suggestion } => {
-                round_rows.push(render_state(&session.tuple, &session.validated, &suggestion));
-                let names: Vec<&str> =
-                    suggestion.iter().map(|&a| input.attr_name(a)).collect();
+                round_rows.push(render_state(
+                    &session.tuple,
+                    &session.validated,
+                    &suggestion,
+                ));
+                let names: Vec<&str> = suggestion.iter().map(|&a| input.attr_name(a)).collect();
                 println!(
                     "round {}: CerFix suggests validating {{{}}}",
                     session.rounds + 1,
                     names.join(", ")
                 );
                 // Oracle user validates the suggested attributes.
-                let validations: Vec<(AttrId, Value)> =
-                    suggestion.iter().map(|&a| (a, truth.get(a).clone())).collect();
+                let validations: Vec<(AttrId, Value)> = suggestion
+                    .iter()
+                    .map(|&a| (a, truth.get(a).clone()))
+                    .collect();
                 let report = monitor
                     .apply_validation(&mut session, &validations)
                     .expect("consistent rules");
@@ -105,7 +129,10 @@ fn main() {
         input.arity(),
         session.auto_validated.len(),
     );
-    assert_eq!(session.tuple, truth, "the certain fix equals the ground truth");
+    assert_eq!(
+        session.tuple, truth,
+        "the certain fix equals the ground truth"
+    );
 
     // Per-cell audit trail for FN, as Fig. 4 displays it.
     let fn_attr = input.attr_id("FN").expect("FN");

@@ -41,7 +41,11 @@ fn run(scenario: &Scenario, n_tuples: usize, noise: f64) -> (f64, f64, f64) {
     );
     let stats = AuditStats::from_log(monitor.audit());
     print!("{}", stats.render(&scenario.input));
-    (report.user_fraction(), report.auto_fraction(), report.mean_rounds())
+    (
+        report.user_fraction(),
+        report.auto_fraction(),
+        report.mean_rounds(),
+    )
 }
 
 fn main() {
@@ -58,7 +62,13 @@ fn main() {
 
     print_table(
         "F4: overall user/CerFix split (paper: ~20% user / ~80% CerFix)",
-        &["scenario", "arity", "user share", "cerfix share", "mean rounds"],
+        &[
+            "scenario",
+            "arity",
+            "user share",
+            "cerfix share",
+            "mean rounds",
+        ],
         &[
             vec![
                 "uk (demo example)".into(),

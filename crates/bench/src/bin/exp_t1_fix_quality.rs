@@ -24,8 +24,19 @@ fn heuristic_for(scenario: &Scenario) -> HeuristicRepair {
     // Mine ψ-style constant CFDs from the master data for the column
     // pairs the scenario's rules relate.
     let pairs: &[(&str, &str)] = match scenario.name {
-        "uk" => &[("AC", "city"), ("zip", "city"), ("zip", "AC"), ("zip", "str")],
-        "hosp" => &[("zip", "city"), ("zip", "state"), ("measure", "mname"), ("measure", "condition"), ("provider", "hospital")],
+        "uk" => &[
+            ("AC", "city"),
+            ("zip", "city"),
+            ("zip", "AC"),
+            ("zip", "str"),
+        ],
+        "hosp" => &[
+            ("zip", "city"),
+            ("zip", "state"),
+            ("measure", "mname"),
+            ("measure", "condition"),
+            ("provider", "hospital"),
+        ],
         _ => &[],
     };
     let mut cfds = Vec::new();
@@ -59,8 +70,7 @@ fn run_scenario(scenario: &Scenario, noise_rates: &[f64], n_tuples: usize) -> Ve
         // own column so the comparison stays honest — the heuristic takes
         // zero user input but pays for it in precision.
         let report = clean_with_oracle(&monitor, &workload);
-        let cerfix_tuples: Vec<Tuple> =
-            report.outcomes.iter().map(|o| o.tuple.clone()).collect();
+        let cerfix_tuples: Vec<Tuple> = report.outcomes.iter().map(|o| o.tuple.clone()).collect();
         let eval_cerfix = evaluate_stream(&workload.dirty, &cerfix_tuples, &workload.truth);
 
         // Heuristic arm.
@@ -69,7 +79,14 @@ fn run_scenario(scenario: &Scenario, noise_rates: &[f64], n_tuples: usize) -> Ve
         let eval_heur = evaluate_stream(&workload.dirty, &repaired, &workload.truth);
 
         for (method, eval, effort) in [
-            ("CerFix", eval_cerfix, format!("{:.2}", report.total_user_validated() as f64 / report.len() as f64)),
+            (
+                "CerFix",
+                eval_cerfix,
+                format!(
+                    "{:.2}",
+                    report.total_user_validated() as f64 / report.len() as f64
+                ),
+            ),
             ("heuristic-CFD", eval_heur, "0.00".into()),
         ] {
             rows.push(vec![
@@ -94,8 +111,10 @@ fn main() {
     let noise_rates = [0.1, 0.2, 0.3, 0.4, 0.5];
 
     let mut rng = rng_for("t1-setup");
-    let scenarios =
-        vec![uk::scenario(1_000 * scale, &mut rng), hosp::scenario(1_000 * scale, &mut rng)];
+    let scenarios = vec![
+        uk::scenario(1_000 * scale, &mut rng),
+        hosp::scenario(1_000 * scale, &mut rng),
+    ];
 
     let mut rows = Vec::new();
     for scenario in &scenarios {

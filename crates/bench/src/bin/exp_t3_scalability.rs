@@ -43,7 +43,15 @@ fn main() {
     }
     print_table(
         "T3a: monitor scalability vs master-data size (indexed, 1 thread)",
-        &["|Dm|", "tuples", "index build", "clean total", "per tuple", "tuples/s", "complete"],
+        &[
+            "|Dm|",
+            "tuples",
+            "index build",
+            "clean total",
+            "per tuple",
+            "tuples/s",
+            "complete",
+        ],
         &rows,
     );
 

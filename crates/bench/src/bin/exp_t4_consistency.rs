@@ -27,8 +27,14 @@ fn rules_with_extras(n_extra: usize) -> RuleSet {
             format!("extra{i}"),
             &input,
             &master,
-            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
-            vec![(input.attr_id("city").unwrap(), master.attr_id("city").unwrap())],
+            vec![(
+                input.attr_id("zip").unwrap(),
+                master.attr_id("zip").unwrap(),
+            )],
+            vec![(
+                input.attr_id("city").unwrap(),
+                master.attr_id("city").unwrap(),
+            )],
             PatternTuple::empty().with_eq(item, Value::str(format!("ITEM{i}"))),
         )
         .expect("valid synthetic rule");
@@ -61,7 +67,14 @@ fn main() {
     }
     print_table(
         "T4a: consistency check vs rule count (|Dm| = 5000)",
-        &["rules", "pairs", "entity time", "entity consistent", "strict time", "strict conflicts"],
+        &[
+            "rules",
+            "pairs",
+            "entity time",
+            "entity consistent",
+            "strict time",
+            "strict conflicts",
+        ],
         &rows,
     );
 

@@ -14,9 +14,11 @@ use cerfix_gen::{dblp, hosp, uk, Scenario};
 
 fn report(scenario: &Scenario, top_k: usize) -> (Vec<Vec<String>>, std::time::Duration) {
     let master = scenario.master_data();
-    let options = RegionFinderOptions { top_k, ..Default::default() };
-    let (result, d) =
-        time(|| find_regions(&scenario.rules, &master, &scenario.universe, &options));
+    let options = RegionFinderOptions {
+        top_k,
+        ..Default::default()
+    };
+    let (result, d) = time(|| find_regions(&scenario.rules, &master, &scenario.universe, &options));
     let rows = result
         .regions
         .iter()
@@ -55,7 +57,11 @@ fn main() {
             fmt_duration(d),
         ]);
     }
-    print_table("T5a: top-k certain regions (ranked ascending by size)", &["scenario", "rank", "size", "region (Z, Tc)"], &all_rows);
+    print_table(
+        "T5a: top-k certain regions (ranked ascending by size)",
+        &["scenario", "rank", "size", "region (Z, Tc)"],
+        &all_rows,
+    );
     print_table(
         "T5b: region search cost",
         &["scenario", "rules", "|Dm|", "|universe|", "time"],

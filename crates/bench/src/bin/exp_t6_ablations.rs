@@ -10,8 +10,7 @@
 
 use cerfix::{clean_stream, CappedUser, DataMonitor, OracleUser, PreferringUser};
 use cerfix_bench::{
-    clean_with_oracle, fmt_duration, pct, print_table, rng_for, scale_from_args, time,
-    workload_for,
+    clean_with_oracle, fmt_duration, pct, print_table, rng_for, scale_from_args, time, workload_for,
 };
 use cerfix_gen::uk;
 
@@ -97,7 +96,13 @@ fn main() {
     };
     print_table(
         "T6b: suggestion-strategy ablation (UK, noise 30%)",
-        &["strategy", "user attrs/tuple", "user share", "rounds", "complete"],
+        &[
+            "strategy",
+            "user attrs/tuple",
+            "user share",
+            "rounds",
+            "complete",
+        ],
         &[
             row("minimal suggestions", &minimal),
             row("validate-all upfront", &validate_all),

@@ -17,7 +17,9 @@
 //! precision at 1.0 — discovered rules still go through consistency
 //! checking and certain application.
 
-use cerfix::{check_consistency, find_regions, ConsistencyOptions, DataMonitor, RegionFinderOptions};
+use cerfix::{
+    check_consistency, find_regions, ConsistencyOptions, DataMonitor, RegionFinderOptions,
+};
 use cerfix_bench::{clean_with_oracle, pct, print_table, rng_for, scale_from_args, workload_for};
 use cerfix_gen::{evaluate_stream, uk};
 use cerfix_relation::Tuple;
@@ -39,10 +41,11 @@ fn main() {
         8, // require a non-trivial key domain
     )
     .expect("discovery succeeds");
-    let mut discovered_set =
-        RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
+    let mut discovered_set = RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
     for dr in &discovered {
-        discovered_set.add(dr.rule.clone()).expect("unique auto names");
+        discovered_set
+            .add(dr.rule.clone())
+            .expect("unique auto names");
     }
 
     // Union set: experts + discovered.
@@ -54,7 +57,10 @@ fn main() {
         union_set.add(dr.rule.clone()).unwrap();
     }
 
-    println!("== T7: discovered rules ({} FDs compiled) ==", discovered.len());
+    println!(
+        "== T7: discovered rules ({} FDs compiled) ==",
+        discovered.len()
+    );
     for dr in discovered.iter().take(12) {
         println!(
             "  {} (support {}, {} keys)",
@@ -73,14 +79,17 @@ fn main() {
         ("discovered", &discovered_set),
         ("expert + discovered", &union_set),
     ] {
-        let consistency =
-            check_consistency(rules, &master, &ConsistencyOptions::entity_coherent());
+        let consistency = check_consistency(rules, &master, &ConsistencyOptions::entity_coherent());
         // Demo protocol: pre-computed certain regions seed suggestions
         // (this also neutralizes static tie-breaking between same-size
         // covers — regions are data-certified).
-        let regions =
-            find_regions(rules, &master, &scenario.universe, &RegionFinderOptions::default())
-                .regions;
+        let regions = find_regions(
+            rules,
+            &master,
+            &scenario.universe,
+            &RegionFinderOptions::default(),
+        )
+        .regions;
         let monitor = DataMonitor::new(rules, &master).with_regions(regions);
         let mut wl_rng = rng_for(&format!("t7-{name}"));
         let workload = workload_for(&scenario, n_tuples, 0.3, &mut wl_rng);
@@ -91,7 +100,10 @@ fn main() {
             name.into(),
             rules.len().to_string(),
             consistency.is_consistent().to_string(),
-            format!("{:.2}", report.total_user_validated() as f64 / report.len() as f64),
+            format!(
+                "{:.2}",
+                report.total_user_validated() as f64 / report.len() as f64
+            ),
             pct(report.user_fraction()),
             format!("{:.3}", eval.precision().unwrap_or(1.0)),
             format!("{:.3}", eval.recall().unwrap_or(0.0)),
@@ -100,7 +112,16 @@ fn main() {
     }
     print_table(
         "T7: expert vs discovered rules (UK, noise 30%)",
-        &["rule set", "rules", "consistent", "user attrs/tuple", "user %", "precision", "recall", "complete"],
+        &[
+            "rule set",
+            "rules",
+            "consistent",
+            "user attrs/tuple",
+            "user %",
+            "precision",
+            "recall",
+            "complete",
+        ],
         &rows,
     );
     println!(

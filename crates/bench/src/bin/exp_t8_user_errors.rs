@@ -32,7 +32,11 @@ fn main() {
         let truths = workload.truth.clone();
         let seeds: Vec<u64> = (0..n_tuples).map(|_| wl_rng.gen()).collect();
         let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
-            Box::new(FallibleUser::new(truths[idx].clone(), error_rate, seeds[idx]))
+            Box::new(FallibleUser::new(
+                truths[idx].clone(),
+                error_rate,
+                seeds[idx],
+            ))
         })
         .expect("entity-consistent rules never conflict on typo'd evidence keys");
 
@@ -58,7 +62,13 @@ fn main() {
     }
     print_table(
         "T8: output quality vs user validation error rate (UK, noise 30%)",
-        &["user error rate", "wrong cells", "perfect tuples", "rounds", "complete"],
+        &[
+            "user error rate",
+            "wrong cells",
+            "perfect tuples",
+            "rounds",
+            "complete",
+        ],
         &rows,
     );
     println!(

@@ -61,7 +61,12 @@ pub fn workload_for(
     noise_rate: f64,
     rng: &mut StdRng,
 ) -> Workload {
-    make_workload(&scenario.universe, n_tuples, &NoiseSpec::with_rate(noise_rate), rng)
+    make_workload(
+        &scenario.universe,
+        n_tuples,
+        &NoiseSpec::with_rate(noise_rate),
+        rng,
+    )
 }
 
 /// Clean a workload through a monitor with oracle users (the demo

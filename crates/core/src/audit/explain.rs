@@ -39,9 +39,16 @@ pub fn explain_cell(
                 "round {}: `{attr_name}` corrected from '{old}' to '{new}' by the user",
                 record.round
             ),
-            CellEvent::RuleFixed { rule, master_row, old, new } => {
-                let rule_name =
-                    rules.get(*rule).map(|r| r.name().to_string()).unwrap_or_else(|| format!("#{rule}"));
+            CellEvent::RuleFixed {
+                rule,
+                master_row,
+                old,
+                new,
+            } => {
+                let rule_name = rules
+                    .get(*rule)
+                    .map(|r| r.name().to_string())
+                    .unwrap_or_else(|| format!("#{rule}"));
                 let master_desc = master
                     .tuple(*master_row)
                     .map(|s| s.to_string())
@@ -111,19 +118,31 @@ mod tests {
         pub fn fixture() -> (SchemaRef, RuleSet, MasterData, Tuple, Tuple) {
             let input = Schema::of_strings(
                 "customer",
-                ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+                [
+                    "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+                ],
             )
             .unwrap();
             let ms = Schema::of_strings(
                 "master",
-                ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+                [
+                    "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+                ],
             )
             .unwrap();
             let master = MasterData::new(
                 RelationBuilder::new(ms.clone())
                     .row_strs([
-                        "Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn",
-                        "NW1 6XE", "25/12/67", "M",
+                        "Mark",
+                        "Smith",
+                        "020",
+                        "6884564",
+                        "075568485",
+                        "20 Baker St",
+                        "Ldn",
+                        "NW1 6XE",
+                        "25/12/67",
+                        "M",
                     ])
                     .build()
                     .unwrap(),
@@ -138,12 +157,32 @@ mod tests {
             }
             let dirty = Tuple::of_strings(
                 input.clone(),
-                ["M.", "Smith", "201", "075568485", "2", "s", "c", "NW1 6XE", "DVD"],
+                [
+                    "M.",
+                    "Smith",
+                    "201",
+                    "075568485",
+                    "2",
+                    "s",
+                    "c",
+                    "NW1 6XE",
+                    "DVD",
+                ],
             )
             .unwrap();
             let truth = Tuple::of_strings(
                 input.clone(),
-                ["Mark", "Smith", "020", "075568485", "2", "s", "c", "NW1 6XE", "DVD"],
+                [
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "075568485",
+                    "2",
+                    "s",
+                    "c",
+                    "NW1 6XE",
+                    "DVD",
+                ],
             )
             .unwrap();
             (input, rules, master, dirty, truth)

@@ -104,7 +104,12 @@ impl AuditLog {
     /// History of one tuple, in event order (Fig. 4's per-tuple
     /// inspection).
     pub fn tuple_history(&self, tuple_id: usize) -> Vec<AuditRecord> {
-        self.records.read().iter().filter(|r| r.tuple_id == tuple_id).cloned().collect()
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.tuple_id == tuple_id)
+            .cloned()
+            .collect()
     }
 
     /// History of one cell of one tuple.
@@ -120,7 +125,12 @@ impl AuditLog {
     /// All events on one attribute across tuples (Fig. 4's per-column
     /// inspection).
     pub fn attr_events(&self, attr: AttrId) -> Vec<AuditRecord> {
-        self.records.read().iter().filter(|r| r.attr == attr).cloned().collect()
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.attr == attr)
+            .cloned()
+            .collect()
     }
 }
 
@@ -129,15 +139,38 @@ mod tests {
     use super::*;
 
     fn rec(tuple_id: usize, attr: AttrId, round: usize, event: CellEvent) -> AuditRecord {
-        AuditRecord { tuple_id, attr, round, event }
+        AuditRecord {
+            tuple_id,
+            attr,
+            round,
+            event,
+        }
     }
 
     #[test]
     fn record_and_query() {
         let log = AuditLog::new();
         assert!(log.is_empty());
-        log.record(rec(0, 2, 1, CellEvent::UserValidated { old: Value::str("020"), new: Value::str("131") }));
-        log.record(rec(0, 6, 1, CellEvent::RuleFixed { rule: 3, master_row: 1, old: Value::str("M."), new: Value::str("Mark") }));
+        log.record(rec(
+            0,
+            2,
+            1,
+            CellEvent::UserValidated {
+                old: Value::str("020"),
+                new: Value::str("131"),
+            },
+        ));
+        log.record(rec(
+            0,
+            6,
+            1,
+            CellEvent::RuleFixed {
+                rule: 3,
+                master_row: 1,
+                old: Value::str("M."),
+                new: Value::str("Mark"),
+            },
+        ));
         log.record(rec(1, 2, 1, CellEvent::RuleConfirmed { rule: 0 }));
         assert_eq!(log.len(), 3);
         assert_eq!(log.tuple_history(0).len(), 2);
@@ -148,12 +181,23 @@ mod tests {
 
     #[test]
     fn event_classification() {
-        let user = CellEvent::UserValidated { old: Value::str("a"), new: Value::str("a") };
+        let user = CellEvent::UserValidated {
+            old: Value::str("a"),
+            new: Value::str("a"),
+        };
         assert!(user.is_user());
         assert!(!user.changed_value(), "confirming an already-correct value");
-        let corrected = CellEvent::UserValidated { old: Value::str("a"), new: Value::str("b") };
+        let corrected = CellEvent::UserValidated {
+            old: Value::str("a"),
+            new: Value::str("b"),
+        };
         assert!(corrected.changed_value());
-        let fixed = CellEvent::RuleFixed { rule: 0, master_row: 0, old: Value::Null, new: Value::str("x") };
+        let fixed = CellEvent::RuleFixed {
+            rule: 0,
+            master_row: 0,
+            old: Value::Null,
+            new: Value::str("x"),
+        };
         assert!(!fixed.is_user());
         assert!(fixed.changed_value());
         let confirmed = CellEvent::RuleConfirmed { rule: 0 };

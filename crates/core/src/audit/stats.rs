@@ -103,10 +103,17 @@ impl AuditStats {
 
     /// Render the Fig. 4 statistics table with attribute names.
     pub fn render(&self, schema: &SchemaRef) -> String {
-        let header: Vec<String> = ["attribute", "user %", "cerfix %", "user n", "cerfix n", "auto-changed"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let header: Vec<String> = [
+            "attribute",
+            "user %",
+            "cerfix %",
+            "user n",
+            "cerfix n",
+            "auto-changed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let mut rows: Vec<Vec<String>> = Vec::new();
         for (&attr, stats) in &self.per_attr {
             rows.push(vec![
@@ -144,7 +151,10 @@ mod tests {
             tuple_id: 0,
             attr: 0,
             round: 1,
-            event: CellEvent::UserValidated { old: Value::str("x"), new: Value::str("x") },
+            event: CellEvent::UserValidated {
+                old: Value::str("x"),
+                new: Value::str("x"),
+            },
         });
         log.record(AuditRecord {
             tuple_id: 0,
@@ -168,7 +178,10 @@ mod tests {
             tuple_id: 1,
             attr: 0,
             round: 1,
-            event: CellEvent::UserValidated { old: Value::str("a"), new: Value::str("b") },
+            event: CellEvent::UserValidated {
+                old: Value::str("a"),
+                new: Value::str("b"),
+            },
         });
         log.record(AuditRecord {
             tuple_id: 1,

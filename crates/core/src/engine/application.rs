@@ -92,7 +92,9 @@ pub fn apply_rule(
     let (values, witness) = match lookup {
         CertainLookup::NoMatch => return Ok(ApplyOutcome::NoMatch),
         CertainLookup::Ambiguous { matches } => return Ok(ApplyOutcome::Ambiguous { matches }),
-        CertainLookup::Unique { values, witness, .. } => (values, witness),
+        CertainLookup::Unique {
+            values, witness, ..
+        } => (values, witness),
     };
     let mut fixes = Vec::new();
     let mut newly_validated = Vec::new();
@@ -125,7 +127,10 @@ pub fn apply_rule(
         validated.insert(b);
         newly_validated.push(b);
     }
-    Ok(ApplyOutcome::Applied { fixes, newly_validated })
+    Ok(ApplyOutcome::Applied {
+        fixes,
+        newly_validated,
+    })
 }
 
 #[cfg(test)]
@@ -153,10 +158,16 @@ mod tests {
             "zip_fixes",
             input,
             master,
-            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
+            vec![(
+                input.attr_id("zip").unwrap(),
+                master.attr_id("zip").unwrap(),
+            )],
             vec![
                 (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
-                (input.attr_id("city").unwrap(), master.attr_id("city").unwrap()),
+                (
+                    input.attr_id("city").unwrap(),
+                    master.attr_id("city").unwrap(),
+                ),
             ],
             PatternTuple::empty(),
         )
@@ -173,7 +184,10 @@ mod tests {
         let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
         let out = apply_rule(7, &rule, &md, &mut t, &mut v).unwrap();
         match out {
-            ApplyOutcome::Applied { fixes, newly_validated } => {
+            ApplyOutcome::Applied {
+                fixes,
+                newly_validated,
+            } => {
                 assert_eq!(fixes.len(), 1, "AC changed; city already correct");
                 assert_eq!(fixes[0].attr, input.attr_id("AC").unwrap());
                 assert_eq!(fixes[0].old, Value::str("020"));
@@ -195,7 +209,10 @@ mod tests {
         let rule = zip_rule(&input, &ms);
         let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
         let mut v = BTreeSet::new();
-        assert_eq!(apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(), ApplyOutcome::NotEligible);
+        assert_eq!(
+            apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
+            ApplyOutcome::NotEligible
+        );
         assert!(v.is_empty(), "no side effects");
         assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("020"));
     }
@@ -213,8 +230,7 @@ mod tests {
             PatternTuple::empty().with_eq(ty, Value::str("2")),
         )
         .unwrap();
-        let mut t =
-            Tuple::of_strings(input.clone(), ["?", "079172485", "c", "z", "1"]).unwrap();
+        let mut t = Tuple::of_strings(input.clone(), ["?", "079172485", "c", "z", "1"]).unwrap();
         let mut v: BTreeSet<AttrId> = [input.attr_id("phn").unwrap(), ty].into();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
@@ -245,14 +261,21 @@ mod tests {
         let ac = input.attr_id("AC").unwrap();
         let mut t = Tuple::of_strings(input.clone(), ["999", "p", "?", "z", "1"]).unwrap();
         let mut v: BTreeSet<AttrId> = [ac].into();
-        assert_eq!(apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(), ApplyOutcome::NoMatch);
+        assert_eq!(
+            apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
+            ApplyOutcome::NoMatch
+        );
         let mut t2 = Tuple::of_strings(input.clone(), ["131", "p", "?", "z", "1"]).unwrap();
         let mut v2: BTreeSet<AttrId> = [ac].into();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t2, &mut v2).unwrap(),
             ApplyOutcome::Ambiguous { matches: 2 }
         );
-        assert_eq!(t2.get_by_name("city").unwrap(), &Value::str("?"), "no partial writes");
+        assert_eq!(
+            t2.get_by_name("city").unwrap(),
+            &Value::str("?"),
+            "no partial writes"
+        );
     }
 
     #[test]
@@ -282,7 +305,10 @@ mod tests {
         let mut t = Tuple::of_strings(input.clone(), ["131", "p", "Edi", "EH8 4AH", "2"]).unwrap();
         let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
         match apply_rule(0, &rule, &md, &mut t, &mut v).unwrap() {
-            ApplyOutcome::Applied { fixes, newly_validated } => {
+            ApplyOutcome::Applied {
+                fixes,
+                newly_validated,
+            } => {
                 assert!(fixes.is_empty());
                 assert_eq!(newly_validated.len(), 2);
             }
@@ -312,7 +338,15 @@ mod tests {
     #[test]
     fn made_progress_flag() {
         assert!(!ApplyOutcome::NotEligible.made_progress());
-        assert!(!ApplyOutcome::Applied { fixes: vec![], newly_validated: vec![] }.made_progress());
-        assert!(ApplyOutcome::Applied { fixes: vec![], newly_validated: vec![3] }.made_progress());
+        assert!(!ApplyOutcome::Applied {
+            fixes: vec![],
+            newly_validated: vec![]
+        }
+        .made_progress());
+        assert!(ApplyOutcome::Applied {
+            fixes: vec![],
+            newly_validated: vec![3]
+        }
+        .made_progress());
     }
 }

@@ -143,7 +143,10 @@ impl Default for ConsistencyOptions {
 impl ConsistencyOptions {
     /// Default options in [`ConsistencyMode::EntityCoherent`].
     pub fn entity_coherent() -> ConsistencyOptions {
-        ConsistencyOptions { mode: ConsistencyMode::EntityCoherent, ..Default::default() }
+        ConsistencyOptions {
+            mode: ConsistencyMode::EntityCoherent,
+            ..Default::default()
+        }
     }
 }
 
@@ -173,7 +176,9 @@ fn build_key_table(rule: &EditingRule, master: &MasterData) -> KeyTable {
     }
     // Null fix values are never applied: treat them as ambiguous keys.
     for v in keys.values_mut() {
-        if v.as_ref().is_some_and(|vals| vals.iter().any(Value::is_null)) {
+        if v.as_ref()
+            .is_some_and(|vals| vals.iter().any(Value::is_null))
+        {
             *v = None;
         }
     }
@@ -196,12 +201,20 @@ fn pins_satisfiable(
     for (&(t_attr, _), v) in rule_b.lhs().iter().zip(key_b.iter()) {
         constraints.entry(t_attr).or_default().add_eq(v.clone());
     }
-    for cell in rule_a.pattern().cells().iter().chain(rule_b.pattern().cells()) {
+    for cell in rule_a
+        .pattern()
+        .cells()
+        .iter()
+        .chain(rule_b.pattern().cells())
+    {
         constraints.entry(cell.attr).or_default().add_op(&cell.op);
     }
     let schema = rules.input_schema();
     constraints.iter().all(|(&attr, cs)| {
-        let dtype = schema.attribute(attr).expect("validated rule attr").data_type();
+        let dtype = schema
+            .attribute(attr)
+            .expect("validated rule attr")
+            .data_type();
         cs.is_satisfiable(dtype)
     })
 }
@@ -216,8 +229,10 @@ pub fn check_consistency(
     let rule_list: Vec<(RuleId, &EditingRule)> = rules.iter().collect();
 
     // Key tables once per rule.
-    let tables: HashMap<RuleId, KeyTable> =
-        rule_list.iter().map(|&(id, r)| (id, build_key_table(r, master))).collect();
+    let tables: HashMap<RuleId, KeyTable> = rule_list
+        .iter()
+        .map(|&(id, r)| (id, build_key_table(r, master)))
+        .collect();
 
     // Ambiguity warnings.
     'amb: for &(id, _) in &rule_list {
@@ -244,7 +259,11 @@ pub fn check_consistency(
                 .iter()
                 .enumerate()
                 .filter_map(|(pa, &b)| {
-                    rule_b.input_rhs().iter().position(|&b2| b2 == b).map(|pb| (pa, pb, b))
+                    rule_b
+                        .input_rhs()
+                        .iter()
+                        .position(|&b2| b2 == b)
+                        .map(|pb| (pa, pb, b))
                 })
                 .collect();
             if shared_targets.is_empty() {
@@ -267,9 +286,10 @@ pub fn check_consistency(
                     if key_a.iter().chain(key_b.iter()).any(Value::is_null) {
                         continue;
                     }
-                    let (Some(Some(vals_a)), Some(Some(vals_b))) =
-                        (tables[&id_a].keys.get(&key_a), tables[&id_b].keys.get(&key_b))
-                    else {
+                    let (Some(Some(vals_a)), Some(Some(vals_b))) = (
+                        tables[&id_a].keys.get(&key_a),
+                        tables[&id_b].keys.get(&key_b),
+                    ) else {
                         continue; // ambiguous or absent key: rule never fires
                     };
                     report.key_pairs_checked += 1;
@@ -306,7 +326,11 @@ pub fn check_consistency(
                 .iter()
                 .enumerate()
                 .filter_map(|(pa, &x)| {
-                    rule_b.input_lhs().iter().position(|&x2| x2 == x).map(|pb| (pa, pb))
+                    rule_b
+                        .input_lhs()
+                        .iter()
+                        .position(|&x2| x2 == x)
+                        .map(|pb| (pa, pb))
                 })
                 .collect();
             #[allow(clippy::type_complexity)]
@@ -314,16 +338,22 @@ pub fn check_consistency(
                 HashMap::new();
             for (key_b, vals_b) in &tables[&id_b].keys {
                 let Some(vals_b) = vals_b else { continue };
-                let probe: Vec<Value> =
-                    shared_lhs.iter().map(|&(_, pb)| key_b[pb].clone()).collect();
+                let probe: Vec<Value> = shared_lhs
+                    .iter()
+                    .map(|&(_, pb)| key_b[pb].clone())
+                    .collect();
                 b_buckets.entry(probe).or_default().push((key_b, vals_b));
             }
 
             'keys: for (key_a, vals_a) in &tables[&id_a].keys {
                 let Some(vals_a) = vals_a else { continue };
-                let probe: Vec<Value> =
-                    shared_lhs.iter().map(|&(pa, _)| key_a[pa].clone()).collect();
-                let Some(bucket) = b_buckets.get(&probe) else { continue };
+                let probe: Vec<Value> = shared_lhs
+                    .iter()
+                    .map(|&(pa, _)| key_a[pa].clone())
+                    .collect();
+                let Some(bucket) = b_buckets.get(&probe) else {
+                    continue;
+                };
                 for &(key_b, vals_b) in bucket {
                     if report.key_pairs_checked >= options.pair_budget {
                         report.budget_exhausted = true;
@@ -406,8 +436,26 @@ mod tests {
                 .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let report = check_consistency(&rules, &master, &ConsistencyOptions::default());
         assert!(report.is_consistent(), "{:?}", report.conflicts);
         assert_eq!(report.pairs_checked, 1);
@@ -429,8 +477,26 @@ mod tests {
                 .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         // This master is the same as the consistent one — the conflict
         // exists exactly because zip=EH8 pins Edi while AC=020 pins Ldn
         // and nothing stops a tuple having both.
@@ -438,7 +504,12 @@ mod tests {
         assert!(!report.is_consistent());
         let c = &report.conflicts[0];
         match c {
-            Inconsistency::Conflict { attr, value_a, value_b, .. } => {
+            Inconsistency::Conflict {
+                attr,
+                value_a,
+                value_b,
+                ..
+            } => {
                 assert_eq!(*attr, input.attr_id("city").unwrap());
                 let pair = [value_a.clone(), value_b.clone()];
                 assert!(pair.contains(&Value::str("Edi")) && pair.contains(&Value::str("Ldn")));
@@ -456,11 +527,32 @@ mod tests {
         // consistent.
         let (input, ms) = schemas();
         let master = MasterData::new(
-            RelationBuilder::new(ms.clone()).row_strs(["131", "EH8", "Edi"]).build().unwrap(),
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "EH8", "Edi"])
+                .build()
+                .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let report = check_consistency(&rules, &master, &ConsistencyOptions::default());
         assert!(report.is_consistent());
     }
@@ -519,7 +611,16 @@ mod tests {
         );
         let ac = input.attr_id("AC").unwrap();
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         rules
             .add(rule(
                 "ac_city",
@@ -578,7 +679,16 @@ mod tests {
                 .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let report = check_consistency(&rules, &master, &ConsistencyOptions::default());
         assert!(report.is_consistent());
         assert_eq!(report.ambiguities.len(), 1);
@@ -592,13 +702,37 @@ mod tests {
     fn same_rhs_different_semantics_no_shared_target_no_check() {
         let (input, ms) = schemas();
         let master = MasterData::new(
-            RelationBuilder::new(ms.clone()).row_strs(["131", "EH8", "Edi"]).build().unwrap(),
+            RelationBuilder::new(ms.clone())
+                .row_strs(["131", "EH8", "Edi"])
+                .build()
+                .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("zip_ac", &input, &ms, "zip", "AC", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "zip_ac",
+                &input,
+                &ms,
+                "zip",
+                "AC",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let report = check_consistency(&rules, &master, &ConsistencyOptions::default());
-        assert_eq!(report.pairs_checked, 0, "disjoint targets are never in conflict");
+        assert_eq!(
+            report.pairs_checked, 0,
+            "disjoint targets are never in conflict"
+        );
         assert!(report.is_consistent());
     }
 
@@ -614,8 +748,26 @@ mod tests {
         }
         let master = MasterData::new(b.build().unwrap());
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city_a", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("zip_city_b", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city_a",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "zip_city_b",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let report = check_consistency(&rules, &master, &ConsistencyOptions::default());
         assert!(report.is_consistent());
         assert_eq!(report.key_pairs_checked, 50, "diagonal only, not 50×50");
@@ -633,9 +785,30 @@ mod tests {
         }
         let master = MasterData::new(b.build().unwrap());
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
-        let opts = ConsistencyOptions { pair_budget: 10, ..Default::default() };
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        let opts = ConsistencyOptions {
+            pair_budget: 10,
+            ..Default::default()
+        };
         let report = check_consistency(&rules, &master, &opts);
         assert!(report.budget_exhausted);
         assert_eq!(report.key_pairs_checked, 10);
@@ -656,12 +829,29 @@ mod tests {
                 .unwrap(),
         );
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
         let strict = check_consistency(&rules, &master, &ConsistencyOptions::default());
         assert!(!strict.is_consistent());
-        let coherent =
-            check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent());
+        let coherent = check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent());
         assert!(coherent.is_consistent(), "{:?}", coherent.conflicts);
         assert_eq!(coherent.key_pairs_checked, 2, "one check per master row");
     }
@@ -715,7 +905,9 @@ mod tests {
         let coherent = check_consistency(&rules, &master, &ConsistencyOptions::entity_coherent());
         assert!(!coherent.is_consistent());
         match &coherent.conflicts[0] {
-            Inconsistency::Conflict { value_a, value_b, .. } => {
+            Inconsistency::Conflict {
+                value_a, value_b, ..
+            } => {
                 let pair = [value_a.clone(), value_b.clone()];
                 assert!(pair.contains(&Value::str("Gla")) && pair.contains(&Value::str("Paisley")));
             }
@@ -731,8 +923,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let coherent2 =
-            check_consistency(&rules, &master2, &ConsistencyOptions::entity_coherent());
+        let coherent2 = check_consistency(&rules, &master2, &ConsistencyOptions::entity_coherent());
         assert!(coherent2.is_consistent(), "{:?}", coherent2.conflicts);
         assert!(!coherent2.ambiguities.is_empty());
     }
@@ -746,9 +937,30 @@ mod tests {
         }
         let master = MasterData::new(b.build().unwrap());
         let mut rules = RuleSet::new(input.clone(), ms.clone());
-        rules.add(rule("zip_city", &input, &ms, "zip", "city", PatternTuple::empty())).unwrap();
-        rules.add(rule("ac_city", &input, &ms, "AC", "city", PatternTuple::empty())).unwrap();
-        let opts = ConsistencyOptions { max_conflicts: 3, ..Default::default() };
+        rules
+            .add(rule(
+                "zip_city",
+                &input,
+                &ms,
+                "zip",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        rules
+            .add(rule(
+                "ac_city",
+                &input,
+                &ms,
+                "AC",
+                "city",
+                PatternTuple::empty(),
+            ))
+            .unwrap();
+        let opts = ConsistencyOptions {
+            max_conflicts: 3,
+            ..Default::default()
+        };
         let report = check_consistency(&rules, &master, &opts);
         assert_eq!(report.conflicts.len(), 3);
     }

@@ -61,7 +61,11 @@ pub fn run_fixpoint(
         let mut progressed = false;
         for (rule_id, rule) in rules.iter() {
             let outcome = apply_rule(rule_id, rule, master, tuple, validated)?;
-            if let ApplyOutcome::Applied { fixes, newly_validated } = outcome {
+            if let ApplyOutcome::Applied {
+                fixes,
+                newly_validated,
+            } = outcome
+            {
                 if !newly_validated.is_empty() {
                     progressed = true;
                     report.rule_firings += 1;
@@ -99,20 +103,41 @@ mod tests {
         let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
         rules
             .add(
-                EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty())
-                    .unwrap(),
+                EditingRule::new(
+                    "zip_ac",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("AC")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
             )
             .unwrap();
         rules
             .add(
-                EditingRule::new("ac_city", &input, &ms, vec![pair("AC")], vec![pair("city")], PatternTuple::empty())
-                    .unwrap(),
+                EditingRule::new(
+                    "ac_city",
+                    &input,
+                    &ms,
+                    vec![pair("AC")],
+                    vec![pair("city")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
             )
             .unwrap();
         rules
             .add(
-                EditingRule::new("city_str", &input, &ms, vec![pair("city")], vec![pair("str")], PatternTuple::empty())
-                    .unwrap(),
+                EditingRule::new(
+                    "city_str",
+                    &input,
+                    &ms,
+                    vec![pair("city")],
+                    vec![pair("str")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
             )
             .unwrap();
         (input, rules, md)
@@ -150,13 +175,43 @@ mod tests {
         let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
         let mut rules = RuleSet::new(input.clone(), ms.clone());
         rules
-            .add(EditingRule::new("city_str", &input, &ms, vec![pair("city")], vec![pair("str")], PatternTuple::empty()).unwrap())
+            .add(
+                EditingRule::new(
+                    "city_str",
+                    &input,
+                    &ms,
+                    vec![pair("city")],
+                    vec![pair("str")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
             .unwrap();
         rules
-            .add(EditingRule::new("ac_city", &input, &ms, vec![pair("AC")], vec![pair("city")], PatternTuple::empty()).unwrap())
+            .add(
+                EditingRule::new(
+                    "ac_city",
+                    &input,
+                    &ms,
+                    vec![pair("AC")],
+                    vec![pair("city")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
             .unwrap();
         rules
-            .add(EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty()).unwrap())
+            .add(
+                EditingRule::new(
+                    "zip_ac",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("AC")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
             .unwrap();
         let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
         let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
@@ -179,9 +234,23 @@ mod tests {
         let ms = rules_fwd.master_schema().clone();
         let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
         let mut rules_rev = RuleSet::new(input.clone(), ms.clone());
-        for (name, l, r) in [("city_str", "city", "str"), ("ac_city", "AC", "city"), ("zip_ac", "zip", "AC")] {
+        for (name, l, r) in [
+            ("city_str", "city", "str"),
+            ("ac_city", "AC", "city"),
+            ("zip_ac", "zip", "AC"),
+        ] {
             rules_rev
-                .add(EditingRule::new(name, &input, &ms, vec![pair(l)], vec![pair(r)], PatternTuple::empty()).unwrap())
+                .add(
+                    EditingRule::new(
+                        name,
+                        &input,
+                        &ms,
+                        vec![pair(l)],
+                        vec![pair(r)],
+                        PatternTuple::empty(),
+                    )
+                    .unwrap(),
+                )
                 .unwrap();
         }
         let mut t2 = Tuple::of_strings(input.clone(), dirty).unwrap();
@@ -228,8 +297,18 @@ mod tests {
 
     #[test]
     fn absorb_merges_reports() {
-        let mut a = FixpointReport { fixes: vec![], newly_validated: vec![1], passes: 2, rule_firings: 1 };
-        let b = FixpointReport { fixes: vec![], newly_validated: vec![2, 3], passes: 1, rule_firings: 2 };
+        let mut a = FixpointReport {
+            fixes: vec![],
+            newly_validated: vec![1],
+            passes: 2,
+            rule_firings: 1,
+        };
+        let b = FixpointReport {
+            fixes: vec![],
+            newly_validated: vec![2, 3],
+            passes: 1,
+            rule_firings: 2,
+        };
         a.absorb(b);
         assert_eq!(a.newly_validated, vec![1, 2, 3]);
         assert_eq!(a.passes, 3);

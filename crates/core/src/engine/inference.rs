@@ -74,7 +74,11 @@ pub fn unfixable_attrs(rules: &RuleSet, enabled: RuleFilter<'_>) -> BTreeSet<Att
         .filter(|&(id, r)| enabled(id, r))
         .flat_map(|(_, r)| r.input_rhs())
         .collect();
-    rules.input_schema().all_attr_ids().filter(|a| !fixable.contains(a)).collect()
+    rules
+        .input_schema()
+        .all_attr_ids()
+        .filter(|a| !fixable.contains(a))
+        .collect()
 }
 
 /// Attributes worth considering as extra evidence: anything that appears
@@ -253,44 +257,84 @@ mod tests {
     fn uk_rules() -> (SchemaRef, RuleSet) {
         let input = Schema::of_strings(
             "customer",
-            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let master = Schema::of_strings(
             "master",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+            ],
         )
         .unwrap();
         let t = |n: &str| input.attr_id(n).unwrap();
         let m = |n: &str| master.attr_id(n).unwrap();
         let mut rules = RuleSet::new(input.clone(), master.clone());
-        let mut add = |name: &str, lhs: Vec<(&str, &str)>, rhs: Vec<(&str, &str)>, pattern: PatternTuple| {
-            rules
-                .add(
-                    EditingRule::new(
-                        name,
-                        &input,
-                        &master,
-                        lhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
-                        rhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
-                        pattern,
+        let mut add =
+            |name: &str, lhs: Vec<(&str, &str)>, rhs: Vec<(&str, &str)>, pattern: PatternTuple| {
+                rules
+                    .add(
+                        EditingRule::new(
+                            name,
+                            &input,
+                            &master,
+                            lhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                            rhs.iter().map(|&(a, b)| (t(a), m(b))).collect::<Vec<_>>(),
+                            pattern,
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-                .unwrap();
-        };
+                    .unwrap();
+            };
         use cerfix_relation::Value;
         let mobile = PatternTuple::empty().with_eq(t("type"), Value::str("2"));
         let home = PatternTuple::empty().with_eq(t("type"), Value::str("1"));
         let geo = PatternTuple::empty().with_ne(t("AC"), Value::str("0800"));
-        add("phi1", vec![("zip", "zip")], vec![("AC", "AC")], PatternTuple::empty());
-        add("phi2", vec![("zip", "zip")], vec![("str", "str")], PatternTuple::empty());
-        add("phi3", vec![("zip", "zip")], vec![("city", "city")], PatternTuple::empty());
-        add("phi4", vec![("phn", "Mphn")], vec![("FN", "FN")], mobile.clone());
+        add(
+            "phi1",
+            vec![("zip", "zip")],
+            vec![("AC", "AC")],
+            PatternTuple::empty(),
+        );
+        add(
+            "phi2",
+            vec![("zip", "zip")],
+            vec![("str", "str")],
+            PatternTuple::empty(),
+        );
+        add(
+            "phi3",
+            vec![("zip", "zip")],
+            vec![("city", "city")],
+            PatternTuple::empty(),
+        );
+        add(
+            "phi4",
+            vec![("phn", "Mphn")],
+            vec![("FN", "FN")],
+            mobile.clone(),
+        );
         add("phi5", vec![("phn", "Mphn")], vec![("LN", "LN")], mobile);
-        add("phi6", vec![("AC", "AC"), ("phn", "Hphn")], vec![("str", "str")], home.clone());
-        add("phi7", vec![("AC", "AC"), ("phn", "Hphn")], vec![("city", "city")], home.clone());
-        add("phi8", vec![("AC", "AC"), ("phn", "Hphn")], vec![("zip", "zip")], home);
+        add(
+            "phi6",
+            vec![("AC", "AC"), ("phn", "Hphn")],
+            vec![("str", "str")],
+            home.clone(),
+        );
+        add(
+            "phi7",
+            vec![("AC", "AC"), ("phn", "Hphn")],
+            vec![("city", "city")],
+            home.clone(),
+        );
+        add(
+            "phi8",
+            vec![("AC", "AC"), ("phn", "Hphn")],
+            vec![("zip", "zip")],
+            home,
+        );
         add("phi9", vec![("AC", "AC")], vec![("city", "city")], geo);
         (input, rules)
     }
@@ -321,7 +365,9 @@ mod tests {
         let closed = attribute_closure(&rules, &seed, &type2_only);
         assert!(!closed.contains(&t("zip")));
         assert!(!closed.contains(&t("str")));
-        assert!(closed.contains(&t("FN")) && closed.contains(&t("LN")) && closed.contains(&t("city")));
+        assert!(
+            closed.contains(&t("FN")) && closed.contains(&t("LN")) && closed.contains(&t("city"))
+        );
     }
 
     #[test]
@@ -396,8 +442,16 @@ mod tests {
         // via φ2 and zip itself).
         let (input, rules) = uk_rules();
         let t = |n: &str| input.attr_id(n).unwrap();
-        let validated: BTreeSet<AttrId> =
-            [t("AC"), t("phn"), t("type"), t("item"), t("FN"), t("LN"), t("city")].into();
+        let validated: BTreeSet<AttrId> = [
+            t("AC"),
+            t("phn"),
+            t("type"),
+            t("item"),
+            t("FN"),
+            t("LN"),
+            t("city"),
+        ]
+        .into();
         let type2_only = |_: RuleId, r: &EditingRule| !["phi6", "phi7", "phi8"].contains(&r.name());
         let s = new_suggestion(&rules, &validated, &type2_only).unwrap();
         assert_eq!(s, [t("zip")].into(), "the paper's round-2 suggestion");
@@ -430,6 +484,10 @@ mod tests {
             .next()
             .unwrap();
         let greedy = greedy_cover(&rules, &base, &candidates, &all_rules);
-        assert_eq!(exact.len(), greedy.len(), "greedy finds a same-size cover here");
+        assert_eq!(
+            exact.len(),
+            greedy.len(),
+            "greedy finds a same-size cover here"
+        );
     }
 }

@@ -42,7 +42,12 @@ impl fmt::Display for CerfixError {
         match self {
             CerfixError::Relation(e) => write!(f, "{e}"),
             CerfixError::Rule(e) => write!(f, "{e}"),
-            CerfixError::ValidatedCellConflict { rule, attribute, current, incoming } => write!(
+            CerfixError::ValidatedCellConflict {
+                rule,
+                attribute,
+                current,
+                incoming,
+            } => write!(
                 f,
                 "rule `{rule}` attempted to overwrite validated cell `{attribute}` \
                  (current `{current}`, incoming `{incoming}`); the rule set is inconsistent"

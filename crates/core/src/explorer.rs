@@ -24,7 +24,11 @@ impl Explorer {
     /// Configure an instance from a rule set and master data (the demo's
     /// "initialization" step, with CSV replacing the JDBC connection).
     pub fn new(rules: RuleSet, master: MasterData) -> Explorer {
-        Explorer { rules, master, regions: Vec::new() }
+        Explorer {
+            rules,
+            master,
+            regions: Vec::new(),
+        }
     }
 
     /// The managed rule set.
@@ -48,11 +52,7 @@ impl Explorer {
     /// (the demo's rule manager imports eRs, paper §3). Returns how many
     /// rules were added.
     pub fn add_rules_dsl(&mut self, text: &str) -> Result<usize> {
-        let decls = parse_rules(
-            text,
-            self.rules.input_schema(),
-            self.rules.master_schema(),
-        )?;
+        let decls = parse_rules(text, self.rules.input_schema(), self.rules.master_schema())?;
         let mut added = 0;
         for decl in decls {
             match decl {
@@ -89,11 +89,7 @@ impl Explorer {
 
     /// Replace the rule named `name` with a DSL declaration.
     pub fn update_rule_dsl(&mut self, name: &str, text: &str) -> Result<()> {
-        let decls = parse_rules(
-            text,
-            self.rules.input_schema(),
-            self.rules.master_schema(),
-        )?;
+        let decls = parse_rules(text, self.rules.input_schema(), self.rules.master_schema())?;
         let [RuleDecl::Er(rule)] = &decls[..] else {
             return Err(cerfix_rules::RuleError::InvalidRule {
                 rule: name.into(),
@@ -131,13 +127,19 @@ impl Explorer {
     pub fn render_rules(&self) -> String {
         let input = self.rules.input_schema();
         let master = self.rules.master_schema();
-        let header: Vec<String> =
-            ["id", "name", "rule"].iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = ["id", "name", "rule"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let rows: Vec<Vec<String>> = self
             .rules
             .iter()
             .map(|(id, r)| {
-                vec![id.to_string(), r.name().to_string(), render_er_dsl(r, input, master)]
+                vec![
+                    id.to_string(),
+                    r.name().to_string(),
+                    render_er_dsl(r, input, master),
+                ]
             })
             .collect();
         render_table(&header, &rows)
@@ -147,8 +149,10 @@ impl Explorer {
     /// them.
     pub fn render_regions(&self) -> String {
         let input = self.rules.input_schema();
-        let header: Vec<String> =
-            ["rank", "size", "region"].iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = ["rank", "size", "region"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let rows: Vec<Vec<String>> = self
             .regions
             .iter()
@@ -199,8 +203,10 @@ mod tests {
     #[test]
     fn update_rule() {
         let mut ex = explorer();
-        ex.add_rules_dsl("er phi1: match zip=zip fix AC:=AC when ()").unwrap();
-        ex.update_rule_dsl("phi1", "er phi1: match zip=zip fix city:=city when ()").unwrap();
+        ex.add_rules_dsl("er phi1: match zip=zip fix AC:=AC when ()")
+            .unwrap();
+        ex.update_rule_dsl("phi1", "er phi1: match zip=zip fix city:=city when ()")
+            .unwrap();
         let (_, rule) = ex.rules().get_by_name("phi1").unwrap();
         assert_eq!(
             rule.input_rhs(),
@@ -220,15 +226,19 @@ mod tests {
         let mut ex = explorer();
         let err = ex.add_rules_dsl("cfd c1: AC -> city | _ -> _").unwrap_err();
         assert!(err.to_string().contains("derive_from_cfd"));
-        let err = ex.add_rules_dsl("md m1: AC==AC identify city<=>city").unwrap_err();
+        let err = ex
+            .add_rules_dsl("md m1: AC==AC identify city<=>city")
+            .unwrap_err();
         assert!(err.to_string().contains("derive_from_md"));
     }
 
     #[test]
     fn consistency_check_runs() {
         let mut ex = explorer();
-        ex.add_rules_dsl("er phi1: match zip=zip fix city:=city when ()").unwrap();
-        ex.add_rules_dsl("er phi2: match AC=AC fix city:=city when ()").unwrap();
+        ex.add_rules_dsl("er phi1: match zip=zip fix city:=city when ()")
+            .unwrap();
+        ex.add_rules_dsl("er phi2: match AC=AC fix city:=city when ()")
+            .unwrap();
         let report = ex.check_consistency();
         // zip=EH8 → Edi vs AC=020 → Ldn can coexist on one tuple.
         assert!(!report.is_consistent());
@@ -253,7 +263,8 @@ mod tests {
         let rendered = ex.render_regions();
         assert!(rendered.contains("zip"));
         // Rule changes invalidate the cache.
-        ex.add_rules_dsl("er extra: match AC=AC fix city:=city when ()").unwrap();
+        ex.add_rules_dsl("er extra: match AC=AC fix city:=city when ()")
+            .unwrap();
         assert!(ex.regions().is_empty());
     }
 }

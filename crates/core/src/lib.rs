@@ -63,6 +63,7 @@
 pub mod audit;
 pub mod engine;
 mod error;
+pub mod exec;
 pub mod explorer;
 mod master;
 pub mod monitor;
@@ -74,11 +75,12 @@ pub use engine::{
     ConsistencyReport, FixpointReport, Inconsistency,
 };
 pub use error::{CerfixError, Result};
+pub use exec::{ordered_map, WorkerPool};
 pub use explorer::Explorer;
 pub use master::{CertainLookup, MasterData};
 pub use monitor::{
-    clean_stream, clean_stream_parallel, CappedUser, CleanOutcome, DataMonitor, MonitorSession, OracleUser,
-    PreferringUser, SessionStatus, SilentUser, StreamReport, UserAgent,
+    clean_stream, clean_stream_parallel, CappedUser, CleanOutcome, DataMonitor, MonitorSession,
+    OracleUser, PreferringUser, SessionStatus, SilentUser, StreamReport, UserAgent,
 };
 pub use region::{
     certify_region, find_regions, CertifyResult, Region, RegionFinderOptions, RegionSearchResult,

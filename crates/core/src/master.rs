@@ -53,7 +53,11 @@ pub struct MasterData {
 impl MasterData {
     /// Wrap a master relation, with indexing enabled.
     pub fn new(relation: Relation) -> MasterData {
-        MasterData { relation, indexes: RwLock::new(HashMap::new()), use_indexes: true }
+        MasterData {
+            relation,
+            indexes: RwLock::new(HashMap::new()),
+            use_indexes: true,
+        }
     }
 
     /// Wrap a master relation with indexing disabled (every lookup scans).
@@ -61,7 +65,11 @@ impl MasterData {
     ///
     /// [`new`]: MasterData::new
     pub fn new_unindexed(relation: Relation) -> MasterData {
-        MasterData { relation, indexes: RwLock::new(HashMap::new()), use_indexes: false }
+        MasterData {
+            relation,
+            indexes: RwLock::new(HashMap::new()),
+            use_indexes: false,
+        }
     }
 
     /// The master schema.
@@ -111,7 +119,10 @@ impl MasterData {
             self.relation
                 .iter()
                 .filter(|(_, s)| {
-                    attrs.iter().zip(key.iter()).all(|(&a, k)| s.get(a).matches(k))
+                    attrs
+                        .iter()
+                        .zip(key.iter())
+                        .all(|(&a, k)| s.get(a).matches(k))
                 })
                 .map(|(id, _)| id)
                 .collect()
@@ -138,16 +149,27 @@ impl MasterData {
         // A null master value is not evidence of anything: treat a null in
         // the fix values as ambiguity (no certain fix through this rule).
         if values.iter().any(Value::is_null) {
-            return CertainLookup::Ambiguous { matches: rows.len() };
+            return CertainLookup::Ambiguous {
+                matches: rows.len(),
+            };
         }
         for &row in &rows[1..] {
             let s = self.relation.row(row).expect("index row in range");
-            let agrees = master_rhs.iter().zip(values.iter()).all(|(&a, v)| s.get(a) == v);
+            let agrees = master_rhs
+                .iter()
+                .zip(values.iter())
+                .all(|(&a, v)| s.get(a) == v);
             if !agrees {
-                return CertainLookup::Ambiguous { matches: rows.len() };
+                return CertainLookup::Ambiguous {
+                    matches: rows.len(),
+                };
             }
         }
-        CertainLookup::Unique { values, witness: rows[0], matches: rows.len() }
+        CertainLookup::Unique {
+            values,
+            witness: rows[0],
+            matches: rows.len(),
+        }
     }
 
     /// Append a master tuple, keeping every materialized index current.
@@ -220,8 +242,14 @@ mod tests {
             "r",
             input,
             master,
-            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
-            vec![(input.attr_id("city").unwrap(), master.attr_id("city").unwrap())],
+            vec![(
+                input.attr_id("zip").unwrap(),
+                master.attr_id("zip").unwrap(),
+            )],
+            vec![(
+                input.attr_id("city").unwrap(),
+                master.attr_id("city").unwrap(),
+            )],
             PatternTuple::empty(),
         )
         .unwrap()
@@ -234,7 +262,11 @@ mod tests {
         let rule = zip_to_city(&input, &ms);
         let t = Tuple::of_strings(input.clone(), ["x", "p", "???", "EH8 4AH", "2"]).unwrap();
         match md.certain_lookup(&rule, &t) {
-            CertainLookup::Unique { values, witness, matches } => {
+            CertainLookup::Unique {
+                values,
+                witness,
+                matches,
+            } => {
                 assert_eq!(values, vec![Value::str("Edi")]);
                 assert_eq!(witness, 0);
                 assert_eq!(matches, 1);
@@ -278,7 +310,9 @@ mod tests {
         .unwrap();
         let t = Tuple::of_strings(input.clone(), ["131", "p", "?", "z", "2"]).unwrap();
         match md.certain_lookup(&rule, &t) {
-            CertainLookup::Unique { values, matches, .. } => {
+            CertainLookup::Unique {
+                values, matches, ..
+            } => {
                 assert_eq!(values, vec![Value::str("Edi")]);
                 assert_eq!(matches, 2);
             }
@@ -301,7 +335,10 @@ mod tests {
         )
         .unwrap();
         let t = Tuple::of_strings(input.clone(), ["131", "p", "c", "?", "2"]).unwrap();
-        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { matches: 2 });
+        assert_eq!(
+            md.certain_lookup(&rule, &t),
+            CertainLookup::Ambiguous { matches: 2 }
+        );
     }
 
     #[test]
@@ -311,11 +348,17 @@ mod tests {
             .row_strs(["131", "079", "Edi", "EH8"])
             .build()
             .unwrap();
-        rel.row_mut(0).unwrap().set_by_name("city", Value::Null).unwrap();
+        rel.row_mut(0)
+            .unwrap()
+            .set_by_name("city", Value::Null)
+            .unwrap();
         let md = MasterData::new(rel);
         let rule = zip_to_city(&input, &ms);
         let t = Tuple::of_strings(input.clone(), ["x", "p", "c", "EH8", "2"]).unwrap();
-        assert!(matches!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { .. }));
+        assert!(matches!(
+            md.certain_lookup(&rule, &t),
+            CertainLookup::Ambiguous { .. }
+        ));
     }
 
     #[test]
@@ -339,7 +382,11 @@ mod tests {
                 "zip={zip}"
             );
         }
-        assert_eq!(scanned.index_count(), 0, "ablation arm must not build indexes");
+        assert_eq!(
+            scanned.index_count(),
+            0,
+            "ablation arm must not build indexes"
+        );
         assert!(indexed.index_count() >= 1);
     }
 
@@ -367,7 +414,9 @@ mod tests {
         let id = md.append(new_row).unwrap();
         assert_eq!(id, 3);
         match md.certain_lookup(&rule, &t_probe) {
-            CertainLookup::Unique { values, witness, .. } => {
+            CertainLookup::Unique {
+                values, witness, ..
+            } => {
                 assert_eq!(values, vec![Value::str("Gla")]);
                 assert_eq!(witness, 3);
             }
@@ -384,10 +433,16 @@ mod tests {
         let mut md = master_data(&ms);
         let rule = zip_to_city(&input, &ms);
         let t = Tuple::of_strings(input.clone(), ["x", "p", "c", "EH8 4AH", "2"]).unwrap();
-        assert!(matches!(md.certain_lookup(&rule, &t), CertainLookup::Unique { .. }));
+        assert!(matches!(
+            md.certain_lookup(&rule, &t),
+            CertainLookup::Unique { .. }
+        ));
         md.append(Tuple::of_strings(ms.clone(), ["131", "079", "Leith", "EH8 4AH"]).unwrap())
             .unwrap();
-        assert_eq!(md.certain_lookup(&rule, &t), CertainLookup::Ambiguous { matches: 2 });
+        assert_eq!(
+            md.certain_lookup(&rule, &t),
+            CertainLookup::Ambiguous { matches: 2 }
+        );
     }
 
     #[test]

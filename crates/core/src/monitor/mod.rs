@@ -55,7 +55,9 @@ pub struct CleanOutcome {
 pub struct DataMonitor<'a> {
     rules: &'a RuleSet,
     master: &'a MasterData,
-    regions: Vec<Region>,
+    /// Shared so long-lived services hand one pre-computed set to every
+    /// per-request monitor without deep-cloning tableaux.
+    regions: std::sync::Arc<[Region]>,
     audit: AuditLog,
     /// Hard cap on interaction rounds (defensive; a productive round
     /// always validates ≥ 1 attribute, so `arity` rounds suffice).
@@ -66,13 +68,27 @@ impl<'a> DataMonitor<'a> {
     /// Create a monitor without pre-computed regions (initial suggestions
     /// then fall back to the inference system).
     pub fn new(rules: &'a RuleSet, master: &'a MasterData) -> DataMonitor<'a> {
-        DataMonitor { rules, master, regions: Vec::new(), audit: AuditLog::new(), max_rounds: 64 }
+        DataMonitor {
+            rules,
+            master,
+            regions: std::sync::Arc::from(Vec::new()),
+            audit: AuditLog::new(),
+            max_rounds: 64,
+        }
     }
 
     /// Provide pre-computed certain regions for initial suggestions
     /// (the demo pre-computes these with the region finder "to reduce the
     /// cost", paper §3).
     pub fn with_regions(mut self, regions: Vec<Region>) -> DataMonitor<'a> {
+        self.regions = regions.into();
+        self
+    }
+
+    /// Like [`with_regions`](Self::with_regions), but sharing an already
+    /// `Arc`'d set — a refcount bump per monitor instead of a deep clone
+    /// (the shape `cerfix-server` uses per request).
+    pub fn with_shared_regions(mut self, regions: std::sync::Arc<[Region]>) -> DataMonitor<'a> {
         self.regions = regions;
         self
     }
@@ -117,9 +133,14 @@ impl<'a> DataMonitor<'a> {
             if !pattern_ok {
                 return false;
             }
-            let evidence_done =
-                rule.evidence_attrs().iter().all(|a| session.validated.contains(a));
-            let rhs_done = rule.input_rhs().iter().all(|b| session.validated.contains(b));
+            let evidence_done = rule
+                .evidence_attrs()
+                .iter()
+                .all(|a| session.validated.contains(a));
+            let rhs_done = rule
+                .input_rhs()
+                .iter()
+                .all(|b| session.validated.contains(b));
             // Stalled: had its chance and failed.
             !evidence_done || rhs_done
         }
@@ -153,8 +174,11 @@ impl<'a> DataMonitor<'a> {
                     })
                 })
                 .min_by_key(|r| {
-                    let extra =
-                        r.attrs().iter().filter(|a| !session.validated.contains(a)).count();
+                    let extra = r
+                        .attrs()
+                        .iter()
+                        .filter(|a| !session.validated.contains(a))
+                        .count();
                     // Tie-break: the suggestion is made before the tuple's
                     // gate attributes are known, so prefer the region whose
                     // tableau covers the most contexts — it is the most
@@ -185,7 +209,9 @@ impl<'a> DataMonitor<'a> {
         }
         match self.suggestion(session) {
             Some(suggestion) => SessionStatus::AwaitingUser { suggestion },
-            None => SessionStatus::Stuck { unvalidated: session.unvalidated() },
+            None => SessionStatus::Stuck {
+                unvalidated: session.unvalidated(),
+            },
         }
     }
 
@@ -223,12 +249,19 @@ impl<'a> DataMonitor<'a> {
                     tuple_id: session.tuple_id,
                     attr: *attr,
                     round: session.rounds,
-                    event: CellEvent::UserValidated { old, new: value.clone() },
+                    event: CellEvent::UserValidated {
+                        old,
+                        new: value.clone(),
+                    },
                 });
             }
         }
-        let report =
-            run_fixpoint(self.rules, self.master, &mut session.tuple, &mut session.validated)?;
+        let report = run_fixpoint(
+            self.rules,
+            self.master,
+            &mut session.tuple,
+            &mut session.validated,
+        )?;
         for fix in &report.fixes {
             self.audit.record(AuditRecord {
                 tuple_id: session.tuple_id,
@@ -313,23 +346,43 @@ mod tests {
     fn fixture() -> (SchemaRef, SchemaRef, RuleSet, MasterData) {
         let input = Schema::of_strings(
             "customer",
-            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let ms = Schema::of_strings(
             "master",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+            ],
         )
         .unwrap();
         let master = MasterData::new(
             RelationBuilder::new(ms.clone())
                 .row_strs([
-                    "Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi",
-                    "EH8 4AH", "11/11/55", "M",
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "501 Elm St",
+                    "Edi",
+                    "EH8 4AH",
+                    "11/11/55",
+                    "M",
                 ])
                 .row_strs([
-                    "Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn",
-                    "NW1 6XE", "25/12/67", "M",
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884564",
+                    "075568485",
+                    "20 Baker St",
+                    "Ldn",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M",
                 ])
                 .build()
                 .unwrap(),
@@ -342,14 +395,49 @@ mod tests {
         let mut rules = RuleSet::new(input.clone(), ms.clone());
         #[allow(clippy::type_complexity)]
         let specs: Vec<(&str, Vec<(&str, &str)>, Vec<(&str, &str)>, PatternTuple)> = vec![
-            ("phi1", vec![("zip", "zip")], vec![("AC", "AC")], PatternTuple::empty()),
-            ("phi2", vec![("zip", "zip")], vec![("str", "str")], PatternTuple::empty()),
-            ("phi3", vec![("zip", "zip")], vec![("city", "city")], PatternTuple::empty()),
-            ("phi4", vec![("phn", "Mphn")], vec![("FN", "FN")], mobile.clone()),
+            (
+                "phi1",
+                vec![("zip", "zip")],
+                vec![("AC", "AC")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi2",
+                vec![("zip", "zip")],
+                vec![("str", "str")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi3",
+                vec![("zip", "zip")],
+                vec![("city", "city")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi4",
+                vec![("phn", "Mphn")],
+                vec![("FN", "FN")],
+                mobile.clone(),
+            ),
             ("phi5", vec![("phn", "Mphn")], vec![("LN", "LN")], mobile),
-            ("phi6", vec![("AC", "AC"), ("phn", "Hphn")], vec![("str", "str")], home.clone()),
-            ("phi7", vec![("AC", "AC"), ("phn", "Hphn")], vec![("city", "city")], home.clone()),
-            ("phi8", vec![("AC", "AC"), ("phn", "Hphn")], vec![("zip", "zip")], home),
+            (
+                "phi6",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("str", "str")],
+                home.clone(),
+            ),
+            (
+                "phi7",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("city", "city")],
+                home.clone(),
+            ),
+            (
+                "phi8",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("zip", "zip")],
+                home,
+            ),
             ("phi9", vec![("AC", "AC")], vec![("city", "city")], geo),
         ];
         for (name, lhs, rhs, pattern) in specs {
@@ -376,7 +464,17 @@ mod tests {
     fn fig3_dirty(input: &SchemaRef) -> Tuple {
         Tuple::of_strings(
             input.clone(),
-            ["M.", "Smith", "201", "075568485", "2", "1 Nowhere", "???", "XXX", "DVD"],
+            [
+                "M.",
+                "Smith",
+                "201",
+                "075568485",
+                "2",
+                "1 Nowhere",
+                "???",
+                "XXX",
+                "DVD",
+            ],
         )
         .unwrap()
     }
@@ -384,7 +482,17 @@ mod tests {
     fn fig3_truth(input: &SchemaRef) -> Tuple {
         Tuple::of_strings(
             input.clone(),
-            ["Mark", "Smith", "020", "075568485", "2", "20 Baker St", "Ldn", "NW1 6XE", "DVD"],
+            [
+                "Mark",
+                "Smith",
+                "020",
+                "075568485",
+                "2",
+                "20 Baker St",
+                "Ldn",
+                "NW1 6XE",
+                "DVD",
+            ],
         )
         .unwrap()
     }
@@ -407,7 +515,11 @@ mod tests {
             .collect();
         let report = monitor.apply_validation(&mut session, &round1).unwrap();
         // FN normalized from 'M.' to 'Mark' by φ4 with master row 1.
-        let fn_fix = report.fixes.iter().find(|f| f.attr == t("FN")).expect("FN fixed");
+        let fn_fix = report
+            .fixes
+            .iter()
+            .find(|f| f.attr == t("FN"))
+            .expect("FN fixed");
         assert_eq!(fn_fix.old, Value::str("M."));
         assert_eq!(fn_fix.new, Value::str("Mark"));
         assert_eq!(fn_fix.master_row, 1);
@@ -438,8 +550,15 @@ mod tests {
         let outcome = monitor.clean(0, fig3_dirty(&input), &mut user).unwrap();
         assert!(outcome.complete);
         assert_eq!(outcome.tuple, truth);
-        assert!(outcome.user_validated <= 5, "oracle user validated {} attrs", outcome.user_validated);
-        assert_eq!(outcome.user_validated + outcome.auto_validated, input.arity());
+        assert!(
+            outcome.user_validated <= 5,
+            "oracle user validated {} attrs",
+            outcome.user_validated
+        );
+        assert_eq!(
+            outcome.user_validated + outcome.auto_validated,
+            input.arity()
+        );
         assert!(outcome.cells_fixed_by_rules >= 3, "FN, city, str at least");
     }
 
@@ -455,7 +574,10 @@ mod tests {
         let session = monitor.start(0, fig3_dirty(&input));
         let suggestion = monitor.suggestion(&session).unwrap();
         assert_eq!(
-            suggestion.iter().copied().collect::<std::collections::BTreeSet<_>>(),
+            suggestion
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>(),
             [t("phn"), t("type"), t("zip"), t("item")].into()
         );
     }
@@ -467,8 +589,7 @@ mod tests {
         let truth = fig3_truth(&input);
         let t = |n: &str| input.attr_id(n).unwrap();
         // User insists on validating zip and phn and type first.
-        let mut user =
-            PreferringUser::new(truth.clone(), vec![t("zip"), t("phn"), t("type")]);
+        let mut user = PreferringUser::new(truth.clone(), vec![t("zip"), t("phn"), t("type")]);
         let outcome = monitor.clean(0, fig3_dirty(&input), &mut user).unwrap();
         assert!(outcome.complete);
         assert_eq!(outcome.tuple, truth);
@@ -478,7 +599,9 @@ mod tests {
     fn silent_user_leaves_session_incomplete() {
         let (input, _, rules, master) = fixture();
         let monitor = DataMonitor::new(&rules, &master);
-        let outcome = monitor.clean(0, fig3_dirty(&input), &mut SilentUser).unwrap();
+        let outcome = monitor
+            .clean(0, fig3_dirty(&input), &mut SilentUser)
+            .unwrap();
         assert!(!outcome.complete);
         assert_eq!(outcome.rounds, 0);
         assert_eq!(outcome.user_validated, 0);
@@ -494,16 +617,32 @@ mod tests {
         let monitor = DataMonitor::new(&rules, &master);
         let unknown_truth = Tuple::of_strings(
             input.clone(),
-            ["Zoe", "Quinn", "0161", "070000000", "2", "9 Void St", "Mcr", "M1 1AA", "CD"],
+            [
+                "Zoe",
+                "Quinn",
+                "0161",
+                "070000000",
+                "2",
+                "9 Void St",
+                "Mcr",
+                "M1 1AA",
+                "CD",
+            ],
         )
         .unwrap();
         let mut user = OracleUser::new(unknown_truth.clone());
         let outcome = monitor.clean(0, fig3_dirty(&input), &mut user).unwrap();
-        assert!(outcome.complete, "user validation of everything is still a certain fix");
+        assert!(
+            outcome.complete,
+            "user validation of everything is still a certain fix"
+        );
         assert_eq!(outcome.user_validated, input.arity());
         assert_eq!(outcome.auto_validated, 0);
         assert_eq!(outcome.tuple, unknown_truth);
-        assert!(outcome.rounds >= 2, "rules had to stall before the monitor widened");
+        assert!(
+            outcome.rounds >= 2,
+            "rules had to stall before the monitor widened"
+        );
     }
 
     #[test]
@@ -517,7 +656,12 @@ mod tests {
         let fn_history = monitor.audit().cell_history(42, t("FN"));
         assert_eq!(fn_history.len(), 1);
         match &fn_history[0].event {
-            CellEvent::RuleFixed { old, new, master_row, .. } => {
+            CellEvent::RuleFixed {
+                old,
+                new,
+                master_row,
+                ..
+            } => {
                 assert_eq!(old, &Value::str("M."));
                 assert_eq!(new, &Value::str("Mark"));
                 assert_eq!(*master_row, 1);
@@ -536,9 +680,16 @@ mod tests {
         let (input, _, rules, master) = fixture();
         let monitor = DataMonitor::new(&rules, &master);
         let mut session = monitor.start(0, fig3_dirty(&input));
-        let err = monitor.apply_validation(&mut session, &[(99, Value::str("x"))]).unwrap_err();
-        assert!(matches!(err, CerfixError::InvalidValidation { attr: 99, .. }));
-        let err = monitor.apply_validation(&mut session, &[(0, Value::Null)]).unwrap_err();
+        let err = monitor
+            .apply_validation(&mut session, &[(99, Value::str("x"))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CerfixError::InvalidValidation { attr: 99, .. }
+        ));
+        let err = monitor
+            .apply_validation(&mut session, &[(0, Value::Null)])
+            .unwrap_err();
         assert!(matches!(err, CerfixError::InvalidValidation { .. }));
     }
 
@@ -550,8 +701,15 @@ mod tests {
         let mut patient = OracleUser::new(truth.clone());
         let fast = monitor.clean(0, fig3_dirty(&input), &mut patient).unwrap();
         let mut slow_user = CappedUser::new(truth, 1);
-        let slow = monitor.clean(1, fig3_dirty(&input), &mut slow_user).unwrap();
+        let slow = monitor
+            .clean(1, fig3_dirty(&input), &mut slow_user)
+            .unwrap();
         assert!(slow.complete);
-        assert!(slow.rounds > fast.rounds, "{} vs {}", slow.rounds, fast.rounds);
+        assert!(
+            slow.rounds > fast.rounds,
+            "{} vs {}",
+            slow.rounds,
+            fast.rounds
+        );
     }
 }

@@ -41,7 +41,9 @@ impl MonitorSession {
 
     /// Attributes not yet validated.
     pub fn unvalidated(&self) -> Vec<AttrId> {
-        (0..self.tuple.arity()).filter(|a| !self.validated.contains(a)).collect()
+        (0..self.tuple.arity())
+            .filter(|a| !self.validated.contains(a))
+            .collect()
     }
 }
 
@@ -86,9 +88,18 @@ mod tests {
     #[test]
     fn status_equality() {
         assert_eq!(
-            SessionStatus::AwaitingUser { suggestion: vec![1] },
-            SessionStatus::AwaitingUser { suggestion: vec![1] }
+            SessionStatus::AwaitingUser {
+                suggestion: vec![1]
+            },
+            SessionStatus::AwaitingUser {
+                suggestion: vec![1]
+            }
         );
-        assert_ne!(SessionStatus::Complete, SessionStatus::Stuck { unvalidated: vec![] });
+        assert_ne!(
+            SessionStatus::Complete,
+            SessionStatus::Stuck {
+                unvalidated: vec![]
+            }
+        );
     }
 }

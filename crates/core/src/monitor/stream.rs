@@ -104,9 +104,12 @@ where
 /// users arrive concurrently, and sessions are independent, so the stream
 /// parallelizes embarrassingly: the master data's index cache is behind a
 /// `RwLock`, the audit log is append-only behind a lock, and each session
-/// owns its tuple. Outcomes are returned in input order regardless of
-/// completion order. Used by the `T3` scalability experiment's parallel
-/// arm.
+/// owns its tuple. Delegates to the order-stable work-stealing executor
+/// ([`crate::exec::ordered_map`]) that also backs `cerfix-server`'s batch
+/// endpoint: outcomes land in input order regardless of worker count or
+/// completion order, and an expensive tuple never serializes the rest of
+/// a static chunk behind it. Used by the `T3` scalability experiment's
+/// parallel arm.
 pub fn clean_stream_parallel<F>(
     monitor: &DataMonitor<'_>,
     tuples: Vec<Tuple>,
@@ -116,54 +119,11 @@ pub fn clean_stream_parallel<F>(
 where
     F: Fn(usize, &Tuple) -> Box<dyn UserAgent + Send> + Sync,
 {
-    let threads = threads.max(1);
-    if threads == 1 || tuples.len() <= 1 {
-        let mut mk = |idx: usize, t: &Tuple| -> Box<dyn UserAgent> { make_user(idx, t) };
-        return clean_stream(monitor, tuples, &mut mk);
-    }
-    let n = tuples.len();
-    let chunk = n.div_ceil(threads);
-    let mut outcomes: Vec<Option<CleanOutcome>> = Vec::with_capacity(n);
-    outcomes.resize_with(n, || None);
-    let first_error: parking_lot::Mutex<Option<crate::error::CerfixError>> =
-        parking_lot::Mutex::new(None);
-
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (tuple_chunk, out_chunk)) in
-            tuples.chunks(chunk).zip(outcomes.chunks_mut(chunk)).enumerate()
-        {
-            let base = chunk_idx * chunk;
-            let make_user = &make_user;
-            let first_error = &first_error;
-            scope.spawn(move |_| {
-                for (offset, tuple) in tuple_chunk.iter().enumerate() {
-                    if first_error.lock().is_some() {
-                        return; // fail fast across workers
-                    }
-                    let idx = base + offset;
-                    let mut user = make_user(idx, tuple);
-                    match monitor.clean(idx, tuple.clone(), user.as_mut()) {
-                        Ok(outcome) => out_chunk[offset] = Some(outcome),
-                        Err(e) => {
-                            let mut slot = first_error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-
-    if let Some(e) = first_error.into_inner() {
-        return Err(e);
-    }
-    Ok(StreamReport {
-        outcomes: outcomes.into_iter().map(|o| o.expect("no error ⇒ every slot filled")).collect(),
-    })
+    let outcomes = crate::exec::ordered_map(threads, tuples, |idx, tuple| {
+        let mut user = make_user(idx, &tuple);
+        monitor.clean(idx, tuple, user.as_mut())
+    })?;
+    Ok(StreamReport { outcomes })
 }
 
 #[cfg(test)]
@@ -223,7 +183,11 @@ mod tests {
 
         assert_eq!(report.len(), 3);
         assert!(!report.is_empty());
-        assert_eq!(report.complete_count(), 3, "k9 completes via full user validation");
+        assert_eq!(
+            report.complete_count(),
+            3,
+            "k9 completes via full user validation"
+        );
         assert_eq!(report.total_cells_fixed(), 2, "val corrected for k1 and k2");
         assert!(report.mean_rounds() >= 1.0);
         // key and note user-validated (2 per tuple); val auto for k1/k2
@@ -246,8 +210,15 @@ mod tests {
         let mut rules = RuleSet::new(input.clone(), ms.clone());
         rules
             .add(
-                EditingRule::new("kv", &input, &ms, vec![(0, 0)], vec![(1, 1)], PatternTuple::empty())
-                    .unwrap(),
+                EditingRule::new(
+                    "kv",
+                    &input,
+                    &ms,
+                    vec![(0, 0)],
+                    vec![(1, 1)],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
             )
             .unwrap();
         let monitor = DataMonitor::new(&rules, &master);
@@ -316,7 +287,10 @@ mod tests {
         let master = MasterData::new(RelationBuilder::new(ms.clone()).build().unwrap());
         let rules = RuleSet::new(input, ms);
         let monitor = DataMonitor::new(&rules, &master);
-        let report = clean_stream(&monitor, Vec::new(), |_, _| Box::new(crate::monitor::SilentUser)).unwrap();
+        let report = clean_stream(&monitor, Vec::new(), |_, _| {
+            Box::new(crate::monitor::SilentUser)
+        })
+        .unwrap();
         assert!(report.is_empty());
         assert_eq!(report.mean_rounds(), 0.0);
         assert_eq!(report.user_fraction(), 0.0);

@@ -40,7 +40,10 @@ impl OracleUser {
 
 impl UserAgent for OracleUser {
     fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
-        suggestion.iter().map(|&a| (a, self.truth.get(a).clone())).collect()
+        suggestion
+            .iter()
+            .map(|&a| (a, self.truth.get(a).clone()))
+            .collect()
     }
 }
 
@@ -61,7 +64,11 @@ impl CappedUser {
 
 impl UserAgent for CappedUser {
     fn validate(&mut self, _tuple: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
-        suggestion.iter().take(self.cap).map(|&a| (a, self.truth.get(a).clone())).collect()
+        suggestion
+            .iter()
+            .take(self.cap)
+            .map(|&a| (a, self.truth.get(a).clone()))
+            .collect()
     }
 }
 
@@ -80,7 +87,11 @@ pub struct PreferringUser {
 impl PreferringUser {
     /// A user who validates `preferred` in the first round.
     pub fn new(truth: Tuple, preferred: Vec<AttrId>) -> PreferringUser {
-        PreferringUser { truth, preferred, first_round_done: false }
+        PreferringUser {
+            truth,
+            preferred,
+            first_round_done: false,
+        }
     }
 }
 
@@ -92,7 +103,10 @@ impl UserAgent for PreferringUser {
             self.first_round_done = true;
             self.preferred.clone()
         };
-        attrs.iter().map(|&a| (a, self.truth.get(a).clone())).collect()
+        attrs
+            .iter()
+            .map(|&a| (a, self.truth.get(a).clone()))
+            .collect()
     }
 }
 

@@ -47,7 +47,11 @@ pub fn certify_region(
     universe: &[Tuple],
 ) -> CertifyResult {
     let arity = rules.input_schema().arity();
-    let mut result = CertifyResult { certified: true, checked: 0, failures: Vec::new() };
+    let mut result = CertifyResult {
+        certified: true,
+        checked: 0,
+        failures: Vec::new(),
+    };
     for (idx, truth) in universe.iter().enumerate() {
         if !pattern.matches(truth) {
             continue;
@@ -101,9 +105,11 @@ pub fn masked_input(truth: &Tuple, attrs: &BTreeSet<AttrId>) -> Tuple {
     for &a in attrs {
         t.set(a, truth.get(a).clone()).expect("attr in schema");
     }
-    debug_assert!(t.values().iter().enumerate().all(|(i, v)| {
-        attrs.contains(&i) || matches!(v, Value::Null)
-    }));
+    debug_assert!(t
+        .values()
+        .iter()
+        .enumerate()
+        .all(|(i, v)| { attrs.contains(&i) || matches!(v, Value::Null) }));
     t
 }
 
@@ -130,10 +136,30 @@ mod tests {
         let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
         let mut rules = RuleSet::new(input.clone(), ms.clone());
         rules
-            .add(EditingRule::new("zip_city", &input, &ms, vec![pair("zip")], vec![pair("city")], PatternTuple::empty()).unwrap())
+            .add(
+                EditingRule::new(
+                    "zip_city",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("city")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
             .unwrap();
         rules
-            .add(EditingRule::new("zip_ac", &input, &ms, vec![pair("zip")], vec![pair("AC")], PatternTuple::empty()).unwrap())
+            .add(
+                EditingRule::new(
+                    "zip_ac",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("AC")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
             .unwrap();
         (input, rules, master)
     }
@@ -146,7 +172,10 @@ mod tests {
     fn certifies_clean_universe() {
         let (input, rules, master) = fixture();
         let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
-        let universe = vec![truth(&input, ["131", "Edi", "EH8"]), truth(&input, ["020", "Ldn", "SW1"])];
+        let universe = vec![
+            truth(&input, ["131", "Edi", "EH8"]),
+            truth(&input, ["020", "Ldn", "SW1"]),
+        ];
         let res = certify_region(&rules, &master, &zip, &PatternTuple::empty(), &universe);
         assert!(res.certified);
         assert_eq!(res.checked, 2);
@@ -222,10 +251,20 @@ mod tests {
         // Validating only AC fixes nothing (no rule keys on AC).
         let (input, rules, master) = fixture();
         let ac: BTreeSet<AttrId> = [input.attr_id("AC").unwrap()].into();
-        assert!(!certifies_for(&rules, &master, &ac, &truth(&input, ["131", "Edi", "EH8"])));
+        assert!(!certifies_for(
+            &rules,
+            &master,
+            &ac,
+            &truth(&input, ["131", "Edi", "EH8"])
+        ));
         // Validating everything trivially certifies.
         let all: BTreeSet<AttrId> = input.all_attr_ids().collect();
-        assert!(certifies_for(&rules, &master, &all, &truth(&input, ["131", "Edi", "EH8"])));
+        assert!(certifies_for(
+            &rules,
+            &master,
+            &all,
+            &truth(&input, ["131", "Edi", "EH8"])
+        ));
     }
 
     #[test]

@@ -67,7 +67,12 @@ impl Context {
     /// the context satisfies the cell)?
     fn entails(&self, attr: AttrId, op: &PatternOp) -> bool {
         // Find this context's constraint on the attribute.
-        let own = self.pattern.cells().iter().find(|c| c.attr == attr).map(|c| &c.op);
+        let own = self
+            .pattern
+            .cells()
+            .iter()
+            .find(|c| c.attr == attr)
+            .map(|c| &c.op);
         match (own, op) {
             (_, PatternOp::Any) => true,
             (Some(PatternOp::Eq(c)), PatternOp::Eq(c2)) => c == c2,
@@ -82,7 +87,10 @@ impl Context {
 
     /// True iff every cell of `rule`'s pattern is entailed.
     fn entails_rule(&self, rule: &EditingRule) -> bool {
-        rule.pattern().cells().iter().all(|c| self.entails(c.attr, &c.op))
+        rule.pattern()
+            .cells()
+            .iter()
+            .all(|c| self.entails(c.attr, &c.op))
     }
 }
 
@@ -106,7 +114,9 @@ fn enumerate_contexts(rules: &RuleSet) -> Vec<Context> {
             }
         }
     }
-    let mut contexts = vec![Context { pattern: PatternTuple::empty() }];
+    let mut contexts = vec![Context {
+        pattern: PatternTuple::empty(),
+    }];
     for (attr, constants) in &gates {
         let mut expanded = Vec::with_capacity(contexts.len() * (constants.len() + 1));
         for ctx in &contexts {
@@ -219,7 +229,11 @@ pub fn find_regions(
     // Drop regions dominated by a certified subset region whose tableau
     // covers at least the same contexts, then rank ascending by size.
     let mut regions: Vec<Region> = by_attrs.into_values().collect();
-    regions.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.attrs().cmp(b.attrs())));
+    regions.sort_by(|a, b| {
+        a.size()
+            .cmp(&b.size())
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
     regions.truncate(options.top_k);
     RegionSearchResult { regions, stats }
 }
@@ -235,18 +249,55 @@ mod tests {
     fn uk_fixture() -> (SchemaRef, RuleSet, MasterData, Vec<Tuple>) {
         let input = Schema::of_strings(
             "customer",
-            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let ms = Schema::of_strings(
             "master",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+            ],
         )
         .unwrap();
         let master_rows: Vec<[&str; 10]> = vec![
-            ["Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"],
-            ["Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn", "NW1 6XE", "25/12/67", "M"],
-            ["Nina", "Patel", "0141", "5550101", "077001122", "3 Clyde Way", "Gla", "G12 8QQ", "01/02/80", "F"],
+            [
+                "Robert",
+                "Brady",
+                "131",
+                "6884563",
+                "079172485",
+                "501 Elm St",
+                "Edi",
+                "EH8 4AH",
+                "11/11/55",
+                "M",
+            ],
+            [
+                "Mark",
+                "Smith",
+                "020",
+                "6884564",
+                "075568485",
+                "20 Baker St",
+                "Ldn",
+                "NW1 6XE",
+                "25/12/67",
+                "M",
+            ],
+            [
+                "Nina",
+                "Patel",
+                "0141",
+                "5550101",
+                "077001122",
+                "3 Clyde Way",
+                "Gla",
+                "G12 8QQ",
+                "01/02/80",
+                "F",
+            ],
         ];
         let mut b = RelationBuilder::new(ms.clone());
         for row in &master_rows {
@@ -262,14 +313,49 @@ mod tests {
         let mut rules = RuleSet::new(input.clone(), ms.clone());
         #[allow(clippy::type_complexity)]
         let specs: Vec<(&str, Vec<(&str, &str)>, Vec<(&str, &str)>, PatternTuple)> = vec![
-            ("phi1", vec![("zip", "zip")], vec![("AC", "AC")], PatternTuple::empty()),
-            ("phi2", vec![("zip", "zip")], vec![("str", "str")], PatternTuple::empty()),
-            ("phi3", vec![("zip", "zip")], vec![("city", "city")], PatternTuple::empty()),
-            ("phi4", vec![("phn", "Mphn")], vec![("FN", "FN")], mobile.clone()),
+            (
+                "phi1",
+                vec![("zip", "zip")],
+                vec![("AC", "AC")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi2",
+                vec![("zip", "zip")],
+                vec![("str", "str")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi3",
+                vec![("zip", "zip")],
+                vec![("city", "city")],
+                PatternTuple::empty(),
+            ),
+            (
+                "phi4",
+                vec![("phn", "Mphn")],
+                vec![("FN", "FN")],
+                mobile.clone(),
+            ),
             ("phi5", vec![("phn", "Mphn")], vec![("LN", "LN")], mobile),
-            ("phi6", vec![("AC", "AC"), ("phn", "Hphn")], vec![("str", "str")], home.clone()),
-            ("phi7", vec![("AC", "AC"), ("phn", "Hphn")], vec![("city", "city")], home.clone()),
-            ("phi8", vec![("AC", "AC"), ("phn", "Hphn")], vec![("zip", "zip")], home),
+            (
+                "phi6",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("str", "str")],
+                home.clone(),
+            ),
+            (
+                "phi7",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("city", "city")],
+                home.clone(),
+            ),
+            (
+                "phi8",
+                vec![("AC", "AC"), ("phn", "Hphn")],
+                vec![("zip", "zip")],
+                home,
+            ),
             ("phi9", vec![("AC", "AC")], vec![("city", "city")], geo),
         ];
         for (name, lhs, rhs, pattern) in specs {
@@ -297,8 +383,11 @@ mod tests {
                     .unwrap(),
             );
             universe.push(
-                Tuple::of_strings(input.clone(), [fn_, ln, ac, mphn, "2", st, city, zip, "DVD"])
-                    .unwrap(),
+                Tuple::of_strings(
+                    input.clone(),
+                    [fn_, ln, ac, mphn, "2", st, city, zip, "DVD"],
+                )
+                .unwrap(),
             );
         }
         (input, rules, master, universe)
@@ -365,14 +454,20 @@ mod tests {
     #[test]
     fn uk_type1_regions_include_fn_ln() {
         let (input, rules, master, universe) = uk_fixture();
-        let options = RegionFinderOptions { top_k: 32, ..Default::default() };
+        let options = RegionFinderOptions {
+            top_k: 32,
+            ..Default::default()
+        };
         let result = find_regions(&rules, &master, &universe, &options);
         let t = |n: &str| input.attr_id(n).unwrap();
         // Some region must cover type=1 truths; any such region contains
         // FN and LN (unfixable without mobile-phone rules).
         let type1_truth = &universe[0];
-        let covering: Vec<&Region> =
-            result.regions.iter().filter(|r| r.covers(type1_truth)).collect();
+        let covering: Vec<&Region> = result
+            .regions
+            .iter()
+            .filter(|r| r.covers(type1_truth))
+            .collect();
         assert!(!covering.is_empty(), "no region covers type=1 truths");
         for r in covering {
             assert!(r.attrs().contains(&t("FN")), "{:?}", r.attrs());
@@ -388,12 +483,28 @@ mod tests {
         let ms = rules.master_schema().clone();
         let mut b = RelationBuilder::new(ms.clone());
         b = b.row_strs([
-            "Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH",
-            "11/11/55", "M",
+            "Robert",
+            "Brady",
+            "131",
+            "6884563",
+            "079172485",
+            "501 Elm St",
+            "Edi",
+            "EH8 4AH",
+            "11/11/55",
+            "M",
         ]);
         b = b.row_strs([
-            "Jane", "Doe", "131", "1112223", "070000001", "7 Oak Ave", "Edi", "EH8 4AH",
-            "02/03/90", "F",
+            "Jane",
+            "Doe",
+            "131",
+            "1112223",
+            "070000001",
+            "7 Oak Ave",
+            "Edi",
+            "EH8 4AH",
+            "02/03/90",
+            "F",
         ]);
         let master = MasterData::new(b.build().unwrap());
         let zip_only: BTreeSet<AttrId> = [
@@ -424,7 +535,10 @@ mod tests {
     #[test]
     fn top_k_truncates() {
         let (_, rules, master, universe) = uk_fixture();
-        let options = RegionFinderOptions { top_k: 1, ..Default::default() };
+        let options = RegionFinderOptions {
+            top_k: 1,
+            ..Default::default()
+        };
         let result = find_regions(&rules, &master, &universe, &options);
         assert_eq!(result.regions.len(), 1);
     }
@@ -435,6 +549,10 @@ mod tests {
         let rules = RuleSet::new(input.clone(), master.relation().schema().clone());
         let result = find_regions(&rules, &master, &universe, &RegionFinderOptions::default());
         assert_eq!(result.regions.len(), 1);
-        assert_eq!(result.regions[0].size(), input.arity(), "validate everything");
+        assert_eq!(
+            result.regions[0].size(),
+            input.arity(),
+            "validate everything"
+        );
     }
 }

@@ -25,7 +25,10 @@ impl Region {
         let mut attrs: Vec<AttrId> = attrs.into();
         attrs.sort_unstable();
         attrs.dedup();
-        Region { attrs, tableau: tableau.into() }
+        Region {
+            attrs,
+            tableau: tableau.into(),
+        }
     }
 
     /// The attribute list `Z`.

@@ -25,7 +25,15 @@ er d4: match key=key fix year:=year when ()
 er d5: match venue=venue fix publisher:=publisher when (kind='conf')
 ";
 
-const ATTRS: [&str; 7] = ["key", "title", "authors", "venue", "year", "publisher", "kind"];
+const ATTRS: [&str; 7] = [
+    "key",
+    "title",
+    "authors",
+    "venue",
+    "year",
+    "publisher",
+    "kind",
+];
 
 /// The input schema.
 pub fn input_schema() -> SchemaRef {
@@ -44,7 +52,12 @@ pub fn generate_master(n: usize, rng: &mut StdRng) -> Relation {
     for i in 0..n {
         let (venue, publisher) = VENUES[i % VENUES.len()];
         let year = 1995 + (i % 25);
-        let key = format!("conf/{}/{}{}", venue.to_lowercase(), LAST_NAMES[i % LAST_NAMES.len()], year);
+        let key = format!(
+            "conf/{}/{}{}",
+            venue.to_lowercase(),
+            LAST_NAMES[i % LAST_NAMES.len()],
+            year
+        );
         let title: Vec<&str> = (0..4)
             .map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())])
             .collect();
@@ -103,7 +116,10 @@ pub fn scenario(n: usize, rng: &mut StdRng) -> Scenario {
     // Share the universe tuples' schema object so workload tuples can be
     // collected into relations over `Scenario::input` (schema identity,
     // not just structural equality, is enforced by `Relation::push`).
-    let input = universe.first().map(|t| t.schema().clone()).unwrap_or_else(input_schema);
+    let input = universe
+        .first()
+        .map(|t| t.schema().clone())
+        .unwrap_or_else(input_schema);
     Scenario {
         name: "dblp",
         input,
@@ -135,7 +151,10 @@ mod tests {
         let mut keys = std::collections::HashSet::new();
         let mut venue_pub: std::collections::HashMap<String, String> = Default::default();
         for (_, s) in master.iter() {
-            assert!(keys.insert(s.get_by_name("key").unwrap().render()), "keys unique");
+            assert!(
+                keys.insert(s.get_by_name("key").unwrap().render()),
+                "keys unique"
+            );
             let v = s.get_by_name("venue").unwrap().render();
             let p = s.get_by_name("publisher").unwrap().render();
             if let Some(prev) = venue_pub.insert(v, p.clone()) {

@@ -32,17 +32,16 @@ impl Workload {
 
     /// Total number of erroneous cells across the workload.
     pub fn total_errors(&self) -> usize {
-        self.dirty.iter().zip(self.truth.iter()).map(|(d, t)| d.diff_count(t)).sum()
+        self.dirty
+            .iter()
+            .zip(self.truth.iter())
+            .map(|(d, t)| d.diff_count(t))
+            .sum()
     }
 }
 
 /// Sample `n` dirty tuples from the truth `universe` under `spec`.
-pub fn make_workload(
-    universe: &[Tuple],
-    n: usize,
-    spec: &NoiseSpec,
-    rng: &mut StdRng,
-) -> Workload {
+pub fn make_workload(universe: &[Tuple], n: usize, spec: &NoiseSpec, rng: &mut StdRng) -> Workload {
     assert!(!universe.is_empty(), "truth universe must be non-empty");
     let mut dirty = Vec::with_capacity(n);
     let mut truth = Vec::with_capacity(n);

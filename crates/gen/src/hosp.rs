@@ -36,8 +36,18 @@ er h8: match measure=measure fix condition:=condition when ()
 ";
 
 /// Attribute names shared by the input and master schemas.
-const ATTRS: [&str; 10] =
-    ["provider", "hospital", "addr", "city", "state", "zip", "phone", "measure", "mname", "condition"];
+const ATTRS: [&str; 10] = [
+    "provider",
+    "hospital",
+    "addr",
+    "city",
+    "state",
+    "zip",
+    "phone",
+    "measure",
+    "mname",
+    "condition",
+];
 
 /// The input schema.
 pub fn input_schema() -> SchemaRef {
@@ -128,7 +138,10 @@ pub fn scenario(n: usize, rng: &mut StdRng) -> Scenario {
     // Share the universe tuples' schema object so workload tuples can be
     // collected into relations over `Scenario::input` (schema identity,
     // not just structural equality, is enforced by `Relation::push`).
-    let input = universe.first().map(|t| t.schema().clone()).unwrap_or_else(input_schema);
+    let input = universe
+        .first()
+        .map(|t| t.schema().clone())
+        .unwrap_or_else(input_schema);
     Scenario {
         name: "hosp",
         input,
@@ -172,7 +185,10 @@ mod tests {
                 .map(|a| s.get_by_name(a).unwrap().render())
                 .collect();
             if let Some(prev) = provider_row.insert(provider, identity.clone()) {
-                assert_eq!(prev, identity, "provider → hospital identity must be functional");
+                assert_eq!(
+                    prev, identity,
+                    "provider → hospital identity must be functional"
+                );
             }
         }
     }
@@ -187,8 +203,7 @@ mod tests {
         // attrs; strict conflicts would need two rules on one target:
         // none exist ⇒ consistent even strictly.
         assert!(strict.is_consistent(), "{:?}", strict.conflicts);
-        let coherent =
-            check_consistency(&rules(), &master, &ConsistencyOptions::entity_coherent());
+        let coherent = check_consistency(&rules(), &master, &ConsistencyOptions::entity_coherent());
         assert!(coherent.is_consistent());
     }
 
@@ -210,8 +225,11 @@ mod tests {
         use cerfix::engine::{all_rules, attribute_closure};
         let input = input_schema();
         let rules = rules();
-        let seed: std::collections::BTreeSet<usize> =
-            [input.attr_id("provider").unwrap(), input.attr_id("measure").unwrap()].into();
+        let seed: std::collections::BTreeSet<usize> = [
+            input.attr_id("provider").unwrap(),
+            input.attr_id("measure").unwrap(),
+        ]
+        .into();
         let closed = attribute_closure(&rules, &seed, &all_rules);
         assert_eq!(closed.len(), input.arity());
     }

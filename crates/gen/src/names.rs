@@ -7,25 +7,75 @@
 
 /// First names (the paper's Robert/Mark plus a spread).
 pub const FIRST_NAMES: &[&str] = &[
-    "Robert", "Mark", "Wenfei", "Nan", "Shuai", "Jianzhong", "Wenyuan", "Alice", "Brian",
-    "Clara", "David", "Emma", "Fiona", "George", "Helen", "Ian", "Julia", "Kevin", "Laura",
-    "Martin", "Nadia", "Oliver", "Petra", "Quentin", "Rachel", "Simon", "Tanya", "Umar",
-    "Vera", "William", "Xenia", "Yusuf", "Zoe", "Andrew", "Bella", "Colin", "Donna",
+    "Robert",
+    "Mark",
+    "Wenfei",
+    "Nan",
+    "Shuai",
+    "Jianzhong",
+    "Wenyuan",
+    "Alice",
+    "Brian",
+    "Clara",
+    "David",
+    "Emma",
+    "Fiona",
+    "George",
+    "Helen",
+    "Ian",
+    "Julia",
+    "Kevin",
+    "Laura",
+    "Martin",
+    "Nadia",
+    "Oliver",
+    "Petra",
+    "Quentin",
+    "Rachel",
+    "Simon",
+    "Tanya",
+    "Umar",
+    "Vera",
+    "William",
+    "Xenia",
+    "Yusuf",
+    "Zoe",
+    "Andrew",
+    "Bella",
+    "Colin",
+    "Donna",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Brady", "Smith", "Fan", "Li", "Ma", "Tang", "Yu", "Brown", "Campbell", "Davies",
-    "Evans", "Fraser", "Graham", "Hughes", "Irving", "Jones", "Kerr", "Lewis", "MacLeod",
-    "Nelson", "Owens", "Patel", "Quinn", "Ross", "Stewart", "Taylor", "Urquhart", "Walker",
-    "Young", "Adams", "Baker", "Clark", "Duncan", "Elliott", "Ferguson", "Gibson",
+    "Brady", "Smith", "Fan", "Li", "Ma", "Tang", "Yu", "Brown", "Campbell", "Davies", "Evans",
+    "Fraser", "Graham", "Hughes", "Irving", "Jones", "Kerr", "Lewis", "MacLeod", "Nelson", "Owens",
+    "Patel", "Quinn", "Ross", "Stewart", "Taylor", "Urquhart", "Walker", "Young", "Adams", "Baker",
+    "Clark", "Duncan", "Elliott", "Ferguson", "Gibson",
 ];
 
 /// Street name stems (number prefixes are generated).
 pub const STREETS: &[&str] = &[
-    "Elm St", "Baker St", "High St", "Mill Ln", "Station Rd", "Church Way", "Victoria Ave",
-    "King St", "Queen Rd", "Castle Ter", "Bridge St", "Park Cres", "Abbey Walk", "Clyde Way",
-    "Forth Pl", "Thames Rd", "Morningside Dr", "Leith Walk", "Canal St", "Harbour Ln",
+    "Elm St",
+    "Baker St",
+    "High St",
+    "Mill Ln",
+    "Station Rd",
+    "Church Way",
+    "Victoria Ave",
+    "King St",
+    "Queen Rd",
+    "Castle Ter",
+    "Bridge St",
+    "Park Cres",
+    "Abbey Walk",
+    "Clyde Way",
+    "Forth Pl",
+    "Thames Rd",
+    "Morningside Dr",
+    "Leith Walk",
+    "Canal St",
+    "Harbour Ln",
 ];
 
 /// UK city with its real geographic dialling code and postcode area.
@@ -44,16 +94,56 @@ pub struct CityInfo {
 /// `AC → city` functionally — the paper's rules φ1/φ3/φ9 are consistent
 /// on this data by construction.
 pub const CITIES: &[CityInfo] = &[
-    CityInfo { city: "Edi", area_code: "131", zip_prefix: "EH" },
-    CityInfo { city: "Ldn", area_code: "020", zip_prefix: "NW" },
-    CityInfo { city: "Gla", area_code: "141", zip_prefix: "G" },
-    CityInfo { city: "Mcr", area_code: "161", zip_prefix: "M" },
-    CityInfo { city: "Brm", area_code: "121", zip_prefix: "B" },
-    CityInfo { city: "Lds", area_code: "113", zip_prefix: "LS" },
-    CityInfo { city: "Lvp", area_code: "151", zip_prefix: "L" },
-    CityInfo { city: "Shf", area_code: "114", zip_prefix: "S" },
-    CityInfo { city: "Brs", area_code: "117", zip_prefix: "BS" },
-    CityInfo { city: "Ncl", area_code: "191", zip_prefix: "NE" },
+    CityInfo {
+        city: "Edi",
+        area_code: "131",
+        zip_prefix: "EH",
+    },
+    CityInfo {
+        city: "Ldn",
+        area_code: "020",
+        zip_prefix: "NW",
+    },
+    CityInfo {
+        city: "Gla",
+        area_code: "141",
+        zip_prefix: "G",
+    },
+    CityInfo {
+        city: "Mcr",
+        area_code: "161",
+        zip_prefix: "M",
+    },
+    CityInfo {
+        city: "Brm",
+        area_code: "121",
+        zip_prefix: "B",
+    },
+    CityInfo {
+        city: "Lds",
+        area_code: "113",
+        zip_prefix: "LS",
+    },
+    CityInfo {
+        city: "Lvp",
+        area_code: "151",
+        zip_prefix: "L",
+    },
+    CityInfo {
+        city: "Shf",
+        area_code: "114",
+        zip_prefix: "S",
+    },
+    CityInfo {
+        city: "Brs",
+        area_code: "117",
+        zip_prefix: "BS",
+    },
+    CityInfo {
+        city: "Ncl",
+        area_code: "191",
+        zip_prefix: "NE",
+    },
 ];
 
 /// Items purchasable in the demo's customer scenario.
@@ -104,9 +194,26 @@ pub const VENUES: &[(&str, &str)] = &[
 
 /// Title words for generated publications.
 pub const TITLE_WORDS: &[&str] = &[
-    "Certain", "Fixes", "Editing", "Rules", "Master", "Data", "Cleaning", "Quality",
-    "Dependencies", "Conditional", "Functional", "Matching", "Records", "Repairing",
-    "Consistency", "Queries", "Incremental", "Distributed", "Provenance", "Streams",
+    "Certain",
+    "Fixes",
+    "Editing",
+    "Rules",
+    "Master",
+    "Data",
+    "Cleaning",
+    "Quality",
+    "Dependencies",
+    "Conditional",
+    "Functional",
+    "Matching",
+    "Records",
+    "Repairing",
+    "Consistency",
+    "Queries",
+    "Incremental",
+    "Distributed",
+    "Provenance",
+    "Streams",
 ];
 
 #[cfg(test)]
@@ -119,7 +226,11 @@ mod tests {
         let codes: HashSet<&str> = CITIES.iter().map(|c| c.area_code).collect();
         assert_eq!(codes.len(), CITIES.len(), "AC → city must be functional");
         let zips: HashSet<&str> = CITIES.iter().map(|c| c.zip_prefix).collect();
-        assert_eq!(zips.len(), CITIES.len(), "zip prefix → city must be functional");
+        assert_eq!(
+            zips.len(),
+            CITIES.len(),
+            "zip prefix → city must be functional"
+        );
     }
 
     #[test]

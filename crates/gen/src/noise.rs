@@ -47,7 +47,10 @@ impl Default for NoiseSpec {
 impl NoiseSpec {
     /// A spec with the given per-cell noise rate and default channels.
     pub fn with_rate(rate: f64) -> NoiseSpec {
-        NoiseSpec { cell_noise_rate: rate, ..Default::default() }
+        NoiseSpec {
+            cell_noise_rate: rate,
+            ..Default::default()
+        }
     }
 
     fn pick_channel(&self, rng: &mut StdRng) -> NoiseChannel {
@@ -131,7 +134,9 @@ pub fn corrupt(
             continue;
         }
         let original = truth.get(attr);
-        let Some(text) = original.as_str() else { continue };
+        let Some(text) = original.as_str() else {
+            continue;
+        };
         let new_value = match spec.pick_channel(rng) {
             NoiseChannel::DomainSwap => {
                 // Try a few pool tuples for a *different* value.
@@ -238,7 +243,11 @@ mod tests {
     fn immune_attrs_respected() {
         let ts = tuples();
         let mut r = rng();
-        let spec = NoiseSpec { cell_noise_rate: 1.0, immune_attrs: vec![1], ..Default::default() };
+        let spec = NoiseSpec {
+            cell_noise_rate: 1.0,
+            immune_attrs: vec![1],
+            ..Default::default()
+        };
         for _ in 0..10 {
             let (dirty, _) = corrupt(&ts[0], &ts, &spec, &mut r);
             assert_eq!(dirty.get(1), ts[0].get(1));
@@ -257,7 +266,10 @@ mod tests {
         let pool_values: Vec<&str> = ts.iter().map(|t| t.get(0).as_str().unwrap()).collect();
         let (dirty, _) = corrupt(&ts[0], &ts, &spec, &mut r);
         let v = dirty.get(0).as_str().unwrap();
-        assert!(pool_values.contains(&v), "domain swap picks an in-domain value, got {v}");
+        assert!(
+            pool_values.contains(&v),
+            "domain swap picks an in-domain value, got {v}"
+        );
         assert_ne!(v, "alpha");
     }
 

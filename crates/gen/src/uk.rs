@@ -35,7 +35,9 @@ er phi9: match AC=AC fix city:=city when (AC!='0800')
 pub fn input_schema() -> SchemaRef {
     Schema::of_strings(
         "customer",
-        ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        [
+            "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+        ],
     )
     .expect("static schema")
 }
@@ -44,7 +46,9 @@ pub fn input_schema() -> SchemaRef {
 pub fn master_schema() -> SchemaRef {
     Schema::of_strings(
         "master",
-        ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+        [
+            "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+        ],
     )
     .expect("static schema")
 }
@@ -53,12 +57,28 @@ pub fn master_schema() -> SchemaRef {
 pub fn paper_master_rows() -> Vec<[&'static str; 10]> {
     vec![
         [
-            "Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH",
-            "11/11/55", "M",
+            "Robert",
+            "Brady",
+            "131",
+            "6884563",
+            "079172485",
+            "501 Elm St",
+            "Edi",
+            "EH8 4AH",
+            "11/11/55",
+            "M",
         ],
         [
-            "Mark", "Smith", "020", "6884564", "075568485", "20 Baker St", "Ldn", "NW1 6XE",
-            "25/12/67", "M",
+            "Mark",
+            "Smith",
+            "020",
+            "6884564",
+            "075568485",
+            "20 Baker St",
+            "Ldn",
+            "NW1 6XE",
+            "25/12/67",
+            "M",
         ],
     ]
 }
@@ -68,7 +88,17 @@ pub fn paper_master_rows() -> Vec<[&'static str; 10]> {
 pub fn example1_tuple() -> Tuple {
     Tuple::of_strings(
         input_schema(),
-        ["Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD"],
+        [
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            "2",
+            "501 Elm St",
+            "Edi",
+            "EH8 4AH",
+            "CD",
+        ],
     )
     .expect("static tuple")
 }
@@ -170,7 +200,10 @@ pub fn scenario(n_master: usize, rng: &mut StdRng) -> Scenario {
     // Share the universe tuples' schema object so workload tuples can be
     // collected into relations over `Scenario::input` (schema identity,
     // not just structural equality, is enforced by `Relation::push`).
-    let input = universe.first().map(|t| t.schema().clone()).unwrap_or_else(input_schema);
+    let input = universe
+        .first()
+        .map(|t| t.schema().clone())
+        .unwrap_or_else(input_schema);
     Scenario {
         name: "uk",
         input,
@@ -239,8 +272,7 @@ mod tests {
         // generated master data, and no key is ambiguous.
         let mut rng = StdRng::seed_from_u64(2);
         let master = MasterData::new(generate_master(300, &mut rng));
-        let report =
-            check_consistency(&rules(), &master, &ConsistencyOptions::entity_coherent());
+        let report = check_consistency(&rules(), &master, &ConsistencyOptions::entity_coherent());
         assert!(report.is_consistent(), "conflicts: {:?}", report.conflicts);
         assert!(report.ambiguities.is_empty(), "{:?}", report.ambiguities);
     }
@@ -264,8 +296,10 @@ mod tests {
         let universe = truth_universe(&master);
         assert_eq!(universe.len(), 20, "two phone types per entity");
         // Every universe tuple's zip exists in master.
-        let zips: HashSet<String> =
-            master.iter().map(|(_, s)| s.get_by_name("zip").unwrap().render()).collect();
+        let zips: HashSet<String> = master
+            .iter()
+            .map(|(_, s)| s.get_by_name("zip").unwrap().render())
+            .collect();
         for u in &universe {
             assert!(zips.contains(&u.get_by_name("zip").unwrap().render()));
             let ty = u.get_by_name("type").unwrap().render();

@@ -22,7 +22,10 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Start a schema named `name`.
     pub fn new(name: impl Into<String>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), attrs: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Add an attribute with an explicit type.
@@ -66,7 +69,11 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start building a relation over `schema`.
     pub fn new(schema: SchemaRef) -> RelationBuilder {
-        RelationBuilder { relation: Relation::empty(schema.clone()), schema, error: None }
+        RelationBuilder {
+            relation: Relation::empty(schema.clone()),
+            schema,
+            error: None,
+        }
     }
 
     /// Append a row of [`Value`]s. Errors are deferred to [`build`].
@@ -84,7 +91,10 @@ impl RelationBuilder {
     }
 
     /// Append a row of string cells.
-    pub fn row_strs(mut self, values: impl IntoIterator<Item = impl AsRef<str>>) -> RelationBuilder {
+    pub fn row_strs(
+        mut self,
+        values: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> RelationBuilder {
         if self.error.is_some() {
             return self;
         }
@@ -122,18 +132,30 @@ mod tests {
 
     #[test]
     fn schema_builder_strings_bulk() {
-        let s = SchemaBuilder::new("m").strings(["a", "b"]).string("c").build().unwrap();
+        let s = SchemaBuilder::new("m")
+            .strings(["a", "b"])
+            .string("c")
+            .build()
+            .unwrap();
         assert_eq!(s.arity(), 3);
     }
 
     #[test]
     fn schema_builder_detects_duplicates_at_build() {
-        assert!(SchemaBuilder::new("m").string("a").string("a").build().is_err());
+        assert!(SchemaBuilder::new("m")
+            .string("a")
+            .string("a")
+            .build()
+            .is_err());
     }
 
     #[test]
     fn relation_builder_rows() {
-        let s = SchemaBuilder::new("m").string("AC").string("city").build().unwrap();
+        let s = SchemaBuilder::new("m")
+            .string("AC")
+            .string("city")
+            .build()
+            .unwrap();
         let rel = RelationBuilder::new(s)
             .row_strs(["020", "Ldn"])
             .row(vec![Value::str("131"), Value::str("Edi")])

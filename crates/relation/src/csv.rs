@@ -114,8 +114,10 @@ fn quote_field(field: &str) -> String {
 pub fn read_relation_str(schema: SchemaRef, text: &str) -> Result<Relation> {
     let mut pos = 0usize;
     let mut line = 1usize;
-    let header = parse_record(text, &mut pos, &mut line)
-        .ok_or(RelationError::Csv { line: 1, message: "empty input, expected header".into() })?;
+    let header = parse_record(text, &mut pos, &mut line).ok_or(RelationError::Csv {
+        line: 1,
+        message: "empty input, expected header".into(),
+    })?;
     let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
     if header != expected {
         return Err(RelationError::Csv {
@@ -126,7 +128,9 @@ pub fn read_relation_str(schema: SchemaRef, text: &str) -> Result<Relation> {
     let mut rel = Relation::empty(schema.clone());
     loop {
         let record_line = line;
-        let Some(fields) = parse_record(text, &mut pos, &mut line) else { break };
+        let Some(fields) = parse_record(text, &mut pos, &mut line) else {
+            break;
+        };
         // Skip a trailing blank line.
         if fields.len() == 1 && fields[0].is_empty() && pos >= text.len() {
             break;
@@ -159,12 +163,20 @@ pub fn read_relation_file(schema: SchemaRef, path: impl AsRef<Path>) -> Result<R
 /// Serialize a relation to CSV text with a header row.
 pub fn write_relation_str(relation: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        relation.schema().attributes().iter().map(|a| quote_field(a.name())).collect();
+    let header: Vec<String> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote_field(a.name()))
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for (_, tuple) in relation.iter() {
-        let fields: Vec<String> = tuple.values().iter().map(|v| quote_field(&v.render())).collect();
+        let fields: Vec<String> = tuple
+            .values()
+            .iter()
+            .map(|v| quote_field(&v.render()))
+            .collect();
         out.push_str(&fields.join(","));
         out.push('\n');
     }
@@ -204,8 +216,10 @@ pub fn read_raw_records(reader: impl Read) -> Result<Vec<Vec<String>>> {
 pub fn read_untyped_str(name: &str, text: &str) -> Result<Relation> {
     let mut pos = 0;
     let mut line = 1;
-    let header = parse_record(text, &mut pos, &mut line)
-        .ok_or(RelationError::Csv { line: 1, message: "empty input, expected header".into() })?;
+    let header = parse_record(text, &mut pos, &mut line).ok_or(RelationError::Csv {
+        line: 1,
+        message: "empty input, expected header".into(),
+    })?;
     let schema = crate::schema::Schema::of_strings(name, header)?;
     read_relation_str(schema, text)
 }
@@ -243,11 +257,9 @@ mod tests {
     fn quoting_commas_quotes_newlines() {
         let s = Schema::of_strings("r", ["a"]).unwrap();
         let tricky = "He said \"hi\", then\nleft";
-        let rel = Relation::from_tuples(
-            s.clone(),
-            [Tuple::of_strings(s.clone(), [tricky]).unwrap()],
-        )
-        .unwrap();
+        let rel =
+            Relation::from_tuples(s.clone(), [Tuple::of_strings(s.clone(), [tricky]).unwrap()])
+                .unwrap();
         let text = write_relation_str(&rel);
         let back = read_relation_str(s, &text).unwrap();
         assert_eq!(back.row(0).unwrap().get(0), &Value::str(tricky));
@@ -328,7 +340,13 @@ mod tests {
     #[test]
     fn raw_records() {
         let recs = read_raw_records("a,b\n1,\"x,y\"\n".as_bytes()).unwrap();
-        assert_eq!(recs, vec![vec!["a".to_string(), "b".into()], vec!["1".into(), "x,y".into()]]);
+        assert_eq!(
+            recs,
+            vec![
+                vec!["a".to_string(), "b".into()],
+                vec!["1".into(), "x,y".into()]
+            ]
+        );
     }
 
     #[test]

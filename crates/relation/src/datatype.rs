@@ -56,7 +56,12 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for dt in [DataType::String, DataType::Int, DataType::Float, DataType::Bool] {
+        for dt in [
+            DataType::String,
+            DataType::Int,
+            DataType::Float,
+            DataType::Bool,
+        ] {
             assert_eq!(DataType::parse(dt.name()), Some(dt));
         }
     }

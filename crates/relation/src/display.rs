@@ -10,8 +10,12 @@ use crate::tuple::Tuple;
 
 /// Render a full relation as an ASCII table (header + separator + rows).
 pub fn render_relation(relation: &Relation) -> String {
-    let header: Vec<String> =
-        relation.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+    let header: Vec<String> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
     let rows: Vec<Vec<String>> = relation
         .iter()
         .map(|(_, t)| t.values().iter().map(|v| v.to_string()).collect())
@@ -22,8 +26,12 @@ pub fn render_relation(relation: &Relation) -> String {
 /// Render at most `limit` rows of a relation, with an ellipsis line when
 /// truncated.
 pub fn render_relation_head(relation: &Relation, limit: usize) -> String {
-    let header: Vec<String> =
-        relation.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+    let header: Vec<String> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
     let mut rows: Vec<Vec<String>> = relation
         .iter()
         .take(limit)
@@ -38,9 +46,15 @@ pub fn render_relation_head(relation: &Relation, limit: usize) -> String {
 
 /// Render a set of same-schema tuples as a table.
 pub fn render_tuples(schema: &SchemaRef, tuples: &[&Tuple]) -> String {
-    let header: Vec<String> = schema.attributes().iter().map(|a| a.name().to_string()).collect();
-    let rows: Vec<Vec<String>> =
-        tuples.iter().map(|t| t.values().iter().map(|v| v.to_string()).collect()).collect();
+    let header: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = tuples
+        .iter()
+        .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+        .collect();
     render_table(&header, &rows)
 }
 
@@ -149,8 +163,7 @@ mod tests {
     #[test]
     fn null_cells_render_as_marker() {
         let schema = Schema::of_strings("m", ["a"]).unwrap();
-        let rel =
-            Relation::from_tuples(schema.clone(), [Tuple::all_null(schema.clone())]).unwrap();
+        let rel = Relation::from_tuples(schema.clone(), [Tuple::all_null(schema.clone())]).unwrap();
         assert!(render_relation(&rel).contains('∅'));
     }
 }

@@ -74,22 +74,35 @@ impl fmt::Display for RelationError {
                 write!(f, "unknown attribute `{name}` in schema `{schema}`")
             }
             RelationError::AttributeOutOfRange { id, arity } => {
-                write!(f, "attribute id {id} out of range for schema of arity {arity}")
+                write!(
+                    f,
+                    "attribute id {id} out of range for schema of arity {arity}"
+                )
             }
             RelationError::DuplicateAttribute { name } => {
                 write!(f, "duplicate attribute `{name}` in schema")
             }
             RelationError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity mismatch: schema expects {expected} values, got {actual}")
+                write!(
+                    f,
+                    "tuple arity mismatch: schema expects {expected} values, got {actual}"
+                )
             }
-            RelationError::TypeMismatch { attribute, expected, actual } => {
+            RelationError::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => {
                 write!(
                     f,
                     "type mismatch for attribute `{attribute}`: expected {expected}, got {actual}"
                 )
             }
             RelationError::SchemaMismatch { expected, actual } => {
-                write!(f, "schema mismatch: relation has `{expected}`, tuple has `{actual}`")
+                write!(
+                    f,
+                    "schema mismatch: relation has `{expected}`, tuple has `{actual}`"
+                )
             }
             RelationError::ParseValue { text, target } => {
                 write!(f, "cannot parse `{text}` as {target}")
@@ -127,13 +140,19 @@ mod tests {
 
     #[test]
     fn display_unknown_attribute() {
-        let e = RelationError::UnknownAttribute { name: "zip".into(), schema: "master".into() };
+        let e = RelationError::UnknownAttribute {
+            name: "zip".into(),
+            schema: "master".into(),
+        };
         assert_eq!(e.to_string(), "unknown attribute `zip` in schema `master`");
     }
 
     #[test]
     fn display_arity_mismatch() {
-        let e = RelationError::ArityMismatch { expected: 9, actual: 7 };
+        let e = RelationError::ArityMismatch {
+            expected: 9,
+            actual: 7,
+        };
         assert!(e.to_string().contains("expects 9"));
         assert!(e.to_string().contains("got 7"));
     }
@@ -149,7 +168,10 @@ mod tests {
 
     #[test]
     fn display_parse_value() {
-        let e = RelationError::ParseValue { text: "abc".into(), target: "int" };
+        let e = RelationError::ParseValue {
+            text: "abc".into(),
+            target: "int",
+        };
         assert_eq!(e.to_string(), "cannot parse `abc` as int");
     }
 }

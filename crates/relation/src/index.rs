@@ -65,7 +65,10 @@ impl HashIndex {
         if key.iter().any(Value::is_null) {
             return;
         }
-        self.map.entry(key.into_boxed_slice()).or_default().push(row_id);
+        self.map
+            .entry(key.into_boxed_slice())
+            .or_default()
+            .push(row_id);
     }
 
     /// Number of distinct keys.
@@ -93,7 +96,8 @@ mod tests {
         ];
         Relation::from_tuples(
             schema.clone(),
-            rows.iter().map(|(z, a, c)| Tuple::of_strings(schema.clone(), [*z, *a, *c]).unwrap()),
+            rows.iter()
+                .map(|(z, a, c)| Tuple::of_strings(schema.clone(), [*z, *a, *c]).unwrap()),
         )
         .unwrap()
     }
@@ -111,8 +115,13 @@ mod tests {
     fn multi_attr_lookup() {
         let rel = master();
         let idx = HashIndex::build(&rel, vec![1, 0]); // (AC, zip)
-        assert_eq!(idx.lookup(&[Value::str("131"), Value::str("EH8 4AH")]), &[0, 2]);
-        assert!(idx.lookup(&[Value::str("131"), Value::str("SW1A 1AA")]).is_empty());
+        assert_eq!(
+            idx.lookup(&[Value::str("131"), Value::str("EH8 4AH")]),
+            &[0, 2]
+        );
+        assert!(idx
+            .lookup(&[Value::str("131"), Value::str("SW1A 1AA")])
+            .is_empty());
         assert_eq!(idx.attrs(), &[1, 0]);
     }
 
@@ -121,7 +130,8 @@ mod tests {
         let schema = Schema::of_strings("m", ["zip"]).unwrap();
         let mut rel = Relation::empty(schema.clone());
         rel.push(Tuple::all_null(schema.clone())).unwrap();
-        rel.push(Tuple::of_strings(schema, ["EH8"]).unwrap()).unwrap();
+        rel.push(Tuple::of_strings(schema, ["EH8"]).unwrap())
+            .unwrap();
         let idx = HashIndex::build(&rel, vec![0]);
         assert_eq!(idx.distinct_keys(), 1);
         assert!(idx.lookup(&[Value::Null]).is_empty());

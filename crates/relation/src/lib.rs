@@ -54,8 +54,8 @@ mod value;
 
 pub use builder::{RelationBuilder, SchemaBuilder};
 pub use csv::{
-    read_raw_records, read_relation_file, read_relation_str, read_untyped_str,
-    write_relation_file, write_relation_str,
+    read_raw_records, read_relation_file, read_relation_str, read_untyped_str, write_relation_file,
+    write_relation_str,
 };
 pub use datatype::DataType;
 pub use display::{render_relation, render_relation_head, render_table, render_tuples};

@@ -107,8 +107,8 @@ impl fmt::Display for Predicate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::Schema;
     use crate::datatype::DataType;
+    use crate::schema::Schema;
 
     fn tuple(age: i64) -> Tuple {
         let s = Schema::new("p", [("age", DataType::Int)]).unwrap();
@@ -132,10 +132,19 @@ mod tests {
     fn null_satisfies_no_operator() {
         let s = Schema::new("p", [("age", DataType::Int)]).unwrap();
         let t = Tuple::all_null(s);
-        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge]
-        {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
             assert!(!Predicate::new(0, op, Value::int(1)).eval(&t), "{op:?}");
-            assert!(!Predicate::new(0, op, Value::Null).eval(&t), "{op:?} vs null");
+            assert!(
+                !Predicate::new(0, op, Value::Null).eval(&t),
+                "{op:?} vs null"
+            );
         }
     }
 

@@ -25,11 +25,17 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation over `schema`.
     pub fn empty(schema: SchemaRef) -> Relation {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Create a relation from tuples, validating every tuple's schema.
-    pub fn from_tuples(schema: SchemaRef, tuples: impl IntoIterator<Item = Tuple>) -> Result<Relation> {
+    pub fn from_tuples(
+        schema: SchemaRef,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Relation> {
         let mut rel = Relation::empty(schema);
         for t in tuples {
             rel.push(t)?;
@@ -128,7 +134,10 @@ mod tests {
         let rel = sample();
         assert_eq!(rel.len(), 3);
         assert!(!rel.is_empty());
-        assert_eq!(rel.row(1).unwrap().get_by_name("city").unwrap(), &Value::str("Edi"));
+        assert_eq!(
+            rel.row(1).unwrap().get_by_name("city").unwrap(),
+            &Value::str("Edi")
+        );
         assert!(rel.row(3).is_none());
     }
 
@@ -139,7 +148,10 @@ mod tests {
         let t = Tuple::of_strings(other, ["0131", "Edi"]).unwrap();
         // Structurally identical but a different schema object: rejected, so
         // AttrIds can never dangle across relations.
-        assert!(matches!(rel.push(t), Err(RelationError::SchemaMismatch { .. })));
+        assert!(matches!(
+            rel.push(t),
+            Err(RelationError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]
@@ -158,16 +170,27 @@ mod tests {
     fn row_ids_stable_across_pushes() {
         let mut rel = sample();
         let schema = rel.schema().clone();
-        let id = rel.push(Tuple::of_strings(schema, ["0141", "Gla"]).unwrap()).unwrap();
+        let id = rel
+            .push(Tuple::of_strings(schema, ["0141", "Gla"]).unwrap())
+            .unwrap();
         assert_eq!(id, 3);
-        assert_eq!(rel.row(0).unwrap().get_by_name("AC").unwrap(), &Value::str("020"));
+        assert_eq!(
+            rel.row(0).unwrap().get_by_name("AC").unwrap(),
+            &Value::str("020")
+        );
     }
 
     #[test]
     fn row_mut_allows_in_place_fix() {
         let mut rel = sample();
-        rel.row_mut(0).unwrap().set_by_name("city", Value::str("London")).unwrap();
-        assert_eq!(rel.row(0).unwrap().get_by_name("city").unwrap(), &Value::str("London"));
+        rel.row_mut(0)
+            .unwrap()
+            .set_by_name("city", Value::str("London"))
+            .unwrap();
+        assert_eq!(
+            rel.row(0).unwrap().get_by_name("city").unwrap(),
+            &Value::str("London")
+        );
     }
 
     #[test]

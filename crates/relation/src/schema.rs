@@ -22,7 +22,10 @@ pub struct Attribute {
 impl Attribute {
     /// Create an attribute.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
-        Attribute { name: name.into(), dtype }
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
     }
 
     /// The attribute's name.
@@ -63,18 +66,26 @@ impl Schema {
         attrs: impl IntoIterator<Item = (impl Into<String>, DataType)>,
     ) -> Result<SchemaRef> {
         let name = name.into();
-        let attrs: Vec<Attribute> =
-            attrs.into_iter().map(|(n, t)| Attribute::new(n.into(), t)).collect();
+        let attrs: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, t)| Attribute::new(n.into(), t))
+            .collect();
         if attrs.is_empty() {
             return Err(RelationError::EmptySchema);
         }
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (id, attr) in attrs.iter().enumerate() {
             if by_name.insert(attr.name.clone(), id).is_some() {
-                return Err(RelationError::DuplicateAttribute { name: attr.name.clone() });
+                return Err(RelationError::DuplicateAttribute {
+                    name: attr.name.clone(),
+                });
             }
         }
-        Ok(Arc::new(Schema { name, attrs, by_name }))
+        Ok(Arc::new(Schema {
+            name,
+            attrs,
+            by_name,
+        }))
     }
 
     /// Build a schema where every attribute has type [`DataType::String`].
@@ -114,10 +125,11 @@ impl Schema {
 
     /// Like [`Schema::attr_id`] but returns a descriptive error.
     pub fn require_attr(&self, name: &str) -> Result<AttrId> {
-        self.attr_id(name).ok_or_else(|| RelationError::UnknownAttribute {
-            name: name.into(),
-            schema: self.name.clone(),
-        })
+        self.attr_id(name)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                name: name.into(),
+                schema: self.name.clone(),
+            })
     }
 
     /// Resolve a list of attribute names to ids, failing on the first
@@ -177,7 +189,9 @@ mod tests {
     fn customer() -> SchemaRef {
         Schema::of_strings(
             "customer",
-            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap()
     }
@@ -223,11 +237,18 @@ mod tests {
     fn typed_schema() {
         let s = Schema::new(
             "person",
-            [("name", DataType::String), ("age", DataType::Int), ("height", DataType::Float)],
+            [
+                ("name", DataType::String),
+                ("age", DataType::Int),
+                ("height", DataType::Float),
+            ],
         )
         .unwrap();
         assert_eq!(s.attribute(1).unwrap().data_type(), DataType::Int);
-        assert_eq!(s.to_string(), "person(name: string, age: int, height: float)");
+        assert_eq!(
+            s.to_string(),
+            "person(name: string, age: int, height: float)"
+        );
     }
 
     #[test]
@@ -235,7 +256,10 @@ mod tests {
         let a = customer();
         let b = customer();
         assert!(a.same_as(&a.clone()));
-        assert!(!a.same_as(&b), "structurally equal but distinct allocations");
+        assert!(
+            !a.same_as(&b),
+            "structurally equal but distinct allocations"
+        );
         assert_eq!(*a, *b, "structural equality still holds");
     }
 

@@ -36,7 +36,10 @@ impl Tuple {
                 });
             }
         }
-        Ok(Tuple { schema, values: values.into_boxed_slice() })
+        Ok(Tuple {
+            schema,
+            values: values.into_boxed_slice(),
+        })
     }
 
     /// Build a tuple of string values (the common case for scenario data).
@@ -81,7 +84,10 @@ impl Tuple {
         let attr = self
             .schema
             .attribute(id)
-            .ok_or(RelationError::AttributeOutOfRange { id, arity: self.schema.arity() })?;
+            .ok_or(RelationError::AttributeOutOfRange {
+                id,
+                arity: self.schema.arity(),
+            })?;
         if !value.conforms_to(attr.data_type()) {
             return Err(RelationError::TypeMismatch {
                 attribute: attr.name().into(),
@@ -124,7 +130,11 @@ impl Tuple {
     /// Count of cells where `self` and `other` (same schema) differ.
     pub fn diff_count(&self, other: &Tuple) -> usize {
         debug_assert_eq!(self.arity(), other.arity());
-        self.values.iter().zip(other.values.iter()).filter(|(a, b)| a != b).count()
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Ids of cells where `self` and `other` (same schema) differ.
@@ -161,7 +171,11 @@ mod tests {
     fn schema() -> SchemaRef {
         Schema::new(
             "person",
-            [("name", DataType::String), ("age", DataType::Int), ("uk", DataType::Bool)],
+            [
+                ("name", DataType::String),
+                ("age", DataType::Int),
+                ("uk", DataType::Bool),
+            ],
         )
         .unwrap()
     }
@@ -170,15 +184,23 @@ mod tests {
     fn construction_validates_arity() {
         let s = schema();
         let err = Tuple::new(s, vec![Value::str("Bob")]).unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { expected: 3, actual: 1 }));
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
     fn construction_validates_types() {
         let s = schema();
-        let err =
-            Tuple::new(s, vec![Value::str("Bob"), Value::str("young"), Value::bool(true)])
-                .unwrap_err();
+        let err = Tuple::new(
+            s,
+            vec![Value::str("Bob"), Value::str("young"), Value::bool(true)],
+        )
+        .unwrap_err();
         assert!(matches!(err, RelationError::TypeMismatch { .. }));
     }
 
@@ -192,20 +214,33 @@ mod tests {
     #[test]
     fn get_set_round_trip() {
         let s = schema();
-        let mut t =
-            Tuple::new(s, vec![Value::str("Bob"), Value::int(30), Value::bool(true)]).unwrap();
+        let mut t = Tuple::new(
+            s,
+            vec![Value::str("Bob"), Value::int(30), Value::bool(true)],
+        )
+        .unwrap();
         assert_eq!(t.get_by_name("age").unwrap(), &Value::int(30));
         t.set_by_name("age", Value::int(31)).unwrap();
         assert_eq!(t.get(1), &Value::int(31));
-        assert!(t.set(1, Value::str("x")).is_err(), "type still enforced on set");
+        assert!(
+            t.set(1, Value::str("x")).is_err(),
+            "type still enforced on set"
+        );
         assert!(t.set(99, Value::Null).is_err(), "range enforced on set");
     }
 
     #[test]
     fn projection_in_order() {
         let s = schema();
-        let t = Tuple::new(s, vec![Value::str("Bob"), Value::int(30), Value::bool(true)]).unwrap();
-        assert_eq!(t.project(&[2, 0]), vec![Value::bool(true), Value::str("Bob")]);
+        let t = Tuple::new(
+            s,
+            vec![Value::str("Bob"), Value::int(30), Value::bool(true)],
+        )
+        .unwrap();
+        assert_eq!(
+            t.project(&[2, 0]),
+            vec![Value::bool(true), Value::str("Bob")]
+        );
     }
 
     #[test]

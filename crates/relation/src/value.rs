@@ -131,17 +131,27 @@ impl Value {
         }
         match dtype {
             DataType::String => Ok(Value::str(text)),
-            DataType::Int => text
-                .parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| crate::RelationError::ParseValue { text: text.into(), target: "int" }),
+            DataType::Int => {
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| crate::RelationError::ParseValue {
+                        text: text.into(),
+                        target: "int",
+                    })
+            }
             DataType::Float => text.parse::<f64>().map(Value::Float).map_err(|_| {
-                crate::RelationError::ParseValue { text: text.into(), target: "float" }
+                crate::RelationError::ParseValue {
+                    text: text.into(),
+                    target: "float",
+                }
             }),
             DataType::Bool => match text {
                 "true" | "1" | "t" => Ok(Value::Bool(true)),
                 "false" | "0" | "f" => Ok(Value::Bool(false)),
-                _ => Err(crate::RelationError::ParseValue { text: text.into(), target: "bool" }),
+                _ => Err(crate::RelationError::ParseValue {
+                    text: text.into(),
+                    target: "bool",
+                }),
             },
         }
     }

@@ -121,7 +121,10 @@ impl Cfd {
         let lhs: Vec<AttrId> = lhs.into();
         let tableau: Vec<TableauRow> = tableau.into();
         if lhs.is_empty() {
-            return Err(RuleError::InvalidRule { rule: name, message: "CFD LHS must not be empty".into() });
+            return Err(RuleError::InvalidRule {
+                rule: name,
+                message: "CFD LHS must not be empty".into(),
+            });
         }
         if tableau.is_empty() {
             return Err(RuleError::InvalidRule {
@@ -155,7 +158,12 @@ impl Cfd {
                 });
             }
         }
-        Ok(Cfd { name, lhs, rhs, tableau })
+        Ok(Cfd {
+            name,
+            lhs,
+            rhs,
+            tableau,
+        })
     }
 
     /// Convenience: a single-row constant CFD like ψ1 (`AC = 020 → city = Ldn`).
@@ -211,7 +219,10 @@ impl Cfd {
 
     /// Does `t[lhs]` match tableau row `row`'s LHS cells?
     fn lhs_matches(&self, row: &TableauRow, t: &Tuple) -> bool {
-        self.lhs.iter().zip(row.lhs.iter()).all(|(&a, cell)| cell.matches(t.get(a)))
+        self.lhs
+            .iter()
+            .zip(row.lhs.iter())
+            .all(|(&a, cell)| cell.matches(t.get(a)))
     }
 
     /// Check a *single tuple* against the constant rows of the tableau.
@@ -243,8 +254,16 @@ impl Cfd {
         // Constant rows.
         for (row_id, t) in relation.iter() {
             for tr in self.check_tuple(t) {
-                let expected = self.tableau[tr].rhs.as_const().cloned().expect("constant row");
-                out.push(CfdViolation::Constant { row: row_id, tableau_row: tr, expected });
+                let expected = self.tableau[tr]
+                    .rhs
+                    .as_const()
+                    .cloned()
+                    .expect("constant row");
+                out.push(CfdViolation::Constant {
+                    row: row_id,
+                    tableau_row: tr,
+                    expected,
+                });
             }
         }
         // Variable rows.
@@ -350,7 +369,14 @@ mod tests {
             .unwrap();
         let v = psi1(&s).violations(&rel);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], CfdViolation::Constant { row: 0, tableau_row: 0, .. }));
+        assert!(matches!(
+            v[0],
+            CfdViolation::Constant {
+                row: 0,
+                tableau_row: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -372,7 +398,14 @@ mod tests {
             .unwrap();
         let v = fd.violations(&rel);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], CfdViolation::Variable { row_a: 0, row_b: 1, tableau_row: 0 }));
+        assert!(matches!(
+            v[0],
+            CfdViolation::Variable {
+                row_a: 0,
+                row_b: 1,
+                tableau_row: 0
+            }
+        ));
     }
 
     #[test]
@@ -399,7 +432,14 @@ mod tests {
             .unwrap();
         let v = cfd.violations(&rel);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], CfdViolation::Variable { row_a: 2, row_b: 3, .. }));
+        assert!(matches!(
+            v[0],
+            CfdViolation::Variable {
+                row_a: 2,
+                row_b: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -422,8 +462,14 @@ mod tests {
             vec![s.attr_id("AC").unwrap()],
             s.attr_id("city").unwrap(),
             vec![
-                TableauRow { lhs: vec![TableauCell::Const(Value::str("020"))], rhs: TableauCell::Const(Value::str("Ldn")) },
-                TableauRow { lhs: vec![TableauCell::Const(Value::str("131"))], rhs: TableauCell::Const(Value::str("Edi")) },
+                TableauRow {
+                    lhs: vec![TableauCell::Const(Value::str("020"))],
+                    rhs: TableauCell::Const(Value::str("Ldn")),
+                },
+                TableauRow {
+                    lhs: vec![TableauCell::Const(Value::str("131"))],
+                    rhs: TableauCell::Const(Value::str("Edi")),
+                },
             ],
         )
         .unwrap();
@@ -437,11 +483,26 @@ mod tests {
         let s = schema();
         let city = s.attr_id("city").unwrap();
         assert!(Cfd::functional("x", &s, vec![], city).is_err());
-        assert!(Cfd::functional("x", &s, vec![city], city).is_err(), "rhs in lhs");
-        assert!(Cfd::new("x", &s, vec![0], 1, vec![]).is_err(), "empty tableau");
-        let bad_row = TableauRow { lhs: vec![], rhs: TableauCell::Wildcard };
-        assert!(Cfd::new("x", &s, vec![0], 1, vec![bad_row]).is_err(), "ragged row");
-        assert!(Cfd::functional("x", &s, vec![99], city).is_err(), "attr range");
+        assert!(
+            Cfd::functional("x", &s, vec![city], city).is_err(),
+            "rhs in lhs"
+        );
+        assert!(
+            Cfd::new("x", &s, vec![0], 1, vec![]).is_err(),
+            "empty tableau"
+        );
+        let bad_row = TableauRow {
+            lhs: vec![],
+            rhs: TableauCell::Wildcard,
+        };
+        assert!(
+            Cfd::new("x", &s, vec![0], 1, vec![bad_row]).is_err(),
+            "ragged row"
+        );
+        assert!(
+            Cfd::functional("x", &s, vec![99], city).is_err(),
+            "attr range"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct AttrCorrespondence {
 impl AttrCorrespondence {
     /// Build from explicit `(input, master)` pairs.
     pub fn new(pairs: impl IntoIterator<Item = (AttrId, AttrId)>) -> AttrCorrespondence {
-        AttrCorrespondence { map: pairs.into_iter().collect() }
+        AttrCorrespondence {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Pair up attributes that share a name in both schemas. For the
@@ -88,17 +90,22 @@ pub fn derive_from_cfd(
     correspondence: &AttrCorrespondence,
 ) -> Result<Vec<EditingRule>> {
     let map_attr = |a: AttrId| -> Result<AttrId> {
-        correspondence.master_of(a).ok_or_else(|| RuleError::Underivable {
-            source: cfd.name().to_string(),
-            message: format!(
-                "input attribute `{}` has no corresponding master attribute",
-                input.attr_name(a)
-            ),
-        })
+        correspondence
+            .master_of(a)
+            .ok_or_else(|| RuleError::Underivable {
+                source: cfd.name().to_string(),
+                message: format!(
+                    "input attribute `{}` has no corresponding master attribute",
+                    input.attr_name(a)
+                ),
+            })
     };
     let master_rhs = map_attr(cfd.rhs())?;
-    let master_lhs: Vec<AttrId> =
-        cfd.lhs().iter().map(|&a| map_attr(a)).collect::<Result<_>>()?;
+    let master_lhs: Vec<AttrId> = cfd
+        .lhs()
+        .iter()
+        .map(|&a| map_attr(a))
+        .collect::<Result<_>>()?;
 
     let mut rules = Vec::with_capacity(cfd.tableau().len());
     for (i, row) in cfd.tableau().iter().enumerate() {
@@ -108,8 +115,12 @@ pub fn derive_from_cfd(
                 pattern = pattern.with_eq(attr, c.clone());
             }
         }
-        let lhs: Vec<(AttrId, AttrId)> =
-            cfd.lhs().iter().copied().zip(master_lhs.iter().copied()).collect();
+        let lhs: Vec<(AttrId, AttrId)> = cfd
+            .lhs()
+            .iter()
+            .copied()
+            .zip(master_lhs.iter().copied())
+            .collect();
         let rule = EditingRule::new(
             format!("{}#{}", cfd.name(), i),
             input,
@@ -145,7 +156,14 @@ pub fn derive_from_md(
     }
     let lhs: Vec<(AttrId, AttrId)> = md.lhs().iter().map(|c| (c.left, c.right)).collect();
     let rhs: Vec<(AttrId, AttrId)> = md.rhs().to_vec();
-    EditingRule::new(format!("{}!er", md.name()), input, master, lhs, rhs, PatternTuple::empty())
+    EditingRule::new(
+        format!("{}!er", md.name()),
+        input,
+        master,
+        lhs,
+        rhs,
+        PatternTuple::empty(),
+    )
 }
 
 #[cfg(test)]
@@ -167,8 +185,15 @@ mod tests {
     fn by_name_correspondence() {
         let (input, master) = schemas();
         let c = AttrCorrespondence::by_name(&input, &master);
-        assert_eq!(c.master_of(input.attr_id("zip").unwrap()), Some(master.attr_id("zip").unwrap()));
-        assert_eq!(c.master_of(input.attr_id("phn").unwrap()), None, "phn ≠ Mphn by name");
+        assert_eq!(
+            c.master_of(input.attr_id("zip").unwrap()),
+            Some(master.attr_id("zip").unwrap())
+        );
+        assert_eq!(
+            c.master_of(input.attr_id("phn").unwrap()),
+            None,
+            "phn ≠ Mphn by name"
+        );
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
     }
@@ -176,8 +201,10 @@ mod tests {
     #[test]
     fn explicit_pairs_override() {
         let (input, master) = schemas();
-        let c = AttrCorrespondence::by_name(&input, &master)
-            .with_pair(input.attr_id("phn").unwrap(), master.attr_id("Mphn").unwrap());
+        let c = AttrCorrespondence::by_name(&input, &master).with_pair(
+            input.attr_id("phn").unwrap(),
+            master.attr_id("Mphn").unwrap(),
+        );
         assert_eq!(
             c.master_of(input.attr_id("phn").unwrap()),
             Some(master.attr_id("Mphn").unwrap())
@@ -292,7 +319,10 @@ mod tests {
                 right: master.attr_id("FN").unwrap(),
                 op: SimilarityOp::Abbreviation,
             }],
-            vec![(input.attr_id("city").unwrap(), master.attr_id("city").unwrap())],
+            vec![(
+                input.attr_id("city").unwrap(),
+                master.attr_id("city").unwrap(),
+            )],
         )
         .unwrap();
         let err = derive_from_md(&md, &input, &master).unwrap_err();
@@ -313,9 +343,11 @@ mod tests {
         let c = AttrCorrespondence::by_name(&input, &master);
         let r = derive_from_cfd(&fd, &input, &master, &c).unwrap().remove(0);
         let t = Tuple::of_strings(input.clone(), ["Bob", "020", "079", "Edi", "EH8 4AH"]).unwrap();
-        let s =
-            Tuple::of_strings(master.clone(), ["Robert", "131", "079", "Edi", "EH8 4AH", "11/11/55"])
-                .unwrap();
+        let s = Tuple::of_strings(
+            master.clone(),
+            ["Robert", "131", "079", "Edi", "EH8 4AH", "11/11/55"],
+        )
+        .unwrap();
         assert!(r.matches_pair(&t, &s));
     }
 }

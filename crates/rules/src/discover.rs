@@ -16,10 +16,10 @@
 //! consistency check and the region finder's certification — discovery
 //! proposes, verification disposes.
 
+use crate::cfd::Cfd;
 use crate::derive::{derive_from_cfd, AttrCorrespondence};
 use crate::editing_rule::EditingRule;
 use crate::error::Result;
-use crate::cfd::Cfd;
 use cerfix_relation::{AttrId, Relation, SchemaRef, Value};
 use std::collections::HashMap;
 
@@ -60,7 +60,12 @@ pub fn check_fd(relation: &Relation, lhs: AttrId, rhs: AttrId) -> Option<Discove
             }
         }
     }
-    Some(DiscoveredFd { lhs, rhs, distinct_keys: seen.len(), support })
+    Some(DiscoveredFd {
+        lhs,
+        rhs,
+        distinct_keys: seen.len(),
+        support,
+    })
 }
 
 /// Discover every single-LHS FD `X → A` (X ≠ A) holding exactly on
@@ -114,8 +119,7 @@ pub fn discover_rules(
         // Map master attrs back to input attrs by name.
         let lhs_name = master_relation.schema().attr_name(fd.lhs);
         let rhs_name = master_relation.schema().attr_name(fd.rhs);
-        let (Some(input_lhs), Some(input_rhs)) =
-            (input.attr_id(lhs_name), input.attr_id(rhs_name))
+        let (Some(input_lhs), Some(input_rhs)) = (input.attr_id(lhs_name), input.attr_id(rhs_name))
         else {
             continue; // master-only attributes cannot seed input rules
         };
@@ -129,7 +133,10 @@ pub fn discover_rules(
         )?;
         let rules = derive_from_cfd(&cfd, input, master, &correspondence)?;
         for rule in rules {
-            out.push(DiscoveredRule { rule, source: fd.clone() });
+            out.push(DiscoveredRule {
+                rule,
+                source: fd.clone(),
+            });
         }
     }
     Ok(out)
@@ -186,8 +193,10 @@ mod tests {
             .row_strs(["a", "1"])
             .build()
             .unwrap();
-        rel.push(cerfix_relation::Tuple::new(s.clone(), vec![Value::str("a"), Value::Null]).unwrap())
-            .unwrap();
+        rel.push(
+            cerfix_relation::Tuple::new(s.clone(), vec![Value::str("a"), Value::Null]).unwrap(),
+        )
+        .unwrap();
         let fd = check_fd(&rel, 0, 1).unwrap();
         assert_eq!(fd.support, 1, "null value rows don't count");
     }

@@ -116,7 +116,12 @@ impl EditingRule {
                 });
             }
         }
-        Ok(EditingRule { name, lhs, rhs, pattern })
+        Ok(EditingRule {
+            name,
+            lhs,
+            rhs,
+            pattern,
+        })
     }
 
     /// The rule's name (`φ1` … in the paper).
@@ -162,7 +167,11 @@ impl EditingRule {
     /// The *evidence set* `X ∪ Xp`: every input attribute that must be
     /// validated before this rule may fire.
     pub fn evidence_attrs(&self) -> BTreeSet<AttrId> {
-        self.lhs.iter().map(|&(t, _)| t).chain(self.pattern.attrs()).collect()
+        self.lhs
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(self.pattern.attrs())
+            .collect()
     }
 
     /// True iff `t[X] = s[Xm]` (nulls never match) and `t` satisfies the
@@ -195,7 +204,13 @@ impl EditingRule {
 
 impl fmt::Display for EditingRule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(|X|={}, |B|={})", self.name, self.lhs.len(), self.rhs.len())
+        write!(
+            f,
+            "{}(|X|={}, |B|={})",
+            self.name,
+            self.lhs.len(),
+            self.rhs.len()
+        )
     }
 }
 
@@ -207,12 +222,16 @@ mod tests {
     fn schemas() -> (SchemaRef, SchemaRef) {
         let input = Schema::of_strings(
             "customer",
-            ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let master = Schema::of_strings(
             "master",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+            ],
         )
         .unwrap();
         (input, master)
@@ -224,8 +243,15 @@ mod tests {
         let zip_s = master.attr_id("zip").unwrap();
         let ac_t = input.attr_id("AC").unwrap();
         let ac_s = master.attr_id("AC").unwrap();
-        EditingRule::new("phi1", input, master, vec![(zip_t, zip_s)], vec![(ac_t, ac_s)], PatternTuple::empty())
-            .unwrap()
+        EditingRule::new(
+            "phi1",
+            input,
+            master,
+            vec![(zip_t, zip_s)],
+            vec![(ac_t, ac_s)],
+            PatternTuple::empty(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -249,12 +275,33 @@ mod tests {
         let r = phi1(&input, &master);
         let t = Tuple::of_strings(
             input.clone(),
-            ["Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD"],
+            [
+                "Bob",
+                "Brady",
+                "020",
+                "079172485",
+                "2",
+                "501 Elm St",
+                "Edi",
+                "EH8 4AH",
+                "CD",
+            ],
         )
         .unwrap();
         let s = Tuple::of_strings(
             master.clone(),
-            ["Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"],
+            [
+                "Robert",
+                "Brady",
+                "131",
+                "6884563",
+                "079172485",
+                "501 Elm St",
+                "Edi",
+                "EH8 4AH",
+                "11/11/55",
+                "M",
+            ],
         )
         .unwrap();
         assert!(r.matches_pair(&t, &s));
@@ -271,24 +318,58 @@ mod tests {
             "phi4",
             &input,
             &master,
-            vec![(input.attr_id("phn").unwrap(), master.attr_id("Mphn").unwrap())],
+            vec![(
+                input.attr_id("phn").unwrap(),
+                master.attr_id("Mphn").unwrap(),
+            )],
             vec![(input.attr_id("FN").unwrap(), master.attr_id("FN").unwrap())],
             PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("2")),
         )
         .unwrap();
         let t_mobile = Tuple::of_strings(
             input.clone(),
-            ["M.", "Smith", "131", "079172485", "2", "x", "Edi", "EH8", "CD"],
+            [
+                "M.",
+                "Smith",
+                "131",
+                "079172485",
+                "2",
+                "x",
+                "Edi",
+                "EH8",
+                "CD",
+            ],
         )
         .unwrap();
         let t_home = Tuple::of_strings(
             input.clone(),
-            ["M.", "Smith", "131", "079172485", "1", "x", "Edi", "EH8", "CD"],
+            [
+                "M.",
+                "Smith",
+                "131",
+                "079172485",
+                "1",
+                "x",
+                "Edi",
+                "EH8",
+                "CD",
+            ],
         )
         .unwrap();
         let s = Tuple::of_strings(
             master.clone(),
-            ["Mark", "Smith", "131", "5550000", "079172485", "y", "Edi", "EH8", "1/1/70", "M"],
+            [
+                "Mark",
+                "Smith",
+                "131",
+                "5550000",
+                "079172485",
+                "y",
+                "Edi",
+                "EH8",
+                "1/1/70",
+                "M",
+            ],
         )
         .unwrap();
         assert!(r.matches_pair(&t_mobile, &s));
@@ -309,9 +390,15 @@ mod tests {
             &master,
             vec![
                 (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
-                (input.attr_id("phn").unwrap(), master.attr_id("Hphn").unwrap()),
+                (
+                    input.attr_id("phn").unwrap(),
+                    master.attr_id("Hphn").unwrap(),
+                ),
             ],
-            vec![(input.attr_id("str").unwrap(), master.attr_id("str").unwrap())],
+            vec![(
+                input.attr_id("str").unwrap(),
+                master.attr_id("str").unwrap(),
+            )],
             PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("1")),
         )
         .unwrap();
@@ -322,14 +409,31 @@ mod tests {
     #[test]
     fn rejects_empty_sides() {
         let (input, master) = schemas();
-        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        let zip = (
+            input.attr_id("zip").unwrap(),
+            master.attr_id("zip").unwrap(),
+        );
         let ac = (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap());
         assert!(matches!(
-            EditingRule::new("e", &input, &master, vec![], vec![ac], PatternTuple::empty()),
+            EditingRule::new(
+                "e",
+                &input,
+                &master,
+                vec![],
+                vec![ac],
+                PatternTuple::empty()
+            ),
             Err(RuleError::InvalidRule { .. })
         ));
         assert!(matches!(
-            EditingRule::new("e", &input, &master, vec![zip], vec![], PatternTuple::empty()),
+            EditingRule::new(
+                "e",
+                &input,
+                &master,
+                vec![zip],
+                vec![],
+                PatternTuple::empty()
+            ),
             Err(RuleError::InvalidRule { .. })
         ));
     }
@@ -337,11 +441,20 @@ mod tests {
     #[test]
     fn rejects_rhs_overlapping_evidence() {
         let (input, master) = schemas();
-        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        let zip = (
+            input.attr_id("zip").unwrap(),
+            master.attr_id("zip").unwrap(),
+        );
         // RHS = zip while LHS = zip: would overwrite its own evidence.
-        let err =
-            EditingRule::new("bad", &input, &master, vec![zip], vec![zip], PatternTuple::empty())
-                .unwrap_err();
+        let err = EditingRule::new(
+            "bad",
+            &input,
+            &master,
+            vec![zip],
+            vec![zip],
+            PatternTuple::empty(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("evidence"));
         // RHS overlapping a pattern attribute is equally rejected.
         let ty = input.attr_id("type").unwrap();
@@ -360,7 +473,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_rhs() {
         let (input, master) = schemas();
-        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
+        let zip = (
+            input.attr_id("zip").unwrap(),
+            master.attr_id("zip").unwrap(),
+        );
         let ac = (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap());
         let err = EditingRule::new(
             "dup",
@@ -377,14 +493,54 @@ mod tests {
     #[test]
     fn rejects_out_of_range_and_type_mismatch() {
         let (input, master) = schemas();
-        let zip = (input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap());
-        assert!(EditingRule::new("r", &input, &master, vec![(99, 0)], vec![zip], PatternTuple::empty()).is_err());
-        assert!(EditingRule::new("r", &input, &master, vec![zip], vec![(0, 99)], PatternTuple::empty()).is_err());
+        let zip = (
+            input.attr_id("zip").unwrap(),
+            master.attr_id("zip").unwrap(),
+        );
+        assert!(EditingRule::new(
+            "r",
+            &input,
+            &master,
+            vec![(99, 0)],
+            vec![zip],
+            PatternTuple::empty()
+        )
+        .is_err());
+        assert!(EditingRule::new(
+            "r",
+            &input,
+            &master,
+            vec![zip],
+            vec![(0, 99)],
+            PatternTuple::empty()
+        )
+        .is_err());
 
-        let typed_in = Schema::new("i", [("a", cerfix_relation::DataType::Int), ("b", cerfix_relation::DataType::String)]).unwrap();
-        let typed_m = Schema::new("m", [("a", cerfix_relation::DataType::String), ("b", cerfix_relation::DataType::String)]).unwrap();
-        let err = EditingRule::new("r", &typed_in, &typed_m, vec![(0, 0)], vec![(1, 1)], PatternTuple::empty())
-            .unwrap_err();
+        let typed_in = Schema::new(
+            "i",
+            [
+                ("a", cerfix_relation::DataType::Int),
+                ("b", cerfix_relation::DataType::String),
+            ],
+        )
+        .unwrap();
+        let typed_m = Schema::new(
+            "m",
+            [
+                ("a", cerfix_relation::DataType::String),
+                ("b", cerfix_relation::DataType::String),
+            ],
+        )
+        .unwrap();
+        let err = EditingRule::new(
+            "r",
+            &typed_in,
+            &typed_m,
+            vec![(0, 0)],
+            vec![(1, 1)],
+            PatternTuple::empty(),
+        )
+        .unwrap_err();
         assert!(matches!(err, RuleError::TypeIncompatible { .. }));
     }
 
@@ -396,11 +552,20 @@ mod tests {
             "phi123",
             &input,
             &master,
-            vec![(input.attr_id("zip").unwrap(), master.attr_id("zip").unwrap())],
+            vec![(
+                input.attr_id("zip").unwrap(),
+                master.attr_id("zip").unwrap(),
+            )],
             vec![
                 (input.attr_id("AC").unwrap(), master.attr_id("AC").unwrap()),
-                (input.attr_id("str").unwrap(), master.attr_id("str").unwrap()),
-                (input.attr_id("city").unwrap(), master.attr_id("city").unwrap()),
+                (
+                    input.attr_id("str").unwrap(),
+                    master.attr_id("str").unwrap(),
+                ),
+                (
+                    input.attr_id("city").unwrap(),
+                    master.attr_id("city").unwrap(),
+                ),
             ],
             PatternTuple::empty(),
         )

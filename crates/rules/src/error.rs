@@ -94,13 +94,21 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = RuleError::InvalidRule { rule: "phi1".into(), message: "empty LHS".into() };
+        let e = RuleError::InvalidRule {
+            rule: "phi1".into(),
+            message: "empty LHS".into(),
+        };
         assert_eq!(e.to_string(), "invalid rule `phi1`: empty LHS");
 
-        let e = RuleError::Parse { line: 7, message: "expected `->`".into() };
+        let e = RuleError::Parse {
+            line: 7,
+            message: "expected `->`".into(),
+        };
         assert!(e.to_string().contains("line 7"));
 
-        let e = RuleError::DuplicateRule { name: "phi1".into() };
+        let e = RuleError::DuplicateRule {
+            name: "phi1".into(),
+        };
         assert!(e.to_string().contains("phi1"));
     }
 

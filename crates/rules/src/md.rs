@@ -95,7 +95,9 @@ impl MatchingDependency {
 
     /// True iff every LHS clause holds for `(t, s)`.
     pub fn matches_pair(&self, t: &Tuple, s: &Tuple) -> bool {
-        self.lhs.iter().all(|c| c.op.matches(t.get(c.left), s.get(c.right)))
+        self.lhs
+            .iter()
+            .all(|c| c.op.matches(t.get(c.left), s.get(c.right)))
     }
 
     /// True iff every LHS operator is exact equality (and hence the MD is
@@ -139,7 +141,13 @@ impl MatchingDependency {
 
 impl fmt::Display for MatchingDependency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(|lhs|={}, |rhs|={})", self.name, self.lhs.len(), self.rhs.len())
+        write!(
+            f,
+            "{}(|lhs|={}, |rhs|={})",
+            self.name,
+            self.lhs.len(),
+            self.rhs.len()
+        )
     }
 }
 
@@ -165,8 +173,16 @@ mod tests {
             &input,
             &master,
             vec![
-                MdClause { left: 2, right: 2, op: SimilarityOp::Exact },
-                MdClause { left: 0, right: 0, op: SimilarityOp::Abbreviation },
+                MdClause {
+                    left: 2,
+                    right: 2,
+                    op: SimilarityOp::Exact,
+                },
+                MdClause {
+                    left: 0,
+                    right: 0,
+                    op: SimilarityOp::Abbreviation,
+                },
             ],
             vec![(0, 0)],
         )
@@ -189,7 +205,11 @@ mod tests {
             "m2",
             &input,
             &master,
-            vec![MdClause { left: 2, right: 2, op: SimilarityOp::Exact }],
+            vec![MdClause {
+                left: 2,
+                right: 2,
+                op: SimilarityOp::Exact,
+            }],
             vec![(0, 0), (1, 1)],
         )
         .unwrap();
@@ -205,7 +225,11 @@ mod tests {
             "m",
             &input,
             &master,
-            vec![MdClause { left: 0, right: 0, op: SimilarityOp::Exact }],
+            vec![MdClause {
+                left: 0,
+                right: 0,
+                op: SimilarityOp::Exact
+            }],
             vec![],
         )
         .is_err());
@@ -213,7 +237,11 @@ mod tests {
             "m",
             &input,
             &master,
-            vec![MdClause { left: 9, right: 0, op: SimilarityOp::Exact }],
+            vec![MdClause {
+                left: 9,
+                right: 0,
+                op: SimilarityOp::Exact
+            }],
             vec![(0, 0)],
         )
         .is_err());
@@ -221,7 +249,11 @@ mod tests {
             "m",
             &input,
             &master,
-            vec![MdClause { left: 0, right: 0, op: SimilarityOp::Exact }],
+            vec![MdClause {
+                left: 0,
+                right: 0,
+                op: SimilarityOp::Exact
+            }],
             vec![(0, 9)],
         )
         .is_err());
@@ -234,7 +266,11 @@ mod tests {
             "m1",
             &input,
             &master,
-            vec![MdClause { left: 2, right: 2, op: SimilarityOp::EditDistance(1) }],
+            vec![MdClause {
+                left: 2,
+                right: 2,
+                op: SimilarityOp::EditDistance(1),
+            }],
             vec![(0, 0)],
         )
         .unwrap();

@@ -83,15 +83,15 @@ enum Tok {
     Semicolon,
     LParen,
     RParen,
-    Eq,        // =
-    EqEq,      // ==
-    EqIEq,     // =i=
-    Ne,        // !=
-    Assign,    // :=
-    Arrow,     // ->
-    Identify,  // <=>
-    Amp,       // &
-    Tilde,     // ~
+    Eq,       // =
+    EqEq,     // ==
+    EqIEq,    // =i=
+    Ne,       // !=
+    Assign,   // :=
+    Arrow,    // ->
+    Identify, // <=>
+    Amp,      // &
+    Tilde,    // ~
     Underscore,
     Pipe,
 }
@@ -100,7 +100,10 @@ fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>> {
     let mut toks = Vec::new();
     let chars: Vec<char> = line.chars().collect();
     let mut i = 0;
-    let err = |msg: String| RuleError::Parse { line: line_no, message: msg };
+    let err = |msg: String| RuleError::Parse {
+        line: line_no,
+        message: msg,
+    };
     while i < chars.len() {
         let c = chars[i];
         match c {
@@ -256,7 +259,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, msg: impl Into<String>) -> RuleError {
-        RuleError::Parse { line: self.line, message: msg.into() }
+        RuleError::Parse {
+            line: self.line,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -309,7 +315,11 @@ pub fn parse_rules(text: &str, input: &SchemaRef, master: &SchemaRef) -> Result<
         if toks.is_empty() {
             continue;
         }
-        let mut cur = Cursor { toks: &toks, pos: 0, line: line_no };
+        let mut cur = Cursor {
+            toks: &toks,
+            pos: 0,
+            line: line_no,
+        };
         let kind = cur.ident("declaration keyword (`er`, `cfd` or `md`)")?;
         let decl = match kind.as_str() {
             "er" => RuleDecl::Er(parse_er(&mut cur, input, master)?),
@@ -341,10 +351,7 @@ fn parse_er(cur: &mut Cursor<'_>, input: &SchemaRef, master: &SchemaRef) -> Resu
         let t_attr = cur.ident("input attribute")?;
         cur.expect(&Tok::Eq, "`=`")?;
         let s_attr = cur.ident("master attribute")?;
-        lhs.push((
-            input.require_attr(&t_attr)?,
-            master.require_attr(&s_attr)?,
-        ));
+        lhs.push((input.require_attr(&t_attr)?, master.require_attr(&s_attr)?));
         match cur.peek() {
             Some(Tok::Comma) => {
                 cur.next();
@@ -361,10 +368,7 @@ fn parse_er(cur: &mut Cursor<'_>, input: &SchemaRef, master: &SchemaRef) -> Resu
         let t_attr = cur.ident("input attribute")?;
         cur.expect(&Tok::Assign, "`:=`")?;
         let s_attr = cur.ident("master attribute")?;
-        rhs.push((
-            input.require_attr(&t_attr)?,
-            master.require_attr(&s_attr)?,
-        ));
+        rhs.push((input.require_attr(&t_attr)?, master.require_attr(&s_attr)?));
         match cur.peek() {
             Some(Tok::Comma) => {
                 cur.next();
@@ -437,7 +441,10 @@ fn parse_cfd(cur: &mut Cursor<'_>, input: &SchemaRef) -> Result<Cfd> {
         }
         cur.expect(&Tok::Arrow, "`->`")?;
         let rhs_cell = parse_cell(cur)?;
-        tableau.push(TableauRow { lhs: cells, rhs: rhs_cell });
+        tableau.push(TableauRow {
+            lhs: cells,
+            rhs: rhs_cell,
+        });
         match cur.peek() {
             Some(Tok::Semicolon) => {
                 cur.next();
@@ -452,7 +459,9 @@ fn parse_cell(cur: &mut Cursor<'_>) -> Result<TableauCell> {
     match cur.next() {
         Some(Tok::Underscore) => Ok(TableauCell::Wildcard),
         Some(Tok::Str(s)) => Ok(TableauCell::Const(Value::str(s.clone()))),
-        other => Err(cur.err(format!("expected `_` or a quoted constant, found {other:?}"))),
+        other => Err(cur.err(format!(
+            "expected `_` or a quoted constant, found {other:?}"
+        ))),
     }
 }
 
@@ -473,7 +482,9 @@ fn parse_md(
             Some(Tok::Tilde) => match cur.next() {
                 Some(Tok::Int(k)) => SimilarityOp::EditDistance(k),
                 other => {
-                    return Err(cur.err(format!("expected distance bound after `~`, found {other:?}")))
+                    return Err(cur.err(format!(
+                        "expected distance bound after `~`, found {other:?}"
+                    )))
                 }
             },
             Some(Tok::Ident(kw)) if kw == "abbr" => SimilarityOp::Abbreviation,
@@ -485,7 +496,11 @@ fn parse_md(
         };
         let right = cur.ident("master attribute")?;
         let right_id = master.require_attr(&right)?;
-        lhs.push(MdClause { left: left_id, right: right_id, op });
+        lhs.push(MdClause {
+            left: left_id,
+            right: right_id,
+            op,
+        });
         match cur.peek() {
             Some(Tok::Amp) => {
                 cur.next();
@@ -551,7 +566,13 @@ pub fn render_er_dsl(rule: &EditingRule, input: &SchemaRef, master: &SchemaRef) 
             .collect();
         format!("({})", conds.join(", "))
     };
-    format!("er {}: match {} fix {} when {}", rule.name(), lhs.join(", "), rhs.join(", "), pattern)
+    format!(
+        "er {}: match {} fix {} when {}",
+        rule.name(),
+        lhs.join(", "),
+        rhs.join(", "),
+        pattern
+    )
 }
 
 fn quote(v: &Value) -> String {
@@ -567,12 +588,16 @@ mod tests {
         (
             Schema::of_strings(
                 "customer",
-                ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+                [
+                    "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+                ],
             )
             .unwrap(),
             Schema::of_strings(
                 "master",
-                ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+                [
+                    "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+                ],
             )
             .unwrap(),
         )
@@ -584,7 +609,9 @@ mod tests {
         let decls =
             parse_rules("er phi1: match zip=zip fix AC:=AC when ()", &input, &master).unwrap();
         assert_eq!(decls.len(), 1);
-        let RuleDecl::Er(r) = &decls[0] else { panic!("expected er") };
+        let RuleDecl::Er(r) = &decls[0] else {
+            panic!("expected er")
+        };
         assert_eq!(r.name(), "phi1");
         assert_eq!(r.input_lhs(), vec![input.attr_id("zip").unwrap()]);
         assert_eq!(r.input_rhs(), vec![input.attr_id("AC").unwrap()]);
@@ -646,7 +673,9 @@ mod tests {
         let (input, master) = schemas();
         let text = "cfd psi: AC -> city | '020' -> 'Ldn' ; '131' -> 'Edi' ; _ -> _";
         let decls = parse_rules(text, &input, &master).unwrap();
-        let RuleDecl::Cfd(c) = &decls[0] else { panic!() };
+        let RuleDecl::Cfd(c) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(c.tableau().len(), 3);
         assert!(c.tableau()[0].is_constant());
         assert!(!c.tableau()[2].is_constant());
@@ -655,7 +684,8 @@ mod tests {
     #[test]
     fn parse_md_operators() {
         let (input, master) = schemas();
-        let text = "md m1: phn==Mphn & FN abbr FN & LN~1 LN & city=i=city identify FN<=>FN, LN<=>LN";
+        let text =
+            "md m1: phn==Mphn & FN abbr FN & LN~1 LN & city=i=city identify FN<=>FN, LN<=>LN";
         let decls = parse_rules(text, &input, &master).unwrap();
         let RuleDecl::Md(m) = &decls[0] else { panic!() };
         assert_eq!(m.lhs().len(), 4);
@@ -669,7 +699,8 @@ mod tests {
     #[test]
     fn comments_and_blank_lines() {
         let (input, master) = schemas();
-        let text = "\n# all nine rules below\n\ner phi1: match zip=zip fix AC:=AC when () # trailing\n";
+        let text =
+            "\n# all nine rules below\n\ner phi1: match zip=zip fix AC:=AC when () # trailing\n";
         let decls = parse_rules(text, &input, &master).unwrap();
         assert_eq!(decls.len(), 1);
     }
@@ -688,8 +719,12 @@ mod tests {
     #[test]
     fn unknown_attribute_is_reported() {
         let (input, master) = schemas();
-        let err =
-            parse_rules("er r: match postcode=zip fix AC:=AC when ()", &input, &master).unwrap_err();
+        let err = parse_rules(
+            "er r: match postcode=zip fix AC:=AC when ()",
+            &input,
+            &master,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("postcode"));
     }
 
@@ -723,7 +758,10 @@ mod tests {
         .unwrap();
         let RuleDecl::Er(r) = &decls[0] else { panic!() };
         let cell = &r.pattern().cells()[0];
-        assert_eq!(cell.op, crate::pattern::PatternOp::Eq(Value::str("O'Brien's")));
+        assert_eq!(
+            cell.op,
+            crate::pattern::PatternOp::Eq(Value::str("O'Brien's"))
+        );
     }
 
     #[test]
@@ -746,7 +784,9 @@ mod tests {
         let RuleDecl::Er(r) = &decls[0] else { panic!() };
         let rendered = render_er_dsl(r, &input, &master);
         let reparsed = parse_rules(&rendered, &input, &master).unwrap();
-        let RuleDecl::Er(r2) = &reparsed[0] else { panic!() };
+        let RuleDecl::Er(r2) = &reparsed[0] else {
+            panic!()
+        };
         assert_eq!(r, r2);
     }
 

@@ -101,19 +101,32 @@ impl PatternTuple {
     /// possible (two `Eq` on the same attribute with different constants is
     /// kept as-is and will simply never match).
     pub fn new(cells: impl Into<Vec<PatternCell>>) -> PatternTuple {
-        let cells = cells.into().into_iter().map(|c| PatternCell { attr: c.attr, op: c.op.normalize() }).collect();
+        let cells = cells
+            .into()
+            .into_iter()
+            .map(|c| PatternCell {
+                attr: c.attr,
+                op: c.op.normalize(),
+            })
+            .collect();
         PatternTuple { cells }
     }
 
     /// Add an equality constraint.
     pub fn with_eq(mut self, attr: AttrId, value: Value) -> PatternTuple {
-        self.cells.push(PatternCell { attr, op: PatternOp::Eq(value) });
+        self.cells.push(PatternCell {
+            attr,
+            op: PatternOp::Eq(value),
+        });
         self
     }
 
     /// Add an inequality constraint.
     pub fn with_ne(mut self, attr: AttrId, value: Value) -> PatternTuple {
-        self.cells.push(PatternCell { attr, op: PatternOp::Ne(vec![value]) });
+        self.cells.push(PatternCell {
+            attr,
+            op: PatternOp::Ne(vec![value]),
+        });
         self
     }
 
@@ -247,12 +260,10 @@ impl ConstraintSet {
             DataType::Bool => [Value::Bool(true), Value::Bool(false)]
                 .into_iter()
                 .find(|v| !self.ne.contains(v)),
-            DataType::Int => {
-                (0..).map(Value::int).find(|v| !self.ne.contains(v))
-            }
-            DataType::Float => {
-                (0..).map(|i| Value::float(i as f64)).find(|v| !self.ne.contains(v))
-            }
+            DataType::Int => (0..).map(Value::int).find(|v| !self.ne.contains(v)),
+            DataType::Float => (0..)
+                .map(|i| Value::float(i as f64))
+                .find(|v| !self.ne.contains(v)),
             DataType::String => (0..)
                 .map(|i| Value::str(format!("w{i}")))
                 .find(|v| !self.ne.contains(v)),
@@ -336,7 +347,10 @@ mod tests {
     #[test]
     fn normalize_dedups_ne() {
         let op = PatternOp::Ne(vec![Value::str("b"), Value::str("a"), Value::str("b")]);
-        assert_eq!(op.normalize(), PatternOp::Ne(vec![Value::str("a"), Value::str("b")]));
+        assert_eq!(
+            op.normalize(),
+            PatternOp::Ne(vec![Value::str("a"), Value::str("b")])
+        );
     }
 
     #[test]
@@ -403,7 +417,12 @@ mod tests {
         // Exhaustive check of the decision procedure against enumeration
         // over a tiny string domain.
         let domain = ["a", "b", "c"];
-        let consts = [Value::str("a"), Value::str("b"), Value::str("c"), Value::str("d")];
+        let consts = [
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("c"),
+            Value::str("d"),
+        ];
         // Enumerate constraint sets: optional eq × subsets of ne.
         for eq_choice in std::iter::once(None).chain(consts.iter().cloned().map(Some)) {
             for mask in 0..(1 << consts.len()) {
@@ -418,16 +437,14 @@ mod tests {
                 }
                 // Brute force over domain ∪ {fresh}: strings are infinite,
                 // so "fresh" stands for any value outside the constants.
-                let mut candidates: Vec<Value> =
-                    domain.iter().map(|d| Value::str(*d)).collect();
+                let mut candidates: Vec<Value> = domain.iter().map(|d| Value::str(*d)).collect();
                 candidates.push(Value::str("fresh"));
                 if let Some(eq) = &eq_choice {
                     candidates = vec![eq.clone()];
                 }
                 let brute = candidates.iter().any(|cand| {
                     (eq_choice.as_ref().is_none_or(|e| e == cand))
-                        && (0..consts.len())
-                            .all(|i| mask & (1 << i) == 0 || &consts[i] != cand)
+                        && (0..consts.len()).all(|i| mask & (1 << i) == 0 || &consts[i] != cand)
                 });
                 assert_eq!(
                     c.is_satisfiable(DataType::String),

@@ -28,7 +28,12 @@ pub struct RuleSet {
 impl RuleSet {
     /// Create an empty rule set over the schema pair.
     pub fn new(input: SchemaRef, master: SchemaRef) -> RuleSet {
-        RuleSet { input, master, rules: Vec::new(), by_name: HashMap::new() }
+        RuleSet {
+            input,
+            master,
+            rules: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The input (dirty-tuple) schema.
@@ -44,7 +49,9 @@ impl RuleSet {
     /// Add a rule, enforcing name uniqueness. Returns the new rule's id.
     pub fn add(&mut self, rule: EditingRule) -> Result<RuleId> {
         if self.by_name.contains_key(rule.name()) {
-            return Err(RuleError::DuplicateRule { name: rule.name().into() });
+            return Err(RuleError::DuplicateRule {
+                name: rule.name().into(),
+            });
         }
         let id = self.rules.len();
         self.by_name.insert(rule.name().to_string(), id);
@@ -74,7 +81,9 @@ impl RuleSet {
             .get(name)
             .ok_or_else(|| RuleError::UnknownRule { name: name.into() })?;
         if rule.name() != name && self.by_name.contains_key(rule.name()) {
-            return Err(RuleError::DuplicateRule { name: rule.name().into() });
+            return Err(RuleError::DuplicateRule {
+                name: rule.name().into(),
+            });
         }
         self.by_name.remove(name);
         self.by_name.insert(rule.name().to_string(), id);
@@ -105,7 +114,10 @@ impl RuleSet {
 
     /// Iterator over live rules as `(RuleId, &EditingRule)`.
     pub fn iter(&self) -> impl Iterator<Item = (RuleId, &EditingRule)> {
-        self.rules.iter().enumerate().filter_map(|(id, r)| r.as_ref().map(|r| (id, r)))
+        self.rules
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|r| (id, r)))
     }
 
     /// Every input attribute fixable by some rule (union of RHS sets).
@@ -142,7 +154,13 @@ mod tests {
         )
     }
 
-    fn rule(name: &str, input: &SchemaRef, master: &SchemaRef, lhs: &str, rhs: &str) -> EditingRule {
+    fn rule(
+        name: &str,
+        input: &SchemaRef,
+        master: &SchemaRef,
+        lhs: &str,
+        rhs: &str,
+    ) -> EditingRule {
         EditingRule::new(
             name,
             input,
@@ -167,7 +185,10 @@ mod tests {
         assert_eq!(removed.name(), "r1");
         assert!(rs.is_empty());
         assert!(rs.get(id).is_none());
-        assert!(matches!(rs.remove("r1"), Err(RuleError::UnknownRule { .. })));
+        assert!(matches!(
+            rs.remove("r1"),
+            Err(RuleError::UnknownRule { .. })
+        ));
     }
 
     #[test]
@@ -175,7 +196,9 @@ mod tests {
         let (input, master) = schemas();
         let mut rs = RuleSet::new(input.clone(), master.clone());
         rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
-        let err = rs.add(rule("r1", &input, &master, "zip", "city")).unwrap_err();
+        let err = rs
+            .add(rule("r1", &input, &master, "zip", "city"))
+            .unwrap_err();
         assert!(matches!(err, RuleError::DuplicateRule { .. }));
     }
 
@@ -186,7 +209,10 @@ mod tests {
         let id1 = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
         rs.remove("r1").unwrap();
         let id2 = rs.add(rule("r2", &input, &master, "zip", "city")).unwrap();
-        assert_ne!(id1, id2, "retired ids stay retired so audit records stay valid");
+        assert_ne!(
+            id1, id2,
+            "retired ids stay retired so audit records stay valid"
+        );
     }
 
     #[test]
@@ -195,16 +221,25 @@ mod tests {
         let mut rs = RuleSet::new(input.clone(), master.clone());
         let id = rs.add(rule("r1", &input, &master, "zip", "AC")).unwrap();
         // Same-name update.
-        rs.update("r1", rule("r1", &input, &master, "zip", "city")).unwrap();
-        assert_eq!(rs.get(id).unwrap().input_rhs(), vec![input.attr_id("city").unwrap()]);
+        rs.update("r1", rule("r1", &input, &master, "zip", "city"))
+            .unwrap();
+        assert_eq!(
+            rs.get(id).unwrap().input_rhs(),
+            vec![input.attr_id("city").unwrap()]
+        );
         // Rename keeps the id.
-        let id2 = rs.update("r1", rule("r1v2", &input, &master, "zip", "AC")).unwrap();
+        let id2 = rs
+            .update("r1", rule("r1v2", &input, &master, "zip", "AC"))
+            .unwrap();
         assert_eq!(id, id2);
         assert!(rs.get_by_name("r1").is_none());
         assert!(rs.get_by_name("r1v2").is_some());
         // Renaming onto an existing name fails.
-        rs.add(rule("other", &input, &master, "zip", "city")).unwrap();
-        assert!(rs.update("r1v2", rule("other", &input, &master, "zip", "AC")).is_err());
+        rs.add(rule("other", &input, &master, "zip", "city"))
+            .unwrap();
+        assert!(rs
+            .update("r1v2", rule("other", &input, &master, "zip", "AC"))
+            .is_err());
     }
 
     #[test]

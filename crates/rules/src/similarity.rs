@@ -120,7 +120,8 @@ fn is_abbreviation_of(abbr: &str, full: &str) -> bool {
         return false;
     }
     full.len() >= stem.len()
-        && full.chars()
+        && full
+            .chars()
             .zip(stem.chars())
             .all(|(f, s)| f.eq_ignore_ascii_case(&s))
         && full.chars().count() > stem.chars().count()

@@ -1,0 +1,153 @@
+//! Per-ruleset analysis cache.
+//!
+//! Certain regions and consistency verdicts depend only on (rule set,
+//! master data, options) — never on the tuples being cleaned — so a
+//! long-lived service computes each once and serves every later session
+//! from the cache. Keys embed a fingerprint of the rule set (hash of its
+//! canonical DSL rendering) so a future service hosting several rule
+//! sets, or hot-reloading one, gets correct isolation for free.
+
+use crate::metrics::ServiceMetrics;
+use cerfix::{ConsistencyReport, RegionSearchResult};
+use cerfix_rules::{render_er_dsl, RuleSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Stable fingerprint of a rule set: schema names/arities plus the
+/// canonical DSL rendering of every rule, hashed.
+pub fn ruleset_fingerprint(rules: &RuleSet) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    let input = rules.input_schema();
+    let master = rules.master_schema();
+    input.name().hash(&mut hasher);
+    master.name().hash(&mut hasher);
+    for schema in [input, master] {
+        for attr in schema.attributes() {
+            attr.name().hash(&mut hasher);
+        }
+    }
+    for (_, rule) in rules.iter() {
+        render_er_dsl(rule, input, master).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Cache of region searches and consistency verdicts.
+///
+/// The first computation for a key runs while holding the cache lock:
+/// concurrent requests for the same analysis wait and then hit, instead
+/// of burning cores duplicating an expensive search. (Requests for
+/// *different* keys also wait during that window — acceptable for the
+/// handful of distinct analyses a service sees.)
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    regions: Mutex<HashMap<(u64, usize), Arc<RegionSearchResult>>>,
+    consistency: Mutex<HashMap<(u64, String), Arc<ConsistencyReport>>>,
+}
+
+impl AnalysisCache {
+    /// Empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// The region search for `(fingerprint, top_k)`, computing it with
+    /// `compute` on first use. The flag is `true` on a cache hit.
+    pub fn regions(
+        &self,
+        fingerprint: u64,
+        top_k: usize,
+        metrics: &ServiceMetrics,
+        compute: impl FnOnce() -> RegionSearchResult,
+    ) -> (Arc<RegionSearchResult>, bool) {
+        let mut map = self.regions.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = map.get(&(fingerprint, top_k)) {
+            metrics.cache_hit();
+            return (Arc::clone(hit), true);
+        }
+        metrics.cache_miss();
+        let computed = Arc::new(compute());
+        map.insert((fingerprint, top_k), Arc::clone(&computed));
+        (computed, false)
+    }
+
+    /// The consistency verdict for `(fingerprint, mode)`, computing it
+    /// with `compute` on first use. The flag is `true` on a cache hit.
+    pub fn consistency(
+        &self,
+        fingerprint: u64,
+        mode: &str,
+        metrics: &ServiceMetrics,
+        compute: impl FnOnce() -> ConsistencyReport,
+    ) -> (Arc<ConsistencyReport>, bool) {
+        let mut map = self
+            .consistency
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = map.get(&(fingerprint, mode.to_string())) {
+            metrics.cache_hit();
+            return (Arc::clone(hit), true);
+        }
+        metrics.cache_miss();
+        let computed = Arc::new(compute());
+        map.insert((fingerprint, mode.to_string()), Arc::clone(&computed));
+        (computed, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Schema;
+
+    #[test]
+    fn fingerprint_distinguishes_rulesets() {
+        let input = Schema::of_strings("in", ["a", "b"]).unwrap();
+        let master = Schema::of_strings("m", ["a", "b"]).unwrap();
+        let empty = RuleSet::new(input.clone(), master.clone());
+        let mut one = RuleSet::new(input.clone(), master.clone());
+        one.add(
+            cerfix_rules::EditingRule::new(
+                "r",
+                &input,
+                &master,
+                vec![(0, 0)],
+                vec![(1, 1)],
+                cerfix_rules::PatternTuple::empty(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_ne!(ruleset_fingerprint(&empty), ruleset_fingerprint(&one));
+        assert_eq!(
+            ruleset_fingerprint(&one),
+            ruleset_fingerprint(&one),
+            "stable"
+        );
+    }
+
+    #[test]
+    fn region_cache_hits_after_first_compute() {
+        let cache = AnalysisCache::new();
+        let metrics = ServiceMetrics::new();
+        let mut computes = 0;
+        for round in 0..3 {
+            let (r, hit) = cache.regions(1, 8, &metrics, || {
+                computes += 1;
+                RegionSearchResult::default()
+            });
+            assert!(r.regions.is_empty());
+            assert_eq!(hit, round > 0);
+        }
+        assert_eq!(computes, 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        // A different top_k is a different key.
+        let (_, hit) = cache.regions(1, 4, &metrics, RegionSearchResult::default);
+        assert!(!hit);
+        assert_eq!(metrics.snapshot().cache_misses, 2);
+    }
+}

@@ -1,0 +1,385 @@
+//! Protocol clients: TCP and in-process.
+//!
+//! [`Client`] is generic over a [`Transport`] — either a real
+//! [`TcpTransport`] socket or the [`LocalTransport`] that calls straight
+//! into a [`CleaningService`] *through the same wire encode/decode
+//! path*, so in-process tests exercise the full protocol without
+//! sockets. Typed views ([`SessionView`], [`CommitView`], …) pick the
+//! documented response fields apart once, instead of every caller
+//! spelunking through JSON.
+
+use crate::protocol::Request;
+use crate::service::CleaningService;
+use crate::wire::{Json, WireError};
+use cerfix_relation::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Malformed response.
+    Wire(WireError),
+    /// The server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// One request line in, one response line out.
+pub trait Transport {
+    /// Send `line` (no trailing newline) and return the response line.
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError>;
+}
+
+/// Blocking TCP transport.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(response)
+    }
+}
+
+/// In-process transport: dispatches into the service directly, still
+/// going through wire parsing/rendering on both sides.
+pub struct LocalTransport {
+    service: CleaningService,
+}
+
+impl Transport for LocalTransport {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        Ok(self.service.handle_line(line))
+    }
+}
+
+/// A protocol client over any transport.
+pub struct Client<T: Transport = TcpTransport> {
+    transport: T,
+}
+
+/// A [`Client`] wired directly to an in-process service.
+pub type LocalClient = Client<LocalTransport>;
+
+impl Client<TcpTransport> {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client<TcpTransport>, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            transport: TcpTransport {
+                reader,
+                writer: stream,
+            },
+        })
+    }
+}
+
+impl Client<LocalTransport> {
+    /// A client calling straight into `service` (tests, embedding).
+    pub fn in_process(service: &CleaningService) -> LocalClient {
+        Client {
+            transport: LocalTransport {
+                service: service.clone(),
+            },
+        }
+    }
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, ClientError> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Wire(WireError(format!("response missing `{key}`"))))
+}
+
+fn get_strings(json: &Json, key: &str) -> Vec<String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|i| i.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn get_tuple(json: &Json, key: &str) -> Result<Vec<Value>, ClientError> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Wire(WireError(format!("response missing `{key}`"))))?
+        .iter()
+        .map(|item| item.to_value().map_err(ClientError::Wire))
+        .collect()
+}
+
+/// Snapshot of a live session, as returned by create/get/validate/fix.
+#[derive(Debug, Clone)]
+pub struct SessionView {
+    /// Server-assigned id.
+    pub session: u64,
+    /// `awaiting_user`, `complete` or `stuck`.
+    pub status: String,
+    /// Suggested attributes to validate next (empty unless awaiting).
+    pub suggestion: Vec<String>,
+    /// Current cell values.
+    pub tuple: Vec<Value>,
+    /// Interaction rounds so far.
+    pub rounds: u64,
+    /// Validated attribute names.
+    pub validated: Vec<String>,
+    /// Rule fixes from the latest validate/fix call (attr, old, new).
+    pub fixes: Vec<(String, Value, Value)>,
+}
+
+impl SessionView {
+    fn from_json(json: &Json) -> Result<SessionView, ClientError> {
+        Ok(SessionView {
+            session: get_u64(json, "session")?,
+            status: json
+                .get("status")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            suggestion: get_strings(json, "suggestion"),
+            tuple: get_tuple(json, "tuple")?,
+            rounds: get_u64(json, "rounds")?,
+            validated: get_strings(json, "validated"),
+            fixes: json
+                .get("fixes")
+                .and_then(Json::as_arr)
+                .map(|fixes| {
+                    fixes
+                        .iter()
+                        .filter_map(|fix| {
+                            Some((
+                                fix.get("attr")?.as_str()?.to_string(),
+                                fix.get("old")?.to_value().ok()?,
+                                fix.get("new")?.to_value().ok()?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// True iff the session reached a certain fix.
+    pub fn is_complete(&self) -> bool {
+        self.status == "complete"
+    }
+}
+
+/// Final state returned by `session.commit`.
+#[derive(Debug, Clone)]
+pub struct CommitView {
+    /// True iff every attribute was validated (a certain fix).
+    pub complete: bool,
+    /// The final tuple.
+    pub tuple: Vec<Value>,
+    /// Interaction rounds used.
+    pub rounds: u64,
+    /// Attributes validated by the user.
+    pub user_validated: u64,
+    /// Attributes validated by rules.
+    pub auto_validated: u64,
+}
+
+/// One outcome from a batch `clean`.
+#[derive(Debug, Clone)]
+pub struct CleanOutcomeView {
+    /// Position in the request batch.
+    pub index: u64,
+    /// True iff the tuple reached a certain fix.
+    pub complete: bool,
+    /// Cells changed by rules.
+    pub cells_fixed: u64,
+    /// The cleaned tuple.
+    pub tuple: Vec<Value>,
+}
+
+impl<T: Transport> Client<T> {
+    /// Send a typed request, returning the raw (ok) response object.
+    pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let line = request.to_json().render();
+        let response_line = self.transport.round_trip(&line)?;
+        let response = Json::parse(response_line.trim())?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            _ => Err(ClientError::Server(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("malformed server response")
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// `hello` — service identification (raw JSON).
+    pub fn hello(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Hello)
+    }
+
+    /// Open a session for `tuple`.
+    pub fn create_session(&mut self, tuple: Vec<Value>) -> Result<SessionView, ClientError> {
+        let response = self.request(&Request::SessionCreate { tuple })?;
+        SessionView::from_json(&response)
+    }
+
+    /// Re-read (attach to) an existing session.
+    pub fn get_session(&mut self, session: u64) -> Result<SessionView, ClientError> {
+        let response = self.request(&Request::SessionGet { session })?;
+        SessionView::from_json(&response)
+    }
+
+    /// Validate `(attribute, value)` pairs and run the correcting
+    /// process.
+    pub fn validate(
+        &mut self,
+        session: u64,
+        validations: Vec<(String, Value)>,
+    ) -> Result<SessionView, ClientError> {
+        let response = self.request(&Request::SessionValidate {
+            session,
+            validations,
+        })?;
+        SessionView::from_json(&response)
+    }
+
+    /// Run the correcting process without new assertions.
+    pub fn fix(&mut self, session: u64) -> Result<SessionView, ClientError> {
+        let response = self.request(&Request::SessionFix { session })?;
+        SessionView::from_json(&response)
+    }
+
+    /// Close the session, returning its final state.
+    pub fn commit(&mut self, session: u64) -> Result<CommitView, ClientError> {
+        let response = self.request(&Request::SessionCommit { session })?;
+        Ok(CommitView {
+            complete: response
+                .get("complete")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            tuple: get_tuple(&response, "tuple")?,
+            rounds: get_u64(&response, "rounds")?,
+            user_validated: get_u64(&response, "user_validated")?,
+            auto_validated: get_u64(&response, "auto_validated")?,
+        })
+    }
+
+    /// Discard a session.
+    pub fn abort(&mut self, session: u64) -> Result<(), ClientError> {
+        self.request(&Request::SessionAbort { session }).map(|_| ())
+    }
+
+    /// Batch-clean `tuples`, trusting the named columns.
+    pub fn clean(
+        &mut self,
+        tuples: Vec<Vec<Value>>,
+        trust: Vec<String>,
+    ) -> Result<Vec<CleanOutcomeView>, ClientError> {
+        let response = self.request(&Request::Clean { tuples, trust })?;
+        response
+            .get("outcomes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Wire(WireError("response missing `outcomes`".into())))?
+            .iter()
+            .map(|outcome| {
+                Ok(CleanOutcomeView {
+                    index: get_u64(outcome, "index")?,
+                    complete: outcome
+                        .get("complete")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    cells_fixed: get_u64(outcome, "cells_fixed")?,
+                    tuple: get_tuple(outcome, "tuple")?,
+                })
+            })
+            .collect()
+    }
+
+    /// Top-k certain regions; `(cached, attribute-name lists)`.
+    pub fn regions(
+        &mut self,
+        top_k: Option<usize>,
+    ) -> Result<(bool, Vec<Vec<String>>), ClientError> {
+        let response = self.request(&Request::Regions { top_k })?;
+        let cached = response
+            .get("cached")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let regions = response
+            .get("regions")
+            .and_then(Json::as_arr)
+            .map(|items| items.iter().map(|r| get_strings(r, "attrs")).collect())
+            .unwrap_or_default();
+        Ok((cached, regions))
+    }
+
+    /// Consistency verdict; `(cached, consistent)`.
+    pub fn check(&mut self, mode: Option<&str>) -> Result<(bool, bool), ClientError> {
+        let response = self.request(&Request::Check {
+            mode: mode.map(str::to_string),
+        })?;
+        Ok((
+            response
+                .get("cached")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            response
+                .get("consistent")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        ))
+    }
+
+    /// Service counters (raw JSON).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Ask the server to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

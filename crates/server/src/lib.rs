@@ -1,0 +1,293 @@
+//! # cerfix-server — a concurrent multi-session cleaning service
+//!
+//! The CerFix demo runs at the *point of data entry*: one master
+//! database and one rule set serve many clerks entering tuples at once.
+//! This crate is that deployment shape for the reproduction — a
+//! long-lived service over the core [`DataMonitor`](cerfix::DataMonitor)
+//! instead of a single-caller library object:
+//!
+//! * [`CleaningService`] — shared `Arc<MasterData>` + `Arc<RuleSet>`
+//!   behind a session manager (create / attach / validate / fix /
+//!   commit / abort by session id, with idle eviction), a worker pool
+//!   for batch cleans, and a per-ruleset cache of region searches and
+//!   consistency verdicts.
+//! * [`Server`] — a line-delimited-JSON-over-TCP front end
+//!   (`std::net`, no async runtime, no serialization dependency — see
+//!   [`wire`]).
+//! * [`Client`] / [`LocalClient`] — the same typed client over a socket
+//!   or wired directly into an in-process service.
+//!
+//! The protocol reference lives in the repository README. Start a
+//! server from the CLI with:
+//!
+//! ```text
+//! cerfix serve --master M.csv --rules R.dsl --addr 127.0.0.1:7117 --workers 8
+//! ```
+//!
+//! ## In-process example
+//!
+//! ```
+//! use cerfix_server::{CleaningService, LocalClient, ServiceConfig};
+//! use cerfix::MasterData;
+//! use cerfix_relation::{RelationBuilder, Schema, Value};
+//! use cerfix_rules::{parse_rules, RuleDecl, RuleSet};
+//! use std::sync::Arc;
+//!
+//! let input = Schema::of_strings("customer",
+//!     ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"]).unwrap();
+//! let ms = Schema::of_strings("master",
+//!     ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"]).unwrap();
+//! let master = MasterData::new(RelationBuilder::new(ms.clone())
+//!     .row_strs(["Robert", "Brady", "131", "6884563", "079172485",
+//!                "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"])
+//!     .build().unwrap());
+//! let mut rules = RuleSet::new(input.clone(), ms.clone());
+//! for decl in parse_rules("er phi1: match zip=zip fix AC:=AC when ()",
+//!                         &input, &ms).unwrap() {
+//!     if let RuleDecl::Er(r) = decl { rules.add(r).unwrap(); }
+//! }
+//!
+//! let service = CleaningService::new(
+//!     Arc::new(master), Arc::new(rules), ServiceConfig::default());
+//! let mut client = LocalClient::in_process(&service);
+//! let view = client.create_session(
+//!     ["Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD"]
+//!         .iter().map(Value::str).collect()).unwrap();
+//! let after = client
+//!     .validate(view.session, vec![("zip".into(), Value::str("EH8 4AH"))])
+//!     .unwrap();
+//! // φ1 copied the certain fix AC := 131 from master data.
+//! assert_eq!(after.tuple[2], Value::str("131"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod client;
+mod metrics;
+mod net;
+pub mod protocol;
+mod service;
+mod session;
+pub mod wire;
+
+pub use cache::{ruleset_fingerprint, AnalysisCache};
+pub use client::{
+    CleanOutcomeView, Client, ClientError, CommitView, LocalClient, LocalTransport, SessionView,
+    TcpTransport, Transport,
+};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use net::{Server, ServerHandle};
+pub use protocol::{Request, PROTOCOL_VERSION};
+pub use service::{CleaningService, ServiceConfig};
+pub use session::{SessionError, SessionManager};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix::MasterData;
+    use cerfix_relation::{RelationBuilder, Schema, Value};
+    use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// key → val lookup service over 50 master rows.
+    fn kv_service(workers: usize) -> CleaningService {
+        let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
+        let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
+        let mut builder = RelationBuilder::new(ms.clone());
+        for i in 0..50 {
+            builder = builder.row_strs([format!("k{i}"), format!("v{i}")]);
+        }
+        let master = MasterData::new(builder.build().unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(
+                EditingRule::new(
+                    "kv",
+                    &input,
+                    &ms,
+                    vec![(0, 0)],
+                    vec![(1, 1)],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        CleaningService::new(
+            Arc::new(master),
+            Arc::new(rules),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn row(key: &str, val: &str, note: &str) -> Vec<Value> {
+        vec![Value::str(key), Value::str(val), Value::str(note)]
+    }
+
+    #[test]
+    fn session_lifecycle_in_process() {
+        let service = kv_service(2);
+        let mut client = LocalClient::in_process(&service);
+
+        let hello = client.hello().unwrap();
+        assert_eq!(
+            hello.get("service").and_then(wire::Json::as_str),
+            Some("cerfix-server")
+        );
+
+        let view = client.create_session(row("k3", "WRONG", "n")).unwrap();
+        assert_eq!(view.status, "awaiting_user");
+        assert_eq!(view.rounds, 0);
+        assert_eq!(service.live_sessions(), 1);
+
+        // Validating key fires the rule: val gets the certain fix v3.
+        let after = client
+            .validate(view.session, vec![("key".into(), Value::str("k3"))])
+            .unwrap();
+        assert_eq!(after.tuple[1], Value::str("v3"));
+        assert_eq!(after.fixes.len(), 1);
+        assert_eq!(after.fixes[0].0, "val");
+
+        // note is rule-free: must be user-validated.
+        let done = client
+            .validate(view.session, vec![("note".into(), Value::str("n"))])
+            .unwrap();
+        assert!(done.is_complete());
+
+        let commit = client.commit(view.session).unwrap();
+        assert!(commit.complete);
+        assert_eq!(commit.tuple, row("k3", "v3", "n"));
+        assert_eq!(commit.user_validated, 2);
+        assert_eq!(commit.auto_validated, 1);
+        assert_eq!(service.live_sessions(), 0);
+
+        // Committed sessions are gone.
+        assert!(matches!(
+            client.get_session(view.session),
+            Err(ClientError::Server(_))
+        ));
+    }
+
+    #[test]
+    fn batch_clean_in_order() {
+        let service = kv_service(4);
+        let mut client = LocalClient::in_process(&service);
+        let tuples: Vec<Vec<Value>> = (0..20)
+            .map(|i| row(&format!("k{i}"), "WRONG", "x"))
+            .collect();
+        let outcomes = client
+            .clean(tuples, vec!["key".into(), "note".into()])
+            .unwrap();
+        assert_eq!(outcomes.len(), 20);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.index as usize, i, "stream order stable");
+            assert!(outcome.complete);
+            assert_eq!(outcome.cells_fixed, 1);
+            assert_eq!(outcome.tuple[1], Value::str(format!("v{i}")));
+        }
+        assert_eq!(service.metrics().tuples_cleaned, 20);
+    }
+
+    #[test]
+    fn cache_and_check() {
+        let service = kv_service(1);
+        let mut client = LocalClient::in_process(&service);
+        // Startup pre-computation already populated the default-k entry.
+        let (cached, _regions) = client.regions(None).unwrap();
+        assert!(cached, "pre-computed at startup");
+        let (cached_again, _) = client.regions(None).unwrap();
+        assert!(cached_again);
+        // A different k misses once, then hits.
+        let (miss, _) = client.regions(Some(3)).unwrap();
+        assert!(!miss);
+        let (hit, _) = client.regions(Some(3)).unwrap();
+        assert!(hit);
+        let (check_miss, consistent) = client.check(Some("strict")).unwrap();
+        assert!(!check_miss);
+        assert!(consistent);
+        let (check_hit, _) = client.check(Some("strict")).unwrap();
+        assert!(check_hit);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let service = kv_service(1);
+        let mut client = LocalClient::in_process(&service);
+        // Wrong arity.
+        assert!(matches!(
+            client.create_session(vec![Value::str("only-one")]),
+            Err(ClientError::Server(_))
+        ));
+        // Unknown session.
+        assert!(matches!(
+            client.get_session(999),
+            Err(ClientError::Server(_))
+        ));
+        // Unknown attribute.
+        let view = client.create_session(row("k1", "x", "y")).unwrap();
+        assert!(matches!(
+            client.validate(view.session, vec![("nope".into(), Value::str("v"))]),
+            Err(ClientError::Server(_))
+        ));
+        // Null validation value is rejected by the monitor.
+        assert!(matches!(
+            client.validate(view.session, vec![("key".into(), Value::Null)]),
+            Err(ClientError::Server(_))
+        ));
+        // Malformed raw line.
+        let response = service.handle_line("this is not json");
+        assert!(response.contains("\"ok\":false"));
+        assert!(service.metrics().errors >= 4);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = kv_service(2);
+        let handle = Server::spawn("127.0.0.1:0", service).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let view = client.create_session(row("k7", "WRONG", "n")).unwrap();
+        let after = client
+            .validate(view.session, vec![("key".into(), Value::str("k7"))])
+            .unwrap();
+        assert_eq!(after.tuple[1], Value::str("v7"));
+        // A second connection attaches to the same session.
+        let mut other = Client::connect(handle.addr()).unwrap();
+        let attached = other.get_session(view.session).unwrap();
+        assert_eq!(attached.tuple[1], Value::str("v7"));
+        other.abort(view.session).unwrap();
+        assert!(matches!(
+            client.get_session(view.session),
+            Err(ClientError::Server(_))
+        ));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let input = Schema::of_strings("in", ["a"]).unwrap();
+        let ms = Schema::of_strings("m", ["a"]).unwrap();
+        let master = MasterData::new(RelationBuilder::new(ms.clone()).build().unwrap());
+        let rules = RuleSet::new(input, ms);
+        let service = CleaningService::new(
+            Arc::new(master),
+            Arc::new(rules),
+            ServiceConfig {
+                workers: 1,
+                session_ttl: Duration::from_millis(10),
+                ..ServiceConfig::default()
+            },
+        );
+        let mut client = LocalClient::in_process(&service);
+        client.create_session(vec![Value::str("x")]).unwrap();
+        assert_eq!(service.live_sessions(), 1);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(service.sweep_idle_sessions(), 1);
+        assert_eq!(service.live_sessions(), 0);
+        assert_eq!(service.metrics().sessions_evicted, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Service counters, exported over the `metrics` protocol op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters for one [`CleaningService`](crate::CleaningService).
+///
+/// All counters are relaxed atomics — they are operational telemetry, not
+/// synchronization. `snapshot` reads may tear across counters under
+/// concurrent load; each individual counter is always exact.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    sessions_created: AtomicU64,
+    sessions_committed: AtomicU64,
+    sessions_aborted: AtomicU64,
+    sessions_evicted: AtomicU64,
+    tuples_cleaned: AtomicU64,
+    cells_fixed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Seconds since service start.
+    pub uptime_secs: u64,
+    /// Protocol requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Sessions created.
+    pub sessions_created: u64,
+    /// Sessions committed (reached `session.commit`).
+    pub sessions_committed: u64,
+    /// Sessions aborted by the client.
+    pub sessions_aborted: u64,
+    /// Sessions reaped by idle eviction.
+    pub sessions_evicted: u64,
+    /// Tuples processed through the batch `clean` op.
+    pub tuples_cleaned: u64,
+    /// Cells changed by rules across all ops.
+    pub cells_fixed: u64,
+    /// Region/consistency cache hits.
+    pub cache_hits: u64,
+    /// Region/consistency cache misses (computations performed).
+    pub cache_misses: u64,
+}
+
+impl ServiceMetrics {
+    /// Fresh counters, uptime starting now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sessions_created: AtomicU64::new(0),
+            sessions_committed: AtomicU64::new(0),
+            sessions_aborted: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            tuples_cleaned: AtomicU64::new(0),
+            cells_fixed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_created(&self) {
+        self.sessions_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_committed(&self) {
+        self.sessions_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_aborted(&self) {
+        self.sessions_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sessions_evicted(&self, n: u64) {
+        self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn tuples_cleaned(&self, n: u64) {
+        self.tuples_cleaned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cells_fixed(&self, n: u64) {
+        self.cells_fixed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_committed: self.sessions_committed.load(Ordering::Relaxed),
+            sessions_aborted: self.sessions_aborted.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            tuples_cleaned: self.tuples_cleaned.load(Ordering::Relaxed),
+            cells_fixed: self.cells_fixed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.request();
+        m.request();
+        m.error();
+        m.session_created();
+        m.sessions_evicted(3);
+        m.tuples_cleaned(10);
+        m.cells_fixed(7);
+        m.cache_hit();
+        m.cache_miss();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.sessions_created, 1);
+        assert_eq!(s.sessions_evicted, 3);
+        assert_eq!(s.tuples_cleaned, 10);
+        assert_eq!(s.cells_fixed, 7);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+}

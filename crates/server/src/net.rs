@@ -1,0 +1,191 @@
+//! TCP front end: line-delimited JSON over `std::net`.
+//!
+//! One OS thread per connection (blocking reads); CPU-heavy batch work
+//! is already fanned across the service's worker pool, so connection
+//! threads mostly park in `read_line`. The accept loop polls with a
+//! short sleep so a `shutdown` protocol request (or
+//! [`ServerHandle::shutdown`]) can stop the server without an
+//! out-of-band signal, and runs the idle-session sweeper between polls.
+
+use crate::service::CleaningService;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+const SWEEP_EVERY: Duration = Duration::from_secs(1);
+/// Hard cap on one request line; a batch `clean` of thousands of tuples
+/// fits comfortably, a newline-less byte stream does not.
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    service: CleaningService,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7117`, or port 0 for ephemeral).
+    pub fn bind(addr: impl ToSocketAddrs, service: CleaningService) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { service, listener })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request arrives. Blocks the calling
+    /// thread; each accepted connection gets its own thread.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut last_sweep = Instant::now();
+        let live = Arc::new(AtomicBool::new(true));
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.service.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = self.service.clone();
+                    let live = Arc::clone(&live);
+                    connections.push(thread::spawn(move || {
+                        serve_connection(stream, service, &live)
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+            if last_sweep.elapsed() >= SWEEP_EVERY {
+                self.service.sweep_idle_sessions();
+                last_sweep = Instant::now();
+                connections.retain(|handle| !handle.is_finished());
+            }
+        }
+        // Stop serving new requests on existing connections, then let
+        // their threads wind down.
+        live.store(false, Ordering::Release);
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Bind-and-run on a background thread; returns a handle with the
+    /// bound address. The standard shape for tests and embedders.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        service: CleaningService,
+    ) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(addr, service.clone())?;
+        let addr = server.local_addr()?;
+        let thread = thread::Builder::new()
+            .name("cerfix-server-accept".into())
+            .spawn(move || server.run())
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            service,
+            thread: Some(thread),
+        })
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: CleaningService, live: &AtomicBool) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // Bounded read timeout so connection threads notice server shutdown
+    // instead of blocking forever. Lines are accumulated manually —
+    // `BufReader::read_line` discards partial bytes on a timeout error,
+    // which would corrupt the stream.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while live.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                if pending.len() > MAX_LINE_BYTES {
+                    // A client streaming bytes with no newline must not
+                    // grow the buffer without bound; tell it and hang up.
+                    let _ = writer.write_all(
+                        b"{\"ok\":false,\"error\":\"request line exceeds 8 MiB; closing\"}\n",
+                    );
+                    return;
+                }
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                    let Ok(line) = std::str::from_utf8(&line_bytes) else {
+                        let _ = writer.write_all(
+                            b"{\"ok\":false,\"error\":\"request line is not valid UTF-8\"}\n",
+                        );
+                        continue;
+                    };
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let response = service.handle_line(trimmed);
+                    if writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A running server on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: CleaningService,
+    thread: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served service (shared counters, sessions, cache).
+    pub fn service(&self) -> &CleaningService {
+        &self.service
+    }
+
+    /// Request shutdown and join the accept thread.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.service.handle(&crate::protocol::Request::Shutdown);
+        match self.thread.take() {
+            Some(handle) => handle.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.service.handle(&crate::protocol::Request::Shutdown);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}

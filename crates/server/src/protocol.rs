@@ -1,0 +1,336 @@
+//! The typed request layer of the wire protocol.
+//!
+//! Every protocol exchange is one JSON object per line. Requests carry
+//! an `"op"` discriminator; responses carry `"ok": true` plus op-specific
+//! fields, or `"ok": false` with an `"error"` string. The full field
+//! reference lives in the repository README ("cerfix-server protocol").
+//!
+//! This module converts between [`Json`] and the typed [`Request`] enum;
+//! responses are built directly as [`Json`] by the service (they are
+//! write-only on the server side) and picked apart field-wise by the
+//! [`Client`](crate::Client).
+
+use crate::wire::{Json, WireError};
+use cerfix_relation::Value;
+
+/// Protocol revision, reported by `hello` and checked by clients.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Service / protocol identification.
+    Hello,
+    /// Open a session for one input tuple.
+    SessionCreate {
+        /// Cell values, in schema order.
+        tuple: Vec<Value>,
+    },
+    /// Re-read a session's state (also how a reconnecting client
+    /// re-attaches to a session created on another connection).
+    SessionGet {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Assert attribute values as true, then run the correcting process.
+    SessionValidate {
+        /// Server-assigned session id.
+        session: u64,
+        /// `(attribute name, asserted value)` pairs.
+        validations: Vec<(String, Value)>,
+    },
+    /// Run the correcting process without new assertions.
+    SessionFix {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Close the session, returning the final tuple.
+    SessionCommit {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Discard the session.
+    SessionAbort {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Batch-clean tuples, trusting the named columns (fanned across
+    /// the service worker pool; outcomes come back in input order).
+    Clean {
+        /// Input tuples, each in schema order.
+        tuples: Vec<Vec<Value>>,
+        /// Column names taken as validated per tuple.
+        trust: Vec<String>,
+    },
+    /// Top-k certain regions (served from the per-ruleset cache).
+    Regions {
+        /// Override the service's default k.
+        top_k: Option<usize>,
+    },
+    /// Rule-set consistency verdict (cached).
+    Check {
+        /// `"strict"` (default) or `"entity-coherent"`.
+        mode: Option<String>,
+    },
+    /// Service counters.
+    Metrics,
+    /// Ask the server process to stop accepting connections.
+    Shutdown,
+}
+
+fn need<'a>(json: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    json.get(key)
+        .ok_or_else(|| WireError(format!("missing field `{key}`")))
+}
+
+fn need_session(json: &Json) -> Result<u64, WireError> {
+    need(json, "session")?
+        .as_u64()
+        .ok_or_else(|| WireError("`session` must be a non-negative integer".into()))
+}
+
+fn values_array(json: &Json, what: &str) -> Result<Vec<Value>, WireError> {
+    json.as_arr()
+        .ok_or_else(|| WireError(format!("`{what}` must be an array of cell values")))?
+        .iter()
+        .map(Json::to_value)
+        .collect()
+}
+
+fn string_array(json: &Json, what: &str) -> Result<Vec<String>, WireError> {
+    json.as_arr()
+        .ok_or_else(|| WireError(format!("`{what}` must be an array of strings")))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| WireError(format!("`{what}` entries must be strings")))
+        })
+        .collect()
+}
+
+impl Request {
+    /// The `"op"` string naming this request.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Hello => "hello",
+            Request::SessionCreate { .. } => "session.create",
+            Request::SessionGet { .. } => "session.get",
+            Request::SessionValidate { .. } => "session.validate",
+            Request::SessionFix { .. } => "session.fix",
+            Request::SessionCommit { .. } => "session.commit",
+            Request::SessionAbort { .. } => "session.abort",
+            Request::Clean { .. } => "clean",
+            Request::Regions { .. } => "regions",
+            Request::Check { .. } => "check",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse one protocol line.
+    pub fn parse_line(line: &str) -> Result<Request, WireError> {
+        let json = Json::parse(line)?;
+        let op = need(&json, "op")?
+            .as_str()
+            .ok_or_else(|| WireError("`op` must be a string".into()))?;
+        Ok(match op {
+            "hello" => Request::Hello,
+            "session.create" => Request::SessionCreate {
+                tuple: values_array(need(&json, "tuple")?, "tuple")?,
+            },
+            "session.get" => Request::SessionGet {
+                session: need_session(&json)?,
+            },
+            "session.validate" => {
+                let validations = match need(&json, "validations")? {
+                    Json::Obj(fields) => fields
+                        .iter()
+                        .map(|(name, v)| Ok((name.clone(), v.to_value()?)))
+                        .collect::<Result<Vec<_>, WireError>>()?,
+                    _ => {
+                        return Err(WireError(
+                            "`validations` must be an object of attr → value".into(),
+                        ))
+                    }
+                };
+                Request::SessionValidate {
+                    session: need_session(&json)?,
+                    validations,
+                }
+            }
+            "session.fix" => Request::SessionFix {
+                session: need_session(&json)?,
+            },
+            "session.commit" => Request::SessionCommit {
+                session: need_session(&json)?,
+            },
+            "session.abort" => Request::SessionAbort {
+                session: need_session(&json)?,
+            },
+            "clean" => {
+                let tuples = need(&json, "tuples")?
+                    .as_arr()
+                    .ok_or_else(|| WireError("`tuples` must be an array".into()))?
+                    .iter()
+                    .map(|t| values_array(t, "tuples[i]"))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let trust = match json.get("trust") {
+                    Some(t) => string_array(t, "trust")?,
+                    None => Vec::new(),
+                };
+                Request::Clean { tuples, trust }
+            }
+            "regions" => Request::Regions {
+                top_k: match json.get("top_k") {
+                    Some(k) => Some(
+                        k.as_u64()
+                            .ok_or_else(|| WireError("`top_k` must be an integer".into()))?
+                            as usize,
+                    ),
+                    None => None,
+                },
+            },
+            "check" => Request::Check {
+                mode: json.get("mode").and_then(Json::as_str).map(str::to_string),
+            },
+            "metrics" => Request::Metrics,
+            "shutdown" => Request::Shutdown,
+            other => return Err(WireError(format!("unknown op `{other}`"))),
+        })
+    }
+
+    /// Encode for the wire (used by clients).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![("op".into(), Json::str(self.op()))];
+        match self {
+            Request::Hello | Request::Metrics | Request::Shutdown => {}
+            Request::SessionCreate { tuple } => {
+                fields.push((
+                    "tuple".into(),
+                    Json::Arr(tuple.iter().map(Json::from_value).collect()),
+                ));
+            }
+            Request::SessionGet { session }
+            | Request::SessionFix { session }
+            | Request::SessionCommit { session }
+            | Request::SessionAbort { session } => {
+                fields.push(("session".into(), Json::Num(*session as f64)));
+            }
+            Request::SessionValidate {
+                session,
+                validations,
+            } => {
+                fields.push(("session".into(), Json::Num(*session as f64)));
+                fields.push((
+                    "validations".into(),
+                    Json::Obj(
+                        validations
+                            .iter()
+                            .map(|(name, value)| (name.clone(), Json::from_value(value)))
+                            .collect(),
+                    ),
+                ));
+            }
+            Request::Clean { tuples, trust } => {
+                fields.push((
+                    "tuples".into(),
+                    Json::Arr(
+                        tuples
+                            .iter()
+                            .map(|t| Json::Arr(t.iter().map(Json::from_value).collect()))
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "trust".into(),
+                    Json::Arr(trust.iter().map(|s| Json::str(s.clone())).collect()),
+                ));
+            }
+            Request::Regions { top_k } => {
+                if let Some(k) = top_k {
+                    fields.push(("top_k".into(), Json::Num(*k as f64)));
+                }
+            }
+            Request::Check { mode } => {
+                if let Some(mode) = mode {
+                    fields.push(("mode".into(), Json::str(mode.clone())));
+                }
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: Request) {
+        let line = request.to_json().render();
+        assert_eq!(Request::parse_line(&line).unwrap(), request, "{line}");
+    }
+
+    #[test]
+    fn all_ops_round_trip() {
+        round_trip(Request::Hello);
+        round_trip(Request::SessionCreate {
+            tuple: vec![
+                Value::str("a"),
+                Value::Null,
+                Value::Int(3),
+                Value::Bool(true),
+            ],
+        });
+        round_trip(Request::SessionGet { session: 7 });
+        round_trip(Request::SessionValidate {
+            session: 7,
+            validations: vec![("zip".into(), Value::str("EH8 4AH"))],
+        });
+        round_trip(Request::SessionFix { session: 7 });
+        round_trip(Request::SessionCommit { session: 9 });
+        round_trip(Request::SessionAbort { session: 9 });
+        round_trip(Request::Clean {
+            tuples: vec![vec![Value::str("x")], vec![Value::str("y")]],
+            trust: vec!["key".into()],
+        });
+        round_trip(Request::Regions { top_k: Some(4) });
+        round_trip(Request::Regions { top_k: None });
+        round_trip(Request::Check {
+            mode: Some("strict".into()),
+        });
+        round_trip(Request::Check { mode: None });
+        round_trip(Request::Metrics);
+        round_trip(Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"session.get"}"#,
+            r#"{"op":"session.get","session":-1}"#,
+            r#"{"op":"session.create"}"#,
+            r#"{"op":"session.create","tuple":"no"}"#,
+            r#"{"op":"session.validate","session":1,"validations":[1]}"#,
+            r#"{"op":"clean","tuples":[{"a":1}]}"#,
+            r#"{"op":"regions","top_k":"many"}"#,
+            "not json",
+        ] {
+            assert!(Request::parse_line(line).is_err(), "{line} should fail");
+        }
+    }
+
+    #[test]
+    fn clean_without_trust_defaults_empty() {
+        let parsed = Request::parse_line(r#"{"op":"clean","tuples":[]}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Clean {
+                tuples: vec![],
+                trust: vec![]
+            }
+        );
+    }
+}

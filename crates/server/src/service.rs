@@ -1,0 +1,688 @@
+//! The cleaning service: shared state + request dispatch.
+//!
+//! A [`CleaningService`] is the long-lived, shared, concurrent front end
+//! over the core [`DataMonitor`]: one immutable `Arc<MasterData>` +
+//! `Arc<RuleSet>` pair serves every session (the demo's "master database
+//! shared by many clerks"), a [`SessionManager`] tracks in-flight
+//! interactive sessions with idle eviction, a [`WorkerPool`] fans batch
+//! `clean` requests across workers, and an [`AnalysisCache`] memoizes
+//! region searches and consistency verdicts per rule set.
+//!
+//! The service is transport-agnostic: [`CleaningService::handle`] maps a
+//! typed [`Request`] to a JSON response, and
+//! [`CleaningService::handle_line`] wraps that in wire parsing — the TCP
+//! server and the in-process client both speak through it, so tests
+//! exercise the exact production code path without sockets.
+
+use crate::cache::{ruleset_fingerprint, AnalysisCache};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{Request, PROTOCOL_VERSION};
+use crate::session::{SessionError, SessionManager};
+use crate::wire::Json;
+use cerfix::{
+    check_consistency, find_regions, ConsistencyOptions, DataMonitor, FixpointReport, MasterData,
+    MonitorSession, Region, RegionFinderOptions, SessionStatus, WorkerPool,
+};
+use cerfix_relation::{SchemaRef, Tuple, Value};
+use cerfix_rules::RuleSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for a [`CleaningService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the batch pool.
+    pub workers: usize,
+    /// Idle time after which a session may be evicted.
+    pub session_ttl: Duration,
+    /// Maximum live sessions.
+    pub max_sessions: usize,
+    /// Default k for region requests and monitor suggestions.
+    pub region_top_k: usize,
+    /// Pre-compute regions at startup (first sessions then start warm,
+    /// matching the demo's "pre-computed to reduce the cost").
+    pub precompute_regions: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            session_ttl: Duration::from_secs(15 * 60),
+            max_sessions: 10_000,
+            region_top_k: 8,
+            precompute_regions: true,
+        }
+    }
+}
+
+struct ServiceInner {
+    master: Arc<MasterData>,
+    rules: Arc<RuleSet>,
+    /// Pre-computed certain regions handed to every monitor (shared:
+    /// each monitor construction is a refcount bump, not a deep clone).
+    regions: std::sync::Arc<[Region]>,
+    fingerprint: u64,
+    pool: WorkerPool,
+    sessions: SessionManager,
+    cache: AnalysisCache,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+}
+
+/// The concurrent multi-session cleaning service. Cheap to clone (an
+/// `Arc` handle); all clones share sessions, cache, pool and metrics.
+#[derive(Clone)]
+pub struct CleaningService {
+    inner: Arc<ServiceInner>,
+}
+
+impl std::fmt::Debug for CleaningService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleaningService")
+            .field("rules", &self.inner.rules.len())
+            .field("master_rows", &self.inner.master.len())
+            .field("workers", &self.inner.pool.threads())
+            .field("live_sessions", &self.inner.sessions.len())
+            .finish()
+    }
+}
+
+impl CleaningService {
+    /// Build a service over shared master data and rules.
+    pub fn new(
+        master: Arc<MasterData>,
+        rules: Arc<RuleSet>,
+        config: ServiceConfig,
+    ) -> CleaningService {
+        master.warm_indexes(rules.iter().map(|(_, r)| r));
+        let fingerprint = ruleset_fingerprint(&rules);
+        let cache = AnalysisCache::new();
+        let metrics = ServiceMetrics::new();
+        let regions = if config.precompute_regions {
+            let universe = universe_from_master(rules.input_schema(), &master);
+            let (result, _) = cache.regions(fingerprint, config.region_top_k, &metrics, || {
+                find_regions(
+                    &rules,
+                    &master,
+                    &universe,
+                    &RegionFinderOptions {
+                        top_k: config.region_top_k,
+                        ..Default::default()
+                    },
+                )
+            });
+            result.regions.clone()
+        } else {
+            Vec::new()
+        };
+        let regions: std::sync::Arc<[Region]> = regions.into();
+        CleaningService {
+            inner: Arc::new(ServiceInner {
+                pool: WorkerPool::new(config.workers),
+                sessions: SessionManager::new(config.session_ttl, config.max_sessions),
+                fingerprint,
+                cache,
+                metrics,
+                regions,
+                master,
+                rules,
+                config,
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The service's input schema (what session tuples must match).
+    pub fn input_schema(&self) -> &SchemaRef {
+        self.inner.rules.input_schema()
+    }
+
+    /// Live session count.
+    pub fn live_sessions(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// Worker threads in the batch pool.
+    pub fn workers(&self) -> usize {
+        self.inner.pool.threads()
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// True once a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Evict idle sessions now; returns how many were reaped. The TCP
+    /// server calls this periodically; embedders with their own runtime
+    /// can too.
+    pub fn sweep_idle_sessions(&self) -> usize {
+        let evicted = self.inner.sessions.evict_idle();
+        if evicted > 0 {
+            self.inner.metrics.sessions_evicted(evicted as u64);
+        }
+        evicted
+    }
+
+    fn monitor(&self) -> DataMonitor<'_> {
+        DataMonitor::new(&self.inner.rules, &self.inner.master)
+            .with_shared_regions(std::sync::Arc::clone(&self.inner.regions))
+    }
+
+    /// Handle one wire line: parse, dispatch, render. Never panics on
+    /// malformed input — errors come back as `{"ok":false,...}` lines.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Request::parse_line(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => {
+                self.inner.metrics.request();
+                self.error(e.to_string())
+            }
+        };
+        response.render()
+    }
+
+    /// Dispatch one typed request.
+    pub fn handle(&self, request: &Request) -> Json {
+        self.inner.metrics.request();
+        let result = match request {
+            Request::Hello => Ok(self.hello()),
+            Request::SessionCreate { tuple } => self.session_create(tuple),
+            Request::SessionGet { session } => self.session_get(*session),
+            Request::SessionValidate {
+                session,
+                validations,
+            } => self.session_validate(*session, validations),
+            Request::SessionFix { session } => self.session_validate(*session, &[]),
+            Request::SessionCommit { session } => self.session_commit(*session),
+            Request::SessionAbort { session } => self.session_abort(*session),
+            Request::Clean { tuples, trust } => self.clean_batch(tuples.clone(), trust),
+            Request::Regions { top_k } => Ok(self.regions(*top_k)),
+            Request::Check { mode } => self.check(mode.as_deref()),
+            Request::Metrics => Ok(self.metrics_response()),
+            Request::Shutdown => {
+                self.inner.shutdown.store(true, Ordering::Release);
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("stopping", Json::Bool(true)),
+                ]))
+            }
+        };
+        result.unwrap_or_else(|message| self.error(message))
+    }
+
+    fn error(&self, message: String) -> Json {
+        self.inner.metrics.error();
+        Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message))])
+    }
+
+    fn hello(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("service", Json::str("cerfix-server")),
+            ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+            ("workers", Json::Num(self.workers() as f64)),
+            ("rules", Json::Num(self.inner.rules.len() as f64)),
+            ("master_rows", Json::Num(self.inner.master.len() as f64)),
+            ("input_arity", Json::Num(self.input_schema().arity() as f64)),
+            (
+                "attributes",
+                Json::Arr(
+                    self.input_schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| Json::str(a.name()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn session_create(&self, values: &[Value]) -> Result<Json, String> {
+        let schema = self.input_schema().clone();
+        if values.len() != schema.arity() {
+            return Err(format!(
+                "tuple has {} values but schema `{}` has arity {}",
+                values.len(),
+                schema.name(),
+                schema.arity()
+            ));
+        }
+        let tuple = Tuple::new(schema, values.to_vec()).map_err(|e| e.to_string())?;
+        let id = self
+            .inner
+            .sessions
+            .create(MonitorSession::new(0, tuple))
+            .map_err(|e| e.to_string())?;
+        self.inner.metrics.session_created();
+        // The monitor uses tuple_id for audit attribution; align it with
+        // the server-assigned id.
+        self.with_monitor_session(id, |_, session| {
+            session.tuple_id = id as usize;
+        })?;
+        self.session_view(id, None)
+    }
+
+    fn with_monitor_session<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&DataMonitor<'_>, &mut MonitorSession) -> R,
+    ) -> Result<R, String> {
+        let monitor = self.monitor();
+        self.inner
+            .sessions
+            .with_session(id, |session| f(&monitor, session))
+            .map_err(|e: SessionError| e.to_string())
+    }
+
+    /// The common session snapshot, with optional fixpoint-report extras.
+    fn session_view(&self, id: u64, report: Option<FixpointReport>) -> Result<Json, String> {
+        let schema = self.input_schema().clone();
+        self.with_monitor_session(id, |monitor, session| {
+            let status = monitor.status(session);
+            let mut fields: Vec<(&'static str, Json)> = vec![
+                ("ok", Json::Bool(true)),
+                ("session", Json::Num(id as f64)),
+                (
+                    "status",
+                    Json::str(match &status {
+                        SessionStatus::AwaitingUser { .. } => "awaiting_user",
+                        SessionStatus::Complete => "complete",
+                        SessionStatus::Stuck { .. } => "stuck",
+                    }),
+                ),
+                (
+                    "tuple",
+                    Json::Arr(
+                        session
+                            .tuple
+                            .values()
+                            .iter()
+                            .map(Json::from_value)
+                            .collect(),
+                    ),
+                ),
+                ("rounds", Json::Num(session.rounds as f64)),
+                (
+                    "validated",
+                    Json::Arr(
+                        session
+                            .validated
+                            .iter()
+                            .map(|&a| Json::str(schema.attr_name(a)))
+                            .collect(),
+                    ),
+                ),
+            ];
+            match status {
+                SessionStatus::AwaitingUser { suggestion } => fields.push((
+                    "suggestion",
+                    Json::Arr(
+                        suggestion
+                            .iter()
+                            .map(|&a| Json::str(schema.attr_name(a)))
+                            .collect(),
+                    ),
+                )),
+                SessionStatus::Stuck { unvalidated } => fields.push((
+                    "unvalidated",
+                    Json::Arr(
+                        unvalidated
+                            .iter()
+                            .map(|&a| Json::str(schema.attr_name(a)))
+                            .collect(),
+                    ),
+                )),
+                SessionStatus::Complete => {}
+            }
+            if let Some(report) = report {
+                fields.push((
+                    "fixes",
+                    Json::Arr(
+                        report
+                            .fixes
+                            .iter()
+                            .map(|fix| {
+                                Json::obj([
+                                    ("attr", Json::str(schema.attr_name(fix.attr))),
+                                    ("old", Json::from_value(&fix.old)),
+                                    ("new", Json::from_value(&fix.new)),
+                                    ("rule", Json::Num(fix.rule as f64)),
+                                    ("master_row", Json::Num(fix.master_row as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "newly_validated",
+                    Json::Arr(
+                        report
+                            .newly_validated
+                            .iter()
+                            .map(|&a| Json::str(schema.attr_name(a)))
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        })
+    }
+
+    fn session_get(&self, id: u64) -> Result<Json, String> {
+        self.session_view(id, None)
+    }
+
+    fn resolve_attr(&self, name: &str) -> Result<usize, String> {
+        let schema = self.input_schema();
+        if let Some(id) = schema.attr_id(name) {
+            return Ok(id);
+        }
+        // Tolerate numeric attribute ids sent as strings.
+        if let Ok(id) = name.parse::<usize>() {
+            if id < schema.arity() {
+                return Ok(id);
+            }
+        }
+        Err(format!(
+            "unknown attribute `{name}` (schema `{}`)",
+            schema.name()
+        ))
+    }
+
+    fn session_validate(&self, id: u64, validations: &[(String, Value)]) -> Result<Json, String> {
+        let resolved: Vec<(usize, Value)> = validations
+            .iter()
+            .map(|(name, value)| Ok((self.resolve_attr(name)?, value.clone())))
+            .collect::<Result<_, String>>()?;
+        let report = self
+            .with_monitor_session(id, |monitor, session| {
+                monitor.apply_validation(session, &resolved)
+            })?
+            .map_err(|e| e.to_string())?;
+        self.inner.metrics.cells_fixed(report.fixes.len() as u64);
+        self.session_view(id, Some(report))
+    }
+
+    fn session_commit(&self, id: u64) -> Result<Json, String> {
+        let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+        self.inner.metrics.session_committed();
+        let schema = self.input_schema();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::Num(id as f64)),
+            ("complete", Json::Bool(session.is_complete())),
+            (
+                "tuple",
+                Json::Arr(
+                    session
+                        .tuple
+                        .values()
+                        .iter()
+                        .map(Json::from_value)
+                        .collect(),
+                ),
+            ),
+            ("rounds", Json::Num(session.rounds as f64)),
+            (
+                "user_validated",
+                Json::Num(session.user_validated.len() as f64),
+            ),
+            (
+                "auto_validated",
+                Json::Num(session.auto_validated.len() as f64),
+            ),
+            (
+                "validated",
+                Json::Arr(
+                    session
+                        .validated
+                        .iter()
+                        .map(|&a| Json::str(schema.attr_name(a)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn session_abort(&self, id: u64) -> Result<Json, String> {
+        self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+        self.inner.metrics.session_aborted();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::Num(id as f64)),
+        ]))
+    }
+
+    /// Batch clean: each tuple gets its `trust` columns validated as-is,
+    /// then the correcting process runs to its fixpoint. Tuples fan out
+    /// across the worker pool; outcomes return in input order.
+    fn clean_batch(&self, tuples: Vec<Vec<Value>>, trust: &[String]) -> Result<Json, String> {
+        let schema = self.input_schema().clone();
+        let trusted: Vec<usize> = trust
+            .iter()
+            .map(|name| self.resolve_attr(name))
+            .collect::<Result<_, String>>()?;
+        let n = tuples.len();
+        let inner = Arc::clone(&self.inner);
+        let trusted = Arc::new(trusted);
+        let schema_for_jobs = schema.clone();
+        let outcomes: Vec<Result<Json, String>> =
+            self.inner.pool.map_ordered(tuples, move |idx, values| {
+                clean_one(&inner, &schema_for_jobs, &trusted, idx, values)
+            });
+        let mut rendered = Vec::with_capacity(n);
+        let mut complete = 0u64;
+        let mut cells_fixed = 0u64;
+        for outcome in outcomes {
+            let json = outcome?;
+            if json.get("complete").and_then(Json::as_bool) == Some(true) {
+                complete += 1;
+            }
+            cells_fixed += json.get("cells_fixed").and_then(Json::as_u64).unwrap_or(0);
+            rendered.push(json);
+        }
+        self.inner.metrics.tuples_cleaned(n as u64);
+        self.inner.metrics.cells_fixed(cells_fixed);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("count", Json::Num(n as f64)),
+            ("complete", Json::Num(complete as f64)),
+            ("cells_fixed", Json::Num(cells_fixed as f64)),
+            ("outcomes", Json::Arr(rendered)),
+        ]))
+    }
+
+    fn regions(&self, top_k: Option<usize>) -> Json {
+        let top_k = top_k.unwrap_or(self.inner.config.region_top_k);
+        let inner = &self.inner;
+        let (result, cached) =
+            inner
+                .cache
+                .regions(inner.fingerprint, top_k, &inner.metrics, || {
+                    // Materializing the truth universe copies every
+                    // master row — only pay that on a cache miss.
+                    let universe = universe_from_master(inner.rules.input_schema(), &inner.master);
+                    find_regions(
+                        &inner.rules,
+                        &inner.master,
+                        &universe,
+                        &RegionFinderOptions {
+                            top_k,
+                            ..Default::default()
+                        },
+                    )
+                });
+        let schema = self.input_schema();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(cached)),
+            ("top_k", Json::Num(top_k as f64)),
+            (
+                "regions",
+                Json::Arr(
+                    result
+                        .regions
+                        .iter()
+                        .map(|region| {
+                            Json::obj([
+                                (
+                                    "attrs",
+                                    Json::Arr(
+                                        region
+                                            .attrs()
+                                            .iter()
+                                            .map(|&a| Json::str(schema.attr_name(a)))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("size", Json::Num(region.size() as f64)),
+                                ("contexts", Json::Num(region.tableau().len() as f64)),
+                                ("rendered", Json::str(region.render(schema))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("candidates", Json::Num(result.stats.candidates as f64)),
+        ])
+    }
+
+    fn check(&self, mode: Option<&str>) -> Result<Json, String> {
+        let (mode, options) = match mode.unwrap_or("strict") {
+            "strict" => ("strict", ConsistencyOptions::default()),
+            "entity-coherent" => ("entity-coherent", ConsistencyOptions::entity_coherent()),
+            other => return Err(format!("unknown mode `{other}` (strict | entity-coherent)")),
+        };
+        let inner = &self.inner;
+        let (report, cached) =
+            inner
+                .cache
+                .consistency(inner.fingerprint, mode, &inner.metrics, || {
+                    check_consistency(&inner.rules, &inner.master, &options)
+                });
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(cached)),
+            ("mode", Json::str(mode)),
+            ("consistent", Json::Bool(report.is_consistent())),
+            ("conflicts", Json::Num(report.conflicts.len() as f64)),
+            ("ambiguities", Json::Num(report.ambiguities.len() as f64)),
+            ("budget_exhausted", Json::Bool(report.budget_exhausted)),
+        ]))
+    }
+
+    fn metrics_response(&self) -> Json {
+        let snapshot = self.inner.metrics.snapshot();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("uptime_secs", Json::Num(snapshot.uptime_secs as f64)),
+            ("requests", Json::Num(snapshot.requests as f64)),
+            ("errors", Json::Num(snapshot.errors as f64)),
+            (
+                "sessions_created",
+                Json::Num(snapshot.sessions_created as f64),
+            ),
+            (
+                "sessions_committed",
+                Json::Num(snapshot.sessions_committed as f64),
+            ),
+            (
+                "sessions_aborted",
+                Json::Num(snapshot.sessions_aborted as f64),
+            ),
+            (
+                "sessions_evicted",
+                Json::Num(snapshot.sessions_evicted as f64),
+            ),
+            ("live_sessions", Json::Num(self.live_sessions() as f64)),
+            ("tuples_cleaned", Json::Num(snapshot.tuples_cleaned as f64)),
+            ("cells_fixed", Json::Num(snapshot.cells_fixed as f64)),
+            ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
+            ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
+            ("workers", Json::Num(self.workers() as f64)),
+        ])
+    }
+}
+
+/// One batch-clean job, run on a pool worker.
+fn clean_one(
+    inner: &Arc<ServiceInner>,
+    schema: &SchemaRef,
+    trusted: &[usize],
+    idx: usize,
+    values: Vec<Value>,
+) -> Result<Json, String> {
+    if values.len() != schema.arity() {
+        return Err(format!(
+            "tuple {idx} has {} values but schema `{}` has arity {}",
+            values.len(),
+            schema.name(),
+            schema.arity()
+        ));
+    }
+    let tuple = Tuple::new(schema.clone(), values).map_err(|e| e.to_string())?;
+    let monitor = DataMonitor::new(&inner.rules, &inner.master)
+        .with_shared_regions(std::sync::Arc::clone(&inner.regions));
+    let mut session = monitor.start(idx, tuple);
+    let validations: Vec<(usize, Value)> = trusted
+        .iter()
+        .filter_map(|&a| {
+            let v = session.tuple.get(a);
+            (!v.is_null()).then(|| (a, v.clone()))
+        })
+        .collect();
+    let report = monitor
+        .apply_validation(&mut session, &validations)
+        .map_err(|e| e.to_string())?;
+    Ok(Json::obj([
+        ("index", Json::Num(idx as f64)),
+        ("complete", Json::Bool(session.is_complete())),
+        ("cells_fixed", Json::Num(report.fixes.len() as f64)),
+        ("validated", Json::Num(session.validated.len() as f64)),
+        (
+            "tuple",
+            Json::Arr(
+                session
+                    .tuple
+                    .values()
+                    .iter()
+                    .map(Json::from_value)
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+/// Master rows reinterpreted over the input schema (by attribute name) —
+/// the truth universe for region certification, mirroring the CLI.
+pub(crate) fn universe_from_master(input: &SchemaRef, master: &MasterData) -> Vec<Tuple> {
+    let mapping: Vec<Option<usize>> = input
+        .attributes()
+        .iter()
+        .map(|a| master.schema().attr_id(a.name()))
+        .collect();
+    master
+        .relation()
+        .iter()
+        .map(|(_, s)| {
+            let values: Vec<Value> = mapping
+                .iter()
+                .map(|m| m.map(|id| s.get(id).clone()).unwrap_or(Value::Null))
+                .collect();
+            Tuple::new(input.clone(), values).expect("string schema accepts all values")
+        })
+        .collect()
+}

@@ -1,0 +1,229 @@
+//! Server-side session registry.
+//!
+//! Each client session wraps one [`MonitorSession`] (the core monitor's
+//! per-tuple state) with a server id and an idle clock. The registry is
+//! a two-level lock: the map itself is held only to look up / insert /
+//! remove, while per-session work (validation, fixpoint runs) happens
+//! under that session's own mutex — so concurrent clients on different
+//! sessions never serialize behind each other's rule engine runs.
+
+use cerfix::MonitorSession;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A registered session: monitor state plus its idle clock.
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// The core monitor session (tuple, validated sets, round count).
+    pub session: MonitorSession,
+    /// Last time a client touched this session.
+    pub last_touched: Instant,
+}
+
+/// Why a session lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No such id (never existed, committed, aborted, or evicted).
+    NotFound(u64),
+    /// The registry is at capacity.
+    Full {
+        /// The configured capacity that was hit.
+        max_sessions: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NotFound(id) => write!(
+                f,
+                "unknown session {id} (expired, finished, or never created)"
+            ),
+            SessionError::Full { max_sessions } => {
+                write!(f, "session registry full ({max_sessions} live sessions)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The concurrent session registry with idle eviction.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionEntry>>>>,
+    next_id: AtomicU64,
+    idle_ttl: Duration,
+    max_sessions: usize,
+}
+
+impl SessionManager {
+    /// A registry evicting sessions idle for `idle_ttl`, holding at most
+    /// `max_sessions` live sessions.
+    pub fn new(idle_ttl: Duration, max_sessions: usize) -> SessionManager {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            idle_ttl,
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        lock(&self.sessions).len()
+    }
+
+    /// True iff no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Register `session` and return its server id. Runs an eviction
+    /// sweep first when at capacity.
+    pub fn create(&self, session: MonitorSession) -> Result<u64, SessionError> {
+        if self.len() >= self.max_sessions {
+            self.evict_idle();
+        }
+        let mut map = lock(&self.sessions);
+        if map.len() >= self.max_sessions {
+            return Err(SessionError::Full {
+                max_sessions: self.max_sessions,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        map.insert(
+            id,
+            Arc::new(Mutex::new(SessionEntry {
+                session,
+                last_touched: Instant::now(),
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Run `f` on the session, touching its idle clock. The map lock is
+    /// released before `f` runs; only that session's lock is held.
+    pub fn with_session<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut MonitorSession) -> R,
+    ) -> Result<R, SessionError> {
+        let entry = lock(&self.sessions)
+            .get(&id)
+            .cloned()
+            .ok_or(SessionError::NotFound(id))?;
+        let mut guard = lock(&entry);
+        guard.last_touched = Instant::now();
+        Ok(f(&mut guard.session))
+    }
+
+    /// Remove the session, returning its final state (commit/abort).
+    pub fn remove(&self, id: u64) -> Result<MonitorSession, SessionError> {
+        let entry = lock(&self.sessions)
+            .remove(&id)
+            .ok_or(SessionError::NotFound(id))?;
+        // The Arc may still be briefly held by a concurrent `with_session`
+        // caller; wait for it by locking, then move the state out.
+        let guard = lock(&entry);
+        Ok(guard.session.clone())
+    }
+
+    /// Evict sessions idle longer than the TTL; returns how many.
+    pub fn evict_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut map = lock(&self.sessions);
+        let before = map.len();
+        map.retain(|_, entry| {
+            // Skip (keep) sessions currently being operated on.
+            match entry.try_lock() {
+                Ok(guard) => now.duration_since(guard.last_touched) < self.idle_ttl,
+                Err(_) => true,
+            }
+        });
+        before - map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{Schema, Tuple};
+
+    fn mk_session(id: usize) -> MonitorSession {
+        let schema = Schema::of_strings("t", ["a", "b"]).unwrap();
+        MonitorSession::new(id, Tuple::of_strings(schema, ["1", "2"]).unwrap())
+    }
+
+    #[test]
+    fn create_use_remove() {
+        let mgr = SessionManager::new(Duration::from_secs(60), 16);
+        let id = mgr.create(mk_session(0)).unwrap();
+        assert_eq!(mgr.len(), 1);
+        let arity = mgr.with_session(id, |s| s.tuple.arity()).unwrap();
+        assert_eq!(arity, 2);
+        let session = mgr.remove(id).unwrap();
+        assert_eq!(session.tuple_id, 0);
+        assert!(mgr.is_empty());
+        assert_eq!(
+            mgr.with_session(id, |_| ()),
+            Err(SessionError::NotFound(id))
+        );
+        assert!(matches!(mgr.remove(id), Err(SessionError::NotFound(_))));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mgr = SessionManager::new(Duration::from_secs(60), 64);
+        let ids: std::collections::BTreeSet<u64> = (0..32)
+            .map(|i| mgr.create(mk_session(i)).unwrap())
+            .collect();
+        assert_eq!(ids.len(), 32);
+    }
+
+    #[test]
+    fn idle_eviction() {
+        let mgr = SessionManager::new(Duration::from_millis(10), 16);
+        let id = mgr.create(mk_session(0)).unwrap();
+        assert_eq!(mgr.evict_idle(), 0, "fresh session survives");
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(mgr.evict_idle(), 1);
+        assert!(matches!(
+            mgr.with_session(id, |_| ()),
+            Err(SessionError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced_with_eviction_rescue() {
+        let mgr = SessionManager::new(Duration::from_millis(5), 2);
+        mgr.create(mk_session(0)).unwrap();
+        mgr.create(mk_session(1)).unwrap();
+        // Both fresh: third create fails.
+        assert!(matches!(
+            mgr.create(mk_session(2)),
+            Err(SessionError::Full { .. })
+        ));
+        // Once idle, capacity frees up via the create-path sweep.
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(mgr.create(mk_session(3)).is_ok());
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn touch_resets_idle_clock() {
+        let mgr = SessionManager::new(Duration::from_millis(30), 16);
+        let id = mgr.create(mk_session(0)).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(15));
+            mgr.with_session(id, |_| ()).unwrap();
+        }
+        assert_eq!(mgr.evict_idle(), 0, "kept alive by touches");
+    }
+}

@@ -1,0 +1,479 @@
+//! Dependency-free JSON: the service's wire format.
+//!
+//! One JSON value per protocol line (line-delimited JSON). The build
+//! environment is offline, so instead of serde+serde_json this is a
+//! small hand-rolled codec: a [`Json`] tree, a recursive-descent parser
+//! and a compact renderer. Numbers are kept as `f64` — integers are
+//! exact up to 2^53, far beyond any session id or attribute count the
+//! service hands out.
+
+use cerfix_relation::Value;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Wire-format failure: malformed JSON or a type mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Json {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Object constructor preserving field order.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convert a relational [`Value`] for the wire.
+    pub fn from_value(value: &Value) -> Json {
+        match value {
+            Value::Null => Json::Null,
+            Value::Str(s) => Json::Str(s.to_string()),
+            Value::Int(i) => Json::Num(*i as f64),
+            Value::Float(f) => Json::Num(*f),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+
+    /// Convert a wire value into a relational [`Value`]. Integral
+    /// numbers become `Int`, everything else maps structurally.
+    pub fn to_value(&self) -> Result<Value, WireError> {
+        Ok(match self {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Value::Int(*n as i64),
+            Json::Num(n) => Value::Float(*n),
+            Json::Str(s) => Value::str(s),
+            other => return Err(WireError(format!("cannot use {other:?} as a cell value"))),
+        })
+    }
+
+    /// Parse one JSON value from `text` (must consume the whole string
+    /// up to trailing whitespace). Nesting is capped at [`MAX_DEPTH`]
+    /// so hostile input cannot overflow the parser's stack.
+    pub fn parse(text: &str) -> Result<Json, WireError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(WireError(format!("trailing garbage at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    /// Compact single-line rendering (safe for line-delimited framing:
+    /// strings escape control characters including newlines).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_into(self, &mut out);
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), WireError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(WireError(format!("expected `{token}` at byte {}", *pos)))
+    }
+}
+
+/// Maximum container nesting [`Json::parse`] accepts. Recursion depth
+/// bounds stack use; anything legitimately deeper than this is not a
+/// protocol message.
+pub const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(WireError("unexpected end of input".into())),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(WireError(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(WireError(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&other) => Err(WireError(format!(
+            "unexpected byte {:?} at {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = bytes.get(*pos) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| WireError("invalid utf8 in number".into()))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| WireError(format!("invalid number `{text}`")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(WireError(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(WireError("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            *pos += 1;
+                            expect(bytes, pos, "\\u")
+                                .map_err(|_| WireError("lone high surrogate".into()))?;
+                            *pos -= 1; // parse_hex4 expects pos at the `u`
+                            let lo = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(WireError("invalid low surrogate".into()));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| WireError(format!("invalid codepoint {code:#x}")))?,
+                        );
+                    }
+                    _ => return Err(WireError("invalid escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| WireError("invalid utf8 in string".into()))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parse `uXXXX` with `pos` at the `u`; leaves `pos` at the final hex
+/// digit (the caller advances past it).
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    let start = *pos + 1;
+    let end = start + 4;
+    if end > bytes.len() {
+        return Err(WireError("truncated \\u escape".into()));
+    }
+    let hex = std::str::from_utf8(&bytes[start..end])
+        .map_err(|_| WireError("invalid \\u escape".into()))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| WireError("invalid \\u escape".into()))?;
+    *pos = end - 1;
+    Ok(code)
+}
+
+fn render_into(json: &Json, out: &mut String) {
+    match json {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                out.push_str(&format!("{}", *n as i64));
+            } else if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                // JSON has no Inf/NaN; null is the least-bad rendering.
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render_into(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in [
+            "null", "true", "false", "0", "-17", "3.5", "\"hi\"", "[]", "{}",
+        ] {
+            let parsed = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&parsed.render()).unwrap(), parsed, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let text =
+            r#"{"op":"clean","tuples":[["a",1,null,true],["b\n\"x\"",2.5,{},[]]],"trust":["zip"]}"#;
+        let parsed = Json::parse(text).unwrap();
+        let rendered = parsed.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+        assert!(!rendered.contains('\n'), "line-delimited framing safe");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let parsed = Json::parse(r#""a\u0041\n\t\\ \u00e9 \ud83e\udd80""#).unwrap();
+        assert_eq!(parsed, Json::Str("aA\n\t\\ é 🦀".to_string()));
+        let rendered = parsed.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn object_accessors() {
+        let json = Json::parse(r#"{"a":1,"b":"x","c":[true],"d":null}"#).unwrap();
+        assert_eq!(json.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            json.get("c").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(json.get("missing"), None);
+    }
+
+    #[test]
+    fn value_conversions() {
+        let cases = [
+            (Json::Null, Value::Null),
+            (Json::Bool(true), Value::Bool(true)),
+            (Json::Num(42.0), Value::Int(42)),
+            (Json::Num(2.5), Value::Float(2.5)),
+            (Json::str("x"), Value::str("x")),
+        ];
+        for (json, value) in cases {
+            assert_eq!(json.to_value().unwrap(), value);
+            // from_value inverts (Int renders as integral Num).
+            assert_eq!(Json::from_value(&value).to_value().unwrap(), value);
+        }
+        assert!(Json::Arr(vec![]).to_value().is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "\"",
+            "{\"a\"}",
+            "nul",
+            "1 2",
+            "{\"a\":}",
+            "\"\\u12\"",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_overflowed() {
+        // A hostile 200k-bracket line must come back as an error, not
+        // blow the connection thread's stack.
+        let hostile = "[".repeat(200_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.0.contains("nesting"), "{err}");
+        // Same guard on objects.
+        let objects = "{\"a\":".repeat(200_000);
+        assert!(Json::parse(&objects).is_err());
+        // Depth just under the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline shim for the subset of `criterion` used by the workspace
+//! benches (see `crates/shims/README.md`).
+//!
+//! Not a statistics engine: it warms up, runs timed batches for the
+//! configured measurement window, and prints mean/min wall-clock per
+//! iteration (plus element throughput when declared). The point is that
+//! `cargo bench` builds and produces comparable numbers offline, with the
+//! bench sources written against the real criterion API so swapping the
+//! true crate back in is a one-line manifest change.
+//!
+//! Set `CERFIX_BENCH_FAST=1` to cap warm-up/measurement at ~200ms each —
+//! used by CI smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Config {
+    fn effective(&self) -> Config {
+        if std::env::var_os("CERFIX_BENCH_FAST").is_some() {
+            Config {
+                sample_size: self.sample_size.min(10),
+                measurement_time: self.measurement_time.min(Duration::from_millis(200)),
+                warm_up_time: self.warm_up_time.min(Duration::from_millis(50)),
+            }
+        } else {
+            *self
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    config: Config,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, discarding its output via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let config = self.config.effective();
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let batch =
+            (Duration::from_millis(10).as_nanos() / est.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut min = Duration::MAX;
+        let deadline = Instant::now() + config.measurement_time;
+        let mut samples = 0usize;
+        while (Instant::now() < deadline && samples < 10 * config.sample_size)
+            || samples < config.sample_size.min(10)
+        {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iters += batch;
+            min = min.min(elapsed / batch as u32);
+            samples += 1;
+        }
+        *self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    config: Config,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher<'_>),
+) {
+    let mut result = None;
+    f(&mut Bencher {
+        config,
+        result: &mut result,
+    });
+    match result {
+        Some(s) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if s.mean > Duration::ZERO => {
+                    format!("  {:>12.0} elem/s", n as f64 / s.mean.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if s.mean > Duration::ZERO => {
+                    format!("  {:>12.0} B/s", n as f64 / s.mean.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{label:<48} mean {:>10}  min {:>10}  ({} iters){rate}",
+                fmt_duration(s.mean),
+                fmt_duration(s.min),
+                s.iters
+            );
+        }
+        None => println!("{label:<48} (no measurement: bencher not driven)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up window for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(self.config, &label, self.throughput, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.config, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; the shim prints
+    /// eagerly, so this only marks the boundary).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.config, name, None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            name: name.into(),
+            config,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Upstream parses CLI args here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run registered groups (no-op: groups run eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirrors `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`: a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CERFIX_BENCH_FAST", "1");
+        let config = Config {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut result = None;
+        let mut b = Bencher {
+            config,
+            result: &mut result,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        let s = result.expect("sample recorded");
+        assert!(s.iters > 0);
+        assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

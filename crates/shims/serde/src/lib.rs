@@ -1,0 +1,11 @@
+//! Offline shim for `serde` (see `crates/shims/README.md`).
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! No trait machinery is provided because nothing in this workspace
+//! serializes through serde — `cerfix-server`'s wire format is a
+//! hand-rolled JSON codec (`cerfix_server::wire`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

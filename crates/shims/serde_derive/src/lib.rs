@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim (see `crates/shims/README.md`).
+//!
+//! The workspace derives serde traits on its data types to keep the
+//! public API source-compatible with the real `serde`, but nothing in the
+//! build environment actually serializes through serde (the wire layer in
+//! `cerfix-server` is a hand-rolled JSON codec). These derives therefore
+//! expand to nothing while still accepting `#[serde(...)]` attributes.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

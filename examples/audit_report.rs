@@ -19,7 +19,9 @@ fn main() {
     let workload = make_workload(&scenario.universe, 25, &NoiseSpec::with_rate(0.4), &mut rng);
     for (idx, (dirty, truth)) in workload.dirty.iter().zip(workload.truth.iter()).enumerate() {
         let mut user = OracleUser::new(truth.clone());
-        monitor.clean(idx, dirty.clone(), &mut user).expect("consistent rules");
+        monitor
+            .clean(idx, dirty.clone(), &mut user)
+            .expect("consistent rules");
     }
 
     // --- Per-cell view: pick a tuple whose FN a rule actually changed ---

@@ -17,7 +17,12 @@ fn main() {
     let master = scenario.master_data();
 
     // Simulate a dirty batch arriving as CSV.
-    let workload = make_workload(&scenario.universe, 300, &NoiseSpec::with_rate(0.25), &mut rng);
+    let workload = make_workload(
+        &scenario.universe,
+        300,
+        &NoiseSpec::with_rate(0.25),
+        &mut rng,
+    );
     let dir = std::env::temp_dir().join("cerfix_hosp_batch");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let dirty_path = dir.join("entries_dirty.csv");

@@ -14,12 +14,16 @@ fn main() {
     // Schemas of the running example (input and master differ).
     let input = Schema::of_strings(
         "customer",
-        ["FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"],
+        [
+            "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item",
+        ],
     )
     .expect("schema");
     let master_schema = Schema::of_strings(
         "master",
-        ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender"],
+        [
+            "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DoB", "gender",
+        ],
     )
     .expect("schema");
 
@@ -27,8 +31,16 @@ fn main() {
     let master = MasterData::new(
         RelationBuilder::new(master_schema.clone())
             .row_strs([
-                "Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi",
-                "EH8 4AH", "11/11/55", "M",
+                "Robert",
+                "Brady",
+                "131",
+                "6884563",
+                "079172485",
+                "501 Elm St",
+                "Edi",
+                "EH8 4AH",
+                "11/11/55",
+                "M",
             ])
             .build()
             .expect("master data"),
@@ -37,8 +49,12 @@ fn main() {
     // Editing rule φ1: ((zip, zip) → (AC, AC), tp1 = ()) — written in the
     // rule DSL, as the rule manager would import it.
     let mut rules = RuleSet::new(input.clone(), master_schema.clone());
-    for decl in parse_rules("er phi1: match zip=zip fix AC:=AC when ()", &input, &master_schema)
-        .expect("rule parses")
+    for decl in parse_rules(
+        "er phi1: match zip=zip fix AC:=AC when ()",
+        &input,
+        &master_schema,
+    )
+    .expect("rule parses")
     {
         if let RuleDecl::Er(rule) = decl {
             rules.add(rule).expect("unique name");
@@ -48,7 +64,17 @@ fn main() {
     // Example 1's input tuple t: AC = 020 contradicts the Edinburgh zip.
     let t = Tuple::of_strings(
         input.clone(),
-        ["Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD"],
+        [
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            "2",
+            "501 Elm St",
+            "Edi",
+            "EH8 4AH",
+            "CD",
+        ],
     )
     .expect("tuple");
     println!("dirty tuple:  {t}");
@@ -72,6 +98,9 @@ fn main() {
             fix.master_row
         );
     }
-    assert_eq!(session.tuple.get_by_name("AC").expect("AC"), &Value::str("131"));
+    assert_eq!(
+        session.tuple.get_by_name("AC").expect("AC"),
+        &Value::str("131")
+    );
     println!("\nThe fix is certain: it is the true value, guaranteed by the rule\nand the master data — not a heuristic guess.");
 }

@@ -19,11 +19,12 @@ fn main() {
     let master_schema = uk::master_schema();
     let mut rng = StdRng::seed_from_u64(7);
     let master = MasterData::new(uk::generate_master(300, &mut rng));
-    let mut explorer =
-        Explorer::new(RuleSet::new(input.clone(), master_schema.clone()), master);
+    let mut explorer = Explorer::new(RuleSet::new(input.clone(), master_schema.clone()), master);
 
     // Import the nine paper rules.
-    let added = explorer.add_rules_dsl(uk::UK_RULES_DSL).expect("paper rules parse");
+    let added = explorer
+        .add_rules_dsl(uk::UK_RULES_DSL)
+        .expect("paper rules parse");
     println!("imported {added} rules:\n{}", explorer.render_rules());
 
     // The automatic consistency check after a rule change.
@@ -68,13 +69,20 @@ fn main() {
     for decl in &decls {
         match decl {
             RuleDecl::Cfd(cfd) => {
-                for rule in derive_from_cfd(cfd, &input, &master_schema, &corr).expect("derivable") {
-                    println!("  from cfd: {}", render_er_dsl(&rule, &input, &master_schema));
+                for rule in derive_from_cfd(cfd, &input, &master_schema, &corr).expect("derivable")
+                {
+                    println!(
+                        "  from cfd: {}",
+                        render_er_dsl(&rule, &input, &master_schema)
+                    );
                 }
             }
             RuleDecl::Md(md) => {
                 let rule = derive_from_md(md, &input, &master_schema).expect("exact MD");
-                println!("  from md:  {}", render_er_dsl(&rule, &input, &master_schema));
+                println!(
+                    "  from md:  {}",
+                    render_er_dsl(&rule, &input, &master_schema)
+                );
             }
             RuleDecl::Er(_) => {}
         }

@@ -26,8 +26,11 @@ fn main() {
     print!("{}", render_relation_head(&scenario.master, 4));
 
     // --- Rule engine: consistency check (Fig. 2's automatic test) --------
-    let report =
-        check_consistency(&scenario.rules, &master, &ConsistencyOptions::entity_coherent());
+    let report = check_consistency(
+        &scenario.rules,
+        &master,
+        &ConsistencyOptions::entity_coherent(),
+    );
     println!(
         "\n{} editing rules; consistent (entity-coherent): {}",
         scenario.rules.len(),
@@ -49,17 +52,31 @@ fn main() {
 
     // --- Data monitor: clean a stream of dirty entries -------------------
     let monitor = DataMonitor::new(&scenario.rules, &master).with_regions(regions);
-    let workload = make_workload(&scenario.universe, 200, &NoiseSpec::with_rate(0.3), &mut rng);
+    let workload = make_workload(
+        &scenario.universe,
+        200,
+        &NoiseSpec::with_rate(0.3),
+        &mut rng,
+    );
     let mut complete = 0;
     for (idx, (dirty, truth)) in workload.dirty.iter().zip(workload.truth.iter()).enumerate() {
         let mut user = OracleUser::new(truth.clone());
-        let outcome = monitor.clean(idx, dirty.clone(), &mut user).expect("consistent rules");
+        let outcome = monitor
+            .clean(idx, dirty.clone(), &mut user)
+            .expect("consistent rules");
         if outcome.complete {
             complete += 1;
         }
-        assert_eq!(&outcome.tuple, truth, "certain fixes equal the ground truth");
+        assert_eq!(
+            &outcome.tuple, truth,
+            "certain fixes equal the ground truth"
+        );
     }
-    println!("\ncleaned {} tuples; {} reached a certain fix", workload.len(), complete);
+    println!(
+        "\ncleaned {} tuples; {} reached a certain fix",
+        workload.len(),
+        complete
+    );
 
     // --- Data auditing (Fig. 4) -------------------------------------------
     let stats = AuditStats::from_log(monitor.audit());
@@ -80,6 +97,9 @@ fn main() {
         .iter()
         .find(|r| r.event.changed_value() && !r.event.is_user())
     {
-        println!("\nexample FN provenance (tuple {}): {:?}", record.tuple_id, record.event);
+        println!(
+            "\nexample FN provenance (tuple {}): {:?}",
+            record.tuple_id, record.event
+        );
     }
 }

@@ -9,6 +9,8 @@
 //! cerfix clean   --master M.csv --rules R.dsl --input D.csv --output OUT.csv \
 //!                --trust col1,col2[,...]
 //! cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]
+//! cerfix serve   --master M.csv --rules R.dsl [--addr 127.0.0.1:7117] \
+//!                [--workers N] [--input-header a,b,c] [--session-ttl-secs S]
 //! ```
 //!
 //! * `check` parses the rules and runs the consistency analysis in both
@@ -21,6 +23,9 @@
 //!   with a per-column audit summary.
 //! * `discover` mines single-LHS FDs from the master data and prints the
 //!   editing rules they compile to.
+//! * `serve` runs the concurrent multi-session cleaning service
+//!   (`cerfix-server`): line-delimited JSON over TCP, many clerks
+//!   against one master database — the demo's deployment shape.
 //!
 //! Schemas: the master schema comes from the master CSV header; the
 //! input schema from `--input-header` (or the input CSV's header for
@@ -34,6 +39,7 @@ use cerfix_relation::{
     read_untyped_str, write_relation_file, Relation, Schema, SchemaRef, Tuple, Value,
 };
 use cerfix_rules::{discover_rules, parse_rules, render_er_dsl, RuleDecl, RuleSet};
+use cerfix_server::{CleaningService, Server, ServiceConfig};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -70,7 +76,9 @@ fn usage() -> ExitCode {
         "usage:\n  cerfix check    --master M.csv --rules R.dsl [--input-header a,b,c]\n  \
          cerfix regions  --master M.csv --rules R.dsl [--input-header a,b,c] [--top-k N]\n  \
          cerfix clean    --master M.csv --rules R.dsl --input D.csv --output OUT.csv --trust cols\n  \
-         cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]"
+         cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]\n  \
+         cerfix serve    --master M.csv --rules R.dsl [--addr 127.0.0.1:7117] [--workers N]\n  \
+                          [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]"
     );
     ExitCode::from(2)
 }
@@ -87,8 +95,12 @@ fn input_schema_from(args: &Args, master: &Relation) -> Result<SchemaRef, String
             .map_err(|e| format!("--input-header: {e}")),
         None => {
             // Default: same columns as master (shared-schema deployments).
-            let names: Vec<String> =
-                master.schema().attributes().iter().map(|a| a.name().to_string()).collect();
+            let names: Vec<String> = master
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| a.name().to_string())
+                .collect();
             Schema::of_strings("input", names).map_err(|e| e.to_string())
         }
     }
@@ -147,10 +159,18 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         let report = check_consistency(&rules, &master, &options);
         println!(
             "{mode}: {} ({} conflicts, {} ambiguous keys{})",
-            if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" },
+            if report.is_consistent() {
+                "CONSISTENT"
+            } else {
+                "INCONSISTENT"
+            },
             report.conflicts.len(),
             report.ambiguities.len(),
-            if report.budget_exhausted { ", budget exhausted" } else { "" }
+            if report.budget_exhausted {
+                ", budget exhausted"
+            } else {
+                ""
+            }
         );
         for conflict in report.conflicts.iter().take(4) {
             println!("  {conflict:?}");
@@ -175,7 +195,10 @@ fn cmd_regions(args: &Args) -> Result<(), String> {
         &rules,
         &master,
         &universe,
-        &RegionFinderOptions { top_k, ..Default::default() },
+        &RegionFinderOptions {
+            top_k,
+            ..Default::default()
+        },
     );
     println!(
         "{} regions ({} candidates, {} rejected by certification, {} vacuous)",
@@ -193,11 +216,15 @@ fn cmd_regions(args: &Args) -> Result<(), String> {
 fn cmd_clean(args: &Args) -> Result<(), String> {
     let master_rel = load_master(args)?;
     let input_path = args.options.get("input").ok_or("missing --input")?;
-    let text = std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
     let dirty = read_untyped_str("input", &text).map_err(|e| e.to_string())?;
     let input = dirty.schema().clone();
     let rules = load_rules(args, &input, master_rel.schema())?;
-    let trust = args.options.get("trust").ok_or("missing --trust (validated columns)")?;
+    let trust = args
+        .options
+        .get("trust")
+        .ok_or("missing --trust (validated columns)")?;
     let trusted: Vec<usize> = trust
         .split(',')
         .map(|name| {
@@ -254,14 +281,19 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
         .transpose()?
         .unwrap_or(8);
     let master_schema = master_rel.schema().clone();
-    let discovered = discover_rules(&input, &master_schema, &master_rel, min_keys)
-        .map_err(|e| e.to_string())?;
+    let discovered =
+        discover_rules(&input, &master_schema, &master_rel, min_keys).map_err(|e| e.to_string())?;
     // Tolerate a closed pipe (`cerfix discover | head`): stop printing
     // instead of panicking.
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let _ = writeln!(out, "# {} rules discovered (min {} distinct keys)", discovered.len(), min_keys);
+    let _ = writeln!(
+        out,
+        "# {} rules discovered (min {} distinct keys)",
+        discovered.len(),
+        min_keys
+    );
     for dr in &discovered {
         if writeln!(
             out,
@@ -279,13 +311,76 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_option<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
+    match args.options.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let master_rel = load_master(args)?;
+    let input = input_schema_from(args, &master_rel)?;
+    let rules = load_rules(args, &input, master_rel.schema())?;
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: parse_option(args, "workers", defaults.workers)?,
+        session_ttl: std::time::Duration::from_secs(parse_option(
+            args,
+            "session-ttl-secs",
+            defaults.session_ttl.as_secs(),
+        )?),
+        max_sessions: parse_option(args, "max-sessions", defaults.max_sessions)?,
+        region_top_k: parse_option(args, "top-k", defaults.region_top_k)?,
+        precompute_regions: true,
+    };
+    let report = check_consistency(
+        &rules,
+        &MasterData::new(master_rel.clone()),
+        &ConsistencyOptions::entity_coherent(),
+    );
+    if !report.is_consistent() {
+        eprintln!(
+            "warning: rule set is not entity-coherent ({} conflicts, {} ambiguous keys) — \
+             serving anyway; conflicting fixes surface as session errors",
+            report.conflicts.len(),
+            report.ambiguities.len()
+        );
+    }
+    let workers = config.workers;
+    let n_rules = rules.len();
+    let n_master = master_rel.len();
+    let service = CleaningService::new(
+        std::sync::Arc::new(MasterData::new(master_rel)),
+        std::sync::Arc::new(rules),
+        config,
+    );
+    let server = Server::bind(addr.as_str(), service).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "cerfix-server listening on {} ({n_rules} rules, {n_master} master rows, {workers} workers)",
+        server.local_addr().map_err(|e| e.to_string())?,
+    );
+    println!("protocol: one JSON object per line; try {{\"op\":\"hello\"}}");
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
 fn main() -> ExitCode {
-    let Some(args) = parse_args() else { return usage() };
+    let Some(args) = parse_args() else {
+        return usage();
+    };
     let result = match args.command.as_str() {
         "check" => cmd_check(&args),
         "regions" => cmd_regions(&args),
         "clean" => cmd_clean(&args),
         "discover" => cmd_discover(&args),
+        "serve" => cmd_serve(&args),
         _ => return usage(),
     };
     match result {

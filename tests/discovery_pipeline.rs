@@ -33,7 +33,10 @@ fn discovered_uk_rules_pass_all_gates() {
     assert!(names.contains(&"auto_zip_city#0"), "{names:?}");
     assert!(names.contains(&"auto_zip_AC#0"));
     assert!(names.contains(&"auto_AC_city#0"));
-    assert!(!names.iter().any(|n| n.contains("phn")), "no phone correspondence by name");
+    assert!(
+        !names.iter().any(|n| n.contains("phn")),
+        "no phone correspondence by name"
+    );
 
     let mut rules = RuleSet::new(scenario.input.clone(), scenario.master_schema.clone());
     for d in &discovered {
@@ -46,9 +49,13 @@ fn discovered_uk_rules_pass_all_gates() {
 
     // Gate 2: certified regions exist; discovered rules are not type-gated
     // so the minimal region's tableau covers both phone types.
-    let regions =
-        find_regions(&rules, &master, &scenario.universe, &RegionFinderOptions::default())
-            .regions;
+    let regions = find_regions(
+        &rules,
+        &master,
+        &scenario.universe,
+        &RegionFinderOptions::default(),
+    )
+    .regions;
     assert!(!regions.is_empty());
     let first = &regions[0];
     assert_eq!(first.size(), 4, "{:?}", first);
@@ -73,10 +80,20 @@ fn discovered_uk_rules_pass_all_gates() {
 fn discovery_threshold_filters_small_domains() {
     let mut rng = StdRng::seed_from_u64(22);
     let scenario = uk::scenario(300, &mut rng);
-    let loose = discover_rules(&scenario.input, &scenario.master_schema, &scenario.master, 2)
-        .unwrap();
-    let strict = discover_rules(&scenario.input, &scenario.master_schema, &scenario.master, 50)
-        .unwrap();
+    let loose = discover_rules(
+        &scenario.input,
+        &scenario.master_schema,
+        &scenario.master,
+        2,
+    )
+    .unwrap();
+    let strict = discover_rules(
+        &scenario.input,
+        &scenario.master_schema,
+        &scenario.master,
+        50,
+    )
+    .unwrap();
     assert!(loose.len() > strict.len());
     // The 10-key AC/city bijection survives only the loose threshold.
     assert!(loose.iter().any(|d| d.rule.name() == "auto_AC_city#0"));
@@ -114,5 +131,9 @@ fn discovered_hosp_rules_match_expert_coverage() {
     // Discovered rules can even beat the expert set here: provider alone
     // determines measure-agnostic attributes AND the row's measure fields
     // are keyed by measure — the same 20% floor.
-    assert!(report.user_fraction() <= 0.2 + 1e-9, "got {}", report.user_fraction());
+    assert!(
+        report.user_fraction() <= 0.2 + 1e-9,
+        "got {}",
+        report.user_fraction()
+    );
 }

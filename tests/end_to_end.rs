@@ -13,9 +13,17 @@ fn full_pipeline(scenario: &Scenario, n_tuples: usize, noise: f64, seed: u64) {
     let master = scenario.master_data();
 
     // Rules must be consistent in the demo's operating regime.
-    let consistency =
-        check_consistency(&scenario.rules, &master, &ConsistencyOptions::entity_coherent());
-    assert!(consistency.is_consistent(), "{}: {:?}", scenario.name, consistency.conflicts);
+    let consistency = check_consistency(
+        &scenario.rules,
+        &master,
+        &ConsistencyOptions::entity_coherent(),
+    );
+    assert!(
+        consistency.is_consistent(),
+        "{}: {:?}",
+        scenario.name,
+        consistency.conflicts
+    );
 
     // Regions exist and are ranked ascending.
     let regions = find_regions(
@@ -27,13 +35,22 @@ fn full_pipeline(scenario: &Scenario, n_tuples: usize, noise: f64, seed: u64) {
     .regions;
     assert!(!regions.is_empty(), "{}: no certain regions", scenario.name);
     for w in regions.windows(2) {
-        assert!(w[0].size() <= w[1].size(), "{}: ranking violated", scenario.name);
+        assert!(
+            w[0].size() <= w[1].size(),
+            "{}: ranking violated",
+            scenario.name
+        );
     }
 
     // Clean a dirty stream with oracle users.
     let monitor = DataMonitor::new(&scenario.rules, &master).with_regions(regions);
     let mut rng = StdRng::seed_from_u64(seed);
-    let workload = make_workload(&scenario.universe, n_tuples, &NoiseSpec::with_rate(noise), &mut rng);
+    let workload = make_workload(
+        &scenario.universe,
+        n_tuples,
+        &NoiseSpec::with_rate(noise),
+        &mut rng,
+    );
     let truths = workload.truth.clone();
     let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
         Box::new(OracleUser::new(truths[idx].clone()))
@@ -43,7 +60,11 @@ fn full_pipeline(scenario: &Scenario, n_tuples: usize, noise: f64, seed: u64) {
     // Every tuple reaches a certain fix equal to its ground truth.
     assert_eq!(report.complete_count(), n_tuples, "{}", scenario.name);
     for (outcome, truth) in report.outcomes.iter().zip(workload.truth.iter()) {
-        assert_eq!(&outcome.tuple, truth, "{}: fix differs from truth", scenario.name);
+        assert_eq!(
+            &outcome.tuple, truth,
+            "{}: fix differs from truth",
+            scenario.name
+        );
     }
 
     // Cell-level scores: certain fixes have perfect precision and recall
@@ -103,13 +124,22 @@ fn hosp_reproduces_twenty_eighty() {
     let scenario = hosp::scenario(400, &mut rng);
     let master = scenario.master_data();
     let monitor = DataMonitor::new(&scenario.rules, &master);
-    let workload = make_workload(&scenario.universe, 100, &NoiseSpec::with_rate(0.3), &mut rng);
+    let workload = make_workload(
+        &scenario.universe,
+        100,
+        &NoiseSpec::with_rate(0.3),
+        &mut rng,
+    );
     let truths = workload.truth.clone();
     let report = clean_stream(&monitor, workload.dirty.iter().cloned(), move |idx, _| {
         Box::new(OracleUser::new(truths[idx].clone()))
     })
     .unwrap();
-    assert!((report.user_fraction() - 0.2).abs() < 1e-9, "got {}", report.user_fraction());
+    assert!(
+        (report.user_fraction() - 0.2).abs() < 1e-9,
+        "got {}",
+        report.user_fraction()
+    );
     assert!((report.auto_fraction() - 0.8).abs() < 1e-9);
 }
 

@@ -76,7 +76,10 @@ fn dirty_master_is_detected_statically_and_dynamically() {
             &[(a("zip"), Value::str("EH8")), (a("AC"), Value::str("131"))],
         )
         .unwrap_err();
-    assert!(matches!(err, CerfixError::ValidatedCellConflict { .. }), "{err}");
+    assert!(
+        matches!(err, CerfixError::ValidatedCellConflict { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -117,11 +120,15 @@ fn empty_master_means_full_user_validation() {
     let input = scenario_rules.input_schema().clone();
     let truth = Tuple::of_strings(
         input.clone(),
-        ["Ann", "Lee", "131", "079", "2", "1 A St", "Edi", "EH1", "CD"],
+        [
+            "Ann", "Lee", "131", "079", "2", "1 A St", "Edi", "EH1", "CD",
+        ],
     )
     .unwrap();
     let mut user = OracleUser::new(truth.clone());
-    let outcome = monitor.clean(0, Tuple::all_null(input.clone()), &mut user).unwrap();
+    let outcome = monitor
+        .clean(0, Tuple::all_null(input.clone()), &mut user)
+        .unwrap();
     assert!(outcome.complete, "degrades to all-user validation");
     assert_eq!(outcome.user_validated, input.arity());
     assert_eq!(outcome.auto_validated, 0);
@@ -133,7 +140,10 @@ fn budget_exhaustion_is_reported_not_silent() {
     let mut rng = StdRng::seed_from_u64(11);
     let master = MasterData::new(uk::generate_master(200, &mut rng));
     let rules = uk::rules();
-    let opts = ConsistencyOptions { pair_budget: 5, ..ConsistencyOptions::entity_coherent() };
+    let opts = ConsistencyOptions {
+        pair_budget: 5,
+        ..ConsistencyOptions::entity_coherent()
+    };
     let report = check_consistency(&rules, &master, &opts);
     assert!(report.budget_exhausted, "saturation must be flagged");
 }
@@ -152,7 +162,17 @@ fn stream_with_unknown_entities_still_converges() {
     let known = scenario.universe[0].clone();
     let unknown = Tuple::of_strings(
         input.clone(),
-        ["Zoe", "Quinn", "151", "070009999", "2", "9 Void St", "Lvp", "ZZ9 9ZZ", "CD"],
+        [
+            "Zoe",
+            "Quinn",
+            "151",
+            "070009999",
+            "2",
+            "9 Void St",
+            "Lvp",
+            "ZZ9 9ZZ",
+            "CD",
+        ],
     )
     .unwrap();
     let truths = vec![known.clone(), unknown.clone(), known.clone()];
@@ -188,7 +208,11 @@ fn explorer_rejects_malformed_dsl_without_mutating() {
     explorer.add_rules_dsl(uk::UK_RULES_DSL).unwrap();
     let before = explorer.rules().len();
     assert!(explorer.add_rules_dsl("er broken match nothing").is_err());
-    assert!(explorer.add_rules_dsl("er dup: match zip=zip fix AC:=AC when ()\ner phi1: match zip=zip fix AC:=AC when ()").is_err());
+    assert!(explorer
+        .add_rules_dsl(
+            "er dup: match zip=zip fix AC:=AC when ()\ner phi1: match zip=zip fix AC:=AC when ()"
+        )
+        .is_err());
     // The first decl of the failing batch may have landed; rule names
     // stay unique and the set remains usable.
     assert!(explorer.rules().len() >= before);

@@ -12,13 +12,20 @@ fn parallel_equals_sequential_on_uk() {
     let mut rng = StdRng::seed_from_u64(31);
     let scenario = uk::scenario(500, &mut rng);
     let master = scenario.master_data();
-    let workload = make_workload(&scenario.universe, 120, &NoiseSpec::with_rate(0.35), &mut rng);
+    let workload = make_workload(
+        &scenario.universe,
+        120,
+        &NoiseSpec::with_rate(0.35),
+        &mut rng,
+    );
 
     let monitor_seq = DataMonitor::new(&scenario.rules, &master);
     let truths = workload.truth.clone();
-    let sequential = clean_stream(&monitor_seq, workload.dirty.iter().cloned(), move |idx, _| {
-        Box::new(OracleUser::new(truths[idx].clone()))
-    })
+    let sequential = clean_stream(
+        &monitor_seq,
+        workload.dirty.iter().cloned(),
+        move |idx, _| Box::new(OracleUser::new(truths[idx].clone())),
+    )
     .unwrap();
 
     // Cold index cache for the parallel monitor: workers race to build
@@ -99,8 +106,15 @@ fn parallel_propagates_errors() {
     let mut rules = RuleSet::new(input.clone(), ms.clone());
     rules
         .add(
-            EditingRule::new("zip_city", &input, &ms, vec![(a("zip"), m("zip"))], vec![(a("city"), m("city"))], PatternTuple::empty())
-                .unwrap(),
+            EditingRule::new(
+                "zip_city",
+                &input,
+                &ms,
+                vec![(a("zip"), m("zip"))],
+                vec![(a("city"), m("city"))],
+                PatternTuple::empty(),
+            )
+            .unwrap(),
         )
         .unwrap();
     rules

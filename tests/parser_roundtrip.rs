@@ -84,10 +84,14 @@ fn paper_rules_round_trip() {
     let decls = parse_rules(uk::UK_RULES_DSL, &input, &master).unwrap();
     assert_eq!(decls.len(), 9);
     for decl in decls {
-        let RuleDecl::Er(rule) = decl else { panic!("er expected") };
+        let RuleDecl::Er(rule) = decl else {
+            panic!("er expected")
+        };
         let text = render_er_dsl(&rule, &input, &master);
         let reparsed = parse_rules(&text, &input, &master).unwrap();
-        let RuleDecl::Er(rule2) = &reparsed[0] else { panic!("er expected") };
+        let RuleDecl::Er(rule2) = &reparsed[0] else {
+            panic!("er expected")
+        };
         assert_eq!(&rule, rule2, "{text}");
     }
 }

@@ -103,7 +103,17 @@ fn workload_noise_rate_scales_errors() {
     // Sanity link between the noise model and the evaluation metrics.
     let (scenario, _) = fixture();
     let mut rng = StdRng::seed_from_u64(5);
-    let low = cerfix_gen::make_workload(&scenario.universe, 200, &NoiseSpec::with_rate(0.1), &mut rng);
-    let high = cerfix_gen::make_workload(&scenario.universe, 200, &NoiseSpec::with_rate(0.6), &mut rng);
+    let low = cerfix_gen::make_workload(
+        &scenario.universe,
+        200,
+        &NoiseSpec::with_rate(0.1),
+        &mut rng,
+    );
+    let high = cerfix_gen::make_workload(
+        &scenario.universe,
+        200,
+        &NoiseSpec::with_rate(0.6),
+        &mut rng,
+    );
     assert!(high.total_errors() > low.total_errors() * 2);
 }

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 fn any_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
-        proptest::string::string_regex("[\\x20-\\x7E]{0,16}").unwrap().prop_map(Value::str),
+        proptest::string::string_regex("[\\x20-\\x7E]{0,16}")
+            .unwrap()
+            .prop_map(Value::str),
         any::<i64>().prop_map(Value::Int),
         any::<f64>().prop_map(Value::Float),
         any::<bool>().prop_map(Value::Bool),
