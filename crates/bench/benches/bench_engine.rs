@@ -4,8 +4,8 @@
 use cerfix::{run_fixpoint, MasterData};
 use cerfix_bench::rng_for;
 use cerfix_gen::uk;
+use cerfix_relation::AttrSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::collections::BTreeSet;
 
 fn bench_certain_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("certain_lookup");
@@ -35,7 +35,7 @@ fn bench_fixpoint(c: &mut Criterion) {
     let master = scenario.master_data();
     master.warm_indexes(scenario.rules.iter().map(|(_, r)| r));
     let input = scenario.input.clone();
-    let seed: BTreeSet<usize> = ["zip", "phn", "type", "item"]
+    let seed: AttrSet = ["zip", "phn", "type", "item"]
         .iter()
         .map(|n| input.attr_id(n).expect("attr"))
         .collect();

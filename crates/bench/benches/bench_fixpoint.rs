@@ -1,0 +1,335 @@
+//! Pass-based vs delta-driven fixpoint across rule-set and master sizes,
+//! plus a `certify_region` micro-bench.
+//!
+//! Three jobs in one harness:
+//!
+//! 1. **Timing matrix** — both engines at 9 (UK) / 100 / 500 rules and
+//!    master sizes 1k / 10k / 100k (the 100k arm is skipped under
+//!    `CERFIX_BENCH_FAST=1`). Results land in `BENCH_fixpoint.json` at
+//!    the repo root so the perf trajectory is recorded per commit.
+//! 2. **Deterministic stats guard** — a hand-built, RNG-free chain
+//!    fixture with exact checked-in [`EngineStats`] expectations. Counts
+//!    cannot flake on machine speed: if the delta engine starts doing
+//!    more work, this panics and CI's bench-smoke step fails.
+//! 3. **`certify_region` micro-bench** — the region finder's data-phase
+//!    unit cost (one plan, universe × 1 candidate).
+
+use cerfix::{
+    certify_region, run_fixpoint, run_fixpoint_delta, CompiledRules, EngineStats, MasterData,
+};
+use cerfix_bench::rng_for;
+use cerfix_gen::uk;
+use cerfix_relation::{AttrSet, RelationBuilder, Schema, SchemaRef, Tuple};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn fast_mode() -> bool {
+    std::env::var_os("CERFIX_BENCH_FAST").is_some()
+}
+
+/// Mean ns/iter of `f` over a wall-clock budget (min 3 iterations).
+fn mean_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget || iters < 3 {
+        f();
+        iters += 1;
+        if iters >= 1_000_000 {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Synthetic chain scenario, fully deterministic (no RNG): `n_attrs`
+/// attributes `a0..`, rules covering the chain edges `a_i → a_{i+1}` in
+/// **reverse** edge order (worst case for the pass-based engine: seeding
+/// `a0` forces one pass per chain stage), repeated round-robin up to
+/// `n_rules`. Master rows are per-entity unique, so every key resolves
+/// to exactly one row and the whole chain fires.
+struct Chain {
+    input: SchemaRef,
+    rules: RuleSet,
+    master: MasterData,
+    truths: Vec<Tuple>,
+}
+
+fn chain_scenario(n_attrs: usize, n_rules: usize, n_master: usize) -> Chain {
+    let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+    let input = Schema::of_strings("chain_in", names.iter().map(String::as_str)).unwrap();
+    let ms = Schema::of_strings("chain_m", names.iter().map(String::as_str)).unwrap();
+    let n_edges = n_attrs - 1;
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    for k in 0..n_rules {
+        let edge = (n_edges - 1) - (k % n_edges); // reverse order, repeated
+        rules
+            .add(
+                EditingRule::new(
+                    format!("r{k}"),
+                    &input,
+                    &ms,
+                    vec![(edge, edge)],
+                    vec![(edge + 1, edge + 1)],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let mut builder = RelationBuilder::new(ms.clone());
+    let mut truths = Vec::with_capacity(n_master);
+    for e in 0..n_master {
+        let row: Vec<String> = (0..n_attrs).map(|j| format!("{j}x{e}")).collect();
+        builder = builder.row_strs(row.iter().map(String::as_str));
+        truths.push(Tuple::of_strings(input.clone(), row).unwrap());
+    }
+    let master = MasterData::new(builder.build().unwrap());
+    Chain {
+        input,
+        rules,
+        master,
+        truths,
+    }
+}
+
+/// One timing cell: both engines, same inputs, warmed master.
+struct Cell {
+    rules: usize,
+    master: usize,
+    pass_ns: f64,
+    delta_ns: f64,
+}
+
+fn time_engines(
+    rules: &RuleSet,
+    master: &MasterData,
+    truths: &[Tuple],
+    seed: &AttrSet,
+    budget: Duration,
+) -> (f64, f64) {
+    let plan = CompiledRules::compile(rules, master); // warms indexes too
+    let masked: Vec<Tuple> = truths
+        .iter()
+        .map(|t| cerfix::region::masked_input(t, seed))
+        .collect();
+    let mut i = 0usize;
+    let pass_ns = mean_ns(budget, || {
+        let mut t = masked[i % masked.len()].clone();
+        i += 1;
+        let mut v = seed.clone();
+        run_fixpoint(rules, master, &mut t, &mut v).expect("consistent");
+    });
+    let mut j = 0usize;
+    let delta_ns = mean_ns(budget, || {
+        let mut t = masked[j % masked.len()].clone();
+        j += 1;
+        let mut v = seed.clone();
+        run_fixpoint_delta(&plan, master, &mut t, &mut v).expect("consistent");
+    });
+    (pass_ns, delta_ns)
+}
+
+fn timing_matrix(budget: Duration) -> Vec<Cell> {
+    let master_sizes: &[usize] = if fast_mode() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut cells = Vec::new();
+    // 9 rules: the paper's UK scenario.
+    for &n_master in master_sizes {
+        let mut rng = rng_for(&format!("fixpoint-uk-{n_master}"));
+        let scenario = uk::scenario(n_master, &mut rng);
+        let master = scenario.master_data();
+        let seed: AttrSet = ["zip", "phn", "type", "item"]
+            .iter()
+            .map(|n| scenario.input.attr_id(n).expect("uk attr"))
+            .collect();
+        // type=2 truths so the mobile rules fire.
+        let truths: Vec<Tuple> = scenario
+            .universe
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .take(512)
+            .cloned()
+            .collect();
+        let (pass_ns, delta_ns) = time_engines(&scenario.rules, &master, &truths, &seed, budget);
+        cells.push(Cell {
+            rules: 9,
+            master: n_master,
+            pass_ns,
+            delta_ns,
+        });
+    }
+    // 100 / 500 rules: mined-scale synthetic chains.
+    for &n_rules in &[100usize, 500] {
+        for &n_master in master_sizes {
+            let chain = chain_scenario(24, n_rules, n_master);
+            let seed: AttrSet = [chain.input.attr_id("a0").expect("a0")].into();
+            let truths: Vec<Tuple> = chain.truths.iter().take(512).cloned().collect();
+            let (pass_ns, delta_ns) =
+                time_engines(&chain.rules, &chain.master, &truths, &seed, budget);
+            cells.push(Cell {
+                rules: n_rules,
+                master: n_master,
+                pass_ns,
+                delta_ns,
+            });
+        }
+    }
+    cells
+}
+
+/// Checked-in expectations for the deterministic guard fixture (chain of
+/// 10 attributes, 30 rules in reverse edge order, 100 master rows, 50
+/// fixpoints seeded with `{a0}`). These are exact counts, independent of
+/// machine and of the random generators — if an engine change shifts
+/// them, re-derive by running this bench and update BOTH the numbers and
+/// the reasoning:
+///
+/// * delta: the full chain validates, so every rule becomes eligible
+///   exactly once and is attempted exactly once ⇒ 30 attempts/tuple.
+/// * pass-based: the 30 rules are 3 interleaved reverse-ordered copies
+///   of the 9 chain edges, so each pass advances 3 chain stages (one per
+///   copy); 9 edges ⇒ 3 productive passes + 1 quiescent ⇒ 4 passes × 30
+///   rules = 120 attempts/tuple.
+const GUARD_TUPLES: usize = 50;
+const EXPECTED_PASS_ATTEMPTS: usize = 120 * GUARD_TUPLES;
+const EXPECTED_DELTA_ATTEMPTS: usize = 30 * GUARD_TUPLES;
+
+fn stats_guard() -> (EngineStats, EngineStats) {
+    let chain = chain_scenario(10, 30, 100);
+    let plan = CompiledRules::compile(&chain.rules, &chain.master);
+    let seed: AttrSet = [chain.input.attr_id("a0").expect("a0")].into();
+    let mut pass = EngineStats::default();
+    let mut delta = EngineStats::default();
+    for truth in chain.truths.iter().take(GUARD_TUPLES) {
+        let masked = cerfix::region::masked_input(truth, &seed);
+        let mut t1 = masked.clone();
+        let mut v1 = seed.clone();
+        pass += run_fixpoint(&chain.rules, &chain.master, &mut t1, &mut v1)
+            .expect("chain consistent")
+            .stats;
+        let mut t2 = masked;
+        let mut v2 = seed.clone();
+        delta += run_fixpoint_delta(&plan, &chain.master, &mut t2, &mut v2)
+            .expect("chain consistent")
+            .stats;
+    }
+    assert_eq!(
+        pass.rule_attempts, EXPECTED_PASS_ATTEMPTS,
+        "pass-based attempts regressed vs checked-in expectation"
+    );
+    assert_eq!(
+        delta.rule_attempts, EXPECTED_DELTA_ATTEMPTS,
+        "delta attempts regressed vs checked-in expectation"
+    );
+    assert!(
+        delta.rule_attempts < pass.rule_attempts,
+        "delta must do strictly less work"
+    );
+    assert!(delta.master_lookups <= pass.master_lookups);
+    assert_eq!(
+        delta.index_probes, delta.master_lookups,
+        "warmed path: every delta lookup is a lock-free index probe"
+    );
+    (pass, delta)
+}
+
+/// `certify_region` unit cost: the UK paper region against the truth
+/// universe, one compiled plan (the region finder's data-phase shape).
+fn certify_bench(budget: Duration) -> (f64, usize) {
+    let mut rng = rng_for("fixpoint-certify");
+    let scenario = uk::scenario(1_000, &mut rng);
+    let master = scenario.master_data();
+    let plan = CompiledRules::compile(&scenario.rules, &master);
+    let t = |n: &str| scenario.input.attr_id(n).expect("uk attr");
+    let attrs: AttrSet = [t("zip"), t("phn"), t("type"), t("item")].into();
+    let pattern = PatternTuple::empty().with_eq(t("type"), cerfix_relation::Value::str("2"));
+    let mut checked = 0usize;
+    let ns = mean_ns(budget, || {
+        let res = certify_region(&plan, &master, &attrs, &pattern, &scenario.universe);
+        assert!(res.certified);
+        checked = res.checked;
+    });
+    (ns, checked)
+}
+
+fn write_json(
+    cells: &[Cell],
+    certify_ns: f64,
+    certify_checked: usize,
+    guard: (EngineStats, EngineStats),
+) {
+    let (pass, delta) = guard;
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"rules\": {}, \"master\": {}, \"pass_ns\": {:.0}, \"delta_ns\": {:.0}, \"speedup\": {:.2}}}",
+            c.rules,
+            c.master,
+            c.pass_ns,
+            c.delta_ns,
+            c.pass_ns / c.delta_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fixpoint\",\n  \"mode\": \"{mode}\",\n  \"engines\": [\"pass_based\", \"delta\"],\n  \"results\": [\n{rows}\n  ],\n  \"certify_region\": {{\"ns_per_call\": {certify_ns:.0}, \"universe_checked\": {certify_checked}}},\n  \"stats_guard\": {{\n    \"tuples\": {tuples},\n    \"pass_attempts\": {pa}, \"delta_attempts\": {da},\n    \"pass_lookups\": {pl}, \"delta_lookups\": {dl}\n  }}\n}}\n",
+        mode = if fast_mode() { "smoke" } else { "full" },
+        tuples = GUARD_TUPLES,
+        pa = pass.rule_attempts,
+        da = delta.rule_attempts,
+        pl = pass.master_lookups,
+        dl = delta.master_lookups,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fixpoint.json");
+    std::fs::write(path, json).expect("write BENCH_fixpoint.json at repo root");
+    println!("wrote {path}");
+}
+
+fn bench_fixpoint_suite(_c: &mut Criterion) {
+    let budget = if fast_mode() {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(300)
+    };
+    println!("\n== fixpoint engines: pass-based vs delta ==");
+    let cells = timing_matrix(budget);
+    for c in &cells {
+        println!(
+            "rules={:<4} master={:<7} pass {:>12.0}ns  delta {:>12.0}ns  speedup {:>6.2}x",
+            c.rules,
+            c.master,
+            c.pass_ns,
+            c.delta_ns,
+            c.pass_ns / c.delta_ns
+        );
+    }
+    let guard = stats_guard();
+    println!(
+        "stats guard: pass attempts {} / delta attempts {} (expected {} / {})",
+        guard.0.rule_attempts,
+        guard.1.rule_attempts,
+        EXPECTED_PASS_ATTEMPTS,
+        EXPECTED_DELTA_ATTEMPTS
+    );
+    let (certify_ns, certify_checked) = certify_bench(budget);
+    println!(
+        "certify_region (uk, |universe|={certify_checked} in scope): {:.2}ms/call",
+        certify_ns / 1e6
+    );
+    write_json(&cells, certify_ns, certify_checked, guard);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fixpoint_suite
+}
+criterion_main!(benches);

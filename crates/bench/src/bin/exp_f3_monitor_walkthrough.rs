@@ -9,16 +9,12 @@
 use cerfix::{DataMonitor, MasterData, SessionStatus};
 use cerfix_bench::print_table;
 use cerfix_gen::uk;
-use cerfix_relation::{AttrId, Tuple, Value};
+use cerfix_relation::{AttrId, AttrSet, Tuple, Value};
 
-fn render_state(
-    tuple: &Tuple,
-    validated: &std::collections::BTreeSet<AttrId>,
-    suggestion: &[AttrId],
-) -> Vec<String> {
+fn render_state(tuple: &Tuple, validated: &AttrSet, suggestion: &[AttrId]) -> Vec<String> {
     (0..tuple.arity())
         .map(|a| {
-            let marker = if validated.contains(&a) {
+            let marker = if validated.contains(a) {
                 "✓" // green in the demo UI
             } else if suggestion.contains(&a) {
                 "?" // yellow (suggested)

@@ -17,9 +17,8 @@
 
 use crate::error::{CerfixError, Result};
 use crate::master::{CertainLookup, MasterData};
-use cerfix_relation::{AttrId, RowId, Tuple, Value};
+use cerfix_relation::{AttrId, AttrSet, RowId, Tuple, Value};
 use cerfix_rules::{EditingRule, RuleId};
-use std::collections::BTreeSet;
 
 /// One cell changed by a rule application, with provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,42 +69,33 @@ impl ApplyOutcome {
     }
 }
 
-/// Attempt to apply `rule` (with id `rule_id`) to `tuple` under the
-/// validated set `validated`, mutating both on success.
-pub fn apply_rule(
+/// Copy agreed fix values onto `tuple` under certain-application
+/// semantics: validated cells are immutable (agreement confirms,
+/// disagreement is a [`CerfixError::ValidatedCellConflict`]), changed
+/// cells are recorded as [`CellFix`]es with `witness` provenance, and
+/// every non-validated RHS attribute joins `validated`. `pairs` yields
+/// `(B, s[Bm])` position-wise. Shared by both engines — the pass-based
+/// [`apply_rule`] and the compiled delta engine — so the firing
+/// semantics cannot drift between the oracle and the production path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_fix_values<'v>(
     rule_id: RuleId,
-    rule: &EditingRule,
-    master: &MasterData,
+    rule_name: &str,
+    witness: RowId,
+    pairs: impl Iterator<Item = (AttrId, &'v Value)>,
     tuple: &mut Tuple,
-    validated: &mut BTreeSet<AttrId>,
-) -> Result<ApplyOutcome> {
-    if rule.input_rhs().iter().all(|b| validated.contains(b)) {
-        return Ok(ApplyOutcome::AlreadyCovered);
-    }
-    if !rule.evidence_attrs().iter().all(|a| validated.contains(a)) {
-        return Ok(ApplyOutcome::NotEligible);
-    }
-    if !rule.pattern().matches(tuple) {
-        return Ok(ApplyOutcome::PatternMismatch);
-    }
-    let lookup = master.certain_lookup(rule, tuple);
-    let (values, witness) = match lookup {
-        CertainLookup::NoMatch => return Ok(ApplyOutcome::NoMatch),
-        CertainLookup::Ambiguous { matches } => return Ok(ApplyOutcome::Ambiguous { matches }),
-        CertainLookup::Unique {
-            values, witness, ..
-        } => (values, witness),
-    };
-    let mut fixes = Vec::new();
-    let mut newly_validated = Vec::new();
-    for (&b, value) in rule.input_rhs().iter().zip(values.iter()) {
-        if validated.contains(&b) {
+    validated: &mut AttrSet,
+    fixes: &mut Vec<CellFix>,
+    newly_validated: &mut Vec<AttrId>,
+) -> Result<()> {
+    for (b, value) in pairs {
+        if validated.contains(b) {
             // Validated cells are immutable. Agreement is fine (the rule
             // confirms what is known); disagreement is an inconsistency.
             if tuple.get(b) != value {
                 let schema = tuple.schema().clone();
                 return Err(CerfixError::ValidatedCellConflict {
-                    rule: rule.name().into(),
+                    rule: rule_name.into(),
                     attribute: schema.attr_name(b).into(),
                     current: tuple.get(b).to_string(),
                     incoming: value.to_string(),
@@ -127,6 +117,47 @@ pub fn apply_rule(
         validated.insert(b);
         newly_validated.push(b);
     }
+    Ok(())
+}
+
+/// Attempt to apply `rule` (with id `rule_id`) to `tuple` under the
+/// validated set `validated`, mutating both on success.
+pub fn apply_rule(
+    rule_id: RuleId,
+    rule: &EditingRule,
+    master: &MasterData,
+    tuple: &mut Tuple,
+    validated: &mut AttrSet,
+) -> Result<ApplyOutcome> {
+    if rule.input_rhs().iter().all(|&b| validated.contains(b)) {
+        return Ok(ApplyOutcome::AlreadyCovered);
+    }
+    if !rule.evidence_attrs().iter().all(|&a| validated.contains(a)) {
+        return Ok(ApplyOutcome::NotEligible);
+    }
+    if !rule.pattern().matches(tuple) {
+        return Ok(ApplyOutcome::PatternMismatch);
+    }
+    let lookup = master.certain_lookup(rule, tuple);
+    let (values, witness) = match lookup {
+        CertainLookup::NoMatch => return Ok(ApplyOutcome::NoMatch),
+        CertainLookup::Ambiguous { matches } => return Ok(ApplyOutcome::Ambiguous { matches }),
+        CertainLookup::Unique {
+            values, witness, ..
+        } => (values, witness),
+    };
+    let mut fixes = Vec::new();
+    let mut newly_validated = Vec::new();
+    apply_fix_values(
+        rule_id,
+        rule.name(),
+        witness,
+        rule.rhs().iter().map(|&(b, _)| b).zip(values.iter()),
+        tuple,
+        validated,
+        &mut fixes,
+        &mut newly_validated,
+    )?;
     Ok(ApplyOutcome::Applied {
         fixes,
         newly_validated,
@@ -181,7 +212,7 @@ mod tests {
         let (input, ms, md) = fixture();
         let rule = zip_rule(&input, &ms);
         let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         let out = apply_rule(7, &rule, &md, &mut t, &mut v).unwrap();
         match out {
             ApplyOutcome::Applied {
@@ -199,8 +230,8 @@ mod tests {
             other => panic!("expected Applied, got {other:?}"),
         }
         assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("131"));
-        assert!(v.contains(&input.attr_id("AC").unwrap()));
-        assert!(v.contains(&input.attr_id("city").unwrap()));
+        assert!(v.contains(input.attr_id("AC").unwrap()));
+        assert!(v.contains(input.attr_id("city").unwrap()));
     }
 
     #[test]
@@ -208,7 +239,7 @@ mod tests {
         let (input, ms, md) = fixture();
         let rule = zip_rule(&input, &ms);
         let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
-        let mut v = BTreeSet::new();
+        let mut v = AttrSet::new();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
             ApplyOutcome::NotEligible
@@ -231,7 +262,7 @@ mod tests {
         )
         .unwrap();
         let mut t = Tuple::of_strings(input.clone(), ["?", "079172485", "c", "z", "1"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("phn").unwrap(), ty].into();
+        let mut v: AttrSet = [input.attr_id("phn").unwrap(), ty].into();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
             ApplyOutcome::PatternMismatch
@@ -260,13 +291,13 @@ mod tests {
         .unwrap();
         let ac = input.attr_id("AC").unwrap();
         let mut t = Tuple::of_strings(input.clone(), ["999", "p", "?", "z", "1"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [ac].into();
+        let mut v: AttrSet = [ac].into();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t, &mut v).unwrap(),
             ApplyOutcome::NoMatch
         );
         let mut t2 = Tuple::of_strings(input.clone(), ["131", "p", "?", "z", "1"]).unwrap();
-        let mut v2: BTreeSet<AttrId> = [ac].into();
+        let mut v2: AttrSet = [ac].into();
         assert_eq!(
             apply_rule(0, &rule, &md, &mut t2, &mut v2).unwrap(),
             ApplyOutcome::Ambiguous { matches: 2 }
@@ -283,7 +314,7 @@ mod tests {
         let (input, ms, md) = fixture();
         let rule = zip_rule(&input, &ms);
         let mut t = Tuple::of_strings(input.clone(), ["131", "p", "Edi", "EH8 4AH", "2"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [
+        let mut v: AttrSet = [
             input.attr_id("zip").unwrap(),
             input.attr_id("AC").unwrap(),
             input.attr_id("city").unwrap(),
@@ -303,7 +334,7 @@ mod tests {
         let (input, ms, md) = fixture();
         let rule = zip_rule(&input, &ms);
         let mut t = Tuple::of_strings(input.clone(), ["131", "p", "Edi", "EH8 4AH", "2"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         match apply_rule(0, &rule, &md, &mut t, &mut v).unwrap() {
             ApplyOutcome::Applied {
                 fixes,
@@ -323,14 +354,14 @@ mod tests {
         // User validated city as "Edi"; rule would derive "Edi" too — fine.
         let mut t = Tuple::of_strings(input.clone(), ["020", "p", "Edi", "EH8 4AH", "2"]).unwrap();
         let city = input.attr_id("city").unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap(), city].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap(), city].into();
         let out = apply_rule(0, &rule, &md, &mut t, &mut v).unwrap();
         assert!(out.made_progress(), "AC still gets validated");
 
         // But a *conflicting* validated value is an inconsistency error.
         let mut t2 =
             Tuple::of_strings(input.clone(), ["020", "p", "Leith", "EH8 4AH", "2"]).unwrap();
-        let mut v2: BTreeSet<AttrId> = [input.attr_id("zip").unwrap(), city].into();
+        let mut v2: AttrSet = [input.attr_id("zip").unwrap(), city].into();
         let err = apply_rule(0, &rule, &md, &mut t2, &mut v2).unwrap_err();
         assert!(matches!(err, CerfixError::ValidatedCellConflict { .. }));
     }

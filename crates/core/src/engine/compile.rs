@@ -1,0 +1,225 @@
+//! Compiled rule plans: the execution form of a [`RuleSet`].
+//!
+//! The pass-based engine re-interprets rules from scratch on every pass:
+//! per attempt it materializes the evidence set (`BTreeSet`), the LHS /
+//! RHS attribute vectors, and a projected key vector, then takes the
+//! master index cache's `RwLock` and copies the posting list. A
+//! [`CompiledRules`] plan does all of that **once per rule set**:
+//!
+//! * per-rule evidence and RHS **bitmasks** ([`AttrSet`]) — eligibility
+//!   and coverage tests become word operations;
+//! * LHS/RHS key layouts resolved to flat attribute arrays — key
+//!   projection writes into a reused buffer, no per-lookup vectors;
+//! * a resolved `Arc<HashIndex>` **snapshot** per rule — the serving
+//!   path probes master data lock-free (`None` on the unindexed `T6`
+//!   ablation arm, which falls back to scans);
+//! * per-attribute **watch lists** mapping each evidence attribute to
+//!   the rules it can unblock — the delta engine
+//!   ([`run_fixpoint_delta`](crate::engine::run_fixpoint_delta)) wakes
+//!   only the rules watching a newly validated attribute instead of
+//!   re-attempting the whole rule set.
+//!
+//! Plans are immutable and `Send + Sync`: build one per `Arc<RuleSet>`
+//! (the server caches them per rule-set fingerprint) and share it across
+//! every monitor, stream worker, and certification probe.
+
+use crate::master::MasterData;
+use cerfix_relation::{AttrId, AttrSet, HashIndex, SchemaRef};
+use cerfix_rules::{PatternTuple, RuleId, RuleSet};
+use std::sync::Arc;
+
+/// One rule in execution form: masks, flat layouts, resolved index.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRule {
+    /// The rule's id in the source [`RuleSet`] (for fix provenance).
+    pub(crate) id: RuleId,
+    /// The rule's name (for error messages).
+    pub(crate) name: String,
+    /// Evidence mask `X ∪ Xp`: every bit must be validated to fire.
+    pub(crate) evidence: AttrSet,
+    /// RHS mask `B`: all bits validated ⇒ nothing left to do.
+    pub(crate) rhs_set: AttrSet,
+    /// Input-side LHS attributes `X`, flat, in rule order.
+    pub(crate) input_lhs: Box<[AttrId]>,
+    /// Master-side LHS attributes `Xm`, flat, in rule order.
+    pub(crate) master_lhs: Box<[AttrId]>,
+    /// Input-side RHS attributes `B`, flat.
+    pub(crate) input_rhs: Box<[AttrId]>,
+    /// Master-side RHS attributes `Bm`, flat, position-wise with `B`.
+    pub(crate) master_rhs: Box<[AttrId]>,
+    /// The pattern `tp[Xp]` over the input tuple.
+    pub(crate) pattern: PatternTuple,
+    /// Snapshot of the master index on `Xm` (`None` ⇒ scan fallback).
+    pub(crate) index: Option<Arc<HashIndex>>,
+}
+
+/// A compiled execution plan for one `(RuleSet, MasterData)` pair.
+#[derive(Debug)]
+pub struct CompiledRules {
+    /// Rules in rule-id order (positions are dense even when the source
+    /// set has deleted-rule gaps).
+    pub(crate) rules: Vec<CompiledRule>,
+    /// `watchers[attr]` = positions (into `rules`) of the rules whose
+    /// evidence contains `attr`.
+    watchers: Vec<Vec<u32>>,
+    input_schema: SchemaRef,
+    /// Master generation the index snapshots were resolved against.
+    master_generation: u64,
+}
+
+impl CompiledRules {
+    /// Compile `rules` against `master`, warming (and snapshotting) the
+    /// master index for every distinct rule LHS.
+    pub fn compile(rules: &RuleSet, master: &MasterData) -> CompiledRules {
+        let input_schema = rules.input_schema().clone();
+        let mut compiled: Vec<CompiledRule> = Vec::with_capacity(rules.len());
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); input_schema.arity()];
+        for (id, rule) in rules.iter() {
+            let pos = compiled.len() as u32;
+            let evidence: AttrSet = rule.evidence_attrs().into_iter().collect();
+            for attr in &evidence {
+                watchers[attr].push(pos);
+            }
+            let master_lhs = rule.master_lhs();
+            let index = master.warmed_index(&master_lhs);
+            compiled.push(CompiledRule {
+                id,
+                name: rule.name().to_string(),
+                evidence,
+                rhs_set: rule.input_rhs().into_iter().collect(),
+                input_lhs: rule.input_lhs().into_boxed_slice(),
+                master_lhs: master_lhs.into_boxed_slice(),
+                input_rhs: rule.input_rhs().into_boxed_slice(),
+                master_rhs: rule.master_rhs().into_boxed_slice(),
+                pattern: rule.pattern().clone(),
+                index,
+            });
+        }
+        CompiledRules {
+            rules: compiled,
+            watchers,
+            input_schema,
+            master_generation: master.generation(),
+        }
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff the plan contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The input schema the plan was compiled over.
+    pub fn input_schema(&self) -> &SchemaRef {
+        &self.input_schema
+    }
+
+    /// The [`MasterData::generation`] the index snapshots belong to. A
+    /// plan must not serve a master with a newer generation — recompile
+    /// after appends (the delta engine debug-asserts this).
+    pub fn master_generation(&self) -> u64 {
+        self.master_generation
+    }
+
+    /// Positions of the rules whose evidence contains `attr`.
+    pub(crate) fn watchers(&self, attr: AttrId) -> &[u32] {
+        self.watchers.get(attr).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::{RelationBuilder, Schema, Value};
+    use cerfix_rules::EditingRule;
+
+    fn fixture() -> (RuleSet, MasterData) {
+        let input = Schema::of_strings("in", ["zip", "AC", "city", "type"]).unwrap();
+        let ms = Schema::of_strings("m", ["zip", "AC", "city"]).unwrap();
+        let master = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["EH8", "131", "Edi"])
+                .build()
+                .unwrap(),
+        );
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let ty = input.attr_id("type").unwrap();
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(
+                EditingRule::new(
+                    "zip_ac",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("AC")],
+                    PatternTuple::empty().with_eq(ty, Value::str("2")),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        rules
+            .add(
+                EditingRule::new(
+                    "ac_city",
+                    &input,
+                    &ms,
+                    vec![pair("AC")],
+                    vec![pair("city")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (rules, master)
+    }
+
+    #[test]
+    fn compile_resolves_masks_watchers_and_indexes() {
+        let (rules, master) = fixture();
+        let plan = CompiledRules::compile(&rules, &master);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        let input = rules.input_schema();
+        let zip = input.attr_id("zip").unwrap();
+        let ac = input.attr_id("AC").unwrap();
+        let ty = input.attr_id("type").unwrap();
+        // zip_ac watches {zip, type} (LHS + pattern), ac_city watches {AC}.
+        assert_eq!(plan.watchers(zip), &[0]);
+        assert_eq!(plan.watchers(ty), &[0]);
+        assert_eq!(plan.watchers(ac), &[1]);
+        assert!(
+            plan.rules[0].evidence.contains(ty),
+            "pattern attr is evidence"
+        );
+        assert!(plan.rules[1]
+            .rhs_set
+            .contains(input.attr_id("city").unwrap()));
+        // Index snapshots resolved (indexed master).
+        assert!(plan.rules.iter().all(|r| r.index.is_some()));
+        assert_eq!(master.index_count(), 2, "compile warmed both LHS indexes");
+        assert_eq!(plan.master_generation(), master.generation());
+    }
+
+    #[test]
+    fn unindexed_master_compiles_to_scan_fallback() {
+        let (rules, master) = fixture();
+        let unindexed = MasterData::new_unindexed(master.relation().clone());
+        let plan = CompiledRules::compile(&rules, &unindexed);
+        assert!(plan.rules.iter().all(|r| r.index.is_none()));
+        assert_eq!(unindexed.index_count(), 0);
+    }
+
+    #[test]
+    fn rule_deletion_keeps_source_ids() {
+        let (mut rules, master) = fixture();
+        rules.remove("zip_ac").unwrap();
+        let plan = CompiledRules::compile(&rules, &master);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.rules[0].id, 1, "provenance keeps the RuleSet id");
+    }
+}

@@ -250,7 +250,12 @@ pub fn check_consistency(
         }
     }
 
-    // Pairwise conflicts.
+    // Pairwise conflicts. Key and probe buffers are reused across every
+    // row/key pair: values are `Arc`-cheap to clone, but the per-pair
+    // vector allocations were not.
+    let mut key_a_buf: Vec<Value> = Vec::new();
+    let mut key_b_buf: Vec<Value> = Vec::new();
+    let mut probe_buf: Vec<Value> = Vec::new();
     for (ia, &(id_a, rule_a)) in rule_list.iter().enumerate() {
         for &(id_b, rule_b) in rule_list.iter().skip(ia + 1) {
             // Shared target attributes.
@@ -281,35 +286,44 @@ pub fn check_consistency(
                         report.budget_exhausted = true;
                         break 'rows;
                     }
-                    let key_a: Vec<Value> = lhs_a.iter().map(|&a| s.get(a).clone()).collect();
-                    let key_b: Vec<Value> = lhs_b.iter().map(|&a| s.get(a).clone()).collect();
-                    if key_a.iter().chain(key_b.iter()).any(Value::is_null) {
+                    // Borrow first: null checks need no clones at all.
+                    if lhs_a
+                        .iter()
+                        .chain(lhs_b.iter())
+                        .any(|&a| s.get(a).is_null())
+                    {
                         continue;
                     }
+                    key_a_buf.clear();
+                    key_a_buf.extend(lhs_a.iter().map(|&a| s.get(a).clone()));
+                    key_b_buf.clear();
+                    key_b_buf.extend(lhs_b.iter().map(|&a| s.get(a).clone()));
                     let (Some(Some(vals_a)), Some(Some(vals_b))) = (
-                        tables[&id_a].keys.get(&key_a),
-                        tables[&id_b].keys.get(&key_b),
+                        tables[&id_a].keys.get(key_a_buf.as_slice()),
+                        tables[&id_b].keys.get(key_b_buf.as_slice()),
                     ) else {
                         continue; // ambiguous or absent key: rule never fires
                     };
                     report.key_pairs_checked += 1;
-                    let differing: Vec<&(usize, usize, AttrId)> = shared_targets
+                    if !shared_targets
                         .iter()
-                        .filter(|&&(pa, pb, _)| vals_a[pa] != vals_b[pb])
-                        .collect();
-                    if differing.is_empty() {
+                        .any(|&(pa, pb, _)| vals_a[pa] != vals_b[pb])
+                    {
                         continue;
                     }
-                    if pins_satisfiable(rules, rule_a, &key_a, rule_b, &key_b) {
-                        for &&(pa, pb, attr) in &differing {
+                    if pins_satisfiable(rules, rule_a, &key_a_buf, rule_b, &key_b_buf) {
+                        for &(pa, pb, attr) in &shared_targets {
+                            if vals_a[pa] == vals_b[pb] {
+                                continue;
+                            }
                             report.conflicts.push(Inconsistency::Conflict {
                                 rule_a: id_a,
                                 rule_b: id_b,
                                 attr,
                                 value_a: vals_a[pa].clone(),
                                 value_b: vals_b[pb].clone(),
-                                key_a: key_a.clone(),
-                                key_b: key_b.clone(),
+                                key_a: key_a_buf.clone(),
+                                key_b: key_b_buf.clone(),
                             });
                             if report.conflicts.len() >= options.max_conflicts {
                                 return report;
@@ -347,11 +361,9 @@ pub fn check_consistency(
 
             'keys: for (key_a, vals_a) in &tables[&id_a].keys {
                 let Some(vals_a) = vals_a else { continue };
-                let probe: Vec<Value> = shared_lhs
-                    .iter()
-                    .map(|&(pa, _)| key_a[pa].clone())
-                    .collect();
-                let Some(bucket) = b_buckets.get(&probe) else {
+                probe_buf.clear();
+                probe_buf.extend(shared_lhs.iter().map(|&(pa, _)| key_a[pa].clone()));
+                let Some(bucket) = b_buckets.get(probe_buf.as_slice()) else {
                     continue;
                 };
                 for &(key_b, vals_b) in bucket {
@@ -361,15 +373,17 @@ pub fn check_consistency(
                     }
                     report.key_pairs_checked += 1;
                     // Any shared target with differing derived values?
-                    let differing: Vec<&(usize, usize, AttrId)> = shared_targets
+                    if !shared_targets
                         .iter()
-                        .filter(|&&(pa, pb, _)| vals_a[pa] != vals_b[pb])
-                        .collect();
-                    if differing.is_empty() {
+                        .any(|&(pa, pb, _)| vals_a[pa] != vals_b[pb])
+                    {
                         continue;
                     }
                     if pins_satisfiable(rules, rule_a, key_a, rule_b, key_b) {
-                        for &&(pa, pb, attr) in &differing {
+                        for &(pa, pb, attr) in &shared_targets {
+                            if vals_a[pa] == vals_b[pb] {
+                                continue;
+                            }
                             report.conflicts.push(Inconsistency::Conflict {
                                 rule_a: id_a,
                                 rule_b: id_b,

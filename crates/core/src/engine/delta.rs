@@ -1,0 +1,337 @@
+//! The delta-driven correcting process.
+//!
+//! The pass-based reference engine ([`run_fixpoint`]) sweeps the whole
+//! rule set until quiescence: O(passes × |rules|) attempts, most of
+//! which re-discover that nothing changed. This engine exploits the two
+//! monotonicity facts that make re-attempts pointless:
+//!
+//! 1. **Validated evidence is frozen.** Once a rule's full evidence
+//!    `X ∪ Xp` is validated, its pattern verdict and its master lookup
+//!    can never change for the rest of the run — whatever the first
+//!    attempt concludes (fire, no match, ambiguous, pattern dead) is
+//!    final. So every rule needs **at most one attempt**, taken at the
+//!    moment its evidence completes.
+//! 2. **Eligibility only ever grows**, and it grows exactly when an
+//!    attribute becomes validated — so the plan's per-attribute watch
+//!    lists identify precisely which rules a firing can unblock.
+//!
+//! The worklist is swept in ascending rule order with a wrap-around
+//! cursor, which reproduces the pass-based engine's *effectful* attempt
+//! sequence exactly (a rule unblocked by an earlier-positioned firing
+//! runs in the same sweep; one unblocked by a later-positioned firing
+//! waits for the next sweep, just as the pass loop would). Identical
+//! attempt order means identical fixes, identical fix *order*, identical
+//! validated sets, and identical errors — the equivalence property test
+//! in `tests/engine_equivalence.rs` asserts all four — while total work
+//! drops to O(rule firings + |rules|).
+//!
+//! On the allocation side, the plan supplies resolved index snapshots
+//! and flat key layouts, so the per-attempt path clones `Arc`'d values
+//! into two reused buffers and allocates nothing once they are warm.
+//!
+//! [`run_fixpoint`]: crate::engine::run_fixpoint
+
+use crate::engine::application::apply_fix_values;
+use crate::engine::compile::CompiledRules;
+use crate::engine::fixpoint::FixpointReport;
+use crate::error::Result;
+use crate::master::MasterData;
+use cerfix_relation::{AttrSet, RowId, Tuple, Value};
+
+/// Run the correcting process on `tuple` using a compiled plan.
+///
+/// Semantically identical to [`run_fixpoint`](crate::engine::run_fixpoint)
+/// over the plan's source rule set (equivalence-tested), with work
+/// O(firings + |rules|) instead of O(passes × |rules|). `passes` in the
+/// returned report counts worklist sweeps (≥ 1, never more than the
+/// pass-based engine's pass count).
+pub fn run_fixpoint_delta(
+    plan: &CompiledRules,
+    master: &MasterData,
+    tuple: &mut Tuple,
+    validated: &mut AttrSet,
+) -> Result<FixpointReport> {
+    debug_assert_eq!(
+        plan.master_generation(),
+        master.generation(),
+        "compiled plan is stale: master data was appended to after compile"
+    );
+    debug_assert_eq!(plan.input_schema().arity(), tuple.arity());
+    let mut report = FixpointReport {
+        passes: 1,
+        ..Default::default()
+    };
+
+    // Rule positions awaiting their single attempt, and positions ever
+    // enqueued (an attempted rule is never re-attempted).
+    let mut pending = AttrSet::new();
+    let mut enqueued = AttrSet::new();
+    for (pos, rule) in plan.rules.iter().enumerate() {
+        if rule.evidence.is_subset(validated) {
+            pending.insert(pos);
+            enqueued.insert(pos);
+        }
+    }
+
+    // Reused buffers: the projected join key and (scan fallback only)
+    // the matching row ids. Nothing else on the attempt path allocates.
+    let mut key_buf: Vec<Value> = Vec::new();
+    let mut scan_rows: Vec<RowId> = Vec::new();
+
+    let mut cursor = 0usize;
+    loop {
+        let Some(pos) = pending.next_at_or_after(cursor) else {
+            if pending.is_empty() {
+                break;
+            }
+            // Rules enqueued behind the cursor: start the next sweep,
+            // mirroring the pass-based engine's next pass.
+            cursor = 0;
+            report.passes += 1;
+            continue;
+        };
+        pending.remove(pos);
+        cursor = pos + 1;
+        let rule = &plan.rules[pos];
+        report.stats.rule_attempts += 1;
+
+        // Another rule validated the whole RHS in the meantime: nothing
+        // left to derive (the pass-based engine's AlreadyCovered).
+        if rule.rhs_set.is_subset(validated) {
+            continue;
+        }
+        // The pattern reads evidence cells only, and those are validated
+        // and frozen: a mismatch now is permanent — the rule is dead.
+        if !rule.pattern.matches(tuple) {
+            continue;
+        }
+
+        // Certain lookup against the plan's index snapshot (or a scan on
+        // the unindexed ablation arm).
+        report.stats.master_lookups += 1;
+        key_buf.clear();
+        for &a in rule.input_lhs.iter() {
+            key_buf.push(tuple.get(a).clone());
+        }
+        let rows: &[RowId] = match &rule.index {
+            Some(index) => {
+                report.stats.index_probes += 1;
+                index.lookup(&key_buf)
+            }
+            None => {
+                scan_rows.clear();
+                master.for_each_matching_row(&rule.master_lhs, &key_buf, |id| scan_rows.push(id));
+                &scan_rows
+            }
+        };
+        // No match, disagreement, or a null fix value: with frozen
+        // evidence the lookup can never improve — the rule is dead. The
+        // agreement/null fold is shared with the pass-based path
+        // (`MasterData::certain_witness`), so the semantics cannot drift.
+        let (_, Some(witness)) = master.certain_witness(rows.iter().copied(), &rule.master_rhs)
+        else {
+            continue;
+        };
+        let first = master.tuple(witness).expect("index row in range");
+
+        // Fire: copy the agreed master values and expand the validated
+        // set through the application routine shared with `apply_rule`,
+        // then wake exactly the rules watching a newly validated
+        // attribute.
+        let before = report.newly_validated.len();
+        apply_fix_values(
+            rule.id,
+            &rule.name,
+            witness,
+            rule.input_rhs
+                .iter()
+                .copied()
+                .zip(rule.master_rhs.iter().map(|&bm| first.get(bm))),
+            tuple,
+            validated,
+            &mut report.fixes,
+            &mut report.newly_validated,
+        )?;
+        if report.newly_validated.len() > before {
+            report.rule_firings += 1;
+        }
+        for i in before..report.newly_validated.len() {
+            let b = report.newly_validated[i];
+            for &w in plan.watchers(b) {
+                let w = w as usize;
+                if !enqueued.contains(w) && plan.rules[w].evidence.is_subset(validated) {
+                    enqueued.insert(w);
+                    pending.insert(w);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fixpoint;
+    use crate::error::CerfixError;
+    use cerfix_relation::{RelationBuilder, Schema, SchemaRef};
+    use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+
+    /// A 3-stage chain added in *reverse* order, so the pass-based engine
+    /// needs multiple passes and the delta engine's worklist has to wrap.
+    fn reverse_chain() -> (SchemaRef, RuleSet, MasterData) {
+        let input = Schema::of_strings("in", ["zip", "AC", "city", "str"]).unwrap();
+        let ms = Schema::of_strings("m", ["zip", "AC", "city", "str"]).unwrap();
+        let md = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["EH8", "131", "Edi", "Elm St"])
+                .row_strs(["SW1", "020", "Ldn", "Oak Rd"])
+                .build()
+                .unwrap(),
+        );
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        for (name, l, r) in [
+            ("city_str", "city", "str"),
+            ("ac_city", "AC", "city"),
+            ("zip_ac", "zip", "AC"),
+        ] {
+            rules
+                .add(
+                    EditingRule::new(
+                        name,
+                        &input,
+                        &ms,
+                        vec![pair(l)],
+                        vec![pair(r)],
+                        PatternTuple::empty(),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+        (input, rules, md)
+    }
+
+    #[test]
+    fn matches_pass_based_engine_on_reverse_chain() {
+        let (input, rules, md) = reverse_chain();
+        let plan = CompiledRules::compile(&rules, &md);
+        let seed: AttrSet = [input.attr_id("zip").unwrap()].into();
+
+        let mut t_ref = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v_ref = seed.clone();
+        let ref_report = run_fixpoint(&rules, &md, &mut t_ref, &mut v_ref).unwrap();
+
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v = seed;
+        let report = run_fixpoint_delta(&plan, &md, &mut t, &mut v).unwrap();
+
+        assert_eq!(t, t_ref);
+        assert_eq!(v, v_ref);
+        assert_eq!(report.fixes, ref_report.fixes, "identical fixes, in order");
+        assert_eq!(report.newly_validated, ref_report.newly_validated);
+        assert_eq!(report.rule_firings, 3);
+        // The whole point: strictly fewer attempts than passes × rules.
+        assert!(
+            report.stats.rule_attempts < ref_report.stats.rule_attempts,
+            "delta {} vs pass-based {}",
+            report.stats.rule_attempts,
+            ref_report.stats.rule_attempts
+        );
+        assert_eq!(report.stats.rule_attempts, 3, "each rule attempted once");
+        assert!(report.passes <= ref_report.passes);
+    }
+
+    #[test]
+    fn dead_rules_are_attempted_once_and_dropped() {
+        let (input, rules, md) = reverse_chain();
+        let plan = CompiledRules::compile(&rules, &md);
+        // zip absent from master: zip_ac is eligible but can never fire.
+        let mut t = Tuple::of_strings(input.clone(), ["ZZ9", "x", "y", "z"]).unwrap();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
+        let report = run_fixpoint_delta(&plan, &md, &mut t, &mut v).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(report.fixes.is_empty());
+        assert_eq!(report.stats.rule_attempts, 1, "only the eligible rule");
+        assert_eq!(report.stats.master_lookups, 1);
+    }
+
+    #[test]
+    fn nothing_eligible_attempts_nothing() {
+        let (input, rules, md) = reverse_chain();
+        let plan = CompiledRules::compile(&rules, &md);
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
+        let mut v = AttrSet::new();
+        let report = run_fixpoint_delta(&plan, &md, &mut t, &mut v).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(report.stats.rule_attempts, 0);
+        assert_eq!(report.passes, 1);
+    }
+
+    #[test]
+    fn scan_fallback_matches_indexed_plan() {
+        let (input, rules, md) = reverse_chain();
+        let unindexed = MasterData::new_unindexed(md.relation().clone());
+        let plan_idx = CompiledRules::compile(&rules, &md);
+        let plan_scan = CompiledRules::compile(&rules, &unindexed);
+        for zip in ["EH8", "SW1", "nope"] {
+            let seed: AttrSet = [input.attr_id("zip").unwrap()].into();
+            let mut t1 = Tuple::of_strings(input.clone(), [zip, "x", "y", "z"]).unwrap();
+            let mut v1 = seed.clone();
+            let r1 = run_fixpoint_delta(&plan_idx, &md, &mut t1, &mut v1).unwrap();
+            let mut t2 = Tuple::of_strings(input.clone(), [zip, "x", "y", "z"]).unwrap();
+            let mut v2 = seed;
+            let r2 = run_fixpoint_delta(&plan_scan, &unindexed, &mut t2, &mut v2).unwrap();
+            assert_eq!(t1, t2, "zip={zip}");
+            assert_eq!(v1, v2);
+            assert_eq!(r1.fixes, r2.fixes);
+            assert_eq!(r1.stats.master_lookups, r2.stats.master_lookups);
+            assert_eq!(r2.stats.index_probes, 0, "scan arm never probes");
+            assert!(r1.stats.index_probes > 0 || zip == "nope");
+        }
+    }
+
+    #[test]
+    fn validated_cell_conflict_is_surfaced() {
+        // A multi-RHS rule whose `AC` target is already validated with a
+        // value that contradicts master data: the rule still fires (its
+        // `city` target is open) and must error on `AC` rather than
+        // overwrite the validated cell.
+        let input = Schema::of_strings("in", ["zip", "AC", "city"]).unwrap();
+        let ms = Schema::of_strings("m", ["zip", "AC", "city"]).unwrap();
+        let md = MasterData::new(
+            RelationBuilder::new(ms.clone())
+                .row_strs(["EH8", "131", "Edi"])
+                .build()
+                .unwrap(),
+        );
+        let pair = |n: &str| (input.attr_id(n).unwrap(), ms.attr_id(n).unwrap());
+        let mut rules = RuleSet::new(input.clone(), ms.clone());
+        rules
+            .add(
+                EditingRule::new(
+                    "zip_ac_city",
+                    &input,
+                    &ms,
+                    vec![pair("zip")],
+                    vec![pair("AC"), pair("city")],
+                    PatternTuple::empty(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let plan = CompiledRules::compile(&rules, &md);
+        // zip pins AC=131, but the user validated AC=020.
+        let seed: AttrSet = [input.attr_id("zip").unwrap(), input.attr_id("AC").unwrap()].into();
+        let mut t = Tuple::of_strings(input.clone(), ["EH8", "020", "?"]).unwrap();
+        let mut v = seed.clone();
+        let err = run_fixpoint_delta(&plan, &md, &mut t, &mut v).unwrap_err();
+        assert!(matches!(err, CerfixError::ValidatedCellConflict { .. }));
+        // The pass-based engine errors identically.
+        let mut t2 = Tuple::of_strings(input.clone(), ["EH8", "020", "?"]).unwrap();
+        let mut v2 = seed;
+        let err2 = run_fixpoint(&rules, &md, &mut t2, &mut v2).unwrap_err();
+        assert_eq!(err.to_string(), err2.to_string());
+    }
+}

@@ -14,11 +14,11 @@
 //! integration suite.
 
 use crate::engine::application::{apply_rule, ApplyOutcome, CellFix};
+use crate::engine::stats::EngineStats;
 use crate::error::Result;
 use crate::master::MasterData;
-use cerfix_relation::{AttrId, Tuple};
+use cerfix_relation::{AttrId, AttrSet, Tuple};
 use cerfix_rules::RuleSet;
-use std::collections::BTreeSet;
 
 /// Outcome of running the correcting process on one tuple.
 #[derive(Debug, Clone, Default)]
@@ -27,10 +27,13 @@ pub struct FixpointReport {
     pub fixes: Vec<CellFix>,
     /// Attributes validated by rules during this run (excludes the seed).
     pub newly_validated: Vec<AttrId>,
-    /// Full passes over the rule set (≥ 1).
+    /// Full passes over the rule set (≥ 1). The delta engine reports its
+    /// sweep count here, which is never larger.
     pub passes: usize,
     /// Rules that fired productively.
     pub rule_firings: usize,
+    /// Deterministic work counters (attempts, lookups, index probes).
+    pub stats: EngineStats,
 }
 
 impl FixpointReport {
@@ -41,6 +44,7 @@ impl FixpointReport {
         self.newly_validated.extend(later.newly_validated);
         self.passes += later.passes;
         self.rule_firings += later.rule_firings;
+        self.stats += later.stats;
     }
 }
 
@@ -49,18 +53,40 @@ impl FixpointReport {
 /// Rules are attempted in rule-id order within each pass; passes repeat
 /// until quiescence. Deterministic by construction, and order-independent
 /// for consistent rule sets.
+///
+/// This is the pass-based **reference engine**: it re-interprets the
+/// whole rule set every pass, so its work is O(passes × |rules|). The
+/// production paths run the delta-driven engine
+/// ([`run_fixpoint_delta`](crate::engine::run_fixpoint_delta)), which is
+/// equivalence-tested against this one; the pass-based loop is kept as
+/// the oracle and as the `T6`-style ablation arm.
 pub fn run_fixpoint(
     rules: &RuleSet,
     master: &MasterData,
     tuple: &mut Tuple,
-    validated: &mut BTreeSet<AttrId>,
+    validated: &mut AttrSet,
 ) -> Result<FixpointReport> {
     let mut report = FixpointReport::default();
+    let indexed = master.uses_indexes();
     loop {
         report.passes += 1;
         let mut progressed = false;
         for (rule_id, rule) in rules.iter() {
+            report.stats.rule_attempts += 1;
             let outcome = apply_rule(rule_id, rule, master, tuple, validated)?;
+            // Everything past the eligibility and pattern gates performed
+            // one certain-lookup against master data.
+            if !matches!(
+                outcome,
+                ApplyOutcome::AlreadyCovered
+                    | ApplyOutcome::NotEligible
+                    | ApplyOutcome::PatternMismatch
+            ) {
+                report.stats.master_lookups += 1;
+                if indexed {
+                    report.stats.index_probes += 1;
+                }
+            }
             if let ApplyOutcome::Applied {
                 fixes,
                 newly_validated,
@@ -147,7 +173,7 @@ mod tests {
     fn chain_propagates_to_fixpoint() {
         let (input, rules, md) = chain_fixture();
         let mut t = Tuple::of_strings(input.clone(), ["EH8", "999", "Nowhere", "???"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
         assert_eq!(v.len(), 4, "every attribute validated");
         assert_eq!(t.get_by_name("AC").unwrap(), &Value::str("131"));
@@ -214,7 +240,7 @@ mod tests {
             )
             .unwrap();
         let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
         assert_eq!(v.len(), 4);
         assert_eq!(t.get_by_name("str").unwrap(), &Value::str("Elm St"));
@@ -227,7 +253,7 @@ mod tests {
         let (input, rules_fwd, md) = chain_fixture();
         let dirty = ["EH8", "bad", "bad", "bad"];
         let mut t1 = Tuple::of_strings(input.clone(), dirty).unwrap();
-        let mut v1: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v1: AttrSet = [input.attr_id("zip").unwrap()].into();
         run_fixpoint(&rules_fwd, &md, &mut t1, &mut v1).unwrap();
 
         // Reversed insertion order.
@@ -254,7 +280,7 @@ mod tests {
                 .unwrap();
         }
         let mut t2 = Tuple::of_strings(input.clone(), dirty).unwrap();
-        let mut v2: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v2: AttrSet = [input.attr_id("zip").unwrap()].into();
         run_fixpoint(&rules_rev, &md, &mut t2, &mut v2).unwrap();
 
         assert_eq!(t1, t2);
@@ -265,7 +291,7 @@ mod tests {
     fn stalls_without_evidence() {
         let (input, rules, md) = chain_fixture();
         let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
-        let mut v = BTreeSet::new(); // nothing validated
+        let mut v = AttrSet::new(); // nothing validated
         let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
         assert!(v.is_empty());
         assert!(report.fixes.is_empty());
@@ -276,7 +302,7 @@ mod tests {
     fn idempotent_after_fixpoint() {
         let (input, rules, md) = chain_fixture();
         let mut t = Tuple::of_strings(input.clone(), ["EH8", "x", "y", "z"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
         let snapshot = (t.clone(), v.clone());
         let second = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
@@ -289,7 +315,7 @@ mod tests {
     fn unknown_master_key_leaves_tuple_partially_fixed() {
         let (input, rules, md) = chain_fixture();
         let mut t = Tuple::of_strings(input.clone(), ["ZZ9", "x", "y", "z"]).unwrap();
-        let mut v: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let mut v: AttrSet = [input.attr_id("zip").unwrap()].into();
         let report = run_fixpoint(&rules, &md, &mut t, &mut v).unwrap();
         assert_eq!(v.len(), 1, "zip validated but chain never starts");
         assert!(report.fixes.is_empty());
@@ -302,16 +328,25 @@ mod tests {
             newly_validated: vec![1],
             passes: 2,
             rule_firings: 1,
+            stats: EngineStats {
+                rule_attempts: 4,
+                ..Default::default()
+            },
         };
         let b = FixpointReport {
             fixes: vec![],
             newly_validated: vec![2, 3],
             passes: 1,
             rule_firings: 2,
+            stats: EngineStats {
+                rule_attempts: 2,
+                ..Default::default()
+            },
         };
         a.absorb(b);
         assert_eq!(a.newly_validated, vec![1, 2, 3]);
         assert_eq!(a.passes, 3);
         assert_eq!(a.rule_firings, 3);
+        assert_eq!(a.stats.rule_attempts, 6);
     }
 }

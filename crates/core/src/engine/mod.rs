@@ -1,15 +1,23 @@
-//! The rule engine (paper §2): rule application, the correcting process,
-//! consistency checking, and the validated-attribute inference system.
+//! The rule engine (paper §2): rule application, the correcting process
+//! (compiled plans + delta-driven fixpoint, with the pass-based loop as
+//! the reference oracle), consistency checking, and the
+//! validated-attribute inference system.
 
 mod application;
+mod compile;
 mod consistency;
+mod delta;
 mod fixpoint;
 mod inference;
+mod stats;
 
 pub use application::{apply_rule, ApplyOutcome, CellFix};
+pub use compile::CompiledRules;
 pub use consistency::{check_consistency, ConsistencyOptions, ConsistencyReport, Inconsistency};
+pub use delta::run_fixpoint_delta;
 pub use fixpoint::{run_fixpoint, FixpointReport};
 pub use inference::{
     all_rules, attribute_closure, covers_all, minimal_covers, new_suggestion, unfixable_attrs,
     useful_evidence_attrs, RuleFilter,
 };
+pub use stats::EngineStats;

@@ -71,8 +71,9 @@ pub mod region;
 
 pub use audit::{explain_cell, explain_tuple, AuditLog, AuditRecord, AuditStats, CellEvent};
 pub use engine::{
-    apply_rule, check_consistency, run_fixpoint, ApplyOutcome, CellFix, ConsistencyOptions,
-    ConsistencyReport, FixpointReport, Inconsistency,
+    apply_rule, check_consistency, run_fixpoint, run_fixpoint_delta, ApplyOutcome, CellFix,
+    CompiledRules, ConsistencyOptions, ConsistencyReport, EngineStats, FixpointReport,
+    Inconsistency,
 };
 pub use error::{CerfixError, Result};
 pub use exec::{ordered_map, WorkerPool};

@@ -14,6 +14,8 @@ use cerfix_relation::{AttrId, HashIndex, Relation, RowId, SchemaRef, Tuple, Valu
 use cerfix_rules::EditingRule;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Outcome of a certain-lookup for one rule against one input tuple.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,14 +42,26 @@ pub enum CertainLookup {
 }
 
 /// The master data manager: `Dm` plus per-LHS lookup indexes.
+///
+/// Indexes are stored as immutable `Arc<HashIndex>` snapshots: the
+/// serving path (compiled rule plans, `for_each_matching_row`) holds an
+/// `Arc` and probes lock-free; the `RwLock` is touched only to fetch or
+/// build a snapshot, never per row. Appends bump [`generation`] so
+/// holders of stale snapshots (e.g. a [`CompiledRules`] plan built
+/// before the append) can detect that they must re-resolve.
+///
+/// [`generation`]: MasterData::generation
+/// [`CompiledRules`]: crate::engine::CompiledRules
 #[derive(Debug)]
 pub struct MasterData {
     relation: Relation,
     /// Index cache keyed by the master-side LHS attribute list.
     /// `RwLock` so concurrent monitor streams share lazily-built indexes.
-    indexes: RwLock<HashMap<Vec<AttrId>, HashIndex>>,
+    indexes: RwLock<HashMap<Vec<AttrId>, Arc<HashIndex>>>,
     /// When false, lookups scan the relation (the `T6` ablation arm).
     use_indexes: bool,
+    /// Bumped on every append; lets compiled plans detect staleness.
+    generation: AtomicU64,
 }
 
 impl MasterData {
@@ -57,6 +71,7 @@ impl MasterData {
             relation,
             indexes: RwLock::new(HashMap::new()),
             use_indexes: true,
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -69,6 +84,7 @@ impl MasterData {
             relation,
             indexes: RwLock::new(HashMap::new()),
             use_indexes: false,
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -97,36 +113,74 @@ impl MasterData {
         self.relation.row(row)
     }
 
-    /// Row ids of master tuples `s` with `s[attrs] = key` (match
-    /// semantics: null keys match nothing).
-    pub fn matching_rows(&self, attrs: &[AttrId], key: &[Value]) -> Vec<RowId> {
-        if key.iter().any(Value::is_null) {
-            return Vec::new();
+    /// True iff lookups go through hash indexes (false on the `T6`
+    /// ablation arm, where every lookup scans the relation).
+    pub fn uses_indexes(&self) -> bool {
+        self.use_indexes
+    }
+
+    /// Monotone counter bumped on every [`append`](MasterData::append).
+    /// Compiled rule plans record the generation they were resolved
+    /// against and refuse to serve a newer master.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The (possibly freshly built) index snapshot over `attrs`, or
+    /// `None` on the unindexed ablation arm. The returned `Arc` is a
+    /// point-in-time snapshot: it stays valid (and lock-free to probe)
+    /// however long the caller holds it, but does not see later appends.
+    pub fn warmed_index(&self, attrs: &[AttrId]) -> Option<Arc<HashIndex>> {
+        if !self.use_indexes {
+            return None;
         }
-        if self.use_indexes {
-            {
-                let cache = self.indexes.read();
-                if let Some(idx) = cache.get(attrs) {
-                    return idx.lookup(key).to_vec();
+        {
+            let cache = self.indexes.read();
+            if let Some(idx) = cache.get(attrs) {
+                return Some(Arc::clone(idx));
+            }
+        }
+        let mut cache = self.indexes.write();
+        let idx = cache
+            .entry(attrs.to_vec())
+            .or_insert_with(|| Arc::new(HashIndex::build(&self.relation, attrs.to_vec())));
+        Some(Arc::clone(idx))
+    }
+
+    /// Call `f` for each master row with `s[attrs] = key` (match
+    /// semantics: null keys match nothing), in row order, without
+    /// allocating a row-id vector. Indexed masters probe a snapshot
+    /// (the read lock is held only to clone the `Arc`); unindexed
+    /// masters scan.
+    pub fn for_each_matching_row(&self, attrs: &[AttrId], key: &[Value], mut f: impl FnMut(RowId)) {
+        if key.iter().any(Value::is_null) {
+            return;
+        }
+        if let Some(idx) = self.warmed_index(attrs) {
+            for &row in idx.lookup(key) {
+                f(row);
+            }
+        } else {
+            for (id, s) in self.relation.iter() {
+                if attrs
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(&a, k)| s.get(a).matches(k))
+                {
+                    f(id);
                 }
             }
-            let mut cache = self.indexes.write();
-            let idx = cache
-                .entry(attrs.to_vec())
-                .or_insert_with(|| HashIndex::build(&self.relation, attrs.to_vec()));
-            idx.lookup(key).to_vec()
-        } else {
-            self.relation
-                .iter()
-                .filter(|(_, s)| {
-                    attrs
-                        .iter()
-                        .zip(key.iter())
-                        .all(|(&a, k)| s.get(a).matches(k))
-                })
-                .map(|(id, _)| id)
-                .collect()
         }
+    }
+
+    /// Row ids of master tuples `s` with `s[attrs] = key` (match
+    /// semantics: null keys match nothing). Allocates the result vector;
+    /// hot paths use [`for_each_matching_row`](Self::for_each_matching_row)
+    /// or a plan-held index snapshot instead.
+    pub fn matching_rows(&self, attrs: &[AttrId], key: &[Value]) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        self.for_each_matching_row(attrs, key, |id| rows.push(id));
+        rows
     }
 
     /// The certain-lookup at the heart of rule application: find the
@@ -139,36 +193,89 @@ impl MasterData {
         let input_lhs = rule.input_lhs();
         let master_lhs = rule.master_lhs();
         let key = t.project(&input_lhs);
-        let rows = self.matching_rows(&master_lhs, &key);
-        if rows.is_empty() {
+        self.certain_lookup_at(&master_lhs, &key, &rule.master_rhs())
+    }
+
+    /// Flat-slice form of [`certain_lookup`](Self::certain_lookup), used
+    /// by compiled rule plans: the caller supplies the resolved attribute
+    /// layouts and the projected key (typically from reused buffers), so
+    /// no per-call attribute or row-id vectors are allocated.
+    pub fn certain_lookup_at(
+        &self,
+        master_lhs: &[AttrId],
+        key: &[Value],
+        master_rhs: &[AttrId],
+    ) -> CertainLookup {
+        if key.iter().any(Value::is_null) {
             return CertainLookup::NoMatch;
         }
-        let master_rhs = rule.master_rhs();
-        let first = self.relation.row(rows[0]).expect("index row in range");
-        let values: Vec<Value> = master_rhs.iter().map(|&a| first.get(a).clone()).collect();
-        // A null master value is not evidence of anything: treat a null in
-        // the fix values as ambiguity (no certain fix through this rule).
-        if values.iter().any(Value::is_null) {
-            return CertainLookup::Ambiguous {
-                matches: rows.len(),
-            };
+        if let Some(idx) = self.warmed_index(master_lhs) {
+            self.certain_over_rows(idx.lookup(key).iter().copied(), master_rhs)
+        } else {
+            let rows = self.relation.iter().filter_map(|(id, s)| {
+                master_lhs
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(&a, k)| s.get(a).matches(k))
+                    .then_some(id)
+            });
+            self.certain_over_rows(rows, master_rhs)
         }
-        for &row in &rows[1..] {
-            let s = self.relation.row(row).expect("index row in range");
-            let agrees = master_rhs
-                .iter()
-                .zip(values.iter())
-                .all(|(&a, v)| s.get(a) == v);
-            if !agrees {
-                return CertainLookup::Ambiguous {
-                    matches: rows.len(),
-                };
+    }
+
+    /// Fold matching rows into `(match count, certain witness)`: the
+    /// witness is `Some` iff at least one row matched, all rows agree on
+    /// every `master_rhs` attribute, and no fix value is null (a null
+    /// master cell is not evidence of anything). This is THE
+    /// certain-application invariant — both engines (the pass-based
+    /// [`certain_lookup`](Self::certain_lookup) path and the compiled
+    /// delta engine) go through it, so the semantics cannot drift.
+    pub(crate) fn certain_witness(
+        &self,
+        rows: impl Iterator<Item = RowId>,
+        master_rhs: &[AttrId],
+    ) -> (usize, Option<RowId>) {
+        let mut matches = 0usize;
+        let mut witness: RowId = 0;
+        let mut ambiguous = false;
+        for row in rows {
+            if matches == 0 {
+                witness = row;
+            } else if !ambiguous {
+                let first = self.relation.row(witness).expect("index row in range");
+                let s = self.relation.row(row).expect("index row in range");
+                ambiguous = master_rhs.iter().any(|&a| s.get(a) != first.get(a));
             }
+            matches += 1;
         }
-        CertainLookup::Unique {
-            values,
-            witness: rows[0],
-            matches: rows.len(),
+        if matches == 0 {
+            return (0, None);
+        }
+        let first = self.relation.row(witness).expect("index row in range");
+        if ambiguous || master_rhs.iter().any(|&a| first.get(a).is_null()) {
+            return (matches, None);
+        }
+        (matches, Some(witness))
+    }
+
+    /// Fold matching rows into a [`CertainLookup`] (see
+    /// [`certain_witness`](Self::certain_witness) for the invariant).
+    fn certain_over_rows(
+        &self,
+        rows: impl Iterator<Item = RowId>,
+        master_rhs: &[AttrId],
+    ) -> CertainLookup {
+        match self.certain_witness(rows, master_rhs) {
+            (0, _) => CertainLookup::NoMatch,
+            (matches, None) => CertainLookup::Ambiguous { matches },
+            (matches, Some(witness)) => {
+                let first = self.relation.row(witness).expect("index row in range");
+                CertainLookup::Unique {
+                    values: master_rhs.iter().map(|&a| first.get(a).clone()).collect(),
+                    witness,
+                    matches,
+                }
+            }
         }
     }
 
@@ -186,9 +293,12 @@ impl MasterData {
         if self.use_indexes {
             let mut cache = self.indexes.write();
             for index in cache.values_mut() {
-                index.insert_row(row_id, tuple);
+                // Snapshots held elsewhere (compiled plans) keep the old
+                // copy; `make_mut` clones only when one is outstanding.
+                Arc::make_mut(index).insert_row(row_id, tuple);
             }
         }
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(row_id)
     }
 
@@ -208,7 +318,7 @@ impl MasterData {
             let attrs = rule.master_lhs();
             cache
                 .entry(attrs.clone())
-                .or_insert_with(|| HashIndex::build(&self.relation, attrs));
+                .or_insert_with(|| Arc::new(HashIndex::build(&self.relation, attrs)));
         }
     }
 }

@@ -24,12 +24,14 @@ pub use stream::{clean_stream, clean_stream_parallel, StreamReport};
 pub use user::{CappedUser, OracleUser, PreferringUser, SilentUser, UserAgent};
 
 use crate::audit::{AuditLog, AuditRecord, CellEvent};
-use crate::engine::{new_suggestion, run_fixpoint, FixpointReport};
+use crate::engine::{new_suggestion, run_fixpoint_delta, CompiledRules, FixpointReport};
 use crate::error::{CerfixError, Result};
 use crate::master::MasterData;
 use crate::region::Region;
 use cerfix_relation::{AttrId, Tuple, Value};
 use cerfix_rules::{EditingRule, RuleId, RuleSet};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Outcome of a full interactive cleaning of one tuple.
 #[derive(Debug, Clone)]
@@ -55,6 +57,11 @@ pub struct CleanOutcome {
 pub struct DataMonitor<'a> {
     rules: &'a RuleSet,
     master: &'a MasterData,
+    /// Compiled execution plan the correcting process runs on (delta
+    /// engine). Compiled in [`new`](Self::new); long-lived services share
+    /// one plan across per-request monitors via
+    /// [`from_plan`](Self::from_plan).
+    plan: Arc<CompiledRules>,
     /// Shared so long-lived services hand one pre-computed set to every
     /// per-request monitor without deep-cloning tableaux.
     regions: std::sync::Arc<[Region]>,
@@ -66,15 +73,41 @@ pub struct DataMonitor<'a> {
 
 impl<'a> DataMonitor<'a> {
     /// Create a monitor without pre-computed regions (initial suggestions
-    /// then fall back to the inference system).
+    /// then fall back to the inference system). Compiles the rule set
+    /// into an execution plan, warming the master indexes.
     pub fn new(rules: &'a RuleSet, master: &'a MasterData) -> DataMonitor<'a> {
+        DataMonitor::from_plan(
+            rules,
+            master,
+            Arc::new(CompiledRules::compile(rules, master)),
+        )
+    }
+
+    /// Create a monitor reusing an already-compiled plan (must have been
+    /// compiled from `rules` against `master`) — the shape
+    /// `cerfix-server` uses per request, alongside
+    /// [`with_shared_regions`](Self::with_shared_regions), so monitor
+    /// construction is a couple of refcount bumps.
+    pub fn from_plan(
+        rules: &'a RuleSet,
+        master: &'a MasterData,
+        plan: Arc<CompiledRules>,
+    ) -> DataMonitor<'a> {
+        debug_assert_eq!(plan.len(), rules.len());
+        debug_assert_eq!(plan.master_generation(), master.generation());
         DataMonitor {
+            plan,
             rules,
             master,
             regions: std::sync::Arc::from(Vec::new()),
             audit: AuditLog::new(),
             max_rounds: 64,
         }
+    }
+
+    /// The compiled execution plan (shareable across monitors).
+    pub fn plan(&self) -> &Arc<CompiledRules> {
+        &self.plan
     }
 
     /// Provide pre-computed certain regions for initial suggestions
@@ -124,7 +157,7 @@ impl<'a> DataMonitor<'a> {
     ) -> impl Fn(RuleId, &EditingRule) -> bool + 's {
         move |_, rule| {
             let pattern_ok = rule.pattern().cells().iter().all(|cell| {
-                if session.validated.contains(&cell.attr) {
+                if session.validated.contains(cell.attr) {
                     cell.op.matches(session.tuple.get(cell.attr))
                 } else {
                     true
@@ -136,11 +169,11 @@ impl<'a> DataMonitor<'a> {
             let evidence_done = rule
                 .evidence_attrs()
                 .iter()
-                .all(|a| session.validated.contains(a));
+                .all(|&a| session.validated.contains(a));
             let rhs_done = rule
                 .input_rhs()
                 .iter()
-                .all(|b| session.validated.contains(b));
+                .all(|&b| session.validated.contains(b));
             // Stalled: had its chance and failed.
             !evidence_done || rhs_done
         }
@@ -168,7 +201,7 @@ impl<'a> DataMonitor<'a> {
                     // falsified by validated pattern attributes.
                     r.tableau().iter().any(|p| {
                         p.cells().iter().all(|c| {
-                            !session.validated.contains(&c.attr)
+                            !session.validated.contains(c.attr)
                                 || c.op.matches(session.tuple.get(c.attr))
                         })
                     })
@@ -177,7 +210,7 @@ impl<'a> DataMonitor<'a> {
                     let extra = r
                         .attrs()
                         .iter()
-                        .filter(|a| !session.validated.contains(a))
+                        .filter(|&&a| !session.validated.contains(a))
                         .count();
                     // Tie-break: the suggestion is made before the tuple's
                     // gate attributes are known, so prefer the region whose
@@ -190,14 +223,17 @@ impl<'a> DataMonitor<'a> {
                     .attrs()
                     .iter()
                     .copied()
-                    .filter(|a| !session.validated.contains(a))
+                    .filter(|&a| !session.validated.contains(a))
                     .collect();
                 if !extra.is_empty() {
                     return Some(extra);
                 }
             }
         }
-        new_suggestion(self.rules, &session.validated, &filter)
+        // The inference system reasons over BTree sets; this is the cold
+        // (user-interaction) path, so the conversion cost is irrelevant.
+        let validated: BTreeSet<AttrId> = session.validated.iter().collect();
+        new_suggestion(self.rules, &validated, &filter)
             .map(|s| s.into_iter().collect::<Vec<AttrId>>())
             .filter(|s| !s.is_empty())
     }
@@ -256,8 +292,8 @@ impl<'a> DataMonitor<'a> {
                 });
             }
         }
-        let report = run_fixpoint(
-            self.rules,
+        let report = run_fixpoint_delta(
+            &self.plan,
             self.master,
             &mut session.tuple,
             &mut session.validated,
@@ -316,7 +352,7 @@ impl<'a> DataMonitor<'a> {
                 break; // user declined; leave the session incomplete
             }
             for (attr, value) in &validations {
-                if !session.validated.contains(attr) && session.tuple.get(*attr) != value {
+                if !session.validated.contains(*attr) && session.tuple.get(*attr) != value {
                     user_corrections += 1;
                 }
             }
@@ -523,10 +559,10 @@ mod tests {
         assert_eq!(fn_fix.old, Value::str("M."));
         assert_eq!(fn_fix.new, Value::str("Mark"));
         assert_eq!(fn_fix.master_row, 1);
-        assert!(session.validated.contains(&t("LN")));
-        assert!(session.validated.contains(&t("city")));
-        assert!(!session.validated.contains(&t("zip")));
-        assert!(!session.validated.contains(&t("str")));
+        assert!(session.validated.contains(t("LN")));
+        assert!(session.validated.contains(t("city")));
+        assert!(!session.validated.contains(t("zip")));
+        assert!(!session.validated.contains(t("str")));
 
         // The monitor's next suggestion is exactly zip (paper: "CerFix
         // suggests the users to validate zip code").

@@ -1,7 +1,6 @@
 //! Per-tuple monitor sessions.
 
-use cerfix_relation::{AttrId, Tuple};
-use std::collections::BTreeSet;
+use cerfix_relation::{AttrId, AttrSet, Tuple};
 
 /// The state of one tuple's interactive cleaning session.
 #[derive(Debug, Clone)]
@@ -11,11 +10,11 @@ pub struct MonitorSession {
     /// The tuple, mutated in place as fixes are applied.
     pub tuple: Tuple,
     /// All validated attributes (user + rules).
-    pub validated: BTreeSet<AttrId>,
+    pub validated: AttrSet,
     /// Attributes validated by the user.
-    pub user_validated: BTreeSet<AttrId>,
+    pub user_validated: AttrSet,
     /// Attributes validated automatically by rules.
-    pub auto_validated: BTreeSet<AttrId>,
+    pub auto_validated: AttrSet,
     /// Completed interaction rounds.
     pub rounds: usize,
 }
@@ -26,9 +25,9 @@ impl MonitorSession {
         MonitorSession {
             tuple_id,
             tuple,
-            validated: BTreeSet::new(),
-            user_validated: BTreeSet::new(),
-            auto_validated: BTreeSet::new(),
+            validated: AttrSet::new(),
+            user_validated: AttrSet::new(),
+            auto_validated: AttrSet::new(),
             rounds: 0,
         }
     }
@@ -42,7 +41,7 @@ impl MonitorSession {
     /// Attributes not yet validated.
     pub fn unvalidated(&self) -> Vec<AttrId> {
         (0..self.tuple.arity())
-            .filter(|a| !self.validated.contains(a))
+            .filter(|&a| !self.validated.contains(a))
             .collect()
     }
 }

@@ -17,11 +17,10 @@
 //! data: one truth per master tuple per pattern context), mirroring the
 //! MDM assumption that entities to be cleaned are represented in `Dm`.
 
-use crate::engine::run_fixpoint;
+use crate::engine::{run_fixpoint_delta, CompiledRules};
 use crate::master::MasterData;
-use cerfix_relation::{AttrId, Tuple, Value};
+use cerfix_relation::{AttrSet, Tuple, Value};
 use cerfix_rules::{PatternTuple, RuleSet};
-use std::collections::BTreeSet;
 
 /// Outcome of certifying one `(Z, pattern)` candidate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,16 +36,21 @@ pub struct CertifyResult {
 /// Certify candidate attributes `attrs` under `pattern` against the truth
 /// `universe`.
 ///
+/// Runs one delta fixpoint per applicable truth on the compiled `plan` —
+/// the region finder's data phase executes universe × candidates of
+/// these, which is why it takes a plan (compiled once per search) rather
+/// than re-interpreting a `RuleSet` per probe.
+///
 /// An empty applicable set certifies vacuously (`checked == 0`); callers
 /// that want non-vacuous regions should check `checked > 0`.
 pub fn certify_region(
-    rules: &RuleSet,
+    plan: &CompiledRules,
     master: &MasterData,
-    attrs: &BTreeSet<AttrId>,
+    attrs: &AttrSet,
     pattern: &PatternTuple,
     universe: &[Tuple],
 ) -> CertifyResult {
-    let arity = rules.input_schema().arity();
+    let arity = plan.input_schema().arity();
     let mut result = CertifyResult {
         certified: true,
         checked: 0,
@@ -59,12 +63,12 @@ pub fn certify_region(
         result.checked += 1;
         // Input as the monitor sees it after the user validates Z with the
         // true values: Z cells carry truth, the rest is unknown.
-        let mut t = Tuple::all_null(rules.input_schema().clone());
-        for &a in attrs {
+        let mut t = Tuple::all_null(plan.input_schema().clone());
+        for a in attrs {
             t.set(a, truth.get(a).clone()).expect("attr in schema");
         }
         let mut validated = attrs.clone();
-        let ok = match run_fixpoint(rules, master, &mut t, &mut validated) {
+        let ok = match run_fixpoint_delta(plan, master, &mut t, &mut validated) {
             Err(_) => false, // validated-cell conflict: inconsistent rules
             Ok(_) => {
                 validated.len() == arity
@@ -86,30 +90,27 @@ pub fn certify_region(
 }
 
 /// Convenience: does validating `attrs` yield a full correct fix for this
-/// single `truth` tuple? Used by tests and the monitor's diagnostics.
-pub fn certifies_for(
-    rules: &RuleSet,
-    master: &MasterData,
-    attrs: &BTreeSet<AttrId>,
-    truth: &Tuple,
-) -> bool {
+/// single `truth` tuple? Compiles a throwaway plan — used by tests and
+/// the monitor's diagnostics, not by the region finder's hot loop.
+pub fn certifies_for(rules: &RuleSet, master: &MasterData, attrs: &AttrSet, truth: &Tuple) -> bool {
+    let plan = CompiledRules::compile(rules, master);
     let empty_pattern = PatternTuple::empty();
     let universe = std::slice::from_ref(truth);
-    certify_region(rules, master, attrs, &empty_pattern, universe).certified
+    certify_region(&plan, master, attrs, &empty_pattern, universe).certified
 }
 
 /// Build the "unknown form" input for a truth tuple: `Z` validated with
 /// truth values, other cells null. Exposed for the experiment harness.
-pub fn masked_input(truth: &Tuple, attrs: &BTreeSet<AttrId>) -> Tuple {
+pub fn masked_input(truth: &Tuple, attrs: &AttrSet) -> Tuple {
     let mut t = Tuple::all_null(truth.schema().clone());
-    for &a in attrs {
+    for a in attrs {
         t.set(a, truth.get(a).clone()).expect("attr in schema");
     }
     debug_assert!(t
         .values()
         .iter()
         .enumerate()
-        .all(|(i, v)| { attrs.contains(&i) || matches!(v, Value::Null) }));
+        .all(|(i, v)| { attrs.contains(i) || matches!(v, Value::Null) }));
     t
 }
 
@@ -118,6 +119,10 @@ mod tests {
     use super::*;
     use cerfix_relation::{RelationBuilder, Schema, SchemaRef};
     use cerfix_rules::EditingRule;
+
+    fn plan_for(rules: &RuleSet, master: &MasterData) -> CompiledRules {
+        CompiledRules::compile(rules, master)
+    }
 
     /// Two-rule fixture: zip→city and zip→AC, with a master where one zip
     /// key is ambiguous (two rows, different city).
@@ -171,12 +176,18 @@ mod tests {
     #[test]
     fn certifies_clean_universe() {
         let (input, rules, master) = fixture();
-        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let zip: AttrSet = [input.attr_id("zip").unwrap()].into();
         let universe = vec![
             truth(&input, ["131", "Edi", "EH8"]),
             truth(&input, ["020", "Ldn", "SW1"]),
         ];
-        let res = certify_region(&rules, &master, &zip, &PatternTuple::empty(), &universe);
+        let res = certify_region(
+            &plan_for(&rules, &master),
+            &master,
+            &zip,
+            &PatternTuple::empty(),
+            &universe,
+        );
         assert!(res.certified);
         assert_eq!(res.checked, 2);
         assert!(res.failures.is_empty());
@@ -187,12 +198,18 @@ mod tests {
         // G12 maps to two cities: closure says {zip} covers, but the
         // fixpoint stalls on the ambiguous key ⇒ certification must fail.
         let (input, rules, master) = fixture();
-        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let zip: AttrSet = [input.attr_id("zip").unwrap()].into();
         let universe = vec![
             truth(&input, ["131", "Edi", "EH8"]),
             truth(&input, ["0141", "Gla", "G12"]),
         ];
-        let res = certify_region(&rules, &master, &zip, &PatternTuple::empty(), &universe);
+        let res = certify_region(
+            &plan_for(&rules, &master),
+            &master,
+            &zip,
+            &PatternTuple::empty(),
+            &universe,
+        );
         assert!(!res.certified);
         assert_eq!(res.failures, vec![1]);
         assert_eq!(res.checked, 2);
@@ -204,13 +221,19 @@ mod tests {
         // out of scope, so certification succeeds (non-vacuously).
         let (input, rules, master) = fixture();
         let zip_id = input.attr_id("zip").unwrap();
-        let zip: BTreeSet<AttrId> = [zip_id].into();
+        let zip: AttrSet = [zip_id].into();
         let pattern = PatternTuple::empty().with_eq(zip_id, Value::str("EH8"));
         let universe = vec![
             truth(&input, ["131", "Edi", "EH8"]),
             truth(&input, ["0141", "Gla", "G12"]),
         ];
-        let res = certify_region(&rules, &master, &zip, &pattern, &universe);
+        let res = certify_region(
+            &plan_for(&rules, &master),
+            &master,
+            &zip,
+            &pattern,
+            &universe,
+        );
         assert!(res.certified);
         assert_eq!(res.checked, 1);
     }
@@ -221,7 +244,7 @@ mod tests {
         let zip_id = input.attr_id("zip").unwrap();
         let pattern = PatternTuple::empty().with_eq(zip_id, Value::str("NOPE"));
         let res = certify_region(
-            &rules,
+            &plan_for(&rules, &master),
             &master,
             &[zip_id].into(),
             &pattern,
@@ -235,9 +258,9 @@ mod tests {
     fn unknown_truth_entity_fails() {
         // A truth whose zip is absent from master: the chain never fires.
         let (input, rules, master) = fixture();
-        let zip: BTreeSet<AttrId> = [input.attr_id("zip").unwrap()].into();
+        let zip: AttrSet = [input.attr_id("zip").unwrap()].into();
         let res = certify_region(
-            &rules,
+            &plan_for(&rules, &master),
             &master,
             &zip,
             &PatternTuple::empty(),
@@ -250,7 +273,7 @@ mod tests {
     fn insufficient_attrs_fail() {
         // Validating only AC fixes nothing (no rule keys on AC).
         let (input, rules, master) = fixture();
-        let ac: BTreeSet<AttrId> = [input.attr_id("AC").unwrap()].into();
+        let ac: AttrSet = [input.attr_id("AC").unwrap()].into();
         assert!(!certifies_for(
             &rules,
             &master,
@@ -258,7 +281,7 @@ mod tests {
             &truth(&input, ["131", "Edi", "EH8"])
         ));
         // Validating everything trivially certifies.
-        let all: BTreeSet<AttrId> = input.all_attr_ids().collect();
+        let all: AttrSet = input.all_attr_ids().collect();
         assert!(certifies_for(
             &rules,
             &master,

@@ -23,11 +23,11 @@
 //! Certified candidates with the same `Z` merge their contexts into one
 //! tableau; regions are ranked ascending by `|Z|` and cut to `top_k`.
 
-use crate::engine::{minimal_covers, unfixable_attrs, useful_evidence_attrs};
+use crate::engine::{minimal_covers, unfixable_attrs, useful_evidence_attrs, CompiledRules};
 use crate::master::MasterData;
 use crate::region::certify::certify_region;
 use crate::region::tableau::Region;
-use cerfix_relation::{AttrId, Tuple, Value};
+use cerfix_relation::{AttrId, AttrSet, Tuple, Value};
 use cerfix_rules::{EditingRule, PatternOp, PatternTuple, RuleId, RuleSet};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -186,6 +186,9 @@ pub fn find_regions(
     let mut stats = RegionSearchStats::default();
     let contexts = enumerate_contexts(rules);
     stats.contexts = contexts.len();
+    // One compiled plan serves every certification probe of the data
+    // phase (universe × candidates fixpoints) — the search's hot loop.
+    let plan = CompiledRules::compile(rules, master);
 
     // Z (sorted attrs) → region under construction.
     let mut by_attrs: BTreeMap<Vec<AttrId>, Region> = BTreeMap::new();
@@ -207,9 +210,9 @@ pub fn find_regions(
         );
         for cover in covers {
             stats.candidates += 1;
-            let mut attrs = mandatory.clone();
+            let mut attrs: AttrSet = AttrSet::from(&mandatory);
             attrs.extend(cover.iter().copied());
-            let result = certify_region(rules, master, &attrs, &ctx.pattern, universe);
+            let result = certify_region(&plan, master, &attrs, &ctx.pattern, universe);
             if !result.certified {
                 stats.rejected_by_certification += 1;
                 continue;
@@ -218,7 +221,7 @@ pub fn find_regions(
                 stats.vacuous += 1;
                 continue;
             }
-            let key: Vec<AttrId> = attrs.iter().copied().collect();
+            let key: Vec<AttrId> = attrs.iter().collect();
             by_attrs
                 .entry(key.clone())
                 .or_insert_with(|| Region::new(key, Vec::new()))
@@ -507,7 +510,7 @@ mod tests {
             "F",
         ]);
         let master = MasterData::new(b.build().unwrap());
-        let zip_only: BTreeSet<AttrId> = [
+        let zip_only: AttrSet = [
             input.attr_id("zip").unwrap(),
             input.attr_id("phn").unwrap(),
             input.attr_id("type").unwrap(),
@@ -515,7 +518,7 @@ mod tests {
         ]
         .into();
         let res = certify_region(
-            &rules,
+            &CompiledRules::compile(&rules, &master),
             &master,
             &zip_only,
             &PatternTuple::empty().with_eq(input.attr_id("type").unwrap(), Value::str("2")),

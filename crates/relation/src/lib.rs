@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attrset;
 mod builder;
 mod csv;
 mod datatype;
@@ -52,6 +53,7 @@ mod schema;
 mod tuple;
 mod value;
 
+pub use attrset::AttrSet;
 pub use builder::{RelationBuilder, SchemaBuilder};
 pub use csv::{
     read_raw_records, read_relation_file, read_relation_str, read_untyped_str, write_relation_file,

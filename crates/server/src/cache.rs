@@ -8,7 +8,7 @@
 //! sets, or hot-reloading one, gets correct isolation for free.
 
 use crate::metrics::ServiceMetrics;
-use cerfix::{ConsistencyReport, RegionSearchResult};
+use cerfix::{CompiledRules, ConsistencyReport, RegionSearchResult};
 use cerfix_rules::{render_er_dsl, RuleSet};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -45,6 +45,10 @@ pub fn ruleset_fingerprint(rules: &RuleSet) -> u64 {
 pub struct AnalysisCache {
     regions: Mutex<HashMap<(u64, usize), Arc<RegionSearchResult>>>,
     consistency: Mutex<HashMap<(u64, String), Arc<ConsistencyReport>>>,
+    /// Compiled execution plans, keyed by `(ruleset fingerprint, master
+    /// generation)`: every per-request monitor shares one plan instead of
+    /// recompiling masks and re-resolving index snapshots.
+    plans: Mutex<HashMap<(u64, u64), Arc<CompiledRules>>>,
 }
 
 impl AnalysisCache {
@@ -70,6 +74,27 @@ impl AnalysisCache {
         metrics.cache_miss();
         let computed = Arc::new(compute());
         map.insert((fingerprint, top_k), Arc::clone(&computed));
+        (computed, false)
+    }
+
+    /// The compiled plan for `(fingerprint, master_generation)`,
+    /// compiling with `compute` on first use. The flag is `true` on a
+    /// cache hit.
+    pub fn plan(
+        &self,
+        fingerprint: u64,
+        master_generation: u64,
+        metrics: &ServiceMetrics,
+        compute: impl FnOnce() -> CompiledRules,
+    ) -> (Arc<CompiledRules>, bool) {
+        let mut map = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = map.get(&(fingerprint, master_generation)) {
+            metrics.cache_hit();
+            return (Arc::clone(hit), true);
+        }
+        metrics.cache_miss();
+        let computed = Arc::new(compute());
+        map.insert((fingerprint, master_generation), Arc::clone(&computed));
         (computed, false)
     }
 

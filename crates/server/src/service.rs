@@ -20,8 +20,9 @@ use crate::protocol::{Request, PROTOCOL_VERSION};
 use crate::session::{SessionError, SessionManager};
 use crate::wire::Json;
 use cerfix::{
-    check_consistency, find_regions, ConsistencyOptions, DataMonitor, FixpointReport, MasterData,
-    MonitorSession, Region, RegionFinderOptions, SessionStatus, WorkerPool,
+    check_consistency, find_regions, CompiledRules, ConsistencyOptions, DataMonitor,
+    FixpointReport, MasterData, MonitorSession, Region, RegionFinderOptions, SessionStatus,
+    WorkerPool,
 };
 use cerfix_relation::{SchemaRef, Tuple, Value};
 use cerfix_rules::RuleSet;
@@ -60,6 +61,9 @@ impl Default for ServiceConfig {
 struct ServiceInner {
     master: Arc<MasterData>,
     rules: Arc<RuleSet>,
+    /// Compiled execution plan shared by every per-request monitor
+    /// (masks + index snapshots resolved once, at startup).
+    plan: Arc<CompiledRules>,
     /// Pre-computed certain regions handed to every monitor (shared:
     /// each monitor construction is a refcount bump, not a deep clone).
     regions: std::sync::Arc<[Region]>,
@@ -101,6 +105,11 @@ impl CleaningService {
         let fingerprint = ruleset_fingerprint(&rules);
         let cache = AnalysisCache::new();
         let metrics = ServiceMetrics::new();
+        // Compile the execution plan once at startup (indexes are warm,
+        // so this just resolves snapshots and builds the rule masks).
+        let (plan, _) = cache.plan(fingerprint, master.generation(), &metrics, || {
+            CompiledRules::compile(&rules, &master)
+        });
         let regions = if config.precompute_regions {
             let universe = universe_from_master(rules.input_schema(), &master);
             let (result, _) = cache.regions(fingerprint, config.region_top_k, &metrics, || {
@@ -127,6 +136,7 @@ impl CleaningService {
                 cache,
                 metrics,
                 regions,
+                plan,
                 master,
                 rules,
                 config,
@@ -172,8 +182,12 @@ impl CleaningService {
     }
 
     fn monitor(&self) -> DataMonitor<'_> {
-        DataMonitor::new(&self.inner.rules, &self.inner.master)
-            .with_shared_regions(std::sync::Arc::clone(&self.inner.regions))
+        DataMonitor::from_plan(
+            &self.inner.rules,
+            &self.inner.master,
+            Arc::clone(&self.inner.plan),
+        )
+        .with_shared_regions(std::sync::Arc::clone(&self.inner.regions))
     }
 
     /// Handle one wire line: parse, dispatch, render. Never panics on
@@ -316,7 +330,7 @@ impl CleaningService {
                         session
                             .validated
                             .iter()
-                            .map(|&a| Json::str(schema.attr_name(a)))
+                            .map(|a| Json::str(schema.attr_name(a)))
                             .collect(),
                     ),
                 ),
@@ -450,7 +464,7 @@ impl CleaningService {
                     session
                         .validated
                         .iter()
-                        .map(|&a| Json::str(schema.attr_name(a)))
+                        .map(|a| Json::str(schema.attr_name(a)))
                         .collect(),
                 ),
             ),
@@ -634,7 +648,7 @@ fn clean_one(
         ));
     }
     let tuple = Tuple::new(schema.clone(), values).map_err(|e| e.to_string())?;
-    let monitor = DataMonitor::new(&inner.rules, &inner.master)
+    let monitor = DataMonitor::from_plan(&inner.rules, &inner.master, Arc::clone(&inner.plan))
         .with_shared_regions(std::sync::Arc::clone(&inner.regions));
     let mut session = monitor.start(idx, tuple);
     let validations: Vec<(usize, Value)> = trusted

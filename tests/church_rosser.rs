@@ -5,12 +5,11 @@
 
 use cerfix::{run_fixpoint, MasterData};
 use cerfix_gen::uk;
-use cerfix_relation::{AttrId, Tuple};
+use cerfix_relation::{AttrSet, Tuple};
 use cerfix_rules::{EditingRule, RuleSet};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeSet;
 
 /// Build the UK fixture once per case: 40 master entities, 9 paper rules.
 fn fixture() -> (RuleSet, MasterData, Vec<Tuple>) {
@@ -48,7 +47,7 @@ proptest! {
     ) {
         let (rules, master, universe) = fixture();
         let truth = &universe[entity % universe.len()];
-        let seed: BTreeSet<AttrId> =
+        let seed: AttrSet =
             (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
 
         let mut t1 = cerfix::region::masked_input(truth, &seed);
@@ -74,7 +73,7 @@ proptest! {
     ) {
         let (rules, master, universe) = fixture();
         let truth = &universe[entity % universe.len()];
-        let small: BTreeSet<AttrId> =
+        let small: AttrSet =
             (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
         let mut large = small.clone();
         large.insert(extra);
@@ -97,7 +96,7 @@ proptest! {
     fn fixpoint_is_idempotent(entity in 0usize..80, seed_mask in 0u16..512) {
         let (rules, master, universe) = fixture();
         let truth = &universe[entity % universe.len()];
-        let seed: BTreeSet<AttrId> =
+        let seed: AttrSet =
             (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
         let mut t = cerfix::region::masked_input(truth, &seed);
         let mut v = seed;
@@ -114,12 +113,12 @@ proptest! {
     fn validated_cells_are_immutable(entity in 0usize..80, seed_mask in 0u16..512) {
         let (rules, master, universe) = fixture();
         let truth = &universe[entity % universe.len()];
-        let seed: BTreeSet<AttrId> =
+        let seed: AttrSet =
             (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
         let mut t = cerfix::region::masked_input(truth, &seed);
         let mut v = seed.clone();
         run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
-        for &a in &seed {
+        for a in &seed {
             prop_assert_eq!(t.get(a), truth.get(a), "seeded cell {} changed", a);
         }
     }
@@ -130,13 +129,13 @@ proptest! {
     fn fixes_from_truthful_seeds_are_correct(entity in 0usize..80, seed_mask in 0u16..512) {
         let (rules, master, universe) = fixture();
         let truth = &universe[entity % universe.len()];
-        let seed: BTreeSet<AttrId> =
+        let seed: AttrSet =
             (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
         let mut t = cerfix::region::masked_input(truth, &seed);
         let mut v = seed;
         run_fixpoint(&rules, &master, &mut t, &mut v).unwrap();
         for a in &v {
-            prop_assert_eq!(t.get(*a), truth.get(*a),
+            prop_assert_eq!(t.get(a), truth.get(a),
                 "validated cell {} has a wrong value", a);
         }
     }

@@ -1,0 +1,264 @@
+//! Engine equivalence: the delta-driven fixpoint must be a drop-in
+//! replacement for the pass-based reference engine.
+//!
+//! Two layers of evidence:
+//!
+//! * **Property tests** — on the UK scenario and on fully randomized
+//!   (master, rules, tuple, seed) instances, both engines produce
+//!   identical final tuples, validated sets, and fix lists (same fixes,
+//!   same order), and error identically on inconsistent instances —
+//!   Church–Rosser equivalence preserved.
+//! * **Deterministic work guards** — on the UK rules and on a
+//!   mined-rules fixture (`discover_rules` over master data), the delta
+//!   engine performs strictly fewer rule attempts than the pass-based
+//!   engine and no more master lookups. Counts, not wall-clock: this
+//!   cannot flake on machine speed.
+
+use cerfix::{run_fixpoint, run_fixpoint_delta, CompiledRules, EngineStats, MasterData};
+use cerfix_gen::uk;
+use cerfix_relation::{AttrSet, RelationBuilder, Schema, Tuple, Value};
+use cerfix_rules::{discover_rules, EditingRule, PatternTuple, RuleSet};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uk_fixture() -> (RuleSet, MasterData, Vec<Tuple>) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let scenario = uk::scenario(50, &mut rng);
+    let master = MasterData::new(scenario.master.clone());
+    (scenario.rules, master, scenario.universe)
+}
+
+/// Run both engines on the same input and assert bit-for-bit agreement.
+/// Returns (pass stats, delta stats) for the work guards.
+fn assert_engines_agree(
+    rules: &RuleSet,
+    plan: &CompiledRules,
+    master: &MasterData,
+    tuple: &Tuple,
+    seed: &AttrSet,
+) -> Result<(EngineStats, EngineStats), TestCaseError> {
+    let mut t_ref = tuple.clone();
+    let mut v_ref = seed.clone();
+    let reference = run_fixpoint(rules, master, &mut t_ref, &mut v_ref);
+
+    let mut t = tuple.clone();
+    let mut v = seed.clone();
+    let delta = run_fixpoint_delta(plan, master, &mut t, &mut v);
+
+    match (reference, delta) {
+        (Ok(ref_report), Ok(report)) => {
+            prop_assert_eq!(&t, &t_ref, "final tuples differ");
+            prop_assert_eq!(&v, &v_ref, "validated sets differ");
+            prop_assert_eq!(&report.fixes, &ref_report.fixes, "fix lists differ");
+            prop_assert_eq!(
+                &report.newly_validated,
+                &ref_report.newly_validated,
+                "validation order differs"
+            );
+            prop_assert_eq!(report.rule_firings, ref_report.rule_firings);
+            prop_assert!(report.passes <= ref_report.passes);
+            prop_assert!(
+                report.stats.rule_attempts <= ref_report.stats.rule_attempts,
+                "delta attempted more ({}) than pass-based ({})",
+                report.stats.rule_attempts,
+                ref_report.stats.rule_attempts
+            );
+            prop_assert!(report.stats.master_lookups <= ref_report.stats.master_lookups);
+            Ok((ref_report.stats, report.stats))
+        }
+        (Err(e_ref), Err(e_delta)) => {
+            prop_assert_eq!(
+                e_ref.to_string(),
+                e_delta.to_string(),
+                "engines error differently"
+            );
+            Ok((EngineStats::default(), EngineStats::default()))
+        }
+        (Ok(_), Err(e)) => Err(TestCaseError::Fail(format!(
+            "delta errored where pass-based succeeded: {e}"
+        ))),
+        (Err(e), Ok(_)) => Err(TestCaseError::Fail(format!(
+            "pass-based errored where delta succeeded: {e}"
+        ))),
+    }
+}
+
+/// A fully random instance: small alphabet per column so master key
+/// collisions (and therefore ambiguous keys) arise naturally, random
+/// single- or two-attribute rules, random pattern gates.
+fn random_instance(seed: u64) -> (RuleSet, MasterData, Tuple, AttrSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const ARITY: usize = 7;
+    let names: Vec<String> = (0..ARITY).map(|i| format!("a{i}")).collect();
+    let input = Schema::of_strings("in", names.iter().map(String::as_str)).unwrap();
+    let ms = Schema::of_strings("m", names.iter().map(String::as_str)).unwrap();
+
+    let val = |rng: &mut StdRng| format!("v{}", rng.gen_range(0..3u8));
+    let n_rows = rng.gen_range(1..8usize);
+    let mut builder = RelationBuilder::new(ms.clone());
+    for _ in 0..n_rows {
+        let row: Vec<String> = (0..ARITY).map(|_| val(&mut rng)).collect();
+        builder = builder.row_strs(row);
+    }
+    let master = MasterData::new(builder.build().unwrap());
+
+    let n_rules = rng.gen_range(1..10usize);
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    for r in 0..n_rules {
+        let lhs_n = rng.gen_range(1..3usize);
+        let mut attrs: Vec<usize> = (0..ARITY).collect();
+        // Random distinct attributes: first lhs_n are the LHS, the next
+        // 1-2 are the RHS, one more may gate a pattern.
+        for i in (1..attrs.len()).rev() {
+            attrs.swap(i, rng.gen_range(0..=i));
+        }
+        let lhs: Vec<(usize, usize)> = attrs[..lhs_n].iter().map(|&a| (a, a)).collect();
+        let rhs_n = rng.gen_range(1..3usize);
+        let rhs: Vec<(usize, usize)> = attrs[lhs_n..lhs_n + rhs_n]
+            .iter()
+            .map(|&a| (a, a))
+            .collect();
+        let pattern = if rng.gen_bool(0.3) {
+            let gate = attrs[lhs_n + rhs_n];
+            if rng.gen_bool(0.5) {
+                PatternTuple::empty().with_eq(gate, Value::str(val(&mut rng)))
+            } else {
+                PatternTuple::empty().with_ne(gate, Value::str(val(&mut rng)))
+            }
+        } else {
+            PatternTuple::empty()
+        };
+        rules
+            .add(EditingRule::new(format!("r{r}"), &input, &ms, lhs, rhs, pattern).unwrap())
+            .unwrap();
+    }
+
+    let tuple = Tuple::of_strings(
+        input.clone(),
+        (0..ARITY).map(|_| val(&mut rng)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let seed: AttrSet = (0..ARITY).filter(|_| rng.gen_bool(0.4)).collect();
+    (rules, master, tuple, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// UK scenario: for any truth entity and any validated seed, both
+    /// engines agree exactly.
+    #[test]
+    fn uk_delta_equals_pass_based(entity in 0usize..100, seed_mask in 0u16..512) {
+        let (rules, master, universe) = uk_fixture();
+        let plan = CompiledRules::compile(&rules, &master);
+        let truth = &universe[entity % universe.len()];
+        let seed: AttrSet = (0..9).filter(|a| seed_mask & (1 << a) != 0).collect();
+        let masked = cerfix::region::masked_input(truth, &seed);
+        assert_engines_agree(&rules, &plan, &master, &masked, &seed)?;
+    }
+
+    /// Randomized instances (random master, rules, patterns, dirty tuple,
+    /// seed — including inconsistent rule sets, where both engines must
+    /// fail with the same error).
+    #[test]
+    fn random_instances_delta_equals_pass_based(instance in 0u64..100_000) {
+        let (rules, master, tuple, seed) = random_instance(instance);
+        let plan = CompiledRules::compile(&rules, &master);
+        assert_engines_agree(&rules, &plan, &master, &tuple, &seed)?;
+    }
+
+    /// The unindexed (T6 scan) ablation arm agrees with the indexed plan.
+    #[test]
+    fn unindexed_plan_agrees(instance in 0u64..100_000) {
+        let (rules, master, tuple, seed) = random_instance(instance);
+        let unindexed = MasterData::new_unindexed(master.relation().clone());
+        let plan = CompiledRules::compile(&rules, &unindexed);
+        assert_engines_agree(&rules, &plan, &unindexed, &tuple, &seed)?;
+    }
+}
+
+/// Deterministic work guard on the UK rules: across the whole truth
+/// universe (seeded from the paper's size-4 region), the delta engine
+/// attempts strictly fewer rules and performs no more lookups.
+#[test]
+fn uk_delta_performs_strictly_fewer_attempts() {
+    let (rules, master, universe) = uk_fixture();
+    let plan = CompiledRules::compile(&rules, &master);
+    let input = rules.input_schema().clone();
+    let seed: AttrSet = ["zip", "phn", "type", "item"]
+        .iter()
+        .map(|n| input.attr_id(n).expect("uk attr"))
+        .collect();
+
+    let mut pass = EngineStats::default();
+    let mut delta = EngineStats::default();
+    for truth in &universe {
+        let masked = cerfix::region::masked_input(truth, &seed);
+        let mut t1 = masked.clone();
+        let mut v1 = seed.clone();
+        pass += run_fixpoint(&rules, &master, &mut t1, &mut v1)
+            .expect("consistent")
+            .stats;
+        let mut t2 = masked;
+        let mut v2 = seed.clone();
+        delta += run_fixpoint_delta(&plan, &master, &mut t2, &mut v2)
+            .expect("consistent")
+            .stats;
+    }
+    assert!(
+        delta.rule_attempts < pass.rule_attempts,
+        "delta {} attempts vs pass-based {}",
+        delta.rule_attempts,
+        pass.rule_attempts
+    );
+    assert!(delta.master_lookups <= pass.master_lookups);
+    assert_eq!(
+        delta.index_probes, delta.master_lookups,
+        "warmed path: every lookup is an index probe"
+    );
+}
+
+/// Same guard on a mined rule set: FDs discovered from master data and
+/// compiled into editing rules (the `discover.rs` path that produces
+/// hundreds of rules on wide schemas).
+#[test]
+fn mined_rules_delta_performs_strictly_fewer_attempts() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let relation = uk::generate_master(120, &mut rng);
+    let master = MasterData::new(relation.clone());
+    let input = uk::input_schema();
+    let mined = discover_rules(&input, &uk::master_schema(), &relation, 2).expect("mining runs");
+    assert!(mined.len() >= 4, "fixture mined only {} rules", mined.len());
+    let mut rules = RuleSet::new(input.clone(), uk::master_schema());
+    for d in mined {
+        rules.add(d.rule).expect("unique mined names");
+    }
+    let plan = CompiledRules::compile(&rules, &master);
+
+    let universe = uk::truth_universe(&relation);
+    let zip: AttrSet = [input.attr_id("zip").expect("zip")].into();
+    let mut pass = EngineStats::default();
+    let mut delta = EngineStats::default();
+    for truth in universe.iter().take(60) {
+        let masked = cerfix::region::masked_input(truth, &zip);
+        let mut t1 = masked.clone();
+        let mut v1 = zip.clone();
+        pass += run_fixpoint(&rules, &master, &mut t1, &mut v1)
+            .expect("mined rules consistent on their own master")
+            .stats;
+        let mut t2 = masked;
+        let mut v2 = zip.clone();
+        delta += run_fixpoint_delta(&plan, &master, &mut t2, &mut v2)
+            .expect("mined rules consistent on their own master")
+            .stats;
+    }
+    assert!(
+        delta.rule_attempts < pass.rule_attempts,
+        "delta {} attempts vs pass-based {}",
+        delta.rule_attempts,
+        pass.rule_attempts
+    );
+    assert!(delta.master_lookups <= pass.master_lookups);
+}

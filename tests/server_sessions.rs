@@ -203,8 +203,8 @@ fn concurrent_region_requests_hit_cache() {
 
     let snapshot = service.metrics();
     assert_eq!(
-        snapshot.cache_misses, 2,
-        "one region search + one consistency check computed, ever"
+        snapshot.cache_misses, 3,
+        "one plan compile + one region search + one consistency check computed, ever"
     );
     assert!(
         snapshot.cache_hits >= (2 * CLIENTS as u64).saturating_sub(2),
