@@ -10,7 +10,7 @@
 use cerfix_bench::{rng_for, workload_for};
 use cerfix_gen::uk;
 use cerfix_relation::Value;
-use cerfix_server::{CleaningService, LocalClient, Request, ServiceConfig};
+use cerfix_server::{CleaningService, LocalClient, Request, ServiceConfig, StorageConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
@@ -122,9 +122,73 @@ fn bench_server_session_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
+/// Durability overhead: the same full interactive session (create →
+/// oracle-follow → commit) against an in-memory service and a journaled
+/// one. The journaled arm pays per-op event encoding plus one group-
+/// fsync wait at commit — the number this bench tracks is that delta.
+fn bench_server_session_durability(c: &mut Criterion) {
+    let mut rng = rng_for("bench-server-durability");
+    let scenario = uk::scenario(5_000, &mut rng);
+    let workload = workload_for(&scenario, 256, 0.3, &mut rng);
+    let schema = scenario.input.clone();
+    let data_dir =
+        std::env::temp_dir().join(format!("cerfix-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let mut group = c.benchmark_group("server_session_durability");
+    group.throughput(Throughput::Elements(1));
+    for mode in ["memory", "journaled"] {
+        let config = ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        };
+        let master = Arc::new(scenario.master_data());
+        let rules = Arc::new(scenario.rules.clone());
+        let service = match mode {
+            "memory" => CleaningService::new(master, rules, config),
+            _ => {
+                CleaningService::with_storage(master, rules, config, StorageConfig::new(&data_dir))
+                    .expect("open bench data dir")
+            }
+        };
+        let mut client = LocalClient::in_process(&service);
+        group.bench_function(BenchmarkId::new("oracle_session", mode), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let idx = i % workload.len();
+                i += 1;
+                let truth = &workload.truth[idx];
+                let mut view = client
+                    .create_session(workload.dirty[idx].values().to_vec())
+                    .expect("create");
+                let mut guard = 0;
+                while view.status == "awaiting_user" {
+                    guard += 1;
+                    assert!(guard <= 64, "runaway session");
+                    let validations: Vec<(String, Value)> = view
+                        .suggestion
+                        .iter()
+                        .map(|name| {
+                            let attr = schema.attr_id(name).expect("known attr");
+                            (name.clone(), truth.get(attr).clone())
+                        })
+                        .collect();
+                    view = client
+                        .validate(view.session, validations)
+                        .expect("validate");
+                }
+                client.commit(view.session).expect("commit")
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_server_batch_clean, bench_server_session_round_trip
+    targets = bench_server_batch_clean, bench_server_session_round_trip, bench_server_session_durability
 }
 criterion_main!(benches);

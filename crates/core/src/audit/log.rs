@@ -7,10 +7,23 @@
 //! here: per-cell history ("fixed by normalizing the first name 'M.' to
 //! 'Mark'", with the master tuple and rule responsible) and per-attribute
 //! statistics (user-validated vs. CerFix-fixed percentages).
+//!
+//! A log is either *unbounded in memory* (the default, what library
+//! callers and tests use) or *windowed over a sink*: a bounded in-memory
+//! window of the most recent records backed by an [`AuditSink`] — an
+//! append-only archive holding **every** record, which long-lived
+//! services implement with a disk segment (`cerfix-storage`'s audit
+//! spill). Records are globally indexed in append order; [`read_range`]
+//! serves any index from the window when it is still resident and from
+//! the sink otherwise.
+//!
+//! [`read_range`]: AuditLog::read_range
 
 use cerfix_relation::{AttrId, RowId, Value};
 use cerfix_rules::RuleId;
 use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Who validated a cell, and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,68 +82,219 @@ pub struct AuditRecord {
     pub event: CellEvent,
 }
 
+/// Append-only archive behind a windowed [`AuditLog`].
+///
+/// The sink receives every record in append order and must serve ranged
+/// reads over everything it has received (records are addressed by their
+/// global append index). `cerfix-storage` implements this with an
+/// append-only segment file plus an offset index; tests use an in-memory
+/// vector.
+pub trait AuditSink: Send + Sync {
+    /// Archive one record. Index `i` of the `i`-th call (0-based) is the
+    /// record's global index.
+    fn append(&self, record: &AuditRecord);
+    /// Read up to `count` records starting at global index `start`.
+    fn read(&self, start: usize, count: usize) -> Vec<AuditRecord>;
+    /// Number of records archived.
+    fn len(&self) -> usize;
+    /// True iff no records have been archived.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Default)]
+struct Window {
+    /// Most recent records; `records[0]` has global index `base`.
+    records: VecDeque<AuditRecord>,
+    /// Global index of the first resident record (= records evicted).
+    base: usize,
+}
+
 /// Append-only audit log, shareable across concurrent monitor sessions.
-#[derive(Debug, Default)]
 pub struct AuditLog {
-    records: RwLock<Vec<AuditRecord>>,
+    window: RwLock<Window>,
+    sink: Option<Arc<dyn AuditSink>>,
+    window_cap: usize,
+}
+
+impl Default for AuditLog {
+    fn default() -> AuditLog {
+        AuditLog::new()
+    }
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let window = self.window.read();
+        f.debug_struct("AuditLog")
+            .field("window", &window.records.len())
+            .field("spilled", &window.base)
+            .field("sinked", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl AuditLog {
-    /// Create an empty log.
+    /// Create an empty, unbounded in-memory log (no sink; nothing is ever
+    /// evicted).
     pub fn new() -> AuditLog {
-        AuditLog::default()
+        AuditLog {
+            window: RwLock::new(Window::default()),
+            sink: None,
+            window_cap: usize::MAX,
+        }
+    }
+
+    /// Create a windowed log over `sink`: at most `window_cap` records
+    /// stay resident in memory; every record is archived to the sink on
+    /// append, and reads beyond the window are served from it.
+    ///
+    /// If the sink already holds records (recovery over an existing
+    /// archive), the window starts empty with its base at `sink.len()`.
+    pub fn with_sink(window_cap: usize, sink: Arc<dyn AuditSink>) -> AuditLog {
+        let base = sink.len();
+        AuditLog {
+            window: RwLock::new(Window {
+                records: VecDeque::new(),
+                base,
+            }),
+            sink: Some(sink),
+            window_cap: window_cap.max(1),
+        }
+    }
+
+    /// The sink, if this log is windowed over one.
+    pub fn sink(&self) -> Option<&Arc<dyn AuditSink>> {
+        self.sink.as_ref()
     }
 
     /// Append a record.
     pub fn record(&self, record: AuditRecord) {
-        self.records.write().push(record);
+        // The sink append happens under the window lock: concurrent
+        // recorders (batch-clean workers) must assign the same global
+        // index on both sides, or window[i] and archive[base+i] diverge
+        // and ranged reads return different records before and after a
+        // restart. Sink appends only buffer in memory, so the critical
+        // section stays short.
+        let mut window = self.window.write();
+        if let Some(sink) = &self.sink {
+            sink.append(&record);
+        }
+        window.records.push_back(record);
+        while window.records.len() > self.window_cap {
+            window.records.pop_front();
+            window.base += 1;
+        }
     }
 
-    /// Snapshot of all records (clone; the log is append-only).
+    /// Snapshot of the resident (in-memory) records. Without a sink this
+    /// is every record; with one, it is the most recent window.
     pub fn records(&self) -> Vec<AuditRecord> {
-        self.records.read().clone()
+        self.window.read().records.iter().cloned().collect()
     }
 
-    /// Number of records.
+    /// Total records ever appended (resident + evicted to the sink).
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        let window = self.window.read();
+        window.base + window.records.len()
+    }
+
+    /// Records evicted from the in-memory window (0 without a sink).
+    pub fn spilled(&self) -> usize {
+        self.window.read().base
     }
 
     /// True iff no events have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.len() == 0
+    }
+
+    /// Read up to `count` records starting at global append index
+    /// `start`, in order. Indices below the window base come from the
+    /// sink; resident indices from memory. Out-of-range indices yield an
+    /// empty / shortened result.
+    pub fn read_range(&self, start: usize, count: usize) -> Vec<AuditRecord> {
+        let window = self.window.read();
+        let total = window.base + window.records.len();
+        let end = total.min(start.saturating_add(count));
+        if start >= end {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(end - start);
+        if start < window.base {
+            if let Some(sink) = &self.sink {
+                out.extend(sink.read(start, window.base.min(end) - start));
+            }
+        }
+        if end > window.base {
+            let from = start.max(window.base) - window.base;
+            let to = end - window.base;
+            out.extend(window.records.iter().skip(from).take(to - from).cloned());
+        }
+        out
+    }
+
+    /// Run `f` over every record in append order — archived records
+    /// first (streamed from the sink in chunks), then the resident
+    /// window. The cold path behind the history queries and
+    /// [`AuditStats`](crate::audit::AuditStats).
+    pub fn for_each_record(&self, mut f: impl FnMut(&AuditRecord)) {
+        let window = self.window.read();
+        if window.base > 0 {
+            if let Some(sink) = &self.sink {
+                const CHUNK: usize = 1024;
+                let mut at = 0;
+                while at < window.base {
+                    let chunk = sink.read(at, CHUNK.min(window.base - at));
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    at += chunk.len();
+                    for record in &chunk {
+                        f(record);
+                    }
+                }
+            }
+        }
+        for record in &window.records {
+            f(record);
+        }
     }
 
     /// History of one tuple, in event order (Fig. 4's per-tuple
-    /// inspection).
+    /// inspection). Includes sink-archived records.
     pub fn tuple_history(&self, tuple_id: usize) -> Vec<AuditRecord> {
-        self.records
-            .read()
-            .iter()
-            .filter(|r| r.tuple_id == tuple_id)
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_record(|r| {
+            if r.tuple_id == tuple_id {
+                out.push(r.clone());
+            }
+        });
+        out
     }
 
-    /// History of one cell of one tuple.
+    /// History of one cell of one tuple. Includes sink-archived records.
     pub fn cell_history(&self, tuple_id: usize, attr: AttrId) -> Vec<AuditRecord> {
-        self.records
-            .read()
-            .iter()
-            .filter(|r| r.tuple_id == tuple_id && r.attr == attr)
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_record(|r| {
+            if r.tuple_id == tuple_id && r.attr == attr {
+                out.push(r.clone());
+            }
+        });
+        out
     }
 
     /// All events on one attribute across tuples (Fig. 4's per-column
-    /// inspection).
+    /// inspection). Includes sink-archived records.
     pub fn attr_events(&self, attr: AttrId) -> Vec<AuditRecord> {
-        self.records
-            .read()
-            .iter()
-            .filter(|r| r.attr == attr)
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_record(|r| {
+            if r.attr == attr {
+                out.push(r.clone());
+            }
+        });
+        out
     }
 }
 
@@ -177,6 +341,9 @@ mod tests {
         assert_eq!(log.tuple_history(1).len(), 1);
         assert_eq!(log.cell_history(0, 6).len(), 1);
         assert_eq!(log.attr_events(2).len(), 2);
+        assert_eq!(log.spilled(), 0);
+        assert_eq!(log.read_range(1, 10).len(), 2);
+        assert_eq!(log.read_range(3, 10).len(), 0);
     }
 
     #[test]
@@ -223,5 +390,66 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(log.len(), 400);
+    }
+
+    /// Sink used by the window tests: the full archive in a mutex'd vec.
+    #[derive(Debug, Default)]
+    struct VecSink {
+        records: std::sync::Mutex<Vec<AuditRecord>>,
+    }
+
+    impl AuditSink for VecSink {
+        fn append(&self, record: &AuditRecord) {
+            self.records.lock().unwrap().push(record.clone());
+        }
+        fn read(&self, start: usize, count: usize) -> Vec<AuditRecord> {
+            let records = self.records.lock().unwrap();
+            records.iter().skip(start).take(count).cloned().collect()
+        }
+        fn len(&self) -> usize {
+            self.records.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn windowed_log_spills_to_sink_and_reads_across_boundary() {
+        let sink = Arc::new(VecSink::default());
+        let log = AuditLog::with_sink(4, Arc::clone(&sink) as Arc<dyn AuditSink>);
+        for i in 0..10 {
+            log.record(rec(i, i % 3, 1, CellEvent::RuleConfirmed { rule: i }));
+        }
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.spilled(), 6, "window of 4 keeps the last 4 resident");
+        assert_eq!(log.records().len(), 4, "resident window");
+        assert_eq!(sink.len(), 10, "sink archives everything");
+        // Ranged read spanning sink + window territory.
+        let range = log.read_range(4, 4);
+        assert_eq!(range.len(), 4);
+        for (offset, record) in range.iter().enumerate() {
+            assert_eq!(record.tuple_id, 4 + offset);
+        }
+        // History queries see evicted records too.
+        assert_eq!(log.tuple_history(0).len(), 1);
+        assert_eq!(log.attr_events(0).len(), 4, "tuples 0,3,6,9");
+        // Reads past the end clamp.
+        assert_eq!(log.read_range(8, 100).len(), 2);
+        assert_eq!(log.read_range(100, 10).len(), 0);
+    }
+
+    #[test]
+    fn windowed_log_resumes_over_populated_sink() {
+        let sink = Arc::new(VecSink::default());
+        for i in 0..5 {
+            sink.append(&rec(i, 0, 1, CellEvent::RuleConfirmed { rule: 0 }));
+        }
+        // Recovery shape: a fresh log over an archive with history.
+        let log = AuditLog::with_sink(8, Arc::clone(&sink) as Arc<dyn AuditSink>);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.spilled(), 5);
+        log.record(rec(9, 1, 1, CellEvent::RuleConfirmed { rule: 1 }));
+        assert_eq!(log.len(), 6);
+        let all = log.read_range(0, 10);
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[5].tuple_id, 9);
     }
 }

@@ -6,5 +6,5 @@ mod log;
 mod stats;
 
 pub use explain::{explain_cell, explain_tuple};
-pub use log::{AuditLog, AuditRecord, CellEvent};
+pub use log::{AuditLog, AuditRecord, AuditSink, CellEvent};
 pub use stats::{AttrStats, AuditStats};

@@ -58,16 +58,18 @@ pub struct AuditStats {
 }
 
 impl AuditStats {
-    /// Compute statistics from an audit log. Only the *first* validation
-    /// event of each cell counts (later confirmations by other rules do
-    /// not re-validate an already-validated cell; the engine never emits
-    /// them, but the statistics stay correct even if it did).
+    /// Compute statistics from an audit log — the full stream, including
+    /// records a windowed log has evicted to its sink. Only the *first*
+    /// validation event of each cell counts (later confirmations by
+    /// other rules do not re-validate an already-validated cell; the
+    /// engine never emits them, but the statistics stay correct even if
+    /// it did).
     pub fn from_log(log: &AuditLog) -> AuditStats {
         let mut per_attr: BTreeMap<AttrId, AttrStats> = BTreeMap::new();
         let mut seen: std::collections::HashSet<(usize, AttrId)> = std::collections::HashSet::new();
-        for record in log.records() {
+        log.for_each_record(|record| {
             if !seen.insert((record.tuple_id, record.attr)) {
-                continue;
+                return;
             }
             let stats = per_attr.entry(record.attr).or_default();
             match &record.event {
@@ -85,7 +87,7 @@ impl AuditStats {
                     stats.auto_validated += 1;
                 }
             }
-        }
+        });
         AuditStats { per_attr }
     }
 

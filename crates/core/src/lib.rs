@@ -69,7 +69,9 @@ mod master;
 pub mod monitor;
 pub mod region;
 
-pub use audit::{explain_cell, explain_tuple, AuditLog, AuditRecord, AuditStats, CellEvent};
+pub use audit::{
+    explain_cell, explain_tuple, AuditLog, AuditRecord, AuditSink, AuditStats, CellEvent,
+};
 pub use engine::{
     apply_rule, check_consistency, run_fixpoint, run_fixpoint_delta, ApplyOutcome, CellFix,
     CompiledRules, ConsistencyOptions, ConsistencyReport, EngineStats, FixpointReport,

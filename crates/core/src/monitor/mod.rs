@@ -65,7 +65,11 @@ pub struct DataMonitor<'a> {
     /// Shared so long-lived services hand one pre-computed set to every
     /// per-request monitor without deep-cloning tableaux.
     regions: std::sync::Arc<[Region]>,
-    audit: AuditLog,
+    /// `Arc` so long-lived services attach one shared (possibly
+    /// disk-spilled) log to every per-request monitor via
+    /// [`with_audit`](Self::with_audit); standalone monitors own a
+    /// private log.
+    audit: Arc<AuditLog>,
     /// Hard cap on interaction rounds (defensive; a productive round
     /// always validates ≥ 1 attribute, so `arity` rounds suffice).
     max_rounds: usize,
@@ -100,7 +104,7 @@ impl<'a> DataMonitor<'a> {
             rules,
             master,
             regions: std::sync::Arc::from(Vec::new()),
-            audit: AuditLog::new(),
+            audit: Arc::new(AuditLog::new()),
             max_rounds: 64,
         }
     }
@@ -126,9 +130,23 @@ impl<'a> DataMonitor<'a> {
         self
     }
 
+    /// Attach a shared audit log: every record this monitor produces
+    /// goes to `audit` instead of a private log. Long-lived services use
+    /// this so all per-request monitors feed one durable provenance
+    /// stream.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> DataMonitor<'a> {
+        self.audit = audit;
+        self
+    }
+
     /// The audit log accumulated by this monitor.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// The audit log as a shareable handle.
+    pub fn audit_handle(&self) -> Arc<AuditLog> {
+        Arc::clone(&self.audit)
     }
 
     /// The rule set in use.

@@ -224,6 +224,64 @@ pub struct CommitView {
     pub auto_validated: u64,
 }
 
+/// One page from `audit.read`.
+#[derive(Debug, Clone)]
+pub struct AuditPage {
+    /// Global index the page started at.
+    pub start: u64,
+    /// Index to pass as `start` for the next page.
+    pub next: u64,
+    /// Records in the whole provenance stream.
+    pub total: u64,
+    /// Of those, records no longer resident in the server's memory
+    /// window (served from the disk spill).
+    pub spilled: u64,
+    /// The records on this page.
+    pub records: Vec<AuditRecordView>,
+}
+
+/// One cell-level provenance record, as rendered on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecordView {
+    /// Global append index.
+    pub index: u64,
+    /// Tuple (session or batch-reserved) id the event applies to.
+    pub tuple: u64,
+    /// Attribute name (or stringified id for out-of-schema ids).
+    pub attr: String,
+    /// Interaction round.
+    pub round: u64,
+    /// `user_validated`, `rule_fixed` or `rule_confirmed`.
+    pub kind: String,
+    /// Rule responsible, when known.
+    pub rule: Option<u64>,
+    /// Master row the fix came from (`rule_fixed` only).
+    pub master_row: Option<u64>,
+    /// Cell value before the event (absent for `rule_confirmed`).
+    pub old: Option<Value>,
+    /// Cell value after the event (absent for `rule_confirmed`).
+    pub new: Option<Value>,
+}
+
+impl AuditRecordView {
+    fn from_json(json: &Json) -> Option<AuditRecordView> {
+        Some(AuditRecordView {
+            index: json.get("index")?.as_u64()?,
+            tuple: json.get("tuple")?.as_u64()?,
+            attr: match json.get("attr")? {
+                Json::Str(s) => s.clone(),
+                other => other.as_f64().map(|n| n.to_string())?,
+            },
+            round: json.get("round")?.as_u64()?,
+            kind: json.get("kind")?.as_str()?.to_string(),
+            rule: json.get("rule").and_then(Json::as_u64),
+            master_row: json.get("master_row").and_then(Json::as_u64),
+            old: json.get("old").and_then(|v| v.to_value().ok()),
+            new: json.get("new").and_then(|v| v.to_value().ok()),
+        })
+    }
+}
+
 /// One outcome from a batch `clean`.
 #[derive(Debug, Clone)]
 pub struct CleanOutcomeView {
@@ -370,6 +428,59 @@ impl<T: Transport> Client<T> {
                 .get("consistent")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+        ))
+    }
+
+    /// Ranged read of audit provenance records. Returns the typed page;
+    /// advance `start` to the page's `next` to stream the full history.
+    pub fn audit_read(&mut self, start: u64, count: Option<u64>) -> Result<AuditPage, ClientError> {
+        let response = self.request(&Request::AuditRead { start, count })?;
+        Ok(AuditPage {
+            start: get_u64(&response, "start")?,
+            next: get_u64(&response, "next")?,
+            total: get_u64(&response, "total")?,
+            spilled: get_u64(&response, "spilled")?,
+            records: response
+                .get("records")
+                .and_then(Json::as_arr)
+                .map(|records| {
+                    records
+                        .iter()
+                        .filter_map(AuditRecordView::from_json)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Stream the *entire* audit history (pages of `page_size`).
+    pub fn audit_read_all(&mut self, page_size: u64) -> Result<Vec<AuditRecordView>, ClientError> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        loop {
+            let page = self.audit_read(start, Some(page_size))?;
+            let done = page.next >= page.total || page.records.is_empty();
+            start = page.next;
+            out.extend(page.records);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Hot-swap the server's rule set from DSL text; returns the new
+    /// rule count and fingerprint.
+    pub fn reload_rules(&mut self, dsl: &str) -> Result<(u64, String), ClientError> {
+        let response = self.request(&Request::RulesReload {
+            rules: dsl.to_string(),
+        })?;
+        Ok((
+            get_u64(&response, "rules")?,
+            response
+                .get("ruleset")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
         ))
     }
 

@@ -74,14 +74,17 @@ pub mod wire;
 
 pub use cache::{ruleset_fingerprint, AnalysisCache};
 pub use client::{
-    CleanOutcomeView, Client, ClientError, CommitView, LocalClient, LocalTransport, SessionView,
-    TcpTransport, Transport,
+    AuditPage, AuditRecordView, CleanOutcomeView, Client, ClientError, CommitView, LocalClient,
+    LocalTransport, SessionView, TcpTransport, Transport,
 };
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use net::{Server, ServerHandle};
 pub use protocol::{Request, PROTOCOL_VERSION};
 pub use service::{CleaningService, ServiceConfig};
 pub use session::{SessionError, SessionManager};
+// Storage types most embedders need, re-exported so `cerfix-server`
+// alone is enough to build a journaled service.
+pub use cerfix_storage::{Storage, StorageConfig};
 
 #[cfg(test)]
 mod tests {
@@ -92,8 +95,8 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
-    /// key → val lookup service over 50 master rows.
-    fn kv_service(workers: usize) -> CleaningService {
+    /// key → val master data and rule set for a 50-row lookup service.
+    fn kv_setup() -> (Arc<MasterData>, Arc<RuleSet>) {
         let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
         let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
         let mut builder = RelationBuilder::new(ms.clone());
@@ -115,14 +118,52 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
+        (Arc::new(master), Arc::new(rules))
+    }
+
+    /// key → val lookup service over 50 master rows.
+    fn kv_service(workers: usize) -> CleaningService {
+        let (master, rules) = kv_setup();
         CleaningService::new(
-            Arc::new(master),
-            Arc::new(rules),
+            master,
+            rules,
             ServiceConfig {
                 workers,
                 ..ServiceConfig::default()
             },
         )
+    }
+
+    /// Fresh temp data dir for a journaled-service test.
+    fn data_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cerfix-server-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Storage config where *nothing* is durable except through explicit
+    /// sync points (commit / reload) — makes crash tests deterministic.
+    fn manual_storage(dir: &std::path::Path, audit_window: usize) -> StorageConfig {
+        let mut cfg = StorageConfig::new(dir);
+        cfg.flush_interval = Duration::from_secs(3600);
+        cfg.snapshot_interval = Duration::from_secs(3600);
+        cfg.snapshot_every_events = u64::MAX;
+        cfg.audit_window = audit_window;
+        cfg
+    }
+
+    fn kv_service_journaled(dir: &std::path::Path, audit_window: usize) -> CleaningService {
+        let (master, rules) = kv_setup();
+        CleaningService::with_storage(
+            master,
+            rules,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            manual_storage(dir, audit_window),
+        )
+        .expect("open storage")
     }
 
     fn row(key: &str, val: &str, note: &str) -> Vec<Value> {
@@ -265,6 +306,279 @@ mod tests {
             Err(ClientError::Server(_))
         ));
         handle.shutdown().unwrap();
+    }
+
+    /// The acceptance shape of the storage subsystem: kill the service
+    /// mid-batch (simulated kill-9: un-fsynced bytes lost), restart over
+    /// the same data dir, and every uncommitted session resumes with
+    /// state identical to the uninterrupted run. `audit.read` returns
+    /// the same records before and after.
+    #[test]
+    fn journaled_sessions_survive_crash_and_restart() {
+        let dir = data_dir("crash-restart");
+        let (s1, s2, s3, views_before, audit_before, metrics_before);
+        {
+            let service = kv_service_journaled(&dir, 4);
+            let mut client = LocalClient::in_process(&service);
+            // s1: partially validated (one fix applied, note pending).
+            s1 = client.create_session(row("k3", "WRONG", "n")).unwrap();
+            client
+                .validate(s1.session, vec![("key".into(), Value::str("k3"))])
+                .unwrap();
+            // s2: fully validated but uncommitted.
+            s2 = client.create_session(row("k7", "x", "y")).unwrap();
+            client
+                .validate(
+                    s2.session,
+                    vec![
+                        ("key".into(), Value::str("k7")),
+                        ("note".into(), Value::str("y")),
+                    ],
+                )
+                .unwrap();
+            // s3: created, never touched again.
+            s3 = client.create_session(row("k9", "z", "w")).unwrap();
+            // s4: committed — its commit ack is the durability barrier
+            // that group-fsyncs everything above.
+            let s4 = client.create_session(row("k1", "q", "r")).unwrap();
+            client.commit(s4.session).unwrap();
+            views_before = [
+                client.get_session(s1.session).unwrap(),
+                client.get_session(s2.session).unwrap(),
+                client.get_session(s3.session).unwrap(),
+            ];
+            audit_before = client.audit_read_all(3).unwrap();
+            assert!(!audit_before.is_empty());
+            metrics_before = service.metrics();
+            assert!(metrics_before.journal_events >= 6);
+            assert!(metrics_before.journal_bytes > 0);
+            service.simulate_crash().unwrap();
+        }
+        let service = kv_service_journaled(&dir, 4);
+        assert_eq!(service.live_sessions(), 3, "s4 committed, rest resumed");
+        assert_eq!(service.metrics().sessions_recovered, 3);
+        let mut client = LocalClient::in_process(&service);
+        for (before, id) in views_before
+            .iter()
+            .zip([s1.session, s2.session, s3.session])
+        {
+            let after = client.get_session(id).unwrap();
+            assert_eq!(after.status, before.status, "session {id}");
+            assert_eq!(after.tuple, before.tuple, "session {id}");
+            assert_eq!(after.rounds, before.rounds, "session {id}");
+            assert_eq!(after.validated, before.validated, "session {id}");
+            assert_eq!(after.suggestion, before.suggestion, "session {id}");
+        }
+        // The rule-fixed value really is there (s1's val := v3).
+        assert_eq!(
+            client.get_session(s1.session).unwrap().tuple[1],
+            Value::str("v3")
+        );
+        // Provenance archive identical across the restart.
+        let audit_after = client.audit_read_all(3).unwrap();
+        assert_eq!(audit_after, audit_before);
+        // New ids never collide with recovered ones.
+        let fresh = client.create_session(row("k2", "a", "b")).unwrap();
+        assert!(fresh.session > s3.session);
+        // Sessions keep working after recovery: finish s1.
+        let done = client
+            .validate(s1.session, vec![("note".into(), Value::str("n"))])
+            .unwrap();
+        assert!(done.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A snapshot truncates the journal; recovery then starts from the
+    /// snapshot and replays only the suffix. State must be identical to
+    /// recovery-from-journal-alone.
+    #[test]
+    fn snapshot_plus_suffix_recovers_exactly() {
+        let dir = data_dir("snapshot-suffix");
+        let (s1, s2, view1, view2);
+        {
+            let service = kv_service_journaled(&dir, 1024);
+            let mut client = LocalClient::in_process(&service);
+            s1 = client.create_session(row("k5", "WRONG", "n")).unwrap();
+            client
+                .validate(s1.session, vec![("key".into(), Value::str("k5"))])
+                .unwrap();
+            assert!(service.snapshot_now().unwrap());
+            assert_eq!(service.metrics().snapshots_written, 1);
+            // Post-snapshot traffic lands in the fresh journal epoch.
+            s2 = client.create_session(row("k6", "x", "y")).unwrap();
+            client
+                .validate(s2.session, vec![("key".into(), Value::str("k6"))])
+                .unwrap();
+            let barrier = client.create_session(row("k0", "a", "b")).unwrap();
+            client.commit(barrier.session).unwrap();
+            view1 = client.get_session(s1.session).unwrap();
+            view2 = client.get_session(s2.session).unwrap();
+            service.simulate_crash().unwrap();
+        }
+        let service = kv_service_journaled(&dir, 1024);
+        assert_eq!(service.live_sessions(), 2);
+        let mut client = LocalClient::in_process(&service);
+        for (before, id) in [(view1, s1.session), (view2, s2.session)] {
+            let after = client.get_session(id).unwrap();
+            assert_eq!(after.tuple, before.tuple);
+            assert_eq!(after.rounds, before.rounds);
+            assert_eq!(after.validated, before.validated);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `audit.read` pages through window + spill transparently, and the
+    /// spill counter surfaces in metrics.
+    #[test]
+    fn audit_read_spans_window_and_spill() {
+        let dir = data_dir("audit-pages");
+        let service = kv_service_journaled(&dir, 4); // tiny window
+        let mut client = LocalClient::in_process(&service);
+        let tuples: Vec<Vec<Value>> = (0..10)
+            .map(|i| row(&format!("k{i}"), "WRONG", "x"))
+            .collect();
+        client
+            .clean(tuples, vec!["key".into(), "note".into()])
+            .unwrap();
+        // 10 tuples × (2 user-validated + 1 rule-fixed) = 30 records.
+        let all = client.audit_read_all(7).unwrap();
+        assert_eq!(all.len(), 30);
+        assert_eq!(service.audit().len(), 30);
+        assert_eq!(service.audit().spilled(), 26, "window keeps 4");
+        assert_eq!(service.metrics().audit_spilled_records, 26);
+        // Indices are the global stream positions.
+        for (i, record) in all.iter().enumerate() {
+            assert_eq!(record.index, i as u64);
+        }
+        let fixed: Vec<_> = all.iter().filter(|r| r.kind == "rule_fixed").collect();
+        assert_eq!(fixed.len(), 10);
+        assert!(fixed.iter().all(|r| r.attr == "val"));
+        // A ranged page straddling the spill/window boundary.
+        let page = client.audit_read(24, Some(4)).unwrap();
+        assert_eq!(page.records.len(), 4);
+        assert_eq!(page.next, 28);
+        assert_eq!(page.total, 30);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `rules.reload` swaps the engine atomically, is journaled, and
+    /// recovery replays sessions against the rule set that was active
+    /// when their events were journaled.
+    #[test]
+    fn rules_reload_swaps_and_survives_restart() {
+        let dir = data_dir("reload");
+        let reversed = "er kv2: match val=val fix key:=key when ()";
+        let (sid, view_before, fingerprint);
+        {
+            let service = kv_service_journaled(&dir, 1024);
+            let mut client = LocalClient::in_process(&service);
+            // Old rules: validating key fixes val.
+            let old = client.create_session(row("k3", "WRONG", "n")).unwrap();
+            let after = client
+                .validate(old.session, vec![("key".into(), Value::str("k3"))])
+                .unwrap();
+            assert_eq!(after.tuple[1], Value::str("v3"));
+            client.commit(old.session).unwrap();
+
+            let (rules, fp) = client.reload_rules(reversed).unwrap();
+            assert_eq!(rules, 1);
+            fingerprint = fp;
+            assert_eq!(service.metrics().rules_reloaded, 1);
+
+            // New rules: validating val fixes key.
+            let new = client.create_session(row("WRONG", "v8", "n")).unwrap();
+            let after = client
+                .validate(new.session, vec![("val".into(), Value::str("v8"))])
+                .unwrap();
+            assert_eq!(after.tuple[0], Value::str("k8"), "reversed rule fired");
+            sid = new.session;
+            view_before = client.get_session(sid).unwrap();
+            // reload_rules synced; the later session events need a
+            // barrier too.
+            let barrier = client.create_session(row("k0", "a", "b")).unwrap();
+            client.commit(barrier.session).unwrap();
+            service.simulate_crash().unwrap();
+        }
+        // Reboot with the ORIGINAL rules: the journaled reload must win.
+        let service = kv_service_journaled(&dir, 1024);
+        let mut client = LocalClient::in_process(&service);
+        let hello = client.hello().unwrap();
+        assert_eq!(
+            hello.get("ruleset").and_then(wire::Json::as_str),
+            Some(fingerprint.as_str()),
+            "recovered service runs the reloaded rule set"
+        );
+        let after = client.get_session(sid).unwrap();
+        assert_eq!(after.tuple, view_before.tuple);
+        assert_eq!(after.validated, view_before.validated);
+        // And the reloaded semantics hold for fresh sessions.
+        let fresh = client.create_session(row("WRONG", "v4", "n")).unwrap();
+        let fixed = client
+            .validate(fresh.session, vec![("val".into(), Value::str("v4"))])
+            .unwrap();
+        assert_eq!(fixed.tuple[0], Value::str("k4"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Idle evictions are journaled: a reaped session must not be
+    /// resurrected by recovery.
+    #[test]
+    fn evicted_sessions_stay_dead_after_recovery() {
+        let dir = data_dir("evict-recover");
+        let (master, rules) = kv_setup();
+        let gone;
+        {
+            let service = CleaningService::with_storage(
+                master.clone(),
+                rules.clone(),
+                ServiceConfig {
+                    workers: 1,
+                    session_ttl: Duration::from_millis(10),
+                    ..ServiceConfig::default()
+                },
+                manual_storage(&dir, 1024),
+            )
+            .unwrap();
+            let mut client = LocalClient::in_process(&service);
+            gone = client.create_session(row("k1", "a", "b")).unwrap();
+            std::thread::sleep(Duration::from_millis(25));
+            assert_eq!(service.sweep_idle_sessions(), 1);
+            let barrier = client.create_session(row("k0", "a", "b")).unwrap();
+            client.commit(barrier.session).unwrap();
+            service.simulate_crash().unwrap();
+        }
+        let service = CleaningService::with_storage(
+            master,
+            rules,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            manual_storage(&dir, 1024),
+        )
+        .unwrap();
+        assert_eq!(service.live_sessions(), 0, "evicted session not revived");
+        let mut client = LocalClient::in_process(&service);
+        assert!(matches!(
+            client.get_session(gone.session),
+            Err(ClientError::Server(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_alias_and_storage_fields() {
+        let service = kv_service(1);
+        let response = service.handle_line(r#"{"op":"stats"}"#);
+        assert!(response.contains("\"storage\":\"memory\""));
+        assert!(response.contains("\"audit_spilled_records\":0"));
+        assert!(response.contains("\"sessions_recovered\":0"));
+        let dir = data_dir("stats");
+        let journaled = kv_service_journaled(&dir, 8);
+        let response = journaled.handle_line(r#"{"op":"stats"}"#);
+        assert!(response.contains("\"storage\":\"journaled\""));
+        assert!(response.contains("\"journal_epoch\":0"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,9 +5,14 @@ use std::time::Instant;
 
 /// Monotonic counters for one [`CleaningService`](crate::CleaningService).
 ///
-/// All counters are relaxed atomics — they are operational telemetry, not
-/// synchronization. `snapshot` reads may tear across counters under
-/// concurrent load; each individual counter is always exact.
+/// All counters are relaxed atomics — they are operational telemetry,
+/// not synchronization. A [`snapshot`](Self::snapshot) is a per-counter-
+/// atomic point-in-time copy: each individual counter is always exact,
+/// but two counters read microseconds apart may disagree about whether
+/// an in-flight request has landed (e.g. `requests` incremented,
+/// `cells_fixed` not yet). Consumers that need cross-counter invariants
+/// (dashboards diffing committed vs created) should diff two snapshots
+/// over an interval rather than comparing counters inside one.
 #[derive(Debug)]
 pub struct ServiceMetrics {
     started: Instant,
@@ -17,10 +22,16 @@ pub struct ServiceMetrics {
     sessions_committed: AtomicU64,
     sessions_aborted: AtomicU64,
     sessions_evicted: AtomicU64,
+    sessions_recovered: AtomicU64,
     tuples_cleaned: AtomicU64,
     cells_fixed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    journal_bytes: AtomicU64,
+    journal_events: AtomicU64,
+    audit_spilled_records: AtomicU64,
+    snapshots_written: AtomicU64,
+    rules_reloaded: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -40,6 +51,8 @@ pub struct MetricsSnapshot {
     pub sessions_aborted: u64,
     /// Sessions reaped by idle eviction.
     pub sessions_evicted: u64,
+    /// Sessions rebuilt from the journal/snapshot at startup.
+    pub sessions_recovered: u64,
     /// Tuples processed through the batch `clean` op.
     pub tuples_cleaned: u64,
     /// Cells changed by rules across all ops.
@@ -48,6 +61,17 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Region/consistency cache misses (computations performed).
     pub cache_misses: u64,
+    /// Bytes appended to the write-ahead journal (0 in memory mode).
+    pub journal_bytes: u64,
+    /// Events appended to the write-ahead journal.
+    pub journal_events: u64,
+    /// Audit records evicted from the in-memory window to the disk
+    /// spill (0 in memory mode, where the window is unbounded).
+    pub audit_spilled_records: u64,
+    /// Snapshots installed (journal truncations).
+    pub snapshots_written: u64,
+    /// Successful `rules.reload` swaps.
+    pub rules_reloaded: u64,
 }
 
 impl ServiceMetrics {
@@ -61,10 +85,16 @@ impl ServiceMetrics {
             sessions_committed: AtomicU64::new(0),
             sessions_aborted: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
+            sessions_recovered: AtomicU64::new(0),
             tuples_cleaned: AtomicU64::new(0),
             cells_fixed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            journal_events: AtomicU64::new(0),
+            audit_spilled_records: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            rules_reloaded: AtomicU64::new(0),
         }
     }
 
@@ -108,6 +138,31 @@ impl ServiceMetrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn sessions_recovered(&self, n: u64) {
+        self.sessions_recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Gauges mirrored from the journal (set, not incremented — the
+    /// journal owns the monotonic totals).
+    pub(crate) fn journal_totals(&self, bytes: u64, events: u64) {
+        self.journal_bytes.store(bytes, Ordering::Relaxed);
+        self.journal_events.store(events, Ordering::Relaxed);
+    }
+
+    /// Gauge mirrored from the audit log's window (records evicted to
+    /// the spill).
+    pub(crate) fn audit_spilled(&self, n: u64) {
+        self.audit_spilled_records.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot_written(&self) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rules_reload(&self) {
+        self.rules_reloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -118,10 +173,16 @@ impl ServiceMetrics {
             sessions_committed: self.sessions_committed.load(Ordering::Relaxed),
             sessions_aborted: self.sessions_aborted.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
             tuples_cleaned: self.tuples_cleaned.load(Ordering::Relaxed),
             cells_fixed: self.cells_fixed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            journal_events: self.journal_events.load(Ordering::Relaxed),
+            audit_spilled_records: self.audit_spilled_records.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            rules_reloaded: self.rules_reloaded.load(Ordering::Relaxed),
         }
     }
 }
@@ -148,14 +209,25 @@ mod tests {
         m.cells_fixed(7);
         m.cache_hit();
         m.cache_miss();
+        m.sessions_recovered(2);
+        m.journal_totals(1024, 12);
+        m.audit_spilled(5);
+        m.snapshot_written();
+        m.rules_reload();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.errors, 1);
         assert_eq!(s.sessions_created, 1);
         assert_eq!(s.sessions_evicted, 3);
+        assert_eq!(s.sessions_recovered, 2);
         assert_eq!(s.tuples_cleaned, 10);
         assert_eq!(s.cells_fixed, 7);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.journal_bytes, 1024);
+        assert_eq!(s.journal_events, 12);
+        assert_eq!(s.audit_spilled_records, 5);
+        assert_eq!(s.snapshots_written, 1);
+        assert_eq!(s.rules_reloaded, 1);
     }
 }

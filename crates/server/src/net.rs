@@ -62,6 +62,11 @@ impl Server {
             }
             if last_sweep.elapsed() >= SWEEP_EVERY {
                 self.service.sweep_idle_sessions();
+                // Periodic durability housekeeping: install a snapshot
+                // (and truncate the journal) when the policy says so.
+                if let Err(e) = self.service.maybe_snapshot() {
+                    eprintln!("cerfix-server: snapshot failed: {e}");
+                }
                 last_sweep = Instant::now();
                 connections.retain(|handle| !handle.is_finished());
             }
@@ -72,6 +77,9 @@ impl Server {
         for handle in connections {
             let _ = handle.join();
         }
+        // A graceful shutdown leaves a fresh snapshot so the next boot
+        // replays an empty journal (best effort).
+        let _ = self.service.snapshot_now();
         Ok(())
     }
 

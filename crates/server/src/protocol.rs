@@ -14,7 +14,9 @@ use crate::wire::{Json, WireError};
 use cerfix_relation::Value;
 
 /// Protocol revision, reported by `hello` and checked by clients.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Version 2 added `audit.read`, `rules.reload` and the `stats` alias
+/// for `metrics`.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +74,22 @@ pub enum Request {
         /// `"strict"` (default) or `"entity-coherent"`.
         mode: Option<String>,
     },
+    /// Ranged read of cell-level audit provenance records (served from
+    /// the in-memory window and the disk spill). Clients page through
+    /// history by advancing `start`.
+    AuditRead {
+        /// Global record index to start at (append order, 0-based).
+        start: u64,
+        /// Maximum records to return (server-capped).
+        count: Option<u64>,
+    },
+    /// Atomically swap the active rule set for one parsed from DSL
+    /// text. Journaled, so recovery replays later events against the
+    /// right rules.
+    RulesReload {
+        /// Editing-rule DSL (same syntax as `--rules` files).
+        rules: String,
+    },
     /// Service counters.
     Metrics,
     /// Ask the server process to stop accepting connections.
@@ -123,6 +141,8 @@ impl Request {
             Request::Clean { .. } => "clean",
             Request::Regions { .. } => "regions",
             Request::Check { .. } => "check",
+            Request::AuditRead { .. } => "audit.read",
+            Request::RulesReload { .. } => "rules.reload",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
@@ -194,7 +214,28 @@ impl Request {
             "check" => Request::Check {
                 mode: json.get("mode").and_then(Json::as_str).map(str::to_string),
             },
-            "metrics" => Request::Metrics,
+            "audit.read" => Request::AuditRead {
+                start: match json.get("start") {
+                    Some(s) => s.as_u64().ok_or_else(|| {
+                        WireError("`start` must be a non-negative integer".into())
+                    })?,
+                    None => 0,
+                },
+                count: match json.get("count") {
+                    Some(c) => Some(c.as_u64().ok_or_else(|| {
+                        WireError("`count` must be a non-negative integer".into())
+                    })?),
+                    None => None,
+                },
+            },
+            "rules.reload" => Request::RulesReload {
+                rules: need(&json, "rules")?
+                    .as_str()
+                    .ok_or_else(|| WireError("`rules` must be a DSL string".into()))?
+                    .to_string(),
+            },
+            // `stats` is an alias kept for operational tooling symmetry.
+            "metrics" | "stats" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -257,6 +298,15 @@ impl Request {
                     fields.push(("mode".into(), Json::str(mode.clone())));
                 }
             }
+            Request::AuditRead { start, count } => {
+                fields.push(("start".into(), Json::Num(*start as f64)));
+                if let Some(count) = count {
+                    fields.push(("count".into(), Json::Num(*count as f64)));
+                }
+            }
+            Request::RulesReload { rules } => {
+                fields.push(("rules".into(), Json::str(rules.clone())));
+            }
         }
         Json::Obj(fields)
     }
@@ -300,8 +350,34 @@ mod tests {
             mode: Some("strict".into()),
         });
         round_trip(Request::Check { mode: None });
+        round_trip(Request::AuditRead {
+            start: 128,
+            count: Some(64),
+        });
+        round_trip(Request::AuditRead {
+            start: 0,
+            count: None,
+        });
+        round_trip(Request::RulesReload {
+            rules: "er phi1: match zip=zip fix AC:=AC when ()".into(),
+        });
         round_trip(Request::Metrics);
         round_trip(Request::Shutdown);
+    }
+
+    #[test]
+    fn stats_is_an_alias_for_metrics_and_audit_defaults() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"stats"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"audit.read"}"#).unwrap(),
+            Request::AuditRead {
+                start: 0,
+                count: None
+            }
+        );
     }
 
     #[test]
@@ -316,6 +392,10 @@ mod tests {
             r#"{"op":"session.validate","session":1,"validations":[1]}"#,
             r#"{"op":"clean","tuples":[{"a":1}]}"#,
             r#"{"op":"regions","top_k":"many"}"#,
+            r#"{"op":"audit.read","start":-4}"#,
+            r#"{"op":"audit.read","count":"all"}"#,
+            r#"{"op":"rules.reload"}"#,
+            r#"{"op":"rules.reload","rules":7}"#,
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");

@@ -1,18 +1,40 @@
 //! The cleaning service: shared state + request dispatch.
 //!
 //! A [`CleaningService`] is the long-lived, shared, concurrent front end
-//! over the core [`DataMonitor`]: one immutable `Arc<MasterData>` +
-//! `Arc<RuleSet>` pair serves every session (the demo's "master database
-//! shared by many clerks"), a [`SessionManager`] tracks in-flight
-//! interactive sessions with idle eviction, a [`WorkerPool`] fans batch
-//! `clean` requests across workers, and an [`AnalysisCache`] memoizes
-//! region searches and consistency verdicts per rule set.
+//! over the core [`DataMonitor`]: one immutable `Arc<MasterData>` plus a
+//! hot-swappable [`EngineState`] (rule set, compiled plan, pre-computed
+//! regions) serves every session (the demo's "master database shared by
+//! many clerks"), a [`SessionManager`] tracks in-flight interactive
+//! sessions with idle eviction, a [`WorkerPool`] fans batch `clean`
+//! requests across workers, and an [`AnalysisCache`] memoizes region
+//! searches and consistency verdicts per rule set.
 //!
 //! The service is transport-agnostic: [`CleaningService::handle`] maps a
 //! typed [`Request`] to a JSON response, and
 //! [`CleaningService::handle_line`] wraps that in wire parsing — the TCP
 //! server and the in-process client both speak through it, so tests
 //! exercise the exact production code path without sockets.
+//!
+//! ## Durability (optional)
+//!
+//! Built with [`CleaningService::with_storage`], the service write-ahead
+//! journals every session mutation (create / validate / commit / abort /
+//! evict / rules-reload) through [`cerfix_storage::Storage`], spills
+//! audit provenance to disk behind a bounded in-memory window, and
+//! periodically snapshots live session state (truncating the journal).
+//! On startup it replays snapshot + journal through the same
+//! deterministic correcting process that produced them, so every
+//! uncommitted session resumes with exactly the validated `AttrSet`s
+//! and pending fixes it had. `session.commit` waits for its group
+//! fsync — an acknowledged commit survives kill-9. The default
+//! [`CleaningService::new`] remains purely in-memory.
+//!
+//! A `storage gate` (an `RwLock<()>`) makes snapshots atomic against
+//! concurrent mutation: every mutating op holds it in read mode across
+//! *mutate + journal-append*, the snapshotter holds it in write mode
+//! across *export-sessions + write-snapshot + truncate-journal*, and a
+//! rule reload holds it in write mode across *swap + journal-append* so
+//! the journal's event order is the order events were applied in.
 
 use crate::cache::{ruleset_fingerprint, AnalysisCache};
 use crate::metrics::ServiceMetrics;
@@ -20,15 +42,24 @@ use crate::protocol::{Request, PROTOCOL_VERSION};
 use crate::session::{SessionError, SessionManager};
 use crate::wire::Json;
 use cerfix::{
-    check_consistency, find_regions, CompiledRules, ConsistencyOptions, DataMonitor,
-    FixpointReport, MasterData, MonitorSession, Region, RegionFinderOptions, SessionStatus,
-    WorkerPool,
+    check_consistency, find_regions, AuditLog, AuditRecord, AuditSink, CellEvent, CompiledRules,
+    ConsistencyOptions, DataMonitor, FixpointReport, MasterData, MonitorSession, Region,
+    RegionFinderOptions, SessionStatus, WorkerPool,
 };
-use cerfix_relation::{SchemaRef, Tuple, Value};
-use cerfix_rules::RuleSet;
+use cerfix_relation::{AttrSet, SchemaRef, Tuple, Value};
+use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
+use cerfix_storage::{
+    JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// Most audit records one `audit.read` returns when the client asks for
+/// more (or doesn't say).
+const AUDIT_READ_MAX: u64 = 4096;
+/// Default `audit.read` page size.
+const AUDIT_READ_DEFAULT: u64 = 256;
 
 /// Tunables for a [`CleaningService`].
 #[derive(Debug, Clone)]
@@ -58,20 +89,41 @@ impl Default for ServiceConfig {
     }
 }
 
-struct ServiceInner {
-    master: Arc<MasterData>,
+/// The swappable per-ruleset execution state: what `rules.reload`
+/// replaces atomically while sessions stay live.
+struct EngineState {
     rules: Arc<RuleSet>,
     /// Compiled execution plan shared by every per-request monitor
-    /// (masks + index snapshots resolved once, at startup).
+    /// (masks + index snapshots resolved once per ruleset).
     plan: Arc<CompiledRules>,
     /// Pre-computed certain regions handed to every monitor (shared:
     /// each monitor construction is a refcount bump, not a deep clone).
-    regions: std::sync::Arc<[Region]>,
+    regions: Arc<[Region]>,
     fingerprint: u64,
+}
+
+/// Durable storage plus the gate that serializes snapshots against
+/// mutating ops (see module docs).
+struct StorageBinding {
+    storage: Storage,
+    gate: RwLock<()>,
+}
+
+struct ServiceInner {
+    master: Arc<MasterData>,
+    engine: RwLock<Arc<EngineState>>,
+    /// The input schema never changes across reloads (rule sets are
+    /// re-parsed against it), so it is cached here unguarded.
+    input_schema: SchemaRef,
     pool: WorkerPool,
     sessions: SessionManager,
     cache: AnalysisCache,
     metrics: ServiceMetrics,
+    /// Shared provenance stream: every per-request monitor records into
+    /// it. Windowed over the disk spill when storage is attached,
+    /// unbounded in memory otherwise.
+    audit: Arc<AuditLog>,
+    storage: Option<StorageBinding>,
     config: ServiceConfig,
     shutdown: AtomicBool,
 }
@@ -86,68 +138,112 @@ pub struct CleaningService {
 impl std::fmt::Debug for CleaningService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CleaningService")
-            .field("rules", &self.inner.rules.len())
+            .field("rules", &self.engine().rules.len())
             .field("master_rows", &self.inner.master.len())
             .field("workers", &self.inner.pool.threads())
             .field("live_sessions", &self.inner.sessions.len())
+            .field("journaled", &self.inner.storage.is_some())
             .finish()
     }
 }
 
 impl CleaningService {
-    /// Build a service over shared master data and rules.
+    /// Build an in-memory service over shared master data and rules
+    /// (sessions and audit history do not survive the process).
     pub fn new(
         master: Arc<MasterData>,
         rules: Arc<RuleSet>,
         config: ServiceConfig,
     ) -> CleaningService {
+        CleaningService::build(master, rules, config, None)
+    }
+
+    /// Build a journaled service over a data directory and recover
+    /// whatever a previous process left there: the snapshot is loaded,
+    /// the journal suffix is replayed through the correcting process,
+    /// and every uncommitted session resumes exactly where it was.
+    /// `rules` are the boot rules; if the recovered state carries a
+    /// hot-reloaded rule set, it wins (the reload is replayed).
+    pub fn with_storage(
+        master: Arc<MasterData>,
+        rules: Arc<RuleSet>,
+        config: ServiceConfig,
+        storage_config: StorageConfig,
+    ) -> std::io::Result<CleaningService> {
+        let (storage, recovered) = Storage::open(storage_config)?;
+        let service = CleaningService::build(master, rules, config, Some(storage));
+        service
+            .recover(recovered)
+            .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))?;
+        Ok(service)
+    }
+
+    fn build(
+        master: Arc<MasterData>,
+        rules: Arc<RuleSet>,
+        config: ServiceConfig,
+        storage: Option<Storage>,
+    ) -> CleaningService {
         master.warm_indexes(rules.iter().map(|(_, r)| r));
-        let fingerprint = ruleset_fingerprint(&rules);
         let cache = AnalysisCache::new();
         let metrics = ServiceMetrics::new();
-        // Compile the execution plan once at startup (indexes are warm,
-        // so this just resolves snapshots and builds the rule masks).
-        let (plan, _) = cache.plan(fingerprint, master.generation(), &metrics, || {
-            CompiledRules::compile(&rules, &master)
-        });
-        let regions = if config.precompute_regions {
-            let universe = universe_from_master(rules.input_schema(), &master);
-            let (result, _) = cache.regions(fingerprint, config.region_top_k, &metrics, || {
-                find_regions(
-                    &rules,
-                    &master,
-                    &universe,
-                    &RegionFinderOptions {
-                        top_k: config.region_top_k,
-                        ..Default::default()
-                    },
-                )
-            });
-            result.regions.clone()
-        } else {
-            Vec::new()
+        let input_schema = rules.input_schema().clone();
+        let engine = compile_engine(&master, rules, &config, &cache, &metrics);
+        let audit = match &storage {
+            Some(storage) => Arc::new(AuditLog::with_sink(
+                storage.config().audit_window,
+                Arc::clone(storage.spill()) as Arc<dyn AuditSink>,
+            )),
+            None => Arc::new(AuditLog::new()),
         };
-        let regions: std::sync::Arc<[Region]> = regions.into();
         CleaningService {
             inner: Arc::new(ServiceInner {
                 pool: WorkerPool::new(config.workers),
                 sessions: SessionManager::new(config.session_ttl, config.max_sessions),
-                fingerprint,
+                engine: RwLock::new(engine),
+                input_schema,
                 cache,
                 metrics,
-                regions,
-                plan,
+                audit,
+                storage: storage.map(|storage| StorageBinding {
+                    storage,
+                    gate: RwLock::new(()),
+                }),
                 master,
-                rules,
                 config,
                 shutdown: AtomicBool::new(false),
             }),
         }
     }
 
+    /// The current engine state (a cheap refcounted handle; holders keep
+    /// serving the rule set they started with across a reload).
+    fn engine(&self) -> Arc<EngineState> {
+        Arc::clone(&self.inner.engine.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Run `f` with the storage gate held for reading (mutating ops);
+    /// a no-op wrapper for in-memory services.
+    fn with_gate<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.inner.storage {
+            Some(binding) => {
+                let _gate = binding.gate.read().unwrap_or_else(|e| e.into_inner());
+                f()
+            }
+            None => f(),
+        }
+    }
+
+    fn journal(&self, event: &JournalEvent) -> Option<u64> {
+        self.inner
+            .storage
+            .as_ref()
+            .map(|binding| binding.storage.append(event))
+    }
+
     /// The service's input schema (what session tuples must match).
     pub fn input_schema(&self) -> &SchemaRef {
-        self.inner.rules.input_schema()
+        &self.inner.input_schema
     }
 
     /// Live session count.
@@ -160,9 +256,32 @@ impl CleaningService {
         self.inner.pool.threads()
     }
 
+    /// True iff this service journals to a data directory.
+    pub fn is_journaled(&self) -> bool {
+        self.inner.storage.is_some()
+    }
+
+    /// The shared audit log (cell-level provenance of every op).
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.inner.audit
+    }
+
     /// Counters.
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.refresh_storage_gauges();
         self.inner.metrics.snapshot()
+    }
+
+    fn refresh_storage_gauges(&self) {
+        if let Some(binding) = &self.inner.storage {
+            self.inner.metrics.journal_totals(
+                binding.storage.journal().bytes_appended(),
+                binding.storage.journal().events_appended(),
+            );
+        }
+        self.inner
+            .metrics
+            .audit_spilled(self.inner.audit.spilled() as u64);
     }
 
     /// True once a `shutdown` request has been accepted.
@@ -172,22 +291,192 @@ impl CleaningService {
 
     /// Evict idle sessions now; returns how many were reaped. The TCP
     /// server calls this periodically; embedders with their own runtime
-    /// can too.
+    /// can too. Evictions are journaled so recovery does not resurrect
+    /// reaped sessions.
     pub fn sweep_idle_sessions(&self) -> usize {
-        let evicted = self.inner.sessions.evict_idle();
-        if evicted > 0 {
-            self.inner.metrics.sessions_evicted(evicted as u64);
+        let evicted = self.with_gate(|| {
+            let evicted = self.inner.sessions.evict_idle();
+            if !evicted.is_empty() {
+                self.journal(&JournalEvent::SessionsEvicted {
+                    sessions: evicted.clone(),
+                });
+            }
+            evicted
+        });
+        if !evicted.is_empty() {
+            self.inner.metrics.sessions_evicted(evicted.len() as u64);
         }
-        evicted
+        evicted.len()
     }
 
-    fn monitor(&self) -> DataMonitor<'_> {
-        DataMonitor::from_plan(
-            &self.inner.rules,
+    /// Install a snapshot of all live state and truncate the journal,
+    /// if storage is attached and the snapshot policy says it is time.
+    /// The TCP server calls this from its housekeeping loop.
+    pub fn maybe_snapshot(&self) -> std::io::Result<bool> {
+        match &self.inner.storage {
+            Some(binding) if binding.storage.should_snapshot() => self.snapshot_now(),
+            _ => Ok(false),
+        }
+    }
+
+    /// Unconditionally snapshot now (no-op without storage). Holds the
+    /// storage gate in write mode: the captured session set and the
+    /// journal truncation are atomic against concurrent mutation.
+    pub fn snapshot_now(&self) -> std::io::Result<bool> {
+        let Some(binding) = &self.inner.storage else {
+            return Ok(false);
+        };
+        let _gate = binding.gate.write().unwrap_or_else(|e| e.into_inner());
+        let engine = self.engine();
+        let schema_arity = self.inner.input_schema.arity();
+        let sessions = self
+            .inner
+            .sessions
+            .export()
+            .into_iter()
+            .map(|(id, session)| session_to_snapshot(id, &session, schema_arity))
+            .collect();
+        let data = SnapshotData {
+            epoch: binding.storage.epoch() + 1,
+            fingerprint: engine.fingerprint,
+            rules_dsl: render_ruleset_dsl(&engine.rules),
+            next_session_id: self.inner.sessions.next_id(),
+            sessions,
+        };
+        binding.storage.install_snapshot(&data)?;
+        self.inner.metrics.snapshot_written();
+        Ok(true)
+    }
+
+    /// Simulate a kill-9 with a cold page cache (crash-recovery tests):
+    /// all storage files roll back to their last fsync and go inert.
+    /// No-op (returning `false`) without storage.
+    pub fn simulate_crash(&self) -> std::io::Result<bool> {
+        match &self.inner.storage {
+            Some(binding) => binding.storage.simulate_crash().map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Replay recovered state: snapshot first (rule set, session
+    /// states, id allocator), then the journal suffix through the same
+    /// deterministic correcting process that produced it live. Replay
+    /// runs on detached monitors — provenance already sits in the audit
+    /// segment; re-recording it would duplicate the archive.
+    fn recover(&self, recovered: RecoveredState) -> Result<(), String> {
+        let schema = self.inner.input_schema.clone();
+        if let Some(snapshot) = &recovered.snapshot {
+            let boot = self.engine();
+            if snapshot.fingerprint != boot.fingerprint && !snapshot.rules_dsl.is_empty() {
+                let engine = self.compile_engine_from_dsl(&snapshot.rules_dsl)?;
+                if engine.fingerprint != snapshot.fingerprint {
+                    return Err(format!(
+                        "snapshot rule set re-parses to fingerprint {:x}, expected {:x}",
+                        engine.fingerprint, snapshot.fingerprint
+                    ));
+                }
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+            }
+            for session in &snapshot.sessions {
+                let restored = snapshot_to_session(session, &schema)?;
+                self.inner.sessions.restore(session.session, restored);
+            }
+            self.inner
+                .sessions
+                .advance_next_id(snapshot.next_session_id);
+        }
+        for event in &recovered.events {
+            match event {
+                JournalEvent::SessionCreated { session, values } => {
+                    let tuple = Tuple::new(schema.clone(), values.clone())
+                        .map_err(|e| format!("replay session {session}: {e}"))?;
+                    self.inner
+                        .sessions
+                        .restore(*session, MonitorSession::new(*session as usize, tuple));
+                }
+                JournalEvent::SessionValidated {
+                    session,
+                    validations,
+                } => {
+                    let resolved: Vec<(usize, Value)> = validations
+                        .iter()
+                        .map(|(attr, value)| (*attr as usize, value.clone()))
+                        .collect();
+                    let engine = self.engine();
+                    // Detached monitor: shared regions but a private
+                    // audit log (see method docs).
+                    let monitor = DataMonitor::from_plan(
+                        &engine.rules,
+                        &self.inner.master,
+                        Arc::clone(&engine.plan),
+                    )
+                    .with_shared_regions(Arc::clone(&engine.regions));
+                    // Ignore per-event errors: replaying an op that
+                    // failed live reproduces the failed state too.
+                    let _ = self
+                        .inner
+                        .sessions
+                        .with_session(*session, |state| monitor.apply_validation(state, &resolved));
+                }
+                JournalEvent::SessionCommitted { session }
+                | JournalEvent::SessionAborted { session } => {
+                    let _ = self.inner.sessions.remove(*session);
+                }
+                JournalEvent::SessionsEvicted { sessions } => {
+                    for id in sessions {
+                        let _ = self.inner.sessions.remove(*id);
+                    }
+                }
+                JournalEvent::RulesReloaded { dsl, fingerprint } => {
+                    let engine = self.compile_engine_from_dsl(dsl)?;
+                    if engine.fingerprint != *fingerprint {
+                        return Err(format!(
+                            "journaled rule set re-parses to fingerprint {:x}, expected {:x}",
+                            engine.fingerprint, fingerprint
+                        ));
+                    }
+                    *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+                }
+            }
+        }
+        let live = self.inner.sessions.len() as u64;
+        self.inner.metrics.sessions_recovered(live);
+        Ok(())
+    }
+
+    /// Parse DSL against the service schemas and compile a full engine
+    /// state (plan + regions served from the analysis cache).
+    fn compile_engine_from_dsl(&self, dsl: &str) -> Result<Arc<EngineState>, String> {
+        let boot = self.engine();
+        let input = boot.rules.input_schema().clone();
+        let master_schema = boot.rules.master_schema().clone();
+        let mut set = RuleSet::new(input.clone(), master_schema.clone());
+        for decl in parse_rules(dsl, &input, &master_schema).map_err(|e| e.to_string())? {
+            match decl {
+                RuleDecl::Er(rule) => {
+                    set.add(rule).map_err(|e| e.to_string())?;
+                }
+                other => {
+                    return Err(format!(
+                        "`{}` is not an editing rule; derive CFDs/MDs before loading",
+                        other.name()
+                    ))
+                }
+            }
+        }
+        Ok(compile_engine(
             &self.inner.master,
-            Arc::clone(&self.inner.plan),
-        )
-        .with_shared_regions(std::sync::Arc::clone(&self.inner.regions))
+            Arc::new(set),
+            &self.inner.config,
+            &self.inner.cache,
+            &self.inner.metrics,
+        ))
+    }
+
+    fn monitor_for<'e>(&'e self, engine: &'e EngineState) -> DataMonitor<'e> {
+        DataMonitor::from_plan(&engine.rules, &self.inner.master, Arc::clone(&engine.plan))
+            .with_shared_regions(Arc::clone(&engine.regions))
+            .with_audit(Arc::clone(&self.inner.audit))
     }
 
     /// Handle one wire line: parse, dispatch, render. Never panics on
@@ -220,6 +509,8 @@ impl CleaningService {
             Request::Clean { tuples, trust } => self.clean_batch(tuples.clone(), trust),
             Request::Regions { top_k } => Ok(self.regions(*top_k)),
             Request::Check { mode } => self.check(mode.as_deref()),
+            Request::AuditRead { start, count } => Ok(self.audit_read(*start, *count)),
+            Request::RulesReload { rules } => self.rules_reload(rules),
             Request::Metrics => Ok(self.metrics_response()),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
@@ -238,14 +529,24 @@ impl CleaningService {
     }
 
     fn hello(&self) -> Json {
+        let engine = self.engine();
         Json::obj([
             ("ok", Json::Bool(true)),
             ("service", Json::str("cerfix-server")),
             ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
             ("workers", Json::Num(self.workers() as f64)),
-            ("rules", Json::Num(self.inner.rules.len() as f64)),
+            ("rules", Json::Num(engine.rules.len() as f64)),
+            ("ruleset", Json::str(format!("{:016x}", engine.fingerprint))),
             ("master_rows", Json::Num(self.inner.master.len() as f64)),
             ("input_arity", Json::Num(self.input_schema().arity() as f64)),
+            (
+                "storage",
+                Json::str(if self.is_journaled() {
+                    "journaled"
+                } else {
+                    "memory"
+                }),
+            ),
             (
                 "attributes",
                 Json::Arr(
@@ -270,17 +571,25 @@ impl CleaningService {
             ));
         }
         let tuple = Tuple::new(schema, values.to_vec()).map_err(|e| e.to_string())?;
-        let id = self
-            .inner
-            .sessions
-            .create(MonitorSession::new(0, tuple))
-            .map_err(|e| e.to_string())?;
-        self.inner.metrics.session_created();
-        // The monitor uses tuple_id for audit attribution; align it with
-        // the server-assigned id.
-        self.with_monitor_session(id, |_, session| {
-            session.tuple_id = id as usize;
+        let id = self.with_gate(|| -> Result<u64, String> {
+            let id = self
+                .inner
+                .sessions
+                .create(MonitorSession::new(0, tuple.clone()))
+                .map_err(|e| e.to_string())?;
+            // The monitor uses tuple_id for audit attribution; align it
+            // with the server-assigned id.
+            self.inner
+                .sessions
+                .with_session(id, |session| session.tuple_id = id as usize)
+                .map_err(|e| e.to_string())?;
+            self.journal(&JournalEvent::SessionCreated {
+                session: id,
+                values: values.to_vec(),
+            });
+            Ok(id)
         })?;
+        self.inner.metrics.session_created();
         self.session_view(id, None)
     }
 
@@ -289,7 +598,8 @@ impl CleaningService {
         id: u64,
         f: impl FnOnce(&DataMonitor<'_>, &mut MonitorSession) -> R,
     ) -> Result<R, String> {
-        let monitor = self.monitor();
+        let engine = self.engine();
+        let monitor = self.monitor_for(&engine);
         self.inner
             .sessions
             .with_session(id, |session| f(&monitor, session))
@@ -421,17 +731,43 @@ impl CleaningService {
             .iter()
             .map(|(name, value)| Ok((self.resolve_attr(name)?, value.clone())))
             .collect::<Result<_, String>>()?;
-        let report = self
-            .with_monitor_session(id, |monitor, session| {
-                monitor.apply_validation(session, &resolved)
-            })?
-            .map_err(|e| e.to_string())?;
+        // Journal *before* applying, inside the session lock: a mixed
+        // batch can mutate some cells and then fail, and replay must
+        // reproduce exactly that — the event is the attempt, and the
+        // deterministic engine re-derives its outcome.
+        let report = self.with_gate(|| {
+            let engine = self.engine();
+            let monitor = self.monitor_for(&engine);
+            self.inner
+                .sessions
+                .with_session(id, |session| {
+                    self.journal(&JournalEvent::SessionValidated {
+                        session: id,
+                        validations: resolved
+                            .iter()
+                            .map(|(attr, value)| (*attr as u32, value.clone()))
+                            .collect(),
+                    });
+                    monitor.apply_validation(session, &resolved)
+                })
+                .map_err(|e: SessionError| e.to_string())
+        })?;
+        let report = report.map_err(|e| e.to_string())?;
         self.inner.metrics.cells_fixed(report.fixes.len() as u64);
         self.session_view(id, Some(report))
     }
 
     fn session_commit(&self, id: u64) -> Result<Json, String> {
-        let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+        let (session, seq) = self.with_gate(|| -> Result<_, String> {
+            let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+            let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
+            Ok((session, seq))
+        })?;
+        // Commit is the protocol's durability point: wait for the group
+        // fsync (outside the gate — a snapshot may proceed meanwhile).
+        if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            binding.storage.sync(seq);
+        }
         self.inner.metrics.session_committed();
         let schema = self.input_schema();
         Ok(Json::obj([
@@ -472,7 +808,11 @@ impl CleaningService {
     }
 
     fn session_abort(&self, id: u64) -> Result<Json, String> {
-        self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+        self.with_gate(|| -> Result<(), String> {
+            self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+            self.journal(&JournalEvent::SessionAborted { session: id });
+            Ok(())
+        })?;
         self.inner.metrics.session_aborted();
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -482,7 +822,10 @@ impl CleaningService {
 
     /// Batch clean: each tuple gets its `trust` columns validated as-is,
     /// then the correcting process runs to its fixpoint. Tuples fan out
-    /// across the worker pool; outcomes return in input order.
+    /// across the worker pool; outcomes return in input order. Batch
+    /// cleans are request/response (no session survives them), so they
+    /// are not journaled — but their provenance does flow into the
+    /// shared audit log under reserved tuple ids.
     fn clean_batch(&self, tuples: Vec<Vec<Value>>, trust: &[String]) -> Result<Json, String> {
         let schema = self.input_schema().clone();
         let trusted: Vec<usize> = trust
@@ -491,11 +834,21 @@ impl CleaningService {
             .collect::<Result<_, String>>()?;
         let n = tuples.len();
         let inner = Arc::clone(&self.inner);
+        let engine = self.engine();
         let trusted = Arc::new(trusted);
         let schema_for_jobs = schema.clone();
+        let audit_base = self.inner.sessions.allocate_ids(n as u64);
         let outcomes: Vec<Result<Json, String>> =
             self.inner.pool.map_ordered(tuples, move |idx, values| {
-                clean_one(&inner, &schema_for_jobs, &trusted, idx, values)
+                clean_one(
+                    &inner,
+                    &engine,
+                    &schema_for_jobs,
+                    &trusted,
+                    audit_base as usize + idx,
+                    idx,
+                    values,
+                )
             });
         let mut rendered = Vec::with_capacity(n);
         let mut complete = 0u64;
@@ -522,15 +875,16 @@ impl CleaningService {
     fn regions(&self, top_k: Option<usize>) -> Json {
         let top_k = top_k.unwrap_or(self.inner.config.region_top_k);
         let inner = &self.inner;
+        let engine = self.engine();
         let (result, cached) =
             inner
                 .cache
-                .regions(inner.fingerprint, top_k, &inner.metrics, || {
+                .regions(engine.fingerprint, top_k, &inner.metrics, || {
                     // Materializing the truth universe copies every
                     // master row — only pay that on a cache miss.
-                    let universe = universe_from_master(inner.rules.input_schema(), &inner.master);
+                    let universe = universe_from_master(engine.rules.input_schema(), &inner.master);
                     find_regions(
-                        &inner.rules,
+                        &engine.rules,
                         &inner.master,
                         &universe,
                         &RegionFinderOptions {
@@ -581,11 +935,12 @@ impl CleaningService {
             other => return Err(format!("unknown mode `{other}` (strict | entity-coherent)")),
         };
         let inner = &self.inner;
+        let engine = self.engine();
         let (report, cached) =
             inner
                 .cache
-                .consistency(inner.fingerprint, mode, &inner.metrics, || {
-                    check_consistency(&inner.rules, &inner.master, &options)
+                .consistency(engine.fingerprint, mode, &inner.metrics, || {
+                    check_consistency(&engine.rules, &inner.master, &options)
                 });
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -598,9 +953,73 @@ impl CleaningService {
         ]))
     }
 
-    fn metrics_response(&self) -> Json {
-        let snapshot = self.inner.metrics.snapshot();
+    /// Ranged read over the provenance stream: `start` is a global
+    /// append index; records below the in-memory window come from the
+    /// disk spill. Clients page by advancing `start` past the returned
+    /// records (`next` field).
+    fn audit_read(&self, start: u64, count: Option<u64>) -> Json {
+        let count = count.unwrap_or(AUDIT_READ_DEFAULT).min(AUDIT_READ_MAX);
+        let audit = &self.inner.audit;
+        let records = audit.read_range(start as usize, count as usize);
+        let schema = self.input_schema();
+        let rendered: Vec<Json> = records
+            .iter()
+            .enumerate()
+            .map(|(offset, record)| render_audit_record(start + offset as u64, record, schema))
+            .collect();
+        let next = start + rendered.len() as u64;
         Json::obj([
+            ("ok", Json::Bool(true)),
+            ("start", Json::Num(start as f64)),
+            ("count", Json::Num(rendered.len() as f64)),
+            ("next", Json::Num(next as f64)),
+            ("total", Json::Num(audit.len() as f64)),
+            ("spilled", Json::Num(audit.spilled() as f64)),
+            ("records", Json::Arr(rendered)),
+        ])
+    }
+
+    /// Parse, compile and atomically install a new rule set. The swap
+    /// and its journal event happen under the storage write gate, so
+    /// every journaled session event is on the correct side of the
+    /// reload during replay.
+    fn rules_reload(&self, dsl: &str) -> Result<Json, String> {
+        // Parse + compile outside any gate: this is the expensive part
+        // (plan compilation, optional region pre-computation).
+        let engine = self.compile_engine_from_dsl(dsl)?;
+        let (rules_len, fingerprint, regions_len) =
+            (engine.rules.len(), engine.fingerprint, engine.regions.len());
+        let seq = match &self.inner.storage {
+            Some(binding) => {
+                let gate = binding.gate.write().unwrap_or_else(|e| e.into_inner());
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+                let seq = binding.storage.append(&JournalEvent::RulesReloaded {
+                    dsl: dsl.to_string(),
+                    fingerprint,
+                });
+                drop(gate);
+                Some(seq)
+            }
+            None => {
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+                None
+            }
+        };
+        if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            binding.storage.sync(seq); // a reload ack must survive restart
+        }
+        self.inner.metrics.rules_reload();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("rules", Json::Num(rules_len as f64)),
+            ("ruleset", Json::str(format!("{fingerprint:016x}"))),
+            ("regions", Json::Num(regions_len as f64)),
+        ]))
+    }
+
+    fn metrics_response(&self) -> Json {
+        let snapshot = self.metrics();
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("uptime_secs", Json::Num(snapshot.uptime_secs as f64)),
             ("requests", Json::Num(snapshot.requests as f64)),
@@ -621,21 +1040,194 @@ impl CleaningService {
                 "sessions_evicted",
                 Json::Num(snapshot.sessions_evicted as f64),
             ),
+            (
+                "sessions_recovered",
+                Json::Num(snapshot.sessions_recovered as f64),
+            ),
             ("live_sessions", Json::Num(self.live_sessions() as f64)),
             ("tuples_cleaned", Json::Num(snapshot.tuples_cleaned as f64)),
             ("cells_fixed", Json::Num(snapshot.cells_fixed as f64)),
             ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
             ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
             ("workers", Json::Num(self.workers() as f64)),
-        ])
+            ("audit_records", Json::Num(self.inner.audit.len() as f64)),
+            (
+                "audit_spilled_records",
+                Json::Num(snapshot.audit_spilled_records as f64),
+            ),
+            ("rules_reloaded", Json::Num(snapshot.rules_reloaded as f64)),
+            (
+                "storage",
+                Json::str(if self.is_journaled() {
+                    "journaled"
+                } else {
+                    "memory"
+                }),
+            ),
+        ];
+        if let Some(binding) = &self.inner.storage {
+            fields.extend([
+                ("journal_bytes", Json::Num(snapshot.journal_bytes as f64)),
+                ("journal_events", Json::Num(snapshot.journal_events as f64)),
+                ("journal_epoch", Json::Num(binding.storage.epoch() as f64)),
+                (
+                    "snapshots_written",
+                    Json::Num(snapshot.snapshots_written as f64),
+                ),
+            ]);
+        }
+        Json::obj(fields)
     }
 }
 
+/// Compile the full engine state for `rules`: plan and (optionally)
+/// pre-computed regions, both served from the analysis cache so a
+/// reload back to a previously-seen rule set is cheap.
+fn compile_engine(
+    master: &Arc<MasterData>,
+    rules: Arc<RuleSet>,
+    config: &ServiceConfig,
+    cache: &AnalysisCache,
+    metrics: &ServiceMetrics,
+) -> Arc<EngineState> {
+    master.warm_indexes(rules.iter().map(|(_, r)| r));
+    let fingerprint = ruleset_fingerprint(&rules);
+    let (plan, _) = cache.plan(fingerprint, master.generation(), metrics, || {
+        CompiledRules::compile(&rules, master)
+    });
+    let regions = if config.precompute_regions {
+        let universe = universe_from_master(rules.input_schema(), master);
+        let (result, _) = cache.regions(fingerprint, config.region_top_k, metrics, || {
+            find_regions(
+                &rules,
+                master,
+                &universe,
+                &RegionFinderOptions {
+                    top_k: config.region_top_k,
+                    ..Default::default()
+                },
+            )
+        });
+        result.regions.clone()
+    } else {
+        Vec::new()
+    };
+    Arc::new(EngineState {
+        regions: regions.into(),
+        fingerprint,
+        plan,
+        rules,
+    })
+}
+
+/// Canonical DSL rendering of a whole rule set (journals and snapshots
+/// store this; recovery re-parses it).
+fn render_ruleset_dsl(rules: &RuleSet) -> String {
+    let input = rules.input_schema();
+    let master = rules.master_schema();
+    rules
+        .iter()
+        .map(|(_, rule)| render_er_dsl(rule, input, master))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn attrset_to_ids(set: &AttrSet) -> Vec<u32> {
+    set.iter().map(|a| a as u32).collect()
+}
+
+fn ids_to_attrset(ids: &[u32], arity: usize) -> Result<AttrSet, String> {
+    let mut set = AttrSet::new();
+    for &id in ids {
+        if id as usize >= arity {
+            return Err(format!("attribute id {id} out of range (arity {arity})"));
+        }
+        set.insert(id as usize);
+    }
+    Ok(set)
+}
+
+fn session_to_snapshot(id: u64, session: &MonitorSession, arity: usize) -> SessionSnapshot {
+    debug_assert_eq!(session.tuple.arity(), arity);
+    SessionSnapshot {
+        session: id,
+        tuple_id: session.tuple_id as u64,
+        rounds: session.rounds as u64,
+        values: session.tuple.values().to_vec(),
+        validated: attrset_to_ids(&session.validated),
+        user_validated: attrset_to_ids(&session.user_validated),
+        auto_validated: attrset_to_ids(&session.auto_validated),
+    }
+}
+
+fn snapshot_to_session(
+    snapshot: &SessionSnapshot,
+    schema: &SchemaRef,
+) -> Result<MonitorSession, String> {
+    let tuple = Tuple::new(schema.clone(), snapshot.values.clone())
+        .map_err(|e| format!("snapshot session {}: {e}", snapshot.session))?;
+    let arity = schema.arity();
+    let mut session = MonitorSession::new(snapshot.tuple_id as usize, tuple);
+    session.rounds = snapshot.rounds as usize;
+    session.validated = ids_to_attrset(&snapshot.validated, arity)?;
+    session.user_validated = ids_to_attrset(&snapshot.user_validated, arity)?;
+    session.auto_validated = ids_to_attrset(&snapshot.auto_validated, arity)?;
+    Ok(session)
+}
+
+/// Render one audit record for the `audit.read` wire response.
+fn render_audit_record(index: u64, record: &AuditRecord, schema: &SchemaRef) -> Json {
+    let attr = if record.attr < schema.arity() {
+        Json::str(schema.attr_name(record.attr))
+    } else {
+        Json::Num(record.attr as f64)
+    };
+    let mut fields = vec![
+        ("index", Json::Num(index as f64)),
+        ("tuple", Json::Num(record.tuple_id as f64)),
+        ("attr", attr),
+        ("round", Json::Num(record.round as f64)),
+    ];
+    match &record.event {
+        CellEvent::UserValidated { old, new } => {
+            fields.push(("kind", Json::str("user_validated")));
+            fields.push(("old", Json::from_value(old)));
+            fields.push(("new", Json::from_value(new)));
+        }
+        CellEvent::RuleFixed {
+            rule,
+            master_row,
+            old,
+            new,
+        } => {
+            fields.push(("kind", Json::str("rule_fixed")));
+            fields.push(("rule", Json::Num(*rule as f64)));
+            fields.push(("master_row", Json::Num(*master_row as f64)));
+            fields.push(("old", Json::from_value(old)));
+            fields.push(("new", Json::from_value(new)));
+        }
+        CellEvent::RuleConfirmed { rule } => {
+            fields.push(("kind", Json::str("rule_confirmed")));
+            // `usize::MAX` marks "some rule" (the fixpoint report does
+            // not retain which); render as null rather than 2^64.
+            if *rule != usize::MAX {
+                fields.push(("rule", Json::Num(*rule as f64)));
+            } else {
+                fields.push(("rule", Json::Null));
+            }
+        }
+    }
+    Json::obj(fields)
+}
+
 /// One batch-clean job, run on a pool worker.
+#[allow(clippy::too_many_arguments)]
 fn clean_one(
     inner: &Arc<ServiceInner>,
+    engine: &Arc<EngineState>,
     schema: &SchemaRef,
     trusted: &[usize],
+    audit_id: usize,
     idx: usize,
     values: Vec<Value>,
 ) -> Result<Json, String> {
@@ -648,9 +1240,10 @@ fn clean_one(
         ));
     }
     let tuple = Tuple::new(schema.clone(), values).map_err(|e| e.to_string())?;
-    let monitor = DataMonitor::from_plan(&inner.rules, &inner.master, Arc::clone(&inner.plan))
-        .with_shared_regions(std::sync::Arc::clone(&inner.regions));
-    let mut session = monitor.start(idx, tuple);
+    let monitor = DataMonitor::from_plan(&engine.rules, &inner.master, Arc::clone(&engine.plan))
+        .with_shared_regions(Arc::clone(&engine.regions))
+        .with_audit(Arc::clone(&inner.audit));
+    let mut session = monitor.start(audit_id, tuple);
     let validations: Vec<(usize, Value)> = trusted
         .iter()
         .filter_map(|&a| {

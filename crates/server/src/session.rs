@@ -108,6 +108,56 @@ impl SessionManager {
         Ok(id)
     }
 
+    /// Re-register a recovered session under its original id (journal /
+    /// snapshot replay) and keep the id allocator ahead of it. Replaces
+    /// any existing entry with that id (replay is the authority).
+    pub fn restore(&self, id: u64, session: MonitorSession) {
+        let mut map = lock(&self.sessions);
+        map.insert(
+            id,
+            Arc::new(Mutex::new(SessionEntry {
+                session,
+                last_touched: Instant::now(),
+            })),
+        );
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+    }
+
+    /// Clone every live session, sorted by id — the snapshotter's view.
+    /// Sessions mid-operation are cloned after that operation finishes
+    /// (their entry lock is taken); the service-level storage gate keeps
+    /// the set itself stable while this runs.
+    pub fn export(&self) -> Vec<(u64, MonitorSession)> {
+        let entries: Vec<(u64, Arc<Mutex<SessionEntry>>)> = lock(&self.sessions)
+            .iter()
+            .map(|(&id, entry)| (id, Arc::clone(entry)))
+            .collect();
+        let mut sessions: Vec<(u64, MonitorSession)> = entries
+            .into_iter()
+            .map(|(id, entry)| (id, lock(&entry).session.clone()))
+            .collect();
+        sessions.sort_by_key(|&(id, _)| id);
+        sessions
+    }
+
+    /// The id the next `create` will hand out.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `n` consecutive ids from the session-id space without
+    /// registering sessions (batch `clean` jobs use them for audit
+    /// attribution, so batch tuples and interactive sessions never
+    /// collide in the provenance stream). Returns the first id.
+    pub fn allocate_ids(&self, n: u64) -> u64 {
+        self.next_id.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Move the id allocator forward to at least `id` (snapshot replay).
+    pub fn advance_next_id(&self, id: u64) {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
+    }
+
     /// Run `f` on the session, touching its idle clock. The map lock is
     /// released before `f` runs; only that session's lock is held.
     pub fn with_session<R>(
@@ -135,19 +185,24 @@ impl SessionManager {
         Ok(guard.session.clone())
     }
 
-    /// Evict sessions idle longer than the TTL; returns how many.
-    pub fn evict_idle(&self) -> usize {
+    /// Evict sessions idle longer than the TTL; returns the evicted ids
+    /// (the service journals them so recovery doesn't resurrect them).
+    pub fn evict_idle(&self) -> Vec<u64> {
         let now = Instant::now();
         let mut map = lock(&self.sessions);
-        let before = map.len();
-        map.retain(|_, entry| {
+        let mut evicted = Vec::new();
+        map.retain(|&id, entry| {
             // Skip (keep) sessions currently being operated on.
-            match entry.try_lock() {
+            let keep = match entry.try_lock() {
                 Ok(guard) => now.duration_since(guard.last_touched) < self.idle_ttl,
                 Err(_) => true,
+            };
+            if !keep {
+                evicted.push(id);
             }
+            keep
         });
-        before - map.len()
+        evicted
     }
 }
 
@@ -191,9 +246,9 @@ mod tests {
     fn idle_eviction() {
         let mgr = SessionManager::new(Duration::from_millis(10), 16);
         let id = mgr.create(mk_session(0)).unwrap();
-        assert_eq!(mgr.evict_idle(), 0, "fresh session survives");
+        assert!(mgr.evict_idle().is_empty(), "fresh session survives");
         std::thread::sleep(Duration::from_millis(25));
-        assert_eq!(mgr.evict_idle(), 1);
+        assert_eq!(mgr.evict_idle(), vec![id]);
         assert!(matches!(
             mgr.with_session(id, |_| ()),
             Err(SessionError::NotFound(_))
@@ -224,6 +279,24 @@ mod tests {
             std::thread::sleep(Duration::from_millis(15));
             mgr.with_session(id, |_| ()).unwrap();
         }
-        assert_eq!(mgr.evict_idle(), 0, "kept alive by touches");
+        assert!(mgr.evict_idle().is_empty(), "kept alive by touches");
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_advances_allocator() {
+        let mgr = SessionManager::new(Duration::from_secs(60), 16);
+        mgr.restore(7, mk_session(7));
+        mgr.restore(12, mk_session(12));
+        assert_eq!(mgr.len(), 2);
+        assert!(mgr.next_id() >= 13, "allocator moved past restored ids");
+        let fresh = mgr.create(mk_session(0)).unwrap();
+        assert!(fresh > 12, "no id collision after recovery");
+        let exported = mgr.export();
+        assert_eq!(
+            exported.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![7, 12, fresh],
+            "export is id-sorted"
+        );
+        assert_eq!(exported[0].1.tuple_id, 7);
     }
 }

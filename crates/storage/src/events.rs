@@ -1,0 +1,453 @@
+//! The durable vocabulary: journal events, session snapshots, audit
+//! records — what the service writes ahead and replays on recovery.
+//!
+//! Replay is *semantic*: a [`JournalEvent::SessionValidated`] stores the
+//! resolved user assertions, not the rule firings they caused — recovery
+//! re-runs the (deterministic) correcting process against the same rules
+//! and master data, so a recovered session carries exactly the validated
+//! `AttrSet`s and pending fixes the live one had, at a fraction of the
+//! journal bytes. Rule reloads are journaled for the same reason: replay
+//! must run each validation against the rule set that was active when it
+//! happened.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use cerfix::{AuditRecord, CellEvent};
+use cerfix_relation::Value;
+
+/// One entry in the write-ahead session journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A session was opened for one input tuple.
+    SessionCreated {
+        /// Server-assigned session id.
+        session: u64,
+        /// The raw tuple as entered, in schema order.
+        values: Vec<Value>,
+    },
+    /// The user asserted attribute values; the correcting process ran.
+    SessionValidated {
+        /// Server-assigned session id.
+        session: u64,
+        /// Resolved `(attribute id, asserted value)` pairs, in the order
+        /// they were applied.
+        validations: Vec<(u32, Value)>,
+    },
+    /// The session was committed (final state extracted, entry removed).
+    SessionCommitted {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// The session was aborted by the client.
+    SessionAborted {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Sessions reaped by idle eviction (one event per sweep).
+    SessionsEvicted {
+        /// The evicted session ids.
+        sessions: Vec<u64>,
+    },
+    /// The rule set was hot-swapped. Recovery re-parses `dsl` so later
+    /// events replay against the right rules.
+    RulesReloaded {
+        /// Canonical DSL rendering of the new rule set.
+        dsl: String,
+        /// Fingerprint of the new rule set (sanity-checked on replay).
+        fingerprint: u64,
+    },
+}
+
+impl JournalEvent {
+    /// Short kind name, for diagnostics (`cerfix recover --inspect`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::SessionCreated { .. } => "session.created",
+            JournalEvent::SessionValidated { .. } => "session.validated",
+            JournalEvent::SessionCommitted { .. } => "session.committed",
+            JournalEvent::SessionAborted { .. } => "session.aborted",
+            JournalEvent::SessionsEvicted { .. } => "sessions.evicted",
+            JournalEvent::RulesReloaded { .. } => "rules.reloaded",
+        }
+    }
+
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            JournalEvent::SessionCreated { session, values } => {
+                enc.put_u8(1);
+                enc.put_u64(*session);
+                enc.put_values(values);
+            }
+            JournalEvent::SessionValidated {
+                session,
+                validations,
+            } => {
+                enc.put_u8(2);
+                enc.put_u64(*session);
+                enc.put_u32(validations.len() as u32);
+                for (attr, value) in validations {
+                    enc.put_u32(*attr);
+                    enc.put_value(value);
+                }
+            }
+            JournalEvent::SessionCommitted { session } => {
+                enc.put_u8(3);
+                enc.put_u64(*session);
+            }
+            JournalEvent::SessionAborted { session } => {
+                enc.put_u8(4);
+                enc.put_u64(*session);
+            }
+            JournalEvent::SessionsEvicted { sessions } => {
+                enc.put_u8(5);
+                enc.put_u32(sessions.len() as u32);
+                for &id in sessions {
+                    enc.put_u64(id);
+                }
+            }
+            JournalEvent::RulesReloaded { dsl, fingerprint } => {
+                enc.put_u8(6);
+                enc.put_str(dsl);
+                enc.put_u64(*fingerprint);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<JournalEvent, CodecError> {
+        let mut dec = Decoder::new(payload);
+        let event = match dec.get_u8()? {
+            1 => JournalEvent::SessionCreated {
+                session: dec.get_u64()?,
+                values: dec.get_values()?,
+            },
+            2 => {
+                let session = dec.get_u64()?;
+                let n = dec.get_u32()? as usize;
+                if n > payload.len() {
+                    return Err(CodecError(format!("validation count {n} exceeds payload")));
+                }
+                let validations = (0..n)
+                    .map(|_| Ok((dec.get_u32()?, dec.get_value()?)))
+                    .collect::<Result<Vec<_>, CodecError>>()?;
+                JournalEvent::SessionValidated {
+                    session,
+                    validations,
+                }
+            }
+            3 => JournalEvent::SessionCommitted {
+                session: dec.get_u64()?,
+            },
+            4 => JournalEvent::SessionAborted {
+                session: dec.get_u64()?,
+            },
+            5 => {
+                let n = dec.get_u32()? as usize;
+                if n * 8 > payload.len() {
+                    return Err(CodecError(format!("eviction count {n} exceeds payload")));
+                }
+                JournalEvent::SessionsEvicted {
+                    sessions: (0..n)
+                        .map(|_| dec.get_u64())
+                        .collect::<Result<Vec<_>, CodecError>>()?,
+                }
+            }
+            6 => JournalEvent::RulesReloaded {
+                dsl: dec.get_str()?,
+                fingerprint: dec.get_u64()?,
+            },
+            tag => return Err(CodecError(format!("unknown journal event tag {tag}"))),
+        };
+        dec.finish()?;
+        Ok(event)
+    }
+}
+
+/// One live session's full state inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Monitor tuple id (audit attribution).
+    pub tuple_id: u64,
+    /// Completed interaction rounds.
+    pub rounds: u64,
+    /// Current cell values (fixes already applied).
+    pub values: Vec<Value>,
+    /// All validated attribute ids.
+    pub validated: Vec<u32>,
+    /// Attribute ids validated by the user.
+    pub user_validated: Vec<u32>,
+    /// Attribute ids validated automatically by rules.
+    pub auto_validated: Vec<u32>,
+}
+
+impl SessionSnapshot {
+    pub(crate) fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        enc.put_u64(self.tuple_id);
+        enc.put_u64(self.rounds);
+        enc.put_values(&self.values);
+        enc.put_u32_list(&self.validated);
+        enc.put_u32_list(&self.user_validated);
+        enc.put_u32_list(&self.auto_validated);
+    }
+
+    pub(crate) fn decode_from(dec: &mut Decoder<'_>) -> Result<SessionSnapshot, CodecError> {
+        Ok(SessionSnapshot {
+            session: dec.get_u64()?,
+            tuple_id: dec.get_u64()?,
+            rounds: dec.get_u64()?,
+            values: dec.get_values()?,
+            validated: dec.get_u32_list()?,
+            user_validated: dec.get_u32_list()?,
+            auto_validated: dec.get_u32_list()?,
+        })
+    }
+}
+
+/// A point-in-time snapshot of service state: everything recovery needs
+/// besides the journal suffix written after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotData {
+    /// Snapshot epoch; the journal whose header carries the same epoch
+    /// holds exactly the events after this snapshot.
+    pub epoch: u64,
+    /// Fingerprint of the rule set active at snapshot time.
+    pub fingerprint: u64,
+    /// Canonical DSL of that rule set (re-parsed when the fingerprint
+    /// differs from the boot rules, i.e. after a hot reload).
+    pub rules_dsl: String,
+    /// The session-id allocator's next id.
+    pub next_session_id: u64,
+    /// Every live (uncommitted) session.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl SnapshotData {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.epoch);
+        enc.put_u64(self.fingerprint);
+        enc.put_str(&self.rules_dsl);
+        enc.put_u64(self.next_session_id);
+        enc.put_u32(self.sessions.len() as u32);
+        for session in &self.sessions {
+            session.encode_into(&mut enc);
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<SnapshotData, CodecError> {
+        let mut dec = Decoder::new(payload);
+        let epoch = dec.get_u64()?;
+        let fingerprint = dec.get_u64()?;
+        let rules_dsl = dec.get_str()?;
+        let next_session_id = dec.get_u64()?;
+        let n = dec.get_u32()? as usize;
+        if n > payload.len() {
+            return Err(CodecError(format!("session count {n} exceeds payload")));
+        }
+        let sessions = (0..n)
+            .map(|_| SessionSnapshot::decode_from(&mut dec))
+            .collect::<Result<Vec<_>, CodecError>>()?;
+        dec.finish()?;
+        Ok(SnapshotData {
+            epoch,
+            fingerprint,
+            rules_dsl,
+            next_session_id,
+            sessions,
+        })
+    }
+}
+
+/// Encode one audit record as a spill-segment frame payload.
+pub fn encode_audit_record(record: &AuditRecord) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(record.tuple_id as u64);
+    enc.put_u32(record.attr as u32);
+    enc.put_u64(record.round as u64);
+    match &record.event {
+        CellEvent::UserValidated { old, new } => {
+            enc.put_u8(1);
+            enc.put_value(old);
+            enc.put_value(new);
+        }
+        CellEvent::RuleFixed {
+            rule,
+            master_row,
+            old,
+            new,
+        } => {
+            enc.put_u8(2);
+            enc.put_u64(*rule as u64);
+            enc.put_u64(*master_row as u64);
+            enc.put_value(old);
+            enc.put_value(new);
+        }
+        CellEvent::RuleConfirmed { rule } => {
+            enc.put_u8(3);
+            enc.put_u64(*rule as u64);
+        }
+    }
+    enc.into_bytes()
+}
+
+/// Decode one audit record from a spill-segment frame payload.
+pub fn decode_audit_record(payload: &[u8]) -> Result<AuditRecord, CodecError> {
+    let mut dec = Decoder::new(payload);
+    let tuple_id = dec.get_u64()? as usize;
+    let attr = dec.get_u32()? as usize;
+    let round = dec.get_u64()? as usize;
+    let event = match dec.get_u8()? {
+        1 => CellEvent::UserValidated {
+            old: dec.get_value()?,
+            new: dec.get_value()?,
+        },
+        2 => CellEvent::RuleFixed {
+            rule: dec.get_u64()? as usize,
+            master_row: dec.get_u64()? as usize,
+            old: dec.get_value()?,
+            new: dec.get_value()?,
+        },
+        3 => CellEvent::RuleConfirmed {
+            rule: dec.get_u64()? as usize,
+        },
+        tag => return Err(CodecError(format!("unknown audit event tag {tag}"))),
+    };
+    dec.finish()?;
+    Ok(AuditRecord {
+        tuple_id,
+        attr,
+        round,
+        event,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::SessionCreated {
+                session: 1,
+                values: vec![Value::str("M."), Value::Null, Value::Int(7)],
+            },
+            JournalEvent::SessionValidated {
+                session: 1,
+                validations: vec![(0, Value::str("Mark")), (2, Value::Float(1.5))],
+            },
+            JournalEvent::SessionValidated {
+                session: 1,
+                validations: vec![],
+            },
+            JournalEvent::SessionCommitted { session: 1 },
+            JournalEvent::SessionAborted { session: 9 },
+            JournalEvent::SessionsEvicted {
+                sessions: vec![2, 3, 5],
+            },
+            JournalEvent::SessionsEvicted { sessions: vec![] },
+            JournalEvent::RulesReloaded {
+                dsl: "er phi1: match zip=zip fix AC:=AC when ()".into(),
+                fingerprint: 0xFEED_FACE_CAFE_BEEF,
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_events_round_trip() {
+        for event in sample_events() {
+            let bytes = event.encode();
+            let back = JournalEvent::decode(&bytes).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn journal_event_rejects_garbage() {
+        assert!(JournalEvent::decode(&[]).is_err());
+        assert!(JournalEvent::decode(&[99]).is_err());
+        // Valid event with a trailing byte is rejected (strict frames).
+        let mut bytes = JournalEvent::SessionCommitted { session: 3 }.encode();
+        bytes.push(0);
+        assert!(JournalEvent::decode(&bytes).is_err());
+        // Truncated payload.
+        let bytes = JournalEvent::SessionCommitted { session: 3 }.encode();
+        assert!(JournalEvent::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let data = SnapshotData {
+            epoch: 4,
+            fingerprint: 77,
+            rules_dsl: "er r: match a=a fix b:=b when ()".into(),
+            next_session_id: 42,
+            sessions: vec![
+                SessionSnapshot {
+                    session: 7,
+                    tuple_id: 7,
+                    rounds: 2,
+                    values: vec![Value::str("x"), Value::Null],
+                    validated: vec![0, 1],
+                    user_validated: vec![0],
+                    auto_validated: vec![1],
+                },
+                SessionSnapshot {
+                    session: 12,
+                    tuple_id: 12,
+                    rounds: 0,
+                    values: vec![],
+                    validated: vec![],
+                    user_validated: vec![],
+                    auto_validated: vec![],
+                },
+            ],
+        };
+        let bytes = data.encode();
+        assert_eq!(SnapshotData::decode(&bytes).unwrap(), data);
+        assert!(SnapshotData::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn audit_records_round_trip() {
+        let records = vec![
+            AuditRecord {
+                tuple_id: 3,
+                attr: 1,
+                round: 1,
+                event: CellEvent::UserValidated {
+                    old: Value::Null,
+                    new: Value::str("Edi"),
+                },
+            },
+            AuditRecord {
+                tuple_id: 4,
+                attr: 2,
+                round: 2,
+                event: CellEvent::RuleFixed {
+                    rule: 5,
+                    master_row: 9,
+                    old: Value::str("020"),
+                    new: Value::str("131"),
+                },
+            },
+            AuditRecord {
+                tuple_id: 5,
+                attr: 0,
+                round: 1,
+                event: CellEvent::RuleConfirmed { rule: usize::MAX },
+            },
+        ];
+        for record in records {
+            let bytes = encode_audit_record(&record);
+            assert_eq!(decode_audit_record(&bytes).unwrap(), record);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The crash-safe write-ahead session journal.
+//!
+//! Layout: a 16-byte header (`CFXJ` magic, format version, snapshot
+//! epoch) followed by length-prefixed, CRC-checksummed event frames
+//! ([`codec::frame`]). Recovery reads the longest valid frame prefix and
+//! truncates whatever a crash tore off mid-write.
+//!
+//! Durability is **group-committed**: [`Journal::append`] only copies
+//! the encoded frame into an in-memory pending buffer under a short
+//! lock and returns a sequence number — no syscalls, no waiting behind
+//! an fsync, on the request path. A dedicated flusher thread wakes on a
+//! short interval (or when a waiter calls [`Journal::sync`]) and
+//! retires the whole pending buffer with one `write` + one `fdatasync`,
+//! so N concurrent requests share one disk round-trip instead of paying
+//! one each. `sync(seq)` blocks until the fsync covering `seq` has
+//! completed — the service calls it on `session.commit` (the protocol's
+//! durability point) and lets every other op ride the background
+//! cadence.
+//!
+//! The pending buffer is tagged with the journal epoch: snapshot
+//! truncation bumps the epoch while holding both locks, so a flusher
+//! holding taken-but-unwritten pre-snapshot frames detects the bump and
+//! discards them instead of writing them into the new epoch's file.
+//!
+//! [`codec::frame`]: crate::codec::frame
+
+use crate::codec::{self, CodecError};
+use crate::events::JournalEvent;
+use crate::spill::AuditSpill;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+const MAGIC: &[u8; 4] = b"CFXJ";
+const VERSION: u32 = 1;
+/// Header size: magic + version `u32` + epoch `u64`.
+pub const JOURNAL_HEADER: u64 = 16;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a scan of an on-disk journal found.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Epoch from the header (0 for a fresh/absent file).
+    pub epoch: u64,
+    /// Events in the valid prefix, in append order.
+    pub events: Vec<JournalEvent>,
+    /// File length of the valid prefix (header + complete frames).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (a torn tail from a crash; 0 when
+    /// the journal shut down cleanly).
+    pub torn_bytes: u64,
+}
+
+/// Read and validate `path` without opening it for writing (used by
+/// recovery and `cerfix recover --inspect`). A missing file scans as an
+/// empty epoch-0 journal.
+pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() {
+        return Ok(JournalScan {
+            epoch: 0,
+            events: Vec::new(),
+            valid_len: 0,
+            torn_bytes: 0,
+        });
+    }
+    if bytes.len() < JOURNAL_HEADER as usize || &bytes[0..4] != MAGIC {
+        // Unrecognized file: treat the whole thing as torn.
+        return Ok(JournalScan {
+            epoch: 0,
+            events: Vec::new(),
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("journal format version {version} (this build reads {VERSION})"),
+        ));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let mut events = Vec::new();
+    let mut at = JOURNAL_HEADER as usize;
+    // A truncated frame, a checksum failure or a garbage payload all end
+    // the valid prefix (the torn tail of a crashed write).
+    while let Ok(Some((payload, frame_len))) = codec::read_frame(&bytes[at..]) {
+        match JournalEvent::decode(payload) {
+            Ok(event) => {
+                events.push(event);
+                at += frame_len;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(JournalScan {
+        epoch,
+        events,
+        valid_len: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+/// Encoded-but-unflushed frames. Locked briefly by appenders; the
+/// flusher swaps the buffer out whole.
+struct Pending {
+    buf: Vec<u8>,
+    /// Sequence of the next append (seq 0 = "nothing appended").
+    next_seq: u64,
+    /// Epoch the buffered frames belong to (see module docs).
+    epoch: u64,
+}
+
+/// The file and its durability bookkeeping. Held across write+fsync by
+/// the flusher; appenders never touch it.
+struct FileState {
+    file: File,
+    /// File length guaranteed on disk (fsync'd).
+    durable_len: u64,
+    epoch: u64,
+    /// After a simulated crash: all writes become no-ops.
+    dead: bool,
+    /// A write/fsync failed: the file may hold un-fsynced partial bytes
+    /// past `durable_len` and the cursor position is unknown. The next
+    /// attempt truncates back to `durable_len` before writing.
+    needs_repair: bool,
+    /// First write failure message, for diagnostics.
+    error: Option<String>,
+}
+
+struct Shared {
+    pending: Mutex<Pending>,
+    filestate: Mutex<FileState>,
+    /// Highest sequence number covered by a completed fsync.
+    durable_seq: AtomicU64,
+    durable_cv: Condvar,
+    durable_mutex: Mutex<()>,
+    /// Kicks the flusher out of its interval sleep.
+    flush_cv: Condvar,
+    flush_mutex: Mutex<bool>,
+    stop: AtomicBool,
+    /// Total event bytes appended (monotonic; survives truncation).
+    bytes_appended: AtomicU64,
+    events_appended: AtomicU64,
+    /// Flushed+fsynced together with the journal so `sync` is a
+    /// durability point for provenance too.
+    companion: Mutex<Option<Arc<AuditSpill>>>,
+}
+
+/// The write-ahead journal: lock-light appends, group-fsync flusher.
+pub struct Journal {
+    shared: Arc<Shared>,
+    path: PathBuf,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("epoch", &self.epoch())
+            .field("bytes_appended", &self.bytes_appended())
+            .finish()
+    }
+}
+
+fn write_header(file: &mut File, epoch: u64) -> std::io::Result<()> {
+    file.set_len(0)?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut header = Vec::with_capacity(JOURNAL_HEADER as usize);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&epoch.to_le_bytes());
+    file.write_all(&header)
+}
+
+impl Journal {
+    /// Open `path` for appending after `scan` validated it: the torn
+    /// tail (if any) is truncated, the header is (re)written when the
+    /// file is fresh or its epoch differs from `epoch`, and the flusher
+    /// thread starts with the given group-commit interval.
+    pub fn open(
+        path: &Path,
+        scan: &JournalScan,
+        epoch: u64,
+        flush_interval: Duration,
+    ) -> std::io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let start_len = if scan.epoch == epoch && scan.valid_len >= JOURNAL_HEADER {
+            file.set_len(scan.valid_len)?; // drop the torn tail
+            file.seek(SeekFrom::Start(scan.valid_len))?;
+            scan.valid_len
+        } else {
+            // Fresh file, stale epoch (snapshot landed but truncation
+            // didn't), or unrecognized content: start an empty journal
+            // at the requested epoch.
+            write_header(&mut file, epoch)?;
+            JOURNAL_HEADER
+        };
+        file.sync_data()?;
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(Pending {
+                buf: Vec::new(),
+                next_seq: 1,
+                epoch,
+            }),
+            filestate: Mutex::new(FileState {
+                file,
+                durable_len: start_len,
+                epoch,
+                dead: false,
+                needs_repair: false,
+                error: None,
+            }),
+            durable_seq: AtomicU64::new(0),
+            durable_cv: Condvar::new(),
+            durable_mutex: Mutex::new(()),
+            flush_cv: Condvar::new(),
+            flush_mutex: Mutex::new(false),
+            stop: AtomicBool::new(false),
+            bytes_appended: AtomicU64::new(0),
+            events_appended: AtomicU64::new(0),
+            companion: Mutex::new(None),
+        });
+        let flusher_shared = Arc::clone(&shared);
+        let flusher = std::thread::Builder::new()
+            .name("cerfix-journal-flush".into())
+            .spawn(move || flusher_loop(&flusher_shared, flush_interval))
+            .expect("spawn journal flusher");
+        Ok(Journal {
+            shared,
+            path: path.to_path_buf(),
+            flusher: Some(flusher),
+        })
+    }
+
+    /// Append one event to the pending buffer; returns its sequence
+    /// number for [`sync`](Self::sync). No disk I/O on this path.
+    pub fn append(&self, event: &JournalEvent) -> u64 {
+        let framed = codec::frame(&event.encode());
+        let seq = {
+            let mut pending = lock(&self.shared.pending);
+            let seq = pending.next_seq;
+            pending.next_seq += 1;
+            pending.buf.extend_from_slice(&framed);
+            seq
+        };
+        self.shared
+            .bytes_appended
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        self.shared.events_appended.fetch_add(1, Ordering::Relaxed);
+        // No flusher kick: the event rides the next interval cycle (or
+        // an explicit `sync`). Kicking per append would degenerate group
+        // commit into fsync-per-request under light load.
+        seq
+    }
+
+    fn kick_flusher(&self) {
+        let mut kicked = lock(&self.shared.flush_mutex);
+        *kicked = true;
+        self.shared.flush_cv.notify_one();
+    }
+
+    /// Block until the fsync covering `seq` has completed (the group
+    /// commit). Returns immediately if already durable.
+    pub fn sync(&self, seq: u64) {
+        if self.shared.durable_seq.load(Ordering::Acquire) >= seq {
+            return;
+        }
+        self.kick_flusher();
+        let mut guard = lock(&self.shared.durable_mutex);
+        while self.shared.durable_seq.load(Ordering::Acquire) < seq
+            && !self.shared.stop.load(Ordering::Acquire)
+        {
+            let (g, _) = self
+                .shared
+                .durable_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+    }
+
+    /// Register the audit spill flushed+fsynced on every journal flush
+    /// cycle, making [`sync`](Self::sync) a durability point for
+    /// provenance records too.
+    pub fn set_companion(&self, spill: Arc<AuditSpill>) {
+        *lock(&self.shared.companion) = Some(spill);
+    }
+
+    /// The current snapshot epoch in the header.
+    pub fn epoch(&self) -> u64 {
+        lock(&self.shared.filestate).epoch
+    }
+
+    /// Total event bytes appended since open (monotonic).
+    pub fn bytes_appended(&self) -> u64 {
+        self.shared.bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// Total events appended since open (monotonic).
+    pub fn events_appended(&self) -> u64 {
+        self.shared.events_appended.load(Ordering::Relaxed)
+    }
+
+    /// File length guaranteed on disk — what a kill-9 plus a lost page
+    /// cache could roll the file back to.
+    pub fn durable_len(&self) -> u64 {
+        lock(&self.shared.filestate).durable_len
+    }
+
+    /// First journal write/fsync failure, if any. Failed frames are
+    /// retried on later flush cycles (commit waiters block until they
+    /// land); this surfaces the condition for operators.
+    pub fn last_error(&self) -> Option<String> {
+        lock(&self.shared.filestate).error.clone()
+    }
+
+    /// Discard every journaled event and start epoch `new_epoch`: the
+    /// snapshot carrying that epoch now owns all prior state. The caller
+    /// (the service's snapshot path) must have quiesced appends — any
+    /// pending bytes are dropped, which is only sound because the
+    /// snapshot captured the state they produced.
+    pub fn truncate_to_epoch(&self, new_epoch: u64) -> std::io::Result<()> {
+        let mut filestate = lock(&self.shared.filestate);
+        let mut pending = lock(&self.shared.pending);
+        if filestate.dead {
+            return Ok(());
+        }
+        let retired = pending.next_seq.saturating_sub(1);
+        pending.buf.clear();
+        pending.epoch = new_epoch;
+        drop(pending);
+        write_header(&mut filestate.file, new_epoch)?;
+        filestate.file.sync_data()?;
+        filestate.durable_len = JOURNAL_HEADER;
+        filestate.epoch = new_epoch;
+        // set_len(0) + fresh header put the file in a known-good state.
+        filestate.needs_repair = false;
+        drop(filestate);
+        // Everything up to `retired` is trivially durable now (the
+        // snapshot holds it); release any sync waiters.
+        self.shared.durable_seq.fetch_max(retired, Ordering::AcqRel);
+        self.shared.durable_cv.notify_all();
+        Ok(())
+    }
+
+    /// Simulate a kill-9 with a cold page cache: drop all pending bytes,
+    /// truncate the file back to the last fsync'd length, and make every
+    /// later write a no-op. Crash-recovery tests use this to model the
+    /// worst legal outcome of a real crash.
+    pub fn simulate_crash(&self) -> std::io::Result<()> {
+        let mut filestate = lock(&self.shared.filestate);
+        let mut pending = lock(&self.shared.pending);
+        pending.buf.clear();
+        let retired = pending.next_seq.saturating_sub(1);
+        drop(pending);
+        filestate.dead = true;
+        let durable = filestate.durable_len;
+        filestate.file.set_len(durable)?;
+        filestate.file.sync_data()?;
+        drop(filestate);
+        self.shared.stop.store(true, Ordering::Release);
+        // Release sync() waiters: their events are gone, but nobody
+        // should hang inside a crashed process simulation.
+        self.shared.durable_seq.fetch_max(retired, Ordering::AcqRel);
+        self.kick_flusher();
+        self.shared.durable_cv.notify_all();
+        Ok(())
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Append `bytes` and fsync, repairing the file back to its last
+/// durable length first if an earlier attempt failed partway (partial
+/// un-fsynced bytes, unknown cursor). `durable_len` advances only on
+/// full success.
+fn write_durable(filestate: &mut FileState, bytes: &[u8]) -> std::io::Result<()> {
+    if filestate.needs_repair {
+        filestate.file.set_len(filestate.durable_len)?;
+        filestate
+            .file
+            .seek(SeekFrom::Start(filestate.durable_len))?;
+        filestate.needs_repair = false;
+    }
+    filestate.file.write_all(bytes)?;
+    filestate.file.sync_data()?;
+    filestate.durable_len += bytes.len() as u64;
+    Ok(())
+}
+
+fn flusher_loop(shared: &Shared, interval: Duration) {
+    loop {
+        // Swap the pending buffer out whole, remembering which epoch it
+        // belongs to and the highest sequence it covers.
+        let (bytes, seq_hi, epoch_at_take) = {
+            let mut pending = lock(&shared.pending);
+            (
+                std::mem::take(&mut pending.buf),
+                pending.next_seq - 1,
+                pending.epoch,
+            )
+        };
+        // `retired`: the frames no longer need writing (fsync'd, or
+        // owned by a snapshot / crash sim) — only then may durable_seq
+        // advance and commit waiters be released. A FAILED write must
+        // not ack: the bytes go back to the front of the pending buffer
+        // and the commit waiter stays blocked until a later cycle (or
+        // shutdown) actually lands them.
+        let bytes_were_empty = bytes.is_empty();
+        let mut retired = false;
+        if !bytes.is_empty() {
+            let mut filestate = lock(&shared.filestate);
+            if filestate.dead || filestate.epoch != epoch_at_take {
+                // Crash sim, or a snapshot truncation between take and
+                // here retagged the epoch: these frames are already
+                // owned elsewhere — discard and retire.
+                retired = true;
+            } else {
+                let outcome = write_durable(&mut filestate, &bytes);
+                match outcome {
+                    Ok(()) => retired = true,
+                    Err(e) => {
+                        filestate.needs_repair = true;
+                        filestate.error.get_or_insert_with(|| e.to_string());
+                        drop(filestate);
+                        // Restore order: failed frames precede anything
+                        // appended since the take — unless a truncation
+                        // retired them while the write was failing.
+                        let mut pending = lock(&shared.pending);
+                        if pending.epoch == epoch_at_take {
+                            let mut restored = bytes;
+                            restored.extend_from_slice(&pending.buf);
+                            pending.buf = restored;
+                        } else {
+                            retired = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Companion (audit spill) rides every cycle, not just ones with
+        // journal traffic: batch cleans produce audit records without
+        // journal events. A no-op when its buffer is empty.
+        let companion = lock(&shared.companion).clone();
+        if let Some(spill) = companion {
+            let _ = spill.sync();
+        }
+        if !bytes_were_empty && retired {
+            shared.durable_seq.fetch_max(seq_hi, Ordering::AcqRel);
+            shared.durable_cv.notify_all();
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            let drained = lock(&shared.pending).buf.is_empty();
+            let failed = !bytes_were_empty && !retired;
+            // Drain what arrived between take and stop — but if the disk
+            // is failing (frames restored to pending), give up instead
+            // of retrying forever inside Drop.
+            if drained || failed {
+                shared.durable_cv.notify_all();
+                return;
+            }
+            continue;
+        }
+        let guard = lock(&shared.flush_mutex);
+        let mut guard = if *guard {
+            guard
+        } else {
+            shared
+                .flush_cv
+                .wait_timeout(guard, interval)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0
+        };
+        *guard = false;
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.kick_flusher();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Convenience for tests and inspection: decode the events currently on
+/// disk (valid prefix only).
+pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, CodecError> {
+    scan_journal(path)
+        .map(|scan| scan.events)
+        .map_err(|e| CodecError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Value;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cerfix-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ev(session: u64) -> JournalEvent {
+        JournalEvent::SessionCreated {
+            session,
+            values: vec![Value::str("x"), Value::Int(session as i64)],
+        }
+    }
+
+    #[test]
+    fn append_sync_scan_round_trip() {
+        let dir = tmp_dir("round-trip");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let mut last = 0;
+        for i in 0..20 {
+            last = journal.append(&ev(i));
+        }
+        journal.sync(last);
+        assert_eq!(journal.events_appended(), 20);
+        assert!(journal.durable_len() > JOURNAL_HEADER);
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.epoch, 0);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.events.len(), 20);
+        assert_eq!(scan.events[7], ev(7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_byte_boundary() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("journal.wal");
+        {
+            let scan = scan_journal(&path).unwrap();
+            let journal = Journal::open(&path, &scan, 3, Duration::from_millis(1)).unwrap();
+            let last = (0..5).fold(0, |_, i| journal.append(&ev(i)));
+            journal.sync(last);
+        }
+        let full = std::fs::read(&path).unwrap();
+        let full_scan = scan_journal(&path).unwrap();
+        assert_eq!(full_scan.events.len(), 5);
+        // Cut the file at every length: the scan must always return a
+        // clean prefix of the appended events, never an error or panic.
+        let mut seen = Vec::new();
+        for cut in (JOURNAL_HEADER as usize)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan_journal(&path).unwrap();
+            assert_eq!(scan.epoch, 3);
+            assert!(scan.events.len() <= 5);
+            for (i, event) in scan.events.iter().enumerate() {
+                assert_eq!(event, &ev(i as u64), "prefix property at cut {cut}");
+            }
+            seen.push(scan.events.len());
+            // Reopening truncates the tail and accepts new appends.
+            let journal =
+                Journal::open(&path, &scan, scan.epoch, Duration::from_millis(1)).unwrap();
+            let seq = journal.append(&ev(99));
+            journal.sync(seq);
+            drop(journal);
+            let rescan = scan_journal(&path).unwrap();
+            assert_eq!(rescan.torn_bytes, 0);
+            assert_eq!(rescan.events.last().unwrap(), &ev(99));
+        }
+        assert!(seen.contains(&4), "some cut keeps 4 events");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_to_epoch_resets_and_scan_sees_new_epoch() {
+        let dir = tmp_dir("epoch");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let seq = journal.append(&ev(1));
+        journal.sync(seq);
+        journal.truncate_to_epoch(1).unwrap();
+        let seq = journal.append(&ev(2));
+        journal.sync(seq);
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.epoch, 1);
+        assert_eq!(scan.events, vec![ev(2)]);
+        // A stale journal (epoch < snapshot epoch) is reset on open.
+        let reopened = Journal::open(&path, &scan, 5, Duration::from_millis(1)).unwrap();
+        drop(reopened);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.epoch, 5);
+        assert!(scan.events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_crash_loses_only_unsynced_suffix() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        // Hour-long interval: nothing flushes unless sync() forces it.
+        let journal = Journal::open(&path, &scan, 0, Duration::from_secs(3600)).unwrap();
+        let durable_seq = journal.append(&ev(1));
+        journal.sync(durable_seq);
+        journal.append(&ev(2)); // never synced
+        journal.simulate_crash().unwrap();
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.events, vec![ev(1)], "only the synced event survives");
+        assert_eq!(scan.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_under_concurrent_appenders() {
+        let dir = tmp_dir("group");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        let journal = Arc::new(Journal::open(&path, &scan, 0, Duration::from_millis(2)).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let journal = Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let seq = journal.append(&ev(t * 1000 + i));
+                        if i % 10 == 9 {
+                            journal.sync(seq);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = journal.append(&ev(9999));
+        journal.sync(last);
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.events.len(), 201);
+        assert_eq!(scan.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

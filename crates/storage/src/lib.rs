@@ -1,0 +1,374 @@
+//! # cerfix-storage — durability for the CerFix cleaning service
+//!
+//! CerFix's pitch is that every fix is *certain* — a claim that is only
+//! worth something if the system can attest to what it fixed, and only
+//! operationally useful if a restart doesn't destroy every in-flight
+//! clerk session. This crate is the durable substrate behind
+//! `cerfix-server`:
+//!
+//! * [`Journal`] — a crash-safe, length-prefixed + CRC-checksummed
+//!   **write-ahead journal** of session events (create / validate /
+//!   commit / abort / evict / rules-reload) with group-fsync batching:
+//!   appends are memory-only on the request path; a flusher thread
+//!   retires them with one `write`+`fdatasync` per cycle, and
+//!   `session.commit` waits for its group's fsync.
+//! * [`snapshot`] — periodic atomic **snapshots** of all live session
+//!   state (tmp + fsync + rename), after which the journal is truncated
+//!   to a new epoch. Recovery = load snapshot + replay the journal
+//!   suffix through the (deterministic) correcting process.
+//! * [`AuditSpill`] — an append-only, indexed segment of cell-level
+//!   **audit provenance**, implementing the core
+//!   [`AuditSink`](cerfix::AuditSink) so the in-memory audit log keeps
+//!   only a bounded window while `audit.read` serves the full history.
+//!
+//! [`Storage`] ties the three together under one data directory:
+//!
+//! ```text
+//! <data-dir>/journal.wal   write-ahead session journal (epoch-tagged)
+//! <data-dir>/snapshot.bin  last complete snapshot (atomic rename target)
+//! <data-dir>/audit.seg     append-only audit provenance segment
+//! ```
+//!
+//! Durability contract (also documented in the repository README):
+//! a `session.commit` acknowledged over the wire survives kill-9; other
+//! acknowledged ops survive any crash that happens after the next group
+//! flush (bounded by the flush interval); a torn tail from a crash is
+//! cut at the last complete frame and loses only un-fsynced suffix
+//! events. The audit segment is never truncated — it is the system's
+//! provenance archive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod events;
+mod journal;
+pub mod snapshot;
+mod spill;
+
+pub use codec::CodecError;
+pub use events::{
+    decode_audit_record, encode_audit_record, JournalEvent, SessionSnapshot, SnapshotData,
+};
+pub use journal::{read_events, scan_journal, Journal, JournalScan, JOURNAL_HEADER};
+pub use snapshot::{load_snapshot, write_snapshot, SNAPSHOT_FILE, SNAPSHOT_TMP};
+pub use spill::{AuditSpill, SpillScan};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// File name of the write-ahead journal inside a data dir.
+pub const JOURNAL_FILE: &str = "journal.wal";
+/// File name of the audit spill segment inside a data dir.
+pub const AUDIT_FILE: &str = "audit.seg";
+
+/// Tunables for a [`Storage`].
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// The data directory (created if absent).
+    pub dir: PathBuf,
+    /// Group-commit cadence of the journal flusher. Smaller = less data
+    /// at risk between fsyncs; larger = better batching.
+    pub flush_interval: Duration,
+    /// Audit records kept resident in the in-memory window.
+    pub audit_window: usize,
+    /// Take a snapshot when at least this much time has passed *and*
+    /// events have been journaled since the last one.
+    pub snapshot_interval: Duration,
+    /// Also snapshot (regardless of the interval) once this many events
+    /// accumulate in the journal — bounds replay time after a crash.
+    pub snapshot_every_events: u64,
+}
+
+impl StorageConfig {
+    /// Defaults for `dir`: 2 ms group commits, 4096-record audit
+    /// window, snapshots every 60 s or 50 000 events.
+    pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
+        StorageConfig {
+            dir: dir.into(),
+            flush_interval: Duration::from_millis(2),
+            audit_window: 4096,
+            snapshot_interval: Duration::from_secs(60),
+            snapshot_every_events: 50_000,
+        }
+    }
+}
+
+/// What recovery found on disk, handed to the service for replay.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The last complete snapshot, if any.
+    pub snapshot: Option<SnapshotData>,
+    /// Journal events appended after that snapshot, in order. Empty
+    /// when the journal's epoch did not match (a crash landed between
+    /// snapshot rename and journal truncation — the snapshot already
+    /// owns that state).
+    pub events: Vec<JournalEvent>,
+    /// Journal bytes discarded as a torn tail.
+    pub journal_torn_bytes: u64,
+    /// Audit records recovered from the spill segment.
+    pub audit_records: usize,
+    /// Audit-segment bytes discarded as a torn tail.
+    pub audit_torn_bytes: u64,
+}
+
+/// One data directory: journal + snapshots + audit spill.
+#[derive(Debug)]
+pub struct Storage {
+    journal: Journal,
+    spill: Arc<AuditSpill>,
+    config: StorageConfig,
+    epoch: AtomicU64,
+    events_since_snapshot: AtomicU64,
+    last_snapshot: Mutex<Instant>,
+}
+
+impl Storage {
+    /// Open (or initialize) the data directory, recovering whatever a
+    /// previous process left: load the snapshot, scan the journal for
+    /// the valid suffix of events, cut torn tails, and reopen the audit
+    /// segment. The returned [`RecoveredState`] is what the service
+    /// replays.
+    pub fn open(config: StorageConfig) -> std::io::Result<(Storage, RecoveredState)> {
+        std::fs::create_dir_all(&config.dir)?;
+        // A tmp left by a crash mid-snapshot is garbage by construction.
+        let _ = std::fs::remove_file(config.dir.join(SNAPSHOT_TMP));
+        let snapshot = snapshot::load_snapshot(&config.dir)?;
+        let snapshot_epoch = snapshot.as_ref().map_or(0, |s| s.epoch);
+        let journal_path = config.dir.join(JOURNAL_FILE);
+        let scan = journal::scan_journal(&journal_path)?;
+        // The journal's events belong to this snapshot lineage only if
+        // the epochs agree; otherwise the snapshot already covers them
+        // (crash between rename and truncate) and the journal is reset.
+        let (events, journal_torn) = if scan.epoch == snapshot_epoch {
+            (scan.events.clone(), scan.torn_bytes)
+        } else {
+            (Vec::new(), scan.torn_bytes + scan.valid_len)
+        };
+        let journal = Journal::open(&journal_path, &scan, snapshot_epoch, config.flush_interval)?;
+        let (spill, spill_scan) = AuditSpill::open(&config.dir.join(AUDIT_FILE))?;
+        let spill = Arc::new(spill);
+        journal.set_companion(Arc::clone(&spill));
+        let recovered = RecoveredState {
+            snapshot,
+            events,
+            journal_torn_bytes: journal_torn,
+            audit_records: spill_scan.records,
+            audit_torn_bytes: spill_scan.torn_bytes,
+        };
+        Ok((
+            Storage {
+                journal,
+                spill,
+                epoch: AtomicU64::new(snapshot_epoch),
+                events_since_snapshot: AtomicU64::new(recovered.events.len() as u64),
+                last_snapshot: Mutex::new(Instant::now()),
+                config,
+            },
+            recovered,
+        ))
+    }
+
+    /// Journal one event (group-committed in the background); returns
+    /// the sequence number for [`sync`](Self::sync).
+    pub fn append(&self, event: &JournalEvent) -> u64 {
+        self.events_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        self.journal.append(event)
+    }
+
+    /// Block until the fsync covering `seq` (journal *and* audit spill)
+    /// completes.
+    pub fn sync(&self, seq: u64) {
+        self.journal.sync(seq);
+    }
+
+    /// The write-ahead journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The audit spill segment (attach as the audit log's sink).
+    pub fn spill(&self) -> &Arc<AuditSpill> {
+        &self.spill
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Configuration this storage was opened with.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Events journaled since the last snapshot.
+    pub fn events_since_snapshot(&self) -> u64 {
+        self.events_since_snapshot.load(Ordering::Relaxed)
+    }
+
+    /// True when the snapshot policy says it is time (interval elapsed
+    /// with activity, or the event budget is exhausted). The service
+    /// checks this from its housekeeping loop.
+    pub fn should_snapshot(&self) -> bool {
+        let events = self.events_since_snapshot();
+        if events == 0 {
+            return false;
+        }
+        if events >= self.config.snapshot_every_events {
+            return true;
+        }
+        let last = *self
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        last.elapsed() >= self.config.snapshot_interval
+    }
+
+    /// Install `data` as the new snapshot and truncate the journal to
+    /// its epoch. The caller must have quiesced journal appends (the
+    /// service holds its storage gate in write mode) and `data.epoch`
+    /// must be `self.epoch() + 1`.
+    ///
+    /// Ordering is crash-safe at every step: the snapshot is renamed
+    /// into place *before* the journal is truncated, so a crash between
+    /// the two leaves a stale-epoch journal that recovery ignores.
+    pub fn install_snapshot(&self, data: &SnapshotData) -> std::io::Result<()> {
+        debug_assert_eq!(data.epoch, self.epoch() + 1);
+        // Make the audit archive at least as fresh as the snapshot.
+        self.spill.sync()?;
+        snapshot::write_snapshot(&self.config.dir, data)?;
+        self.journal.truncate_to_epoch(data.epoch)?;
+        self.epoch.store(data.epoch, Ordering::Release);
+        self.events_since_snapshot.store(0, Ordering::Relaxed);
+        *self
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+        Ok(())
+    }
+
+    /// Simulate a kill-9 with a cold page cache: every file rolls back
+    /// to its last fsync'd length and all writers go inert. The worst
+    /// legal crash outcome, used by the recovery test harness.
+    pub fn simulate_crash(&self) -> std::io::Result<()> {
+        self.journal.simulate_crash()?;
+        self.spill.simulate_crash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix_relation::Value;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cerfix-storage-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &Path) -> StorageConfig {
+        StorageConfig {
+            snapshot_interval: Duration::from_secs(3600),
+            snapshot_every_events: 1_000_000,
+            ..StorageConfig::new(dir)
+        }
+    }
+
+    fn ev(session: u64) -> JournalEvent {
+        JournalEvent::SessionCreated {
+            session,
+            values: vec![Value::str("v")],
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_replays_events() {
+        let dir = tmp_dir("replay");
+        {
+            let (storage, recovered) = Storage::open(config(&dir)).unwrap();
+            assert!(recovered.snapshot.is_none());
+            assert!(recovered.events.is_empty());
+            let seq = storage.append(&ev(1));
+            storage.append(&ev(2));
+            storage.sync(seq + 1);
+        }
+        let (_, recovered) = Storage::open(config(&dir)).unwrap();
+        assert_eq!(recovered.events, vec![ev(1), ev(2)]);
+        assert_eq!(recovered.journal_torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_truncates_journal_and_epoch_guard_discards_stale_journal() {
+        let dir = tmp_dir("epoch-guard");
+        {
+            let (storage, _) = Storage::open(config(&dir)).unwrap();
+            let seq = storage.append(&ev(1));
+            storage.sync(seq);
+            storage
+                .install_snapshot(&SnapshotData {
+                    epoch: 1,
+                    fingerprint: 0,
+                    rules_dsl: String::new(),
+                    next_session_id: 2,
+                    sessions: vec![],
+                })
+                .unwrap();
+            assert_eq!(storage.epoch(), 1);
+            assert_eq!(storage.events_since_snapshot(), 0);
+            let seq = storage.append(&ev(2));
+            storage.sync(seq);
+        }
+        let (_, recovered) = Storage::open(config(&dir)).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().epoch, 1);
+        assert_eq!(recovered.events, vec![ev(2)], "pre-snapshot event gone");
+
+        // Crash between snapshot rename and journal truncation: fake it
+        // by writing a *newer* snapshot while the journal stays at the
+        // old epoch. The journal must be ignored.
+        write_snapshot(
+            &dir,
+            &SnapshotData {
+                epoch: 9,
+                fingerprint: 0,
+                rules_dsl: String::new(),
+                next_session_id: 10,
+                sessions: vec![],
+            },
+        )
+        .unwrap();
+        let (storage, recovered) = Storage::open(config(&dir)).unwrap();
+        assert_eq!(recovered.snapshot.unwrap().epoch, 9);
+        assert!(
+            recovered.events.is_empty(),
+            "stale-epoch journal not replayed"
+        );
+        assert_eq!(storage.epoch(), 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn should_snapshot_respects_event_budget() {
+        let dir = tmp_dir("policy");
+        let mut cfg = config(&dir);
+        cfg.snapshot_every_events = 3;
+        let (storage, _) = Storage::open(cfg).unwrap();
+        assert!(!storage.should_snapshot(), "no events yet");
+        storage.append(&ev(1));
+        assert!(!storage.should_snapshot(), "below budget, interval far");
+        storage.append(&ev(2));
+        storage.append(&ev(3));
+        assert!(storage.should_snapshot(), "event budget reached");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

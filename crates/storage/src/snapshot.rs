@@ -1,0 +1,148 @@
+//! Atomic snapshots of live service state.
+//!
+//! A snapshot file is one CRC-framed [`SnapshotData`] payload behind a
+//! `CFXS` header, written to `snapshot.tmp`, fsynced, then renamed over
+//! `snapshot.bin` (with a directory fsync) — so `snapshot.bin` is always
+//! either the previous complete snapshot or the new complete snapshot,
+//! never a partial write. A crash mid-snapshot leaves a `snapshot.tmp`
+//! that [`load_snapshot`] ignores and [`Storage::open`] deletes.
+//!
+//! [`Storage::open`]: crate::Storage::open
+
+use crate::codec::{self};
+use crate::events::SnapshotData;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CFXS";
+const VERSION: u32 = 1;
+
+/// File name of the current snapshot inside a data dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Scratch name used while writing (ignored by recovery).
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Write `data` atomically into `dir`.
+pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> std::io::Result<()> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let payload = data.encode();
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&codec::frame(&payload))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    // Persist the rename itself (directory entry) where supported.
+    if let Ok(dirfile) = File::open(dir) {
+        let _ = dirfile.sync_all();
+    }
+    Ok(())
+}
+
+/// Load the current snapshot from `dir`. `Ok(None)` when no snapshot
+/// exists; `Err` when one exists but is unreadable (version mismatch or
+/// corruption — recovery must not silently start empty over real state).
+pub fn load_snapshot(dir: &Path) -> std::io::Result<Option<SnapshotData>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let invalid = |message: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("snapshot {}: {message}", path.display()),
+        )
+    };
+    if bytes.len() < 8 || &bytes[0..4] != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(invalid(&format!(
+            "format version {version} (this build reads {VERSION})"
+        )));
+    }
+    let (payload, _) = codec::read_frame(&bytes[8..])
+        .map_err(|e| invalid(&e.to_string()))?
+        .ok_or_else(|| invalid("truncated"))?;
+    let data = SnapshotData::decode(payload).map_err(|e| invalid(&e.to_string()))?;
+    Ok(Some(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::SessionSnapshot;
+    use cerfix_relation::Value;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cerfix-snapshot-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(epoch: u64) -> SnapshotData {
+        SnapshotData {
+            epoch,
+            fingerprint: 11,
+            rules_dsl: "er r: match a=a fix b:=b when ()".into(),
+            next_session_id: 5,
+            sessions: vec![SessionSnapshot {
+                session: 1,
+                tuple_id: 1,
+                rounds: 1,
+                values: vec![Value::str("a"), Value::Null],
+                validated: vec![0],
+                user_validated: vec![0],
+                auto_validated: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn write_load_round_trip_and_overwrite() {
+        let dir = tmp_dir("round-trip");
+        assert!(load_snapshot(&dir).unwrap().is_none());
+        write_snapshot(&dir, &sample(1)).unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap().unwrap(), sample(1));
+        write_snapshot(&dir, &sample(2)).unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap().unwrap().epoch, 2);
+        assert!(!dir.join(SNAPSHOT_TMP).exists(), "tmp renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_tmp_is_ignored_and_corrupt_bin_is_an_error() {
+        let dir = tmp_dir("partial");
+        write_snapshot(&dir, &sample(1)).unwrap();
+        // A crash mid-snapshot leaves a garbage tmp: load ignores it.
+        std::fs::write(dir.join(SNAPSHOT_TMP), b"partial garbage").unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap().unwrap().epoch, 1);
+        // But a corrupt snapshot.bin must error, not silently start empty.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&dir).is_err());
+        // Truncation is also corruption.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_snapshot(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

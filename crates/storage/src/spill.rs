@@ -1,0 +1,420 @@
+//! The audit spill: cell-level provenance archived to disk.
+//!
+//! An append-only segment file (`CFXA` header + CRC-framed
+//! [`AuditRecord`]s) with an in-memory offset index for ranged reads —
+//! the durable backend behind the core [`AuditLog`]'s bounded window.
+//! Unlike the journal, the segment is **never truncated by snapshots**:
+//! it is the full provenance history the paper's auditing module
+//! promises ("keeps track of changes to each tuple"), served over the
+//! wire by the `audit.read` protocol op.
+//!
+//! Appends buffer in memory; [`AuditSpill::sync`] (called by the
+//! journal's group-commit cycle, and directly at durability points)
+//! writes and fsyncs the buffer. Reads address records by global index:
+//! flushed records come from the file via positioned reads, still-
+//! buffered ones from memory — so a read never forces a flush and a
+//! flush never blocks behind a long read of cold history.
+//!
+//! On open, the segment is scanned to rebuild the offset index; a torn
+//! tail (crash mid-append) is cut at the last complete frame, mirroring
+//! journal recovery.
+//!
+//! [`AuditLog`]: cerfix::AuditLog
+
+use crate::codec::{self};
+use crate::events::{decode_audit_record, encode_audit_record};
+use cerfix::{AuditRecord, AuditSink};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+const MAGIC: &[u8; 4] = b"CFXA";
+const VERSION: u32 = 1;
+const SEGMENT_HEADER: u64 = 8;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct SpillState {
+    file: File,
+    /// Byte offset of every record's frame, flushed or buffered.
+    offsets: Vec<u64>,
+    /// Records already in `offsets` when the segment was opened.
+    recovered: usize,
+    /// File bytes flushed (records at offsets below this are on disk).
+    committed: u64,
+    /// Of `committed`, bytes covered by an fsync.
+    durable: u64,
+    /// Encoded frames past `committed`, not yet written.
+    buffer: Vec<u8>,
+    /// After a simulated crash: all writes become no-ops.
+    dead: bool,
+    /// A write/fsync failed partway: the file may hold partial bytes
+    /// past `committed` and the cursor is unknown. The next sync
+    /// truncates back to `committed` before writing.
+    needs_repair: bool,
+    /// First write/fsync failure, surfaced via `last_error`.
+    error: Option<String>,
+}
+
+/// The audit spill segment. Implements [`AuditSink`] so a windowed
+/// [`AuditLog`](cerfix::AuditLog) archives through it transparently.
+pub struct AuditSpill {
+    state: Mutex<SpillState>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for AuditSpill {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.state);
+        f.debug_struct("AuditSpill")
+            .field("path", &self.path)
+            .field("records", &state.offsets.len())
+            .field("committed_bytes", &state.committed)
+            .finish()
+    }
+}
+
+/// What opening a segment found (diagnostics for `recover --inspect`).
+#[derive(Debug, Clone, Copy)]
+pub struct SpillScan {
+    /// Complete records recovered from the segment.
+    pub records: usize,
+    /// Torn tail bytes discarded.
+    pub torn_bytes: u64,
+}
+
+impl AuditSpill {
+    /// Open (or create) the segment at `path`, rebuilding the offset
+    /// index and cutting any torn tail. The scan streams the file frame
+    /// by frame with one reusable payload buffer — the archive grows
+    /// without bound by design, so startup memory must not grow with it
+    /// (the index itself costs 8 bytes per record; segment rotation is
+    /// the ROADMAP item that will bound that too).
+    pub fn open(path: &Path) -> std::io::Result<(AuditSpill, SpillScan)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut offsets = Vec::new();
+        let mut valid_len = SEGMENT_HEADER;
+        let mut header = [0u8; SEGMENT_HEADER as usize];
+        file.seek(SeekFrom::Start(0))?;
+        let header_ok = file_len >= SEGMENT_HEADER
+            && file.read_exact(&mut header).is_ok()
+            && &header[0..4] == MAGIC;
+        if !header_ok {
+            // Fresh or unrecognized: rewrite the header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+        } else {
+            let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if version != VERSION {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("audit segment version {version} (this build reads {VERSION})"),
+                ));
+            }
+            {
+                let mut reader = std::io::BufReader::new(&mut file);
+                let mut frame = [0u8; codec::FRAME_HEADER];
+                let mut payload = Vec::new();
+                let mut at = SEGMENT_HEADER;
+                // Stop at the first truncated, checksum-failed or
+                // garbage frame: the torn tail of a crashed append.
+                loop {
+                    if at + codec::FRAME_HEADER as u64 > file_len
+                        || reader.read_exact(&mut frame).is_err()
+                    {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as u64;
+                    let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+                    if at + codec::FRAME_HEADER as u64 + len > file_len {
+                        break;
+                    }
+                    payload.resize(len as usize, 0);
+                    if reader.read_exact(&mut payload).is_err()
+                        || codec::crc32(&payload) != crc
+                        || decode_audit_record(&payload).is_err()
+                    {
+                        break;
+                    }
+                    offsets.push(at);
+                    at += codec::FRAME_HEADER as u64 + len;
+                }
+                valid_len = at;
+            }
+            file.set_len(valid_len)?;
+            file.seek(SeekFrom::Start(valid_len))?;
+        }
+        file.sync_data()?;
+        let torn = if header_ok {
+            file_len - valid_len
+        } else {
+            file_len
+        };
+        let scan = SpillScan {
+            records: offsets.len(),
+            torn_bytes: torn,
+        };
+        let recovered = offsets.len();
+        Ok((
+            AuditSpill {
+                state: Mutex::new(SpillState {
+                    file,
+                    offsets,
+                    recovered,
+                    committed: valid_len,
+                    durable: valid_len,
+                    buffer: Vec::new(),
+                    dead: false,
+                    needs_repair: false,
+                    error: None,
+                }),
+                path: path.to_path_buf(),
+            },
+            scan,
+        ))
+    }
+
+    /// Write and fsync everything buffered. Called by the journal's
+    /// group-commit cycle; cheap when nothing is pending. On failure the
+    /// buffer is kept (records stay readable from memory and the write
+    /// is retried next cycle, after truncating any partial bytes back
+    /// to the committed length).
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut state = lock(&self.state);
+        if state.dead || state.buffer.is_empty() {
+            return Ok(());
+        }
+        let result = (|| {
+            if state.needs_repair {
+                let committed = state.committed;
+                state.file.set_len(committed)?;
+                state.file.seek(SeekFrom::Start(committed))?;
+                state.needs_repair = false;
+            }
+            let buffer = std::mem::take(&mut state.buffer);
+            let write = state
+                .file
+                .write_all(&buffer)
+                .and_then(|()| state.file.sync_data());
+            match write {
+                Ok(()) => {
+                    state.committed += buffer.len() as u64;
+                    state.durable = state.committed;
+                    Ok(())
+                }
+                Err(e) => {
+                    state.buffer = buffer; // nothing new appended: lock held
+                    Err(e)
+                }
+            }
+        })();
+        if let Err(e) = &result {
+            state.needs_repair = true;
+            state.error.get_or_insert_with(|| e.to_string());
+        }
+        result
+    }
+
+    /// Records recovered from disk when the segment was opened (the
+    /// archive's pre-existing history).
+    pub fn recovered_records(&self) -> usize {
+        lock(&self.state).recovered
+    }
+
+    /// Total segment bytes on disk guaranteed durable.
+    pub fn durable_len(&self) -> u64 {
+        lock(&self.state).durable
+    }
+
+    /// First write failure, if any (appends are infallible on the
+    /// [`AuditSink`] trait; failures park here).
+    pub fn last_error(&self) -> Option<String> {
+        lock(&self.state).error.clone()
+    }
+
+    /// Simulate a kill-9 with a cold page cache: lose the buffer and
+    /// anything written but not fsynced, and go inert.
+    pub fn simulate_crash(&self) -> std::io::Result<()> {
+        let mut state = lock(&self.state);
+        state.buffer.clear();
+        state.dead = true;
+        let durable = state.durable;
+        state.offsets.retain(|&o| o < durable);
+        state.file.set_len(durable)?;
+        state.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AuditSink for AuditSpill {
+    fn append(&self, record: &AuditRecord) {
+        let framed = codec::frame(&encode_audit_record(record));
+        let mut state = lock(&self.state);
+        if state.dead {
+            return;
+        }
+        let offset = state.committed + state.buffer.len() as u64;
+        state.offsets.push(offset);
+        state.buffer.extend_from_slice(&framed);
+    }
+
+    fn read(&self, start: usize, count: usize) -> Vec<AuditRecord> {
+        let mut state = lock(&self.state);
+        let end = state.offsets.len().min(start.saturating_add(count));
+        if start >= end {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(end - start);
+        for i in start..end {
+            let offset = state.offsets[i];
+            let record = if offset >= state.committed {
+                // Still buffered: decode straight from memory.
+                let at = (offset - state.committed) as usize;
+                codec::read_frame(&state.buffer[at..])
+                    .ok()
+                    .flatten()
+                    .and_then(|(payload, _)| decode_audit_record(payload).ok())
+            } else {
+                read_record_at(&mut state.file, offset)
+            };
+            match record {
+                Some(record) => out.push(record),
+                None => break, // unreadable region: stop, don't invent
+            }
+        }
+        // Restore the append position for subsequent writes.
+        let committed = state.committed;
+        let _ = state.file.seek(SeekFrom::Start(committed));
+        out
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.state).offsets.len()
+    }
+}
+
+/// Read one framed record at `offset` via seek+read (the state lock
+/// serializes this against appends).
+fn read_record_at(file: &mut File, offset: u64) -> Option<AuditRecord> {
+    file.seek(SeekFrom::Start(offset)).ok()?;
+    let mut header = [0u8; codec::FRAME_HEADER];
+    file.read_exact(&mut header).ok()?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let mut framed = vec![0u8; codec::FRAME_HEADER + len];
+    framed[..codec::FRAME_HEADER].copy_from_slice(&header);
+    file.read_exact(&mut framed[codec::FRAME_HEADER..]).ok()?;
+    let (payload, _) = codec::read_frame(&framed).ok()??;
+    decode_audit_record(payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerfix::CellEvent;
+    use cerfix_relation::Value;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cerfix-spill-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("audit.seg")
+    }
+
+    fn rec(i: usize) -> AuditRecord {
+        AuditRecord {
+            tuple_id: i,
+            attr: i % 4,
+            round: 1,
+            event: CellEvent::UserValidated {
+                old: Value::Null,
+                new: Value::str(format!("v{i}")),
+            },
+        }
+    }
+
+    #[test]
+    fn append_read_reopen() {
+        let path = tmp("reopen");
+        let (spill, scan) = AuditSpill::open(&path).unwrap();
+        assert_eq!(scan.records, 0);
+        for i in 0..10 {
+            spill.append(&rec(i));
+        }
+        // Buffered reads work before any flush.
+        assert_eq!(spill.read(3, 4), (3..7).map(rec).collect::<Vec<_>>());
+        spill.sync().unwrap();
+        // Flushed reads and mixed flushed/buffered reads.
+        for i in 10..13 {
+            spill.append(&rec(i));
+        }
+        assert_eq!(spill.read(8, 10), (8..13).map(rec).collect::<Vec<_>>());
+        spill.sync().unwrap();
+        assert_eq!(spill.len(), 13);
+        drop(spill);
+        let (reopened, scan) = AuditSpill::open(&path).unwrap();
+        assert_eq!(scan.records, 13);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(reopened.recovered_records(), 13);
+        assert_eq!(reopened.read(0, 100), (0..13).map(rec).collect::<Vec<_>>());
+        // And appends continue after recovery.
+        reopened.append(&rec(13));
+        reopened.sync().unwrap();
+        assert_eq!(reopened.read(12, 5), vec![rec(12), rec(13)]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_open() {
+        let path = tmp("torn");
+        {
+            let (spill, _) = AuditSpill::open(&path).unwrap();
+            for i in 0..5 {
+                spill.append(&rec(i));
+            }
+            spill.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Tear mid-way through the last record.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (spill, scan) = AuditSpill::open(&path).unwrap();
+        assert_eq!(scan.records, 4);
+        assert!(scan.torn_bytes > 0);
+        assert_eq!(spill.read(0, 10).len(), 4);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn crash_simulation_keeps_only_durable_records() {
+        let path = tmp("crash");
+        let (spill, _) = AuditSpill::open(&path).unwrap();
+        for i in 0..3 {
+            spill.append(&rec(i));
+        }
+        spill.sync().unwrap();
+        for i in 3..6 {
+            spill.append(&rec(i)); // buffered, never synced
+        }
+        spill.simulate_crash().unwrap();
+        drop(spill);
+        let (reopened, scan) = AuditSpill::open(&path).unwrap();
+        assert_eq!(scan.records, 3);
+        assert_eq!(reopened.read(0, 10).len(), 3);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

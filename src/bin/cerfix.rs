@@ -10,7 +10,9 @@
 //!                --trust col1,col2[,...]
 //! cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]
 //! cerfix serve   --master M.csv --rules R.dsl [--addr 127.0.0.1:7117] \
-//!                [--workers N] [--input-header a,b,c] [--session-ttl-secs S]
+//!                [--workers N] [--input-header a,b,c] [--session-ttl-secs S] \
+//!                [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]
+//! cerfix recover --data-dir DIR [--inspect]
 //! ```
 //!
 //! * `check` parses the rules and runs the consistency analysis in both
@@ -25,7 +27,13 @@
 //!   editing rules they compile to.
 //! * `serve` runs the concurrent multi-session cleaning service
 //!   (`cerfix-server`): line-delimited JSON over TCP, many clerks
-//!   against one master database — the demo's deployment shape.
+//!   against one master database — the demo's deployment shape. With
+//!   `--data-dir`, sessions are write-ahead journaled and the audit
+//!   log spills to disk: a restarted server resumes every uncommitted
+//!   session (see the README's durability section).
+//! * `recover` inspects a data directory without serving: snapshot
+//!   epoch, journaled events, live-session reconstruction inputs, audit
+//!   archive size, torn bytes cut from crashed writes.
 //!
 //! Schemas: the master schema comes from the master CSV header; the
 //! input schema from `--input-header` (or the input CSV's header for
@@ -78,7 +86,9 @@ fn usage() -> ExitCode {
          cerfix clean    --master M.csv --rules R.dsl --input D.csv --output OUT.csv --trust cols\n  \
          cerfix discover --master M.csv [--input-header a,b,c] [--min-keys N]\n  \
          cerfix serve    --master M.csv --rules R.dsl [--addr 127.0.0.1:7117] [--workers N]\n  \
-                          [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]"
+                          [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]\n  \
+                          [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
+         cerfix recover  --data-dir DIR [--inspect]"
     );
     ExitCode::from(2)
 }
@@ -357,11 +367,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let workers = config.workers;
     let n_rules = rules.len();
     let n_master = master_rel.len();
-    let service = CleaningService::new(
-        std::sync::Arc::new(MasterData::new(master_rel)),
-        std::sync::Arc::new(rules),
-        config,
-    );
+    let master = std::sync::Arc::new(MasterData::new(master_rel));
+    let rules = std::sync::Arc::new(rules);
+    let service = match args.options.get("data-dir") {
+        Some(dir) => {
+            let mut storage_config = cerfix_storage::StorageConfig::new(dir);
+            storage_config.flush_interval = std::time::Duration::from_millis(parse_option(
+                args,
+                "flush-interval-ms",
+                storage_config.flush_interval.as_millis() as u64,
+            )?);
+            storage_config.snapshot_interval = std::time::Duration::from_secs(parse_option(
+                args,
+                "snapshot-interval-secs",
+                storage_config.snapshot_interval.as_secs(),
+            )?);
+            let service = CleaningService::with_storage(master, rules, config, storage_config)
+                .map_err(|e| format!("open data dir {dir}: {e}"))?;
+            let recovered = service.metrics().sessions_recovered;
+            println!("durability: journaled to {dir} ({recovered} uncommitted sessions recovered)");
+            service
+        }
+        None => CleaningService::new(master, rules, config),
+    };
     let server = Server::bind(addr.as_str(), service).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "cerfix-server listening on {} ({n_rules} rules, {n_master} master rows, {workers} workers)",
@@ -369,6 +397,114 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     );
     println!("protocol: one JSON object per line; try {{\"op\":\"hello\"}}");
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// `cerfix recover --data-dir DIR [--inspect]`: report what a restarted
+/// server would recover, without serving. Storage-only — needs neither
+/// master data nor rules, so it works on a box that just has the files.
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    use cerfix_storage::{scan_journal, JournalEvent};
+    let dir = std::path::PathBuf::from(args.options.get("data-dir").ok_or("missing --data-dir")?);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let inspect = args.options.contains_key("inspect");
+
+    let snapshot = cerfix_storage::load_snapshot(&dir).map_err(|e| e.to_string())?;
+    let snapshot_epoch = snapshot.as_ref().map_or(0, |s| s.epoch);
+    match &snapshot {
+        Some(snapshot) => println!(
+            "snapshot: epoch {}, {} live sessions, next session id {}, ruleset {:016x}",
+            snapshot.epoch,
+            snapshot.sessions.len(),
+            snapshot.next_session_id,
+            snapshot.fingerprint
+        ),
+        None => println!("snapshot: none"),
+    }
+
+    let journal_path = dir.join(cerfix_storage::JOURNAL_FILE);
+    let scan = scan_journal(&journal_path).map_err(|e| e.to_string())?;
+    let replayed = scan.epoch == snapshot_epoch;
+    println!(
+        "journal: epoch {}, {} events, {} torn bytes{}",
+        scan.epoch,
+        scan.events.len(),
+        scan.torn_bytes,
+        if replayed {
+            ""
+        } else {
+            " (STALE epoch — snapshot owns this state; events will be discarded)"
+        }
+    );
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for event in &scan.events {
+        *by_kind.entry(event.kind()).or_default() += 1;
+    }
+    for (kind, count) in &by_kind {
+        println!("  {kind}: {count}");
+    }
+
+    let audit_path = dir.join(cerfix_storage::AUDIT_FILE);
+    match std::fs::metadata(&audit_path) {
+        Ok(meta) => println!("audit segment: {} bytes on disk", meta.len()),
+        Err(_) => println!("audit segment: none"),
+    }
+
+    if inspect {
+        if let Some(snapshot) = &snapshot {
+            for session in &snapshot.sessions {
+                println!(
+                    "  session {}: round {}, {}/{} validated ({} by user), tuple [{}]",
+                    session.session,
+                    session.rounds,
+                    session.validated.len(),
+                    session.values.len(),
+                    session.user_validated.len(),
+                    session
+                        .values
+                        .iter()
+                        .map(|v| v.render())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        if replayed {
+            for (i, event) in scan.events.iter().enumerate() {
+                match event {
+                    JournalEvent::SessionCreated { session, values } => {
+                        println!("  [{i}] create session {session} ({} cells)", values.len())
+                    }
+                    JournalEvent::SessionValidated {
+                        session,
+                        validations,
+                    } => println!(
+                        "  [{i}] validate session {session}: {}",
+                        validations
+                            .iter()
+                            .map(|(a, v)| format!("#{a}:={}", v.render()))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    ),
+                    JournalEvent::SessionCommitted { session } => {
+                        println!("  [{i}] commit session {session}")
+                    }
+                    JournalEvent::SessionAborted { session } => {
+                        println!("  [{i}] abort session {session}")
+                    }
+                    JournalEvent::SessionsEvicted { sessions } => {
+                        println!("  [{i}] evict {sessions:?}")
+                    }
+                    JournalEvent::RulesReloaded { fingerprint, dsl } => println!(
+                        "  [{i}] rules reloaded → {fingerprint:016x} ({} DSL bytes)",
+                        dsl.len()
+                    ),
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -381,6 +517,7 @@ fn main() -> ExitCode {
         "clean" => cmd_clean(&args),
         "discover" => cmd_discover(&args),
         "serve" => cmd_serve(&args),
+        "recover" => cmd_recover(&args),
         _ => return usage(),
     };
     match result {
