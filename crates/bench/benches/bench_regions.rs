@@ -1,32 +1,475 @@
-//! Criterion bench backing experiment T5: the region finder across
-//! scenarios (context enumeration + cover search + data certification).
+//! Region finder benchmark (experiment T5, extended): cold
+//! sequential-vs-parallel search and master-append delta
+//! re-certification, against the pre-lattice from-scratch baseline.
+//!
+//! Three jobs in one harness:
+//!
+//! 1. **Timing matrix** — four arms per fixture: the from-scratch
+//!    sequential oracle (`find_regions_from_scratch`, the pre-lattice
+//!    data phase), the incremental search at 1 thread, the incremental
+//!    search at all cores, and a master-append `recheck_regions` patch.
+//!    Fixtures: the paper's UK scenario (9 rules) and mesh scenarios at
+//!    100 / 500 rules. Results land in `BENCH_regions.json` at the repo
+//!    root so the perf trajectory is recorded per commit.
+//! 2. **Deterministic work guard** — exact probe/fixpoint counts on the
+//!    mesh fixture: the incremental path must certify with zero
+//!    fixpoints (the universe is master-derived), every arm must agree
+//!    on the regions, and the delta recheck must probe ≥ 10× less than
+//!    a full re-search. Counts, not wall-clock: cannot flake on machine
+//!    speed, and CI's bench-smoke step fails on regression.
+//! 3. **Region equality** — every arm's regions are asserted equal, so
+//!    the bench doubles as an end-to-end equivalence check at scale.
 
-use cerfix::{find_regions, RegionFinderOptions};
+use cerfix::{
+    find_regions_from_scratch, recheck_regions, search_regions, MasterData, RegionFinderOptions,
+    RegionSearch, RegionSearchResult,
+};
 use cerfix_bench::rng_for;
-use cerfix_gen::{dblp, hosp, uk};
+use cerfix_gen::uk;
+use cerfix_relation::{RelationBuilder, Schema, SchemaRef, Tuple, Value};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 
-fn bench_region_finder(c: &mut Criterion) {
-    let mut rng = rng_for("bench-regions");
-    let scenarios = [
-        uk::scenario(200, &mut rng),
-        hosp::scenario(200, &mut rng),
-        dblp::scenario(200, &mut rng),
-    ];
-    let options = RegionFinderOptions::default();
-    let mut group = c.benchmark_group("region_finder");
-    for scenario in &scenarios {
-        let master = scenario.master_data();
-        group.bench_function(scenario.name, |b| {
-            b.iter(|| find_regions(&scenario.rules, &master, &scenario.universe, &options))
-        });
+fn fast_mode() -> bool {
+    std::env::var_os("CERFIX_BENCH_FAST").is_some()
+}
+
+/// Mean ns/iter of `f` over a wall-clock budget (min 2 iterations).
+fn mean_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget || iters < 2 {
+        f();
+        iters += 1;
+        if iters >= 100_000 {
+            break;
+        }
     }
-    group.finish();
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A deterministic "mesh" scenario built to stress the region search:
+/// one gate attribute (4 contexts), two islands of 3 cyclically-fixable
+/// key attributes each, and payload attributes split between the
+/// islands — so every context enumerates 9 minimal covers (one key per
+/// island) and the data phase certifies `contexts × 9` candidates
+/// against a universe of one truth per master row. Master keys are
+/// per-entity unique: every candidate certifies, nothing is poisoned.
+struct Mesh {
+    rules: RuleSet,
+    master: MasterData,
+    universe: Vec<Tuple>,
+    input: SchemaRef,
+}
+
+fn mesh_scenario(n_rules: usize, n_master: usize) -> Mesh {
+    const KEYS: usize = 3; // per island
+    const PAYLOADS: usize = 6; // per island
+    let mut names: Vec<String> = vec!["g".into()];
+    for island in ["a", "b"] {
+        for k in 0..KEYS {
+            names.push(format!("{island}k{k}"));
+        }
+        for p in 0..PAYLOADS {
+            names.push(format!("{island}p{p}"));
+        }
+    }
+    let input = Schema::of_strings("mesh_in", names.iter().map(String::as_str)).unwrap();
+    let ms = Schema::of_strings("mesh_m", names.iter().map(String::as_str)).unwrap();
+    let id = |n: &str| input.attr_id(n).unwrap();
+
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    let mut add = |name: String, lhs: &str, rhs: &str, pattern: PatternTuple| {
+        rules
+            .add(
+                EditingRule::new(
+                    name,
+                    &input,
+                    &ms,
+                    vec![(id(lhs), id(lhs))],
+                    vec![(id(rhs), id(rhs))],
+                    pattern,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    };
+    // Island key cycles: any one key recovers its island's other keys.
+    let mut n = 0usize;
+    for island in ["a", "b"] {
+        for k in 0..KEYS {
+            add(
+                format!("cyc_{island}{k}"),
+                &format!("{island}k{k}"),
+                &format!("{island}k{}", (k + 1) % KEYS),
+                PatternTuple::empty(),
+            );
+            n += 1;
+        }
+    }
+    // Payload rules up to n_rules: key → payload, three of four gated.
+    let mut r = 0usize;
+    while n < n_rules {
+        let island = ["a", "b"][r % 2];
+        let key = format!("{island}k{}", (r / 2) % KEYS);
+        let payload = format!("{island}p{}", (r / 4) % PAYLOADS);
+        let pattern = match r % 4 {
+            3 => PatternTuple::empty(),
+            v => PatternTuple::empty().with_eq(id("g"), Value::str(format!("v{v}"))),
+        };
+        add(format!("pay{r}"), &key, &payload, pattern);
+        n += 1;
+        r += 1;
+    }
+
+    let mut builder = RelationBuilder::new(ms.clone());
+    let mut universe = Vec::with_capacity(n_master);
+    for e in 0..n_master {
+        let row: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                if i == 0 {
+                    format!("v{}", e % 4) // gate value ⇒ 4 contexts
+                } else {
+                    format!("{name}~{e}")
+                }
+            })
+            .collect();
+        builder = builder.row_strs(row.iter().map(String::as_str));
+        universe.push(Tuple::of_strings(input.clone(), row).unwrap());
+    }
+    let master = MasterData::new(builder.build().unwrap());
+    Mesh {
+        rules,
+        master,
+        universe,
+        input,
+    }
+}
+
+fn options(threads: usize) -> RegionFinderOptions {
+    RegionFinderOptions {
+        top_k: 64,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// One fixture's measurements across the four arms.
+struct Row {
+    name: String,
+    rules: usize,
+    master: usize,
+    contexts: usize,
+    candidates: usize,
+    baseline_ns: f64,
+    baseline_fixpoints: usize,
+    seq_ns: f64,
+    par_ns: f64,
+    par_threads: usize,
+    probes: usize,
+    fixpoints: usize,
+    delta_ns: f64,
+    delta_probes: usize,
+    full_probes: usize,
+}
+
+/// Total certification work of a search: per-truth rule profiles (the
+/// master-lookup pass), lattice closure probes, and fallback fixpoints.
+fn probes_of(result: &RegionSearchResult) -> usize {
+    result.stats.truth_profiles + result.stats.closure_probes + result.stats.engine.fixpoint_runs
+}
+
+fn assert_same_regions(a: &RegionSearchResult, b: &RegionSearchResult, what: &str) {
+    assert_eq!(a.regions, b.regions, "{what}: arms disagree on regions");
+}
+
+/// Append one fresh entity to a copy of the fixture and return the
+/// patched search plus the full re-search (for the delta guard).
+#[allow(clippy::too_many_arguments)]
+fn delta_arm(
+    rules: &RuleSet,
+    master: &MasterData,
+    universe: &[Tuple],
+    prior: &RegionSearch,
+    new_master_row: &[String],
+    new_truth_row: &[String],
+    input: &SchemaRef,
+    budget: Duration,
+) -> (f64, RegionSearch, RegionSearch) {
+    let ms = master.schema().clone();
+    let row = Tuple::of_strings(ms, new_master_row.iter().map(String::as_str)).unwrap();
+    let (appended, _) = master.append_copy(vec![row]).unwrap();
+    let mut extended = universe.to_vec();
+    extended
+        .push(Tuple::of_strings(input.clone(), new_truth_row.iter().map(String::as_str)).unwrap());
+    let ns = mean_ns(budget, || {
+        let _ = recheck_regions(rules, &appended, &extended, prior, &options(1));
+    });
+    let patched = recheck_regions(rules, &appended, &extended, prior, &options(1));
+    let full = search_regions(rules, &appended, &extended, &options(1));
+    assert_same_regions(&full.result, &patched.result, "delta");
+    (ns, patched, full)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    name: &str,
+    rules: &RuleSet,
+    master: &MasterData,
+    universe: &[Tuple],
+    new_master_row: Vec<String>,
+    new_truth_row: Vec<String>,
+    input: &SchemaRef,
+    budget: Duration,
+) -> Row {
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    let baseline = find_regions_from_scratch(rules, master, universe, &options(1));
+    let baseline_ns = mean_ns(budget, || {
+        let _ = find_regions_from_scratch(rules, master, universe, &options(1));
+    });
+    let seq = search_regions(rules, master, universe, &options(1));
+    assert_same_regions(&baseline, &seq.result, name);
+    let seq_ns = mean_ns(budget, || {
+        let _ = search_regions(rules, master, universe, &options(1));
+    });
+    let par = search_regions(rules, master, universe, &options(threads));
+    assert_same_regions(&baseline, &par.result, name);
+    let par_ns = mean_ns(budget, || {
+        let _ = search_regions(rules, master, universe, &options(threads));
+    });
+    let (delta_ns, patched, full) = delta_arm(
+        rules,
+        master,
+        universe,
+        &seq,
+        &new_master_row,
+        &new_truth_row,
+        input,
+        budget,
+    );
+    Row {
+        name: name.to_string(),
+        rules: rules.len(),
+        master: master.len(),
+        contexts: seq.result.stats.contexts,
+        candidates: seq.result.stats.candidates,
+        baseline_ns,
+        baseline_fixpoints: baseline.stats.engine.fixpoint_runs,
+        seq_ns,
+        par_ns,
+        par_threads: threads,
+        probes: probes_of(&seq.result),
+        fixpoints: seq.result.stats.engine.fixpoint_runs,
+        delta_ns,
+        delta_probes: probes_of(&patched.result),
+        full_probes: probes_of(&full.result),
+    }
+}
+
+/// The deterministic guard: exact work-shape invariants on the mesh
+/// fixture, independent of machine speed. A regression here fails CI.
+fn stats_guard(rows: &[Row]) {
+    for row in rows {
+        assert!(
+            row.baseline_fixpoints > row.master,
+            "{}: baseline must run universe × candidates fixpoints, got {}",
+            row.name,
+            row.baseline_fixpoints
+        );
+        assert!(
+            row.fixpoints < row.baseline_fixpoints,
+            "{}: incremental must run strictly fewer fixpoints ({} vs {})",
+            row.name,
+            row.fixpoints,
+            row.baseline_fixpoints
+        );
+        assert!(
+            row.full_probes >= 10 * row.delta_probes.max(1),
+            "{}: delta recheck must probe ≥10× less than a full re-search \
+             ({} vs {})",
+            row.name,
+            row.delta_probes,
+            row.full_probes
+        );
+    }
+    // Mesh universes are master-derived: nothing is poisoned, every
+    // probe is a memoized closure — zero fixpoints.
+    for row in rows.iter().filter(|r| r.name.starts_with("mesh")) {
+        assert_eq!(
+            row.fixpoints, 0,
+            "{}: mesh certification must be fixpoint-free",
+            row.name
+        );
+        assert_eq!(row.contexts, 4, "{}: 3 gate values + else", row.name);
+        assert_eq!(
+            row.candidates, 36,
+            "{}: 4 contexts × 9 island-key covers",
+            row.name
+        );
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    {{\"fixture\": \"{}\", \"rules\": {}, \"master\": {}, \
+             \"contexts\": {}, \"candidates\": {}, \
+             \"baseline_seq_ns\": {:.0}, \"baseline_fixpoints\": {}, \
+             \"incremental_seq_ns\": {:.0}, \"incremental_par_ns\": {:.0}, \
+             \"par_threads\": {}, \"probes\": {}, \"fixpoints\": {}, \
+             \"speedup_seq\": {:.2}, \"speedup_par\": {:.2}, \
+             \"delta_recheck_ns\": {:.0}, \"delta_probes\": {}, \
+             \"full_probes\": {}, \"delta_probe_ratio\": {:.1}}}",
+            r.name,
+            r.rules,
+            r.master,
+            r.contexts,
+            r.candidates,
+            r.baseline_ns,
+            r.baseline_fixpoints,
+            r.seq_ns,
+            r.par_ns,
+            r.par_threads,
+            r.probes,
+            r.fixpoints,
+            r.baseline_ns / r.seq_ns,
+            r.baseline_ns / r.par_ns,
+            r.delta_ns,
+            r.delta_probes,
+            r.full_probes,
+            r.full_probes as f64 / r.delta_probes.max(1) as f64,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"regions\",\n  \"mode\": \"{mode}\",\n  \
+         \"arms\": [\"baseline_seq (from-scratch)\", \"incremental_seq\", \
+         \"incremental_par\", \"delta_recheck\"],\n  \"results\": [\n{body}\n  ]\n}}\n",
+        mode = if fast_mode() { "smoke" } else { "full" },
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regions.json");
+    std::fs::write(path, json).expect("write BENCH_regions.json at repo root");
+    println!("wrote {path}");
+}
+
+fn bench_regions_suite(_c: &mut Criterion) {
+    let budget = if fast_mode() {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(600)
+    };
+    let n_master = if fast_mode() { 300 } else { 1200 };
+    println!("\n== region finder: incremental/parallel vs from-scratch ==");
+
+    let mut rows = Vec::new();
+
+    // The paper's UK scenario (9 rules).
+    let mut rng = rng_for("bench-regions-uk");
+    let scenario = uk::scenario(if fast_mode() { 60 } else { 200 }, &mut rng);
+    let uk_master = scenario.master_data();
+    let uk_new_row: Vec<String> = [
+        "Zoe",
+        "Quinn",
+        "0161",
+        "5550001",
+        "077999888",
+        "9 Void St",
+        "Mcr",
+        "M1 1AA",
+        "01/01/90",
+        "F",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    // The UK universe lives in the input shape; the appended entity's
+    // truth is its home-phone (type=1) interpretation.
+    let uk_truth: Vec<String> = [
+        "Zoe",
+        "Quinn",
+        "0161",
+        "5550001",
+        "1",
+        "9 Void St",
+        "Mcr",
+        "M1 1AA",
+        "CD",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    rows.push(measure(
+        "uk",
+        &scenario.rules,
+        &uk_master,
+        &scenario.universe,
+        uk_new_row,
+        uk_truth,
+        &scenario.input,
+        budget,
+    ));
+
+    // Mesh scenarios: the mined-rules scale.
+    for n_rules in [100usize, 500] {
+        let mesh = mesh_scenario(n_rules, n_master);
+        let new_entity: Vec<String> = {
+            let e = n_master + 1;
+            let mut row: Vec<String> = Vec::new();
+            for (i, attr) in mesh.master.schema().attributes().iter().enumerate() {
+                row.push(if i == 0 {
+                    format!("v{}", e % 4)
+                } else {
+                    format!("{}~{e}", attr.name())
+                });
+            }
+            row
+        };
+        rows.push(measure(
+            &format!("mesh{n_rules}"),
+            &mesh.rules,
+            &mesh.master,
+            &mesh.universe,
+            new_entity.clone(),
+            new_entity,
+            &mesh.input,
+            budget,
+        ));
+    }
+
+    for r in &rows {
+        println!(
+            "{:<8} rules={:<4} master={:<5} cand={:<3} baseline {:>12.0}ns  \
+             seq {:>11.0}ns ({:>5.1}x)  par {:>11.0}ns ({:>5.1}x, {} threads)  \
+             delta {:>9.0}ns (probes {} vs {})",
+            r.name,
+            r.rules,
+            r.master,
+            r.candidates,
+            r.baseline_ns,
+            r.seq_ns,
+            r.baseline_ns / r.seq_ns,
+            r.par_ns,
+            r.baseline_ns / r.par_ns,
+            r.par_threads,
+            r.delta_ns,
+            r.delta_probes,
+            r.full_probes,
+        );
+    }
+    stats_guard(&rows);
+    write_json(&rows);
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_region_finder
+    config = Criterion::default();
+    targets = bench_regions_suite
 }
 criterion_main!(benches);

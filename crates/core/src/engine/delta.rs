@@ -61,6 +61,7 @@ pub fn run_fixpoint_delta(
         passes: 1,
         ..Default::default()
     };
+    report.stats.fixpoint_runs = 1;
 
     // Rule positions awaiting their single attempt, and positions ever
     // enqueued (an attempted rule is never re-attempted).

@@ -67,6 +67,7 @@ pub fn run_fixpoint(
     validated: &mut AttrSet,
 ) -> Result<FixpointReport> {
     let mut report = FixpointReport::default();
+    report.stats.fixpoint_runs = 1;
     let indexed = master.uses_indexes();
     loop {
         report.passes += 1;

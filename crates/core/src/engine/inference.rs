@@ -12,7 +12,7 @@
 //! closure drives both the region finder's candidate generation and the
 //! monitor's new-suggestion computation.
 
-use cerfix_relation::AttrId;
+use cerfix_relation::{AttrId, AttrSet};
 use cerfix_rules::{EditingRule, RuleId, RuleSet};
 use std::collections::BTreeSet;
 
@@ -92,6 +92,51 @@ pub fn useful_evidence_attrs(rules: &RuleSet, enabled: RuleFilter<'_>) -> BTreeS
         .collect()
 }
 
+/// Rule hyperedges in bitset form: `(evidence mask, RHS mask)` per
+/// enabled rule — the compiled currency of the cover search, built once
+/// and reused across every candidate combination.
+fn closure_masks(rules: &RuleSet, enabled: RuleFilter<'_>) -> Vec<(AttrSet, AttrSet)> {
+    rules
+        .iter()
+        .filter(|&(id, r)| enabled(id, r))
+        .map(|(_, r)| {
+            (
+                r.evidence_attrs().iter().copied().collect(),
+                r.input_rhs().into_iter().collect(),
+            )
+        })
+        .collect()
+}
+
+/// Does the closure of `seed` under `masks` span all `arity` attributes?
+/// Pure bitset sweeps — no per-call allocation beyond one consumed mask.
+fn closure_spans(masks: &[(AttrSet, AttrSet)], seed: &AttrSet, arity: usize) -> bool {
+    let mut closed = seed.clone();
+    if closed.len() == arity {
+        return true;
+    }
+    let mut consumed = AttrSet::new();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (pos, (evidence, rhs)) in masks.iter().enumerate() {
+            if consumed.contains(pos) || !evidence.is_subset(&closed) {
+                continue;
+            }
+            consumed.insert(pos);
+            for b in rhs {
+                if closed.insert(b) {
+                    progressed = true;
+                }
+            }
+            if closed.len() == arity {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Enumerate **all minimal** extra-evidence sets `S ⊆ candidates` such
 /// that `closure(base ∪ S)` covers the whole schema, in ascending size.
 ///
@@ -99,7 +144,9 @@ pub fn useful_evidence_attrs(rules: &RuleSet, enabled: RuleFilter<'_>) -> BTreeS
 /// exact for the schema widths of entity data (the search space is
 /// `2^|candidates|` where candidates are the useful evidence attributes —
 /// at most a dozen in the paper's scenarios). `max_size` bounds the search
-/// and `max_results` the output.
+/// and `max_results` the output. The enabled rules are compiled to bitset
+/// hyperedges once; each combination is then tested in pure word
+/// operations (the region finder's static phase runs this per context).
 pub fn minimal_covers(
     rules: &RuleSet,
     base: &BTreeSet<AttrId>,
@@ -108,23 +155,29 @@ pub fn minimal_covers(
     max_size: usize,
     max_results: usize,
 ) -> Vec<BTreeSet<AttrId>> {
+    let arity = rules.input_schema().arity();
+    let masks = closure_masks(rules, enabled);
+    let base_mask = AttrSet::from(base);
     let mut results: Vec<BTreeSet<AttrId>> = Vec::new();
-    if covers_all(rules, base, enabled) {
+    if closure_spans(&masks, &base_mask, arity) {
         results.push(BTreeSet::new());
         return results;
     }
     let n = candidates.len();
+    let mut result_masks: Vec<AttrSet> = Vec::new();
     for size in 1..=max_size.min(n) {
         let mut combo: Vec<usize> = (0..size).collect();
         loop {
-            let extra: BTreeSet<AttrId> = combo.iter().map(|&i| candidates[i]).collect();
+            let mut extra = AttrSet::new();
+            extra.extend(combo.iter().map(|&i| candidates[i]));
             // Antichain: skip supersets of an already-found cover.
-            let dominated = results.iter().any(|r| r.is_subset(&extra));
+            let dominated = result_masks.iter().any(|r| r.is_subset(&extra));
             if !dominated {
-                let mut seed = base.clone();
-                seed.extend(extra.iter().copied());
-                if covers_all(rules, &seed, enabled) {
-                    results.push(extra);
+                let mut seed = base_mask.clone();
+                seed.extend(extra.iter());
+                if closure_spans(&masks, &seed, arity) {
+                    results.push(extra.iter().collect());
+                    result_masks.push(extra);
                     if results.len() >= max_results {
                         return results;
                     }

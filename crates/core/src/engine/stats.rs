@@ -14,6 +14,10 @@ use std::ops::AddAssign;
 /// Work performed by one fixpoint run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
+    /// Complete fixpoint runs (1 per engine invocation; aggregated
+    /// counters use this to report how many correcting processes were
+    /// simulated — the region finder's certification cost unit).
+    pub fixpoint_runs: usize,
     /// Rules attempted (eligibility checked / popped from the worklist).
     /// The pass-based engine attempts every rule every pass; the delta
     /// engine attempts each rule at most once, when its evidence
@@ -29,6 +33,7 @@ pub struct EngineStats {
 
 impl AddAssign for EngineStats {
     fn add_assign(&mut self, rhs: EngineStats) {
+        self.fixpoint_runs += rhs.fixpoint_runs;
         self.rule_attempts += rhs.rule_attempts;
         self.master_lookups += rhs.master_lookups;
         self.index_probes += rhs.index_probes;
@@ -42,11 +47,13 @@ mod tests {
     #[test]
     fn add_assign_accumulates() {
         let mut a = EngineStats {
+            fixpoint_runs: 1,
             rule_attempts: 1,
             master_lookups: 2,
             index_probes: 3,
         };
         a += EngineStats {
+            fixpoint_runs: 1,
             rule_attempts: 10,
             master_lookups: 20,
             index_probes: 30,
@@ -54,6 +61,7 @@ mod tests {
         assert_eq!(
             a,
             EngineStats {
+                fixpoint_runs: 2,
                 rule_attempts: 11,
                 master_lookups: 22,
                 index_probes: 33,

@@ -7,8 +7,10 @@
 
 use crate::engine::{check_consistency, ConsistencyOptions, ConsistencyReport};
 use crate::error::Result;
-use crate::master::MasterData;
-use crate::region::{find_regions, Region, RegionFinderOptions, RegionSearchResult};
+use crate::master::{MasterData, MasterDelta};
+use crate::region::{
+    recheck_regions, search_regions, Region, RegionFinderOptions, RegionSearch, RegionSearchResult,
+};
 use cerfix_relation::{render_table, Tuple};
 use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
 
@@ -18,6 +20,9 @@ pub struct Explorer {
     rules: RuleSet,
     master: MasterData,
     regions: Vec<Region>,
+    /// The last full region search, retained so master appends can be
+    /// served by delta re-certification instead of a re-search.
+    search: Option<RegionSearch>,
 }
 
 impl Explorer {
@@ -28,6 +33,7 @@ impl Explorer {
             rules,
             master,
             regions: Vec::new(),
+            search: None,
         }
     }
 
@@ -77,6 +83,7 @@ impl Explorer {
             }
         }
         self.regions.clear(); // stale after rule changes
+        self.search = None;
         Ok(added)
     }
 
@@ -84,6 +91,7 @@ impl Explorer {
     pub fn delete_rule(&mut self, name: &str) -> Result<()> {
         self.rules.remove(name)?;
         self.regions.clear();
+        self.search = None;
         Ok(())
     }
 
@@ -99,6 +107,7 @@ impl Explorer {
         };
         self.rules.update(name, rule.clone())?;
         self.regions.clear();
+        self.search = None;
         Ok(())
     }
 
@@ -111,15 +120,39 @@ impl Explorer {
     }
 
     /// Recompute and cache the top-k certain regions for the given truth
-    /// universe.
+    /// universe. The full search is retained so a later
+    /// [`append_master`](Explorer::append_master) can patch it by delta
+    /// re-certification.
     pub fn recompute_regions(
         &mut self,
         universe: &[Tuple],
         options: &RegionFinderOptions,
     ) -> RegionSearchResult {
-        let result = find_regions(&self.rules, &self.master, universe, options);
-        self.regions = result.regions.clone();
+        let search = search_regions(&self.rules, &self.master, universe, options);
+        self.regions = search.result.regions.clone();
+        let result = search.result.clone();
+        self.search = Some(search);
         result
+    }
+
+    /// Append rows to the master repository. When a region search is
+    /// cached, it is patched by delta re-certification (only regions
+    /// whose entailed rules watch a touched index key are re-probed);
+    /// `universe` must extend the one the cached search was computed
+    /// over with the new truths. Returns what changed.
+    pub fn append_master(
+        &mut self,
+        rows: Vec<Tuple>,
+        universe: &[Tuple],
+        options: &RegionFinderOptions,
+    ) -> Result<MasterDelta> {
+        let delta = self.master.append_rows(rows)?;
+        if let Some(prior) = self.search.take() {
+            let search = recheck_regions(&self.rules, &self.master, universe, &prior, options);
+            self.regions = search.result.regions.clone();
+            self.search = Some(search);
+        }
+        Ok(delta)
     }
 
     /// Render the rule listing as Fig. 2 shows it: id, name, match

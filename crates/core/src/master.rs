@@ -41,6 +41,22 @@ pub enum CertainLookup {
     },
 }
 
+/// What one master append batch changed — the input of delta
+/// re-certification ([`recheck_regions`](crate::region::recheck_regions)
+/// re-probes only regions whose entailed rules watch a touched key).
+#[derive(Debug, Clone)]
+pub struct MasterDelta {
+    /// Row id of the first appended row.
+    pub first_row: RowId,
+    /// Number of rows appended.
+    pub appended: usize,
+    /// The master generation after the append.
+    pub generation: u64,
+    /// Per materialized index (by its attribute list): the distinct join
+    /// keys the appended rows introduced or extended.
+    pub touched_keys: Vec<(Vec<AttrId>, Vec<Vec<Value>>)>,
+}
+
 /// The master data manager: `Dm` plus per-LHS lookup indexes.
 ///
 /// Indexes are stored as immutable `Arc<HashIndex>` snapshots: the
@@ -286,7 +302,10 @@ impl MasterData {
     /// posting — but callers should re-run consistency checking and
     /// region finding afterwards, since new rows can introduce key
     /// ambiguities that invalidate both (the demo pre-computes regions
-    /// for exactly this reason; see `Explorer::recompute_regions`).
+    /// for exactly this reason; see `Explorer::recompute_regions`). For
+    /// batches, [`append_rows`](Self::append_rows) additionally reports
+    /// the touched index keys, which is what delta re-certification
+    /// ([`recheck_regions`](crate::region::recheck_regions)) keys on.
     pub fn append(&mut self, tuple: Tuple) -> crate::error::Result<RowId> {
         let row_id = self.relation.push(tuple)?;
         let tuple = self.relation.row(row_id).expect("just pushed");
@@ -300,6 +319,90 @@ impl MasterData {
         }
         self.generation.fetch_add(1, Ordering::Release);
         Ok(row_id)
+    }
+
+    /// Append a batch of rows, returning a [`MasterDelta`] describing
+    /// exactly what changed: the appended row range, the new generation,
+    /// and — per materialized index — the distinct join keys the rows
+    /// introduced or extended (the keys a delta re-certification must
+    /// watch). Validates every row up front, so a failure appends
+    /// nothing.
+    pub fn append_rows(&mut self, rows: Vec<Tuple>) -> crate::error::Result<MasterDelta> {
+        for row in &rows {
+            if !self.schema().same_as(row.schema()) {
+                return Err(cerfix_relation::RelationError::SchemaMismatch {
+                    expected: self.schema().name().into(),
+                    actual: row.schema().name().into(),
+                }
+                .into());
+            }
+        }
+        let first_row = self.relation.len();
+        let appended = rows.len();
+        for row in rows {
+            let row_id = self.relation.push(row).expect("pre-checked schema");
+            if self.use_indexes {
+                let tuple = self.relation.row(row_id).expect("just pushed");
+                let mut cache = self.indexes.write();
+                for index in cache.values_mut() {
+                    Arc::make_mut(index).insert_row(row_id, tuple);
+                }
+            }
+        }
+        self.generation
+            .fetch_add(appended as u64, Ordering::Release);
+        Ok(MasterDelta {
+            first_row,
+            appended,
+            generation: self.generation(),
+            touched_keys: self.touched_keys(first_row),
+        })
+    }
+
+    /// Copy-on-append for shared masters: clone the relation and every
+    /// materialized index, append `rows`, and return the new instance
+    /// plus its delta. The generation continues monotonically from this
+    /// instance (a copy is never confusable with its ancestor in
+    /// generation-keyed caches); existing index snapshots held by
+    /// compiled plans keep serving the old data untouched. This is the
+    /// shape `cerfix-server` uses for its `master.append` op, where the
+    /// live master is shared immutably across sessions.
+    pub fn append_copy(&self, rows: Vec<Tuple>) -> crate::error::Result<(MasterData, MasterDelta)> {
+        let mut copy = MasterData {
+            relation: self.relation.clone(),
+            indexes: RwLock::new(
+                self.indexes
+                    .read()
+                    .iter()
+                    .map(|(attrs, index)| (attrs.clone(), Arc::new((**index).clone())))
+                    .collect(),
+            ),
+            use_indexes: self.use_indexes,
+            generation: AtomicU64::new(self.generation()),
+        };
+        let delta = copy.append_rows(rows)?;
+        Ok((copy, delta))
+    }
+
+    /// Per materialized index: the distinct keys contributed by rows
+    /// `first_row..` (nulls excluded — they are never indexed).
+    fn touched_keys(&self, first_row: RowId) -> Vec<(Vec<AttrId>, Vec<Vec<Value>>)> {
+        let cache = self.indexes.read();
+        cache
+            .keys()
+            .map(|attrs| {
+                let mut seen: std::collections::HashSet<Vec<Value>> =
+                    std::collections::HashSet::new();
+                let mut keys: Vec<Vec<Value>> = Vec::new();
+                for (_, row) in self.relation.iter().skip(first_row) {
+                    let key = row.project(attrs);
+                    if !key.iter().any(Value::is_null) && seen.insert(key.clone()) {
+                        keys.push(key);
+                    }
+                }
+                (attrs.clone(), keys)
+            })
+            .collect()
     }
 
     /// Number of indexes materialized so far (diagnostics).

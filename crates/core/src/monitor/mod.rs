@@ -159,6 +159,14 @@ impl<'a> DataMonitor<'a> {
         MonitorSession::new(tuple_id, tuple)
     }
 
+    /// Diagnostic: would validating exactly `attrs` reach a full,
+    /// correct fix for `truth`? Runs on the monitor's cached plan — no
+    /// per-call compilation (the throwaway-plan shape of the standalone
+    /// [`certifies_for`](crate::region::certifies_for) helper).
+    pub fn certifies(&self, attrs: &cerfix_relation::AttrSet, truth: &Tuple) -> bool {
+        crate::region::certifies_for_with_plan(&self.plan, self.master, attrs, truth)
+    }
+
     /// Rule filter for a session. A rule is counted on for future rounds
     /// only while it is still *live*:
     ///

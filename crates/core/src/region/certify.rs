@@ -17,29 +17,48 @@
 //! data: one truth per master tuple per pattern context), mirroring the
 //! MDM assumption that entities to be cleaned are represented in `Dm`.
 
-use crate::engine::{run_fixpoint_delta, CompiledRules};
+use crate::engine::{CompiledRules, EngineStats};
 use crate::master::MasterData;
+use crate::region::lattice::certify_truth_fixpoint;
 use cerfix_relation::{AttrSet, Tuple, Value};
 use cerfix_rules::{PatternTuple, RuleSet};
+
+/// How much evidence [`certify_region_mode`] gathers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyMode {
+    /// Stop at the first failing truth: the verdict is identical, the
+    /// failure list holds at most that one truth, and `checked` counts
+    /// only the truths examined. The region finder's search loop runs in
+    /// this mode — rejected candidates die in O(1) probes.
+    Probe,
+    /// Examine every applicable truth and report up to 8 failures — the
+    /// diagnostic mode behind [`certify_region`].
+    Diagnose,
+}
 
 /// Outcome of certifying one `(Z, pattern)` candidate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertifyResult {
     /// True iff every applicable truth tuple reached a full, correct fix.
     pub certified: bool,
-    /// Number of universe tuples the pattern applied to.
+    /// Number of universe tuples examined (every applicable one in
+    /// [`CertifyMode::Diagnose`]; up to and including the first failure
+    /// in [`CertifyMode::Probe`]).
     pub checked: usize,
     /// Indices (into the universe) of failing truths, capped at 8.
     pub failures: Vec<usize>,
+    /// Fixpoint work performed (one run per examined truth).
+    pub engine: EngineStats,
 }
 
 /// Certify candidate attributes `attrs` under `pattern` against the truth
-/// `universe`.
+/// `universe`, examining every applicable truth (diagnostic mode).
 ///
 /// Runs one delta fixpoint per applicable truth on the compiled `plan` —
-/// the region finder's data phase executes universe × candidates of
-/// these, which is why it takes a plan (compiled once per search) rather
-/// than re-interpreting a `RuleSet` per probe.
+/// this is the **from-scratch** data-phase unit, kept as the oracle the
+/// incremental lattice path is property-tested against (the production
+/// search uses [`find_regions`](crate::region::find_regions), which
+/// memoizes per-truth rule profiles instead of re-running fixpoints).
 ///
 /// An empty applicable set certifies vacuously (`checked == 0`); callers
 /// that want non-vacuous regions should check `checked > 0`.
@@ -50,11 +69,32 @@ pub fn certify_region(
     pattern: &PatternTuple,
     universe: &[Tuple],
 ) -> CertifyResult {
-    let arity = plan.input_schema().arity();
+    certify_region_mode(
+        plan,
+        master,
+        attrs,
+        pattern,
+        universe,
+        CertifyMode::Diagnose,
+    )
+}
+
+/// [`certify_region`] with an explicit [`CertifyMode`]: `Probe` stops at
+/// the first failing truth (same verdict, O(1) work on rejects), while
+/// `Diagnose` gathers the capped failure list on demand.
+pub fn certify_region_mode(
+    plan: &CompiledRules,
+    master: &MasterData,
+    attrs: &AttrSet,
+    pattern: &PatternTuple,
+    universe: &[Tuple],
+    mode: CertifyMode,
+) -> CertifyResult {
     let mut result = CertifyResult {
         certified: true,
         checked: 0,
         failures: Vec::new(),
+        engine: EngineStats::default(),
     };
     for (idx, truth) in universe.iter().enumerate() {
         if !pattern.matches(truth) {
@@ -63,26 +103,13 @@ pub fn certify_region(
         result.checked += 1;
         // Input as the monitor sees it after the user validates Z with the
         // true values: Z cells carry truth, the rest is unknown.
-        let mut t = Tuple::all_null(plan.input_schema().clone());
-        for a in attrs {
-            t.set(a, truth.get(a).clone()).expect("attr in schema");
-        }
-        let mut validated = attrs.clone();
-        let ok = match run_fixpoint_delta(plan, master, &mut t, &mut validated) {
-            Err(_) => false, // validated-cell conflict: inconsistent rules
-            Ok(_) => {
-                validated.len() == arity
-                    && (0..arity).all(|a| {
-                        let fixed = t.get(a);
-                        // Never null after full validation, and equal to truth.
-                        !fixed.is_null() && fixed == truth.get(a)
-                    })
-            }
-        };
-        if !ok {
+        if !certify_truth_fixpoint(plan, master, attrs, truth, &mut result.engine) {
             result.certified = false;
             if result.failures.len() < 8 {
                 result.failures.push(idx);
+            }
+            if mode == CertifyMode::Probe {
+                break;
             }
         }
     }
@@ -90,13 +117,26 @@ pub fn certify_region(
 }
 
 /// Convenience: does validating `attrs` yield a full correct fix for this
-/// single `truth` tuple? Compiles a throwaway plan — used by tests and
-/// the monitor's diagnostics, not by the region finder's hot loop.
+/// single `truth` tuple? Compiles a throwaway plan — prefer
+/// [`certifies_for_with_plan`] (or
+/// [`DataMonitor::certifies`](crate::monitor::DataMonitor::certifies),
+/// which routes through the monitor's cached plan) anywhere the rule set
+/// is already compiled.
 pub fn certifies_for(rules: &RuleSet, master: &MasterData, attrs: &AttrSet, truth: &Tuple) -> bool {
     let plan = CompiledRules::compile(rules, master);
-    let empty_pattern = PatternTuple::empty();
-    let universe = std::slice::from_ref(truth);
-    certify_region(&plan, master, attrs, &empty_pattern, universe).certified
+    certifies_for_with_plan(&plan, master, attrs, truth)
+}
+
+/// Plan-taking form of [`certifies_for`]: one delta fixpoint on an
+/// already-compiled plan, no per-call compilation.
+pub fn certifies_for_with_plan(
+    plan: &CompiledRules,
+    master: &MasterData,
+    attrs: &AttrSet,
+    truth: &Tuple,
+) -> bool {
+    let mut engine = EngineStats::default();
+    certify_truth_fixpoint(plan, master, attrs, truth, &mut engine)
 }
 
 /// Build the "unknown form" input for a truth tuple: `Z` validated with

@@ -22,14 +22,30 @@
 //!
 //! Certified candidates with the same `Z` merge their contexts into one
 //! tableau; regions are ranked ascending by `|Z|` and cut to `top_k`.
+//!
+//! The data phase is **incremental and parallel** (see
+//! [`lattice`](crate::region::lattice)): per in-scope truth a
+//! [`TruthProfile`] classifies every rule once, after which each
+//! candidate's certification is a memoized bitset closure; candidates
+//! fan out across worker threads ([`ordered_map`]) with a deterministic
+//! in-order merge. [`find_regions_from_scratch`] keeps the pre-lattice
+//! `universe × candidates` fixpoint loop as the equivalence oracle, and
+//! [`recheck_regions`](crate::region::recheck_regions) patches a prior
+//! [`RegionSearch`] after a master-data append instead of re-searching.
+//!
+//! [`TruthProfile`]: crate::region::lattice::TruthProfile
+//! [`ordered_map`]: crate::exec::ordered_map
 
 use crate::engine::{minimal_covers, unfixable_attrs, useful_evidence_attrs, CompiledRules};
+use crate::exec::ordered_map;
 use crate::master::MasterData;
 use crate::region::certify::certify_region;
+use crate::region::lattice::{ContextCertifier, TruthProfile};
 use crate::region::tableau::Region;
 use cerfix_relation::{AttrId, AttrSet, Tuple, Value};
 use cerfix_rules::{EditingRule, PatternOp, PatternTuple, RuleId, RuleSet};
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 
 /// Configuration for the region search.
 #[derive(Debug, Clone)]
@@ -43,6 +59,10 @@ pub struct RegionFinderOptions {
     /// Require certification to be non-vacuous (at least one truth tuple
     /// in scope). Vacuous contexts produce no region.
     pub require_nonvacuous: bool,
+    /// Worker threads for the data phase (`0` = one per available core).
+    /// Results are identical at any thread count — candidates fan out
+    /// with an order-stable merge.
+    pub threads: usize,
 }
 
 impl Default for RegionFinderOptions {
@@ -52,7 +72,16 @@ impl Default for RegionFinderOptions {
             max_cover_size: 6,
             max_covers_per_context: 16,
             require_nonvacuous: true,
+            threads: 0,
         }
+    }
+}
+
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
     }
 }
 
@@ -164,6 +193,24 @@ pub struct RegionSearchStats {
     pub rejected_by_certification: usize,
     /// Candidates rejected as vacuous (no truth tuple in scope).
     pub vacuous: usize,
+    /// Per-truth rule profiles built (each is one certain-lookup per
+    /// rule; the memoized currency of the incremental data phase).
+    pub truth_profiles: usize,
+    /// `(candidate, truth)` lattice closure evaluations — probes answered
+    /// without running a fixpoint.
+    pub closure_probes: usize,
+    /// Closure probes that reused a memoized prefix snapshot (the base
+    /// node or a shared sibling prefix) instead of closing from scratch.
+    pub lattice_hits: usize,
+    /// Re-search only: candidates whose prior verdict was reused because
+    /// no rule they count on watches a changed master key.
+    pub candidates_reused: usize,
+    /// Re-search only: candidates actually re-certified.
+    pub recertified: usize,
+    /// Full correcting-process fixpoints executed (`engine.fixpoint_runs`)
+    /// and their work — the poisoned-truth fallback on the incremental
+    /// path, every probe on the from-scratch oracle.
+    pub engine: crate::engine::EngineStats,
 }
 
 /// Result of [`find_regions`]: ranked regions plus search diagnostics.
@@ -175,9 +222,360 @@ pub struct RegionSearchResult {
     pub stats: RegionSearchStats,
 }
 
+/// One pattern context retained by a [`RegionSearch`] for delta
+/// re-certification.
+#[derive(Debug, Clone)]
+pub(crate) struct ContextRecord {
+    pub(crate) pattern: PatternTuple,
+    pub(crate) mandatory: AttrSet,
+    /// In-scope universe indices (populated only for contexts that
+    /// produced candidates).
+    pub(crate) truths: Vec<usize>,
+}
+
+/// One `(Z, context)` candidate with its certification verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CandidateRecord {
+    pub(crate) context: usize,
+    pub(crate) attrs: AttrSet,
+    /// Extra evidence beyond the mandatory set, sorted ascending (the
+    /// lattice's sibling-prefix order).
+    pub(crate) cover: Vec<AttrId>,
+    pub(crate) certified: bool,
+    /// A known-failing truth (universe index) for rejected candidates —
+    /// probed first on re-search so rejects die in O(1).
+    pub(crate) failing: Option<usize>,
+}
+
+/// Everything [`recheck_regions`](crate::region::recheck_regions) needs
+/// to patch a search after a master append instead of redoing it.
+#[derive(Debug)]
+pub struct RegionSearchState {
+    pub(crate) contexts: Vec<ContextRecord>,
+    pub(crate) candidates: Vec<CandidateRecord>,
+    /// Per universe index: was the truth's profile poisoned (some rule
+    /// fires a non-truth value)? Poisoned truths are always re-probed on
+    /// a master delta — their fixpoints explore non-truth keys.
+    pub(crate) poisoned: Vec<bool>,
+    pub(crate) universe_len: usize,
+    pub(crate) master_rows: usize,
+    pub(crate) master_generation: u64,
+    /// Every certified region, ranked, *untruncated* — any `top_k` view
+    /// is a prefix of this.
+    pub(crate) ranked: Vec<Region>,
+}
+
+/// A region search whose full candidate lattice is retained, so a master
+/// append can be served by [`recheck_regions`] and any `top_k` can be
+/// answered without re-searching.
+///
+/// [`recheck_regions`]: crate::region::recheck_regions
+#[derive(Debug)]
+pub struct RegionSearch {
+    /// The ranked, truncated result (what [`find_regions`] returns).
+    pub result: RegionSearchResult,
+    pub(crate) state: RegionSearchState,
+}
+
+impl RegionSearch {
+    /// Every certified region, ranked ascending by size, untruncated.
+    pub fn ranked(&self) -> &[Region] {
+        &self.state.ranked
+    }
+
+    /// The first `k` ranked regions.
+    pub fn top(&self, k: usize) -> Vec<Region> {
+        self.state.ranked.iter().take(k).cloned().collect()
+    }
+
+    /// The master generation this search was certified against.
+    pub fn master_generation(&self) -> u64 {
+        self.state.master_generation
+    }
+
+    /// The universe length this search was certified against.
+    pub fn universe_len(&self) -> usize {
+        self.state.universe_len
+    }
+}
+
+/// The static phase, shared by the search, the oracle, and the
+/// re-certifier: enumerate contexts, their mandatory sets, and the
+/// minimal-cover candidates.
+pub(crate) fn static_phase(
+    rules: &RuleSet,
+    options: &RegionFinderOptions,
+) -> (Vec<ContextRecord>, Vec<CandidateRecord>) {
+    let contexts = enumerate_contexts(rules);
+    let mut records = Vec::with_capacity(contexts.len());
+    let mut candidates = Vec::new();
+    for (ci, ctx) in contexts.iter().enumerate() {
+        let enabled = |_: RuleId, r: &EditingRule| ctx.entails_rule(r);
+        let mandatory = unfixable_attrs(rules, &enabled);
+        let useful: Vec<AttrId> = useful_evidence_attrs(rules, &enabled)
+            .into_iter()
+            .filter(|a| !mandatory.contains(a))
+            .collect();
+        let covers = minimal_covers(
+            rules,
+            &mandatory,
+            &useful,
+            &enabled,
+            options.max_cover_size,
+            options.max_covers_per_context,
+        );
+        let mandatory_set = AttrSet::from(&mandatory);
+        for cover in covers {
+            let cover: Vec<AttrId> = cover.into_iter().collect(); // ascending
+            let mut attrs = mandatory_set.clone();
+            attrs.extend(cover.iter().copied());
+            candidates.push(CandidateRecord {
+                context: ci,
+                attrs,
+                cover,
+                certified: false,
+                failing: None,
+            });
+        }
+        records.push(ContextRecord {
+            pattern: ctx.pattern.clone(),
+            mandatory: mandatory_set,
+            truths: Vec::new(),
+        });
+    }
+    (records, candidates)
+}
+
+/// Merge candidate verdicts into ranked regions (identical to the
+/// original sequential loop: candidates in static-phase order, regions
+/// ranked ascending by `(size, attrs)`). Returns the untruncated ranking
+/// and fills the verdict counters of `stats`.
+pub(crate) fn build_regions(
+    contexts: &[ContextRecord],
+    candidates: &[CandidateRecord],
+    options: &RegionFinderOptions,
+    stats: &mut RegionSearchStats,
+) -> Vec<Region> {
+    let mut by_attrs: BTreeMap<Vec<AttrId>, Region> = BTreeMap::new();
+    for cand in candidates {
+        if !cand.certified {
+            stats.rejected_by_certification += 1;
+            continue;
+        }
+        if options.require_nonvacuous && contexts[cand.context].truths.is_empty() {
+            stats.vacuous += 1;
+            continue;
+        }
+        let key: Vec<AttrId> = cand.attrs.iter().collect();
+        by_attrs
+            .entry(key.clone())
+            .or_insert_with(|| Region::new(key, Vec::new()))
+            .add_pattern(contexts[cand.context].pattern.clone());
+    }
+    let mut regions: Vec<Region> = by_attrs.into_values().collect();
+    regions.sort_by(|a, b| {
+        a.size()
+            .cmp(&b.size())
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
+    regions
+}
+
+/// Split candidates into contiguous chunks that never cross a context
+/// boundary: each chunk is certified sequentially by one worker with a
+/// shared prefix lattice; chunks fan out across threads.
+pub(crate) fn chunk_candidates(
+    candidates: &[CandidateRecord],
+    threads: usize,
+) -> Vec<Range<usize>> {
+    let total = candidates.len();
+    let mut chunks = Vec::new();
+    if total == 0 {
+        return chunks;
+    }
+    // One chunk per context when sequential (maximal prefix sharing);
+    // otherwise bound chunk size so every worker gets work.
+    let target = if threads <= 1 {
+        total
+    } else {
+        total.div_ceil(threads * 3)
+    };
+    let mut start = 0;
+    while start < total {
+        let ctx = candidates[start].context;
+        let mut end = start + 1;
+        while end < total && candidates[end].context == ctx && end - start < target {
+            end += 1;
+        }
+        chunks.push(start..end);
+        start = end;
+    }
+    chunks
+}
+
+/// Build [`TruthProfile`]s for `needed` universe indices, fanned across
+/// the worker threads, and record which truths are poisoned.
+pub(crate) fn build_profiles(
+    plan: &CompiledRules,
+    master: &MasterData,
+    universe: &[Tuple],
+    needed: &[usize],
+    threads: usize,
+    profiles: &mut [Option<TruthProfile>],
+    poisoned: &mut [bool],
+) {
+    let built: Vec<TruthProfile> =
+        ordered_map::<_, _, std::convert::Infallible, _>(threads, needed.to_vec(), |_, idx| {
+            Ok(TruthProfile::build(plan, master, &universe[idx]))
+        })
+        .expect("profile building is infallible");
+    for (&idx, profile) in needed.iter().zip(built) {
+        poisoned[idx] = profile.poisoned();
+        profiles[idx] = Some(profile);
+    }
+}
+
 /// Compute top-k certain regions for `rules` against `master`, certified
 /// over the `universe` of possible ground-truth input tuples.
+///
+/// Thin wrapper over [`search_regions`] for callers that only need the
+/// ranked result; long-lived services keep the [`RegionSearch`] so
+/// master appends can be served by
+/// [`recheck_regions`](crate::region::recheck_regions).
 pub fn find_regions(
+    rules: &RuleSet,
+    master: &MasterData,
+    universe: &[Tuple],
+    options: &RegionFinderOptions,
+) -> RegionSearchResult {
+    search_regions(rules, master, universe, options).result
+}
+
+/// The incremental, parallel region search (see module docs): memoized
+/// per-truth rule profiles + lattice closures replace per-candidate
+/// fixpoints, candidates fan out across `options.threads` workers, and
+/// the returned [`RegionSearch`] retains the candidate verdicts needed
+/// for master-delta re-certification.
+pub fn search_regions(
+    rules: &RuleSet,
+    master: &MasterData,
+    universe: &[Tuple],
+    options: &RegionFinderOptions,
+) -> RegionSearch {
+    let mut stats = RegionSearchStats::default();
+    let plan = CompiledRules::compile(rules, master);
+    let (mut contexts, mut candidates) = static_phase(rules, options);
+    stats.contexts = contexts.len();
+    stats.candidates = candidates.len();
+
+    // In-scope truths, once per candidate-bearing context (the old loop
+    // re-matched the pattern per candidate × truth).
+    let mut has_candidates = vec![false; contexts.len()];
+    for cand in &candidates {
+        has_candidates[cand.context] = true;
+    }
+    for (idx, truth) in universe.iter().enumerate() {
+        for (ci, record) in contexts.iter_mut().enumerate() {
+            if has_candidates[ci] && record.pattern.matches(truth) {
+                record.truths.push(idx);
+            }
+        }
+    }
+
+    let threads = resolve_threads(options.threads);
+
+    // Profile every in-scope truth (contexts partition the universe, but
+    // dedup defensively — overlapping patterns cost nothing extra).
+    let mut profiles: Vec<Option<TruthProfile>> = vec![None; universe.len()];
+    let mut poisoned = vec![false; universe.len()];
+    let mut seen = vec![false; universe.len()];
+    let mut needed: Vec<usize> = Vec::new();
+    for record in &contexts {
+        for &idx in &record.truths {
+            if !seen[idx] {
+                seen[idx] = true;
+                needed.push(idx);
+            }
+        }
+    }
+    build_profiles(
+        &plan,
+        master,
+        universe,
+        &needed,
+        threads,
+        &mut profiles,
+        &mut poisoned,
+    );
+    stats.truth_profiles = needed.len();
+
+    // Data phase: chunks of sibling candidates, certified in parallel,
+    // merged in input order (deterministic at any thread count).
+    let chunks = chunk_candidates(&candidates, threads);
+    let outcomes = ordered_map::<_, _, std::convert::Infallible, _>(
+        threads,
+        chunks.clone(),
+        |_, range: Range<usize>| {
+            let record = &contexts[candidates[range.start].context];
+            let mut certifier = ContextCertifier::new(
+                &plan,
+                master,
+                universe,
+                &record.truths,
+                &profiles,
+                record.mandatory.clone(),
+            );
+            // Probe in cover-lexicographic order for maximal prefix
+            // sharing, but report outcomes in candidate order.
+            let mut order: Vec<usize> = range.clone().collect();
+            order.sort_by(|&a, &b| candidates[a].cover.cmp(&candidates[b].cover));
+            let mut out = vec![None; range.len()];
+            for i in order {
+                let cand = &candidates[i];
+                out[i - range.start] = Some(certifier.probe(&cand.attrs, &cand.cover, None));
+            }
+            let outcomes: Vec<_> = out
+                .into_iter()
+                .map(|o| o.expect("every slot probed"))
+                .collect();
+            Ok((outcomes, certifier.stats))
+        },
+    )
+    .expect("certification is infallible");
+
+    for (range, (chunk_outcomes, probe_stats)) in chunks.into_iter().zip(outcomes) {
+        stats.closure_probes += probe_stats.closure_probes;
+        stats.lattice_hits += probe_stats.lattice_hits;
+        stats.engine += probe_stats.engine;
+        for (i, outcome) in range.zip(chunk_outcomes) {
+            candidates[i].certified = outcome.certified;
+            candidates[i].failing = outcome.failing;
+        }
+    }
+
+    let ranked = build_regions(&contexts, &candidates, options, &mut stats);
+    let mut regions = ranked.clone();
+    regions.truncate(options.top_k);
+    RegionSearch {
+        result: RegionSearchResult { regions, stats },
+        state: RegionSearchState {
+            contexts,
+            candidates,
+            poisoned,
+            universe_len: universe.len(),
+            master_rows: master.len(),
+            master_generation: master.generation(),
+            ranked,
+        },
+    }
+}
+
+/// The pre-lattice data phase: one full diagnostic [`certify_region`]
+/// (universe × candidates fixpoints) per candidate, single-threaded.
+/// Kept as the equivalence **oracle** and the ablation/baseline arm of
+/// `bench_regions` — property tests assert it produces exactly the same
+/// regions as [`search_regions`] on every input.
+pub fn find_regions_from_scratch(
     rules: &RuleSet,
     master: &MasterData,
     universe: &[Tuple],
@@ -213,6 +611,7 @@ pub fn find_regions(
             let mut attrs: AttrSet = AttrSet::from(&mandatory);
             attrs.extend(cover.iter().copied());
             let result = certify_region(&plan, master, &attrs, &ctx.pattern, universe);
+            stats.engine += result.engine;
             if !result.certified {
                 stats.rejected_by_certification += 1;
                 continue;

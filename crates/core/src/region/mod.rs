@@ -2,8 +2,17 @@
 
 mod certify;
 mod finder;
+pub(crate) mod lattice;
+mod recheck;
 mod tableau;
 
-pub use certify::{certifies_for, certify_region, masked_input, CertifyResult};
-pub use finder::{find_regions, RegionFinderOptions, RegionSearchResult, RegionSearchStats};
+pub use certify::{
+    certifies_for, certifies_for_with_plan, certify_region, certify_region_mode, masked_input,
+    CertifyMode, CertifyResult,
+};
+pub use finder::{
+    find_regions, find_regions_from_scratch, search_regions, RegionFinderOptions, RegionSearch,
+    RegionSearchResult, RegionSearchState, RegionSearchStats,
+};
+pub use recheck::recheck_regions;
 pub use tableau::Region;

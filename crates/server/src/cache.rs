@@ -8,7 +8,7 @@
 //! sets, or hot-reloading one, gets correct isolation for free.
 
 use crate::metrics::ServiceMetrics;
-use cerfix::{CompiledRules, ConsistencyReport, RegionSearchResult};
+use cerfix::{CompiledRules, ConsistencyReport, RegionSearch};
 use cerfix_rules::{render_er_dsl, RuleSet};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -43,8 +43,13 @@ pub fn ruleset_fingerprint(rules: &RuleSet) -> u64 {
 /// handful of distinct analyses a service sees.)
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
-    regions: Mutex<HashMap<(u64, usize), Arc<RegionSearchResult>>>,
-    consistency: Mutex<HashMap<(u64, String), Arc<ConsistencyReport>>>,
+    /// Full region searches, keyed by `(ruleset fingerprint, master
+    /// generation)`. The generation is part of the key so a master
+    /// append can never serve regions certified against old data; the
+    /// search retains every candidate verdict, so any `top_k` view and
+    /// any later delta re-certification come from the same entry.
+    regions: Mutex<HashMap<(u64, u64), Arc<RegionSearch>>>,
+    consistency: Mutex<HashMap<(u64, u64, String), Arc<ConsistencyReport>>>,
     /// Compiled execution plans, keyed by `(ruleset fingerprint, master
     /// generation)`: every per-request monitor shares one plan instead of
     /// recompiling masks and re-resolving index snapshots.
@@ -57,24 +62,60 @@ impl AnalysisCache {
         AnalysisCache::default()
     }
 
-    /// The region search for `(fingerprint, top_k)`, computing it with
-    /// `compute` on first use. The flag is `true` on a cache hit.
+    /// The region search for `(fingerprint, master_generation)`,
+    /// computing it with `compute` on first use. The flag is `true` on a
+    /// cache hit.
     pub fn regions(
         &self,
         fingerprint: u64,
-        top_k: usize,
+        master_generation: u64,
         metrics: &ServiceMetrics,
-        compute: impl FnOnce() -> RegionSearchResult,
-    ) -> (Arc<RegionSearchResult>, bool) {
+        compute: impl FnOnce() -> RegionSearch,
+    ) -> (Arc<RegionSearch>, bool) {
         let mut map = self.regions.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(hit) = map.get(&(fingerprint, top_k)) {
+        if let Some(hit) = map.get(&(fingerprint, master_generation)) {
             metrics.cache_hit();
             return (Arc::clone(hit), true);
         }
         metrics.cache_miss();
         let computed = Arc::new(compute());
-        map.insert((fingerprint, top_k), Arc::clone(&computed));
+        map.insert((fingerprint, master_generation), Arc::clone(&computed));
         (computed, false)
+    }
+
+    /// The cached region search for `(fingerprint, master_generation)`,
+    /// if any — the prior state a master-append delta re-certification
+    /// patches.
+    pub fn cached_regions(
+        &self,
+        fingerprint: u64,
+        master_generation: u64,
+    ) -> Option<Arc<RegionSearch>> {
+        self.regions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(fingerprint, master_generation))
+            .cloned()
+    }
+
+    /// Drop every analysis of `fingerprint` certified against a master
+    /// generation older than `current`. A master append makes those keys
+    /// unreachable (requests always carry the live generation), so
+    /// without retirement periodic appends would grow the cache without
+    /// bound; in-flight holders keep their `Arc`s alive independently.
+    pub fn retire_generations(&self, fingerprint: u64, current: u64) {
+        self.regions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|&(fp, generation), _| fp != fingerprint || generation >= current);
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|&(fp, generation), _| fp != fingerprint || generation >= current);
+        self.consistency
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(fp, generation, _), _| *fp != fingerprint || *generation >= current);
     }
 
     /// The compiled plan for `(fingerprint, master_generation)`,
@@ -98,11 +139,14 @@ impl AnalysisCache {
         (computed, false)
     }
 
-    /// The consistency verdict for `(fingerprint, mode)`, computing it
-    /// with `compute` on first use. The flag is `true` on a cache hit.
+    /// The consistency verdict for `(fingerprint, master_generation,
+    /// mode)`, computing it with `compute` on first use. The flag is
+    /// `true` on a cache hit. (Generation-keyed for the same reason as
+    /// regions: verdicts depend on master data.)
     pub fn consistency(
         &self,
         fingerprint: u64,
+        master_generation: u64,
         mode: &str,
         metrics: &ServiceMetrics,
         compute: impl FnOnce() -> ConsistencyReport,
@@ -111,13 +155,16 @@ impl AnalysisCache {
             .consistency
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some(hit) = map.get(&(fingerprint, mode.to_string())) {
+        if let Some(hit) = map.get(&(fingerprint, master_generation, mode.to_string())) {
             metrics.cache_hit();
             return (Arc::clone(hit), true);
         }
         metrics.cache_miss();
         let computed = Arc::new(compute());
-        map.insert((fingerprint, mode.to_string()), Arc::clone(&computed));
+        map.insert(
+            (fingerprint, master_generation, mode.to_string()),
+            Arc::clone(&computed),
+        );
         (computed, false)
     }
 }
@@ -153,26 +200,38 @@ mod tests {
         );
     }
 
+    fn empty_search() -> RegionSearch {
+        let input = Schema::of_strings("in", ["a", "b"]).unwrap();
+        let master = Schema::of_strings("m", ["a", "b"]).unwrap();
+        let rules = RuleSet::new(input, master.clone());
+        let md = cerfix::MasterData::new(cerfix_relation::Relation::empty(master));
+        cerfix::search_regions(&rules, &md, &[], &cerfix::RegionFinderOptions::default())
+    }
+
     #[test]
-    fn region_cache_hits_after_first_compute() {
+    fn region_cache_hits_after_first_compute_and_keys_by_generation() {
         let cache = AnalysisCache::new();
         let metrics = ServiceMetrics::new();
         let mut computes = 0;
         for round in 0..3 {
-            let (r, hit) = cache.regions(1, 8, &metrics, || {
+            let (_, hit) = cache.regions(1, 0, &metrics, || {
                 computes += 1;
-                RegionSearchResult::default()
+                empty_search()
             });
-            assert!(r.regions.is_empty());
             assert_eq!(hit, round > 0);
         }
         assert_eq!(computes, 1);
         let snap = metrics.snapshot();
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_misses, 1);
-        // A different top_k is a different key.
-        let (_, hit) = cache.regions(1, 4, &metrics, RegionSearchResult::default);
+        // A different master generation is a different key: a master
+        // append can never serve regions certified against old data.
+        let (_, hit) = cache.regions(1, 7, &metrics, empty_search);
         assert!(!hit);
         assert_eq!(metrics.snapshot().cache_misses, 2);
+        assert!(cache.cached_regions(1, 0).is_some());
+        assert!(cache.cached_regions(1, 7).is_some());
+        assert!(cache.cached_regions(1, 3).is_none());
+        assert!(cache.cached_regions(2, 0).is_none());
     }
 }

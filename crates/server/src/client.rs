@@ -484,6 +484,21 @@ impl<T: Transport> Client<T> {
         ))
     }
 
+    /// Append rows to the master repository; `(appended, master_rows,
+    /// regions_recertified)`. Cached regions are patched by delta
+    /// re-certification on the server.
+    pub fn master_append(
+        &mut self,
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<(u64, u64, u64), ClientError> {
+        let response = self.request(&Request::MasterAppend { tuples })?;
+        Ok((
+            get_u64(&response, "appended")?,
+            get_u64(&response, "master_rows")?,
+            get_u64(&response, "regions_recertified")?,
+        ))
+    }
+
     /// Service counters (raw JSON).
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
         self.request(&Request::Metrics)

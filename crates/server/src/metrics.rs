@@ -32,6 +32,9 @@ pub struct ServiceMetrics {
     audit_spilled_records: AtomicU64,
     snapshots_written: AtomicU64,
     rules_reloaded: AtomicU64,
+    master_appends: AtomicU64,
+    regions_recertified: AtomicU64,
+    regions_cache_patched: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -72,6 +75,14 @@ pub struct MetricsSnapshot {
     pub snapshots_written: u64,
     /// Successful `rules.reload` swaps.
     pub rules_reloaded: u64,
+    /// Successful `master.append` batches.
+    pub master_appends: u64,
+    /// Region candidates re-certified by master-delta rechecks (the
+    /// probed slice; reused verdicts are not counted).
+    pub regions_recertified: u64,
+    /// Cached region searches patched in place by delta re-certification
+    /// (instead of discarded and recomputed).
+    pub regions_cache_patched: u64,
 }
 
 impl ServiceMetrics {
@@ -95,6 +106,9 @@ impl ServiceMetrics {
             audit_spilled_records: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
             rules_reloaded: AtomicU64::new(0),
+            master_appends: AtomicU64::new(0),
+            regions_recertified: AtomicU64::new(0),
+            regions_cache_patched: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +177,18 @@ impl ServiceMetrics {
         self.rules_reloaded.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn master_append(&self) {
+        self.master_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn regions_recertified(&self, n: u64) {
+        self.regions_recertified.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn regions_cache_patched(&self) {
+        self.regions_cache_patched.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -183,6 +209,9 @@ impl ServiceMetrics {
             audit_spilled_records: self.audit_spilled_records.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             rules_reloaded: self.rules_reloaded.load(Ordering::Relaxed),
+            master_appends: self.master_appends.load(Ordering::Relaxed),
+            regions_recertified: self.regions_recertified.load(Ordering::Relaxed),
+            regions_cache_patched: self.regions_cache_patched.load(Ordering::Relaxed),
         }
     }
 }
@@ -214,6 +243,9 @@ mod tests {
         m.audit_spilled(5);
         m.snapshot_written();
         m.rules_reload();
+        m.master_append();
+        m.regions_recertified(6);
+        m.regions_cache_patched();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.errors, 1);
@@ -229,5 +261,8 @@ mod tests {
         assert_eq!(s.audit_spilled_records, 5);
         assert_eq!(s.snapshots_written, 1);
         assert_eq!(s.rules_reloaded, 1);
+        assert_eq!(s.master_appends, 1);
+        assert_eq!(s.regions_recertified, 6);
+        assert_eq!(s.regions_cache_patched, 1);
     }
 }

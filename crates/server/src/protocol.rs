@@ -15,8 +15,9 @@ use cerfix_relation::Value;
 
 /// Protocol revision, reported by `hello` and checked by clients.
 /// Version 2 added `audit.read`, `rules.reload` and the `stats` alias
-/// for `metrics`.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// for `metrics`; version 3 added `master.append` (append rows to the
+/// master repository with delta re-certification of cached regions).
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,13 @@ pub enum Request {
         /// Editing-rule DSL (same syntax as `--rules` files).
         rules: String,
     },
+    /// Append rows to the master repository. The engine recompiles
+    /// against the new generation and cached certain regions are patched
+    /// by delta re-certification. Journaled.
+    MasterAppend {
+        /// Rows to append, each in master-schema order.
+        tuples: Vec<Vec<Value>>,
+    },
     /// Service counters.
     Metrics,
     /// Ask the server process to stop accepting connections.
@@ -143,6 +151,7 @@ impl Request {
             Request::Check { .. } => "check",
             Request::AuditRead { .. } => "audit.read",
             Request::RulesReload { .. } => "rules.reload",
+            Request::MasterAppend { .. } => "master.append",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
@@ -234,6 +243,14 @@ impl Request {
                     .ok_or_else(|| WireError("`rules` must be a DSL string".into()))?
                     .to_string(),
             },
+            "master.append" => Request::MasterAppend {
+                tuples: need(&json, "tuples")?
+                    .as_arr()
+                    .ok_or_else(|| WireError("`tuples` must be an array".into()))?
+                    .iter()
+                    .map(|t| values_array(t, "tuples[i]"))
+                    .collect::<Result<Vec<_>, WireError>>()?,
+            },
             // `stats` is an alias kept for operational tooling symmetry.
             "metrics" | "stats" => Request::Metrics,
             "shutdown" => Request::Shutdown,
@@ -307,6 +324,17 @@ impl Request {
             Request::RulesReload { rules } => {
                 fields.push(("rules".into(), Json::str(rules.clone())));
             }
+            Request::MasterAppend { tuples } => {
+                fields.push((
+                    "tuples".into(),
+                    Json::Arr(
+                        tuples
+                            .iter()
+                            .map(|t| Json::Arr(t.iter().map(Json::from_value).collect()))
+                            .collect(),
+                    ),
+                ));
+            }
         }
         Json::Obj(fields)
     }
@@ -361,6 +389,9 @@ mod tests {
         round_trip(Request::RulesReload {
             rules: "er phi1: match zip=zip fix AC:=AC when ()".into(),
         });
+        round_trip(Request::MasterAppend {
+            tuples: vec![vec![Value::str("G12"), Value::Null], vec![Value::Int(3)]],
+        });
         round_trip(Request::Metrics);
         round_trip(Request::Shutdown);
     }
@@ -396,6 +427,9 @@ mod tests {
             r#"{"op":"audit.read","count":"all"}"#,
             r#"{"op":"rules.reload"}"#,
             r#"{"op":"rules.reload","rules":7}"#,
+            r#"{"op":"master.append"}"#,
+            r#"{"op":"master.append","tuples":"no"}"#,
+            r#"{"op":"master.append","tuples":[7]}"#,
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");

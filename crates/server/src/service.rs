@@ -42,9 +42,9 @@ use crate::protocol::{Request, PROTOCOL_VERSION};
 use crate::session::{SessionError, SessionManager};
 use crate::wire::Json;
 use cerfix::{
-    check_consistency, find_regions, AuditLog, AuditRecord, AuditSink, CellEvent, CompiledRules,
-    ConsistencyOptions, DataMonitor, FixpointReport, MasterData, MonitorSession, Region,
-    RegionFinderOptions, SessionStatus, WorkerPool,
+    check_consistency, recheck_regions, search_regions, AuditLog, AuditRecord, AuditSink,
+    CellEvent, CompiledRules, ConsistencyOptions, DataMonitor, FixpointReport, MasterData,
+    MonitorSession, Region, RegionFinderOptions, RegionSearch, SessionStatus, WorkerPool,
 };
 use cerfix_relation::{AttrSet, SchemaRef, Tuple, Value};
 use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
@@ -52,7 +52,7 @@ use cerfix_storage::{
     JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 /// Most audit records one `audit.read` returns when the client asks for
@@ -89,16 +89,25 @@ impl Default for ServiceConfig {
     }
 }
 
-/// The swappable per-ruleset execution state: what `rules.reload`
-/// replaces atomically while sessions stay live.
+/// The swappable execution state: what `rules.reload` and
+/// `master.append` replace atomically while sessions stay live. The
+/// master rides inside so every request observes a (rules, plan, master,
+/// regions) quadruple that is mutually consistent — a monitor never
+/// serves a plan compiled against a different master generation.
 struct EngineState {
     rules: Arc<RuleSet>,
+    /// The master repository this state was compiled against.
+    master: Arc<MasterData>,
     /// Compiled execution plan shared by every per-request monitor
     /// (masks + index snapshots resolved once per ruleset).
     plan: Arc<CompiledRules>,
     /// Pre-computed certain regions handed to every monitor (shared:
     /// each monitor construction is a refcount bump, not a deep clone).
     regions: Arc<[Region]>,
+    /// The full region search behind `regions` (None when region
+    /// pre-computation is disabled) — the state master-delta
+    /// re-certification patches.
+    search: Option<Arc<RegionSearch>>,
     fingerprint: u64,
 }
 
@@ -110,8 +119,15 @@ struct StorageBinding {
 }
 
 struct ServiceInner {
-    master: Arc<MasterData>,
     engine: RwLock<Arc<EngineState>>,
+    /// Serializes engine swaps (`rules.reload`, `master.append`): each
+    /// swap is read-modify-write over the current state, so two
+    /// concurrent swaps must not interleave (a lost master append would
+    /// silently drop rows).
+    swap_lock: Mutex<()>,
+    /// Master rows appended since boot, in order — snapshots carry them
+    /// so journal truncation cannot lose the append history.
+    master_appended: Mutex<Vec<Vec<Value>>>,
     /// The input schema never changes across reloads (rule sets are
     /// re-parsed against it), so it is cached here unguarded.
     input_schema: SchemaRef,
@@ -139,7 +155,7 @@ impl std::fmt::Debug for CleaningService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CleaningService")
             .field("rules", &self.engine().rules.len())
-            .field("master_rows", &self.inner.master.len())
+            .field("master_rows", &self.engine().master.len())
             .field("workers", &self.inner.pool.threads())
             .field("live_sessions", &self.inner.sessions.len())
             .field("journaled", &self.inner.storage.is_some())
@@ -184,11 +200,10 @@ impl CleaningService {
         config: ServiceConfig,
         storage: Option<Storage>,
     ) -> CleaningService {
-        master.warm_indexes(rules.iter().map(|(_, r)| r));
         let cache = AnalysisCache::new();
         let metrics = ServiceMetrics::new();
         let input_schema = rules.input_schema().clone();
-        let engine = compile_engine(&master, rules, &config, &cache, &metrics);
+        let engine = compile_engine(master, rules, &config, &cache, &metrics);
         let audit = match &storage {
             Some(storage) => Arc::new(AuditLog::with_sink(
                 storage.config().audit_window,
@@ -209,7 +224,8 @@ impl CleaningService {
                     storage,
                     gate: RwLock::new(()),
                 }),
-                master,
+                swap_lock: Mutex::new(()),
+                master_appended: Mutex::new(Vec::new()),
                 config,
                 shutdown: AtomicBool::new(false),
             }),
@@ -341,6 +357,12 @@ impl CleaningService {
             fingerprint: engine.fingerprint,
             rules_dsl: render_ruleset_dsl(&engine.rules),
             next_session_id: self.inner.sessions.next_id(),
+            master_appended: self
+                .inner
+                .master_appended
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
             sessions,
         };
         binding.storage.install_snapshot(&data)?;
@@ -366,6 +388,9 @@ impl CleaningService {
     fn recover(&self, recovered: RecoveredState) -> Result<(), String> {
         let schema = self.inner.input_schema.clone();
         if let Some(snapshot) = &recovered.snapshot {
+            if !snapshot.master_appended.is_empty() {
+                self.apply_master_rows(snapshot.master_appended.clone())?;
+            }
             let boot = self.engine();
             if snapshot.fingerprint != boot.fingerprint && !snapshot.rules_dsl.is_empty() {
                 let engine = self.compile_engine_from_dsl(&snapshot.rules_dsl)?;
@@ -407,7 +432,7 @@ impl CleaningService {
                     // audit log (see method docs).
                     let monitor = DataMonitor::from_plan(
                         &engine.rules,
-                        &self.inner.master,
+                        &engine.master,
                         Arc::clone(&engine.plan),
                     )
                     .with_shared_regions(Arc::clone(&engine.regions));
@@ -437,6 +462,9 @@ impl CleaningService {
                     }
                     *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
                 }
+                JournalEvent::MasterAppended { rows } => {
+                    self.apply_master_rows(rows.clone())?;
+                }
             }
         }
         let live = self.inner.sessions.len() as u64;
@@ -445,7 +473,8 @@ impl CleaningService {
     }
 
     /// Parse DSL against the service schemas and compile a full engine
-    /// state (plan + regions served from the analysis cache).
+    /// state (plan + regions served from the analysis cache) over the
+    /// current master.
     fn compile_engine_from_dsl(&self, dsl: &str) -> Result<Arc<EngineState>, String> {
         let boot = self.engine();
         let input = boot.rules.input_schema().clone();
@@ -465,7 +494,7 @@ impl CleaningService {
             }
         }
         Ok(compile_engine(
-            &self.inner.master,
+            Arc::clone(&boot.master),
             Arc::new(set),
             &self.inner.config,
             &self.inner.cache,
@@ -473,8 +502,29 @@ impl CleaningService {
         ))
     }
 
+    /// Apply appended master rows (recovery replay): copy-on-append the
+    /// current master, recompile, patch cached regions by delta
+    /// re-certification, and swap — the same deterministic path the live
+    /// `master.append` op takes, minus journaling.
+    fn apply_master_rows(&self, rows: Vec<Vec<Value>>) -> Result<(), String> {
+        let _swap = self
+            .inner
+            .swap_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let engine = self.engine();
+        let (next, _, _) = append_engine_master(&engine, rows.clone(), &self.inner)?;
+        *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = next;
+        self.inner
+            .master_appended
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(rows);
+        Ok(())
+    }
+
     fn monitor_for<'e>(&'e self, engine: &'e EngineState) -> DataMonitor<'e> {
-        DataMonitor::from_plan(&engine.rules, &self.inner.master, Arc::clone(&engine.plan))
+        DataMonitor::from_plan(&engine.rules, &engine.master, Arc::clone(&engine.plan))
             .with_shared_regions(Arc::clone(&engine.regions))
             .with_audit(Arc::clone(&self.inner.audit))
     }
@@ -511,6 +561,7 @@ impl CleaningService {
             Request::Check { mode } => self.check(mode.as_deref()),
             Request::AuditRead { start, count } => Ok(self.audit_read(*start, *count)),
             Request::RulesReload { rules } => self.rules_reload(rules),
+            Request::MasterAppend { tuples } => self.master_append(tuples),
             Request::Metrics => Ok(self.metrics_response()),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
@@ -537,7 +588,11 @@ impl CleaningService {
             ("workers", Json::Num(self.workers() as f64)),
             ("rules", Json::Num(engine.rules.len() as f64)),
             ("ruleset", Json::str(format!("{:016x}", engine.fingerprint))),
-            ("master_rows", Json::Num(self.inner.master.len() as f64)),
+            ("master_rows", Json::Num(engine.master.len() as f64)),
+            (
+                "master_generation",
+                Json::Num(engine.master.generation() as f64),
+            ),
             ("input_arity", Json::Num(self.input_schema().arity() as f64)),
             (
                 "storage",
@@ -876,24 +931,27 @@ impl CleaningService {
         let top_k = top_k.unwrap_or(self.inner.config.region_top_k);
         let inner = &self.inner;
         let engine = self.engine();
-        let (result, cached) =
-            inner
-                .cache
-                .regions(engine.fingerprint, top_k, &inner.metrics, || {
-                    // Materializing the truth universe copies every
-                    // master row — only pay that on a cache miss.
-                    let universe = universe_from_master(engine.rules.input_schema(), &inner.master);
-                    find_regions(
-                        &engine.rules,
-                        &inner.master,
-                        &universe,
-                        &RegionFinderOptions {
-                            top_k,
-                            ..Default::default()
-                        },
-                    )
-                });
+        // One full search per (ruleset, master generation) serves every
+        // top_k (the search retains the untruncated ranking); a master
+        // append re-keys the cache, so stale regions are unservable.
+        let (search, cached) = inner.cache.regions(
+            engine.fingerprint,
+            engine.master.generation(),
+            &inner.metrics,
+            || {
+                // Materializing the truth universe copies every master
+                // row — only pay that on a cache miss.
+                let universe = universe_from_master(engine.rules.input_schema(), &engine.master);
+                search_regions(
+                    &engine.rules,
+                    &engine.master,
+                    &universe,
+                    &region_options(&self.inner.config),
+                )
+            },
+        );
         let schema = self.input_schema();
+        let stats = &search.result.stats;
         Json::obj([
             ("ok", Json::Bool(true)),
             ("cached", Json::Bool(cached)),
@@ -901,9 +959,10 @@ impl CleaningService {
             (
                 "regions",
                 Json::Arr(
-                    result
-                        .regions
+                    search
+                        .ranked()
                         .iter()
+                        .take(top_k)
                         .map(|region| {
                             Json::obj([
                                 (
@@ -924,7 +983,17 @@ impl CleaningService {
                         .collect(),
                 ),
             ),
-            ("candidates", Json::Num(result.stats.candidates as f64)),
+            ("candidates", Json::Num(stats.candidates as f64)),
+            ("closure_probes", Json::Num(stats.closure_probes as f64)),
+            (
+                "certification_fixpoints",
+                Json::Num(stats.engine.fixpoint_runs as f64),
+            ),
+            ("recertified", Json::Num(stats.recertified as f64)),
+            (
+                "master_generation",
+                Json::Num(search.master_generation() as f64),
+            ),
         ])
     }
 
@@ -936,12 +1005,13 @@ impl CleaningService {
         };
         let inner = &self.inner;
         let engine = self.engine();
-        let (report, cached) =
-            inner
-                .cache
-                .consistency(engine.fingerprint, mode, &inner.metrics, || {
-                    check_consistency(&engine.rules, &inner.master, &options)
-                });
+        let (report, cached) = inner.cache.consistency(
+            engine.fingerprint,
+            engine.master.generation(),
+            mode,
+            &inner.metrics,
+            || check_consistency(&engine.rules, &engine.master, &options),
+        );
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("cached", Json::Bool(cached)),
@@ -984,8 +1054,16 @@ impl CleaningService {
     /// every journaled session event is on the correct side of the
     /// reload during replay.
     fn rules_reload(&self, dsl: &str) -> Result<Json, String> {
-        // Parse + compile outside any gate: this is the expensive part
-        // (plan compilation, optional region pre-computation).
+        // Serialize against other engine swaps (a concurrent
+        // master.append must not be overwritten by a state compiled over
+        // the old master), then parse + compile outside the storage gate:
+        // this is the expensive part (plan compilation, optional region
+        // pre-computation).
+        let _swap = self
+            .inner
+            .swap_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let engine = self.compile_engine_from_dsl(dsl)?;
         let (rules_len, fingerprint, regions_len) =
             (engine.rules.len(), engine.fingerprint, engine.regions.len());
@@ -1014,6 +1092,79 @@ impl CleaningService {
             ("rules", Json::Num(rules_len as f64)),
             ("ruleset", Json::str(format!("{fingerprint:016x}"))),
             ("regions", Json::Num(regions_len as f64)),
+        ]))
+    }
+
+    /// Append rows to the master repository: copy-on-append, recompile
+    /// against the new generation, patch cached regions by delta
+    /// re-certification, swap atomically, journal. Serialized with other
+    /// engine swaps; in-flight requests keep the consistent old state.
+    fn master_append(&self, tuples: &[Vec<Value>]) -> Result<Json, String> {
+        if tuples.is_empty() {
+            return Err("`tuples` must contain at least one row".into());
+        }
+        let swap = self
+            .inner
+            .swap_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let engine = self.engine();
+        let (next, appended, recertified) =
+            append_engine_master(&engine, tuples.to_vec(), &self.inner)?;
+        let (master_rows, generation) = (next.master.len(), next.master.generation());
+        let seq = match &self.inner.storage {
+            Some(binding) => {
+                let gate = binding.gate.write().unwrap_or_else(|e| e.into_inner());
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = next;
+                let seq = binding.storage.append(&JournalEvent::MasterAppended {
+                    rows: tuples.to_vec(),
+                });
+                // Still under the gate: a concurrent snapshot must see the
+                // rows (it truncates the journal epoch holding the event —
+                // extending afterwards would let a crash drop acked rows).
+                self.inner
+                    .master_appended
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(tuples.iter().cloned());
+                drop(gate);
+                Some(seq)
+            }
+            None => {
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = next;
+                self.inner
+                    .master_appended
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(tuples.iter().cloned());
+                None
+            }
+        };
+        // Prior-generation analyses are unreachable once the swap lands
+        // (the cache key embeds the generation): retire them so periodic
+        // appends cannot grow the cache without bound.
+        self.inner
+            .cache
+            .retire_generations(engine.fingerprint, generation);
+        drop(swap);
+        if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            binding.storage.sync(seq); // an append ack must survive restart
+        }
+        self.inner.metrics.master_append();
+        if let Some(n) = recertified {
+            self.inner.metrics.regions_recertified(n);
+            self.inner.metrics.regions_cache_patched();
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("appended", Json::Num(appended as f64)),
+            ("master_rows", Json::Num(master_rows as f64)),
+            ("generation", Json::Num(generation as f64)),
+            ("regions_patched", Json::Bool(recertified.is_some())),
+            (
+                "regions_recertified",
+                Json::Num(recertified.unwrap_or(0) as f64),
+            ),
         ]))
     }
 
@@ -1056,6 +1207,15 @@ impl CleaningService {
                 Json::Num(snapshot.audit_spilled_records as f64),
             ),
             ("rules_reloaded", Json::Num(snapshot.rules_reloaded as f64)),
+            ("master_appends", Json::Num(snapshot.master_appends as f64)),
+            (
+                "regions_recertified",
+                Json::Num(snapshot.regions_recertified as f64),
+            ),
+            (
+                "regions_cache_patched",
+                Json::Num(snapshot.regions_cache_patched as f64),
+            ),
             (
                 "storage",
                 Json::str(if self.is_journaled() {
@@ -1076,15 +1236,55 @@ impl CleaningService {
                 ),
             ]);
         }
+        // Search diagnostics of the active engine's region state, so
+        // operators can watch the incremental data phase (and delta
+        // re-certification after master appends) doing less work.
+        let engine = self.engine();
+        if let Some(search) = &engine.search {
+            let stats = &search.result.stats;
+            fields.push((
+                "region_search",
+                Json::obj([
+                    ("contexts", Json::Num(stats.contexts as f64)),
+                    ("candidates", Json::Num(stats.candidates as f64)),
+                    ("truth_profiles", Json::Num(stats.truth_profiles as f64)),
+                    ("closure_probes", Json::Num(stats.closure_probes as f64)),
+                    ("lattice_hits", Json::Num(stats.lattice_hits as f64)),
+                    (
+                        "certification_fixpoints",
+                        Json::Num(stats.engine.fixpoint_runs as f64),
+                    ),
+                    ("recertified", Json::Num(stats.recertified as f64)),
+                    (
+                        "candidates_reused",
+                        Json::Num(stats.candidates_reused as f64),
+                    ),
+                    (
+                        "master_generation",
+                        Json::Num(search.master_generation() as f64),
+                    ),
+                ]),
+            ));
+        }
         Json::obj(fields)
     }
 }
 
-/// Compile the full engine state for `rules`: plan and (optionally)
-/// pre-computed regions, both served from the analysis cache so a
-/// reload back to a previously-seen rule set is cheap.
+/// The region-search options a service runs with: its configured top-k
+/// and its worker count as the data-phase parallelism.
+fn region_options(config: &ServiceConfig) -> RegionFinderOptions {
+    RegionFinderOptions {
+        top_k: config.region_top_k,
+        threads: config.workers,
+        ..Default::default()
+    }
+}
+
+/// Compile the full engine state for `rules` over `master`: plan and
+/// (optionally) pre-computed regions, both served from the analysis
+/// cache so a reload back to a previously-seen rule set is cheap.
 fn compile_engine(
-    master: &Arc<MasterData>,
+    master: Arc<MasterData>,
     rules: Arc<RuleSet>,
     config: &ServiceConfig,
     cache: &AnalysisCache,
@@ -1093,31 +1293,117 @@ fn compile_engine(
     master.warm_indexes(rules.iter().map(|(_, r)| r));
     let fingerprint = ruleset_fingerprint(&rules);
     let (plan, _) = cache.plan(fingerprint, master.generation(), metrics, || {
-        CompiledRules::compile(&rules, master)
+        CompiledRules::compile(&rules, &master)
     });
-    let regions = if config.precompute_regions {
-        let universe = universe_from_master(rules.input_schema(), master);
-        let (result, _) = cache.regions(fingerprint, config.region_top_k, metrics, || {
-            find_regions(
-                &rules,
-                master,
-                &universe,
-                &RegionFinderOptions {
-                    top_k: config.region_top_k,
-                    ..Default::default()
-                },
-            )
+    let (regions, search) = if config.precompute_regions {
+        let (search, _) = cache.regions(fingerprint, master.generation(), metrics, || {
+            let universe = universe_from_master(rules.input_schema(), &master);
+            search_regions(&rules, &master, &universe, &region_options(config))
         });
-        result.regions.clone()
+        (search.top(config.region_top_k), Some(search))
     } else {
-        Vec::new()
+        (Vec::new(), None)
     };
     Arc::new(EngineState {
         regions: regions.into(),
+        search,
         fingerprint,
         plan,
         rules,
+        master,
     })
+}
+
+/// Copy-on-append `rows` onto `engine`'s master and compile the
+/// successor engine state. Cached regions for the old generation are
+/// patched by delta re-certification — only candidates whose entailed
+/// rules watch a touched index key (or whose context gained truths) are
+/// re-probed — and the patched search is installed under the new
+/// generation. Returns `(next state, rows appended, candidates
+/// re-certified)`.
+fn append_engine_master(
+    engine: &EngineState,
+    rows: Vec<Vec<Value>>,
+    inner: &ServiceInner,
+) -> Result<(Arc<EngineState>, usize, Option<u64>), String> {
+    let master_schema = engine.rules.master_schema().clone();
+    let tuples: Vec<Tuple> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, values)| {
+            if values.len() != master_schema.arity() {
+                return Err(format!(
+                    "row {i} has {} values but master schema `{}` has arity {}",
+                    values.len(),
+                    master_schema.name(),
+                    master_schema.arity()
+                ));
+            }
+            Tuple::new(master_schema.clone(), values).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    let appended = tuples.len();
+    let (new_master, _delta) = engine
+        .master
+        .append_copy(tuples)
+        .map_err(|e| e.to_string())?;
+    let new_master = Arc::new(new_master);
+    let (plan, _) = inner.cache.plan(
+        engine.fingerprint,
+        new_master.generation(),
+        &inner.metrics,
+        || CompiledRules::compile(&engine.rules, &new_master),
+    );
+    // Patch the cached region search instead of discarding it: the new
+    // universe extends the old one row-for-row, so the delta path
+    // re-certifies only what the appended keys can have changed.
+    let mut recertified = None;
+    // The prior search to patch: the engine's pre-computed one, or — with
+    // pre-computation off — whatever an earlier `regions` request cached
+    // for the outgoing generation.
+    let prior = engine.search.clone().or_else(|| {
+        inner
+            .cache
+            .cached_regions(engine.fingerprint, engine.master.generation())
+    });
+    let (regions, search) = match &prior {
+        Some(prior) => {
+            let universe = universe_from_master(engine.rules.input_schema(), &new_master);
+            let patched = recheck_regions(
+                &engine.rules,
+                &new_master,
+                &universe,
+                prior,
+                &region_options(&inner.config),
+            );
+            recertified = Some(patched.result.stats.recertified as u64);
+            let (search, _) = inner.cache.regions(
+                engine.fingerprint,
+                new_master.generation(),
+                &inner.metrics,
+                || patched,
+            );
+            let regions = if engine.search.is_some() {
+                search.top(inner.config.region_top_k)
+            } else {
+                Vec::new() // pre-computation off: monitors stay region-free
+            };
+            (regions, engine.search.is_some().then_some(search))
+        }
+        None => (Vec::new(), None),
+    };
+    Ok((
+        Arc::new(EngineState {
+            rules: Arc::clone(&engine.rules),
+            master: new_master,
+            plan,
+            regions: regions.into(),
+            search,
+            fingerprint: engine.fingerprint,
+        }),
+        appended,
+        recertified,
+    ))
 }
 
 /// Canonical DSL rendering of a whole rule set (journals and snapshots
@@ -1240,7 +1526,7 @@ fn clean_one(
         ));
     }
     let tuple = Tuple::new(schema.clone(), values).map_err(|e| e.to_string())?;
-    let monitor = DataMonitor::from_plan(&engine.rules, &inner.master, Arc::clone(&engine.plan))
+    let monitor = DataMonitor::from_plan(&engine.rules, &engine.master, Arc::clone(&engine.plan))
         .with_shared_regions(Arc::clone(&engine.regions))
         .with_audit(Arc::clone(&inner.audit));
     let mut session = monitor.start(audit_id, tuple);

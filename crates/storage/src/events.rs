@@ -55,6 +55,14 @@ pub enum JournalEvent {
         /// Fingerprint of the new rule set (sanity-checked on replay).
         fingerprint: u64,
     },
+    /// Rows were appended to the master repository. Recovery re-applies
+    /// them in order, so later session events replay against the master
+    /// state that was live when they happened.
+    MasterAppended {
+        /// The appended rows, in append order, each in master-schema
+        /// order.
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 impl JournalEvent {
@@ -67,6 +75,7 @@ impl JournalEvent {
             JournalEvent::SessionAborted { .. } => "session.aborted",
             JournalEvent::SessionsEvicted { .. } => "sessions.evicted",
             JournalEvent::RulesReloaded { .. } => "rules.reloaded",
+            JournalEvent::MasterAppended { .. } => "master.appended",
         }
     }
 
@@ -110,6 +119,13 @@ impl JournalEvent {
                 enc.put_u8(6);
                 enc.put_str(dsl);
                 enc.put_u64(*fingerprint);
+            }
+            JournalEvent::MasterAppended { rows } => {
+                enc.put_u8(7);
+                enc.put_u32(rows.len() as u32);
+                for row in rows {
+                    enc.put_values(row);
+                }
             }
         }
         enc.into_bytes()
@@ -158,6 +174,17 @@ impl JournalEvent {
                 dsl: dec.get_str()?,
                 fingerprint: dec.get_u64()?,
             },
+            7 => {
+                let n = dec.get_u32()? as usize;
+                if n > payload.len() {
+                    return Err(CodecError(format!("row count {n} exceeds payload")));
+                }
+                JournalEvent::MasterAppended {
+                    rows: (0..n)
+                        .map(|_| dec.get_values())
+                        .collect::<Result<Vec<_>, CodecError>>()?,
+                }
+            }
             tag => return Err(CodecError(format!("unknown journal event tag {tag}"))),
         };
         dec.finish()?;
@@ -222,6 +249,9 @@ pub struct SnapshotData {
     pub rules_dsl: String,
     /// The session-id allocator's next id.
     pub next_session_id: u64,
+    /// Master rows appended since boot (journaled appends survive the
+    /// journal truncation a snapshot performs by riding in it).
+    pub master_appended: Vec<Vec<Value>>,
     /// Every live (uncommitted) session.
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -234,6 +264,10 @@ impl SnapshotData {
         enc.put_u64(self.fingerprint);
         enc.put_str(&self.rules_dsl);
         enc.put_u64(self.next_session_id);
+        enc.put_u32(self.master_appended.len() as u32);
+        for row in &self.master_appended {
+            enc.put_values(row);
+        }
         enc.put_u32(self.sessions.len() as u32);
         for session in &self.sessions {
             session.encode_into(&mut enc);
@@ -248,6 +282,15 @@ impl SnapshotData {
         let fingerprint = dec.get_u64()?;
         let rules_dsl = dec.get_str()?;
         let next_session_id = dec.get_u64()?;
+        let n_rows = dec.get_u32()? as usize;
+        if n_rows > payload.len() {
+            return Err(CodecError(format!(
+                "master row count {n_rows} exceeds payload"
+            )));
+        }
+        let master_appended = (0..n_rows)
+            .map(|_| dec.get_values())
+            .collect::<Result<Vec<_>, CodecError>>()?;
         let n = dec.get_u32()? as usize;
         if n > payload.len() {
             return Err(CodecError(format!("session count {n} exceeds payload")));
@@ -261,6 +304,7 @@ impl SnapshotData {
             fingerprint,
             rules_dsl,
             next_session_id,
+            master_appended,
             sessions,
         })
     }
@@ -357,6 +401,13 @@ mod tests {
                 dsl: "er phi1: match zip=zip fix AC:=AC when ()".into(),
                 fingerprint: 0xFEED_FACE_CAFE_BEEF,
             },
+            JournalEvent::MasterAppended {
+                rows: vec![
+                    vec![Value::str("G12"), Value::str("0141")],
+                    vec![Value::Null, Value::Int(4)],
+                ],
+            },
+            JournalEvent::MasterAppended { rows: vec![] },
         ]
     }
 
@@ -389,6 +440,7 @@ mod tests {
             fingerprint: 77,
             rules_dsl: "er r: match a=a fix b:=b when ()".into(),
             next_session_id: 42,
+            master_appended: vec![vec![Value::str("G12"), Value::str("Gla")]],
             sessions: vec![
                 SessionSnapshot {
                     session: 7,

@@ -321,6 +321,7 @@ mod tests {
                     fingerprint: 0,
                     rules_dsl: String::new(),
                     next_session_id: 2,
+                    master_appended: vec![],
                     sessions: vec![],
                 })
                 .unwrap();
@@ -343,6 +344,7 @@ mod tests {
                 fingerprint: 0,
                 rules_dsl: String::new(),
                 next_session_id: 10,
+                master_appended: vec![],
                 sessions: vec![],
             },
         )

@@ -102,6 +102,7 @@ mod tests {
             fingerprint: 11,
             rules_dsl: "er r: match a=a fix b:=b when ()".into(),
             next_session_id: 5,
+            master_appended: vec![],
             sessions: vec![SessionSnapshot {
                 session: 1,
                 tuple_id: 1,

@@ -201,21 +201,32 @@ fn cmd_regions(args: &Args) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--top-k must be a number"))
         .transpose()?
         .unwrap_or(8);
+    let threads = args
+        .options
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| "--threads must be a number"))
+        .transpose()?
+        .unwrap_or(0); // 0 = one worker per core
     let result = find_regions(
         &rules,
         &master,
         &universe,
         &RegionFinderOptions {
             top_k,
+            threads,
             ..Default::default()
         },
     );
     println!(
-        "{} regions ({} candidates, {} rejected by certification, {} vacuous)",
+        "{} regions ({} candidates, {} rejected by certification, {} vacuous; \
+         {} truth profiles, {} closure probes, {} fixpoints)",
         result.regions.len(),
         result.stats.candidates,
         result.stats.rejected_by_certification,
-        result.stats.vacuous
+        result.stats.vacuous,
+        result.stats.truth_profiles,
+        result.stats.closure_probes,
+        result.stats.engine.fixpoint_runs
     );
     for (i, region) in result.regions.iter().enumerate() {
         println!("{}. {}", i + 1, region.render(&input));
@@ -495,6 +506,9 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
                     }
                     JournalEvent::SessionsEvicted { sessions } => {
                         println!("  [{i}] evict {sessions:?}")
+                    }
+                    JournalEvent::MasterAppended { rows } => {
+                        println!("  [{i}] master append ({} rows)", rows.len())
                     }
                     JournalEvent::RulesReloaded { fingerprint, dsl } => println!(
                         "  [{i}] rules reloaded → {fingerprint:016x} ({} DSL bytes)",

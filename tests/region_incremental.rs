@@ -1,0 +1,431 @@
+//! Incremental/parallel region certification must be a drop-in
+//! replacement for the from-scratch sequential search.
+//!
+//! Three layers of evidence:
+//!
+//! * **Property tests** — on fully randomized instances (random master,
+//!   rules, patterns, universes that mix master-derived truths with
+//!   adversarial foreign/corrupted ones — the latter exercise the
+//!   poisoned-truth fixpoint fallback), [`search_regions`] at 1 and at
+//!   N threads produces exactly the regions of the
+//!   [`find_regions_from_scratch`] oracle.
+//! * **Delta equivalence** — splitting the master into a base plus an
+//!   appended suffix, `search(base)` + [`recheck_regions`] equals a full
+//!   `search(full)` — same regions, same verdict counters.
+//! * **Deterministic work guards** — on the UK fixture the incremental
+//!   path runs strictly fewer certification fixpoints than the oracle,
+//!   and a master-append recheck probes a small fraction of what the
+//!   full re-search probes. Counts, not wall-clock: cannot flake.
+
+use cerfix::{
+    find_regions_from_scratch, recheck_regions, search_regions, MasterData, RegionFinderOptions,
+    RegionSearch, RegionSearchResult,
+};
+use cerfix_gen::uk;
+use cerfix_relation::{RelationBuilder, Schema, Tuple, Value};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ARITY: usize = 6;
+
+/// A random region-search instance. Universes mix (a) master-derived
+/// truths (the MDM assumption — mostly unpoisoned, exercising the
+/// lattice), (b) corrupted copies (often poisoned — exercising the
+/// fixpoint fallback), and (c) foreign tuples (rules stall).
+fn random_instance(seed: u64, n_master: usize) -> (RuleSet, Vec<Tuple>, Vec<Tuple>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..ARITY).map(|i| format!("a{i}")).collect();
+    let input = Schema::of_strings("in", names.iter().map(String::as_str)).unwrap();
+    let ms = Schema::of_strings("m", names.iter().map(String::as_str)).unwrap();
+
+    let val = |rng: &mut StdRng| format!("v{}", rng.gen_range(0..4u8));
+    let mut master_rows: Vec<Vec<String>> = Vec::new();
+    for _ in 0..n_master {
+        master_rows.push((0..ARITY).map(|_| val(&mut rng)).collect());
+    }
+
+    let n_rules = rng.gen_range(2..9usize);
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    for r in 0..n_rules {
+        let mut attrs: Vec<usize> = (0..ARITY).collect();
+        for i in (1..attrs.len()).rev() {
+            attrs.swap(i, rng.gen_range(0..=i));
+        }
+        let lhs_n = rng.gen_range(1..3usize);
+        let rhs_n = rng.gen_range(1..3usize);
+        let lhs: Vec<(usize, usize)> = attrs[..lhs_n].iter().map(|&a| (a, a)).collect();
+        let rhs: Vec<(usize, usize)> = attrs[lhs_n..lhs_n + rhs_n]
+            .iter()
+            .map(|&a| (a, a))
+            .collect();
+        let pattern = if rng.gen_bool(0.4) {
+            let gate = attrs[lhs_n + rhs_n];
+            if rng.gen_bool(0.5) {
+                PatternTuple::empty().with_eq(gate, Value::str(val(&mut rng)))
+            } else {
+                PatternTuple::empty().with_ne(gate, Value::str(val(&mut rng)))
+            }
+        } else {
+            PatternTuple::empty()
+        };
+        rules
+            .add(EditingRule::new(format!("r{r}"), &input, &ms, lhs, rhs, pattern).unwrap())
+            .unwrap();
+    }
+
+    let mut universe: Vec<Tuple> = Vec::new();
+    for row in &master_rows {
+        // Master-derived truth.
+        universe.push(Tuple::of_strings(input.clone(), row.iter().map(String::as_str)).unwrap());
+        // Corrupted copy: one cell flipped — frequently poisoned.
+        if rng.gen_bool(0.5) {
+            let mut corrupt = row.clone();
+            corrupt[rng.gen_range(0..ARITY)] = val(&mut rng);
+            universe.push(
+                Tuple::of_strings(input.clone(), corrupt.iter().map(String::as_str)).unwrap(),
+            );
+        }
+    }
+    // Foreign entities.
+    for _ in 0..rng.gen_range(0..3usize) {
+        universe.push(
+            Tuple::of_strings(
+                input.clone(),
+                (0..ARITY)
+                    .map(|_| format!("x{}", rng.gen_range(0..9u8)))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+    }
+
+    let master_tuples: Vec<Tuple> = master_rows
+        .iter()
+        .map(|row| Tuple::of_strings(ms.clone(), row.iter().map(String::as_str)).unwrap())
+        .collect();
+    (rules, master_tuples, universe)
+}
+
+fn master_of(rules: &RuleSet, tuples: &[Tuple]) -> MasterData {
+    let relation = RelationBuilder::new(rules.master_schema().clone())
+        .build()
+        .unwrap();
+    let mut md = MasterData::new(relation);
+    if !tuples.is_empty() {
+        md.append_rows(tuples.to_vec()).unwrap();
+    }
+    md
+}
+
+fn assert_same_regions(a: &RegionSearchResult, b: &RegionSearchResult, what: &str) {
+    assert_eq!(a.regions, b.regions, "{what}: regions differ");
+    assert_eq!(a.stats.candidates, b.stats.candidates, "{what}: candidates");
+    assert_eq!(
+        a.stats.rejected_by_certification, b.stats.rejected_by_certification,
+        "{what}: rejects"
+    );
+    assert_eq!(a.stats.vacuous, b.stats.vacuous, "{what}: vacuous");
+}
+
+fn options(threads: usize) -> RegionFinderOptions {
+    RegionFinderOptions {
+        top_k: 16,
+        threads,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Incremental (1 thread and 4 threads) equals the from-scratch
+    /// sequential oracle on randomized instances — same certified set,
+    /// same ranked regions, including poisoned/adversarial universes and
+    /// rule sets that disagree with master data.
+    #[test]
+    fn incremental_equals_from_scratch_oracle(seed in 0u64..100_000) {
+        let (rules, master_tuples, universe) = random_instance(seed, 6);
+        let master = master_of(&rules, &master_tuples);
+        let oracle = find_regions_from_scratch(&rules, &master, &universe, &options(1));
+        let seq = search_regions(&rules, &master, &universe, &options(1));
+        let par = search_regions(&rules, &master, &universe, &options(4));
+        assert_same_regions(&oracle, &seq.result, "sequential");
+        assert_same_regions(&oracle, &par.result, "parallel");
+    }
+
+    /// Master-append delta: `search(base)` + `recheck` equals a full
+    /// re-search on the appended master with the extended universe.
+    #[test]
+    fn recheck_equals_full_research(seed in 0u64..100_000, split in 1usize..6) {
+        let (rules, master_tuples, _) = random_instance(seed, 7);
+        let split = split.min(master_tuples.len().saturating_sub(1)).max(1);
+        let (base_rows, appended_rows) = master_tuples.split_at(split);
+
+        // Universe mirrors the server shape: one truth per master row,
+        // reinterpreted over the input schema, appended in row order.
+        let input = rules.input_schema().clone();
+        let truth_of = |t: &Tuple| {
+            Tuple::new(input.clone(), t.values().to_vec()).unwrap()
+        };
+        let base_universe: Vec<Tuple> = base_rows.iter().map(truth_of).collect();
+        let full_universe: Vec<Tuple> = master_tuples.iter().map(truth_of).collect();
+
+        let mut master = master_of(&rules, base_rows);
+        let prior = search_regions(&rules, &master, &base_universe, &options(2));
+        master.append_rows(appended_rows.to_vec()).unwrap();
+
+        let patched = recheck_regions(&rules, &master, &full_universe, &prior, &options(2));
+        let full = search_regions(&rules, &master, &full_universe, &options(2));
+        assert_same_regions(&full.result, &patched.result, "recheck");
+        prop_assert_eq!(patched.master_generation(), master.generation());
+        prop_assert_eq!(patched.universe_len(), full_universe.len());
+    }
+}
+
+fn uk_fixture() -> (RuleSet, MasterData, Vec<Tuple>) {
+    let mut rng = StdRng::seed_from_u64(20_26);
+    let scenario = uk::scenario(80, &mut rng);
+    let master = MasterData::new(scenario.master.clone());
+    (scenario.rules, master, scenario.universe)
+}
+
+/// The work guard of the tentpole: on the UK fixture the memoized
+/// lattice path certifies with strictly fewer fixpoint runs than the
+/// from-scratch oracle (which runs `universe × candidates` of them).
+#[test]
+fn uk_incremental_runs_strictly_fewer_fixpoints() {
+    let (rules, master, universe) = uk_fixture();
+    let oracle = find_regions_from_scratch(&rules, &master, &universe, &options(1));
+    let incremental = search_regions(&rules, &master, &universe, &options(1));
+    assert_same_regions(&oracle, &incremental.result, "uk");
+
+    let oracle_fixpoints = oracle.stats.engine.fixpoint_runs;
+    let incremental_fixpoints = incremental.result.stats.engine.fixpoint_runs;
+    assert!(
+        oracle_fixpoints > universe.len(),
+        "oracle must simulate universe × candidates processes, got {oracle_fixpoints}"
+    );
+    assert!(
+        incremental_fixpoints < oracle_fixpoints,
+        "incremental {incremental_fixpoints} vs oracle {oracle_fixpoints} fixpoints"
+    );
+    assert_eq!(
+        incremental_fixpoints, 0,
+        "the UK universe is master-derived: no truth is poisoned, every \
+         probe is a closure"
+    );
+    let stats = &incremental.result.stats;
+    assert!(stats.closure_probes > 0);
+    assert!(stats.lattice_hits > 0, "sibling covers must share prefixes");
+    assert_eq!(stats.truth_profiles, universe.len());
+    // Profiles cost one lookup per rule per truth; the oracle pays per
+    // candidate per truth per firing.
+    assert!(
+        stats.engine.master_lookups <= oracle.stats.engine.master_lookups,
+        "incremental may not look up more than the oracle"
+    );
+}
+
+/// Parallelism is work-stealing but the merge is order-stable: results
+/// are identical at every thread count.
+#[test]
+fn uk_parallel_is_deterministic() {
+    let (rules, master, universe) = uk_fixture();
+    let reference = search_regions(&rules, &master, &universe, &options(1));
+    for threads in [2, 3, 8] {
+        let parallel = search_regions(&rules, &master, &universe, &options(threads));
+        assert_same_regions(&reference.result, &parallel.result, "threads");
+    }
+}
+
+/// Probe accounting for a recheck: appending one master entity
+/// re-certifies only what the new keys touch — an order of magnitude
+/// fewer probes than the full re-search, deterministically.
+#[test]
+fn uk_master_append_recheck_is_cheap() {
+    let (rules, mut master, mut universe) = uk_fixture();
+    let prior = search_regions(&rules, &master, &universe, &options(1));
+    assert!(!prior.result.regions.is_empty());
+
+    // A brand-new entity: fresh zip/phone keys.
+    let ms = master.schema().clone();
+    let new_row = Tuple::of_strings(
+        ms,
+        [
+            "Zoe",
+            "Quinn",
+            "0161",
+            "5550001",
+            "077999888",
+            "9 Void St",
+            "Mcr",
+            "M1 1AA",
+            "01/01/90",
+            "F",
+        ],
+    )
+    .unwrap();
+    let delta = master.append_rows(vec![new_row.clone()]).unwrap();
+    assert_eq!(delta.appended, 1);
+    assert!(
+        delta.touched_keys.iter().all(|(_, keys)| keys.len() <= 1),
+        "one row touches at most one key per index"
+    );
+    let input = rules.input_schema().clone();
+    universe.push(
+        Tuple::of_strings(
+            input.clone(),
+            [
+                "Zoe",
+                "Quinn",
+                "0161",
+                "5550001",
+                "1",
+                "9 Void St",
+                "Mcr",
+                "M1 1AA",
+                "CD",
+            ],
+        )
+        .unwrap(),
+    );
+    universe.push(
+        Tuple::of_strings(
+            input,
+            [
+                "Zoe",
+                "Quinn",
+                "0161",
+                "077999888",
+                "2",
+                "9 Void St",
+                "Mcr",
+                "M1 1AA",
+                "DVD",
+            ],
+        )
+        .unwrap(),
+    );
+
+    let patched = recheck_regions(&rules, &master, &universe, &prior, &options(1));
+    let full = search_regions(&rules, &master, &universe, &options(1));
+    assert_same_regions(&full.result, &patched.result, "uk recheck");
+
+    // Total certification work: per-truth rule profiles (the master
+    // lookups), lattice closures, and fallback fixpoints.
+    let probes = |search: &RegionSearch| {
+        let stats = &search.result.stats;
+        stats.truth_profiles + stats.closure_probes + stats.engine.fixpoint_runs
+    };
+    let (delta_probes, full_probes) = (probes(&patched), probes(&full));
+    assert!(
+        full_probes >= 10 * delta_probes.max(1),
+        "delta recheck must probe ≥10× less: {delta_probes} vs {full_probes}"
+    );
+    assert!(
+        patched.result.stats.candidates_reused > 0,
+        "untouched candidates must be reused"
+    );
+    // The from-scratch oracle would have re-run every fixpoint; the
+    // delta path runs none on this unpoisoned fixture.
+    let oracle_full = find_regions_from_scratch(&rules, &master, &universe, &options(1));
+    assert!(
+        oracle_full.stats.engine.fixpoint_runs
+            >= 10 * patched.result.stats.engine.fixpoint_runs.max(1),
+        "≥10× fewer certification fixpoints than a full from-scratch re-search"
+    );
+}
+
+/// Appends that poison existing keys (a second, disagreeing row) must
+/// flow through the recheck and reject the affected regions, exactly as
+/// a full re-search would.
+#[test]
+fn uk_master_append_ambiguity_propagates() {
+    let (rules, mut master, universe) = uk_fixture();
+    let prior = search_regions(&rules, &master, &universe, &options(1));
+    assert!(!prior.result.regions.is_empty());
+
+    // Duplicate the first master entity's zip with a different street:
+    // {zip,...} regions covering that entity must now fail.
+    let first = master.tuple(0).unwrap().clone();
+    let ms = rules.master_schema().clone();
+    let zip = ms.attr_id("zip").unwrap();
+    let street = ms.attr_id("str").unwrap();
+    let mut ambiguous = first.clone();
+    ambiguous
+        .set(street, Value::str("666 Conflict Ave"))
+        .unwrap();
+    ambiguous
+        .set(ms.attr_id("Hphn").unwrap(), Value::str("1112223"))
+        .unwrap();
+    assert_eq!(ambiguous.get(zip), first.get(zip), "same zip, new street");
+    master.append_rows(vec![ambiguous]).unwrap();
+
+    // Universe unchanged: the appended row is a duplicate (dirty) entity,
+    // not a new truth.
+    let patched = recheck_regions(&rules, &master, &universe, &prior, &options(1));
+    let full = search_regions(&rules, &master, &universe, &options(1));
+    assert_same_regions(&full.result, &patched.result, "ambiguous recheck");
+    assert!(
+        patched.result.stats.recertified > 0,
+        "touched-key candidates must be re-probed"
+    );
+    assert_ne!(
+        patched.result.regions, prior.result.regions,
+        "the introduced ambiguity must change the certified regions"
+    );
+}
+
+/// The Explorer façade: master appends patch its cached regions in
+/// place via the retained search.
+#[test]
+fn explorer_append_master_patches_regions() {
+    let (rules, master, mut universe) = uk_fixture();
+    let mut explorer = cerfix::Explorer::new(rules, master);
+    let before = explorer.recompute_regions(&universe, &options(1));
+    assert!(!before.regions.is_empty());
+
+    let ms = explorer.master().schema().clone();
+    let row = Tuple::of_strings(
+        ms,
+        [
+            "Ada",
+            "Byron",
+            "01223",
+            "3332221",
+            "078123456",
+            "1 Abbey Rd",
+            "Cam",
+            "CB2 1TN",
+            "10/12/15",
+            "F",
+        ],
+    )
+    .unwrap();
+    let input = explorer.rules().input_schema().clone();
+    universe.push(
+        Tuple::of_strings(
+            input,
+            [
+                "Ada",
+                "Byron",
+                "01223",
+                "3332221",
+                "1",
+                "1 Abbey Rd",
+                "Cam",
+                "CB2 1TN",
+                "CD",
+            ],
+        )
+        .unwrap(),
+    );
+    let delta = explorer
+        .append_master(vec![row], &universe, &options(1))
+        .unwrap();
+    assert_eq!(delta.appended, 1);
+    let full = search_regions(explorer.rules(), explorer.master(), &universe, &options(1));
+    assert_eq!(explorer.regions(), &full.result.regions[..]);
+}
