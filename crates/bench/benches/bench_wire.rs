@@ -1,0 +1,747 @@
+//! Serving-path benchmark: the epoll readiness loop vs the
+//! thread-per-connection front end, plus the zero-allocation wire
+//! codec's counters.
+//!
+//! Three jobs in one harness (same shape as `bench_fixpoint`):
+//!
+//! 1. **Allocation probe** — a counting global allocator measures
+//!    allocations per request through the full
+//!    `handle_line_into` parse → execute → render path on a warmed
+//!    in-process service. The hot `session.get` path must be exactly
+//!    zero steady-state allocations; `session.fix` / `session.validate`
+//!    carry tight constant bounds (the correcting-process key buffer
+//!    and the validated value's `Arc<str>`). These are deterministic —
+//!    CI fails on any regression regardless of machine speed.
+//! 2. **Pipelined throughput** — M connections each write windows of
+//!    requests before reading a response (validate/fix/get mix, plus a
+//!    batch-`clean` arm through the reactor's worker-pool dispatch),
+//!    against both front ends. Requests/sec lands in
+//!    `BENCH_server.json`; response counts and service request counters
+//!    are asserted exactly.
+//! 3. **Closed-loop latency** — W=1 round trips, p50/p99 per front end.
+
+use cerfix_relation::{RelationBuilder, Schema};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+use cerfix_server::{
+    CleaningService, Frontend, RequestScratch, Server, ServerHandle, ServiceConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Counting allocator: the "allocs per request" probe.
+// ---------------------------------------------------------------------
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// The only unsafe in the benches: forwarding to the system allocator
+// with a counter bump. `unsafe impl` is required by the trait.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("CERFIX_BENCH_FAST").is_some()
+}
+
+// ---------------------------------------------------------------------
+// Fixture: a key→value lookup service. Per-op service work is a couple
+// of index probes, so the serving path dominates — the thing this
+// bench measures.
+// ---------------------------------------------------------------------
+
+fn kv_service(rows: usize) -> CleaningService {
+    let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
+    let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
+    let mut builder = RelationBuilder::new(ms.clone());
+    for i in 0..rows {
+        builder = builder.row_strs([format!("k{i}"), format!("v{i}")]);
+    }
+    let master = cerfix::MasterData::new(builder.build().unwrap());
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    rules
+        .add(
+            EditingRule::new(
+                "kv",
+                &input,
+                &ms,
+                vec![(0, 0)],
+                vec![(1, 1)],
+                PatternTuple::empty(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    CleaningService::new(
+        Arc::new(master),
+        Arc::new(rules),
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(2, usize::from),
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// 1. Allocation probe (in-process, warmed, deterministic).
+// ---------------------------------------------------------------------
+
+struct AllocReport {
+    get: u64,
+    fix: u64,
+    validate: u64,
+}
+
+fn alloc_probe() -> AllocReport {
+    let service = kv_service(64);
+    let mut out = String::new();
+    let mut scratch = RequestScratch::default();
+    // One session, driven to completion: the steady-state shape.
+    service.handle_line(r#"{"op":"session.create","tuple":["k3","WRONG","n"]}"#);
+    let done = service.handle_line(
+        r#"{"op":"session.validate","session":1,"validations":{"key":"k3","note":"n"}}"#,
+    );
+    assert!(done.contains("\"complete\""), "fixture session completes");
+
+    const WARM: u64 = 256;
+    const MEASURE: u64 = 4096;
+    // A handful of one-time lazy growths elsewhere in the process may
+    // land inside the window; steady-state regressions cost ≥ MEASURE.
+    const STRAY_SLACK: u64 = 16;
+    let mut measure = |line: &str| -> u64 {
+        for _ in 0..WARM {
+            out.clear();
+            service.handle_line_into(line, &mut out, &mut scratch);
+        }
+        let before = allocs();
+        for _ in 0..MEASURE {
+            out.clear();
+            service.handle_line_into(line, &mut out, &mut scratch);
+        }
+        let spent = allocs() - before;
+        assert!(out.contains("\"ok\":true"), "probe op must succeed: {out}");
+        spent
+    };
+
+    let get_total = measure(r#"{"op":"session.get","session":1,"id":9}"#);
+    let fix_total = measure(r#"{"op":"session.fix","session":1}"#);
+    let validate_total =
+        measure(r#"{"op":"session.validate","session":1,"validations":{"key":"k3"}}"#);
+    let per = |total: u64| (total as f64 / MEASURE as f64).round() as u64;
+    let (get, fix, validate) = (per(get_total), per(fix_total), per(validate_total));
+
+    // The deterministic guards CI enforces: the warmed parse/render
+    // path allocates nothing for `session.get`; fix/validate are
+    // bounded by the correcting process's key buffer and the validated
+    // value's `Arc<str>`.
+    assert!(
+        get_total <= STRAY_SLACK,
+        "session.get allocated {get_total}× over {MEASURE} warmed requests (must be 0 steady-state)"
+    );
+    assert!(
+        fix_total <= 2 * MEASURE + STRAY_SLACK,
+        "session.fix regressed to {fix_total} allocs over {MEASURE} requests"
+    );
+    assert!(
+        validate_total <= 4 * MEASURE + STRAY_SLACK,
+        "session.validate regressed to {validate_total} allocs over {MEASURE} requests"
+    );
+
+    // Request counters are exact (another machine-independent guard).
+    let expected = 2 + 3 * (WARM + MEASURE);
+    let requests = service.metrics().requests;
+    assert_eq!(requests, expected, "request counter drifted");
+
+    AllocReport { get, fix, validate }
+}
+
+// ---------------------------------------------------------------------
+// 2 + 3. Wire throughput / latency through real sockets.
+// ---------------------------------------------------------------------
+
+/// The serving-path variants under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    /// The pre-reactor baseline (see [`BaselineServer`]).
+    Seed,
+    /// This PR's thread-per-connection front end (in-place line
+    /// splitting, zero-alloc hot path, prompt shutdown).
+    Threads,
+    /// The epoll readiness loop.
+    Epoll,
+}
+
+impl Arm {
+    fn name(&self) -> &'static str {
+        match self {
+            Arm::Seed => "threads_seed_baseline",
+            Arm::Threads => "threads",
+            Arm::Epoll => "epoll",
+        }
+    }
+}
+
+enum RunningServer {
+    Managed(ServerHandle),
+    Baseline(BaselineServer),
+}
+
+impl RunningServer {
+    fn spawn(arm: Arm) -> RunningServer {
+        match arm {
+            Arm::Seed => RunningServer::Baseline(BaselineServer::spawn()),
+            Arm::Threads => RunningServer::Managed(spawn_server(Frontend::Threads).0),
+            Arm::Epoll => RunningServer::Managed(spawn_server(Frontend::Epoll).0),
+        }
+    }
+
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            RunningServer::Managed(handle) => handle.addr(),
+            RunningServer::Baseline(server) => server.addr,
+        }
+    }
+
+    fn service(&self) -> CleaningService {
+        match self {
+            RunningServer::Managed(handle) => handle.service().clone(),
+            RunningServer::Baseline(server) => server.service.clone(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            RunningServer::Managed(handle) => handle.shutdown().expect("shutdown"),
+            RunningServer::Baseline(server) => server.shutdown(),
+        }
+    }
+}
+
+fn spawn_server(frontend: Frontend) -> (ServerHandle, CleaningService) {
+    let service = kv_service(512);
+    let handle =
+        Server::spawn_with("127.0.0.1:0", service.clone(), frontend).expect("bind ephemeral");
+    (handle, service)
+}
+
+// ---------------------------------------------------------------------
+// Seed baseline: the pre-reactor serving path, replicated verbatim as
+// an ablation arm. One thread per connection parked on a 200 ms read
+// timeout, a 25 ms sleep-poll accept loop, `drain(..).collect()` per
+// line, tree parse + tree render + a fresh `String` per response, one
+// write per response. This is what "thread-per-connection baseline"
+// means in BENCH_server.json.
+// ---------------------------------------------------------------------
+
+struct BaselineServer {
+    addr: std::net::SocketAddr,
+    service: CleaningService,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BaselineServer {
+    fn spawn() -> BaselineServer {
+        use std::sync::atomic::AtomicBool;
+        let service = kv_service(512);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let accept_service = service.clone();
+        let thread = std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            let live = Arc::new(AtomicBool::new(true));
+            let mut conns = Vec::new();
+            while !accept_service.shutdown_requested() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let service = accept_service.clone();
+                        let live = Arc::clone(&live);
+                        conns.push(std::thread::spawn(move || {
+                            baseline_connection(stream, &service, &live)
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                    }
+                    Err(_) => break,
+                }
+            }
+            live.store(false, Ordering::Release);
+            for conn in conns {
+                let _ = conn.join();
+            }
+        });
+        BaselineServer {
+            addr,
+            service,
+            thread: Some(thread),
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.service
+            .handle(&cerfix_server::Request::parse_line(r#"{"op":"shutdown"}"#).unwrap());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn baseline_connection(
+    mut stream: TcpStream,
+    service: &CleaningService,
+    live: &std::sync::atomic::AtomicBool,
+) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while live.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                    let Ok(line) = std::str::from_utf8(&line_bytes) else {
+                        continue;
+                    };
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    // The seed wire path: tree parse, typed dispatch,
+                    // tree render into a fresh String.
+                    let response = match cerfix_server::Request::parse_line(trimmed) {
+                        Ok(request) => service.handle(&request),
+                        Err(_) => continue,
+                    };
+                    let mut rendered = response.render();
+                    rendered.push('\n');
+                    if writer.write_all(rendered.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Read raw bytes until `lines` newlines were seen. The bench client
+/// must be as cheap as possible — on a small box it shares cores with
+/// the server, and per-line `String` reads would measure the client,
+/// not the front end.
+fn read_lines_raw(stream: &mut TcpStream, buf: &mut [u8], mut lines: usize) {
+    while lines > 0 {
+        let n = stream.read(buf).expect("read responses");
+        assert!(n > 0, "server hung up");
+        lines = lines.saturating_sub(buf[..n].iter().filter(|&&b| b == b'\n').count());
+    }
+}
+
+/// One multiplexed bench connection: a pre-rendered window burst, the
+/// write cursor into the current round, and how many responses remain.
+struct MuxConn {
+    stream: TcpStream,
+    burst: Vec<u8>,
+    write_pos: usize,
+    rounds_left: usize,
+    outstanding: usize,
+}
+
+/// Aggregate pipelined requests/sec over `conns` concurrent
+/// connections, driven by ONE nonblocking client loop.
+///
+/// One client thread multiplexes every connection (round-robin write /
+/// drain sweeps over nonblocking sockets). A thread-per-connection
+/// bench client would oversubscribe the box and measure its own
+/// scheduler churn; a single multiplexing driver applies the same
+/// pipelining pressure to both front ends and leaves the server
+/// architecture as the only variable.
+fn pipelined_throughput(arm: Arm, conns: usize, window: usize, rounds: usize) -> f64 {
+    let server = RunningServer::spawn(arm);
+    let service = server.service();
+    let addr = server.addr();
+    let mut muxed: Vec<MuxConn> = (0..conns)
+        .map(|conn_idx| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            // Dedicated session per connection, created while the
+            // socket is still blocking.
+            let key = format!("k{}", conn_idx % 512);
+            stream
+                .write_all(
+                    format!("{{\"op\":\"session.create\",\"tuple\":[\"{key}\",\"WRONG\",\"n\"]}}\n")
+                        .as_bytes(),
+                )
+                .unwrap();
+            let mut line = String::new();
+            BufReader::new(stream.try_clone().unwrap())
+                .read_line(&mut line)
+                .expect("create response");
+            let session: u64 = line
+                .split("\"session\":")
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|s| s.parse().ok())
+                .expect("session id");
+            // validate / fix / get mix, pipelined.
+            let mut burst = String::new();
+            for i in 0..window {
+                match i % 3 {
+                    0 => burst.push_str(&format!(
+                        "{{\"op\":\"session.validate\",\"session\":{session},\"validations\":{{\"key\":\"{key}\"}},\"id\":{i}}}\n"
+                    )),
+                    1 => burst.push_str(&format!(
+                        "{{\"op\":\"session.fix\",\"session\":{session},\"id\":{i}}}\n"
+                    )),
+                    _ => burst.push_str(&format!(
+                        "{{\"op\":\"session.get\",\"session\":{session},\"id\":{i}}}\n"
+                    )),
+                }
+            }
+            stream.set_nonblocking(true).unwrap();
+            MuxConn {
+                stream,
+                burst: burst.into_bytes(),
+                write_pos: 0,
+                rounds_left: rounds - 1,
+                outstanding: window,
+            }
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut buf = [0u8; 64 * 1024];
+    let mut active = conns;
+    while active > 0 {
+        let mut progress = false;
+        for conn in &mut muxed {
+            if conn.outstanding == 0 && conn.write_pos == conn.burst.len() {
+                continue; // finished
+            }
+            // Write the rest of the current burst.
+            while conn.write_pos < conn.burst.len() {
+                match conn.stream.write(&conn.burst[conn.write_pos..]) {
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("bench client write: {e}"),
+                }
+            }
+            // Drain responses.
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => panic!("server hung up"),
+                    Ok(n) => {
+                        conn.outstanding -= buf[..n].iter().filter(|&&b| b == b'\n').count();
+                        progress = true;
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("bench client read: {e}"),
+                }
+            }
+            if conn.outstanding == 0 && conn.write_pos == conn.burst.len() {
+                if conn.rounds_left > 0 {
+                    conn.rounds_left -= 1;
+                    conn.write_pos = 0;
+                    conn.outstanding = window;
+                } else {
+                    active -= 1;
+                }
+            }
+        }
+        // Hand the core to the server between sweeps.
+        std::thread::yield_now();
+        if !progress {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+    let elapsed = started.elapsed();
+    // The timed window covers the pipelined traffic; session creation
+    // happened before the clock started.
+    let timed = conns * window * rounds;
+    // Exact-count guard: every request got exactly one response line and
+    // the server agrees on how many were made.
+    assert_eq!(service.metrics().requests, (timed + conns) as u64);
+    assert_eq!(service.metrics().errors, 0);
+    drop(muxed);
+    server.shutdown();
+    timed as f64 / elapsed.as_secs_f64()
+}
+
+/// Batch-`clean` throughput: pipelined heavy ops through the reactor's
+/// worker-pool dispatch (tuples/sec).
+fn clean_throughput(arm: Arm, conns: usize, batches: usize, batch: usize) -> f64 {
+    let server = RunningServer::spawn(arm);
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let mut joins = Vec::new();
+    for conn_idx in 0..conns {
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            let mut tuples = String::new();
+            for i in 0..batch {
+                if i > 0 {
+                    tuples.push(',');
+                }
+                tuples.push_str(&format!(
+                    "[\"k{}\",\"x\",\"n\"]",
+                    (conn_idx * batch + i) % 512
+                ));
+            }
+            let line = format!(
+                "{{\"op\":\"clean\",\"tuples\":[{tuples}],\"trust\":[\"key\",\"note\"]}}\n"
+            );
+            barrier.wait();
+            let mut buf = [0u8; 64 * 1024];
+            for _ in 0..batches {
+                stream.write_all(line.as_bytes()).expect("write clean");
+                read_lines_raw(&mut stream, &mut buf, 1);
+            }
+        }));
+    }
+    let started = Instant::now();
+    barrier.wait();
+    for join in joins {
+        join.join().expect("client");
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+    (conns * batches * batch) as f64 / elapsed.as_secs_f64()
+}
+
+/// Closed-loop (window = 1) latency distribution, microseconds.
+fn closed_loop_latency(arm: Arm, conns: usize, per_conn: usize) -> (f64, f64) {
+    let server = RunningServer::spawn(arm);
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let mut joins = Vec::new();
+    for conn_idx in 0..conns {
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            writer
+                .write_all(
+                    format!(
+                        "{{\"op\":\"session.create\",\"tuple\":[\"k{conn_idx}\",\"WRONG\",\"n\"]}}\n"
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            reader.read_line(&mut line).expect("create");
+            let session: u64 = line
+                .split("\"session\":")
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|s| s.parse().ok())
+                .expect("session id");
+            let request = format!("{{\"op\":\"session.get\",\"session\":{session}}}\n");
+            barrier.wait();
+            let mut rtts = Vec::with_capacity(per_conn);
+            for _ in 0..per_conn {
+                let started = Instant::now();
+                writer.write_all(request.as_bytes()).expect("write");
+                line.clear();
+                reader.read_line(&mut line).expect("read");
+                rtts.push(started.elapsed().as_nanos() as u64);
+            }
+            rtts
+        }));
+    }
+    barrier.wait();
+    let mut rtts: Vec<u64> = joins
+        .into_iter()
+        .flat_map(|j| j.join().expect("client"))
+        .collect();
+    server.shutdown();
+    rtts.sort_unstable();
+    let pct = |p: f64| rtts[((rtts.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    (pct(0.50), pct(0.99))
+}
+
+// ---------------------------------------------------------------------
+// Harness + BENCH_server.json.
+// ---------------------------------------------------------------------
+
+struct ThroughputCell {
+    arm: &'static str,
+    conns: usize,
+    reqs_per_sec: f64,
+    clean_tuples_per_sec: f64,
+}
+
+const ARMS: [Arm; 3] = [Arm::Seed, Arm::Threads, Arm::Epoll];
+
+fn bench_wire_suite(_c: &mut Criterion) {
+    println!("\n== serving path: epoll reactor vs thread-per-connection ==");
+    let report = alloc_probe();
+    println!(
+        "allocs/request (warmed, memory mode): session.get {}  session.fix {}  session.validate {}",
+        report.get, report.fix, report.validate
+    );
+
+    let (window, rounds, conn_set): (usize, usize, &[usize]) = if fast_mode() {
+        (64, 4, &[8, 64])
+    } else {
+        (64, 12, &[8, 64, 256])
+    };
+    let clean_batches = if fast_mode() { 4 } else { 12 };
+
+    let mut cells: Vec<ThroughputCell> = Vec::new();
+    for &conns in conn_set {
+        for arm in ARMS {
+            let reqs = pipelined_throughput(arm, conns, window, rounds);
+            let clean = clean_throughput(arm, conns.min(32), clean_batches, 16);
+            println!(
+                "{:>21}, {conns:>4} conns: {:>9.0} pipelined req/s, {:>9.0} clean tuples/s",
+                arm.name(),
+                reqs,
+                clean
+            );
+            cells.push(ThroughputCell {
+                arm: arm.name(),
+                conns,
+                reqs_per_sec: reqs,
+                clean_tuples_per_sec: clean,
+            });
+        }
+    }
+    let speedup_at = |conns: usize, baseline: &str| -> Option<f64> {
+        let get = |arm: &str| {
+            cells
+                .iter()
+                .find(|c| c.arm == arm && c.conns == conns)
+                .map(|c| c.reqs_per_sec)
+        };
+        Some(get("epoll")? / get(baseline)?)
+    };
+    // Headline at the acceptance point (64 connections). Note the 256-
+    // connection rows in the JSON: the seed baseline *recovers* there
+    // (its per-response Nagle stalls overlap across more connections)
+    // while the reactor stays flat.
+    let headline_conns = 64;
+    let vs_seed = speedup_at(headline_conns, "threads_seed_baseline").unwrap_or(1.0);
+    let vs_threads = speedup_at(headline_conns, "threads").unwrap_or(1.0);
+    println!(
+        "epoll speedup at {headline_conns} conns: {vs_seed:.2}x vs seed baseline, {vs_threads:.2}x vs improved threads"
+    );
+
+    let latency_conns = 8;
+    let per_conn = if fast_mode() { 200 } else { 1000 };
+    let (s_p50, s_p99) = closed_loop_latency(Arm::Seed, latency_conns, per_conn);
+    let (t_p50, t_p99) = closed_loop_latency(Arm::Threads, latency_conns, per_conn);
+    let (e_p50, e_p99) = closed_loop_latency(Arm::Epoll, latency_conns, per_conn);
+    println!(
+        "closed-loop latency (8 conns): seed p50 {s_p50:.0}µs p99 {s_p99:.0}µs | threads p50 {t_p50:.0}µs p99 {t_p99:.0}µs | epoll p50 {e_p50:.0}µs p99 {e_p99:.0}µs"
+    );
+
+    write_json(
+        &cells,
+        headline_conns,
+        vs_seed,
+        vs_threads,
+        [
+            ("threads_seed_baseline", s_p50, s_p99),
+            ("threads", t_p50, t_p99),
+            ("epoll", e_p50, e_p99),
+        ],
+        &report,
+    );
+}
+
+fn write_json(
+    cells: &[ThroughputCell],
+    headline_conns: usize,
+    vs_seed: f64,
+    vs_threads: f64,
+    latency: [(&str, f64, f64); 3],
+    alloc: &AllocReport,
+) {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"connections\": {}, \"pipelined_reqs_per_sec\": {:.0}, \"clean_tuples_per_sec\": {:.0}}}",
+            c.arm, c.conns, c.reqs_per_sec, c.clean_tuples_per_sec
+        ));
+    }
+    let mut lat = String::new();
+    for (i, (arm, p50, p99)) in latency.iter().enumerate() {
+        if i > 0 {
+            lat.push_str(",\n");
+        }
+        lat.push_str(&format!(
+            "    \"{arm}\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}}"
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"wire\",\n  \"mode\": \"{mode}\",\n  \"environment\": {{\"cores\": {cores}, \"note\": \"single-core hosts serialize service CPU, bench client and front end on one core; the reactor's pool dispatch and wakeup amortization widen these gaps with core count\"}},\n  \"arms\": [\"threads_seed_baseline\", \"threads\", \"epoll\"],\n  \"pipelined\": [\n{rows}\n  ],\n  \"pipelined_speedup_at_{headline_conns}_conns\": {{\"epoll_vs_seed_baseline\": {vs_seed:.2}, \"epoll_vs_threads\": {vs_threads:.2}}},\n  \"closed_loop_latency_us\": {{\n{lat}\n  }},\n  \"allocs_per_request_warmed\": {{\"session.get\": {ag}, \"session.fix\": {af}, \"session.validate\": {av}}}\n}}\n",
+        mode = if fast_mode() { "smoke" } else { "full" },
+        ag = alloc.get,
+        af = alloc.fix,
+        av = alloc.validate,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, json).expect("write BENCH_server.json at repo root");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_wire_suite
+}
+criterion_main!(benches);

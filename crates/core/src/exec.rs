@@ -176,9 +176,16 @@ impl WorkerPool {
     }
 
     /// Fan `items` across the pool, blocking until every result is in,
-    /// and return them in input order. The caller's thread only waits —
-    /// all work runs on pool workers — so concurrent `map_ordered` calls
-    /// from different request threads interleave fairly on one pool.
+    /// and return them in input order.
+    ///
+    /// **Caller-runs:** the calling thread participates in the batch —
+    /// it pulls pending items alongside the pool workers instead of only
+    /// waiting. This keeps the call deadlock-free even when it is made
+    /// *from a pool worker* (a batch job that fans out a sub-batch, the
+    /// shape the epoll reactor's request batches take): with every
+    /// worker busy, the caller simply processes its own items. It also
+    /// means concurrent `map_ordered` calls from different request
+    /// threads interleave fairly on one pool.
     ///
     /// A panicking job is re-raised on the *calling* thread (like a
     /// scoped-thread join) once every other job has finished — the
@@ -194,47 +201,79 @@ impl WorkerPool {
             completed: usize,
             panic: Option<Box<dyn std::any::Any + Send>>,
         }
+        struct Batch<T, U, F> {
+            queue: Mutex<VecDeque<(usize, T)>>,
+            state: Mutex<BatchState<U>>,
+            finished: Condvar,
+            f: F,
+            n: usize,
+        }
+        impl<T, U, F> Batch<T, U, F>
+        where
+            F: Fn(usize, T) -> U,
+        {
+            /// Pull and run items until the queue is empty. Returns true
+            /// once this call has observed the whole batch completed.
+            fn run(&self) -> bool {
+                loop {
+                    let next = lock(&self.queue).pop_front();
+                    let Some((idx, item)) = next else {
+                        return lock(&self.state).completed == self.n;
+                    };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        (self.f)(idx, item)
+                    }));
+                    let mut guard = lock(&self.state);
+                    match result {
+                        Ok(out) => guard.slots[idx] = Some(out),
+                        Err(payload) => {
+                            if guard.panic.is_none() {
+                                guard.panic = Some(payload);
+                            }
+                        }
+                    }
+                    guard.completed += 1;
+                    if guard.completed == self.n {
+                        self.finished.notify_all();
+                        return true;
+                    }
+                }
+            }
+        }
         let n = items.len();
         if n == 0 {
             return Vec::new();
         }
-        let f = Arc::new(f);
         let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        let done: Arc<(Mutex<BatchState<U>>, Condvar)> = Arc::new((
-            Mutex::new(BatchState {
+        let batch = Arc::new(Batch {
+            queue: Mutex::new(items.into_iter().enumerate().collect()),
+            state: Mutex::new(BatchState {
                 slots,
                 completed: 0,
                 panic: None,
             }),
-            Condvar::new(),
-        ));
-        for (idx, item) in items.into_iter().enumerate() {
-            let f = Arc::clone(&f);
-            let done = Arc::clone(&done);
+            finished: Condvar::new(),
+            f,
+            n,
+        });
+        // One helper job per worker (capped by the batch size minus the
+        // caller's own share); each drains the shared queue, so a helper
+        // that starts late — or never, on a saturated pool — costs
+        // nothing but its queue check.
+        for _ in 0..self.threads().min(n.saturating_sub(1)) {
+            let batch = Arc::clone(&batch);
             self.submit(move || {
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, item)));
-                let (state, finished) = &*done;
-                let mut guard = lock(state);
-                match result {
-                    Ok(out) => guard.slots[idx] = Some(out),
-                    Err(payload) => {
-                        if guard.panic.is_none() {
-                            guard.panic = Some(payload);
-                        }
-                    }
-                }
-                guard.completed += 1;
-                if guard.completed == n {
-                    finished.notify_all();
-                }
+                batch.run();
             });
         }
-        let (state, finished) = &*done;
-        let mut guard = lock(state);
+        batch.run();
+        let mut guard = lock(&batch.state);
         while guard.completed < n {
-            guard = finished.wait(guard).unwrap_or_else(PoisonError::into_inner);
+            guard = batch
+                .finished
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if let Some(payload) = guard.panic.take() {
             drop(guard);
@@ -251,7 +290,17 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_ready.notify_all();
+        let current = thread::current().id();
         for handle in self.handles.drain(..) {
+            // The pool can be dropped *from one of its own workers*: a
+            // job holding the last service handle (e.g. an epoll batch
+            // job outliving a server shutdown) drops it — and the pool
+            // with it — when it finishes. Joining ourselves would be an
+            // instant deadlock (EDEADLK); detach instead — this worker
+            // exits its loop right after the current job.
+            if handle.thread().id() == current {
+                continue;
+            }
             // A worker that panicked already unwound; joining propagates
             // nothing further. Remaining queued jobs are completed first
             // (workers drain the queue before honoring shutdown).
@@ -332,6 +381,19 @@ mod tests {
     }
 
     #[test]
+    fn map_ordered_reentrant_from_worker_does_not_deadlock() {
+        // A batch job that itself fans out a sub-batch on the same pool:
+        // with one worker this deadlocked before caller-runs (the worker
+        // waited on jobs queued behind itself forever).
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner_pool = Arc::clone(&pool);
+        let out = pool.map_ordered(vec![10usize, 20], move |_, x| {
+            inner_pool.map_ordered(vec![x, x + 1], |_, y: usize| y * 2)
+        });
+        assert_eq!(out, vec![vec![20, 22], vec![40, 42]]);
+    }
+
+    #[test]
     fn pool_survives_many_batches() {
         let pool = WorkerPool::new(3);
         for round in 0..20 {
@@ -352,6 +414,33 @@ mod tests {
         }
         drop(pool); // drains the queue before joining
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn dropping_pool_from_its_own_worker_does_not_deadlock() {
+        // A job that owns the last handle to its own pool (the shape a
+        // server batch job takes when it outlives shutdown): the drop
+        // runs on the worker and must neither hang nor panic.
+        let pool = Arc::new(WorkerPool::new(2));
+        let own = Arc::clone(&pool);
+        let done = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&done);
+        pool.submit(move || {
+            // Give this job the last reference.
+            let own = own;
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(own);
+            observed.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool); // job now holds the only Arc
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker wedged dropping its own pool"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     #[test]

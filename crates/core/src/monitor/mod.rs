@@ -109,6 +109,31 @@ impl<'a> DataMonitor<'a> {
         }
     }
 
+    /// Create a monitor from fully shared parts — plan, regions and
+    /// audit log all pre-`Arc`'d. Unlike chaining
+    /// [`from_plan`](Self::from_plan) with `with_shared_regions` /
+    /// `with_audit`, this allocates nothing (the chained form builds a
+    /// throwaway empty region slice and audit log first), which keeps
+    /// the server's warmed per-request path allocation-free.
+    pub fn from_shared_parts(
+        rules: &'a RuleSet,
+        master: &'a MasterData,
+        plan: Arc<CompiledRules>,
+        regions: std::sync::Arc<[Region]>,
+        audit: Arc<AuditLog>,
+    ) -> DataMonitor<'a> {
+        debug_assert_eq!(plan.len(), rules.len());
+        debug_assert_eq!(plan.master_generation(), master.generation());
+        DataMonitor {
+            plan,
+            rules,
+            master,
+            regions,
+            audit,
+            max_rounds: 64,
+        }
+    }
+
     /// The compiled execution plan (shareable across monitors).
     pub fn plan(&self) -> &Arc<CompiledRules> {
         &self.plan

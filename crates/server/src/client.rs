@@ -50,10 +50,18 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// One request line in, one response line out.
+/// One request line in, one response line out — plus split send/receive
+/// for pipelining (the server guarantees responses in request order per
+/// connection).
 pub trait Transport {
     /// Send `line` (no trailing newline) and return the response line.
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError>;
+
+    /// Queue `line` without waiting for its response.
+    fn send(&mut self, line: &str) -> Result<(), ClientError>;
+
+    /// Receive the next response line (for a previously sent request).
+    fn recv(&mut self) -> Result<String, ClientError>;
 }
 
 /// Blocking TCP transport.
@@ -64,9 +72,18 @@ pub struct TcpTransport {
 
 impl Transport for TcpTransport {
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<String, ClientError> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -80,14 +97,31 @@ impl Transport for TcpTransport {
 }
 
 /// In-process transport: dispatches into the service directly, still
-/// going through wire parsing/rendering on both sides.
+/// going through wire parsing/rendering on both sides. Pipelined sends
+/// execute immediately; responses queue until received.
 pub struct LocalTransport {
     service: CleaningService,
+    pending: std::collections::VecDeque<String>,
 }
 
 impl Transport for LocalTransport {
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
         Ok(self.service.handle_line(line))
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        let response = self.service.handle_line(line);
+        self.pending.push_back(response);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<String, ClientError> {
+        self.pending.pop_front().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "recv without a pending pipelined request",
+            ))
+        })
     }
 }
 
@@ -120,6 +154,7 @@ impl Client<LocalTransport> {
         Client {
             transport: LocalTransport {
                 service: service.clone(),
+                pending: std::collections::VecDeque::new(),
             },
         }
     }
@@ -300,6 +335,10 @@ impl<T: Transport> Client<T> {
     pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
         let line = request.to_json().render();
         let response_line = self.transport.round_trip(&line)?;
+        Self::check_ok(&response_line)
+    }
+
+    fn check_ok(response_line: &str) -> Result<Json, ClientError> {
         let response = Json::parse(response_line.trim())?;
         match response.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(response),
@@ -310,6 +349,42 @@ impl<T: Transport> Client<T> {
                     .unwrap_or("malformed server response")
                     .to_string(),
             )),
+        }
+    }
+
+    /// Pipeline a batch: write every request before reading any
+    /// response. Responses come back in request order (the server's
+    /// per-connection ordering guarantee); each is checked for `ok` like
+    /// [`request`](Self::request).
+    ///
+    /// Every response is read off the transport before any error is
+    /// returned — a failing request mid-batch must not leave later
+    /// responses buffered (they would desynchronize the next call).
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Json>, ClientError> {
+        let mut first_error = None;
+        let mut sent = 0usize;
+        for request in requests {
+            let line = request.to_json().render();
+            if let Err(e) = self.transport.send(&line) {
+                // Responses to already-sent requests still get drained
+                // below — leaving them buffered would pair them with
+                // the wrong future requests.
+                first_error = Some(e);
+                break;
+            }
+            sent += 1;
+        }
+        let mut responses = Vec::with_capacity(sent);
+        for _ in 0..sent {
+            match self.transport.recv().and_then(|line| Self::check_ok(&line)) {
+                Ok(response) => responses.push(response),
+                Err(e) if first_error.is_none() => first_error = Some(e),
+                Err(_) => {}
+            }
+        }
+        match first_error {
+            None => Ok(responses),
+            Some(e) => Err(e),
         }
     }
 

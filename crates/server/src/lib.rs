@@ -60,7 +60,10 @@
 //! assert_eq!(after.tuple[2], Value::str("131"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the epoll reactor's single FFI module can
+// carve out its `#[allow(unsafe_code)]` for the six raw syscalls; every
+// other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -68,6 +71,8 @@ mod client;
 mod metrics;
 mod net;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod service;
 mod session;
 pub mod wire;
@@ -77,8 +82,9 @@ pub use client::{
     AuditPage, AuditRecordView, CleanOutcomeView, Client, ClientError, CommitView, LocalClient,
     LocalTransport, SessionView, TcpTransport, Transport,
 };
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use net::{Server, ServerHandle};
+pub use metrics::{MetricsSnapshot, OpLatency, ServiceMetrics};
+pub use net::{Frontend, Server, ServerHandle};
+pub use protocol::RequestScratch;
 pub use protocol::{Request, PROTOCOL_VERSION};
 pub use service::{CleaningService, ServiceConfig};
 pub use session::{SessionError, SessionManager};
@@ -284,6 +290,74 @@ mod tests {
         let response = service.handle_line("this is not json");
         assert!(response.contains("\"ok\":false"));
         assert!(service.metrics().errors >= 4);
+    }
+
+    /// The hot slice-parse/direct-render paths must be byte-identical
+    /// to the tree parser + tree renderer — two identical services run
+    /// the same script, one through `handle_line` (fast-capable), one
+    /// through the typed `handle` + `render` (tree only).
+    #[test]
+    fn hot_paths_render_byte_identical_to_tree() {
+        let fast = kv_service(1);
+        let tree = kv_service(1);
+        let script = [
+            r#"{"op":"session.create","tuple":["k3","WRONG","n"]}"#,
+            r#"{"op":"session.get","session":1}"#,
+            r#"{"op":"session.validate","session":1,"validations":{"key":"k3"}}"#,
+            r#"{"op":"session.fix","session":1}"#,
+            // Escaped payloads unescape identically ("k3" = "k3").
+            r#"{"op":"session.validate","session":1,"validations":{"val":"k3"}}"#,
+            r#"{"op":"session.validate","session":1,"validations":{"note":"n"}}"#,
+            r#"{"op":"session.get","session":1}"#,
+            r#"{"op":"session.commit","session":1}"#,
+            r#"{"op":"session.get","session":1}"#, // unknown session error
+            r#"{"op":"session.validate","session":99,"validations":{"key":"k1"}}"#,
+            r#"{"op":"session.validate","session":1,"validations":{"nope":"v"}}"#,
+            r#"{"op":"session.validate","session":1,"validations":{"key":null}}"#,
+            r#"{"op":"session.create","tuple":["k5","x","y"]}"#,
+            r#"{"op":"session.validate","session":2,"validations":{}}"#,
+            r#"{"op":"session.abort","session":2}"#,
+        ];
+        for line in script {
+            let fast_out = fast.handle_line(line);
+            let tree_out = tree.handle(&Request::parse_line(line).unwrap()).render();
+            assert_eq!(fast_out, tree_out, "line: {line}");
+        }
+        // Error counters agree too (same error classification).
+        assert_eq!(fast.metrics().errors, tree.metrics().errors);
+    }
+
+    #[test]
+    fn request_ids_echo_on_every_path() {
+        let service = kv_service(1);
+        let mut client = LocalClient::in_process(&service);
+        client.create_session(row("k3", "WRONG", "n")).unwrap();
+        // Hot path (session.get), tree path (check), and error path all
+        // echo the id as the first response field, verbatim.
+        for (line, op_is_error) in [
+            (r#"{"op":"session.get","session":1,"id":7}"#, false),
+            (r#"{"op":"check","id":"c-1"}"#, false),
+            (r#"{"op":"session.get","session":999,"id":1.25}"#, true),
+            (r#"{"op":"warp","id":[1,2]}"#, true),
+        ] {
+            let with_id = service.handle_line(line);
+            let id_span = wire::Json::parse(line)
+                .ok()
+                .and_then(|j| j.get("id").map(|v| v.render()));
+            let id_span = id_span.expect("id present");
+            assert!(
+                with_id.starts_with(&format!("{{\"id\":{id_span},")),
+                "{line} → {with_id}"
+            );
+            assert_eq!(
+                with_id.contains("\"ok\":false"),
+                op_is_error,
+                "{line} → {with_id}"
+            );
+        }
+        // Without an id, no id field appears.
+        let without = service.handle_line(r#"{"op":"session.get","session":1}"#);
+        assert!(!without.contains("\"id\""));
     }
 
     #[test]

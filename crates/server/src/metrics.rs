@@ -1,7 +1,101 @@
 //! Service counters, exported over the `metrics` protocol op.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Request-latency histogram buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds. 40 buckets reach ~9 minutes — far past
+/// any op this service runs.
+const LATENCY_BUCKETS: usize = 40;
+
+/// The op classes latency is tracked for: every protocol op plus the
+/// malformed-line class. Indexed by [`op_index`].
+pub const LATENCY_OPS: [&str; 16] = [
+    "hello",
+    "session.create",
+    "session.get",
+    "session.validate",
+    "session.fix",
+    "session.commit",
+    "session.abort",
+    "clean",
+    "regions",
+    "check",
+    "audit.read",
+    "rules.reload",
+    "master.append",
+    "metrics",
+    "shutdown",
+    "parse_error",
+];
+
+fn op_index(op: &str) -> usize {
+    LATENCY_OPS
+        .iter()
+        .position(|&o| o == op)
+        .unwrap_or(LATENCY_OPS.len() - 1)
+}
+
+/// One op's latency histogram (fixed atomics — observing never locks or
+/// allocates, which keeps it on the zero-allocation request path).
+#[derive(Debug)]
+struct OpHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl OpHistogram {
+    fn new() -> OpHistogram {
+        OpHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn observe(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(count, p50_ns, p99_ns)` — percentiles report the upper bound of
+    /// the covering bucket (conservative to within 2×).
+    fn summarize(&self) -> (u64, u64, u64) {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return (0, 0, 0);
+        }
+        let percentile = |p: u64| -> u64 {
+            let rank = (total * p).div_ceil(100).max(1);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return 1u64 << (i + 1).min(63);
+                }
+            }
+            1u64 << LATENCY_BUCKETS // unreachable
+        };
+        (total, percentile(50), percentile(99))
+    }
+}
+
+/// Latency summary for one op class, as exported in
+/// [`MetricsSnapshot::latency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLatency {
+    /// The op name (`"session.validate"`, …, or `"parse_error"`).
+    pub op: &'static str,
+    /// Requests observed.
+    pub count: u64,
+    /// Median latency upper bound, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency upper bound, nanoseconds.
+    pub p99_ns: u64,
+}
 
 /// Monotonic counters for one [`CleaningService`](crate::CleaningService).
 ///
@@ -35,6 +129,11 @@ pub struct ServiceMetrics {
     master_appends: AtomicU64,
     regions_recertified: AtomicU64,
     regions_cache_patched: AtomicU64,
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: Vec<OpHistogram>,
 }
 
 /// A point-in-time copy of every counter.
@@ -83,6 +182,16 @@ pub struct MetricsSnapshot {
     /// Cached region searches patched in place by delta re-certification
     /// (instead of discarded and recomputed).
     pub regions_cache_patched: u64,
+    /// TCP connections currently open (gauge).
+    pub connections_open: u64,
+    /// TCP connections ever accepted.
+    pub connections_total: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+    /// Per-op request-latency summaries (ops with traffic only).
+    pub latency: Vec<OpLatency>,
 }
 
 impl ServiceMetrics {
@@ -109,7 +218,34 @@ impl ServiceMetrics {
             master_appends: AtomicU64::new(0),
             regions_recertified: AtomicU64::new(0),
             regions_cache_patched: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latency: (0..LATENCY_OPS.len()).map(|_| OpHistogram::new()).collect(),
         }
+    }
+
+    /// Record one request's service latency under its op class.
+    pub(crate) fn observe_latency(&self, op: &str, elapsed: Duration) {
+        self.latency[op_index(op)].observe(elapsed);
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn request(&self) {
@@ -212,6 +348,23 @@ impl ServiceMetrics {
             master_appends: self.master_appends.load(Ordering::Relaxed),
             regions_recertified: self.regions_recertified.load(Ordering::Relaxed),
             regions_cache_patched: self.regions_cache_patched.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            latency: LATENCY_OPS
+                .iter()
+                .zip(&self.latency)
+                .filter_map(|(&op, hist)| {
+                    let (count, p50_ns, p99_ns) = hist.summarize();
+                    (count > 0).then_some(OpLatency {
+                        op,
+                        count,
+                        p50_ns,
+                        p99_ns,
+                    })
+                })
+                .collect(),
         }
     }
 }
@@ -264,5 +417,41 @@ mod tests {
         assert_eq!(s.master_appends, 1);
         assert_eq!(s.regions_recertified, 6);
         assert_eq!(s.regions_cache_patched, 1);
+    }
+
+    #[test]
+    fn latency_and_connection_telemetry() {
+        let m = ServiceMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.add_bytes_in(100);
+        m.add_bytes_out(300);
+        for _ in 0..50 {
+            m.observe_latency("session.get", Duration::from_micros(10));
+        }
+        m.observe_latency("session.get", Duration::from_millis(5));
+        let s = m.snapshot();
+        assert_eq!(s.connections_open, 1);
+        assert_eq!(s.connections_total, 2);
+        assert_eq!(s.bytes_in, 100);
+        assert_eq!(s.bytes_out, 300);
+        let get = s.latency.iter().find(|l| l.op == "session.get").unwrap();
+        assert_eq!(get.count, 51);
+        // p50 sits in the 10µs bucket [8192, 16384) ns; p99 must catch
+        // the 5ms outlier.
+        assert_eq!(get.p50_ns, 16_384);
+        assert!(get.p99_ns >= 4_000_000, "p99 {} misses outlier", get.p99_ns);
+        // Ops with no traffic are omitted.
+        assert!(s.latency.iter().all(|l| l.op == "session.get"));
+    }
+
+    #[test]
+    fn unknown_op_classes_land_in_parse_error() {
+        let m = ServiceMetrics::new();
+        m.observe_latency("not-a-real-op", Duration::from_micros(1));
+        let s = m.snapshot();
+        let bucket = s.latency.iter().find(|l| l.op == "parse_error").unwrap();
+        assert_eq!(bucket.count, 1);
     }
 }

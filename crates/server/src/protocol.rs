@@ -10,8 +10,136 @@
 //! write-only on the server side) and picked apart field-wise by the
 //! [`Client`](crate::Client).
 
+use crate::wire::scan::{ObjectScanner, RawValue};
 use crate::wire::{Json, WireError};
 use cerfix_relation::Value;
+
+/// Reusable per-connection parse/render scratch, threaded through
+/// [`CleaningService::handle_line_into`](crate::CleaningService::handle_line_into):
+/// holds the resolved-validation and string-unescape buffers so the
+/// warmed request path performs no steady-state allocations.
+#[derive(Debug, Default)]
+pub struct RequestScratch {
+    /// Resolved `(attribute id, value)` validations for the hot
+    /// `session.validate` path.
+    pub(crate) validations: Vec<(usize, Value)>,
+    /// Unescape buffer for string payloads containing escapes.
+    pub(crate) unescape: String,
+}
+
+/// A hot request shape recognized by the single-pass slice scanner —
+/// the session ops a pipelining client hammers. Everything else (and
+/// any line the scanner finds irregular) takes the tree-parser path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the ops ARE session.*; names mirror the wire
+pub(crate) enum HotOp<'a> {
+    SessionGet {
+        session: u64,
+    },
+    SessionFix {
+        session: u64,
+    },
+    SessionValidate {
+        session: u64,
+        /// Raw `{...}` span of the `validations` object (re-scanned by
+        /// the service against its schema).
+        validations: &'a str,
+    },
+    SessionCommit {
+        session: u64,
+    },
+    SessionAbort {
+        session: u64,
+    },
+}
+
+impl HotOp<'_> {
+    /// The op name, for latency classification.
+    pub(crate) fn op(&self) -> &'static str {
+        match self {
+            HotOp::SessionGet { .. } => "session.get",
+            HotOp::SessionFix { .. } => "session.fix",
+            HotOp::SessionValidate { .. } => "session.validate",
+            HotOp::SessionCommit { .. } => "session.commit",
+            HotOp::SessionAbort { .. } => "session.abort",
+        }
+    }
+}
+
+/// What one scanner pass over a request line found.
+#[derive(Debug, Default)]
+pub(crate) struct ScannedLine<'a> {
+    /// Raw span of a client-supplied `id` field, echoed in the response.
+    pub(crate) id: Option<&'a str>,
+    /// The recognized hot shape, when the line is one.
+    pub(crate) hot: Option<HotOp<'a>>,
+}
+
+/// Single allocation-free pass over a request line: extracts the
+/// response-correlation `id` (any op) and recognizes the hot session
+/// shapes. A malformed line yields neither — the tree parser then owns
+/// the error message.
+pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
+    let Some(mut scanner) = ObjectScanner::new(line) else {
+        return ScannedLine::default();
+    };
+    let mut id = None;
+    let mut op = None;
+    let mut session = None;
+    let mut validations = None;
+    // `fastable` drops on any field the scanner cannot vouch for; `id`
+    // keeps being collected so even tree-path responses echo it.
+    let mut fastable = true;
+    while let Some((key, value, span)) = scanner.next_field() {
+        let Some(key) = key.as_plain() else {
+            fastable = false;
+            continue;
+        };
+        match key {
+            // First occurrence wins, matching `Json::get` on the tree.
+            "op" => match value {
+                RawValue::Str(s) if op.is_none() => match s.as_plain() {
+                    Some(plain) => op = Some(plain),
+                    None => fastable = false,
+                },
+                _ if op.is_none() => fastable = false,
+                _ => {}
+            },
+            "session" if session.is_none() => match value.as_u64() {
+                Some(s) => session = Some(s),
+                None => fastable = false,
+            },
+            "validations" if validations.is_none() => match value {
+                RawValue::Obj(span) => validations = Some(span),
+                _ => fastable = false,
+            },
+            "id" if id.is_none() => id = Some(span),
+            _ => {}
+        }
+    }
+    if !scanner.ok() {
+        // Malformed line: the id span cannot be trusted either.
+        return ScannedLine::default();
+    }
+    let hot = if fastable {
+        match (op, session) {
+            (Some("session.get"), Some(session)) => Some(HotOp::SessionGet { session }),
+            (Some("session.fix"), Some(session)) => Some(HotOp::SessionFix { session }),
+            (Some("session.commit"), Some(session)) => Some(HotOp::SessionCommit { session }),
+            (Some("session.abort"), Some(session)) => Some(HotOp::SessionAbort { session }),
+            (Some("session.validate"), Some(session)) => {
+                validations.map(|validations| HotOp::SessionValidate {
+                    session,
+                    validations,
+                })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    ScannedLine { id, hot }
+}
 
 /// Protocol revision, reported by `hello` and checked by clients.
 /// Version 2 added `audit.read`, `rules.reload` and the `stats` alias
@@ -434,6 +562,50 @@ mod tests {
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");
         }
+    }
+
+    #[test]
+    fn scan_line_recognizes_hot_shapes_and_ids() {
+        let scanned = scan_line(r#"{"op":"session.get","session":7,"id":42}"#);
+        assert_eq!(scanned.id, Some("42"));
+        assert_eq!(scanned.hot, Some(HotOp::SessionGet { session: 7 }));
+
+        let scanned = scan_line(
+            r#"{"id":"x-1","op":"session.validate","session":3,"validations":{"zip":"EH8"}}"#,
+        );
+        assert_eq!(scanned.id, Some("\"x-1\""));
+        assert_eq!(
+            scanned.hot,
+            Some(HotOp::SessionValidate {
+                session: 3,
+                validations: r#"{"zip":"EH8"}"#,
+            })
+        );
+
+        for (line, why) in [
+            (r#"{"op":"clean","tuples":[],"id":9}"#, "not a hot op"),
+            (r#"{"op":"session.get"}"#, "missing session"),
+            (r#"{"op":"session.get","session":-1,"id":9}"#, "bad session"),
+            (r#"{"op":"session.validate","session":1}"#, "no validations"),
+        ] {
+            assert_eq!(scan_line(line).hot, None, "{why}");
+        }
+        // The id is still collected for tree-path responses...
+        assert_eq!(
+            scan_line(r#"{"op":"clean","tuples":[],"id":9}"#).id,
+            Some("9")
+        );
+        // ...but not from malformed lines.
+        let malformed = scan_line(r#"{"id":5,"op":"#);
+        assert_eq!(malformed.id, None);
+        assert_eq!(malformed.hot, None);
+    }
+
+    #[test]
+    fn scan_line_first_occurrence_wins_like_tree_get() {
+        let scanned = scan_line(r#"{"op":"session.get","session":1,"session":2,"id":7,"id":8}"#);
+        assert_eq!(scanned.hot, Some(HotOp::SessionGet { session: 1 }));
+        assert_eq!(scanned.id, Some("7"));
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! Linux epoll readiness-loop front end.
+//!
+//! One reactor thread multiplexes every connection:
+//!
+//! * **Nonblocking everything** — the listener, every connection, and a
+//!   wakeup `eventfd` all sit in one epoll set; `epoll_wait` blocks with
+//!   no timeout (housekeeping lives on its own timer thread, shutdown
+//!   arrives through the wakeup fd), so the idle server spends zero CPU
+//!   and shutdown completes in milliseconds.
+//! * **Pipelining with strict per-connection ordering** — a client may
+//!   write any number of request lines before reading a response.
+//!   Cheap ops execute inline on the reactor; the first CPU-heavy op
+//!   (batch `clean`, region/consistency analysis, engine swaps, a
+//!   journaled commit's group-fsync wait) seals the connection's
+//!   response buffer and ships that line *plus every line already
+//!   buffered behind it* to the service worker pool as one ordered
+//!   batch job. While the batch is in flight the reactor keeps reading
+//!   (bounded) and keeps serving other connections; the completion
+//!   splices the batch's responses back in order. At most one batch per
+//!   connection is ever in flight, so responses always come back in
+//!   request order.
+//! * **Backpressure, interest-driven** — responses accumulate in a
+//!   per-connection buffer flushed opportunistically; `EPOLLOUT` is
+//!   armed only while unflushed bytes remain, and a connection whose
+//!   peer stops reading (or floods requests faster than a batch drains)
+//!   has its `EPOLLIN` interest dropped until the buffer recedes.
+//! * **Allocation-free steady state** — connections reuse their line
+//!   and response buffers; batch/scratch/response buffers cycle through
+//!   pools; the hot request path underneath
+//!   ([`CleaningService::handle_line_into`]) is zero-allocation.
+//!
+//! The raw `epoll`/`eventfd` bindings live in [`ffi`] — the only unsafe
+//! code in the crate, kept to six syscalls (no new dependencies).
+
+use crate::net::{LineBuffer, MAX_LINE_BYTES, NON_UTF8_REPLY, OVERSIZE_REPLY};
+use crate::protocol::RequestScratch;
+use crate::service::CleaningService;
+use crate::wire::scan::{ObjectScanner, RawValue};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Pause reading a connection while its unflushed response bytes exceed
+/// this (peer not draining); reads resume as the buffer flushes below.
+const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
+/// Pause reading while a batch is in flight once this much undispatched
+/// input is buffered.
+const READ_BACKLOG_CAP: usize = 1024 * 1024;
+/// How long a draining shutdown waits for peers to take their last
+/// responses before force-closing.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(1);
+
+#[allow(unsafe_code)]
+mod ffi {
+    //! Raw `epoll` / `eventfd` bindings (libc symbols; std links libc
+    //! already). The kernel ABI packs `epoll_event` on x86-64 only.
+
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    fn cvt(ret: c_int) -> std::io::Result<c_int> {
+        if ret < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn create_epoll() -> std::io::Result<c_int> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    /// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    pub fn create_eventfd() -> std::io::Result<c_int> {
+        cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+    }
+
+    /// One `epoll_ctl` call; `events` ignored for `EPOLL_CTL_DEL`.
+    pub fn ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, data: u64) -> std::io::Result<()> {
+        let mut event = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut event) }).map(|_| ())
+    }
+
+    /// Blocking `epoll_wait`; fills `events`, returns the ready count.
+    pub fn wait(
+        epfd: c_int,
+        events: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> std::io::Result<usize> {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        if n < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    /// Add 1 to an eventfd (wake a blocked `epoll_wait`).
+    pub fn eventfd_write(fd: c_int) {
+        let one: u64 = 1;
+        unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Drain an eventfd's counter.
+    pub fn eventfd_drain(fd: c_int) {
+        let mut buf = [0u8; 8];
+        unsafe { read(fd, buf.as_mut_ptr().cast(), 8) };
+    }
+
+    /// Close any raw fd.
+    pub fn close_fd(fd: c_int) {
+        unsafe { close(fd) };
+    }
+}
+
+/// Owned wakeup eventfd, shared with batch jobs and the shutdown hook.
+struct WakeFd(i32);
+
+impl WakeFd {
+    fn wake(&self) {
+        ffi::eventfd_write(self.0);
+    }
+
+    fn drain(&self) {
+        ffi::eventfd_drain(self.0);
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        ffi::close_fd(self.0);
+    }
+}
+
+/// A finished batch job's responses, spliced back by the reactor.
+struct Completion {
+    conn: u64,
+    out: String,
+    /// The batch input buffer, returned for reuse.
+    batch: Vec<u8>,
+}
+
+/// Buffer pools + completion queue shared between the reactor thread
+/// and batch jobs on the worker pool.
+struct Shared {
+    completions: Mutex<Vec<Completion>>,
+    strings: Mutex<Vec<String>>,
+    batches: Mutex<Vec<Vec<u8>>>,
+    scratches: Mutex<Vec<RequestScratch>>,
+    wake: WakeFd,
+}
+
+impl Shared {
+    fn take_string(&self) -> String {
+        self.strings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_string(&self, mut s: String) {
+        s.clear();
+        self.strings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(s);
+    }
+
+    fn take_batch(&self) -> Vec<u8> {
+        self.batches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_batch(&self, mut b: Vec<u8>) {
+        b.clear();
+        self.batches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(b);
+    }
+
+    fn take_scratch(&self) -> RequestScratch {
+        self.scratches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, s: RequestScratch) {
+        self.scratches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(s);
+    }
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    buf: LineBuffer,
+    /// Ordered, unflushed response bytes; `out_pos` marks how far the
+    /// socket has taken them. Fully-flushed ⇒ cleared (capacity kept).
+    out: String,
+    out_pos: usize,
+    /// A batch job is in flight (at most one per connection).
+    in_flight: bool,
+    /// Peer half-closed its write side (pipelined burst then EOF): no
+    /// more input, but buffered requests still get served and flushed.
+    peer_done: bool,
+    /// Fatal error or oversized line: close as soon as flushed.
+    closing: bool,
+    /// Currently registered epoll interest mask.
+    interest: u32,
+}
+
+impl Conn {
+    fn unflushed(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// Ops worth shipping to the worker pool instead of running on the
+/// reactor: multi-tuple batch work, whole-relation analyses, engine
+/// swaps, paged audit reads — and, on a journaled service, `commit`
+/// (it waits for its group fsync). Interactive session ops (µs-scale
+/// fixpoints) run inline.
+///
+/// Anything the scanner cannot classify — malformed lines, but also
+/// valid JSON hiding its op behind string escapes — counts as heavy:
+/// misclassifying a real `clean` as light would park every connection
+/// behind it on the reactor thread, while the reverse merely costs one
+/// pool dispatch.
+fn is_heavy(line: &str, journaled: bool) -> bool {
+    let Some(mut scanner) = ObjectScanner::new(line) else {
+        return true;
+    };
+    let mut op = None;
+    while let Some((key, value, _)) = scanner.next_field() {
+        match key.as_plain() {
+            Some("op") => {
+                if let RawValue::Str(s) = value {
+                    op = s.as_plain();
+                }
+                break;
+            }
+            Some(_) => {}
+            None => return true, // escaped key: cannot vouch for the op
+        }
+    }
+    match op {
+        Some("clean" | "regions" | "check" | "audit.read" | "rules.reload" | "master.append") => {
+            true
+        }
+        Some("session.commit") => journaled,
+        Some(_) => false,
+        None => true,
+    }
+}
+
+/// Reading pauses while the peer is not draining responses, while a
+/// batch is in flight and the undispatched input backlog is large, or
+/// permanently once the connection is closing (an oversized-line reject
+/// must not keep buffering a flood while its reply waits to flush).
+fn reading_paused(conn: &Conn) -> bool {
+    conn.closing
+        || conn.unflushed() > WRITE_HIGH_WATER
+        || (conn.in_flight && conn.buf.partial_len() > READ_BACKLOG_CAP)
+}
+
+/// Ship one ordered batch of request lines to the worker pool. The job
+/// runs the same per-line responder as the connection loops
+/// ([`respond_line`]) so batched and inline execution are
+/// indistinguishable on the wire.
+fn submit_batch(service: &CleaningService, shared: &Arc<Shared>, id: u64, batch: Vec<u8>) {
+    let service_for_job = service.clone();
+    let shared = Arc::clone(shared);
+    service.submit_job(move || {
+        let mut out = shared.take_string();
+        let mut scratch = shared.take_scratch();
+        for line_bytes in batch.split(|&b| b == b'\n') {
+            crate::net::respond_line(&service_for_job, line_bytes, &mut out, &mut scratch);
+        }
+        shared.put_scratch(scratch);
+        shared
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                conn: id,
+                out,
+                batch,
+            });
+        shared.wake.wake();
+    });
+}
+
+/// Run the epoll front end until the service requests shutdown.
+pub(crate) fn run_epoll(listener: TcpListener, service: &CleaningService) -> std::io::Result<()> {
+    Reactor::new(listener, service.clone())?.run()
+}
+
+struct Reactor {
+    epfd: i32,
+    listener: TcpListener,
+    service: CleaningService,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Reactor-thread scratch for inline request handling.
+    scratch: RequestScratch,
+    hook: u64,
+    draining: Option<Instant>,
+    accepting: bool,
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+impl Reactor {
+    fn new(listener: TcpListener, service: CleaningService) -> std::io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let epfd = ffi::create_epoll()?;
+        let wake_fd = match ffi::create_eventfd() {
+            Ok(fd) => fd,
+            Err(e) => {
+                ffi::close_fd(epfd);
+                return Err(e);
+            }
+        };
+        let shared = Arc::new(Shared {
+            completions: Mutex::new(Vec::new()),
+            strings: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
+            scratches: Mutex::new(Vec::new()),
+            wake: WakeFd(wake_fd),
+        });
+        ffi::ctl(
+            epfd,
+            ffi::EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            ffi::EPOLLIN,
+            TOKEN_LISTENER,
+        )?;
+        ffi::ctl(epfd, ffi::EPOLL_CTL_ADD, wake_fd, ffi::EPOLLIN, TOKEN_WAKE)?;
+        // Shutdown (from any thread: a protocol op on a worker, a
+        // `ServerHandle`) pokes the eventfd; the reactor wakes instantly
+        // instead of riding out a poll timeout.
+        let hook_shared = Arc::clone(&shared);
+        let hook = service.add_shutdown_hook(move || hook_shared.wake.wake());
+        Ok(Reactor {
+            epfd,
+            listener,
+            service,
+            shared,
+            conns: HashMap::new(),
+            next_conn: 0,
+            scratch: RequestScratch::default(),
+            hook,
+            draining: None,
+            accepting: true,
+        })
+    }
+
+    fn run(mut self) -> std::io::Result<()> {
+        let mut events = [ffi::EpollEvent { events: 0, data: 0 }; 128];
+        loop {
+            // Shutdown check BEFORE blocking: a `shutdown` accepted in
+            // the window before our wakeup hook registered never poked
+            // the eventfd, and `epoll_wait(-1)` would then hang forever.
+            if self.service.shutdown_requested() && self.draining.is_none() {
+                self.begin_drain();
+            }
+            if let Some(started) = self.draining {
+                let idle = self
+                    .conns
+                    .values()
+                    .all(|c| !c.in_flight && c.unflushed() == 0);
+                if idle || started.elapsed() > DRAIN_DEADLINE {
+                    break;
+                }
+            }
+            let timeout = if self.draining.is_some() { 50 } else { -1 };
+            let n = match ffi::wait(self.epfd, &mut events, timeout) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            for event in &events[..n] {
+                // Copy out of the (possibly packed) struct first.
+                let (mask, token) = (event.events, event.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    conn => self.conn_ready(conn, mask),
+                }
+            }
+            self.drain_completions();
+        }
+        Ok(())
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = Some(Instant::now());
+        if self.accepting {
+            let _ = ffi::ctl(
+                self.epfd,
+                ffi::EPOLL_CTL_DEL,
+                self.listener.as_raw_fd(),
+                0,
+                0,
+            );
+            self.accepting = false;
+        }
+        // Stop reading everywhere; finish in-flight batches and flush.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.peer_done = true;
+            }
+            self.update_interest(id);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    if ffi::ctl(
+                        self.epfd,
+                        ffi::EPOLL_CTL_ADD,
+                        stream.as_raw_fd(),
+                        ffi::EPOLLIN,
+                        id,
+                    )
+                    .is_err()
+                    {
+                        continue;
+                    }
+                    self.service.metrics_raw().connection_opened();
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            buf: LineBuffer::new(),
+                            out: self.shared.take_string(),
+                            out_pos: 0,
+                            in_flight: false,
+                            peer_done: false,
+                            closing: false,
+                            interest: ffi::EPOLLIN,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Aborted handshake, or fd exhaustion (EMFILE) —
+                    // the latter does NOT consume the pending
+                    // connection, so the level-triggered listener stays
+                    // readable and a plain `break` would spin the
+                    // reactor at 100% CPU. A short sleep bounds the
+                    // retry rate until an fd frees up.
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, id: u64, mask: u32) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        if mask & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0 {
+            self.close_conn(id);
+            return;
+        }
+        if mask & ffi::EPOLLIN != 0 && !self.read_ready(id) {
+            return; // closed
+        }
+        self.pump(id);
+    }
+
+    /// Read all available bytes. Returns false if the connection died.
+    fn read_ready(&mut self, id: u64) -> bool {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return false;
+            };
+            if conn.peer_done || conn.closing || reading_paused(conn) {
+                return true;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_done = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.buf.extend(&chunk[..n]);
+                    self.service.metrics_raw().add_bytes_in(n as u64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(id);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Process buffered lines, flush, recompute interest, reap.
+    fn pump(&mut self, id: u64) {
+        self.process_lines(id);
+        self.flush(id);
+        self.update_interest(id);
+        self.maybe_reap(id);
+    }
+
+    /// Execute buffered complete lines in order: light ops inline, and
+    /// from the first heavy op onward, everything available as one
+    /// ordered batch job (stops there — at most one batch in flight).
+    fn process_lines(&mut self, id: u64) {
+        if self.draining.is_some() {
+            return;
+        }
+        let journaled = self.service.is_journaled();
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.in_flight || conn.closing {
+                return;
+            }
+            let Some(line_bytes) = conn.buf.next_line() else {
+                if conn.buf.partial_len() > MAX_LINE_BYTES {
+                    conn.out.push_str(OVERSIZE_REPLY);
+                    conn.closing = true;
+                }
+                return;
+            };
+            let Ok(line) = std::str::from_utf8(line_bytes) else {
+                conn.out.push_str(NON_UTF8_REPLY);
+                continue;
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if is_heavy(trimmed, journaled) {
+                // Seal this line plus everything already behind it into
+                // one ordered batch for the worker pool. (The batch pool
+                // and `submit_job` touch disjoint fields, so the batch
+                // is assembled while the line slices still borrow the
+                // connection's read buffer.)
+                let mut batch = self.shared.take_batch();
+                batch.extend_from_slice(trimmed.as_bytes());
+                batch.push(b'\n');
+                while let Some(rest) = conn.buf.next_line() {
+                    batch.extend_from_slice(rest);
+                    batch.push(b'\n');
+                }
+                conn.in_flight = true;
+                submit_batch(&self.service, &self.shared, id, batch);
+                return;
+            }
+            // Inline: render straight into the connection's response
+            // buffer (appended after everything already queued),
+            // through the same shared per-line responder as the
+            // threaded loop and the batch jobs.
+            crate::net::respond_line(&self.service, line_bytes, &mut conn.out, &mut self.scratch);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            let Some(mut completion) = completion else {
+                return;
+            };
+            self.shared.put_batch(completion.batch);
+            let Some(conn) = self.conns.get_mut(&completion.conn) else {
+                // Connection died while the batch ran.
+                self.shared.put_string(completion.out);
+                continue;
+            };
+            conn.in_flight = false;
+            if conn.out.is_empty() {
+                // Common case (nothing queued behind the batch): adopt
+                // the rendered buffer instead of copying megabytes of
+                // `regions`/`audit.read`/`clean` output.
+                debug_assert_eq!(conn.out_pos, 0);
+                std::mem::swap(&mut conn.out, &mut completion.out);
+            } else {
+                conn.out.push_str(&completion.out);
+            }
+            self.shared.put_string(completion.out);
+            self.pump(completion.conn);
+        }
+    }
+
+    /// Write as much queued response as the socket takes.
+    fn flush(&mut self, id: u64) {
+        let mut dead = false;
+        if let Some(conn) = self.conns.get_mut(&id) {
+            while conn.unflushed() > 0 {
+                match conn.stream.write(&conn.out.as_bytes()[conn.out_pos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        self.service.metrics_raw().add_bytes_out(n as u64);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.unflushed() == 0 && conn.out_pos > 0 {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+        }
+        if dead {
+            self.close_conn(id);
+        }
+    }
+
+    /// Keep the epoll interest mask matching the connection's state:
+    /// `EPOLLOUT` iff bytes await the socket, `EPOLLIN` unless
+    /// backpressure (or EOF) paused reading.
+    fn update_interest(&mut self, id: u64) {
+        let epfd = self.epfd;
+        let mut dead = false;
+        if let Some(conn) = self.conns.get_mut(&id) {
+            let mut want = 0u32;
+            if !conn.peer_done && !reading_paused(conn) {
+                want |= ffi::EPOLLIN;
+            }
+            if conn.unflushed() > 0 {
+                want |= ffi::EPOLLOUT;
+            }
+            if want != conn.interest {
+                if ffi::ctl(epfd, ffi::EPOLL_CTL_MOD, conn.stream.as_raw_fd(), want, id).is_err() {
+                    dead = true;
+                } else {
+                    conn.interest = want;
+                }
+            }
+        }
+        if dead {
+            self.close_conn(id);
+        }
+    }
+
+    /// Close once nothing remains to do for this connection: peer sent
+    /// EOF (or we are closing it), no batch in flight, all responses
+    /// flushed. `pump` already consumed every complete buffered line, so
+    /// any residual input is a partial line that can never complete.
+    fn maybe_reap(&mut self, id: u64) {
+        let Some(conn) = self.conns.get(&id) else {
+            return;
+        };
+        if (conn.peer_done || conn.closing) && !conn.in_flight && conn.unflushed() == 0 {
+            self.close_conn(id);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = ffi::ctl(self.epfd, ffi::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+            self.service.metrics_raw().connection_closed();
+            self.shared.put_string(conn.out);
+            // In-flight batch completions for this id are discarded in
+            // `drain_completions`.
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        // Wait out in-flight batches so their wake writes hit a live
+        // eventfd (jobs hold `Arc<Shared>`; the fd closes with the last
+        // reference, but completing here keeps fd reuse races out).
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while self.conns.values().any(|c| c.in_flight) && Instant::now() < deadline {
+            let mut events = [ffi::EpollEvent { events: 0, data: 0 }; 16];
+            let _ = ffi::wait(self.epfd, &mut events, 20);
+            self.drain_completions();
+        }
+        // Surviving connections close with their streams; settle the
+        // open-connections gauge for them.
+        for _ in 0..self.conns.len() {
+            self.service.metrics_raw().connection_closed();
+        }
+        self.conns.clear();
+        self.service.remove_shutdown_hook(self.hook);
+        ffi::close_fd(self.epfd);
+    }
+}

@@ -38,9 +38,10 @@
 
 use crate::cache::{ruleset_fingerprint, AnalysisCache};
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{Request, PROTOCOL_VERSION};
+use crate::protocol::{scan_line, HotOp, Request, RequestScratch, PROTOCOL_VERSION};
 use crate::session::{SessionError, SessionManager};
-use crate::wire::Json;
+use crate::wire::scan::{ObjectScanner, RawValue};
+use crate::wire::{render_response_into, Json, JsonWriter};
 use cerfix::{
     check_consistency, recheck_regions, search_regions, AuditLog, AuditRecord, AuditSink,
     CellEvent, CompiledRules, ConsistencyOptions, DataMonitor, FixpointReport, MasterData,
@@ -51,9 +52,9 @@ use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
 use cerfix_storage::{
     JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Most audit records one `audit.read` returns when the client asks for
 /// more (or doesn't say).
@@ -111,6 +112,9 @@ struct EngineState {
     fingerprint: u64,
 }
 
+/// A registered shutdown wakeup (see `ServiceInner::shutdown_hooks`).
+type ShutdownHook = Box<dyn Fn() + Send + Sync>;
+
 /// Durable storage plus the gate that serializes snapshots against
 /// mutating ops (see module docs).
 struct StorageBinding {
@@ -142,6 +146,12 @@ struct ServiceInner {
     storage: Option<StorageBinding>,
     config: ServiceConfig,
     shutdown: AtomicBool,
+    /// Out-of-band wakeups run when a `shutdown` request is accepted —
+    /// how the TCP front ends (epoll wakeup fd, threaded self-connect +
+    /// connection teardown) learn about shutdown in milliseconds instead
+    /// of on their next poll. Hooks must be idempotent.
+    shutdown_hooks: Mutex<Vec<(u64, ShutdownHook)>>,
+    next_hook_id: AtomicU64,
 }
 
 /// The concurrent multi-session cleaning service. Cheap to clone (an
@@ -228,6 +238,8 @@ impl CleaningService {
                 master_appended: Mutex::new(Vec::new()),
                 config,
                 shutdown: AtomicBool::new(false),
+                shutdown_hooks: Mutex::new(Vec::new()),
+                next_hook_id: AtomicU64::new(1),
             }),
         }
     }
@@ -303,6 +315,54 @@ impl CleaningService {
     /// True once a `shutdown` request has been accepted.
     pub fn shutdown_requested(&self) -> bool {
         self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Register a wakeup to run when shutdown is requested (idempotent —
+    /// it may fire more than once). Front ends use this to interrupt
+    /// blocked accepts/reads immediately instead of noticing shutdown on
+    /// a timeout. Returns a token for [`remove_shutdown_hook`](Self::remove_shutdown_hook).
+    pub fn add_shutdown_hook(&self, hook: impl Fn() + Send + Sync + 'static) -> u64 {
+        let id = self.inner.next_hook_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .shutdown_hooks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((id, Box::new(hook)));
+        id
+    }
+
+    /// Unregister a shutdown wakeup (a front end leaving `run`).
+    pub fn remove_shutdown_hook(&self, id: u64) {
+        self.inner
+            .shutdown_hooks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(hook_id, _)| *hook_id != id);
+    }
+
+    fn notify_shutdown(&self) {
+        let hooks = self
+            .inner
+            .shutdown_hooks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (_, hook) in hooks.iter() {
+            hook();
+        }
+    }
+
+    /// The raw counters, for front ends recording transport telemetry
+    /// (connection gauge, byte counters).
+    pub(crate) fn metrics_raw(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// Run a job on the service worker pool (the epoll reactor's
+    /// dispatch path for CPU-heavy request batches). Jobs may themselves
+    /// fan out on the pool — `map_ordered` is caller-participating, so
+    /// a batched `clean` inside a job cannot deadlock.
+    pub(crate) fn submit_job(&self, job: impl FnOnce() + Send + 'static) {
+        self.inner.pool.submit(job);
     }
 
     /// Evict idle sessions now; returns how many were reaped. The TCP
@@ -524,27 +584,79 @@ impl CleaningService {
     }
 
     fn monitor_for<'e>(&'e self, engine: &'e EngineState) -> DataMonitor<'e> {
-        DataMonitor::from_plan(&engine.rules, &engine.master, Arc::clone(&engine.plan))
-            .with_shared_regions(Arc::clone(&engine.regions))
-            .with_audit(Arc::clone(&self.inner.audit))
+        // `from_shared_parts` (not `from_plan` + builder chain) so the
+        // per-request monitor is refcount bumps only — no allocation on
+        // the warmed path.
+        DataMonitor::from_shared_parts(
+            &engine.rules,
+            &engine.master,
+            Arc::clone(&engine.plan),
+            Arc::clone(&engine.regions),
+            Arc::clone(&self.inner.audit),
+        )
     }
 
     /// Handle one wire line: parse, dispatch, render. Never panics on
     /// malformed input — errors come back as `{"ok":false,...}` lines.
+    ///
+    /// Convenience wrapper over
+    /// [`handle_line_into`](Self::handle_line_into) that allocates fresh
+    /// buffers; connection loops hold reusable ones instead.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match Request::parse_line(line) {
-            Ok(request) => self.handle(&request),
+        let mut out = String::new();
+        let mut scratch = RequestScratch::default();
+        self.handle_line_into(line, &mut out, &mut scratch);
+        out
+    }
+
+    /// Handle one wire line, rendering the response into `out`
+    /// (appended; callers clear between requests) with `scratch` as the
+    /// reusable parse buffer. This is the production entry point for
+    /// both TCP front ends: the hot session ops (`session.get` / `fix` /
+    /// `validate` / `commit` / `abort`) run a borrowed slice-parse and a
+    /// direct render — zero steady-state allocations per request in
+    /// memory mode — while everything else takes the tree parser.
+    ///
+    /// A client-supplied top-level `"id"` field is echoed verbatim as
+    /// the first field of the response, so pipelining clients can
+    /// correlate responses (which always arrive in request order per
+    /// connection) without counting lines.
+    pub fn handle_line_into(&self, line: &str, out: &mut String, scratch: &mut RequestScratch) {
+        let scanned = scan_line(line);
+        if let Some(hot) = scanned.hot {
+            if self.try_hot(&hot, scanned.id, out, scratch) {
+                return;
+            }
+        }
+        self.inner.metrics.request();
+        let started = Instant::now();
+        let op = match Request::parse_line(line) {
+            Ok(request) => {
+                let response = self.dispatch(&request);
+                render_response_into(&response, scanned.id, out);
+                request.op()
+            }
             Err(e) => {
-                self.inner.metrics.request();
-                self.error(e.to_string())
+                let response = self.error(e.to_string());
+                render_response_into(&response, scanned.id, out);
+                "parse_error"
             }
         };
-        response.render()
+        self.inner.metrics.observe_latency(op, started.elapsed());
     }
 
     /// Dispatch one typed request.
     pub fn handle(&self, request: &Request) -> Json {
         self.inner.metrics.request();
+        let started = Instant::now();
+        let response = self.dispatch(request);
+        self.inner
+            .metrics
+            .observe_latency(request.op(), started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Json {
         let result = match request {
             Request::Hello => Ok(self.hello()),
             Request::SessionCreate { tuple } => self.session_create(tuple),
@@ -565,6 +677,7 @@ impl CleaningService {
             Request::Metrics => Ok(self.metrics_response()),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
+                self.notify_shutdown();
                 Ok(Json::obj([
                     ("ok", Json::Bool(true)),
                     ("stopping", Json::Bool(true)),
@@ -577,6 +690,294 @@ impl CleaningService {
     fn error(&self, message: String) -> Json {
         self.inner.metrics.error();
         Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message))])
+    }
+
+    /// Render an error response directly (fast-path twin of
+    /// [`error`](Self::error); byte-identical output).
+    fn write_error(&self, message: &str, raw_id: Option<&str>, out: &mut String) {
+        self.inner.metrics.error();
+        let mut w = JsonWriter::new(out);
+        w.begin_response(raw_id);
+        w.key("ok");
+        w.bool_val(false);
+        w.key("error");
+        w.str_val(message);
+        w.end_obj();
+    }
+
+    /// Execute a hot-scanned request directly. Returns false when the
+    /// line must fall back to the tree parser (so wire-level error
+    /// messages stay identical); in that case nothing was executed,
+    /// counted or written.
+    fn try_hot(
+        &self,
+        hot: &HotOp<'_>,
+        raw_id: Option<&str>,
+        out: &mut String,
+        scratch: &mut RequestScratch,
+    ) -> bool {
+        let started = Instant::now();
+        match *hot {
+            HotOp::SessionValidate {
+                session,
+                validations,
+            } => {
+                match self.resolve_validations_into(validations, scratch) {
+                    Ok(true) => {}
+                    // Wire shape the scanner does not vouch for: let the
+                    // tree parser own it (and its error message).
+                    Ok(false) => return false,
+                    Err(message) => {
+                        self.inner.metrics.request();
+                        self.write_error(&message, raw_id, out);
+                        self.inner
+                            .metrics
+                            .observe_latency("session.validate", started.elapsed());
+                        return true;
+                    }
+                }
+                self.inner.metrics.request();
+                self.hot_validate(session, raw_id, out, scratch);
+            }
+            HotOp::SessionFix { session } => {
+                scratch.validations.clear();
+                self.inner.metrics.request();
+                self.hot_validate(session, raw_id, out, scratch);
+            }
+            HotOp::SessionGet { session } => {
+                self.inner.metrics.request();
+                self.hot_view(session, None, raw_id, out);
+            }
+            HotOp::SessionCommit { session } => {
+                self.inner.metrics.request();
+                self.hot_commit(session, raw_id, out);
+            }
+            HotOp::SessionAbort { session } => {
+                self.inner.metrics.request();
+                self.hot_abort(session, raw_id, out);
+            }
+        }
+        self.inner
+            .metrics
+            .observe_latency(hot.op(), started.elapsed());
+        true
+    }
+
+    /// Re-scan a `validations` object span into `scratch.validations`.
+    /// `Ok(true)` = resolved; `Ok(false)` = fall back to the tree
+    /// parser; `Err` = a service-level error (unknown attribute) with
+    /// the same message the tree path produces.
+    fn resolve_validations_into(
+        &self,
+        span: &str,
+        scratch: &mut RequestScratch,
+    ) -> Result<bool, String> {
+        scratch.validations.clear();
+        let Some(mut scanner) = ObjectScanner::new(span) else {
+            return Ok(false);
+        };
+        while let Some((key, value, _)) = scanner.next_field() {
+            let attr = {
+                let Some(name) = key.unescape_into(&mut scratch.unescape) else {
+                    return Ok(false);
+                };
+                self.resolve_attr(name)?
+            };
+            let value = match value {
+                RawValue::Null => Value::Null,
+                RawValue::Bool(b) => Value::Bool(b),
+                RawValue::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+                    Value::Int(n as i64)
+                }
+                RawValue::Num(n) => Value::Float(n),
+                RawValue::Str(s) => {
+                    let Some(content) = s.unescape_into(&mut scratch.unescape) else {
+                        return Ok(false);
+                    };
+                    Value::str(content)
+                }
+                // Containers as cell values: tree path owns the error.
+                RawValue::Arr(_) | RawValue::Obj(_) => return Ok(false),
+            };
+            scratch.validations.push((attr, value));
+        }
+        Ok(scanner.ok())
+    }
+
+    fn hot_validate(
+        &self,
+        id: u64,
+        raw_id: Option<&str>,
+        out: &mut String,
+        scratch: &mut RequestScratch,
+    ) {
+        match self.apply_validations_resolved(id, &scratch.validations) {
+            Ok(report) => {
+                self.inner.metrics.cells_fixed(report.fixes.len() as u64);
+                self.hot_view(id, Some(&report), raw_id, out);
+            }
+            Err(message) => self.write_error(&message, raw_id, out),
+        }
+    }
+
+    /// Direct-render twin of [`session_view`](Self::session_view)
+    /// (byte-identical output, guarded by tests). Writes nothing before
+    /// the session lookup succeeds, so error responses stay clean.
+    fn hot_view(
+        &self,
+        id: u64,
+        report: Option<&FixpointReport>,
+        raw_id: Option<&str>,
+        out: &mut String,
+    ) {
+        let engine = self.engine();
+        let monitor = self.monitor_for(&engine);
+        let schema = self.input_schema();
+        let result = self.inner.sessions.with_session(id, |session| {
+            let status = monitor.status(session);
+            let mut w = JsonWriter::new(out);
+            w.begin_response(raw_id);
+            w.key("ok");
+            w.bool_val(true);
+            w.key("session");
+            w.num(id as f64);
+            w.key("status");
+            w.str_val(match &status {
+                SessionStatus::AwaitingUser { .. } => "awaiting_user",
+                SessionStatus::Complete => "complete",
+                SessionStatus::Stuck { .. } => "stuck",
+            });
+            w.key("tuple");
+            w.begin_arr();
+            for v in session.tuple.values() {
+                w.value(v);
+            }
+            w.end_arr();
+            w.key("rounds");
+            w.num(session.rounds as f64);
+            w.key("validated");
+            w.begin_arr();
+            for a in session.validated.iter() {
+                w.str_val(schema.attr_name(a));
+            }
+            w.end_arr();
+            match status {
+                SessionStatus::AwaitingUser { suggestion } => {
+                    w.key("suggestion");
+                    w.begin_arr();
+                    for &a in &suggestion {
+                        w.str_val(schema.attr_name(a));
+                    }
+                    w.end_arr();
+                }
+                SessionStatus::Stuck { unvalidated } => {
+                    w.key("unvalidated");
+                    w.begin_arr();
+                    for &a in &unvalidated {
+                        w.str_val(schema.attr_name(a));
+                    }
+                    w.end_arr();
+                }
+                SessionStatus::Complete => {}
+            }
+            if let Some(report) = report {
+                w.key("fixes");
+                w.begin_arr();
+                for fix in &report.fixes {
+                    w.begin_obj();
+                    w.key("attr");
+                    w.str_val(schema.attr_name(fix.attr));
+                    w.key("old");
+                    w.value(&fix.old);
+                    w.key("new");
+                    w.value(&fix.new);
+                    w.key("rule");
+                    w.num(fix.rule as f64);
+                    w.key("master_row");
+                    w.num(fix.master_row as f64);
+                    w.end_obj();
+                }
+                w.end_arr();
+                w.key("newly_validated");
+                w.begin_arr();
+                for &a in &report.newly_validated {
+                    w.str_val(schema.attr_name(a));
+                }
+                w.end_arr();
+            }
+            w.end_obj();
+        });
+        if let Err(e) = result {
+            self.write_error(&e.to_string(), raw_id, out);
+        }
+    }
+
+    /// Direct-render twin of [`session_commit`](Self::session_commit).
+    fn hot_commit(&self, id: u64, raw_id: Option<&str>, out: &mut String) {
+        let result = self.with_gate(|| -> Result<_, String> {
+            let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+            let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
+            Ok((session, seq))
+        });
+        match result {
+            Ok((session, seq)) => {
+                if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+                    binding.storage.sync(seq);
+                }
+                self.inner.metrics.session_committed();
+                let schema = self.input_schema();
+                let mut w = JsonWriter::new(out);
+                w.begin_response(raw_id);
+                w.key("ok");
+                w.bool_val(true);
+                w.key("session");
+                w.num(id as f64);
+                w.key("complete");
+                w.bool_val(session.is_complete());
+                w.key("tuple");
+                w.begin_arr();
+                for v in session.tuple.values() {
+                    w.value(v);
+                }
+                w.end_arr();
+                w.key("rounds");
+                w.num(session.rounds as f64);
+                w.key("user_validated");
+                w.num(session.user_validated.len() as f64);
+                w.key("auto_validated");
+                w.num(session.auto_validated.len() as f64);
+                w.key("validated");
+                w.begin_arr();
+                for a in session.validated.iter() {
+                    w.str_val(schema.attr_name(a));
+                }
+                w.end_arr();
+                w.end_obj();
+            }
+            Err(message) => self.write_error(&message, raw_id, out),
+        }
+    }
+
+    /// Direct-render twin of [`session_abort`](Self::session_abort).
+    fn hot_abort(&self, id: u64, raw_id: Option<&str>, out: &mut String) {
+        let result = self.with_gate(|| -> Result<(), String> {
+            self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
+            self.journal(&JournalEvent::SessionAborted { session: id });
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                self.inner.metrics.session_aborted();
+                let mut w = JsonWriter::new(out);
+                w.begin_response(raw_id);
+                w.key("ok");
+                w.bool_val(true);
+                w.key("session");
+                w.num(id as f64);
+                w.end_obj();
+            }
+            Err(message) => self.write_error(&message, raw_id, out),
+        }
     }
 
     fn hello(&self) -> Json {
@@ -786,30 +1187,44 @@ impl CleaningService {
             .iter()
             .map(|(name, value)| Ok((self.resolve_attr(name)?, value.clone())))
             .collect::<Result<_, String>>()?;
-        // Journal *before* applying, inside the session lock: a mixed
-        // batch can mutate some cells and then fail, and replay must
-        // reproduce exactly that — the event is the attempt, and the
-        // deterministic engine re-derives its outcome.
+        let report = self.apply_validations_resolved(id, &resolved)?;
+        self.inner.metrics.cells_fixed(report.fixes.len() as u64);
+        self.session_view(id, Some(report))
+    }
+
+    /// Apply already-resolved validations to a session — the shared core
+    /// of the tree and hot `session.validate`/`session.fix` paths.
+    /// Journals *before* applying, inside the session lock: a mixed
+    /// batch can mutate some cells and then fail, and replay must
+    /// reproduce exactly that — the event is the attempt, and the
+    /// deterministic engine re-derives its outcome.
+    fn apply_validations_resolved(
+        &self,
+        id: u64,
+        resolved: &[(usize, Value)],
+    ) -> Result<FixpointReport, String> {
         let report = self.with_gate(|| {
             let engine = self.engine();
             let monitor = self.monitor_for(&engine);
             self.inner
                 .sessions
                 .with_session(id, |session| {
-                    self.journal(&JournalEvent::SessionValidated {
-                        session: id,
-                        validations: resolved
-                            .iter()
-                            .map(|(attr, value)| (*attr as u32, value.clone()))
-                            .collect(),
-                    });
-                    monitor.apply_validation(session, &resolved)
+                    // Only build the owned event when a journal exists —
+                    // the memory-mode hot path stays allocation-free.
+                    if self.inner.storage.is_some() {
+                        self.journal(&JournalEvent::SessionValidated {
+                            session: id,
+                            validations: resolved
+                                .iter()
+                                .map(|(attr, value)| (*attr as u32, value.clone()))
+                                .collect(),
+                        });
+                    }
+                    monitor.apply_validation(session, resolved)
                 })
                 .map_err(|e: SessionError| e.to_string())
         })?;
-        let report = report.map_err(|e| e.to_string())?;
-        self.inner.metrics.cells_fixed(report.fixes.len() as u64);
-        self.session_view(id, Some(report))
+        report.map_err(|e| e.to_string())
     }
 
     fn session_commit(&self, id: u64) -> Result<Json, String> {
@@ -1200,6 +1615,16 @@ impl CleaningService {
             ("cells_fixed", Json::Num(snapshot.cells_fixed as f64)),
             ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
             ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
+            (
+                "connections_open",
+                Json::Num(snapshot.connections_open as f64),
+            ),
+            (
+                "connections_total",
+                Json::Num(snapshot.connections_total as f64),
+            ),
+            ("bytes_in", Json::Num(snapshot.bytes_in as f64)),
+            ("bytes_out", Json::Num(snapshot.bytes_out as f64)),
             ("workers", Json::Num(self.workers() as f64)),
             ("audit_records", Json::Num(self.inner.audit.len() as f64)),
             (
@@ -1235,6 +1660,29 @@ impl CleaningService {
                     Json::Num(snapshot.snapshots_written as f64),
                 ),
             ]);
+        }
+        // Per-op service-latency summaries (ops with traffic only): how
+        // long requests spend in the service, transport excluded.
+        if !snapshot.latency.is_empty() {
+            fields.push((
+                "latency",
+                Json::Obj(
+                    snapshot
+                        .latency
+                        .iter()
+                        .map(|l| {
+                            (
+                                l.op.to_string(),
+                                Json::obj([
+                                    ("count", Json::Num(l.count as f64)),
+                                    ("p50_us", Json::Num(l.p50_ns as f64 / 1000.0)),
+                                    ("p99_us", Json::Num(l.p99_ns as f64 / 1000.0)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
         }
         // Search diagnostics of the active engine's region state, so
         // operators can watch the incremental data phase (and delta

@@ -506,6 +506,7 @@ fn spawn_server(
     dir: &Path,
     master: &Path,
     rules: &Path,
+    frontend: &str,
 ) -> (std::process::Child, std::net::SocketAddr) {
     use std::io::BufRead;
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_cerfix"))
@@ -521,6 +522,8 @@ fn spawn_server(
             "127.0.0.1:0",
             "--workers",
             "2",
+            "--frontend",
+            frontend,
             "--data-dir",
             dir.join("data").to_str().unwrap(),
             "--flush-interval-ms",
@@ -550,13 +553,26 @@ fn spawn_server(
     (child, addr)
 }
 
+/// kill -9 over TCP against the threaded front end.
 #[test]
 fn kill_dash_nine_over_tcp_resumes_sessions() {
+    kill_dash_nine_with_frontend("threads");
+}
+
+/// Same harness against the epoll readiness-loop front end: the
+/// reactor's buffered/batched request path must leave exactly the same
+/// journal, and recovery must see identical state.
+#[test]
+fn kill_dash_nine_over_tcp_resumes_sessions_epoll() {
+    kill_dash_nine_with_frontend("epoll");
+}
+
+fn kill_dash_nine_with_frontend(frontend: &str) {
     use cerfix_server::Client;
-    let dir = tmp_dir("kill9");
+    let dir = tmp_dir(&format!("kill9-{frontend}"));
     let (master, rules) = write_kill_fixture(&dir);
 
-    let (mut child, addr) = spawn_server(&dir, &master, &rules);
+    let (mut child, addr) = spawn_server(&dir, &master, &rules, frontend);
     let mut client = Client::connect(addr).expect("connect");
     let row = |k: &str, v: &str, n: &str| vec![Value::str(k), Value::str(v), Value::str(n)];
 
@@ -586,7 +602,7 @@ fn kill_dash_nine_over_tcp_resumes_sessions() {
     child.kill().expect("kill -9");
     let _ = child.wait();
 
-    let (mut child, addr) = spawn_server(&dir, &master, &rules);
+    let (mut child, addr) = spawn_server(&dir, &master, &rules, frontend);
     let mut client = Client::connect(addr).expect("reconnect");
     let after = client.get_session(open.session).expect("session resumed");
     assert_eq!(after.tuple, view_before.tuple);

@@ -11,11 +11,12 @@
 use cerfix::{CleanOutcome, DataMonitor, OracleUser};
 use cerfix_gen::{make_workload, uk, NoiseSpec, Workload};
 use cerfix_relation::{SchemaRef, Tuple, Value};
-use cerfix_server::{CleaningService, Client, CommitView, Server, ServiceConfig};
+use cerfix_server::{CleaningService, Client, CommitView, Frontend, Server, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 const SESSIONS_PER_CLIENT: usize = 5;
@@ -91,6 +92,13 @@ fn oracle_session_over_wire(
 
 #[test]
 fn concurrent_wire_sessions_match_single_threaded_monitor() {
+    // Both front ends must match the single-threaded oracle exactly.
+    for frontend in [Frontend::Epoll, Frontend::Threads] {
+        concurrent_sessions_match_monitor(frontend);
+    }
+}
+
+fn concurrent_sessions_match_monitor(frontend: Frontend) {
     let Fixture {
         scenario,
         workload,
@@ -113,7 +121,8 @@ fn concurrent_wire_sessions_match_single_threaded_monitor() {
         })
         .collect();
 
-    let handle = Server::spawn("127.0.0.1:0", service.clone()).expect("bind ephemeral");
+    let handle =
+        Server::spawn_with("127.0.0.1:0", service.clone(), frontend).expect("bind ephemeral");
     let addr: SocketAddr = handle.addr();
     let schema = scenario.input.clone();
 
@@ -173,6 +182,32 @@ fn concurrent_wire_sessions_match_single_threaded_monitor() {
     assert_eq!(snapshot.errors, 0);
 
     handle.shutdown().expect("clean shutdown");
+}
+
+/// Shutdown latency: with the wakeup fd (epoll) and the half-close +
+/// self-connect hooks (threads), a server with idle open connections
+/// stops in milliseconds. The pre-reactor implementation rode out a
+/// 200 ms per-connection read timeout plus a 25 ms accept poll — the
+/// bound here fails if either ever creeps back.
+#[test]
+fn shutdown_completes_promptly_with_open_connections() {
+    for frontend in [Frontend::Threads, Frontend::Epoll] {
+        let Fixture { service, .. } = fixture(2);
+        let handle = Server::spawn_with("127.0.0.1:0", service, frontend).expect("bind ephemeral");
+        let mut clients: Vec<Client> = (0..4)
+            .map(|_| Client::connect(handle.addr()).expect("connect"))
+            .collect();
+        for client in &mut clients {
+            client.hello().expect("hello"); // connection fully established & served
+        }
+        let started = Instant::now();
+        handle.shutdown().expect("clean shutdown");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "{frontend:?} shutdown took {elapsed:?} with idle connections open"
+        );
+    }
 }
 
 #[test]
