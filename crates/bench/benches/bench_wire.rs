@@ -77,7 +77,7 @@ fn fast_mode() -> bool {
 // bench measures.
 // ---------------------------------------------------------------------
 
-fn kv_service(rows: usize) -> CleaningService {
+fn kv_service_cfg(rows: usize, trace_buffer: usize) -> CleaningService {
     let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
     let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
     let mut builder = RelationBuilder::new(ms.clone());
@@ -105,9 +105,17 @@ fn kv_service(rows: usize) -> CleaningService {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(2, usize::from),
             precompute_regions: false,
+            trace_buffer,
             ..ServiceConfig::default()
         },
     )
+}
+
+/// The measurement default: tracing ON (the ring at its default size),
+/// so every alloc guard and throughput arm below covers the traced
+/// configuration operators actually run.
+fn kv_service(n: usize) -> CleaningService {
+    kv_service_cfg(n, ServiceConfig::default().trace_buffer)
 }
 
 // ---------------------------------------------------------------------
@@ -395,7 +403,17 @@ struct MuxConn {
 /// pipelining pressure to both front ends and leaves the server
 /// architecture as the only variable.
 fn pipelined_throughput(arm: Arm, conns: usize, window: usize, rounds: usize) -> f64 {
-    let server = RunningServer::spawn(arm);
+    pipelined_throughput_on(RunningServer::spawn(arm), conns, window, rounds)
+}
+
+/// The same measurement over an already-spawned server (how the
+/// tracing-overhead arm runs a non-default service configuration).
+fn pipelined_throughput_on(
+    server: RunningServer,
+    conns: usize,
+    window: usize,
+    rounds: usize,
+) -> f64 {
     let service = server.service();
     let addr = server.addr();
     let mut muxed: Vec<MuxConn> = (0..conns)
@@ -676,6 +694,28 @@ fn bench_wire_suite(_c: &mut Criterion) {
         "epoll speedup at {headline_conns} conns: {vs_seed:.2}x vs seed baseline, {vs_threads:.2}x vs improved threads"
     );
 
+    // Tracing overhead: the epoll front end with its default trace
+    // ring (what every arm above ran with) vs tracing disabled.
+    // Recorded into BENCH_server.json, not asserted — the budget is
+    // <2% and single-run jitter on shared hosts exceeds that.
+    let overhead_conns = 8;
+    let traced = pipelined_throughput(Arm::Epoll, overhead_conns, window, rounds);
+    let untraced = {
+        let service = kv_service_cfg(512, 0);
+        let handle =
+            Server::spawn_with("127.0.0.1:0", service, Frontend::Epoll).expect("bind ephemeral");
+        pipelined_throughput_on(
+            RunningServer::Managed(handle),
+            overhead_conns,
+            window,
+            rounds,
+        )
+    };
+    let overhead_pct = (1.0 - traced / untraced) * 100.0;
+    println!(
+        "tracing overhead (epoll, {overhead_conns} conns): {traced:.0} req/s traced vs {untraced:.0} req/s untraced → {overhead_pct:+.2}% (budget < 2%)"
+    );
+
     let latency_conns = 8;
     let per_conn = if fast_mode() { 200 } else { 1000 };
     let (s_p50, s_p99) = closed_loop_latency(Arm::Seed, latency_conns, per_conn);
@@ -696,6 +736,7 @@ fn bench_wire_suite(_c: &mut Criterion) {
             ("epoll", e_p50, e_p99),
         ],
         &report,
+        (traced, untraced, overhead_pct),
     );
 }
 
@@ -706,6 +747,7 @@ fn write_json(
     vs_threads: f64,
     latency: [(&str, f64, f64); 3],
     alloc: &AllocReport,
+    tracing: (f64, f64, f64),
 ) {
     let mut rows = String::new();
     for (i, c) in cells.iter().enumerate() {
@@ -728,11 +770,14 @@ fn write_json(
     }
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
     let json = format!(
-        "{{\n  \"bench\": \"wire\",\n  \"mode\": \"{mode}\",\n  \"environment\": {{\"cores\": {cores}, \"note\": \"single-core hosts serialize service CPU, bench client and front end on one core; the reactor's pool dispatch and wakeup amortization widen these gaps with core count\"}},\n  \"arms\": [\"threads_seed_baseline\", \"threads\", \"epoll\"],\n  \"pipelined\": [\n{rows}\n  ],\n  \"pipelined_speedup_at_{headline_conns}_conns\": {{\"epoll_vs_seed_baseline\": {vs_seed:.2}, \"epoll_vs_threads\": {vs_threads:.2}}},\n  \"closed_loop_latency_us\": {{\n{lat}\n  }},\n  \"allocs_per_request_warmed\": {{\"session.get\": {ag}, \"session.fix\": {af}, \"session.validate\": {av}}}\n}}\n",
+        "{{\n  \"bench\": \"wire\",\n  \"mode\": \"{mode}\",\n  \"environment\": {{\"cores\": {cores}, \"note\": \"single-core hosts serialize service CPU, bench client and front end on one core; the reactor's pool dispatch and wakeup amortization widen these gaps with core count\"}},\n  \"arms\": [\"threads_seed_baseline\", \"threads\", \"epoll\"],\n  \"pipelined\": [\n{rows}\n  ],\n  \"pipelined_speedup_at_{headline_conns}_conns\": {{\"epoll_vs_seed_baseline\": {vs_seed:.2}, \"epoll_vs_threads\": {vs_threads:.2}}},\n  \"closed_loop_latency_us\": {{\n{lat}\n  }},\n  \"allocs_per_request_warmed\": {{\"session.get\": {ag}, \"session.fix\": {af}, \"session.validate\": {av}}},\n  \"tracing_overhead\": {{\"traced_reqs_per_sec\": {traced:.0}, \"untraced_reqs_per_sec\": {untraced:.0}, \"overhead_pct\": {opct:.2}, \"budget_pct\": 2.0}}\n}}\n",
         mode = if fast_mode() { "smoke" } else { "full" },
         ag = alloc.get,
         af = alloc.fix,
         av = alloc.validate,
+        traced = tracing.0,
+        untraced = tracing.1,
+        opct = tracing.2,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, json).expect("write BENCH_server.json at repo root");

@@ -169,6 +169,13 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// Jobs currently waiting in the queue (a point-in-time gauge for
+    /// telemetry: one lock acquisition, no allocation; jobs already
+    /// claimed by workers are not counted).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
     /// Enqueue a fire-and-forget job.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
         lock(&self.shared.queue).push_back(Box::new(job));

@@ -75,6 +75,7 @@ pub mod protocol;
 mod reactor;
 mod service;
 mod session;
+mod trace;
 pub mod wire;
 
 pub use cache::{ruleset_fingerprint, AnalysisCache};

@@ -1,5 +1,8 @@
-//! Service counters, exported over the `metrics` protocol op.
+//! Service counters, exported over the `metrics` protocol op and, in
+//! Prometheus text format with full histogram buckets, over
+//! `metrics.prom` (see [`ServiceMetrics::render_prom`]).
 
+use cerfix::EngineStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -8,9 +11,11 @@ use std::time::{Duration, Instant};
 /// any op this service runs.
 const LATENCY_BUCKETS: usize = 40;
 
-/// The op classes latency is tracked for: every protocol op plus the
-/// malformed-line class. Indexed by [`op_index`].
-pub const LATENCY_OPS: [&str; 16] = [
+/// The op classes latency is tracked for: every protocol op, the
+/// malformed-line class (`parse_error`), and the class unrecognized ops
+/// fall into (`other` — kept distinct so malformed lines and unknown
+/// ops are not conflated). Indexed by [`op_index`].
+pub const LATENCY_OPS: [&str; 19] = [
     "hello",
     "session.create",
     "session.get",
@@ -25,11 +30,17 @@ pub const LATENCY_OPS: [&str; 16] = [
     "rules.reload",
     "master.append",
     "metrics",
+    "metrics.prom",
+    "trace.read",
     "shutdown",
     "parse_error",
+    "other",
 ];
 
-fn op_index(op: &str) -> usize {
+/// The latency class for `op`: its own slot when the op is known,
+/// otherwise the `other` class. (`parse_error` is a deliberate class of
+/// its own — callers name it explicitly for unparseable lines.)
+pub(crate) fn op_index(op: &str) -> usize {
     LATENCY_OPS
         .iter()
         .position(|&o| o == op)
@@ -38,15 +49,20 @@ fn op_index(op: &str) -> usize {
 
 /// One op's latency histogram (fixed atomics — observing never locks or
 /// allocates, which keeps it on the zero-allocation request path).
+/// Each bucket carries a count *and* a sum of the observed values, so
+/// percentile estimates interpolate to the bucket's empirical mean
+/// instead of reporting its upper bound.
 #[derive(Debug)]
 struct OpHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
+    sums: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl OpHistogram {
     fn new() -> OpHistogram {
         OpHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sums: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -54,10 +70,15 @@ impl OpHistogram {
         let ns = elapsed.as_nanos().max(1) as u64;
         let bucket = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sums[bucket].fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// `(count, p50_ns, p99_ns)` — percentiles report the upper bound of
-    /// the covering bucket (conservative to within 2×).
+    /// `(count, p50_ns, p99_ns)`. The percentile estimate is the
+    /// empirical mean of the covering bucket (clamped to the bucket's
+    /// `[2^i, 2^(i+1))` range), so a bucket fed by one repeated value
+    /// reports that value exactly rather than the 2×-conservative upper
+    /// bound. Allocates one scratch `Vec` of bucket counts — fine for a
+    /// `metrics` request, never called on the request hot path.
     fn summarize(&self) -> (u64, u64, u64) {
         let counts: Vec<u64> = self
             .buckets
@@ -74,12 +95,28 @@ impl OpHistogram {
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
-                    return 1u64 << (i + 1).min(63);
+                    let lo = 1u64 << i.min(63);
+                    let hi = 1u64 << (i + 1).min(63);
+                    // Count and sum are two relaxed atomics: a racing
+                    // observe can land between the loads, so clamp the
+                    // mean back into the bucket's range.
+                    let mean = self.sums[i].load(Ordering::Relaxed) / c.max(1);
+                    return mean.clamp(lo, hi);
                 }
             }
             1u64 << LATENCY_BUCKETS // unreachable
         };
         (total, percentile(50), percentile(99))
+    }
+
+    /// Total of every recorded value, nanoseconds.
+    fn sum_ns(&self) -> u64 {
+        self.sums.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total observations.
+    fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -134,6 +171,19 @@ pub struct ServiceMetrics {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     latency: Vec<OpHistogram>,
+    /// Per-op-class engine-stat totals, parallel to `latency`:
+    /// `[fixpoint_runs, rule_attempts, master_lookups, index_probes]`.
+    engine_totals: Vec<[AtomicU64; 4]>,
+    /// Worker-pool batch latency: submit → batch fully executed (the
+    /// epoll reactor's heavy-op offload path).
+    batch_latency: OpHistogram,
+    /// Epoll reactor loop-iteration time (work per wakeup, excluding
+    /// the blocking wait itself).
+    reactor_loop: OpHistogram,
+    /// `epoll_wait` calls made by the reactor.
+    reactor_polls: AtomicU64,
+    /// Cross-thread eventfd wakeups delivered to the reactor.
+    reactor_wakeups: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -223,12 +273,55 @@ impl ServiceMetrics {
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             latency: (0..LATENCY_OPS.len()).map(|_| OpHistogram::new()).collect(),
+            engine_totals: (0..LATENCY_OPS.len())
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            batch_latency: OpHistogram::new(),
+            reactor_loop: OpHistogram::new(),
+            reactor_polls: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
         }
+    }
+
+    /// Whole seconds since service start (cheap: one monotonic read).
+    pub(crate) fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Record one request's service latency under its op class.
     pub(crate) fn observe_latency(&self, op: &str, elapsed: Duration) {
         self.latency[op_index(op)].observe(elapsed);
+    }
+
+    /// Charge a request's engine-stat delta to its op class. Four
+    /// relaxed adds, no locks or allocation — hot-path safe (and the
+    /// zero-work ops skip even this at the call site).
+    pub(crate) fn add_engine_stats(&self, op_idx: usize, stats: &EngineStats) {
+        let totals = &self.engine_totals[op_idx.min(LATENCY_OPS.len() - 1)];
+        totals[0].fetch_add(stats.fixpoint_runs as u64, Ordering::Relaxed);
+        totals[1].fetch_add(stats.rule_attempts as u64, Ordering::Relaxed);
+        totals[2].fetch_add(stats.master_lookups as u64, Ordering::Relaxed);
+        totals[3].fetch_add(stats.index_probes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one worker-pool batch's submit→done latency.
+    pub(crate) fn observe_batch_latency(&self, elapsed: Duration) {
+        self.batch_latency.observe(elapsed);
+    }
+
+    /// Record one reactor loop iteration's working time.
+    pub(crate) fn observe_reactor_loop(&self, elapsed: Duration) {
+        self.reactor_loop.observe(elapsed);
+    }
+
+    /// Count one reactor `epoll_wait` call.
+    pub(crate) fn reactor_poll(&self) {
+        self.reactor_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one eventfd wakeup delivered to the reactor.
+    pub(crate) fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn connection_opened(&self) {
@@ -369,6 +462,359 @@ impl ServiceMetrics {
     }
 }
 
+impl ServiceMetrics {
+    /// Render every counter, gauge and full histogram (all buckets, not
+    /// just p50/p99) in Prometheus text exposition format. The service
+    /// appends its own process-level gauges (live sessions, queue
+    /// depth, journal flush profile, build info) after this.
+    pub(crate) fn render_prom(&self, out: &mut String) {
+        prom_metric(
+            out,
+            "cerfix_uptime_seconds",
+            "Seconds since service start.",
+            "gauge",
+            self.started.elapsed().as_secs_f64(),
+        );
+        let counters: [(&str, &str, &AtomicU64); 19] = [
+            (
+                "cerfix_requests_total",
+                "Protocol requests handled (including failed ones).",
+                &self.requests,
+            ),
+            (
+                "cerfix_errors_total",
+                "Requests answered with an error.",
+                &self.errors,
+            ),
+            (
+                "cerfix_sessions_created_total",
+                "Sessions created.",
+                &self.sessions_created,
+            ),
+            (
+                "cerfix_sessions_committed_total",
+                "Sessions committed.",
+                &self.sessions_committed,
+            ),
+            (
+                "cerfix_sessions_aborted_total",
+                "Sessions aborted by the client.",
+                &self.sessions_aborted,
+            ),
+            (
+                "cerfix_sessions_evicted_total",
+                "Sessions reaped by idle eviction.",
+                &self.sessions_evicted,
+            ),
+            (
+                "cerfix_sessions_recovered_total",
+                "Sessions rebuilt from the journal/snapshot at startup.",
+                &self.sessions_recovered,
+            ),
+            (
+                "cerfix_tuples_cleaned_total",
+                "Tuples processed through the batch clean op.",
+                &self.tuples_cleaned,
+            ),
+            (
+                "cerfix_cells_fixed_total",
+                "Cells changed by rules across all ops.",
+                &self.cells_fixed,
+            ),
+            (
+                "cerfix_cache_hits_total",
+                "Region/consistency cache hits.",
+                &self.cache_hits,
+            ),
+            (
+                "cerfix_cache_misses_total",
+                "Region/consistency cache misses.",
+                &self.cache_misses,
+            ),
+            (
+                "cerfix_snapshots_written_total",
+                "Snapshots installed (journal truncations).",
+                &self.snapshots_written,
+            ),
+            (
+                "cerfix_rules_reloaded_total",
+                "Successful rules.reload swaps.",
+                &self.rules_reloaded,
+            ),
+            (
+                "cerfix_master_appends_total",
+                "Successful master.append batches.",
+                &self.master_appends,
+            ),
+            (
+                "cerfix_regions_recertified_total",
+                "Region candidates re-certified by master-delta rechecks.",
+                &self.regions_recertified,
+            ),
+            (
+                "cerfix_regions_cache_patched_total",
+                "Cached region searches patched in place.",
+                &self.regions_cache_patched,
+            ),
+            (
+                "cerfix_connections_total",
+                "TCP connections ever accepted.",
+                &self.connections_total,
+            ),
+            (
+                "cerfix_bytes_in_total",
+                "Request bytes read off sockets.",
+                &self.bytes_in,
+            ),
+            (
+                "cerfix_bytes_out_total",
+                "Response bytes written to sockets.",
+                &self.bytes_out,
+            ),
+        ];
+        for (name, help, counter) in counters {
+            prom_metric(
+                out,
+                name,
+                help,
+                "counter",
+                counter.load(Ordering::Relaxed) as f64,
+            );
+        }
+        let gauges: [(&str, &str, &AtomicU64); 4] = [
+            (
+                "cerfix_connections_open",
+                "TCP connections currently open.",
+                &self.connections_open,
+            ),
+            (
+                "cerfix_journal_bytes",
+                "Bytes appended to the write-ahead journal.",
+                &self.journal_bytes,
+            ),
+            (
+                "cerfix_journal_events",
+                "Events appended to the write-ahead journal.",
+                &self.journal_events,
+            ),
+            (
+                "cerfix_audit_spilled_records",
+                "Audit records evicted from the in-memory window to disk.",
+                &self.audit_spilled_records,
+            ),
+        ];
+        for (name, help, gauge) in gauges {
+            prom_metric(
+                out,
+                name,
+                help,
+                "gauge",
+                gauge.load(Ordering::Relaxed) as f64,
+            );
+        }
+        prom_metric(
+            out,
+            "cerfix_reactor_polls_total",
+            "epoll_wait calls made by the reactor.",
+            "counter",
+            self.reactor_polls.load(Ordering::Relaxed) as f64,
+        );
+        prom_metric(
+            out,
+            "cerfix_reactor_wakeups_total",
+            "Cross-thread eventfd wakeups delivered to the reactor.",
+            "counter",
+            self.reactor_wakeups.load(Ordering::Relaxed) as f64,
+        );
+        // Per-op request latency: full buckets, ops with traffic only
+        // (19 op classes x 40 empty buckets would be pure noise).
+        prom_header(
+            out,
+            "cerfix_request_duration_seconds",
+            "Service time per request, by op class.",
+            "histogram",
+        );
+        for (op, hist) in LATENCY_OPS.iter().zip(&self.latency) {
+            if hist.count() > 0 {
+                hist.render_prom(out, "cerfix_request_duration_seconds", Some(("op", op)));
+            }
+        }
+        prom_header(
+            out,
+            "cerfix_worker_batch_duration_seconds",
+            "Worker-pool batch latency, submit to fully executed.",
+            "histogram",
+        );
+        self.batch_latency
+            .render_prom(out, "cerfix_worker_batch_duration_seconds", None);
+        prom_header(
+            out,
+            "cerfix_reactor_loop_duration_seconds",
+            "Reactor loop iteration working time (wait excluded).",
+            "histogram",
+        );
+        self.reactor_loop
+            .render_prom(out, "cerfix_reactor_loop_duration_seconds", None);
+        // Per-op engine-stat totals (ops that did engine work only).
+        let stats_names = [
+            (
+                "cerfix_engine_fixpoint_runs_total",
+                "Fixpoint runs, by op class.",
+            ),
+            (
+                "cerfix_engine_rule_attempts_total",
+                "Rules attempted by the correcting engine, by op class.",
+            ),
+            (
+                "cerfix_engine_master_lookups_total",
+                "Master tuple lookups, by op class.",
+            ),
+            (
+                "cerfix_engine_index_probes_total",
+                "Index-served master lookups, by op class.",
+            ),
+        ];
+        for (i, (name, help)) in stats_names.iter().enumerate() {
+            prom_header(out, name, help, "counter");
+            for (op, totals) in LATENCY_OPS.iter().zip(&self.engine_totals) {
+                let value = totals[i].load(Ordering::Relaxed);
+                if value > 0 {
+                    prom_sample(out, name, Some(("op", op)), value as f64);
+                }
+            }
+        }
+    }
+}
+
+impl OpHistogram {
+    /// Render this histogram's cumulative buckets (in seconds), sum and
+    /// count, with an optional extra label.
+    fn render_prom(&self, out: &mut String, name: &str, label: Option<(&str, &str)>) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = (1u64 << (i + 1).min(63)) as f64 * 1e-9;
+            prom_bucket(out, name, label, le, cumulative);
+        }
+        out.push_str(name);
+        out.push_str("_bucket{");
+        if let Some((k, v)) = label {
+            push_label(out, k, v);
+            out.push(',');
+        }
+        out.push_str("le=\"+Inf\"} ");
+        push_f64(out, cumulative as f64);
+        out.push('\n');
+        out.push_str(name);
+        out.push_str("_sum");
+        push_labels(out, label);
+        out.push(' ');
+        push_f64(out, self.sum_ns() as f64 * 1e-9);
+        out.push('\n');
+        out.push_str(name);
+        out.push_str("_count");
+        push_labels(out, label);
+        out.push(' ');
+        push_f64(out, cumulative as f64);
+        out.push('\n');
+    }
+}
+
+/// Append a `# HELP` / `# TYPE` header pair.
+pub(crate) fn prom_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Append one sample line (optionally labelled).
+pub(crate) fn prom_sample(out: &mut String, name: &str, label: Option<(&str, &str)>, value: f64) {
+    out.push_str(name);
+    push_labels(out, label);
+    out.push(' ');
+    push_f64(out, value);
+    out.push('\n');
+}
+
+/// Append a whole single-sample metric: header plus value.
+pub(crate) fn prom_metric(out: &mut String, name: &str, help: &str, kind: &str, value: f64) {
+    prom_header(out, name, help, kind);
+    prom_sample(out, name, None, value);
+}
+
+/// Append one cumulative `_bucket` line with its `le` bound.
+fn prom_bucket(out: &mut String, name: &str, label: Option<(&str, &str)>, le: f64, count: u64) {
+    out.push_str(name);
+    out.push_str("_bucket{");
+    if let Some((k, v)) = label {
+        push_label(out, k, v);
+        out.push(',');
+    }
+    out.push_str("le=\"");
+    push_f64(out, le);
+    out.push_str("\"} ");
+    push_f64(out, count as f64);
+    out.push('\n');
+}
+
+/// Render a histogram handed over as `(upper_bound, count-in-bucket)`
+/// pairs plus a total sum — how the journal's flush profile (owned by
+/// the storage crate) is exposed without a crate dependency cycle.
+pub(crate) fn prom_histogram_from_buckets(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    buckets: &[(f64, u64)],
+    sum: f64,
+) {
+    prom_header(out, name, help, "histogram");
+    let mut cumulative = 0u64;
+    for &(le, count) in buckets {
+        cumulative += count;
+        prom_bucket(out, name, None, le, cumulative);
+    }
+    out.push_str(name);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    push_f64(out, cumulative as f64);
+    out.push('\n');
+    prom_sample(out, &format!("{name}_sum"), None, sum);
+    prom_sample(out, &format!("{name}_count"), None, cumulative as f64);
+}
+
+fn push_labels(out: &mut String, label: Option<(&str, &str)>) {
+    if let Some((k, v)) = label {
+        out.push('{');
+        push_label(out, k, v);
+        out.push('}');
+    }
+}
+
+/// `key="value"` — label values here are op names and version strings
+/// (no quotes, backslashes or newlines), so no escaping is performed.
+fn push_label(out: &mut String, key: &str, value: &str) {
+    out.push_str(key);
+    out.push_str("=\"");
+    out.push_str(value);
+    out.push('"');
+}
+
+/// Shortest-round-trip float formatting; integral values render without
+/// a fractional part (Prometheus parses both).
+fn push_f64(out: &mut String, value: f64) {
+    use std::fmt::Write;
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        let _ = write!(out, "{}", value as i64);
+    } else {
+        let _ = write!(out, "{value:?}");
+    }
+}
+
 impl Default for ServiceMetrics {
     fn default() -> ServiceMetrics {
         ServiceMetrics::new()
@@ -438,20 +884,97 @@ mod tests {
         assert_eq!(s.bytes_out, 300);
         let get = s.latency.iter().find(|l| l.op == "session.get").unwrap();
         assert_eq!(get.count, 51);
-        // p50 sits in the 10µs bucket [8192, 16384) ns; p99 must catch
-        // the 5ms outlier.
-        assert_eq!(get.p50_ns, 16_384);
-        assert!(get.p99_ns >= 4_000_000, "p99 {} misses outlier", get.p99_ns);
+        // p50 sits in the 10µs bucket [8192, 16384) ns; with per-bucket
+        // sums the estimate is the bucket's empirical mean — exactly
+        // 10µs here, not the 16384ns upper bound. p99 must catch the
+        // 5ms outlier (again as the exact mean of its bucket).
+        assert_eq!(get.p50_ns, 10_000);
+        assert_eq!(get.p99_ns, 5_000_000);
         // Ops with no traffic are omitted.
         assert!(s.latency.iter().all(|l| l.op == "session.get"));
     }
 
     #[test]
-    fn unknown_op_classes_land_in_parse_error() {
+    fn unknown_op_classes_land_in_other_not_parse_error() {
         let m = ServiceMetrics::new();
         m.observe_latency("not-a-real-op", Duration::from_micros(1));
+        m.observe_latency("parse_error", Duration::from_micros(1));
         let s = m.snapshot();
-        let bucket = s.latency.iter().find(|l| l.op == "parse_error").unwrap();
-        assert_eq!(bucket.count, 1);
+        let other = s.latency.iter().find(|l| l.op == "other").unwrap();
+        assert_eq!(other.count, 1);
+        let parse = s.latency.iter().find(|l| l.op == "parse_error").unwrap();
+        assert_eq!(parse.count, 1);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_bucket_bounds() {
+        let h = OpHistogram::new();
+        // Values spread inside one bucket: the mean stays in range.
+        h.observe(Duration::from_nanos(1025));
+        h.observe(Duration::from_nanos(2000));
+        let (count, p50, _) = h.summarize();
+        assert_eq!(count, 2);
+        assert!((1024..=2048).contains(&p50), "p50 {p50} escaped its bucket");
+    }
+
+    #[test]
+    fn engine_stats_accumulate_per_op_class() {
+        let m = ServiceMetrics::new();
+        let idx = op_index("session.validate");
+        m.add_engine_stats(
+            idx,
+            &EngineStats {
+                fixpoint_runs: 1,
+                rule_attempts: 4,
+                master_lookups: 5,
+                index_probes: 5,
+            },
+        );
+        m.add_engine_stats(
+            idx,
+            &EngineStats {
+                fixpoint_runs: 1,
+                rule_attempts: 2,
+                master_lookups: 1,
+                index_probes: 0,
+            },
+        );
+        let mut prom = String::new();
+        m.render_prom(&mut prom);
+        assert!(prom.contains("cerfix_engine_fixpoint_runs_total{op=\"session.validate\"} 2"));
+        assert!(prom.contains("cerfix_engine_rule_attempts_total{op=\"session.validate\"} 6"));
+        assert!(prom.contains("cerfix_engine_master_lookups_total{op=\"session.validate\"} 6"));
+        assert!(prom.contains("cerfix_engine_index_probes_total{op=\"session.validate\"} 5"));
+    }
+
+    #[test]
+    fn prom_rendering_has_full_buckets_and_correct_shapes() {
+        let m = ServiceMetrics::new();
+        m.request();
+        m.observe_latency("session.get", Duration::from_micros(10));
+        m.observe_batch_latency(Duration::from_micros(250));
+        m.observe_reactor_loop(Duration::from_micros(50));
+        m.reactor_poll();
+        m.reactor_wakeup();
+        let mut out = String::new();
+        m.render_prom(&mut out);
+        assert!(out.contains("# TYPE cerfix_requests_total counter"));
+        assert!(out.contains("cerfix_requests_total 1"));
+        assert!(out.contains("# TYPE cerfix_request_duration_seconds histogram"));
+        // Full bucket set for the op with traffic: 40 finite + +Inf.
+        let get_buckets = out
+            .lines()
+            .filter(|l| l.starts_with("cerfix_request_duration_seconds_bucket{op=\"session.get\""))
+            .count();
+        assert_eq!(get_buckets, LATENCY_BUCKETS + 1);
+        // Ops without traffic are omitted from the histogram family.
+        assert!(!out.contains("op=\"clean\""));
+        assert!(out.contains("cerfix_request_duration_seconds_count{op=\"session.get\"} 1"));
+        assert!(out.contains("cerfix_worker_batch_duration_seconds_count 1"));
+        assert!(out.contains("cerfix_reactor_loop_duration_seconds_count 1"));
+        assert!(out.contains("cerfix_reactor_polls_total 1"));
+        assert!(out.contains("cerfix_reactor_wakeups_total 1"));
+        // Buckets are cumulative and end at +Inf with the total count.
+        assert!(out.contains("cerfix_worker_batch_duration_seconds_bucket{le=\"+Inf\"} 1"));
     }
 }

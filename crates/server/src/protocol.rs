@@ -144,8 +144,11 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
 /// Protocol revision, reported by `hello` and checked by clients.
 /// Version 2 added `audit.read`, `rules.reload` and the `stats` alias
 /// for `metrics`; version 3 added `master.append` (append rows to the
-/// master repository with delta re-certification of cached regions).
-pub const PROTOCOL_VERSION: u64 = 3;
+/// master repository with delta re-certification of cached regions);
+/// version 4 added the observability surface — `trace.read` (recent and
+/// slow request spans) and `metrics.prom` (Prometheus text exposition)
+/// — plus `version`/`uptime_secs` fields on `hello` and `stats`.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,6 +231,17 @@ pub enum Request {
     },
     /// Service counters.
     Metrics,
+    /// Every counter, gauge and full latency histogram in Prometheus
+    /// text exposition format (returned as the `body` string field of a
+    /// normal one-line JSON response).
+    MetricsProm,
+    /// Recent request spans and the slow-request log from the trace
+    /// ring: per-stage timings and engine-stat deltas, correlated to
+    /// client request ids.
+    TraceRead {
+        /// Maximum spans to return from each ring (server-capped).
+        limit: Option<u64>,
+    },
     /// Ask the server process to stop accepting connections.
     Shutdown,
 }
@@ -281,6 +295,8 @@ impl Request {
             Request::RulesReload { .. } => "rules.reload",
             Request::MasterAppend { .. } => "master.append",
             Request::Metrics => "metrics",
+            Request::MetricsProm => "metrics.prom",
+            Request::TraceRead { .. } => "trace.read",
             Request::Shutdown => "shutdown",
         }
     }
@@ -381,6 +397,15 @@ impl Request {
             },
             // `stats` is an alias kept for operational tooling symmetry.
             "metrics" | "stats" => Request::Metrics,
+            "metrics.prom" => Request::MetricsProm,
+            "trace.read" => Request::TraceRead {
+                limit: match json.get("limit") {
+                    Some(l) => Some(l.as_u64().ok_or_else(|| {
+                        WireError("`limit` must be a non-negative integer".into())
+                    })?),
+                    None => None,
+                },
+            },
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -390,7 +415,12 @@ impl Request {
     pub fn to_json(&self) -> Json {
         let mut fields: Vec<(String, Json)> = vec![("op".into(), Json::str(self.op()))];
         match self {
-            Request::Hello | Request::Metrics | Request::Shutdown => {}
+            Request::Hello | Request::Metrics | Request::MetricsProm | Request::Shutdown => {}
+            Request::TraceRead { limit } => {
+                if let Some(limit) = limit {
+                    fields.push(("limit".into(), Json::Num(*limit as f64)));
+                }
+            }
             Request::SessionCreate { tuple } => {
                 fields.push((
                     "tuple".into(),
@@ -521,6 +551,9 @@ mod tests {
             tuples: vec![vec![Value::str("G12"), Value::Null], vec![Value::Int(3)]],
         });
         round_trip(Request::Metrics);
+        round_trip(Request::MetricsProm);
+        round_trip(Request::TraceRead { limit: Some(16) });
+        round_trip(Request::TraceRead { limit: None });
         round_trip(Request::Shutdown);
     }
 
@@ -553,6 +586,8 @@ mod tests {
             r#"{"op":"regions","top_k":"many"}"#,
             r#"{"op":"audit.read","start":-4}"#,
             r#"{"op":"audit.read","count":"all"}"#,
+            r#"{"op":"trace.read","limit":"all"}"#,
+            r#"{"op":"trace.read","limit":-1}"#,
             r#"{"op":"rules.reload"}"#,
             r#"{"op":"rules.reload","rules":7}"#,
             r#"{"op":"master.append"}"#,

@@ -318,12 +318,18 @@ fn reading_paused(conn: &Conn) -> bool {
 fn submit_batch(service: &CleaningService, shared: &Arc<Shared>, id: u64, batch: Vec<u8>) {
     let service_for_job = service.clone();
     let shared = Arc::clone(shared);
+    let submitted = Instant::now();
     service.submit_job(move || {
         let mut out = shared.take_string();
         let mut scratch = shared.take_scratch();
         for line_bytes in batch.split(|&b| b == b'\n') {
             crate::net::respond_line(&service_for_job, line_bytes, &mut out, &mut scratch);
         }
+        // Submit→executed latency: queue wait plus execution, the
+        // number that grows first when the pool saturates.
+        service_for_job
+            .metrics_raw()
+            .observe_batch_latency(submitted.elapsed());
         shared.put_scratch(scratch);
         shared
             .completions
@@ -424,21 +430,31 @@ impl Reactor {
                 }
             }
             let timeout = if self.draining.is_some() { 50 } else { -1 };
+            self.service.metrics_raw().reactor_poll();
             let n = match ffi::wait(self.epfd, &mut events, timeout) {
                 Ok(n) => n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             };
+            // Loop working time: everything between wait returning and
+            // the next wait (dispatch + inline handling + completions).
+            let loop_started = Instant::now();
             for event in &events[..n] {
                 // Copy out of the (possibly packed) struct first.
                 let (mask, token) = (event.events, event.data);
                 match token {
                     TOKEN_LISTENER => self.accept_ready(),
-                    TOKEN_WAKE => self.shared.wake.drain(),
+                    TOKEN_WAKE => {
+                        self.service.metrics_raw().reactor_wakeup();
+                        self.shared.wake.drain();
+                    }
                     conn => self.conn_ready(conn, mask),
                 }
             }
             self.drain_completions();
+            self.service
+                .metrics_raw()
+                .observe_reactor_loop(loop_started.elapsed());
         }
         Ok(())
     }

@@ -37,9 +37,13 @@
 //! the journal's event order is the order events were applied in.
 
 use crate::cache::{ruleset_fingerprint, AnalysisCache};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{
+    op_index, prom_header, prom_histogram_from_buckets, prom_metric, prom_sample, ServiceMetrics,
+    LATENCY_OPS,
+};
 use crate::protocol::{scan_line, HotOp, Request, RequestScratch, PROTOCOL_VERSION};
 use crate::session::{SessionError, SessionManager};
+use crate::trace::{Span, TraceSink};
 use crate::wire::scan::{ObjectScanner, RawValue};
 use crate::wire::{render_response_into, Json, JsonWriter};
 use cerfix::{
@@ -76,6 +80,13 @@ pub struct ServiceConfig {
     /// Pre-compute regions at startup (first sessions then start warm,
     /// matching the demo's "pre-computed to reduce the cost").
     pub precompute_regions: bool,
+    /// Capacity of the in-memory request-trace ring (spans kept for
+    /// `trace.read`), rounded up to a power of two. `0` disables
+    /// tracing entirely.
+    pub trace_buffer: usize,
+    /// Requests slower than this are also kept in the slow-request
+    /// ring, which plain traffic cannot wash out.
+    pub slow_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +97,8 @@ impl Default for ServiceConfig {
             max_sessions: 10_000,
             region_top_k: 8,
             precompute_regions: true,
+            trace_buffer: 1024,
+            slow_ms: 500,
         }
     }
 }
@@ -143,6 +156,9 @@ struct ServiceInner {
     /// it. Windowed over the disk spill when storage is attached,
     /// unbounded in memory otherwise.
     audit: Arc<AuditLog>,
+    /// Per-request trace spans (stage timings + engine-stat deltas) in
+    /// a lock-free ring; read by `trace.read`.
+    trace: TraceSink,
     storage: Option<StorageBinding>,
     config: ServiceConfig,
     shutdown: AtomicBool,
@@ -221,6 +237,7 @@ impl CleaningService {
             )),
             None => Arc::new(AuditLog::new()),
         };
+        let trace = TraceSink::new(config.trace_buffer, Duration::from_millis(config.slow_ms));
         CleaningService {
             inner: Arc::new(ServiceInner {
                 pool: WorkerPool::new(config.workers),
@@ -230,6 +247,7 @@ impl CleaningService {
                 cache,
                 metrics,
                 audit,
+                trace,
                 storage: storage.map(|storage| StorageBinding {
                     storage,
                     gate: RwLock::new(()),
@@ -622,41 +640,80 @@ impl CleaningService {
     /// correlate responses (which always arrive in request order per
     /// connection) without counting lines.
     pub fn handle_line_into(&self, line: &str, out: &mut String, scratch: &mut RequestScratch) {
+        let started = Instant::now();
         let scanned = scan_line(line);
+        let mut span = Span {
+            parse_ns: started.elapsed().as_nanos() as u64,
+            ..Span::default()
+        };
         if let Some(hot) = scanned.hot {
-            if self.try_hot(&hot, scanned.id, out, scratch) {
+            if self.try_hot(&hot, scanned.id, out, scratch, started, &mut span) {
                 return;
             }
         }
         self.inner.metrics.request();
-        let started = Instant::now();
         let op = match Request::parse_line(line) {
             Ok(request) => {
-                let response = self.dispatch(&request);
+                // Tree parse counts as parse time too.
+                span.parse_ns = started.elapsed().as_nanos() as u64;
+                let response = self.dispatch(&request, &mut span);
+                let render_started = Instant::now();
                 render_response_into(&response, scanned.id, out);
+                span.serialize_ns = render_started.elapsed().as_nanos() as u64;
                 request.op()
             }
             Err(e) => {
-                let response = self.error(e.to_string());
+                // A well-formed request naming an op we don't know is
+                // `other` traffic; `parse_error` is malformed JSON.
+                let op = if e.0.starts_with("unknown op ") {
+                    "other"
+                } else {
+                    "parse_error"
+                };
+                let response = self.error(e.0);
                 render_response_into(&response, scanned.id, out);
-                "parse_error"
+                op
             }
         };
-        self.inner.metrics.observe_latency(op, started.elapsed());
+        let elapsed = started.elapsed();
+        self.inner.metrics.observe_latency(op, elapsed);
+        self.finish_span(&mut span, op, scanned.id, elapsed);
+    }
+
+    /// Close out a request's trace span: charge its engine-stat delta
+    /// to its op class and, when tracing is on, derive the trace id and
+    /// residual dispatch time and publish it into the ring. Atomics
+    /// only — no allocation, hot-path safe.
+    fn finish_span(&self, span: &mut Span, op: &str, raw_id: Option<&str>, total: Duration) {
+        let op_idx = op_index(op);
+        if span.stats != cerfix::EngineStats::default() {
+            self.inner.metrics.add_engine_stats(op_idx, &span.stats);
+        }
+        if !self.inner.trace.enabled() {
+            return;
+        }
+        span.trace_id = self.inner.trace.trace_id(raw_id);
+        span.op = op_idx;
+        span.total_ns = total.as_nanos() as u64;
+        span.dispatch_ns = span
+            .total_ns
+            .saturating_sub(span.parse_ns + span.engine_ns + span.fsync_ns + span.serialize_ns);
+        self.inner.trace.record(span);
     }
 
     /// Dispatch one typed request.
     pub fn handle(&self, request: &Request) -> Json {
         self.inner.metrics.request();
         let started = Instant::now();
-        let response = self.dispatch(request);
-        self.inner
-            .metrics
-            .observe_latency(request.op(), started.elapsed());
+        let mut span = Span::default();
+        let response = self.dispatch(request, &mut span);
+        let elapsed = started.elapsed();
+        self.inner.metrics.observe_latency(request.op(), elapsed);
+        self.finish_span(&mut span, request.op(), None, elapsed);
         response
     }
 
-    fn dispatch(&self, request: &Request) -> Json {
+    fn dispatch(&self, request: &Request, span: &mut Span) -> Json {
         let result = match request {
             Request::Hello => Ok(self.hello()),
             Request::SessionCreate { tuple } => self.session_create(tuple),
@@ -664,9 +721,9 @@ impl CleaningService {
             Request::SessionValidate {
                 session,
                 validations,
-            } => self.session_validate(*session, validations),
-            Request::SessionFix { session } => self.session_validate(*session, &[]),
-            Request::SessionCommit { session } => self.session_commit(*session),
+            } => self.session_validate(*session, validations, span),
+            Request::SessionFix { session } => self.session_validate(*session, &[], span),
+            Request::SessionCommit { session } => self.session_commit(*session, span),
             Request::SessionAbort { session } => self.session_abort(*session),
             Request::Clean { tuples, trust } => self.clean_batch(tuples.clone(), trust),
             Request::Regions { top_k } => Ok(self.regions(*top_k)),
@@ -675,6 +732,8 @@ impl CleaningService {
             Request::RulesReload { rules } => self.rules_reload(rules),
             Request::MasterAppend { tuples } => self.master_append(tuples),
             Request::Metrics => Ok(self.metrics_response()),
+            Request::MetricsProm => Ok(self.metrics_prom_response()),
+            Request::TraceRead { limit } => Ok(self.trace_read(*limit)),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
                 self.notify_shutdown();
@@ -715,8 +774,9 @@ impl CleaningService {
         raw_id: Option<&str>,
         out: &mut String,
         scratch: &mut RequestScratch,
+        started: Instant,
+        span: &mut Span,
     ) -> bool {
-        let started = Instant::now();
         match *hot {
             HotOp::SessionValidate {
                 session,
@@ -730,19 +790,21 @@ impl CleaningService {
                     Err(message) => {
                         self.inner.metrics.request();
                         self.write_error(&message, raw_id, out);
+                        let elapsed = started.elapsed();
                         self.inner
                             .metrics
-                            .observe_latency("session.validate", started.elapsed());
+                            .observe_latency("session.validate", elapsed);
+                        self.finish_span(span, "session.validate", raw_id, elapsed);
                         return true;
                     }
                 }
                 self.inner.metrics.request();
-                self.hot_validate(session, raw_id, out, scratch);
+                self.hot_validate(session, raw_id, out, scratch, span);
             }
             HotOp::SessionFix { session } => {
                 scratch.validations.clear();
                 self.inner.metrics.request();
-                self.hot_validate(session, raw_id, out, scratch);
+                self.hot_validate(session, raw_id, out, scratch, span);
             }
             HotOp::SessionGet { session } => {
                 self.inner.metrics.request();
@@ -750,16 +812,18 @@ impl CleaningService {
             }
             HotOp::SessionCommit { session } => {
                 self.inner.metrics.request();
-                self.hot_commit(session, raw_id, out);
+                self.hot_commit(session, raw_id, out, span);
             }
             HotOp::SessionAbort { session } => {
                 self.inner.metrics.request();
                 self.hot_abort(session, raw_id, out);
             }
         }
-        self.inner
-            .metrics
-            .observe_latency(hot.op(), started.elapsed());
+        let elapsed = started.elapsed();
+        self.inner.metrics.observe_latency(hot.op(), elapsed);
+        // The hot paths render while they execute, so serialization time
+        // rides inside the span's residual dispatch share.
+        self.finish_span(span, hot.op(), raw_id, elapsed);
         true
     }
 
@@ -810,8 +874,9 @@ impl CleaningService {
         raw_id: Option<&str>,
         out: &mut String,
         scratch: &mut RequestScratch,
+        span: &mut Span,
     ) {
-        match self.apply_validations_resolved(id, &scratch.validations) {
+        match self.apply_validations_resolved(id, &scratch.validations, span) {
             Ok(report) => {
                 self.inner.metrics.cells_fixed(report.fixes.len() as u64);
                 self.hot_view(id, Some(&report), raw_id, out);
@@ -913,7 +978,7 @@ impl CleaningService {
     }
 
     /// Direct-render twin of [`session_commit`](Self::session_commit).
-    fn hot_commit(&self, id: u64, raw_id: Option<&str>, out: &mut String) {
+    fn hot_commit(&self, id: u64, raw_id: Option<&str>, out: &mut String, span: &mut Span) {
         let result = self.with_gate(|| -> Result<_, String> {
             let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
             let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
@@ -922,7 +987,9 @@ impl CleaningService {
         match result {
             Ok((session, seq)) => {
                 if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+                    let sync_started = Instant::now();
                     binding.storage.sync(seq);
+                    span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
                 }
                 self.inner.metrics.session_committed();
                 let schema = self.input_schema();
@@ -985,7 +1052,12 @@ impl CleaningService {
         Json::obj([
             ("ok", Json::Bool(true)),
             ("service", Json::str("cerfix-server")),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
             ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+            (
+                "uptime_secs",
+                Json::Num(self.inner.metrics.uptime_secs() as f64),
+            ),
             ("workers", Json::Num(self.workers() as f64)),
             ("rules", Json::Num(engine.rules.len() as f64)),
             ("ruleset", Json::str(format!("{:016x}", engine.fingerprint))),
@@ -1182,12 +1254,17 @@ impl CleaningService {
         ))
     }
 
-    fn session_validate(&self, id: u64, validations: &[(String, Value)]) -> Result<Json, String> {
+    fn session_validate(
+        &self,
+        id: u64,
+        validations: &[(String, Value)],
+        span: &mut Span,
+    ) -> Result<Json, String> {
         let resolved: Vec<(usize, Value)> = validations
             .iter()
             .map(|(name, value)| Ok((self.resolve_attr(name)?, value.clone())))
             .collect::<Result<_, String>>()?;
-        let report = self.apply_validations_resolved(id, &resolved)?;
+        let report = self.apply_validations_resolved(id, &resolved, span)?;
         self.inner.metrics.cells_fixed(report.fixes.len() as u64);
         self.session_view(id, Some(report))
     }
@@ -1202,6 +1279,7 @@ impl CleaningService {
         &self,
         id: u64,
         resolved: &[(usize, Value)],
+        span: &mut Span,
     ) -> Result<FixpointReport, String> {
         let report = self.with_gate(|| {
             let engine = self.engine();
@@ -1220,14 +1298,19 @@ impl CleaningService {
                                 .collect(),
                         });
                     }
-                    monitor.apply_validation(session, resolved)
+                    let engine_started = Instant::now();
+                    let result = monitor.apply_validation(session, resolved);
+                    span.engine_ns += engine_started.elapsed().as_nanos() as u64;
+                    result
                 })
                 .map_err(|e: SessionError| e.to_string())
         })?;
-        report.map_err(|e| e.to_string())
+        let report = report.map_err(|e| e.to_string())?;
+        span.stats += report.stats;
+        Ok(report)
     }
 
-    fn session_commit(&self, id: u64) -> Result<Json, String> {
+    fn session_commit(&self, id: u64, span: &mut Span) -> Result<Json, String> {
         let (session, seq) = self.with_gate(|| -> Result<_, String> {
             let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
             let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
@@ -1236,7 +1319,9 @@ impl CleaningService {
         // Commit is the protocol's durability point: wait for the group
         // fsync (outside the gate — a snapshot may proceed meanwhile).
         if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            let sync_started = Instant::now();
             binding.storage.sync(seq);
+            span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
         }
         self.inner.metrics.session_committed();
         let schema = self.input_schema();
@@ -1587,6 +1672,8 @@ impl CleaningService {
         let snapshot = self.metrics();
         let mut fields = vec![
             ("ok", Json::Bool(true)),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
             ("uptime_secs", Json::Num(snapshot.uptime_secs as f64)),
             ("requests", Json::Num(snapshot.requests as f64)),
             ("errors", Json::Num(snapshot.errors as f64)),
@@ -1716,6 +1803,159 @@ impl CleaningService {
         }
         Json::obj(fields)
     }
+
+    /// `metrics.prom`: the full Prometheus text exposition (every
+    /// histogram bucket, not just p50/p99), shipped inside a one-line
+    /// JSON envelope so it rides the wire protocol — operators (or a
+    /// scrape sidecar) unwrap `body` and serve it over HTTP.
+    fn metrics_prom_response(&self) -> Json {
+        self.refresh_storage_gauges();
+        let mut body = String::with_capacity(16 * 1024);
+        self.inner.metrics.render_prom(&mut body);
+        prom_header(
+            &mut body,
+            "cerfix_build_info",
+            "Build metadata (value is always 1).",
+            "gauge",
+        );
+        prom_sample(
+            &mut body,
+            "cerfix_build_info",
+            Some(("version", env!("CARGO_PKG_VERSION"))),
+            1.0,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_protocol_version",
+            "Wire protocol version this server speaks.",
+            "gauge",
+            PROTOCOL_VERSION as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_sessions_live",
+            "Interactive sessions currently live.",
+            "gauge",
+            self.live_sessions() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_workers",
+            "Worker threads in the batch pool.",
+            "gauge",
+            self.workers() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_worker_queue_depth",
+            "Jobs waiting in the worker-pool queue right now.",
+            "gauge",
+            self.inner.pool.queue_depth() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_audit_records",
+            "Audit records reachable (memory window + spill).",
+            "gauge",
+            self.inner.audit.len() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_trace_spans_recorded_total",
+            "Request spans published into the trace ring.",
+            "counter",
+            self.inner.trace.ring().recorded() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_trace_slow_spans_total",
+            "Spans that crossed the slow-request threshold.",
+            "counter",
+            self.inner.trace.slow().recorded() as f64,
+        );
+        if let Some(binding) = &self.inner.storage {
+            prom_metric(
+                &mut body,
+                "cerfix_journal_epoch",
+                "Journal truncation epoch (bumps on snapshot).",
+                "gauge",
+                binding.storage.epoch() as f64,
+            );
+            let profile = binding.storage.journal().flush_profile();
+            let fsync: Vec<(f64, u64)> = profile
+                .fsync_ns_buckets
+                .iter()
+                .map(|&(upper, count)| (upper as f64 * 1e-9, count))
+                .collect();
+            prom_histogram_from_buckets(
+                &mut body,
+                "cerfix_journal_fsync_duration_seconds",
+                "Group-commit write+fsync latency per flush cycle.",
+                &fsync,
+                profile.fsync_ns_total as f64 * 1e-9,
+            );
+            let batch: Vec<(f64, u64)> = profile
+                .batch_events_buckets
+                .iter()
+                .map(|&(upper, count)| (upper as f64, count))
+                .collect();
+            prom_histogram_from_buckets(
+                &mut body,
+                "cerfix_journal_flush_batch_events",
+                "Events retired per group-commit flush (batch size).",
+                &batch,
+                profile.batch_events_total as f64,
+            );
+        }
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("content_type", Json::str("text/plain; version=0.0.4")),
+            ("body", Json::Str(body)),
+        ])
+    }
+
+    /// `trace.read`: decode the most recent request spans (newest
+    /// first) plus the slow-request ring for operators.
+    fn trace_read(&self, limit: Option<u64>) -> Json {
+        let sink = &self.inner.trace;
+        let limit = limit.unwrap_or(64).min(4096) as usize;
+        let spans = sink.ring().read_recent(limit);
+        let slow = sink.slow().read_recent(limit.min(64));
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("enabled", Json::Bool(sink.enabled())),
+            ("slow_ms", Json::Num((sink.slow_ns() / 1_000_000) as f64)),
+            ("recorded", Json::Num(sink.ring().recorded() as f64)),
+            ("spans", Json::Arr(spans.iter().map(span_json).collect())),
+            ("slow", Json::Arr(slow.iter().map(span_json).collect())),
+        ])
+    }
+}
+
+/// One trace span as wire JSON. The trace id rides as a decimal string
+/// so 64-bit hashed ids survive f64-only JSON consumers exactly.
+fn span_json(span: &Span) -> Json {
+    Json::obj([
+        ("trace", Json::str(span.trace_id.to_string())),
+        ("synthetic", Json::Bool(span.synthetic_id())),
+        (
+            "op",
+            Json::str(LATENCY_OPS[span.op.min(LATENCY_OPS.len() - 1)]),
+        ),
+        ("total_ns", Json::Num(span.total_ns as f64)),
+        ("parse_ns", Json::Num(span.parse_ns as f64)),
+        ("dispatch_ns", Json::Num(span.dispatch_ns as f64)),
+        ("engine_ns", Json::Num(span.engine_ns as f64)),
+        ("fsync_ns", Json::Num(span.fsync_ns as f64)),
+        ("serialize_ns", Json::Num(span.serialize_ns as f64)),
+        ("fixpoint_runs", Json::Num(span.stats.fixpoint_runs as f64)),
+        ("rule_attempts", Json::Num(span.stats.rule_attempts as f64)),
+        (
+            "master_lookups",
+            Json::Num(span.stats.master_lookups as f64),
+        ),
+        ("index_probes", Json::Num(span.stats.index_probes as f64)),
+    ])
 }
 
 /// The region-search options a service runs with: its configured top-k

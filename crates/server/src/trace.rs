@@ -1,0 +1,407 @@
+//! Per-request tracing: fixed-size lock-free span rings.
+//!
+//! A [`Span`] is the execution record of one wire request — its trace
+//! id (derived from the client-supplied `"id"` when present), per-stage
+//! timings (parse, dispatch, engine, fsync-wait, serialize) and the
+//! [`EngineStats`] delta the request charged to the correcting engine.
+//! Spans are built on the caller's stack and published into a
+//! [`TraceRing`]: a power-of-two array of seqlock slots claimed by a
+//! single `fetch_add`, written with relaxed atomic stores. Recording
+//! therefore never locks and never allocates, which is what lets the
+//! CI-guarded `session.get = 0 allocs/req` invariant hold with tracing
+//! enabled.
+//!
+//! A [`TraceSink`] pairs the main ring with a small slow-request ring:
+//! spans whose total latency crosses the configured threshold are
+//! duplicated there, so a burst of fast requests cannot wash a slow
+//! outlier out of the window before an operator reads `trace.read`.
+//!
+//! Readers ([`TraceRing::read_recent`]) walk backwards from the claim
+//! head and validate each slot's sequence before and after copying its
+//! words; a slot being overwritten concurrently is simply skipped.
+//! Telemetry reads allocate (a `Vec` of spans) — they are off the hot
+//! path by construction.
+
+use cerfix::EngineStats;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Words per slot: trace id, op index, six timings, four engine-stat
+/// deltas (see `Span::to_words` / `Span::from_words`).
+const SLOT_WORDS: usize = 12;
+
+/// Slots in the slow-request ring (fixed; the threshold, not the
+/// buffer, is the operator's knob).
+const SLOW_SLOTS: usize = 64;
+
+/// Largest main-ring size `--trace-buffer` is clamped to.
+const MAX_SLOTS: usize = 1 << 20;
+
+/// Set on trace ids the server synthesized because the request carried
+/// no usable `"id"` — keeps them disjoint from echoed client ids.
+const SYNTHETIC_BIT: u64 = 1 << 63;
+
+/// One request's execution record. Plain stack data: the request path
+/// fills the fields in place and publishes the finished span with one
+/// [`TraceSink::record`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Span {
+    /// Correlation id: the numeric wire `"id"` verbatim, an FNV-1a hash
+    /// of a non-numeric id, or a synthesized id (high bit set).
+    pub trace_id: u64,
+    /// Latency-class index into [`crate::metrics::LATENCY_OPS`].
+    pub op: usize,
+    /// End-to-end service time (transport excluded), nanoseconds.
+    pub total_ns: u64,
+    /// Wire scanning + request parsing.
+    pub parse_ns: u64,
+    /// Dispatch overhead: total minus every attributed stage.
+    pub dispatch_ns: u64,
+    /// Correcting-engine work (fixpoint runs under the session lock).
+    pub engine_ns: u64,
+    /// Time blocked on the journal's group fsync.
+    pub fsync_ns: u64,
+    /// Response rendering (tree path; fused into dispatch on the
+    /// direct-render hot path).
+    pub serialize_ns: u64,
+    /// Engine work this request performed (deltas, not totals).
+    pub stats: EngineStats,
+}
+
+impl Span {
+    fn to_words(self) -> [u64; SLOT_WORDS] {
+        [
+            self.trace_id,
+            self.op as u64,
+            self.total_ns,
+            self.parse_ns,
+            self.dispatch_ns,
+            self.engine_ns,
+            self.fsync_ns,
+            self.serialize_ns,
+            self.stats.fixpoint_runs as u64,
+            self.stats.rule_attempts as u64,
+            self.stats.master_lookups as u64,
+            self.stats.index_probes as u64,
+        ]
+    }
+
+    fn from_words(words: [u64; SLOT_WORDS]) -> Span {
+        Span {
+            trace_id: words[0],
+            op: words[1] as usize,
+            total_ns: words[2],
+            parse_ns: words[3],
+            dispatch_ns: words[4],
+            engine_ns: words[5],
+            fsync_ns: words[6],
+            serialize_ns: words[7],
+            stats: EngineStats {
+                fixpoint_runs: words[8] as usize,
+                rule_attempts: words[9] as usize,
+                master_lookups: words[10] as usize,
+                index_probes: words[11] as usize,
+            },
+        }
+    }
+
+    /// True iff the trace id was synthesized by the server (no usable
+    /// client `"id"` on the request).
+    pub(crate) fn synthetic_id(&self) -> bool {
+        self.trace_id & SYNTHETIC_BIT != 0
+    }
+}
+
+/// One seqlock slot. `seq` encodes the claim generation: `2g + 1` while
+/// the writer of claim `g` is storing words, `2g + 2` once it is done.
+/// A reader accepts a slot only when it observes the same "done" value
+/// on both sides of its copy.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fixed-size multi-writer span ring. Writers claim monotonically
+/// increasing indices with one `fetch_add` and publish via the slot
+/// seqlock; the ring keeps the most recent `len` spans.
+pub(crate) struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next claim index (monotonic; total spans ever recorded).
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding `capacity` spans, rounded up to a power of two
+    /// (clamped to [`MAX_SLOTS`]); 0 disables the ring entirely.
+    pub(crate) fn new(capacity: usize) -> TraceRing {
+        let len = match capacity {
+            0 => 0,
+            n => n.next_power_of_two().min(MAX_SLOTS),
+        };
+        TraceRing {
+            slots: (0..len).map(|_| Slot::new()).collect(),
+            mask: len.wrapping_sub(1) as u64,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// True iff the ring records anything.
+    pub(crate) fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Spans ever recorded (monotonic, survives wrap-around).
+    pub(crate) fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Publish one span. Lock-free and allocation-free: a claim
+    /// `fetch_add` plus relaxed word stores bracketed by the slot's
+    /// sequence. A reader racing this slot observes a torn sequence and
+    /// skips it.
+    pub(crate) fn record(&self, span: &Span) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let claim = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(claim & self.mask) as usize];
+        slot.seq.store(claim * 2 + 1, Ordering::Release);
+        fence(Ordering::Release);
+        for (word, value) in slot.words.iter().zip(span.to_words()) {
+            word.store(value, Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        slot.seq.store(claim * 2 + 2, Ordering::Release);
+    }
+
+    /// Copy out up to `limit` of the most recent spans, newest first.
+    /// Slots mid-overwrite (or lost to a lapping writer during the
+    /// copy) are skipped — telemetry, not a log.
+    pub(crate) fn read_recent(&self, limit: usize) -> Vec<Span> {
+        let head = self.head.load(Ordering::Acquire);
+        let window = (self.slots.len() as u64).min(head);
+        let mut spans = Vec::with_capacity(limit.min(window as usize));
+        for back in 0..window {
+            if spans.len() >= limit {
+                break;
+            }
+            let claim = head - 1 - back;
+            let slot = &self.slots[(claim & self.mask) as usize];
+            let expect = claim * 2 + 2;
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            let mut words = [0u64; SLOT_WORDS];
+            for (out, word) in words.iter_mut().zip(&slot.words) {
+                *out = word.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == expect {
+                spans.push(Span::from_words(words));
+            }
+        }
+        spans
+    }
+}
+
+/// The service's tracing state: the main span ring, the slow-request
+/// ring, the slow threshold and the fallback id allocator.
+pub(crate) struct TraceSink {
+    ring: TraceRing,
+    slow: TraceRing,
+    slow_ns: u64,
+    synthetic: AtomicU64,
+}
+
+impl TraceSink {
+    /// A sink whose main ring holds `buffer` spans (0 = tracing off)
+    /// and whose slow ring captures spans at least `slow` long.
+    pub(crate) fn new(buffer: usize, slow: Duration) -> TraceSink {
+        TraceSink {
+            ring: TraceRing::new(buffer),
+            slow: TraceRing::new(if buffer == 0 { 0 } else { SLOW_SLOTS }),
+            slow_ns: slow.as_nanos().min(u64::MAX as u128) as u64,
+            synthetic: AtomicU64::new(0),
+        }
+    }
+
+    /// True iff spans are being recorded.
+    pub(crate) fn enabled(&self) -> bool {
+        self.ring.enabled()
+    }
+
+    /// The slow-request threshold, nanoseconds.
+    pub(crate) fn slow_ns(&self) -> u64 {
+        self.slow_ns
+    }
+
+    /// The main ring (for `trace.read`).
+    pub(crate) fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// The slow-request ring (for `trace.read`).
+    pub(crate) fn slow(&self) -> &TraceRing {
+        &self.slow
+    }
+
+    /// Publish a finished span; duplicates it into the slow ring when
+    /// it crosses the threshold.
+    pub(crate) fn record(&self, span: &Span) {
+        if !self.ring.enabled() {
+            return;
+        }
+        self.ring.record(span);
+        if span.total_ns >= self.slow_ns {
+            self.slow.record(span);
+        }
+    }
+
+    /// The trace id for a request whose raw wire `"id"` span is
+    /// `raw_id`: a numeric id verbatim, a non-numeric id FNV-1a hashed
+    /// (high bit cleared so hashes stay disjoint from synthesized ids),
+    /// or a fresh synthesized id when the request carried none.
+    pub(crate) fn trace_id(&self, raw_id: Option<&str>) -> u64 {
+        match raw_id {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(n) if n & SYNTHETIC_BIT == 0 => n,
+                _ => fnv1a(raw.as_bytes()) & !SYNTHETIC_BIT,
+            },
+            None => self.synthetic.fetch_add(1, Ordering::Relaxed) | SYNTHETIC_BIT,
+        }
+    }
+}
+
+/// FNV-1a, 64-bit — stable, dependency-free hashing for non-numeric
+/// request ids.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, total_ns: u64) -> Span {
+        Span {
+            trace_id,
+            op: 2,
+            total_ns,
+            parse_ns: 1,
+            dispatch_ns: 2,
+            engine_ns: 3,
+            fsync_ns: 4,
+            serialize_ns: 5,
+            stats: EngineStats {
+                fixpoint_runs: 1,
+                rule_attempts: 6,
+                master_lookups: 7,
+                index_probes: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_spans_newest_first() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record(&span(i, 100));
+        }
+        assert_eq!(ring.recorded(), 10);
+        let spans = ring.read_recent(16);
+        let ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6]);
+        // Round-trip preserves every field.
+        assert_eq!(spans[0], span(9, 100));
+        // Limit truncates from the newest end.
+        assert_eq!(ring.read_recent(2).len(), 2);
+        assert_eq!(ring.read_recent(2)[0].trace_id, 9);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let sink = TraceSink::new(0, Duration::from_millis(1));
+        assert!(!sink.enabled());
+        sink.record(&span(1, u64::MAX));
+        assert_eq!(sink.ring().recorded(), 0);
+        assert_eq!(sink.slow().recorded(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let ring = TraceRing::new(5);
+        for i in 0..8u64 {
+            ring.record(&span(i, 1));
+        }
+        assert_eq!(ring.read_recent(64).len(), 8);
+    }
+
+    #[test]
+    fn slow_ring_captures_only_threshold_crossers() {
+        let sink = TraceSink::new(8, Duration::from_micros(10));
+        sink.record(&span(1, 9_999));
+        sink.record(&span(2, 10_000));
+        sink.record(&span(3, 50_000));
+        let slow = sink.slow().read_recent(16);
+        let ids: Vec<u64> = slow.iter().map(|s| s.trace_id).collect();
+        assert_eq!(ids, vec![3, 2]);
+        assert_eq!(sink.ring().read_recent(16).len(), 3);
+    }
+
+    #[test]
+    fn trace_ids_echo_numeric_hash_strings_and_synthesize() {
+        let sink = TraceSink::new(8, Duration::from_secs(1));
+        assert_eq!(sink.trace_id(Some("42")), 42);
+        let hashed = sink.trace_id(Some("\"x-1\""));
+        assert_eq!(hashed, sink.trace_id(Some("\"x-1\"")), "hash is stable");
+        assert_eq!(hashed & SYNTHETIC_BIT, 0);
+        let a = sink.trace_id(None);
+        let b = sink.trace_id(None);
+        assert_ne!(a, b);
+        assert!(a & SYNTHETIC_BIT != 0 && b & SYNTHETIC_BIT != 0);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_reads() {
+        let ring = std::sync::Arc::new(TraceRing::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = std::sync::Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    // Every writer's words are internally consistent:
+                    // trace_id == total_ns, so a torn read is visible.
+                    let id = t * 1_000_000 + i;
+                    ring.record(&span(id, id));
+                }
+            }));
+        }
+        for _ in 0..200 {
+            for s in ring.read_recent(8) {
+                assert_eq!(s.trace_id, s.total_ns, "torn span escaped the seqlock");
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 8_000);
+        for s in ring.read_recent(8) {
+            assert_eq!(s.trace_id, s.total_ns);
+        }
+    }
+}

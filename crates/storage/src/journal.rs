@@ -32,7 +32,7 @@ use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const MAGIC: &[u8; 4] = b"CFXJ";
 const VERSION: u32 = 1;
@@ -156,6 +156,67 @@ struct Shared {
     /// Flushed+fsynced together with the journal so `sync` is a
     /// durability point for provenance too.
     companion: Mutex<Option<Arc<AuditSpill>>>,
+    /// Group-commit telemetry, recorded by the flusher thread.
+    flush_stats: FlushStats,
+}
+
+/// Buckets in the flush-profile histograms: bucket `i` covers
+/// `[2^i, 2^(i+1))` (nanoseconds, or events per flush).
+const FLUSH_BUCKETS: usize = 32;
+
+/// Lock-free flush telemetry: how long each group fsync took and how
+/// many events it retired. Written only by the flusher thread; readers
+/// snapshot via [`Journal::flush_profile`].
+struct FlushStats {
+    fsync_ns: [AtomicU64; FLUSH_BUCKETS],
+    fsync_ns_total: AtomicU64,
+    batch_events: [AtomicU64; FLUSH_BUCKETS],
+    batch_events_total: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl FlushStats {
+    fn new() -> FlushStats {
+        FlushStats {
+            fsync_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            fsync_ns_total: AtomicU64::new(0),
+            batch_events: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_events_total: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, fsync: Duration, events: u64) {
+        let ns = fsync.as_nanos().max(1) as u64;
+        self.fsync_ns[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.fsync_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.batch_events[bucket_of(events.max(1))].fetch_add(1, Ordering::Relaxed);
+        self.batch_events_total.fetch_add(events, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (63 - value.max(1).leading_zeros() as usize).min(FLUSH_BUCKETS - 1)
+}
+
+/// A point-in-time copy of the journal's group-commit profile: how
+/// many flush cycles wrote to disk, the fsync-latency distribution and
+/// the events-per-flush (group-commit batch size) distribution.
+/// Buckets are `(exclusive upper bound, count)` pairs covering
+/// `[2^i, 2^(i+1))`.
+#[derive(Debug, Clone, Default)]
+pub struct FlushProfile {
+    /// Flush cycles that performed a write + fsync.
+    pub flushes: u64,
+    /// fsync (write + fdatasync) latency histogram, nanoseconds.
+    pub fsync_ns_buckets: Vec<(u64, u64)>,
+    /// Sum of all fsync latencies, nanoseconds.
+    pub fsync_ns_total: u64,
+    /// Events retired per flush cycle (the group-commit batch size).
+    pub batch_events_buckets: Vec<(u64, u64)>,
+    /// Total events retired through recorded flushes.
+    pub batch_events_total: u64,
 }
 
 /// The write-ahead journal: lock-light appends, group-fsync flusher.
@@ -237,6 +298,7 @@ impl Journal {
             bytes_appended: AtomicU64::new(0),
             events_appended: AtomicU64::new(0),
             companion: Mutex::new(None),
+            flush_stats: FlushStats::new(),
         });
         let flusher_shared = Arc::clone(&shared);
         let flusher = std::thread::Builder::new()
@@ -317,6 +379,27 @@ impl Journal {
     /// Total events appended since open (monotonic).
     pub fn events_appended(&self) -> u64 {
         self.shared.events_appended.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the group-commit flush profile (fsync latency and
+    /// batch-size histograms). Buckets with zero counts are included so
+    /// consumers can render full distributions.
+    pub fn flush_profile(&self) -> FlushProfile {
+        let stats = &self.shared.flush_stats;
+        let histogram = |buckets: &[AtomicU64; FLUSH_BUCKETS]| -> Vec<(u64, u64)> {
+            buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (1u64 << (i + 1).min(63), b.load(Ordering::Relaxed)))
+                .collect()
+        };
+        FlushProfile {
+            flushes: stats.flushes.load(Ordering::Relaxed),
+            fsync_ns_buckets: histogram(&stats.fsync_ns),
+            fsync_ns_total: stats.fsync_ns_total.load(Ordering::Relaxed),
+            batch_events_buckets: histogram(&stats.batch_events),
+            batch_events_total: stats.batch_events_total.load(Ordering::Relaxed),
+        }
     }
 
     /// File length guaranteed on disk — what a kill-9 plus a lost page
@@ -437,9 +520,16 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
                 // owned elsewhere — discard and retire.
                 retired = true;
             } else {
+                let flush_started = Instant::now();
                 let outcome = write_durable(&mut filestate, &bytes);
                 match outcome {
-                    Ok(()) => retired = true,
+                    Ok(()) => {
+                        retired = true;
+                        // Batch size: events this fsync newly covered.
+                        let events =
+                            seq_hi.saturating_sub(shared.durable_seq.load(Ordering::Acquire));
+                        shared.flush_stats.record(flush_started.elapsed(), events);
+                    }
                     Err(e) => {
                         filestate.needs_repair = true;
                         filestate.error.get_or_insert_with(|| e.to_string());
@@ -553,6 +643,33 @@ mod tests {
         assert_eq!(scan.torn_bytes, 0);
         assert_eq!(scan.events.len(), 20);
         assert_eq!(scan.events[7], ev(7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_profile_records_fsync_and_batch_histograms() {
+        let dir = tmp_dir("flush-profile");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(50)).unwrap();
+        assert_eq!(journal.flush_profile().flushes, 0);
+        let mut last = 0;
+        for i in 0..8 {
+            last = journal.append(&ev(i));
+        }
+        journal.sync(last);
+        let profile = journal.flush_profile();
+        assert!(profile.flushes >= 1);
+        assert_eq!(profile.batch_events_total, 8);
+        assert!(profile.fsync_ns_total > 0);
+        let fsync_count: u64 = profile.fsync_ns_buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(fsync_count, profile.flushes);
+        let batch_count: u64 = profile.batch_events_buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(batch_count, profile.flushes);
+        // Bounds are powers of two, strictly increasing.
+        for pair in profile.fsync_ns_buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,7 +50,7 @@ pub use codec::CodecError;
 pub use events::{
     decode_audit_record, encode_audit_record, JournalEvent, SessionSnapshot, SnapshotData,
 };
-pub use journal::{read_events, scan_journal, Journal, JournalScan, JOURNAL_HEADER};
+pub use journal::{read_events, scan_journal, FlushProfile, Journal, JournalScan, JOURNAL_HEADER};
 pub use snapshot::{load_snapshot, write_snapshot, SNAPSHOT_FILE, SNAPSHOT_TMP};
 pub use spill::{AuditSpill, SpillScan};
 

@@ -13,6 +13,8 @@
 //!                [--workers N] [--input-header a,b,c] [--session-ttl-secs S] \
 //!                [--frontend epoll|threads|auto] \
 //!                [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]
+//!                [--trace-buffer N] [--slow-ms T]
+//! cerfix top     [--addr 127.0.0.1:7117] [--spans N] [--prom]
 //! cerfix recover --data-dir DIR [--inspect]
 //! ```
 //!
@@ -32,6 +34,10 @@
 //!   `--data-dir`, sessions are write-ahead journaled and the audit
 //!   log spills to disk: a restarted server resumes every uncommitted
 //!   session (see the README's durability section).
+//! * `top` connects to a running server and prints a one-shot
+//!   operations view: uptime, throughput, per-op latency, engine-stat
+//!   attribution and the most recent (and slowest) request traces.
+//!   `--prom` dumps the raw Prometheus text exposition instead.
 //! * `recover` inspects a data directory without serving: snapshot
 //!   epoch, journaled events, live-session reconstruction inputs, audit
 //!   archive size, torn bytes cut from crashed writes.
@@ -90,6 +96,8 @@ fn usage() -> ExitCode {
                           [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]\n  \
                           [--frontend epoll|threads|auto]\n  \
                           [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
+                          [--trace-buffer N] [--slow-ms T]\n  \
+         cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom]\n  \
          cerfix recover  --data-dir DIR [--inspect]"
     );
     ExitCode::from(2)
@@ -363,6 +371,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_sessions: parse_option(args, "max-sessions", defaults.max_sessions)?,
         region_top_k: parse_option(args, "top-k", defaults.region_top_k)?,
         precompute_regions: true,
+        trace_buffer: parse_option(args, "trace-buffer", defaults.trace_buffer)?,
+        slow_ms: parse_option(args, "slow-ms", defaults.slow_ms)?,
     };
     let report = check_consistency(
         &rules,
@@ -419,6 +429,144 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     );
     println!("protocol: one JSON object per line; try {{\"op\":\"hello\"}}");
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// `cerfix top [--addr A] [--spans N] [--prom]`: one-shot operations
+/// view of a running server — uptime and throughput, per-op latency
+/// summaries, engine-stat attribution and the most recent (plus the
+/// slowest) request traces. `--prom` dumps the raw Prometheus text
+/// exposition instead (pipe it into a scrape file or a pushgateway).
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::{Client, Request};
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let spans = parse_option(args, "spans", 12u64)?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    if args.options.contains_key("prom") {
+        let prom = client
+            .request(&Request::MetricsProm)
+            .map_err(|e| e.to_string())?;
+        print!("{}", prom.get("body").and_then(Json::as_str).unwrap_or(""));
+        return Ok(());
+    }
+    let hello = client.hello().map_err(|e| e.to_string())?;
+    let stats = client.metrics().map_err(|e| e.to_string())?;
+    let trace = client
+        .request(&Request::TraceRead { limit: Some(spans) })
+        .map_err(|e| e.to_string())?;
+
+    let str_of = |json: &Json, key: &str| -> String {
+        json.get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let num_of =
+        |json: &Json, key: &str| -> u64 { json.get(key).and_then(Json::as_u64).unwrap_or(0) };
+    println!(
+        "{} at {addr} — version {}, protocol {}, storage {}",
+        str_of(&hello, "service"),
+        str_of(&hello, "version"),
+        num_of(&hello, "protocol"),
+        str_of(&hello, "storage"),
+    );
+    println!(
+        "uptime {}s   workers {}   live sessions {}   requests {} (errors {})",
+        num_of(&stats, "uptime_secs"),
+        num_of(&stats, "workers"),
+        num_of(&stats, "live_sessions"),
+        num_of(&stats, "requests"),
+        num_of(&stats, "errors"),
+    );
+    println!(
+        "sessions: {} created / {} committed / {} aborted / {} evicted   cells fixed {}",
+        num_of(&stats, "sessions_created"),
+        num_of(&stats, "sessions_committed"),
+        num_of(&stats, "sessions_aborted"),
+        num_of(&stats, "sessions_evicted"),
+        num_of(&stats, "cells_fixed"),
+    );
+    if stats.get("journal_bytes").is_some() {
+        println!(
+            "journal: {} bytes, {} events (epoch {}), {} snapshots",
+            num_of(&stats, "journal_bytes"),
+            num_of(&stats, "journal_events"),
+            num_of(&stats, "journal_epoch"),
+            num_of(&stats, "snapshots_written"),
+        );
+    }
+    if let Some(Json::Obj(entries)) = stats.get("latency") {
+        println!("\n{:<18} {:>10} {:>12} {:>12}", "op", "count", "p50", "p99");
+        for (op, summary) in entries {
+            println!(
+                "{op:<18} {:>10} {:>12} {:>12}",
+                num_of(summary, "count"),
+                fmt_us(summary.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0)),
+                fmt_us(summary.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0)),
+            );
+        }
+    }
+    let print_spans = |title: &str, key: &str| {
+        let Some(list) = trace.get(key).and_then(Json::as_arr) else {
+            return;
+        };
+        if list.is_empty() {
+            return;
+        }
+        println!(
+            "\n{title} (newest first):\n{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            "trace", "op", "total", "parse", "dispatch", "engine", "fsync", "fixes"
+        );
+        for span in list {
+            // Synthetic ids are counter noise, not something the
+            // operator can correlate — show the request kind instead.
+            let trace_col = if span.get("synthetic").and_then(Json::as_bool) == Some(true) {
+                "(no id)".to_string()
+            } else {
+                str_of(span, "trace")
+            };
+            println!(
+                "{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+                trace_col,
+                str_of(span, "op"),
+                fmt_ns(num_of(span, "total_ns")),
+                fmt_ns(num_of(span, "parse_ns")),
+                fmt_ns(num_of(span, "dispatch_ns")),
+                fmt_ns(num_of(span, "engine_ns")),
+                fmt_ns(num_of(span, "fsync_ns")),
+                num_of(span, "fixpoint_runs"),
+            );
+        }
+    };
+    if trace.get("enabled").and_then(Json::as_bool) == Some(true) {
+        print_spans("recent spans", "spans");
+        print_spans(
+            &format!("slow spans (> {} ms)", num_of(&trace, "slow_ms")),
+            "slow",
+        );
+    } else {
+        println!("\ntracing disabled on the server (start with --trace-buffer N to enable)");
+    }
+    Ok(())
+}
+
+/// Render a nanosecond reading at a human scale.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Render a microsecond reading at a human scale.
+fn fmt_us(us: f64) -> String {
+    fmt_ns((us * 1e3) as u64)
 }
 
 /// `cerfix recover --data-dir DIR [--inspect]`: report what a restarted
@@ -542,6 +690,7 @@ fn main() -> ExitCode {
         "clean" => cmd_clean(&args),
         "discover" => cmd_discover(&args),
         "serve" => cmd_serve(&args),
+        "top" => cmd_top(&args),
         "recover" => cmd_recover(&args),
         _ => return usage(),
     };

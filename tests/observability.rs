@@ -1,0 +1,554 @@
+//! Observability surface: end-to-end request tracing, engine-stat
+//! attribution and the Prometheus exposition.
+//!
+//! Covers: a pipelined burst whose spans correlate one-to-one with the
+//! client-supplied request ids on both front ends; `metrics.prom`
+//! emitting structurally valid Prometheus text (full histograms,
+//! cumulative buckets, `+Inf`, `_count` agreement) with every new
+//! instrument present; counter monotonicity across scrapes while a
+//! writer thread hammers the service (proptest); stage timings and
+//! engine-stat deltas inside `trace.read` spans; and the version /
+//! protocol / uptime fields on `hello` and `metrics`.
+
+use cerfix::MasterData;
+use cerfix_relation::{RelationBuilder, Schema, Value};
+use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
+use cerfix_server::protocol::Request;
+use cerfix_server::wire::Json;
+use cerfix_server::{CleaningService, Client, Frontend, Server, ServiceConfig, StorageConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const FRONTENDS: [Frontend; 2] = [Frontend::Epoll, Frontend::Threads];
+
+/// key → val lookup service over `n` master rows (same shape as the
+/// pipelining suite: cheap ops, so tracing/metrics behavior dominates).
+fn kv_service(n: usize, workers: usize) -> CleaningService {
+    kv_service_with(n, workers, ServiceConfig::default())
+}
+
+fn kv_service_with(n: usize, workers: usize, config: ServiceConfig) -> CleaningService {
+    let (master, rules) = kv_setup(n);
+    CleaningService::new(
+        Arc::new(master),
+        Arc::new(rules),
+        ServiceConfig {
+            workers,
+            precompute_regions: false,
+            ..config
+        },
+    )
+}
+
+fn kv_setup(n: usize) -> (MasterData, RuleSet) {
+    let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
+    let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
+    let mut builder = RelationBuilder::new(ms.clone());
+    for i in 0..n {
+        builder = builder.row_strs([format!("k{i}"), format!("v{i}")]);
+    }
+    let master = MasterData::new(builder.build().unwrap());
+    let mut rules = RuleSet::new(input.clone(), ms.clone());
+    rules
+        .add(
+            EditingRule::new(
+                "kv",
+                &input,
+                &ms,
+                vec![(0, 0)],
+                vec![(1, 1)],
+                PatternTuple::empty(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    (master, rules)
+}
+
+/// Run `metrics.prom` through the wire path and unwrap the text body.
+fn scrape(service: &CleaningService) -> String {
+    let response = service.handle_line("{\"op\":\"metrics.prom\"}");
+    let envelope = Json::parse(response.trim()).expect("metrics.prom envelope parses");
+    assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(envelope
+        .get("content_type")
+        .and_then(Json::as_str)
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    envelope
+        .get("body")
+        .and_then(Json::as_str)
+        .expect("body is a string")
+        .to_string()
+}
+
+/// Structural Prometheus text validation. Checks every line is a HELP /
+/// TYPE comment or a `name{labels} value` sample with a parseable
+/// value, every sample has a preceding TYPE, histogram buckets are
+/// cumulative with a final `+Inf` whose value matches `_count`, and
+/// label syntax is well formed. Returns every sample keyed by its full
+/// metric text (name + labels).
+fn validate_prom(body: &str) -> Result<HashMap<String, f64>, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: HashMap<String, f64> = HashMap::new();
+    // histogram series (bucket-name + labels minus `le`) →
+    // (last cumulative value, +Inf value when seen).
+    let mut series: Vec<(String, f64, Option<f64>)> = Vec::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            rest.split_once(' ')
+                .ok_or_else(|| format!("HELP without text: {line}"))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("TYPE without kind: {line}"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown TYPE kind: {line}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unknown comment: {line}"));
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample without value: {line}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("unparseable value: {line}"))?;
+        let (name, labels) = match metric.split_once('{') {
+            Some((name, rest)) => (
+                name,
+                Some(
+                    rest.strip_suffix('}')
+                        .ok_or_else(|| format!("unterminated labels: {line}"))?,
+                ),
+            ),
+            None => (metric, None),
+        };
+        let mut le: Option<&str> = None;
+        let mut other_labels: Vec<&str> = Vec::new();
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (key, quoted) = pair
+                    .split_once("=\"")
+                    .ok_or_else(|| format!("bad label `{pair}`: {line}"))?;
+                let inner = quoted
+                    .strip_suffix('"')
+                    .ok_or_else(|| format!("unquoted label `{pair}`: {line}"))?;
+                if key.is_empty() {
+                    return Err(format!("empty label key: {line}"));
+                }
+                if key == "le" {
+                    le = Some(inner);
+                } else {
+                    other_labels.push(pair);
+                }
+            }
+        }
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix))
+            .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        if !types.contains_key(base) {
+            return Err(format!("sample without TYPE: {line}"));
+        }
+        if name.ends_with("_bucket") && types.get(base).map(String::as_str) == Some("histogram") {
+            let le = le.ok_or_else(|| format!("bucket without le: {line}"))?;
+            let key = format!("{name}{{{}}}", other_labels.join(","));
+            let entry = match series.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(entry) => entry,
+                None => {
+                    series.push((key, 0.0, None));
+                    series.last_mut().unwrap()
+                }
+            };
+            if value < entry.1 {
+                return Err(format!("non-cumulative bucket: {line}"));
+            }
+            entry.1 = value;
+            if le == "+Inf" {
+                entry.2 = Some(value);
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("bad le bound: {line}"))?;
+            }
+        }
+        samples.insert(metric.to_string(), value);
+    }
+    for (key, _, inf) in &series {
+        let inf = inf.ok_or_else(|| format!("histogram series {key} has no +Inf bucket"))?;
+        let count_key = key
+            .replace("_bucket{}", "_count")
+            .replace("_bucket{", "_count{");
+        let count = samples
+            .get(count_key.trim_end_matches("{}"))
+            .or_else(|| samples.get(&count_key))
+            .ok_or_else(|| format!("histogram series {key} has no _count"))?;
+        if (count - inf).abs() > 1e-9 {
+            return Err(format!("series {key}: +Inf {inf} != _count {count}"));
+        }
+    }
+    Ok(samples)
+}
+
+/// A pipelined burst of id-tagged hot requests yields exactly-correlated
+/// spans — trace id == request id, order preserved — on both the epoll
+/// and the threaded front end.
+#[test]
+fn pipelined_burst_spans_correlate_exactly_with_request_ids() {
+    const N: usize = 64;
+    for frontend in FRONTENDS {
+        let service = kv_service(20, 2);
+        let handle =
+            Server::spawn_with("127.0.0.1:0", service.clone(), frontend).expect("bind ephemeral");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let view = client
+            .create_session(vec![Value::str("k3"), Value::str("WRONG"), Value::str("n")])
+            .expect("create");
+
+        let mut stream = TcpStream::connect(handle.addr()).expect("raw connect");
+        stream.set_nodelay(true).unwrap();
+        let mut burst = String::new();
+        for i in 0..N {
+            burst.push_str(&format!(
+                "{{\"op\":\"session.get\",\"session\":{},\"id\":{i}}}\n",
+                view.session
+            ));
+        }
+        stream.write_all(burst.as_bytes()).expect("write burst");
+        let mut reader = BufReader::new(stream);
+        for _ in 0..N {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response line");
+        }
+
+        let trace = client
+            .request(&Request::TraceRead {
+                limit: Some(4 * N as u64),
+            })
+            .expect("trace.read");
+        assert_eq!(trace.get("enabled").and_then(Json::as_bool), Some(true));
+        // The burst lines are the only id-tagged requests: every other
+        // request (the Client never attaches ids) traces synthetically.
+        let correlated: Vec<String> = trace
+            .get("spans")
+            .and_then(Json::as_arr)
+            .expect("spans array")
+            .iter()
+            .filter(|span| span.get("synthetic").and_then(Json::as_bool) == Some(false))
+            .map(|span| {
+                assert_eq!(span.get("op").and_then(Json::as_str), Some("session.get"));
+                assert!(span.get("total_ns").and_then(Json::as_u64).unwrap_or(0) > 0);
+                span.get("trace")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let expected: Vec<String> = (0..N).rev().map(|i| i.to_string()).collect();
+        assert_eq!(
+            correlated, expected,
+            "{frontend:?}: spans newest-first must mirror the burst ids exactly"
+        );
+        handle.shutdown().expect("shutdown");
+    }
+}
+
+/// The exposition is valid Prometheus text and carries every new
+/// instrument — full per-op latency buckets, worker/reactor histograms,
+/// queue depth, session occupancy, per-op engine-stat attribution and
+/// build info.
+#[test]
+fn metrics_prom_is_valid_and_has_all_new_instruments() {
+    let service = kv_service(20, 2);
+    let created =
+        service.handle_line("{\"op\":\"session.create\",\"tuple\":[\"k3\",\"WRONG\",\"n\"]}");
+    let id = Json::parse(created.trim())
+        .unwrap()
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("session id");
+    service.handle_line(&format!(
+        "{{\"op\":\"session.validate\",\"session\":{id},\"validations\":{{\"key\":\"k3\"}}}}"
+    ));
+    service.handle_line(&format!("{{\"op\":\"session.get\",\"session\":{id}}}"));
+    service.handle_line("{\"op\":\"clean\",\"tuples\":[[\"k1\",\"x\",\"n\"]],\"trust\":[\"key\"]}");
+    service.handle_line("{\"op\":\"metrics\"}");
+    service.handle_line("{\"op\":\"nonsense.op\"}");
+
+    let body = scrape(&service);
+    let samples = validate_prom(&body).expect("valid Prometheus text");
+    for required in [
+        "cerfix_uptime_seconds",
+        "cerfix_requests_total",
+        "cerfix_sessions_live",
+        "cerfix_workers",
+        "cerfix_worker_queue_depth",
+        "cerfix_trace_spans_recorded_total",
+        "cerfix_protocol_version",
+    ] {
+        assert!(
+            samples.contains_key(required),
+            "missing instrument {required}"
+        );
+    }
+    assert_eq!(
+        samples.get(&format!(
+            "cerfix_build_info{{version=\"{}\"}}",
+            env!("CARGO_PKG_VERSION")
+        )),
+        Some(&1.0)
+    );
+    // Full histogram: 40 finite buckets + +Inf for an op with traffic.
+    let get_buckets = body
+        .lines()
+        .filter(|l| l.starts_with("cerfix_request_duration_seconds_bucket{op=\"session.get\""))
+        .count();
+    assert_eq!(get_buckets, 41, "full bucket exposition, not a summary");
+    // Worker/reactor histograms always render (even without traffic).
+    assert!(samples.contains_key("cerfix_worker_batch_duration_seconds_count"));
+    assert!(samples.contains_key("cerfix_reactor_loop_duration_seconds_count"));
+    // Engine work from the fixing validate is attributed to its op.
+    assert!(
+        samples
+            .get("cerfix_engine_rule_attempts_total{op=\"session.validate\"}")
+            .copied()
+            .unwrap_or(0.0)
+            > 0.0,
+        "engine stats attributed to session.validate"
+    );
+    // The unknown op landed in `other`, not `parse_error`.
+    assert!(samples.contains_key("cerfix_request_duration_seconds_count{op=\"other\"}"));
+}
+
+/// Journaled services expose the group-commit flush profile: fsync
+/// latency and batch-size histograms plus the journal epoch.
+#[test]
+fn journaled_prom_exposes_fsync_and_batch_histograms() {
+    let dir = std::env::temp_dir().join(format!("cerfix-obs-prom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (master, rules) = kv_setup(20);
+    let service = CleaningService::with_storage(
+        Arc::new(master),
+        Arc::new(rules),
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        },
+        StorageConfig::new(&dir),
+    )
+    .expect("open storage");
+    let created =
+        service.handle_line("{\"op\":\"session.create\",\"tuple\":[\"k3\",\"WRONG\",\"n\"]}");
+    let id = Json::parse(created.trim())
+        .unwrap()
+        .get("session")
+        .and_then(Json::as_u64)
+        .unwrap();
+    // Commit waits for the group fsync, so the flush profile is
+    // non-empty by the time the response lands.
+    service.handle_line(&format!("{{\"op\":\"session.commit\",\"session\":{id}}}"));
+    let body = scrape(&service);
+    let samples = validate_prom(&body).expect("valid Prometheus text");
+    assert!(samples.contains_key("cerfix_journal_epoch"));
+    assert!(
+        samples
+            .get("cerfix_journal_fsync_duration_seconds_count")
+            .copied()
+            .unwrap_or(0.0)
+            >= 1.0,
+        "at least one recorded flush"
+    );
+    assert!(
+        samples
+            .get("cerfix_journal_flush_batch_events_sum")
+            .copied()
+            .unwrap_or(0.0)
+            >= 1.0,
+        "committed events counted into batch sizes"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `trace.read` spans carry stage timings and engine-stat deltas; a
+/// zero-capacity buffer disables tracing entirely.
+#[test]
+fn trace_read_reports_stage_timings_and_engine_stats() {
+    let service = kv_service(20, 2);
+    let created = service
+        .handle_line("{\"op\":\"session.create\",\"tuple\":[\"k3\",\"WRONG\",\"n\"],\"id\":900}");
+    let id = Json::parse(created.trim())
+        .unwrap()
+        .get("session")
+        .and_then(Json::as_u64)
+        .unwrap();
+    service.handle_line(&format!(
+        "{{\"op\":\"session.validate\",\"session\":{id},\"validations\":{{\"key\":\"k3\"}},\"id\":901}}"
+    ));
+    let response = service.handle_line("{\"op\":\"trace.read\",\"limit\":16}");
+    let trace = Json::parse(response.trim()).unwrap();
+    assert_eq!(trace.get("enabled").and_then(Json::as_bool), Some(true));
+    let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+    let validate = spans
+        .iter()
+        .find(|s| s.get("trace").and_then(Json::as_str) == Some("901"))
+        .expect("validate span present");
+    assert_eq!(
+        validate.get("op").and_then(Json::as_str),
+        Some("session.validate")
+    );
+    assert!(validate.get("engine_ns").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        validate
+            .get("rule_attempts")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        validate
+            .get("fixpoint_runs")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let total = validate.get("total_ns").and_then(Json::as_u64).unwrap();
+    let stages: u64 = [
+        "parse_ns",
+        "dispatch_ns",
+        "engine_ns",
+        "fsync_ns",
+        "serialize_ns",
+    ]
+    .iter()
+    .map(|k| validate.get(k).and_then(Json::as_u64).unwrap())
+    .sum();
+    assert!(stages <= total, "stage times cannot exceed the total");
+    let create = spans
+        .iter()
+        .find(|s| s.get("trace").and_then(Json::as_str) == Some("900"))
+        .expect("create span present");
+    assert_eq!(create.get("synthetic").and_then(Json::as_bool), Some(false));
+
+    let disabled = kv_service_with(
+        20,
+        2,
+        ServiceConfig {
+            trace_buffer: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    disabled.handle_line("{\"op\":\"hello\",\"id\":1}");
+    let response = disabled.handle_line("{\"op\":\"trace.read\"}");
+    let trace = Json::parse(response.trim()).unwrap();
+    assert_eq!(trace.get("enabled").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        trace.get("spans").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+}
+
+/// `hello` and `metrics` both identify the build: version string,
+/// protocol number and uptime.
+#[test]
+fn hello_and_stats_carry_version_protocol_uptime() {
+    let service = kv_service(4, 2);
+    for op in ["hello", "metrics"] {
+        let response = service.handle_line(&format!("{{\"op\":\"{op}\"}}"));
+        let json = Json::parse(response.trim()).unwrap();
+        assert!(
+            json.get("version")
+                .and_then(Json::as_str)
+                .is_some_and(|v| !v.is_empty()),
+            "{op} carries a version"
+        );
+        assert_eq!(
+            json.get("protocol").and_then(Json::as_u64),
+            Some(cerfix_server::PROTOCOL_VERSION),
+            "{op} carries the protocol"
+        );
+        assert!(json.get("uptime_secs").and_then(Json::as_u64).is_some());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Scrapes taken while a writer thread hammers the service stay
+    /// structurally valid, and no `_total` counter ever decreases
+    /// between consecutive scrapes.
+    #[test]
+    fn prom_scrapes_stay_valid_and_counters_monotonic_under_load(
+        rounds in 3usize..7,
+        keys in proptest::collection::vec(0usize..20, 3..10),
+    ) {
+        let service = kv_service(20, 2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let service = service.clone();
+            let stop = Arc::clone(&stop);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for &k in &keys {
+                        let created = service.handle_line(&format!(
+                            "{{\"op\":\"session.create\",\"tuple\":[\"k{k}\",\"WRONG\",\"n\"]}}"
+                        ));
+                        let Some(id) = Json::parse(created.trim())
+                            .ok()
+                            .and_then(|j| j.get("session").and_then(Json::as_u64))
+                        else {
+                            continue;
+                        };
+                        service.handle_line(&format!(
+                            "{{\"op\":\"session.validate\",\"session\":{id},\
+                             \"validations\":{{\"key\":\"k{k}\"}}}}"
+                        ));
+                        service.handle_line(&format!(
+                            "{{\"op\":\"session.commit\",\"session\":{id}}}"
+                        ));
+                    }
+                }
+            })
+        };
+        let mut previous: HashMap<String, f64> = HashMap::new();
+        let mut outcome = Ok(());
+        for _ in 0..rounds {
+            let samples = match validate_prom(&scrape(&service)) {
+                Ok(samples) => samples,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            };
+            for (metric, &value) in &samples {
+                let prior = previous.get(metric).copied().unwrap_or(0.0);
+                if metric.contains("_total") && value + 1e-9 < prior {
+                    outcome = Err(format!("{metric} decreased: {prior} -> {value}"));
+                    break;
+                }
+            }
+            if outcome.is_err() {
+                break;
+            }
+            previous = samples;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer thread");
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+}
