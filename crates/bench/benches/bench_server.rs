@@ -123,10 +123,15 @@ fn bench_server_session_round_trip(c: &mut Criterion) {
 }
 
 /// Durability overhead: the same full interactive session (create →
-/// oracle-follow → commit) against an in-memory service and a journaled
-/// one. The journaled arm pays per-op event encoding plus one group-
-/// fsync wait at commit — the number this bench tracks is that delta.
+/// oracle-follow → commit) against an in-memory service, a journaled
+/// one (commit = local group fsync) and a replicated one (commit =
+/// local fsync + a quorum ack from a journal-tailing follower). The
+/// journaled arm pays per-op event encoding plus one group-fsync wait
+/// at commit; the quorum-ack arm adds the follower's poll + fsync +
+/// ack round trip — the numbers this bench tracks are those deltas.
 fn bench_server_session_durability(c: &mut Criterion) {
+    use cerfix_server::{Frontend, Request, Server};
+
     let mut rng = rng_for("bench-server-durability");
     let scenario = uk::scenario(5_000, &mut rng);
     let workload = workload_for(&scenario, 256, 0.3, &mut rng);
@@ -137,7 +142,7 @@ fn bench_server_session_durability(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("server_session_durability");
     group.throughput(Throughput::Elements(1));
-    for mode in ["memory", "journaled"] {
+    for mode in ["memory", "journaled", "quorum-ack"] {
         let config = ServiceConfig {
             workers: 2,
             precompute_regions: false,
@@ -145,11 +150,44 @@ fn bench_server_session_durability(c: &mut Criterion) {
         };
         let master = Arc::new(scenario.master_data());
         let rules = Arc::new(scenario.rules.clone());
+        // The quorum arm's follower + TCP server, kept alive for the arm.
+        let mut rig = None;
         let service = match mode {
             "memory" => CleaningService::new(master, rules, config),
-            _ => {
+            "journaled" => {
                 CleaningService::with_storage(master, rules, config, StorageConfig::new(&data_dir))
                     .expect("open bench data dir")
+            }
+            _ => {
+                let primary = CleaningService::with_storage(
+                    Arc::clone(&master),
+                    Arc::clone(&rules),
+                    ServiceConfig {
+                        cluster_size: 2,
+                        ack_timeout: std::time::Duration::from_secs(10),
+                        advertise: Some("bench-primary".into()),
+                        ..config
+                    },
+                    StorageConfig::new(data_dir.join("primary")),
+                )
+                .expect("open bench primary dir");
+                let handle = Server::spawn_with("127.0.0.1:0", primary.clone(), Frontend::Threads)
+                    .expect("bind bench primary");
+                let follower = CleaningService::with_storage(
+                    master,
+                    rules,
+                    ServiceConfig {
+                        replicate_from: Some(handle.addr().to_string()),
+                        advertise: Some("bench-follower".into()),
+                        workers: 2,
+                        precompute_regions: false,
+                        ..ServiceConfig::default()
+                    },
+                    StorageConfig::new(data_dir.join("follower")),
+                )
+                .expect("open bench follower dir");
+                rig = Some((follower, handle));
+                primary
             }
         };
         let mut client = LocalClient::in_process(&service);
@@ -181,6 +219,11 @@ fn bench_server_session_durability(c: &mut Criterion) {
                 client.commit(view.session).expect("commit")
             });
         });
+        if let Some((follower, handle)) = rig.take() {
+            follower.handle(&Request::Shutdown); // stops the tail thread
+            let _ = handle.shutdown();
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
     }
     group.finish();
     let _ = std::fs::remove_dir_all(&data_dir);

@@ -20,10 +20,11 @@
 //!    are asserted exactly.
 //! 3. **Closed-loop latency** — W=1 round trips, p50/p99 per front end.
 
-use cerfix_relation::{RelationBuilder, Schema};
+use cerfix_relation::{RelationBuilder, Schema, Value};
 use cerfix_rules::{EditingRule, PatternTuple, RuleSet};
 use cerfix_server::{
-    CleaningService, Frontend, RequestScratch, Server, ServerHandle, ServiceConfig,
+    CleaningService, Frontend, LocalClient, Request, RequestScratch, Server, ServerHandle,
+    ServiceConfig, StorageConfig,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -77,7 +78,7 @@ fn fast_mode() -> bool {
 // bench measures.
 // ---------------------------------------------------------------------
 
-fn kv_service_cfg(rows: usize, trace_buffer: usize) -> CleaningService {
+fn kv_parts(rows: usize) -> (Arc<cerfix::MasterData>, Arc<RuleSet>) {
     let input = Schema::of_strings("in", ["key", "val", "note"]).unwrap();
     let ms = Schema::of_strings("m", ["key", "val"]).unwrap();
     let mut builder = RelationBuilder::new(ms.clone());
@@ -99,9 +100,14 @@ fn kv_service_cfg(rows: usize, trace_buffer: usize) -> CleaningService {
             .unwrap(),
         )
         .unwrap();
+    (Arc::new(master), Arc::new(rules))
+}
+
+fn kv_service_cfg(rows: usize, trace_buffer: usize) -> CleaningService {
+    let (master, rules) = kv_parts(rows);
     CleaningService::new(
-        Arc::new(master),
-        Arc::new(rules),
+        master,
+        rules,
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(2, usize::from),
             precompute_regions: false,
@@ -628,6 +634,101 @@ fn closed_loop_latency(arm: Arm, conns: usize, per_conn: usize) -> (f64, f64) {
 }
 
 // ---------------------------------------------------------------------
+// 4. Commit durability: local-fsync vs quorum-ack commit latency.
+// ---------------------------------------------------------------------
+
+/// Per-commit latency (p50, p99, µs) of create → validate → commit
+/// sessions, timing only the commit — the op that pays the durability
+/// cost (journal fsync, plus the follower ack round trip under quorum).
+fn commit_latency(service: &CleaningService, iters: usize) -> (f64, f64) {
+    let mut client = LocalClient::in_process(service);
+    let mut lat: Vec<u64> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let k = format!("k{}", i % 512);
+        let view = client
+            .create_session(vec![Value::str(&k), Value::str("WRONG"), Value::str("n")])
+            .expect("create");
+        client
+            .validate(
+                view.session,
+                vec![
+                    ("key".into(), Value::str(&k)),
+                    ("note".into(), Value::str("n")),
+                ],
+            )
+            .expect("validate");
+        let start = Instant::now();
+        client.commit(view.session).expect("commit");
+        lat.push(start.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    (pct(0.50), pct(0.99))
+}
+
+/// The two durability modes, measured back to back: `local-fsync`
+/// (commit acks after the journal group fsync) and `quorum-ack`
+/// (cluster of 2: commit also waits for a journal-tailing follower to
+/// pull, apply and fsync the events, acked via its sync cursor).
+fn commit_durability_probe(iters: usize) -> ((f64, f64), (f64, f64)) {
+    let tmp = std::env::temp_dir().join(format!("cerfix-bench-quorum-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let (master, rules) = kv_parts(512);
+
+    let local = CleaningService::with_storage(
+        Arc::clone(&master),
+        Arc::clone(&rules),
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        },
+        StorageConfig::new(tmp.join("local")),
+    )
+    .expect("open local-fsync arm");
+    let local_lat = commit_latency(&local, iters);
+    drop(local);
+
+    let primary = CleaningService::with_storage(
+        Arc::clone(&master),
+        Arc::clone(&rules),
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            cluster_size: 2,
+            ack_timeout: std::time::Duration::from_secs(10),
+            advertise: Some("bench-primary".into()),
+            ..ServiceConfig::default()
+        },
+        StorageConfig::new(tmp.join("primary")),
+    )
+    .expect("open quorum primary arm");
+    let handle = Server::spawn_with("127.0.0.1:0", primary.clone(), Frontend::Threads)
+        .expect("bind quorum primary");
+    let follower = CleaningService::with_storage(
+        master,
+        rules,
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            replicate_from: Some(handle.addr().to_string()),
+            advertise: Some("bench-follower".into()),
+            ..ServiceConfig::default()
+        },
+        StorageConfig::new(tmp.join("follower")),
+    )
+    .expect("open quorum follower arm");
+    let quorum_lat = commit_latency(&primary, iters);
+
+    follower.handle(&Request::Shutdown); // stops the tail thread
+    let _ = handle.shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    drop(follower);
+    let _ = std::fs::remove_dir_all(&tmp);
+    (local_lat, quorum_lat)
+}
+
+// ---------------------------------------------------------------------
 // Harness + BENCH_server.json.
 // ---------------------------------------------------------------------
 
@@ -725,6 +826,13 @@ fn bench_wire_suite(_c: &mut Criterion) {
         "closed-loop latency (8 conns): seed p50 {s_p50:.0}µs p99 {s_p99:.0}µs | threads p50 {t_p50:.0}µs p99 {t_p99:.0}µs | epoll p50 {e_p50:.0}µs p99 {e_p99:.0}µs"
     );
 
+    let dur_iters = if fast_mode() { 120 } else { 400 };
+    let (local_lat, quorum_lat) = commit_durability_probe(dur_iters);
+    println!(
+        "commit latency ({dur_iters} commits): local-fsync p50 {:.0}µs p99 {:.0}µs | quorum-ack(2) p50 {:.0}µs p99 {:.0}µs",
+        local_lat.0, local_lat.1, quorum_lat.0, quorum_lat.1
+    );
+
     write_json(
         &cells,
         headline_conns,
@@ -737,9 +845,11 @@ fn bench_wire_suite(_c: &mut Criterion) {
         ],
         &report,
         (traced, untraced, overhead_pct),
+        (dur_iters, local_lat, quorum_lat),
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     cells: &[ThroughputCell],
     headline_conns: usize,
@@ -748,6 +858,7 @@ fn write_json(
     latency: [(&str, f64, f64); 3],
     alloc: &AllocReport,
     tracing: (f64, f64, f64),
+    durability: (usize, (f64, f64), (f64, f64)),
 ) {
     let mut rows = String::new();
     for (i, c) in cells.iter().enumerate() {
@@ -770,7 +881,7 @@ fn write_json(
     }
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
     let json = format!(
-        "{{\n  \"bench\": \"wire\",\n  \"mode\": \"{mode}\",\n  \"environment\": {{\"cores\": {cores}, \"note\": \"single-core hosts serialize service CPU, bench client and front end on one core; the reactor's pool dispatch and wakeup amortization widen these gaps with core count\"}},\n  \"arms\": [\"threads_seed_baseline\", \"threads\", \"epoll\"],\n  \"pipelined\": [\n{rows}\n  ],\n  \"pipelined_speedup_at_{headline_conns}_conns\": {{\"epoll_vs_seed_baseline\": {vs_seed:.2}, \"epoll_vs_threads\": {vs_threads:.2}}},\n  \"closed_loop_latency_us\": {{\n{lat}\n  }},\n  \"allocs_per_request_warmed\": {{\"session.get\": {ag}, \"session.fix\": {af}, \"session.validate\": {av}}},\n  \"tracing_overhead\": {{\"traced_reqs_per_sec\": {traced:.0}, \"untraced_reqs_per_sec\": {untraced:.0}, \"overhead_pct\": {opct:.2}, \"budget_pct\": 2.0}}\n}}\n",
+        "{{\n  \"bench\": \"wire\",\n  \"mode\": \"{mode}\",\n  \"environment\": {{\"cores\": {cores}, \"note\": \"single-core hosts serialize service CPU, bench client and front end on one core; the reactor's pool dispatch and wakeup amortization widen these gaps with core count\"}},\n  \"arms\": [\"threads_seed_baseline\", \"threads\", \"epoll\"],\n  \"pipelined\": [\n{rows}\n  ],\n  \"pipelined_speedup_at_{headline_conns}_conns\": {{\"epoll_vs_seed_baseline\": {vs_seed:.2}, \"epoll_vs_threads\": {vs_threads:.2}}},\n  \"closed_loop_latency_us\": {{\n{lat}\n  }},\n  \"allocs_per_request_warmed\": {{\"session.get\": {ag}, \"session.fix\": {af}, \"session.validate\": {av}}},\n  \"tracing_overhead\": {{\"traced_reqs_per_sec\": {traced:.0}, \"untraced_reqs_per_sec\": {untraced:.0}, \"overhead_pct\": {opct:.2}, \"budget_pct\": 2.0}},\n  \"commit_durability_latency_us\": {{\"commits\": {dcommits}, \"local_fsync\": {{\"p50\": {dlp50:.1}, \"p99\": {dlp99:.1}}}, \"quorum_ack_2_replicas\": {{\"p50\": {dqp50:.1}, \"p99\": {dqp99:.1}}}}}\n}}\n",
         mode = if fast_mode() { "smoke" } else { "full" },
         ag = alloc.get,
         af = alloc.fix,
@@ -778,6 +889,11 @@ fn write_json(
         traced = tracing.0,
         untraced = tracing.1,
         opct = tracing.2,
+        dcommits = durability.0,
+        dlp50 = durability.1 .0,
+        dlp99 = durability.1 .1,
+        dqp50 = durability.2 .0,
+        dqp99 = durability.2 .1,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, json).expect("write BENCH_server.json at repo root");

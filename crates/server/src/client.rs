@@ -14,6 +14,99 @@ use crate::wire::{Json, WireError};
 use cerfix_relation::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Reconnect/retry behavior for [`TcpTransport`].
+///
+/// A dropped connection used to be a hard error; with a policy the
+/// transport redials the original address with capped, jittered
+/// exponential backoff and (for [`Client::request`]) retries the
+/// request. Retrying re-sends the line on a fresh connection, so a
+/// non-idempotent request that was *executed* before the connection
+/// died can run twice — callers for whom that matters should use
+/// [`RetryPolicy::none`]. Pipelined sends ([`Client::pipeline`]) never
+/// retry; they only benefit from the automatic redial on next use.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (`0` = fail fast).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Per-request socket timeout (both read and write). A request
+    /// exceeding it fails with a timeout error and the connection is
+    /// redialed before any retry (a half-read response line cannot be
+    /// resynchronized). `None` blocks indefinitely.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 2,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            request_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast: no retries, no timeout (the pre-v5 client behavior).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry `attempt` (1-based): exponential from
+    /// `base_delay`, capped at `max_delay`, with ±25% jitter so a herd
+    /// of reconnecting clients does not stampede in lockstep.
+    pub(crate) fn backoff(&self, attempt: u32, seed: &mut u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        jittered(raw, seed)
+    }
+}
+
+/// `delay` ±25%, driven by a caller-held xorshift state (no external
+/// RNG dependency; replication shares this).
+pub(crate) fn jittered(delay: Duration, seed: &mut u64) -> Duration {
+    let nanos = delay.as_nanos() as u64;
+    if nanos == 0 {
+        return delay;
+    }
+    // 75%..125% of the nominal delay.
+    let spread = nanos / 2;
+    let offset = next_rand(seed) % (spread + 1);
+    Duration::from_nanos(nanos - spread / 2 + offset)
+}
+
+/// Seed jitter from the wall clock's sub-second noise (good enough for
+/// backoff de-correlation; never zero).
+pub(crate) fn jitter_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5DEECE66D);
+    (nanos << 1) | 1
+}
+
+/// xorshift64*: tiny, stateless-dependency PRNG for jitter only.
+pub(crate) fn next_rand(seed: &mut u64) -> u64 {
+    let mut x = *seed;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *seed = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -64,35 +157,103 @@ pub trait Transport {
     fn recv(&mut self) -> Result<String, ClientError>;
 }
 
-/// Blocking TCP transport.
+/// Blocking TCP transport with redial: any I/O failure marks the
+/// connection broken, and the next send transparently reconnects to
+/// the original address. Round trips additionally retry per the
+/// [`RetryPolicy`]; split send/receive (pipelining) never retry.
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Redial target (what `connect` was given).
+    addr: String,
+    policy: RetryPolicy,
+    /// Set on any I/O error; cleared by a successful redial. A broken
+    /// connection may hold a half-written request or half-read
+    /// response, so it is never reused.
+    broken: bool,
+    seed: u64,
+}
+
+impl TcpTransport {
+    fn dial(
+        addr: &str,
+        policy: &RetryPolicy,
+    ) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(policy.request_timeout)?;
+        stream.set_write_timeout(policy.request_timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((reader, stream))
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if !self.broken {
+            return Ok(());
+        }
+        let (reader, writer) = TcpTransport::dial(&self.addr, &self.policy)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.broken = false;
+        Ok(())
+    }
+
+    fn send_raw(&mut self, line: &str) -> Result<(), ClientError> {
+        self.ensure_connected()?;
+        let result = (|| {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()
+        })();
+        result.map_err(|e| {
+            self.broken = true;
+            ClientError::Io(e)
+        })
+    }
+
+    fn recv_raw(&mut self) -> Result<String, ClientError> {
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Ok(0) => {
+                self.broken = true;
+                Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Ok(_) => Ok(response),
+            Err(e) => {
+                self.broken = true;
+                Err(ClientError::Io(e))
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
-        self.send(line)?;
-        self.recv()
+        let mut attempt = 0u32;
+        loop {
+            match self.send_raw(line).and_then(|()| self.recv_raw()) {
+                Ok(response) => return Ok(response),
+                // Only transport failures retry — a server-side error
+                // response is an answer, not a delivery failure.
+                Err(ClientError::Io(e)) if attempt < self.policy.retries => {
+                    attempt += 1;
+                    let _ = e;
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.seed));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        Ok(())
+        self.send_raw(line)
     }
 
     fn recv(&mut self) -> Result<String, ClientError> {
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
-        Ok(response)
+        self.recv_raw()
     }
 }
 
@@ -134,15 +295,31 @@ pub struct Client<T: Transport = TcpTransport> {
 pub type LocalClient = Client<LocalTransport>;
 
 impl Client<TcpTransport> {
-    /// Connect to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client<TcpTransport>, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
+    /// Connect to a running server with the default [`RetryPolicy`]
+    /// (a couple of redial-and-retry attempts with jittered backoff).
+    pub fn connect(
+        addr: impl ToSocketAddrs + ToString,
+    ) -> Result<Client<TcpTransport>, ClientError> {
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit reconnect/timeout policy (the
+    /// replication tail runs with short per-request timeouts; tests
+    /// that assert on hard disconnects use [`RetryPolicy::none`]).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + ToString,
+        policy: RetryPolicy,
+    ) -> Result<Client<TcpTransport>, ClientError> {
+        let addr = addr.to_string();
+        let (reader, writer) = TcpTransport::dial(&addr, &policy)?;
         Ok(Client {
             transport: TcpTransport {
                 reader,
-                writer: stream,
+                writer,
+                addr,
+                policy,
+                broken: false,
+                seed: jitter_seed(),
             },
         })
     }
@@ -582,5 +759,45 @@ impl<T: Transport> Client<T> {
     /// Ask the server to stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let policy = RetryPolicy {
+            retries: 8,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            request_timeout: None,
+        };
+        let mut seed = jitter_seed();
+        for attempt in 1..=10u32 {
+            let nominal = Duration::from_millis(20)
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(Duration::from_millis(500));
+            let delay = policy.backoff(attempt, &mut seed);
+            // ±25% jitter around the capped exponential.
+            assert!(delay >= nominal.mul_f64(0.74), "{attempt}: {delay:?}");
+            assert!(delay <= nominal.mul_f64(1.26), "{attempt}: {delay:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_and_seed_is_odd() {
+        assert_eq!(jitter_seed() & 1, 1);
+        let mut seed = 42u64;
+        let a = next_rand(&mut seed);
+        let b = next_rand(&mut seed);
+        assert_ne!(a, b);
+        let base = Duration::from_millis(100);
+        let samples: Vec<Duration> = (0..16).map(|_| jittered(base, &mut seed)).collect();
+        assert!(samples.iter().any(|s| *s != base));
+        assert!(samples
+            .iter()
+            .all(|s| *s >= base.mul_f64(0.74) && *s <= base.mul_f64(1.26)));
     }
 }

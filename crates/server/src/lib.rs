@@ -73,6 +73,7 @@ mod net;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 mod reactor;
+mod replication;
 mod service;
 mod session;
 mod trace;
@@ -81,12 +82,13 @@ pub mod wire;
 pub use cache::{ruleset_fingerprint, AnalysisCache};
 pub use client::{
     AuditPage, AuditRecordView, CleanOutcomeView, Client, ClientError, CommitView, LocalClient,
-    LocalTransport, SessionView, TcpTransport, Transport,
+    LocalTransport, RetryPolicy, SessionView, TcpTransport, Transport,
 };
 pub use metrics::{MetricsSnapshot, OpLatency, ServiceMetrics};
 pub use net::{Frontend, Server, ServerHandle};
 pub use protocol::RequestScratch;
 pub use protocol::{Request, PROTOCOL_VERSION};
+pub use replication::Role;
 pub use service::{CleaningService, ServiceConfig};
 pub use session::{SessionError, SessionManager};
 // Storage types most embedders need, re-exported so `cerfix-server`

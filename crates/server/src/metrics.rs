@@ -15,7 +15,7 @@ const LATENCY_BUCKETS: usize = 40;
 /// malformed-line class (`parse_error`), and the class unrecognized ops
 /// fall into (`other` — kept distinct so malformed lines and unknown
 /// ops are not conflated). Indexed by [`op_index`].
-pub const LATENCY_OPS: [&str; 19] = [
+pub const LATENCY_OPS: [&str; 21] = [
     "hello",
     "session.create",
     "session.get",
@@ -32,6 +32,8 @@ pub const LATENCY_OPS: [&str; 19] = [
     "metrics",
     "metrics.prom",
     "trace.read",
+    "replica.sync",
+    "replica.promote",
     "shutdown",
     "parse_error",
     "other",
@@ -184,6 +186,14 @@ pub struct ServiceMetrics {
     reactor_polls: AtomicU64,
     /// Cross-thread eventfd wakeups delivered to the reactor.
     reactor_wakeups: AtomicU64,
+    /// Quorum-ack wait on commit: local fsync done → quorum of follower
+    /// cursors covering the commit position.
+    ack_latency: OpHistogram,
+    /// Journal events served to follower cursors via `replica.sync`.
+    replication_events_served: AtomicU64,
+    /// Commits that timed out waiting for a follower quorum (applied
+    /// and locally durable, but answered with `quorum_timeout`).
+    quorum_timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -240,6 +250,10 @@ pub struct MetricsSnapshot {
     pub bytes_in: u64,
     /// Response bytes written to sockets.
     pub bytes_out: u64,
+    /// Journal events served to follower replication cursors.
+    pub replication_events_served: u64,
+    /// Commits that timed out waiting for a follower quorum.
+    pub quorum_timeouts: u64,
     /// Per-op request-latency summaries (ops with traffic only).
     pub latency: Vec<OpLatency>,
 }
@@ -280,6 +294,9 @@ impl ServiceMetrics {
             reactor_loop: OpHistogram::new(),
             reactor_polls: AtomicU64::new(0),
             reactor_wakeups: AtomicU64::new(0),
+            ack_latency: OpHistogram::new(),
+            replication_events_served: AtomicU64::new(0),
+            quorum_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -322,6 +339,22 @@ impl ServiceMetrics {
     /// Count one eventfd wakeup delivered to the reactor.
     pub(crate) fn reactor_wakeup(&self) {
         self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one quorum-ack commit wait (local fsync → quorum).
+    pub(crate) fn observe_ack_latency(&self, elapsed: Duration) {
+        self.ack_latency.observe(elapsed);
+    }
+
+    /// Count journal events served to follower cursors.
+    pub(crate) fn replication_events_served(&self, n: u64) {
+        self.replication_events_served
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one commit that timed out waiting for the quorum.
+    pub(crate) fn quorum_timeout(&self) {
+        self.quorum_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn connection_opened(&self) {
@@ -445,6 +478,8 @@ impl ServiceMetrics {
             connections_total: self.connections_total.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            replication_events_served: self.replication_events_served.load(Ordering::Relaxed),
+            quorum_timeouts: self.quorum_timeouts.load(Ordering::Relaxed),
             latency: LATENCY_OPS
                 .iter()
                 .zip(&self.latency)
@@ -475,7 +510,7 @@ impl ServiceMetrics {
             "gauge",
             self.started.elapsed().as_secs_f64(),
         );
-        let counters: [(&str, &str, &AtomicU64); 19] = [
+        let counters: [(&str, &str, &AtomicU64); 21] = [
             (
                 "cerfix_requests_total",
                 "Protocol requests handled (including failed ones).",
@@ -571,6 +606,16 @@ impl ServiceMetrics {
                 "Response bytes written to sockets.",
                 &self.bytes_out,
             ),
+            (
+                "cerfix_replication_events_served_total",
+                "Journal events served to follower replication cursors.",
+                &self.replication_events_served,
+            ),
+            (
+                "cerfix_quorum_timeouts_total",
+                "Commits that timed out waiting for a follower quorum.",
+                &self.quorum_timeouts,
+            ),
         ];
         for (name, help, counter) in counters {
             prom_metric(
@@ -655,6 +700,14 @@ impl ServiceMetrics {
         );
         self.reactor_loop
             .render_prom(out, "cerfix_reactor_loop_duration_seconds", None);
+        prom_header(
+            out,
+            "cerfix_commit_ack_duration_seconds",
+            "Quorum-ack wait on commit: local fsync to follower quorum.",
+            "histogram",
+        );
+        self.ack_latency
+            .render_prom(out, "cerfix_commit_ack_duration_seconds", None);
         // Per-op engine-stat totals (ops that did engine work only).
         let stats_names = [
             (
@@ -956,6 +1009,9 @@ mod tests {
         m.observe_reactor_loop(Duration::from_micros(50));
         m.reactor_poll();
         m.reactor_wakeup();
+        m.observe_ack_latency(Duration::from_micros(700));
+        m.replication_events_served(12);
+        m.quorum_timeout();
         let mut out = String::new();
         m.render_prom(&mut out);
         assert!(out.contains("# TYPE cerfix_requests_total counter"));
@@ -976,5 +1032,8 @@ mod tests {
         assert!(out.contains("cerfix_reactor_wakeups_total 1"));
         // Buckets are cumulative and end at +Inf with the total count.
         assert!(out.contains("cerfix_worker_batch_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(out.contains("cerfix_commit_ack_duration_seconds_count 1"));
+        assert!(out.contains("cerfix_replication_events_served_total 12"));
+        assert!(out.contains("cerfix_quorum_timeouts_total 1"));
     }
 }

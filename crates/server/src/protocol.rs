@@ -147,8 +147,14 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
 /// master repository with delta re-certification of cached regions);
 /// version 4 added the observability surface — `trace.read` (recent and
 /// slow request spans) and `metrics.prom` (Prometheus text exposition)
-/// — plus `version`/`uptime_secs` fields on `hello` and `stats`.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// — plus `version`/`uptime_secs` fields on `hello` and `stats`;
+/// version 5 added replication — `replica.sync` (tail the primary's
+/// journal from an `(epoch, offset)` cursor; the cursor doubles as the
+/// follower's durability ack) and `replica.promote` (fence the old
+/// primary behind an epoch bump and start serving writes) — plus
+/// `role`/`epoch`/`primary` fields on `hello` and the `not_primary` /
+/// `stale_epoch` error contract on follower mutations.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,6 +248,25 @@ pub enum Request {
         /// Maximum spans to return from each ring (server-capped).
         limit: Option<u64>,
     },
+    /// Pull a batch of journal events from an `(epoch, offset)` cursor —
+    /// the follower side of journal-tailing replication. The cursor is
+    /// the follower's *durable* position, so each poll also acks
+    /// everything before it (quorum-ack commits count these cursors).
+    ReplicaSync {
+        /// Stable follower identity (its listen address), keyed in the
+        /// primary's follower registry.
+        follower: String,
+        /// Cursor epoch: the snapshot epoch of the follower's journal.
+        epoch: u64,
+        /// Cursor offset: durable events applied within that epoch.
+        offset: u64,
+        /// Maximum events to return (server-capped).
+        max: Option<u64>,
+    },
+    /// Promote this (follower) node to primary: bump the snapshot epoch
+    /// so the old primary's stale-epoch stream is fenced off, stop
+    /// tailing, and start accepting session mutations.
+    ReplicaPromote,
     /// Ask the server process to stop accepting connections.
     Shutdown,
 }
@@ -297,6 +322,8 @@ impl Request {
             Request::Metrics => "metrics",
             Request::MetricsProm => "metrics.prom",
             Request::TraceRead { .. } => "trace.read",
+            Request::ReplicaSync { .. } => "replica.sync",
+            Request::ReplicaPromote => "replica.promote",
             Request::Shutdown => "shutdown",
         }
     }
@@ -406,6 +433,27 @@ impl Request {
                     None => None,
                 },
             },
+            "replica.sync" => {
+                Request::ReplicaSync {
+                    follower: need(&json, "follower")?
+                        .as_str()
+                        .ok_or_else(|| WireError("`follower` must be a string id".into()))?
+                        .to_string(),
+                    epoch: need(&json, "epoch")?.as_u64().ok_or_else(|| {
+                        WireError("`epoch` must be a non-negative integer".into())
+                    })?,
+                    offset: need(&json, "offset")?.as_u64().ok_or_else(|| {
+                        WireError("`offset` must be a non-negative integer".into())
+                    })?,
+                    max: match json.get("max") {
+                        Some(m) => Some(m.as_u64().ok_or_else(|| {
+                            WireError("`max` must be a non-negative integer".into())
+                        })?),
+                        None => None,
+                    },
+                }
+            }
+            "replica.promote" => Request::ReplicaPromote,
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -415,7 +463,24 @@ impl Request {
     pub fn to_json(&self) -> Json {
         let mut fields: Vec<(String, Json)> = vec![("op".into(), Json::str(self.op()))];
         match self {
-            Request::Hello | Request::Metrics | Request::MetricsProm | Request::Shutdown => {}
+            Request::Hello
+            | Request::Metrics
+            | Request::MetricsProm
+            | Request::ReplicaPromote
+            | Request::Shutdown => {}
+            Request::ReplicaSync {
+                follower,
+                epoch,
+                offset,
+                max,
+            } => {
+                fields.push(("follower".into(), Json::str(follower.clone())));
+                fields.push(("epoch".into(), Json::Num(*epoch as f64)));
+                fields.push(("offset".into(), Json::Num(*offset as f64)));
+                if let Some(max) = max {
+                    fields.push(("max".into(), Json::Num(*max as f64)));
+                }
+            }
             Request::TraceRead { limit } => {
                 if let Some(limit) = limit {
                     fields.push(("limit".into(), Json::Num(*limit as f64)));
@@ -554,6 +619,19 @@ mod tests {
         round_trip(Request::MetricsProm);
         round_trip(Request::TraceRead { limit: Some(16) });
         round_trip(Request::TraceRead { limit: None });
+        round_trip(Request::ReplicaSync {
+            follower: "127.0.0.1:9102".into(),
+            epoch: 3,
+            offset: 4096,
+            max: Some(512),
+        });
+        round_trip(Request::ReplicaSync {
+            follower: "b".into(),
+            epoch: 0,
+            offset: 0,
+            max: None,
+        });
+        round_trip(Request::ReplicaPromote);
         round_trip(Request::Shutdown);
     }
 
@@ -593,6 +671,11 @@ mod tests {
             r#"{"op":"master.append"}"#,
             r#"{"op":"master.append","tuples":"no"}"#,
             r#"{"op":"master.append","tuples":[7]}"#,
+            r#"{"op":"replica.sync"}"#,
+            r#"{"op":"replica.sync","follower":7,"epoch":0,"offset":0}"#,
+            r#"{"op":"replica.sync","follower":"b","offset":0}"#,
+            r#"{"op":"replica.sync","follower":"b","epoch":-1,"offset":0}"#,
+            r#"{"op":"replica.sync","follower":"b","epoch":0,"offset":0,"max":"all"}"#,
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");

@@ -42,6 +42,7 @@ use crate::metrics::{
     LATENCY_OPS,
 };
 use crate::protocol::{scan_line, HotOp, Request, RequestScratch, PROTOCOL_VERSION};
+use crate::replication::{hex_encode, lock_followers, ReplicationState, Role};
 use crate::session::{SessionError, SessionManager};
 use crate::trace::{Span, TraceSink};
 use crate::wire::scan::{ObjectScanner, RawValue};
@@ -87,6 +88,22 @@ pub struct ServiceConfig {
     /// Requests slower than this are also kept in the slow-request
     /// ring, which plain traffic cannot wash out.
     pub slow_ms: u64,
+    /// Tail this primary's journal instead of accepting mutations
+    /// (requires storage). `None` — the default — makes this node a
+    /// primary.
+    pub replicate_from: Option<String>,
+    /// Replication cluster size N (nodes counting this one). When
+    /// N > 1, a commit acknowledgement additionally waits until
+    /// ⌈(N+1)/2⌉ cluster members (counting this primary) have fsynced
+    /// it; `1` keeps today's local-fsync durability.
+    pub cluster_size: usize,
+    /// How long a quorum-ack commit waits for follower acks before
+    /// failing with `quorum_timeout` (the commit stays applied and
+    /// locally durable).
+    pub ack_timeout: Duration,
+    /// Address this node advertises in `replica.sync` requests — the
+    /// key the primary tracks its replication lag under.
+    pub advertise: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +116,10 @@ impl Default for ServiceConfig {
             precompute_regions: true,
             trace_buffer: 1024,
             slow_ms: 500,
+            replicate_from: None,
+            cluster_size: 1,
+            ack_timeout: Duration::from_secs(5),
+            advertise: None,
         }
     }
 }
@@ -160,6 +181,15 @@ struct ServiceInner {
     /// a lock-free ring; read by `trace.read`.
     trace: TraceSink,
     storage: Option<StorageBinding>,
+    /// Replication state: role, the primary's follower/ack registry and
+    /// fencing watermark, a follower's tail-thread handle.
+    replication: ReplicationState,
+    /// The boot-time master and rules, retained so a snapshot resync
+    /// can rebuild from scratch (`SnapshotData::master_appended` is
+    /// relative to the boot master — replaying it onto an
+    /// already-appended master would double-apply rows).
+    boot_master: Arc<MasterData>,
+    boot_rules: Arc<RuleSet>,
     config: ServiceConfig,
     shutdown: AtomicBool,
     /// Out-of-band wakeups run when a `shutdown` request is accepted —
@@ -213,10 +243,42 @@ impl CleaningService {
         storage_config: StorageConfig,
     ) -> std::io::Result<CleaningService> {
         let (storage, recovered) = Storage::open(storage_config)?;
+        // Keep the recovered snapshot's bytes: a primary serves them to
+        // followers whose cursor predates the current epoch.
+        let snapshot_bytes = recovered
+            .snapshot
+            .as_ref()
+            .map(|snapshot| Arc::new(snapshot.encode()));
         let service = CleaningService::build(master, rules, config, Some(storage));
         service
             .recover(recovered)
             .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))?;
+        *service
+            .inner
+            .replication
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = snapshot_bytes;
+        if let Some(primary) = service.inner.config.replicate_from.clone() {
+            *service
+                .inner
+                .replication
+                .role
+                .write()
+                .unwrap_or_else(|e| e.into_inner()) = Role::Follower {
+                primary: primary.clone(),
+            };
+            let tail_service = service.clone();
+            let handle = std::thread::Builder::new()
+                .name("cerfix-replica-tail".into())
+                .spawn(move || crate::replication::run_tail(tail_service, primary))?;
+            *service
+                .inner
+                .replication
+                .tail
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(handle);
+        }
         Ok(service)
     }
 
@@ -229,6 +291,8 @@ impl CleaningService {
         let cache = AnalysisCache::new();
         let metrics = ServiceMetrics::new();
         let input_schema = rules.input_schema().clone();
+        let boot_master = Arc::clone(&master);
+        let boot_rules = Arc::clone(&rules);
         let engine = compile_engine(master, rules, &config, &cache, &metrics);
         let audit = match &storage {
             Some(storage) => Arc::new(AuditLog::with_sink(
@@ -252,6 +316,9 @@ impl CleaningService {
                     storage,
                     gate: RwLock::new(()),
                 }),
+                replication: ReplicationState::new(config.cluster_size, config.ack_timeout),
+                boot_master,
+                boot_rules,
                 swap_lock: Mutex::new(()),
                 master_appended: Mutex::new(Vec::new()),
                 config,
@@ -305,6 +372,74 @@ impl CleaningService {
     /// True iff this service journals to a data directory.
     pub fn is_journaled(&self) -> bool {
         self.inner.storage.is_some()
+    }
+
+    /// This node's replication role.
+    pub fn role(&self) -> Role {
+        self.inner
+            .replication
+            .role
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Shared replication state (follower registry, fencing watermark).
+    pub(crate) fn replication(&self) -> &ReplicationState {
+        &self.inner.replication
+    }
+
+    /// This node's durable journal cursor `(epoch, offset)` — what the
+    /// tail loop pulls from and acks with. `None` without storage.
+    pub(crate) fn durable_cursor(&self) -> Option<(u64, u64)> {
+        self.inner
+            .storage
+            .as_ref()
+            .map(|binding| binding.storage.durable_position())
+    }
+
+    /// The follower id this node reports in `replica.sync` requests.
+    pub(crate) fn advertised(&self) -> String {
+        self.inner
+            .config
+            .advertise
+            .clone()
+            .unwrap_or_else(|| "follower".into())
+    }
+
+    /// Refuse mutations this node must not accept: a follower is
+    /// read-only (redirect to its primary), and a deposed primary — one
+    /// that has seen a replica cursor from a higher epoch — is fenced.
+    fn check_primary(&self) -> Result<(), String> {
+        let role = self
+            .inner
+            .replication
+            .role
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Role::Follower { primary } = &*role {
+            return Err(format!(
+                "not_primary: this node is a read-only follower; primary is {primary}"
+            ));
+        }
+        drop(role);
+        let seen = self
+            .inner
+            .replication
+            .max_epoch_seen
+            .load(Ordering::Acquire);
+        let epoch = self
+            .inner
+            .storage
+            .as_ref()
+            .map_or(0, |binding| binding.storage.epoch());
+        if seen > epoch {
+            return Err(format!(
+                "stale_epoch: fenced at epoch {epoch} by a replica at epoch {seen}; \
+                 this node is no longer primary"
+            ));
+        }
+        Ok(())
     }
 
     /// The shared audit log (cell-level provenance of every op).
@@ -407,6 +542,12 @@ impl CleaningService {
     /// if storage is attached and the snapshot policy says it is time.
     /// The TCP server calls this from its housekeeping loop.
     pub fn maybe_snapshot(&self) -> std::io::Result<bool> {
+        // Followers never snapshot on their own: a snapshot bumps the
+        // journal epoch, and a follower's epoch must track the
+        // primary's or the stream it tails would fence itself.
+        if matches!(self.role(), Role::Follower { .. }) {
+            return Ok(false);
+        }
         match &self.inner.storage {
             Some(binding) if binding.storage.should_snapshot() => self.snapshot_now(),
             _ => Ok(false),
@@ -445,6 +586,14 @@ impl CleaningService {
         };
         binding.storage.install_snapshot(&data)?;
         self.inner.metrics.snapshot_written();
+        // Cache the encoded snapshot: it is what a follower whose
+        // cursor predates the new epoch gets resynced from.
+        *self
+            .inner
+            .replication
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(data.encode()));
         Ok(true)
     }
 
@@ -488,65 +637,212 @@ impl CleaningService {
                 .sessions
                 .advance_next_id(snapshot.next_session_id);
         }
-        for event in &recovered.events {
-            match event {
-                JournalEvent::SessionCreated { session, values } => {
-                    let tuple = Tuple::new(schema.clone(), values.clone())
-                        .map_err(|e| format!("replay session {session}: {e}"))?;
-                    self.inner
-                        .sessions
-                        .restore(*session, MonitorSession::new(*session as usize, tuple));
+        self.replay_events(&recovered.events, false)?;
+        let live = self.inner.sessions.len() as u64;
+        self.inner.metrics.sessions_recovered(live);
+        Ok(())
+    }
+
+    /// Replay a run of journal events in order — boot recovery and the
+    /// follower tail both come through here. Adjacent `MasterAppended`
+    /// events are coalesced into a single copy-on-append + recompile +
+    /// delta re-certification pass: a burst of N appends costs one
+    /// recompile instead of N (the merged batch lands on the same
+    /// master state the per-event replay would, in the same order).
+    fn replay_events(&self, events: &[JournalEvent], live: bool) -> Result<(), String> {
+        let schema = self.inner.input_schema.clone();
+        let mut i = 0;
+        while i < events.len() {
+            if let JournalEvent::MasterAppended { rows } = &events[i] {
+                let mut batch = rows.clone();
+                let mut j = i + 1;
+                while let Some(JournalEvent::MasterAppended { rows }) = events.get(j) {
+                    batch.extend(rows.iter().cloned());
+                    j += 1;
                 }
-                JournalEvent::SessionValidated {
-                    session,
-                    validations,
-                } => {
-                    let resolved: Vec<(usize, Value)> = validations
-                        .iter()
-                        .map(|(attr, value)| (*attr as usize, value.clone()))
-                        .collect();
-                    let engine = self.engine();
-                    // Detached monitor: shared regions but a private
-                    // audit log (see method docs).
+                self.apply_master_rows(batch)?;
+                i = j;
+                continue;
+            }
+            self.apply_journal_event(&events[i], &schema, live)?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Apply one replayed journal event. `live` distinguishes the
+    /// follower tail (audit-attached monitors, so the follower's
+    /// provenance stream regenerates byte-for-byte and `audit.read`
+    /// answers match the primary's) from boot recovery (detached
+    /// monitors — provenance already sits in the local audit segment;
+    /// re-recording it would duplicate the archive).
+    fn apply_journal_event(
+        &self,
+        event: &JournalEvent,
+        schema: &SchemaRef,
+        live: bool,
+    ) -> Result<(), String> {
+        match event {
+            JournalEvent::SessionCreated { session, values } => {
+                let tuple = Tuple::new(schema.clone(), values.clone())
+                    .map_err(|e| format!("replay session {session}: {e}"))?;
+                self.inner
+                    .sessions
+                    .restore(*session, MonitorSession::new(*session as usize, tuple));
+            }
+            JournalEvent::SessionValidated {
+                session,
+                validations,
+            } => {
+                let resolved: Vec<(usize, Value)> = validations
+                    .iter()
+                    .map(|(attr, value)| (*attr as usize, value.clone()))
+                    .collect();
+                let engine = self.engine();
+                // Ignore per-event errors: replaying an op that failed
+                // live reproduces the failed state too.
+                if live {
+                    let monitor = self.monitor_for(&engine);
+                    let _ = self
+                        .inner
+                        .sessions
+                        .with_session(*session, |state| monitor.apply_validation(state, &resolved));
+                } else {
                     let monitor = DataMonitor::from_plan(
                         &engine.rules,
                         &engine.master,
                         Arc::clone(&engine.plan),
                     )
                     .with_shared_regions(Arc::clone(&engine.regions));
-                    // Ignore per-event errors: replaying an op that
-                    // failed live reproduces the failed state too.
                     let _ = self
                         .inner
                         .sessions
                         .with_session(*session, |state| monitor.apply_validation(state, &resolved));
                 }
-                JournalEvent::SessionCommitted { session }
-                | JournalEvent::SessionAborted { session } => {
-                    let _ = self.inner.sessions.remove(*session);
-                }
-                JournalEvent::SessionsEvicted { sessions } => {
-                    for id in sessions {
-                        let _ = self.inner.sessions.remove(*id);
-                    }
-                }
-                JournalEvent::RulesReloaded { dsl, fingerprint } => {
-                    let engine = self.compile_engine_from_dsl(dsl)?;
-                    if engine.fingerprint != *fingerprint {
-                        return Err(format!(
-                            "journaled rule set re-parses to fingerprint {:x}, expected {:x}",
-                            engine.fingerprint, fingerprint
-                        ));
-                    }
-                    *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
-                }
-                JournalEvent::MasterAppended { rows } => {
-                    self.apply_master_rows(rows.clone())?;
+            }
+            JournalEvent::SessionCommitted { session }
+            | JournalEvent::SessionAborted { session } => {
+                let _ = self.inner.sessions.remove(*session);
+            }
+            JournalEvent::SessionsEvicted { sessions } => {
+                for id in sessions {
+                    let _ = self.inner.sessions.remove(*id);
                 }
             }
+            JournalEvent::RulesReloaded { dsl, fingerprint } => {
+                let engine = self.compile_engine_from_dsl(dsl)?;
+                if engine.fingerprint != *fingerprint {
+                    return Err(format!(
+                        "journaled rule set re-parses to fingerprint {:x}, expected {:x}",
+                        engine.fingerprint, fingerprint
+                    ));
+                }
+                *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+            }
+            JournalEvent::MasterAppended { rows } => {
+                self.apply_master_rows(rows.clone())?;
+            }
         }
-        let live = self.inner.sessions.len() as u64;
-        self.inner.metrics.sessions_recovered(live);
+        Ok(())
+    }
+
+    /// Follower side of the tail loop: journal the primary's events
+    /// byte-for-byte into our own journal (so our positions mirror the
+    /// primary's and a restart resumes from our durable cursor), replay
+    /// them through the live correcting path, then block on the group
+    /// fsync — the cursor our next `replica.sync` acks with only moves
+    /// once the events are durable *here*.
+    pub(crate) fn apply_replica_events(&self, events: Vec<JournalEvent>) -> Result<(), String> {
+        let Some(binding) = &self.inner.storage else {
+            return Err("follower has no storage attached".into());
+        };
+        let last_seq = self.with_gate(|| -> Result<Option<u64>, String> {
+            let mut last = None;
+            for event in &events {
+                last = Some(binding.storage.append(event));
+            }
+            self.replay_events(&events, true)?;
+            Ok(last)
+        })?;
+        if let Some(seq) = last_seq {
+            binding.storage.sync(seq);
+        }
+        Ok(())
+    }
+
+    /// Full resync: a follower whose cursor predates the primary's
+    /// journal epoch (a snapshot truncated the events it was owed)
+    /// installs the primary's snapshot wholesale. Rebuilds the engine
+    /// from the boot master/rules before applying the snapshot's
+    /// appended rows — they are relative to boot, and our own appends
+    /// are a prefix of the primary's history anyway.
+    pub(crate) fn install_replica_snapshot(&self, data: SnapshotData) -> Result<(), String> {
+        let Some(binding) = &self.inner.storage else {
+            return Err("follower has no storage attached".into());
+        };
+        if data.epoch <= binding.storage.epoch() {
+            return Err(format!(
+                "snapshot epoch {} is not ahead of local epoch {}",
+                data.epoch,
+                binding.storage.epoch()
+            ));
+        }
+        let schema = self.inner.input_schema.clone();
+        let encoded = data.encode();
+        let gate = binding.gate.write().unwrap_or_else(|e| e.into_inner());
+        for (id, _) in self.inner.sessions.export() {
+            let _ = self.inner.sessions.remove(id);
+        }
+        {
+            let _swap = self
+                .inner
+                .swap_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let engine = compile_engine(
+                Arc::clone(&self.inner.boot_master),
+                Arc::clone(&self.inner.boot_rules),
+                &self.inner.config,
+                &self.inner.cache,
+                &self.inner.metrics,
+            );
+            *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+            self.inner
+                .master_appended
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+        if !data.master_appended.is_empty() {
+            self.apply_master_rows(data.master_appended.clone())?;
+        }
+        let boot = self.engine();
+        if data.fingerprint != boot.fingerprint && !data.rules_dsl.is_empty() {
+            let engine = self.compile_engine_from_dsl(&data.rules_dsl)?;
+            if engine.fingerprint != data.fingerprint {
+                return Err(format!(
+                    "snapshot rule set re-parses to fingerprint {:x}, expected {:x}",
+                    engine.fingerprint, data.fingerprint
+                ));
+            }
+            *self.inner.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+        }
+        for session in &data.sessions {
+            let restored = snapshot_to_session(session, &schema)?;
+            self.inner.sessions.restore(session.session, restored);
+        }
+        self.inner.sessions.advance_next_id(data.next_session_id);
+        binding
+            .storage
+            .install_snapshot(&data)
+            .map_err(|e| e.to_string())?;
+        drop(gate);
+        *self
+            .inner
+            .replication
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(encoded));
         Ok(())
     }
 
@@ -716,21 +1012,42 @@ impl CleaningService {
     fn dispatch(&self, request: &Request, span: &mut Span) -> Json {
         let result = match request {
             Request::Hello => Ok(self.hello()),
-            Request::SessionCreate { tuple } => self.session_create(tuple),
+            Request::SessionCreate { tuple } => self
+                .check_primary()
+                .and_then(|()| self.session_create(tuple)),
             Request::SessionGet { session } => self.session_get(*session),
             Request::SessionValidate {
                 session,
                 validations,
-            } => self.session_validate(*session, validations, span),
-            Request::SessionFix { session } => self.session_validate(*session, &[], span),
-            Request::SessionCommit { session } => self.session_commit(*session, span),
-            Request::SessionAbort { session } => self.session_abort(*session),
+            } => self
+                .check_primary()
+                .and_then(|()| self.session_validate(*session, validations, span)),
+            Request::SessionFix { session } => self
+                .check_primary()
+                .and_then(|()| self.session_validate(*session, &[], span)),
+            Request::SessionCommit { session } => self
+                .check_primary()
+                .and_then(|()| self.session_commit(*session, span)),
+            Request::SessionAbort { session } => self
+                .check_primary()
+                .and_then(|()| self.session_abort(*session)),
             Request::Clean { tuples, trust } => self.clean_batch(tuples.clone(), trust),
             Request::Regions { top_k } => Ok(self.regions(*top_k)),
             Request::Check { mode } => self.check(mode.as_deref()),
             Request::AuditRead { start, count } => Ok(self.audit_read(*start, *count)),
-            Request::RulesReload { rules } => self.rules_reload(rules),
-            Request::MasterAppend { tuples } => self.master_append(tuples),
+            Request::RulesReload { rules } => {
+                self.check_primary().and_then(|()| self.rules_reload(rules))
+            }
+            Request::MasterAppend { tuples } => self
+                .check_primary()
+                .and_then(|()| self.master_append(tuples)),
+            Request::ReplicaSync {
+                follower,
+                epoch,
+                offset,
+                max,
+            } => self.replica_sync(follower, *epoch, *offset, *max),
+            Request::ReplicaPromote => self.replica_promote(),
             Request::Metrics => Ok(self.metrics_response()),
             Request::MetricsProm => Ok(self.metrics_prom_response()),
             Request::TraceRead { limit } => Ok(self.trace_read(*limit)),
@@ -764,6 +1081,221 @@ impl CleaningService {
         w.end_obj();
     }
 
+    /// `replica.sync`: serve journal events past the follower's durable
+    /// cursor `(epoch, offset)`. The cursor doubles as the follower's
+    /// acknowledgement — everything before it is fsynced over there —
+    /// so this call also feeds the quorum-ack commit gate. A cursor
+    /// whose epoch predates ours gets the current snapshot instead
+    /// (its events were truncated away); one ahead of ours means we
+    /// have been deposed, and the request fences us.
+    fn replica_sync(
+        &self,
+        follower: &str,
+        epoch: u64,
+        offset: u64,
+        max: Option<u64>,
+    ) -> Result<Json, String> {
+        let Some(binding) = &self.inner.storage else {
+            return Err("replication requires a journaled server (--data-dir)".into());
+        };
+        self.inner
+            .replication
+            .max_epoch_seen
+            .fetch_max(epoch, Ordering::AcqRel);
+        let max = max.unwrap_or(512).clamp(1, 2048) as usize;
+        let read = binding
+            .storage
+            .read_journal_from(offset, max)
+            .map_err(|e| format!("journal read failed: {e}"))?;
+        self.record_follower(follower, epoch, offset, read.epoch, read.durable_events);
+        if epoch > read.epoch {
+            return Err(format!(
+                "stale_epoch: follower {follower} is at epoch {epoch}, this node is at {}",
+                read.epoch
+            ));
+        }
+        if epoch < read.epoch {
+            let snapshot = self.cached_snapshot()?;
+            return Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::Num(read.epoch as f64)),
+                ("from", Json::Num(offset as f64)),
+                ("durable", Json::Num(read.durable_events as f64)),
+                ("snapshot", Json::Str(hex_encode(&snapshot))),
+                ("events", Json::Arr(Vec::new())),
+            ]));
+        }
+        let frames: Vec<Json> = read
+            .events
+            .iter()
+            .map(|event| Json::Str(hex_encode(&event.encode())))
+            .collect();
+        self.inner
+            .metrics
+            .replication_events_served(frames.len() as u64);
+        // `from` echoes the requested cursor: a follower rejects any
+        // response whose echo mismatches its cursor, so a duplicated or
+        // reordered response on a faulty network can never re-apply.
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("epoch", Json::Num(read.epoch as f64)),
+            ("from", Json::Num(offset as f64)),
+            ("durable", Json::Num(read.durable_events as f64)),
+            ("events", Json::Arr(frames)),
+        ]))
+    }
+
+    /// Update the follower registry from a sync request's cursor and
+    /// wake any commit waiting on quorum acks.
+    fn record_follower(
+        &self,
+        follower: &str,
+        epoch: u64,
+        offset: u64,
+        cur_epoch: u64,
+        cur_durable: u64,
+    ) {
+        let caught_up = epoch > cur_epoch || (epoch == cur_epoch && offset >= cur_durable);
+        let now = Instant::now();
+        let mut followers = lock_followers(&self.inner.replication);
+        let entry =
+            followers
+                .entry(follower.to_string())
+                .or_insert(crate::replication::FollowerStatus {
+                    epoch,
+                    offset,
+                    last_seen: now,
+                    caught_up_at: now,
+                });
+        entry.epoch = epoch;
+        entry.offset = offset;
+        entry.last_seen = now;
+        if caught_up {
+            entry.caught_up_at = now;
+        }
+        drop(followers);
+        self.inner.replication.ack_cv.notify_all();
+    }
+
+    /// The committed snapshot bytes a stale follower resyncs from. If
+    /// none are cached (this epoch's snapshot predates this process and
+    /// left no file we recovered), cut a fresh one — that both seeds
+    /// the cache and gives the follower the newest possible epoch.
+    fn cached_snapshot(&self) -> Result<Arc<Vec<u8>>, String> {
+        let cached = self
+            .inner
+            .replication
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(cached) = cached {
+            return Ok(cached);
+        }
+        self.snapshot_now().map_err(|e| e.to_string())?;
+        self.inner
+            .replication
+            .last_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .ok_or_else(|| "no snapshot available for resync".into())
+    }
+
+    /// The commit's replication coordinates: `(epoch, position)` of the
+    /// journal frame `seq` — what follower acks are measured against.
+    /// Must run inside the storage gate (same critical section as the
+    /// append), so a concurrent snapshot cannot shift the mapping.
+    fn commit_position(&self, seq: u64) -> Option<(u64, u64)> {
+        self.inner
+            .storage
+            .as_ref()
+            .map(|binding| (binding.storage.epoch(), binding.storage.position_of(seq)))
+    }
+
+    /// Block until ⌈(N+1)/2⌉ cluster members have a durable copy of the
+    /// commit at `(epoch, position)`. Our own fsync already counts, so
+    /// quorum − 1 follower acks are needed; a follower ack is a sync
+    /// cursor at or past the position (or from a later epoch — the
+    /// commit rode inside the snapshot that started it). On timeout the
+    /// commit stays applied and locally durable, but the client gets a
+    /// `quorum_timeout` error instead of an acknowledgement.
+    fn wait_for_quorum(&self, epoch: u64, position: u64, span: &mut Span) -> Result<(), String> {
+        let repl = &self.inner.replication;
+        let needed = repl.quorum().saturating_sub(1);
+        if needed == 0 {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let deadline = started + repl.ack_timeout;
+        let mut followers = lock_followers(repl);
+        loop {
+            let acked = followers
+                .values()
+                .filter(|f| f.epoch > epoch || (f.epoch == epoch && f.offset >= position))
+                .count();
+            if acked >= needed {
+                drop(followers);
+                let elapsed = started.elapsed();
+                self.inner.metrics.observe_ack_latency(elapsed);
+                span.fsync_ns += elapsed.as_nanos() as u64;
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(followers);
+                self.inner.metrics.quorum_timeout();
+                span.fsync_ns += started.elapsed().as_nanos() as u64;
+                return Err(format!(
+                    "quorum_timeout: commit is durable locally but only {acked}/{needed} \
+                     follower acks arrived within {:?}",
+                    repl.ack_timeout
+                ));
+            }
+            followers = repl
+                .ack_cv
+                .wait_timeout(followers, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// `replica.promote`: turn this follower into the primary. Stops
+    /// and joins the tail thread first (no replicated event can land
+    /// after the transition), then cuts a snapshot — the epoch bump is
+    /// the fence: our next sync against the old primary (or any peer's)
+    /// carries the higher epoch and makes it refuse further mutations.
+    /// Idempotent on a node that is already primary.
+    fn replica_promote(&self) -> Result<Json, String> {
+        let Some(binding) = &self.inner.storage else {
+            return Err("replication requires a journaled server (--data-dir)".into());
+        };
+        let repl = &self.inner.replication;
+        let was_follower = matches!(
+            &*repl.role.read().unwrap_or_else(|e| e.into_inner()),
+            Role::Follower { .. }
+        );
+        if was_follower {
+            repl.stop.store(true, Ordering::Release);
+            let handle = repl
+                .tail
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            *repl.role.write().unwrap_or_else(|e| e.into_inner()) = Role::Primary;
+            self.snapshot_now().map_err(|e| e.to_string())?;
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("role", Json::str("primary")),
+            ("epoch", Json::Num(binding.storage.epoch() as f64)),
+            ("promoted", Json::Bool(was_follower)),
+        ]))
+    }
+
     /// Execute a hot-scanned request directly. Returns false when the
     /// line must fall back to the tree parser (so wire-level error
     /// messages stay identical); in that case nothing was executed,
@@ -777,6 +1309,21 @@ impl CleaningService {
         started: Instant,
         span: &mut Span,
     ) -> bool {
+        // The mutation gate applies on the hot path too: a follower's
+        // fast-scanned `session.commit` must bounce exactly like the
+        // tree-parsed one (reads — `session.get` — stay allowed).
+        let gate_err = match *hot {
+            HotOp::SessionGet { .. } => None,
+            _ => self.check_primary().err(),
+        };
+        if let Some(message) = gate_err {
+            self.inner.metrics.request();
+            self.write_error(&message, raw_id, out);
+            let elapsed = started.elapsed();
+            self.inner.metrics.observe_latency(hot.op(), elapsed);
+            self.finish_span(span, hot.op(), raw_id, elapsed);
+            return true;
+        }
         match *hot {
             HotOp::SessionValidate {
                 session,
@@ -982,16 +1529,25 @@ impl CleaningService {
         let result = self.with_gate(|| -> Result<_, String> {
             let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
             let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
-            Ok((session, seq))
+            let commit = seq.and_then(|seq| self.commit_position(seq).map(|pos| (seq, pos)));
+            Ok((session, commit))
         });
         match result {
-            Ok((session, seq)) => {
-                if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            Ok((session, commit)) => {
+                self.inner.metrics.session_committed();
+                if let (Some(binding), Some((seq, (epoch, position)))) =
+                    (&self.inner.storage, commit)
+                {
                     let sync_started = Instant::now();
                     binding.storage.sync(seq);
                     span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
+                    if self.inner.replication.cluster > 1 {
+                        if let Err(message) = self.wait_for_quorum(epoch, position, span) {
+                            self.write_error(&message, raw_id, out);
+                            return;
+                        }
+                    }
                 }
-                self.inner.metrics.session_committed();
                 let schema = self.input_schema();
                 let mut w = JsonWriter::new(out);
                 w.begin_response(raw_id);
@@ -1049,7 +1605,8 @@ impl CleaningService {
 
     fn hello(&self) -> Json {
         let engine = self.engine();
-        Json::obj([
+        let role = self.role();
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("service", Json::str("cerfix-server")),
             ("version", Json::str(env!("CARGO_PKG_VERSION"))),
@@ -1075,17 +1632,25 @@ impl CleaningService {
                     "memory"
                 }),
             ),
-            (
-                "attributes",
-                Json::Arr(
-                    self.input_schema()
-                        .attributes()
-                        .iter()
-                        .map(|a| Json::str(a.name()))
-                        .collect(),
-                ),
+            ("role", Json::str(role.name())),
+        ];
+        if let Some(binding) = &self.inner.storage {
+            fields.push(("epoch", Json::Num(binding.storage.epoch() as f64)));
+        }
+        if let Role::Follower { primary } = &role {
+            fields.push(("primary", Json::str(primary.clone())));
+        }
+        fields.push((
+            "attributes",
+            Json::Arr(
+                self.input_schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| Json::str(a.name()))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::obj(fields)
     }
 
     fn session_create(&self, values: &[Value]) -> Result<Json, String> {
@@ -1311,19 +1876,25 @@ impl CleaningService {
     }
 
     fn session_commit(&self, id: u64, span: &mut Span) -> Result<Json, String> {
-        let (session, seq) = self.with_gate(|| -> Result<_, String> {
+        let (session, commit) = self.with_gate(|| -> Result<_, String> {
             let session = self.inner.sessions.remove(id).map_err(|e| e.to_string())?;
             let seq = self.journal(&JournalEvent::SessionCommitted { session: id });
-            Ok((session, seq))
+            let commit = seq.and_then(|seq| self.commit_position(seq).map(|pos| (seq, pos)));
+            Ok((session, commit))
         })?;
+        self.inner.metrics.session_committed();
         // Commit is the protocol's durability point: wait for the group
-        // fsync (outside the gate — a snapshot may proceed meanwhile).
-        if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+        // fsync (outside the gate — a snapshot may proceed meanwhile),
+        // then — under quorum-ack durability — for a majority of the
+        // cluster to hold durable copies too.
+        if let (Some(binding), Some((seq, (epoch, position)))) = (&self.inner.storage, commit) {
             let sync_started = Instant::now();
             binding.storage.sync(seq);
             span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
+            if self.inner.replication.cluster > 1 {
+                self.wait_for_quorum(epoch, position, span)?;
+            }
         }
-        self.inner.metrics.session_committed();
         let schema = self.input_schema();
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -1748,6 +2319,68 @@ impl CleaningService {
                 ),
             ]);
         }
+        let repl = &self.inner.replication;
+        let role = self.role();
+        fields.push(("role", Json::str(role.name())));
+        if let Role::Follower { primary } = &role {
+            fields.push(("primary", Json::str(primary.clone())));
+        }
+        fields.push(("cluster_size", Json::Num(repl.cluster as f64)));
+        fields.push(("quorum", Json::Num(repl.quorum() as f64)));
+        fields.push((
+            "replication_events_served",
+            Json::Num(snapshot.replication_events_served as f64),
+        ));
+        fields.push((
+            "quorum_timeouts",
+            Json::Num(snapshot.quorum_timeouts as f64),
+        ));
+        // Per-follower lag, as the primary sees it: cursor coordinates
+        // from the last sync, events not yet acked, and how long the
+        // follower has been behind (0 while caught up).
+        {
+            let followers = lock_followers(repl);
+            if !followers.is_empty() {
+                let (cur_epoch, cur_durable) = self.durable_cursor().unwrap_or((0, 0));
+                fields.push((
+                    "replication",
+                    Json::Obj(
+                        followers
+                            .iter()
+                            .map(|(name, f)| {
+                                let current = f.epoch > cur_epoch
+                                    || (f.epoch == cur_epoch && f.offset >= cur_durable);
+                                let lag_events = match f.epoch.cmp(&cur_epoch) {
+                                    std::cmp::Ordering::Greater => 0,
+                                    std::cmp::Ordering::Equal => {
+                                        cur_durable.saturating_sub(f.offset)
+                                    }
+                                    std::cmp::Ordering::Less => cur_durable,
+                                };
+                                let lag_seconds = if current {
+                                    0.0
+                                } else {
+                                    f.caught_up_at.elapsed().as_secs_f64()
+                                };
+                                (
+                                    name.clone(),
+                                    Json::obj([
+                                        ("epoch", Json::Num(f.epoch as f64)),
+                                        ("offset", Json::Num(f.offset as f64)),
+                                        ("lag_events", Json::Num(lag_events as f64)),
+                                        ("lag_seconds", Json::Num(lag_seconds)),
+                                        (
+                                            "last_seen_secs",
+                                            Json::Num(f.last_seen.elapsed().as_secs_f64()),
+                                        ),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
         // Per-op service-latency summaries (ops with traffic only): how
         // long requests spend in the service, transport excluded.
         if !snapshot.latency.is_empty() {
@@ -1873,6 +2506,74 @@ impl CleaningService {
             "counter",
             self.inner.trace.slow().recorded() as f64,
         );
+        let role = self.role();
+        prom_header(
+            &mut body,
+            "cerfix_role",
+            "Replication role of this node (1 for the labelled role).",
+            "gauge",
+        );
+        prom_sample(&mut body, "cerfix_role", Some(("role", role.name())), 1.0);
+        prom_metric(
+            &mut body,
+            "cerfix_cluster_size",
+            "Configured replication cluster size N.",
+            "gauge",
+            self.inner.replication.cluster as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_replication_quorum",
+            "Durable copies a quorum-ack commit waits for.",
+            "gauge",
+            self.inner.replication.quorum() as f64,
+        );
+        {
+            let followers = lock_followers(&self.inner.replication);
+            if !followers.is_empty() {
+                let (cur_epoch, cur_durable) = self.durable_cursor().unwrap_or((0, 0));
+                prom_header(
+                    &mut body,
+                    "cerfix_replication_lag_seconds",
+                    "Seconds since this follower last covered everything durable here.",
+                    "gauge",
+                );
+                for (name, f) in followers.iter() {
+                    let current =
+                        f.epoch > cur_epoch || (f.epoch == cur_epoch && f.offset >= cur_durable);
+                    let lag = if current {
+                        0.0
+                    } else {
+                        f.caught_up_at.elapsed().as_secs_f64()
+                    };
+                    prom_sample(
+                        &mut body,
+                        "cerfix_replication_lag_seconds",
+                        Some(("follower", name)),
+                        lag,
+                    );
+                }
+                prom_header(
+                    &mut body,
+                    "cerfix_replication_lag_events",
+                    "Durable journal events this follower has not acknowledged.",
+                    "gauge",
+                );
+                for (name, f) in followers.iter() {
+                    let lag_events = match f.epoch.cmp(&cur_epoch) {
+                        std::cmp::Ordering::Greater => 0,
+                        std::cmp::Ordering::Equal => cur_durable.saturating_sub(f.offset),
+                        std::cmp::Ordering::Less => cur_durable,
+                    };
+                    prom_sample(
+                        &mut body,
+                        "cerfix_replication_lag_events",
+                        Some(("follower", name)),
+                        lag_events as f64,
+                    );
+                }
+            }
+        }
         if let Some(binding) = &self.inner.storage {
             prom_metric(
                 &mut body,

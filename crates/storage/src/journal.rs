@@ -57,6 +57,21 @@ pub struct JournalScan {
     pub torn_bytes: u64,
 }
 
+/// One batch of durable events served to a replication cursor by
+/// [`Journal::read_durable_from`].
+#[derive(Debug)]
+pub struct CursorRead {
+    /// Epoch of the journal file the events came from.
+    pub epoch: u64,
+    /// Total complete frames durable in this epoch's file — the
+    /// primary's position; `durable_events - (offset + events.len())`
+    /// is the reader's remaining lag in events.
+    pub durable_events: u64,
+    /// Events starting at the requested offset (empty when caught up
+    /// or when the epoch changed under the reader).
+    pub events: Vec<JournalEvent>,
+}
+
 /// Read and validate `path` without opening it for writing (used by
 /// recovery and `cerfix recover --inspect`). A missing file scans as an
 /// empty epoch-0 journal.
@@ -120,6 +135,12 @@ struct Pending {
     next_seq: u64,
     /// Epoch the buffered frames belong to (see module docs).
     epoch: u64,
+    /// Complete frames already in the epoch file when it was opened
+    /// (sequence numbers restart at 1 per process, file offsets do not).
+    base_events: u64,
+    /// Sequences consumed before the current epoch file started (a
+    /// truncation retires all earlier seqs into the snapshot).
+    retired_seqs: u64,
 }
 
 /// The file and its durability bookkeeping. Held across write+fsync by
@@ -128,6 +149,9 @@ struct FileState {
     file: File,
     /// File length guaranteed on disk (fsync'd).
     durable_len: u64,
+    /// Complete frames inside `durable_len` — the replication position
+    /// `(epoch, durable_events)` a follower cursor advances through.
+    durable_events: u64,
     epoch: u64,
     /// After a simulated crash: all writes become no-ops.
     dead: bool,
@@ -263,16 +287,16 @@ impl Journal {
             .create(true)
             .truncate(false)
             .open(path)?;
-        let start_len = if scan.epoch == epoch && scan.valid_len >= JOURNAL_HEADER {
+        let (start_len, start_events) = if scan.epoch == epoch && scan.valid_len >= JOURNAL_HEADER {
             file.set_len(scan.valid_len)?; // drop the torn tail
             file.seek(SeekFrom::Start(scan.valid_len))?;
-            scan.valid_len
+            (scan.valid_len, scan.events.len() as u64)
         } else {
             // Fresh file, stale epoch (snapshot landed but truncation
             // didn't), or unrecognized content: start an empty journal
             // at the requested epoch.
             write_header(&mut file, epoch)?;
-            JOURNAL_HEADER
+            (JOURNAL_HEADER, 0)
         };
         file.sync_data()?;
         let shared = Arc::new(Shared {
@@ -280,10 +304,13 @@ impl Journal {
                 buf: Vec::new(),
                 next_seq: 1,
                 epoch,
+                base_events: start_events,
+                retired_seqs: 0,
             }),
             filestate: Mutex::new(FileState {
                 file,
                 durable_len: start_len,
+                durable_events: start_events,
                 epoch,
                 dead: false,
                 needs_repair: false,
@@ -408,6 +435,92 @@ impl Journal {
         lock(&self.shared.filestate).durable_len
     }
 
+    /// The replication position: `(epoch, durable event count)` read
+    /// atomically. A follower whose cursor equals this is caught up.
+    pub fn durable_position(&self) -> (u64, u64) {
+        let filestate = lock(&self.shared.filestate);
+        (filestate.epoch, filestate.durable_events)
+    }
+
+    /// The epoch-file position that covers `seq`: the number of events
+    /// the epoch file holds once `seq` is durable. Sequence numbers
+    /// restart at 1 per process while file offsets persist across
+    /// restarts, so replication cursors speak positions, not seqs.
+    pub fn position_of(&self, seq: u64) -> u64 {
+        let pending = lock(&self.shared.pending);
+        pending.base_events + seq.saturating_sub(pending.retired_seqs)
+    }
+
+    /// Read up to `max` durable events starting at epoch-file position
+    /// `offset` — the primary side of `replica.sync`. Only complete,
+    /// fsync-covered frames are served; a concurrent snapshot truncation
+    /// yields an empty batch at the new epoch (the caller re-cursors).
+    pub fn read_durable_from(&self, offset: u64, max: usize) -> std::io::Result<CursorRead> {
+        for _ in 0..3 {
+            let (epoch, durable_len, durable_events) = {
+                let filestate = lock(&self.shared.filestate);
+                (
+                    filestate.epoch,
+                    filestate.durable_len,
+                    filestate.durable_events,
+                )
+            };
+            if offset >= durable_events || max == 0 {
+                return Ok(CursorRead {
+                    epoch,
+                    durable_events,
+                    events: Vec::new(),
+                });
+            }
+            let bytes = std::fs::read(&self.path)?;
+            let limit = (durable_len as usize).min(bytes.len());
+            if limit < JOURNAL_HEADER as usize
+                || &bytes[0..4] != MAGIC
+                || u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != epoch
+            {
+                // Truncated to a new epoch between the position capture
+                // and the read; retry against the fresh state.
+                continue;
+            }
+            let mut events = Vec::new();
+            let mut skipped = 0u64;
+            let mut at = JOURNAL_HEADER as usize;
+            while at < limit {
+                let Ok(Some((payload, frame_len))) = codec::read_frame(&bytes[at..limit]) else {
+                    break;
+                };
+                if skipped < offset {
+                    skipped += 1; // length-prefixed: skip without decoding
+                } else {
+                    match JournalEvent::decode(payload) {
+                        Ok(event) => events.push(event),
+                        Err(e) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("durable frame at {at} failed to decode: {e}"),
+                            ))
+                        }
+                    }
+                    if events.len() >= max {
+                        break;
+                    }
+                }
+                at += frame_len;
+            }
+            return Ok(CursorRead {
+                epoch,
+                durable_events,
+                events,
+            });
+        }
+        let (epoch, durable_events) = self.durable_position();
+        Ok(CursorRead {
+            epoch,
+            durable_events,
+            events: Vec::new(),
+        })
+    }
+
     /// First journal write/fsync failure, if any. Failed frames are
     /// retried on later flush cycles (commit waiters block until they
     /// land); this surfaces the condition for operators.
@@ -429,10 +542,13 @@ impl Journal {
         let retired = pending.next_seq.saturating_sub(1);
         pending.buf.clear();
         pending.epoch = new_epoch;
+        pending.base_events = 0;
+        pending.retired_seqs = retired;
         drop(pending);
         write_header(&mut filestate.file, new_epoch)?;
         filestate.file.sync_data()?;
         filestate.durable_len = JOURNAL_HEADER;
+        filestate.durable_events = 0;
         filestate.epoch = new_epoch;
         // set_len(0) + fresh header put the file in a known-good state.
         filestate.needs_repair = false;
@@ -528,6 +644,7 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
                         // Batch size: events this fsync newly covered.
                         let events =
                             seq_hi.saturating_sub(shared.durable_seq.load(Ordering::Acquire));
+                        filestate.durable_events += events;
                         shared.flush_stats.record(flush_started.elapsed(), events);
                     }
                     Err(e) => {
@@ -751,6 +868,48 @@ mod tests {
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.events, vec![ev(1)], "only the synced event survives");
         assert_eq!(scan.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_reads_and_positions_survive_reopen_and_truncation() {
+        let dir = tmp_dir("cursor");
+        let path = dir.join("journal.wal");
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        assert_eq!(journal.durable_position(), (0, 0));
+        let mut last = 0;
+        for i in 0..6 {
+            last = journal.append(&ev(i));
+        }
+        assert_eq!(journal.position_of(last), 6);
+        journal.sync(last);
+        assert_eq!(journal.durable_position(), (0, 6));
+        let read = journal.read_durable_from(2, 3).unwrap();
+        assert_eq!((read.epoch, read.durable_events), (0, 6));
+        assert_eq!(read.events, vec![ev(2), ev(3), ev(4)]);
+        assert!(journal.read_durable_from(6, 8).unwrap().events.is_empty());
+        drop(journal);
+        // Seqs restart at 1 on reopen; file positions do not.
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        assert_eq!(journal.durable_position(), (0, 6));
+        let seq = journal.append(&ev(6));
+        assert_eq!(journal.position_of(seq), 7);
+        journal.sync(seq);
+        assert_eq!(
+            journal.read_durable_from(6, 10).unwrap().events,
+            vec![ev(6)]
+        );
+        // Truncation restarts positions in the new epoch.
+        journal.truncate_to_epoch(1).unwrap();
+        assert_eq!(journal.durable_position(), (1, 0));
+        let seq = journal.append(&ev(7));
+        assert_eq!(journal.position_of(seq), 1);
+        journal.sync(seq);
+        let read = journal.read_durable_from(0, 10).unwrap();
+        assert_eq!(read.epoch, 1);
+        assert_eq!(read.events, vec![ev(7)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

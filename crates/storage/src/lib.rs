@@ -50,7 +50,9 @@ pub use codec::CodecError;
 pub use events::{
     decode_audit_record, encode_audit_record, JournalEvent, SessionSnapshot, SnapshotData,
 };
-pub use journal::{read_events, scan_journal, FlushProfile, Journal, JournalScan, JOURNAL_HEADER};
+pub use journal::{
+    read_events, scan_journal, CursorRead, FlushProfile, Journal, JournalScan, JOURNAL_HEADER,
+};
 pub use snapshot::{load_snapshot, write_snapshot, SNAPSHOT_FILE, SNAPSHOT_TMP};
 pub use spill::{AuditSpill, SpillScan};
 
@@ -209,6 +211,22 @@ impl Storage {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// The replication position `(epoch, durable event count)`.
+    pub fn durable_position(&self) -> (u64, u64) {
+        self.journal.durable_position()
+    }
+
+    /// Epoch-file position covering `seq` (see [`Journal::position_of`]).
+    pub fn position_of(&self, seq: u64) -> u64 {
+        self.journal.position_of(seq)
+    }
+
+    /// Read up to `max` durable events from epoch-file position
+    /// `offset` — the primary side of a `replica.sync` pull.
+    pub fn read_journal_from(&self, offset: u64, max: usize) -> std::io::Result<CursorRead> {
+        self.journal.read_durable_from(offset, max)
+    }
+
     /// Events journaled since the last snapshot.
     pub fn events_since_snapshot(&self) -> u64 {
         self.events_since_snapshot.load(Ordering::Relaxed)
@@ -235,13 +253,15 @@ impl Storage {
     /// Install `data` as the new snapshot and truncate the journal to
     /// its epoch. The caller must have quiesced journal appends (the
     /// service holds its storage gate in write mode) and `data.epoch`
-    /// must be `self.epoch() + 1`.
+    /// must be greater than `self.epoch()` (locally produced snapshots
+    /// use `epoch() + 1`; a follower installing a primary's snapshot
+    /// may jump several epochs at once).
     ///
     /// Ordering is crash-safe at every step: the snapshot is renamed
     /// into place *before* the journal is truncated, so a crash between
     /// the two leaves a stale-epoch journal that recovery ignores.
     pub fn install_snapshot(&self, data: &SnapshotData) -> std::io::Result<()> {
-        debug_assert_eq!(data.epoch, self.epoch() + 1);
+        debug_assert!(data.epoch > self.epoch());
         // Make the audit archive at least as fresh as the snapshot.
         self.spill.sync()?;
         snapshot::write_snapshot(&self.config.dir, data)?;

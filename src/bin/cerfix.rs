@@ -15,6 +15,7 @@
 //!                [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]
 //!                [--trace-buffer N] [--slow-ms T]
 //! cerfix top     [--addr 127.0.0.1:7117] [--spans N] [--prom]
+//! cerfix promote [--addr 127.0.0.1:7117]
 //! cerfix recover --data-dir DIR [--inspect]
 //! ```
 //!
@@ -34,10 +35,18 @@
 //!   `--data-dir`, sessions are write-ahead journaled and the audit
 //!   log spills to disk: a restarted server resumes every uncommitted
 //!   session (see the README's durability section).
+//! * `serve` with `--replicate-from ADDR` starts a read-only follower
+//!   that tails the named primary's journal; `--quorum N` on a primary
+//!   makes commit acknowledgements wait for a majority of the N-node
+//!   cluster to hold durable copies.
 //! * `top` connects to a running server and prints a one-shot
 //!   operations view: uptime, throughput, per-op latency, engine-stat
-//!   attribution and the most recent (and slowest) request traces.
-//!   `--prom` dumps the raw Prometheus text exposition instead.
+//!   attribution, replication role/lag and the most recent (and
+//!   slowest) request traces. `--prom` dumps the raw Prometheus text
+//!   exposition instead.
+//! * `promote` turns a running follower into the primary (epoch bump;
+//!   the deposed primary is fenced on its next contact with the new
+//!   epoch).
 //! * `recover` inspects a data directory without serving: snapshot
 //!   epoch, journaled events, live-session reconstruction inputs, audit
 //!   archive size, torn bytes cut from crashed writes.
@@ -97,7 +106,9 @@ fn usage() -> ExitCode {
                           [--frontend epoll|threads|auto]\n  \
                           [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
                           [--trace-buffer N] [--slow-ms T]\n  \
+                          [--replicate-from ADDR] [--quorum N] [--ack-timeout-ms T] [--advertise ADDR]\n  \
          cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom]\n  \
+         cerfix promote  [--addr 127.0.0.1:7117]\n  \
          cerfix recover  --data-dir DIR [--inspect]"
     );
     ExitCode::from(2)
@@ -361,6 +372,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7117".to_string());
     let defaults = ServiceConfig::default();
+    let replicate_from = args.options.get("replicate-from").cloned();
+    let cluster_size: usize = parse_option(args, "quorum", defaults.cluster_size)?;
+    if (replicate_from.is_some() || cluster_size > 1) && !args.options.contains_key("data-dir") {
+        return Err("replication (--replicate-from / --quorum) requires --data-dir".into());
+    }
     let config = ServiceConfig {
         workers: parse_option(args, "workers", defaults.workers)?,
         session_ttl: std::time::Duration::from_secs(parse_option(
@@ -373,6 +389,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         precompute_regions: true,
         trace_buffer: parse_option(args, "trace-buffer", defaults.trace_buffer)?,
         slow_ms: parse_option(args, "slow-ms", defaults.slow_ms)?,
+        replicate_from: replicate_from.clone(),
+        cluster_size,
+        ack_timeout: std::time::Duration::from_millis(parse_option(
+            args,
+            "ack-timeout-ms",
+            defaults.ack_timeout.as_millis() as u64,
+        )?),
+        // The listen address is the natural follower identity: it is
+        // what an operator would point `--replicate-from` at next.
+        advertise: Some(
+            args.options
+                .get("advertise")
+                .cloned()
+                .unwrap_or_else(|| addr.clone()),
+        ),
     };
     let report = check_consistency(
         &rules,
@@ -413,6 +444,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         None => CleaningService::new(master, rules, config),
     };
+    match &replicate_from {
+        Some(primary) => println!(
+            "replication: read-only follower tailing {primary} (promote with `cerfix promote`)"
+        ),
+        None if cluster_size > 1 => println!(
+            "replication: primary; commits wait for {} of {cluster_size} durable copies",
+            (cluster_size + 2) / 2
+        ),
+        None => {}
+    }
     let frontend_name = args
         .options
         .get("frontend")
@@ -499,6 +540,38 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             num_of(&stats, "snapshots_written"),
         );
     }
+    {
+        let role = str_of(&stats, "role");
+        let mut line = format!("role: {role}");
+        if hello.get("epoch").is_some() {
+            line.push_str(&format!(" (epoch {})", num_of(&hello, "epoch")));
+        }
+        if role == "follower" {
+            line.push_str(&format!(", primary {}", str_of(&stats, "primary")));
+        } else if num_of(&stats, "cluster_size") > 1 {
+            line.push_str(&format!(
+                ", quorum {} of {}",
+                num_of(&stats, "quorum"),
+                num_of(&stats, "cluster_size"),
+            ));
+        }
+        println!("{line}");
+        if let Some(Json::Obj(followers)) = stats.get("replication") {
+            for (follower, lag) in followers {
+                println!(
+                    "  follower {follower}: epoch {}, offset {}, lag {} events / {:.3}s \
+                     (seen {:.1}s ago)",
+                    num_of(lag, "epoch"),
+                    num_of(lag, "offset"),
+                    num_of(lag, "lag_events"),
+                    lag.get("lag_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                    lag.get("last_seen_secs")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                );
+            }
+        }
+    }
     if let Some(Json::Obj(entries)) = stats.get("latency") {
         println!("\n{:<18} {:>10} {:>12} {:>12}", "op", "count", "p50", "p99");
         for (op, summary) in entries {
@@ -550,6 +623,31 @@ fn cmd_top(args: &Args) -> Result<(), String> {
         );
     } else {
         println!("\ntracing disabled on the server (start with --trace-buffer N to enable)");
+    }
+    Ok(())
+}
+
+/// `cerfix promote [--addr A]`: turn a running follower into the
+/// primary. The follower stops tailing, bumps its journal epoch (which
+/// fences the deposed primary on its next contact) and starts accepting
+/// mutations. Idempotent against a node that is already primary.
+fn cmd_promote(args: &Args) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::{Client, Request};
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client
+        .request(&Request::ReplicaPromote)
+        .map_err(|e| e.to_string())?;
+    let epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+    if response.get("promoted").and_then(Json::as_bool) == Some(true) {
+        println!("{addr} promoted to primary at epoch {epoch}");
+    } else {
+        println!("{addr} is already primary (epoch {epoch})");
     }
     Ok(())
 }
@@ -691,6 +789,7 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(&args),
         "serve" => cmd_serve(&args),
         "top" => cmd_top(&args),
+        "promote" => cmd_promote(&args),
         "recover" => cmd_recover(&args),
         _ => return usage(),
     };

@@ -508,27 +508,40 @@ fn spawn_server(
     rules: &Path,
     frontend: &str,
 ) -> (std::process::Child, std::net::SocketAddr) {
+    spawn_server_with(dir, master, rules, frontend, &[])
+}
+
+fn spawn_server_with(
+    dir: &Path,
+    master: &Path,
+    rules: &Path,
+    frontend: &str,
+    extra: &[&str],
+) -> (std::process::Child, std::net::SocketAddr) {
     use std::io::BufRead;
+    let data_dir = dir.join("data");
+    let mut args = vec![
+        "serve",
+        "--master",
+        master.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--input-header",
+        "key,val,note",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--frontend",
+        frontend,
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--flush-interval-ms",
+        "1",
+    ];
+    args.extend_from_slice(extra);
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_cerfix"))
-        .args([
-            "serve",
-            "--master",
-            master.to_str().unwrap(),
-            "--rules",
-            rules.to_str().unwrap(),
-            "--input-header",
-            "key,val,note",
-            "--addr",
-            "127.0.0.1:0",
-            "--workers",
-            "2",
-            "--frontend",
-            frontend,
-            "--data-dir",
-            dir.join("data").to_str().unwrap(),
-            "--flush-interval-ms",
-            "1",
-        ])
+        .args(&args)
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::null())
         .spawn()
@@ -623,5 +636,187 @@ fn kill_dash_nine_with_frontend(frontend: &str) {
 
     let _ = client.shutdown();
     let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 5. kill -9 across a three-node cluster: cursor resume and failover.
+// ---------------------------------------------------------------------
+
+/// The failover runbook, end to end: a 3-node cluster (`--quorum 3`,
+/// so commits need one follower ack besides the primary) survives a
+/// follower kill -9 (restart resumes from its durable cursor, same
+/// epoch, no resync), then a primary kill -9 (`cerfix promote` turns a
+/// follower into a primary serving byte-identical `audit.read`, and the
+/// surviving follower re-points at it via snapshot resync).
+#[test]
+fn three_node_cluster_survives_follower_and_primary_kills() {
+    use cerfix_server::wire::Json;
+    use cerfix_server::{Client, TcpTransport};
+    use std::time::{Duration, Instant};
+
+    fn caught_up(client: &mut Client<TcpTransport>, name: &str, epoch: u64) -> bool {
+        let Ok(m) = client.metrics() else {
+            return false;
+        };
+        let Some(f) = m.get("replication").and_then(|r| r.get(name)) else {
+            return false;
+        };
+        f.get("epoch").and_then(Json::as_u64) == Some(epoch)
+            && f.get("lag_events").and_then(Json::as_u64) == Some(0)
+    }
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+    fn commit_row(client: &mut Client<TcpTransport>, k: &str) -> u64 {
+        let view = client
+            .create_session(vec![Value::str(k), Value::str("X"), Value::str("note")])
+            .unwrap();
+        client
+            .validate(
+                view.session,
+                vec![
+                    ("key".into(), Value::str(k)),
+                    ("note".into(), Value::str("note")),
+                ],
+            )
+            .unwrap();
+        client.commit(view.session).unwrap();
+        view.session
+    }
+
+    let dir = tmp_dir("cluster3");
+    let (master, rules) = write_kill_fixture(&dir);
+    let quorum = ["--quorum", "3", "--ack-timeout-ms", "8000"];
+
+    let (mut primary, paddr) = spawn_server_with(
+        &dir.join("p"),
+        &master,
+        &rules,
+        "threads",
+        &[&quorum[..], &["--advertise", "primary"][..]].concat(),
+    );
+    let paddr_s = paddr.to_string();
+    let follower_args = |name: &'static str, from: &str| {
+        let mut v = vec!["--replicate-from".to_string(), from.to_string()];
+        v.extend(quorum.iter().map(|s| s.to_string()));
+        v.extend(["--advertise".to_string(), name.to_string()]);
+        v
+    };
+    let spawn_follower = |dir: &Path, name: &'static str, from: &str| {
+        let args = follower_args(name, from);
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        spawn_server_with(dir, &master, &rules, "threads", &refs)
+    };
+    let (mut f1, _) = spawn_follower(&dir.join("f1"), "f1", &paddr_s);
+    let (f2, _f2addr) = spawn_follower(&dir.join("f2"), "f2", &paddr_s);
+
+    let mut client = Client::connect(paddr).expect("connect primary");
+    wait_for("both followers registered", || {
+        caught_up(&mut client, "f1", 0) && caught_up(&mut client, "f2", 0)
+    });
+
+    // A quorum-acked base load, plus an open session for the failover.
+    for i in 0..6 {
+        commit_row(&mut client, &format!("k{i}"));
+    }
+    let open = client
+        .create_session(vec![Value::str("k8"), Value::str("WRONG"), Value::str("n")])
+        .unwrap();
+    client
+        .validate(open.session, vec![("key".into(), Value::str("k8"))])
+        .unwrap();
+
+    // kill -9 one follower: commits keep acking through the other.
+    f1.kill().expect("kill -9 f1");
+    let _ = f1.wait();
+    for i in 0..5 {
+        commit_row(&mut client, &format!("k{}", 10 + i));
+    }
+
+    // Restart it from the same data-dir: it must resume from its durable
+    // cursor at the same epoch — a delta pull, not a full resync.
+    let (mut f1, f1addr2) = spawn_follower(&dir.join("f1"), "f1", &paddr_s);
+    wait_for("restarted f1 catches up from its cursor", || {
+        caught_up(&mut client, "f1", 0)
+    });
+    let mut f1c = Client::connect(f1addr2).unwrap();
+    assert_eq!(
+        f1c.hello().unwrap().get("epoch").and_then(Json::as_u64),
+        Some(0),
+        "cursor resume must not bump the follower's epoch"
+    );
+
+    // kill -9 the primary and promote f1 — the runbook's failover step,
+    // driven through the real `cerfix promote` CLI.
+    let view_before = client.get_session(open.session).unwrap();
+    let audit_before = client.audit_read_all(64).unwrap();
+    assert!(!audit_before.is_empty());
+    primary.kill().expect("kill -9 primary");
+    let _ = primary.wait();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cerfix"))
+        .args(["promote", "--addr", &f1addr2.to_string()])
+        .output()
+        .expect("run cerfix promote");
+    assert!(out.status.success(), "promote failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("promoted to primary"), "{stdout}");
+    assert_eq!(
+        f1c.hello().unwrap().get("role").and_then(Json::as_str),
+        Some("primary")
+    );
+
+    // The promoted follower serves byte-identical audit.read and the
+    // open session byte-identically.
+    let audit_after = f1c.audit_read_all(64).unwrap();
+    assert_eq!(audit_after, audit_before);
+    let after = f1c
+        .get_session(open.session)
+        .expect("open session survived");
+    assert_eq!(after.tuple, view_before.tuple);
+    assert_eq!(after.rounds, view_before.rounds);
+    assert_eq!(after.validated, view_before.validated);
+
+    // Re-point the surviving follower at the new primary (its cursor is
+    // from the old epoch, so it resyncs from the promote snapshot), and
+    // the cluster takes quorum-acked commits again.
+    let mut f2 = f2;
+    f2.kill().expect("stop f2 for re-pointing");
+    let _ = f2.wait();
+    let f1addr2_s = f1addr2.to_string();
+    let (mut f2, f2addr2) = spawn_follower(&dir.join("f2"), "f2", &f1addr2_s);
+    let promoted_epoch = f1c
+        .hello()
+        .unwrap()
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(promoted_epoch >= 1, "promotion bumps the epoch");
+    wait_for("f2 re-points at the promoted primary", || {
+        caught_up(&mut f1c, "f2", promoted_epoch)
+    });
+    let mut f2c = Client::connect(f2addr2).unwrap();
+    assert_eq!(
+        f2c.hello().unwrap().get("epoch").and_then(Json::as_u64),
+        Some(promoted_epoch)
+    );
+    commit_row(&mut f1c, "k15");
+    let finished = f1c
+        .validate(open.session, vec![("note".into(), Value::str("n"))])
+        .unwrap();
+    assert!(finished.is_complete());
+    f1c.commit(open.session).unwrap();
+
+    let _ = f2c.shutdown();
+    let _ = f2.wait();
+    let _ = f1c.shutdown();
+    let _ = f1.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
