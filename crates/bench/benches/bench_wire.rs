@@ -7,11 +7,13 @@
 //! 1. **Allocation probe** — a counting global allocator measures
 //!    allocations per request through the full
 //!    `handle_line_into` parse → execute → render path on a warmed
-//!    in-process service. The hot `session.get` path must be exactly
-//!    zero steady-state allocations; `session.fix` / `session.validate`
-//!    carry tight constant bounds (the correcting-process key buffer
-//!    and the validated value's `Arc<str>`). These are deterministic —
-//!    CI fails on any regression regardless of machine speed.
+//!    in-process service **with the structured diagnostic log enabled**
+//!    (default ring size, at least one event recorded). The hot
+//!    `session.get` path must be exactly zero steady-state allocations;
+//!    `session.fix` / `session.validate` carry tight constant bounds
+//!    (the correcting-process key buffer and the validated value's
+//!    `Arc<str>`). These are deterministic — CI fails on any regression
+//!    regardless of machine speed.
 //! 2. **Pipelined throughput** — M connections each write windows of
 //!    requests before reading a response (validate/fix/get mix, plus a
 //!    batch-`clean` arm through the reactor's worker-pool dispatch),
@@ -136,6 +138,20 @@ struct AllocReport {
 
 fn alloc_probe() -> AllocReport {
     let service = kv_service(64);
+    // The structured diagnostic log runs at its default ring size and
+    // has recorded at least one event before the measurement window:
+    // the zero-alloc guarantee below holds WITH logging enabled, not
+    // against a stripped configuration.
+    let set = service.handle_line(r#"{"op":"config.set","key":"slow_ms","value":500}"#);
+    assert!(
+        set.contains("\"ok\":true"),
+        "config.set primes the diag log: {set}"
+    );
+    let log = service.handle_line(r#"{"op":"log.read","limit":1}"#);
+    assert!(
+        log.contains("\"enabled\":true"),
+        "diag ring live during the alloc probe: {log}"
+    );
     let mut out = String::new();
     let mut scratch = RequestScratch::default();
     // One session, driven to completion: the steady-state shape.
@@ -190,7 +206,9 @@ fn alloc_probe() -> AllocReport {
     );
 
     // Request counters are exact (another machine-independent guard).
-    let expected = 2 + 3 * (WARM + MEASURE);
+    // 2 diag-priming requests + 2 session setup requests + the
+    // get/fix/validate triple per iteration.
+    let expected = 4 + 3 * (WARM + MEASURE);
     let requests = service.metrics().requests;
     assert_eq!(requests, expected, "request counter drifted");
 

@@ -68,6 +68,7 @@
 
 pub mod cache;
 mod client;
+mod diag;
 mod metrics;
 mod net;
 pub mod protocol;
@@ -76,6 +77,7 @@ mod reactor;
 mod replication;
 mod service;
 mod session;
+mod timeseries;
 mod trace;
 pub mod wire;
 

@@ -15,7 +15,7 @@ const LATENCY_BUCKETS: usize = 40;
 /// malformed-line class (`parse_error`), and the class unrecognized ops
 /// fall into (`other` — kept distinct so malformed lines and unknown
 /// ops are not conflated). Indexed by [`op_index`].
-pub const LATENCY_OPS: [&str; 21] = [
+pub const LATENCY_OPS: [&str; 26] = [
     "hello",
     "session.create",
     "session.get",
@@ -34,6 +34,11 @@ pub const LATENCY_OPS: [&str; 21] = [
     "trace.read",
     "replica.sync",
     "replica.promote",
+    "health",
+    "log.read",
+    "metrics.history",
+    "cluster.status",
+    "config.set",
     "shutdown",
     "parse_error",
     "other",

@@ -229,8 +229,17 @@ impl Housekeeper {
                     // snapshot (and truncate the journal) when the
                     // policy says so.
                     if let Err(e) = service.maybe_snapshot() {
-                        eprintln!("cerfix-server: snapshot failed: {e}");
+                        service.diag().error(
+                            crate::diag::Subsystem::Journal,
+                            format_args!("snapshot failed: {e}"),
+                        );
                     }
+                    // One metrics sample per sweep feeds the
+                    // `metrics.history` window, and a health probe per
+                    // sweep logs ready/not-ready transitions even while
+                    // nobody is watching.
+                    service.sample_timeseries();
+                    service.probe_health();
                 }
             })
             .expect("spawn housekeeper thread");

@@ -153,8 +153,15 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
 /// follower's durability ack) and `replica.promote` (fence the old
 /// primary behind an epoch bump and start serving writes) — plus
 /// `role`/`epoch`/`primary` fields on `hello` and the `not_primary` /
-/// `stale_epoch` error contract on follower mutations.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// `stale_epoch` error contract on follower mutations;
+/// version 6 added the cluster observability surface — `health`
+/// (liveness/readiness probe with causes), `log.read` (the structured
+/// diagnostic ring, filterable by level/subsystem), `metrics.history`
+/// (the in-process metric time-series ring, for server-side rates),
+/// `cluster.status` (one federated per-node role/epoch/health/lag/rate
+/// document, fanned out to known peers) and `config.set` (journaled
+/// runtime tuning of `slow_ms` and the trace/diag ring sizes).
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +274,46 @@ pub enum Request {
     /// so the old primary's stale-epoch stream is fenced off, stop
     /// tailing, and start accepting session mutations.
     ReplicaPromote,
+    /// Liveness/readiness probe: alive/ready booleans computed from
+    /// real signals (journal flusher, fsync latency, queue depth,
+    /// replication lag, epoch fencing), with the failing causes named.
+    Health,
+    /// Read recent events from the structured diagnostic log ring,
+    /// newest first.
+    LogRead {
+        /// Maximum events to return (server-capped).
+        limit: Option<u64>,
+        /// Minimum severity (`debug`/`info`/`warn`/`error`).
+        level: Option<String>,
+        /// Only events from one subsystem (`server`/`net`/`journal`/
+        /// `replication`/`health`/`config`).
+        subsystem: Option<String>,
+    },
+    /// Read the in-process metric time-series ring: periodic counter
+    /// snapshots from which rates (req/s, fsync/s, lag trend) are
+    /// computable without external scrape infrastructure.
+    MetricsHistory {
+        /// Maximum samples to return, newest last (server-capped).
+        limit: Option<u64>,
+    },
+    /// Federated cluster view: this node's role/epoch/health/lag/rates
+    /// plus (unless `fanout` is false) the same document fetched from
+    /// every known peer — the primary's registered followers or the
+    /// follower's primary.
+    ClusterStatus {
+        /// Fan out to peers (default true; inner fan-out requests set
+        /// it false so federation stays one level deep).
+        fanout: bool,
+    },
+    /// Set a runtime-tunable configuration knob (`slow_ms`,
+    /// `trace_buffer`, `diag_buffer`). Journaled, so the setting
+    /// survives restart.
+    ConfigSet {
+        /// Knob name.
+        key: String,
+        /// New value (non-negative integer; milliseconds or slots).
+        value: u64,
+    },
     /// Ask the server process to stop accepting connections.
     Shutdown,
 }
@@ -324,6 +371,11 @@ impl Request {
             Request::TraceRead { .. } => "trace.read",
             Request::ReplicaSync { .. } => "replica.sync",
             Request::ReplicaPromote => "replica.promote",
+            Request::Health => "health",
+            Request::LogRead { .. } => "log.read",
+            Request::MetricsHistory { .. } => "metrics.history",
+            Request::ClusterStatus { .. } => "cluster.status",
+            Request::ConfigSet { .. } => "config.set",
             Request::Shutdown => "shutdown",
         }
     }
@@ -454,6 +506,56 @@ impl Request {
                 }
             }
             "replica.promote" => Request::ReplicaPromote,
+            "health" => Request::Health,
+            "log.read" => Request::LogRead {
+                limit: match json.get("limit") {
+                    Some(l) => Some(l.as_u64().ok_or_else(|| {
+                        WireError("`limit` must be a non-negative integer".into())
+                    })?),
+                    None => None,
+                },
+                level: match json.get("level") {
+                    Some(l) => Some(
+                        l.as_str()
+                            .ok_or_else(|| WireError("`level` must be a string".into()))?
+                            .to_string(),
+                    ),
+                    None => None,
+                },
+                subsystem: match json.get("subsystem") {
+                    Some(s) => Some(
+                        s.as_str()
+                            .ok_or_else(|| WireError("`subsystem` must be a string".into()))?
+                            .to_string(),
+                    ),
+                    None => None,
+                },
+            },
+            "metrics.history" => Request::MetricsHistory {
+                limit: match json.get("limit") {
+                    Some(l) => Some(l.as_u64().ok_or_else(|| {
+                        WireError("`limit` must be a non-negative integer".into())
+                    })?),
+                    None => None,
+                },
+            },
+            "cluster.status" => Request::ClusterStatus {
+                fanout: match json.get("fanout") {
+                    Some(f) => f
+                        .as_bool()
+                        .ok_or_else(|| WireError("`fanout` must be a boolean".into()))?,
+                    None => true,
+                },
+            },
+            "config.set" => Request::ConfigSet {
+                key: need(&json, "key")?
+                    .as_str()
+                    .ok_or_else(|| WireError("`key` must be a string".into()))?
+                    .to_string(),
+                value: need(&json, "value")?
+                    .as_u64()
+                    .ok_or_else(|| WireError("`value` must be a non-negative integer".into()))?,
+            },
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -467,7 +569,37 @@ impl Request {
             | Request::Metrics
             | Request::MetricsProm
             | Request::ReplicaPromote
+            | Request::Health
             | Request::Shutdown => {}
+            Request::LogRead {
+                limit,
+                level,
+                subsystem,
+            } => {
+                if let Some(limit) = limit {
+                    fields.push(("limit".into(), Json::Num(*limit as f64)));
+                }
+                if let Some(level) = level {
+                    fields.push(("level".into(), Json::str(level.clone())));
+                }
+                if let Some(subsystem) = subsystem {
+                    fields.push(("subsystem".into(), Json::str(subsystem.clone())));
+                }
+            }
+            Request::MetricsHistory { limit } => {
+                if let Some(limit) = limit {
+                    fields.push(("limit".into(), Json::Num(*limit as f64)));
+                }
+            }
+            Request::ClusterStatus { fanout } => {
+                if !fanout {
+                    fields.push(("fanout".into(), Json::Bool(false)));
+                }
+            }
+            Request::ConfigSet { key, value } => {
+                fields.push(("key".into(), Json::str(key.clone())));
+                fields.push(("value".into(), Json::Num(*value as f64)));
+            }
             Request::ReplicaSync {
                 follower,
                 epoch,
@@ -632,7 +764,34 @@ mod tests {
             max: None,
         });
         round_trip(Request::ReplicaPromote);
+        round_trip(Request::Health);
+        round_trip(Request::LogRead {
+            limit: Some(32),
+            level: Some("warn".into()),
+            subsystem: Some("replication".into()),
+        });
+        round_trip(Request::LogRead {
+            limit: None,
+            level: None,
+            subsystem: None,
+        });
+        round_trip(Request::MetricsHistory { limit: Some(60) });
+        round_trip(Request::MetricsHistory { limit: None });
+        round_trip(Request::ClusterStatus { fanout: true });
+        round_trip(Request::ClusterStatus { fanout: false });
+        round_trip(Request::ConfigSet {
+            key: "slow_ms".into(),
+            value: 250,
+        });
         round_trip(Request::Shutdown);
+    }
+
+    #[test]
+    fn cluster_status_fanout_defaults_true() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"cluster.status"}"#).unwrap(),
+            Request::ClusterStatus { fanout: true }
+        );
     }
 
     #[test]
@@ -676,6 +835,15 @@ mod tests {
             r#"{"op":"replica.sync","follower":"b","offset":0}"#,
             r#"{"op":"replica.sync","follower":"b","epoch":-1,"offset":0}"#,
             r#"{"op":"replica.sync","follower":"b","epoch":0,"offset":0,"max":"all"}"#,
+            r#"{"op":"log.read","limit":"all"}"#,
+            r#"{"op":"log.read","level":7}"#,
+            r#"{"op":"log.read","subsystem":[]}"#,
+            r#"{"op":"metrics.history","limit":-1}"#,
+            r#"{"op":"cluster.status","fanout":"yes"}"#,
+            r#"{"op":"config.set"}"#,
+            r#"{"op":"config.set","key":"slow_ms"}"#,
+            r#"{"op":"config.set","key":7,"value":1}"#,
+            r#"{"op":"config.set","key":"slow_ms","value":"fast"}"#,
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");

@@ -292,9 +292,12 @@ fn is_heavy(line: &str, journaled: bool) -> bool {
         }
     }
     match op {
-        Some("clean" | "regions" | "check" | "audit.read" | "rules.reload" | "master.append") => {
-            true
-        }
+        // `cluster.status` fans out to peers over TCP — never on the
+        // reactor thread.
+        Some(
+            "clean" | "regions" | "check" | "audit.read" | "rules.reload" | "master.append"
+            | "cluster.status",
+        ) => true,
         Some("session.commit") => journaled,
         Some(_) => false,
         None => true,

@@ -28,6 +28,7 @@
 //! inside the journal itself.
 
 use crate::client::{jitter_seed, jittered, Client, ClientError, RetryPolicy};
+use crate::diag::Subsystem;
 use crate::protocol::Request;
 use crate::service::CleaningService;
 use crate::wire::Json;
@@ -104,6 +105,17 @@ pub(crate) struct ReplicationState {
     /// stale-cursor follower is resynced from. Refreshed on every
     /// snapshot install (boot recovery included).
     pub last_snapshot: Mutex<Option<std::sync::Arc<Vec<u8>>>>,
+    /// Follower-side mirror of the primary's epoch, from the last
+    /// successful tail response (status display).
+    pub primary_epoch: AtomicU64,
+    /// Follower-side mirror of the primary's durable event count.
+    pub primary_durable: AtomicU64,
+    /// Last time this follower's durable cursor covered the primary's
+    /// — the zero point its own `lag_seconds` (and the `max_lag`
+    /// readiness check) measures from. Boot-initialized to "now" so a
+    /// fresh follower starts ready; a partition freezes it and lag
+    /// grows until the stream recovers.
+    pub tail_current_at: Mutex<Instant>,
 }
 
 impl ReplicationState {
@@ -118,6 +130,9 @@ impl ReplicationState {
             stop: AtomicBool::new(false),
             tail: Mutex::new(None),
             last_snapshot: Mutex::new(None),
+            primary_epoch: AtomicU64::new(0),
+            primary_durable: AtomicU64::new(0),
+            tail_current_at: Mutex::new(Instant::now()),
         }
     }
 
@@ -176,6 +191,24 @@ fn stopped(service: &CleaningService) -> bool {
     service.replication().stop.load(Ordering::Acquire) || service.shutdown_requested()
 }
 
+/// Record what one successful tail response said about the primary's
+/// durable cursor, and — when our own cursor covers it — reset the
+/// follower-side lag clock the `max_lag` readiness check reads.
+fn note_tail_progress(service: &CleaningService, served_epoch: u64, served_durable: u64) {
+    let repl = service.replication();
+    repl.primary_epoch.store(served_epoch, Ordering::Release);
+    repl.primary_durable
+        .store(served_durable, Ordering::Release);
+    let (epoch, offset) = service.durable_cursor().unwrap_or((0, 0));
+    let current = epoch > served_epoch || (epoch == served_epoch && offset >= served_durable);
+    if current {
+        *repl
+            .tail_current_at
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+    }
+}
+
 /// Sleep up to `delay` in small slices, bailing out early on stop.
 /// Returns false when the loop should exit.
 fn pause(service: &CleaningService, delay: Duration) -> bool {
@@ -214,7 +247,13 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
             return;
         }
         let mut client = match Client::connect_with(primary.as_str(), policy.clone()) {
-            Ok(client) => client,
+            Ok(client) => {
+                service.diag().debug(
+                    Subsystem::Replication,
+                    format_args!("connected to primary {primary}"),
+                );
+                client
+            }
             Err(_) => {
                 if !pause(&service, jittered(backoff, &mut seed)) {
                     return;
@@ -242,7 +281,10 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                 Err(ClientError::Server(message)) => {
                     // The primary answered but refused (mid-boot, or we
                     // are somehow ahead of it): back off, keep polling.
-                    eprintln!("replication: primary {primary} refused sync: {message}");
+                    service.diag().warn(
+                        Subsystem::Replication,
+                        format_args!("primary {primary} refused sync: {message}"),
+                    );
                     if !pause(&service, jittered(backoff, &mut seed)) {
                         return;
                     }
@@ -263,20 +305,27 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                 // Not the answer to the cursor we just sent: a faulty
                 // path (duplicate/reordered line) desynced the stream.
                 // Reconnect; the fresh connection re-pairs cleanly.
-                eprintln!("replication: desynced response from {primary}; reconnecting");
+                service.diag().warn(
+                    Subsystem::Replication,
+                    format_args!("desynced response from {primary}; reconnecting"),
+                );
                 if !pause(&service, jittered(backoff, &mut seed)) {
                     return;
                 }
                 continue 'connect;
             }
             let served_epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+            let served_durable = response.get("durable").and_then(Json::as_u64).unwrap_or(0);
             if served_epoch < epoch {
                 // A primary behind our epoch is stale (e.g. the old
                 // primary came back after we were promoted off it and
                 // re-demoted — not a state we ever serve from).
-                eprintln!(
-                    "replication: primary {primary} is at epoch {served_epoch}, \
-                     behind our {epoch}; refusing its stream"
+                service.diag().warn(
+                    Subsystem::Replication,
+                    format_args!(
+                        "primary {primary} is at epoch {served_epoch}, \
+                         behind our {epoch}; refusing its stream"
+                    ),
                 );
                 if !pause(&service, jittered(BACKOFF_MAX, &mut seed)) {
                     return;
@@ -289,7 +338,10 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                 match decoded {
                     Some(data) => {
                         if let Err(message) = service.install_replica_snapshot(data) {
-                            eprintln!("replication: snapshot resync failed: {message}");
+                            service.diag().error(
+                                Subsystem::Replication,
+                                format_args!("snapshot resync from {primary} failed: {message}"),
+                            );
                             if !pause(&service, jittered(BACKOFF_MAX, &mut seed)) {
                                 return;
                             }
@@ -298,7 +350,10 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                         continue; // re-poll from the new epoch's cursor
                     }
                     None => {
-                        eprintln!("replication: undecodable snapshot from {primary}");
+                        service.diag().error(
+                            Subsystem::Replication,
+                            format_args!("undecodable snapshot from {primary}"),
+                        );
                         if !pause(&service, jittered(backoff, &mut seed)) {
                             return;
                         }
@@ -309,6 +364,7 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
             let frames = response.get("events").and_then(Json::as_arr).unwrap_or(&[]);
             if frames.is_empty() {
                 // Caught up: ack-by-polling keeps quorum commits live.
+                note_tail_progress(&service, served_epoch, served_durable);
                 if !pause(&service, POLL_INTERVAL) {
                     return;
                 }
@@ -332,16 +388,23 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
             if torn {
                 // A torn/corrupt frame never applies partially: drop
                 // the connection and re-pull from the durable cursor.
-                eprintln!("replication: torn frame from {primary}; re-pulling from cursor");
+                service.diag().warn(
+                    Subsystem::Replication,
+                    format_args!("torn frame from {primary}; re-pulling from cursor"),
+                );
                 if !pause(&service, jittered(backoff, &mut seed)) {
                     return;
                 }
                 continue 'connect;
             }
             if let Err(message) = service.apply_replica_events(events) {
-                eprintln!("replication: replay diverged, stopping tail: {message}");
+                service.diag().error(
+                    Subsystem::Replication,
+                    format_args!("replay diverged, stopping tail of {primary}: {message}"),
+                );
                 return;
             }
+            note_tail_progress(&service, served_epoch, served_durable);
         }
     }
 }

@@ -37,6 +37,8 @@
 //! the journal's event order is the order events were applied in.
 
 use crate::cache::{ruleset_fingerprint, AnalysisCache};
+use crate::client::{Client, RetryPolicy};
+use crate::diag::{DiagSink, Level, Subsystem};
 use crate::metrics::{
     op_index, prom_header, prom_histogram_from_buckets, prom_metric, prom_sample, ServiceMetrics,
     LATENCY_OPS,
@@ -44,6 +46,7 @@ use crate::metrics::{
 use crate::protocol::{scan_line, HotOp, Request, RequestScratch, PROTOCOL_VERSION};
 use crate::replication::{hex_encode, lock_followers, ReplicationState, Role};
 use crate::session::{SessionError, SessionManager};
+use crate::timeseries::{Sample, TimeSeries};
 use crate::trace::{Span, TraceSink};
 use crate::wire::scan::{ObjectScanner, RawValue};
 use crate::wire::{render_response_into, Json, JsonWriter};
@@ -57,6 +60,7 @@ use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
 use cerfix_storage::{
     JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig,
 };
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
@@ -102,8 +106,20 @@ pub struct ServiceConfig {
     /// locally durable).
     pub ack_timeout: Duration,
     /// Address this node advertises in `replica.sync` requests — the
-    /// key the primary tracks its replication lag under.
+    /// key the primary tracks its replication lag under (and the
+    /// address `cluster.status` fan-out dials it back on).
     pub advertise: Option<String>,
+    /// Capacity of the in-memory diagnostic-log ring (events kept for
+    /// `log.read`), rounded up to a power of two. `0` disables the
+    /// ring; the stderr mirror stays on either way.
+    pub diag_buffer: usize,
+    /// Optional durable diagnostic sink: every admitted event is also
+    /// appended, one line per event, to this file.
+    pub diag_file: Option<PathBuf>,
+    /// How far behind its primary a follower may fall before its
+    /// health probe reports not-ready (measured as time since its
+    /// durable cursor last covered the primary's).
+    pub max_lag: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +136,9 @@ impl Default for ServiceConfig {
             cluster_size: 1,
             ack_timeout: Duration::from_secs(5),
             advertise: None,
+            diag_buffer: 1024,
+            diag_file: None,
+            max_lag: Duration::from_secs(10),
         }
     }
 }
@@ -180,6 +199,15 @@ struct ServiceInner {
     /// Per-request trace spans (stage timings + engine-stat deltas) in
     /// a lock-free ring; read by `trace.read`.
     trace: TraceSink,
+    /// Structured diagnostic log (leveled, rate-limited events; read
+    /// by `log.read`, mirrored to stderr and an optional file).
+    diag: DiagSink,
+    /// Periodic metric snapshots for server-side rate math (sampled by
+    /// the housekeeper, read by `metrics.history`).
+    timeseries: TimeSeries,
+    /// Last health verdict: 0 = never probed, 1 = ready, 2 = not
+    /// ready. Transitions between the two probed states are logged.
+    last_ready: AtomicU64,
     storage: Option<StorageBinding>,
     /// Replication state: role, the primary's follower/ack registry and
     /// fencing watermark, a follower's tail-thread handle.
@@ -302,6 +330,7 @@ impl CleaningService {
             None => Arc::new(AuditLog::new()),
         };
         let trace = TraceSink::new(config.trace_buffer, Duration::from_millis(config.slow_ms));
+        let diag = DiagSink::new(config.diag_buffer, config.diag_file.as_ref());
         CleaningService {
             inner: Arc::new(ServiceInner {
                 pool: WorkerPool::new(config.workers),
@@ -312,6 +341,9 @@ impl CleaningService {
                 metrics,
                 audit,
                 trace,
+                diag,
+                timeseries: TimeSeries::new(),
+                last_ready: AtomicU64::new(0),
                 storage: storage.map(|storage| StorageBinding {
                     storage,
                     gate: RwLock::new(()),
@@ -463,6 +495,133 @@ impl CleaningService {
         self.inner
             .metrics
             .audit_spilled(self.inner.audit.spilled() as u64);
+    }
+
+    /// The structured diagnostic log sink (replication and transport
+    /// threads emit through it).
+    pub(crate) fn diag(&self) -> &DiagSink {
+        &self.inner.diag
+    }
+
+    /// Record one counter snapshot into the in-process time-series
+    /// ring. The TCP front ends call this from their housekeeping loop
+    /// (about once a second); embedders with their own runtime can
+    /// too. `metrics.history` reads the window back, and
+    /// `cluster.status` derives its req/s figure from it.
+    pub fn sample_timeseries(&self) {
+        self.refresh_storage_gauges();
+        self.inner.timeseries.record(self.inner.metrics.snapshot());
+    }
+
+    /// Evaluate health now and log ready/not-ready transitions to the
+    /// diagnostic log. The housekeeper calls this every sweep so
+    /// transitions get recorded even while nobody is probing.
+    pub(crate) fn probe_health(&self) -> HealthReport {
+        let report = self.health_eval();
+        let verdict = if report.ready { 1 } else { 2 };
+        let prev = self.inner.last_ready.swap(verdict, Ordering::AcqRel);
+        if prev != verdict {
+            if report.ready {
+                self.inner
+                    .diag
+                    .info(Subsystem::Health, format_args!("ready"));
+            } else {
+                self.inner.diag.warn(
+                    Subsystem::Health,
+                    format_args!("not ready: {}", report.causes.join("; ")),
+                );
+            }
+        }
+        report
+    }
+
+    /// Compute liveness/readiness from real signals: journal flusher
+    /// alive and error-free, fsync p99 under the slow-request budget,
+    /// worker queue not saturated, and the role-specific conditions —
+    /// a primary must not be fenced by a higher-epoch replica, a
+    /// follower must not lag its primary past `max_lag`.
+    fn health_eval(&self) -> HealthReport {
+        let mut live = true;
+        let mut causes = Vec::new();
+        if self.shutdown_requested() {
+            live = false;
+            causes.push("shutting down".to_string());
+        }
+        if let Some(binding) = &self.inner.storage {
+            let journal = binding.storage.journal();
+            if !journal.is_alive() {
+                live = false;
+                causes.push("journal flusher stopped (disk dead or shut down)".to_string());
+            }
+            if let Some(err) = journal.last_error() {
+                live = false;
+                causes.push(format!("journal error: {err}"));
+            }
+            // The slow-request threshold doubles as the fsync budget:
+            // commits block on fsync, so a p99 past it means acked
+            // writes are regularly crossing the slow line.
+            let budget_ns = self.inner.trace.slow_ns();
+            let p99_ns = bucket_p99_ns(&journal.flush_profile().fsync_ns_buckets);
+            if budget_ns > 0 && p99_ns > budget_ns {
+                causes.push(format!(
+                    "fsync p99 {}ms over the {}ms budget",
+                    p99_ns / 1_000_000,
+                    budget_ns / 1_000_000
+                ));
+            }
+        }
+        let depth = self.inner.pool.queue_depth();
+        let bound = self.workers().max(1) * 256;
+        if depth > bound {
+            causes.push(format!(
+                "worker queue depth {depth} over the saturation bound {bound}"
+            ));
+        }
+        let role = self.role();
+        let mut lag_seconds = 0.0;
+        match &role {
+            Role::Primary => {
+                let seen = self
+                    .inner
+                    .replication
+                    .max_epoch_seen
+                    .load(Ordering::Acquire);
+                let epoch = self
+                    .inner
+                    .storage
+                    .as_ref()
+                    .map_or(0, |binding| binding.storage.epoch());
+                if seen > epoch {
+                    causes.push(format!(
+                        "deposed: fenced at epoch {epoch} by a replica at epoch {seen}"
+                    ));
+                }
+            }
+            Role::Follower { primary } => {
+                lag_seconds = self
+                    .inner
+                    .replication
+                    .tail_current_at
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .elapsed()
+                    .as_secs_f64();
+                let max = self.inner.config.max_lag.as_secs_f64();
+                if lag_seconds > max {
+                    causes.push(format!(
+                        "replication lag {lag_seconds:.1}s past max-lag {max:.1}s \
+                         (primary {primary})"
+                    ));
+                }
+            }
+        }
+        let ready = live && causes.is_empty();
+        HealthReport {
+            live,
+            ready,
+            causes,
+            lag_seconds,
+        }
     }
 
     /// True once a `shutdown` request has been accepted.
@@ -742,6 +901,11 @@ impl CleaningService {
             JournalEvent::MasterAppended { rows } => {
                 self.apply_master_rows(rows.clone())?;
             }
+            JournalEvent::ConfigSet { key, value } => {
+                // Unknown keys replay as no-ops: a journal written by a
+                // newer build must not fail recovery on an older one.
+                let _ = self.apply_config_set(key, *value);
+            }
         }
         Ok(())
     }
@@ -991,9 +1155,9 @@ impl CleaningService {
         span.trace_id = self.inner.trace.trace_id(raw_id);
         span.op = op_idx;
         span.total_ns = total.as_nanos() as u64;
-        span.dispatch_ns = span
-            .total_ns
-            .saturating_sub(span.parse_ns + span.engine_ns + span.fsync_ns + span.serialize_ns);
+        span.dispatch_ns = span.total_ns.saturating_sub(
+            span.parse_ns + span.engine_ns + span.fsync_ns + span.quorum_ns + span.serialize_ns,
+        );
         self.inner.trace.record(span);
     }
 
@@ -1051,6 +1215,17 @@ impl CleaningService {
             Request::Metrics => Ok(self.metrics_response()),
             Request::MetricsProm => Ok(self.metrics_prom_response()),
             Request::TraceRead { limit } => Ok(self.trace_read(*limit)),
+            Request::Health => Ok(self.health_response()),
+            Request::LogRead {
+                limit,
+                level,
+                subsystem,
+            } => self.log_read(*limit, level.as_deref(), subsystem.as_deref()),
+            Request::MetricsHistory { limit } => Ok(self.metrics_history(*limit)),
+            Request::ClusterStatus { fanout } => Ok(self.cluster_status(*fanout)),
+            Request::ConfigSet { key, value } => self
+                .check_primary()
+                .and_then(|()| self.config_set(key, *value)),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
                 self.notify_shutdown();
@@ -1238,14 +1413,14 @@ impl CleaningService {
                 drop(followers);
                 let elapsed = started.elapsed();
                 self.inner.metrics.observe_ack_latency(elapsed);
-                span.fsync_ns += elapsed.as_nanos() as u64;
+                span.quorum_ns += elapsed.as_nanos() as u64;
                 return Ok(());
             }
             let now = Instant::now();
             if now >= deadline {
                 drop(followers);
                 self.inner.metrics.quorum_timeout();
-                span.fsync_ns += started.elapsed().as_nanos() as u64;
+                span.quorum_ns += started.elapsed().as_nanos() as u64;
                 return Err(format!(
                     "quorum_timeout: commit is durable locally but only {acked}/{needed} \
                      follower acks arrived within {:?}",
@@ -2506,6 +2681,35 @@ impl CleaningService {
             "counter",
             self.inner.trace.slow().recorded() as f64,
         );
+        prom_metric(
+            &mut body,
+            "cerfix_diag_events_emitted_total",
+            "Diagnostic events admitted into the structured log.",
+            "counter",
+            self.inner.diag.emitted() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_diag_events_suppressed_total",
+            "Diagnostic events dropped by the per-subsystem rate limiter.",
+            "counter",
+            self.inner.diag.suppressed() as f64,
+        );
+        let health = self.probe_health();
+        prom_metric(
+            &mut body,
+            "cerfix_healthy",
+            "1 when this node is ready to serve its role, else 0.",
+            "gauge",
+            if health.ready { 1.0 } else { 0.0 },
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_live",
+            "1 while the process and its journal flusher are up.",
+            "gauge",
+            if health.live { 1.0 } else { 0.0 },
+        );
         let role = self.role();
         prom_header(
             &mut body,
@@ -2631,6 +2835,398 @@ impl CleaningService {
             ("slow", Json::Arr(slow.iter().map(span_json).collect())),
         ])
     }
+
+    /// `health`: liveness/readiness verdict with the reasons spelled
+    /// out. Probing also logs ready/not-ready transitions.
+    fn health_response(&self) -> Json {
+        let report = self.probe_health();
+        let role = self.role();
+        let mut fields = vec![
+            ("ok", Json::Bool(true)),
+            ("role", Json::str(role.name())),
+            ("live", Json::Bool(report.live)),
+            ("ready", Json::Bool(report.ready)),
+            (
+                "causes",
+                Json::Arr(report.causes.iter().map(Json::str).collect()),
+            ),
+        ];
+        if let Some(binding) = &self.inner.storage {
+            fields.push(("epoch", Json::Num(binding.storage.epoch() as f64)));
+        }
+        if let Role::Follower { primary } = &role {
+            fields.push(("primary", Json::str(primary.clone())));
+            fields.push(("lag_seconds", Json::Num(report.lag_seconds)));
+            fields.push((
+                "max_lag_seconds",
+                Json::Num(self.inner.config.max_lag.as_secs_f64()),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// `log.read`: the most recent diagnostic events (newest first),
+    /// optionally filtered by minimum level and subsystem.
+    fn log_read(
+        &self,
+        limit: Option<u64>,
+        level: Option<&str>,
+        subsystem: Option<&str>,
+    ) -> Result<Json, String> {
+        let min_level = match level {
+            Some(name) => Level::parse(name)
+                .ok_or_else(|| format!("unknown level `{name}` (debug | info | warn | error)"))?,
+            None => Level::Debug,
+        };
+        let subsystem = match subsystem {
+            Some(name) => Some(Subsystem::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown subsystem `{name}` \
+                     (server | net | journal | replication | health | config)"
+                )
+            })?),
+            None => None,
+        };
+        let limit = limit.unwrap_or(64).min(4096) as usize;
+        let sink = &self.inner.diag;
+        let ring = sink.ring();
+        let events = ring.read_recent(limit, min_level, subsystem);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("enabled", Json::Bool(ring.enabled())),
+            ("recorded", Json::Num(ring.recorded() as f64)),
+            ("emitted", Json::Num(sink.emitted() as f64)),
+            ("suppressed", Json::Num(sink.suppressed() as f64)),
+            (
+                "events",
+                Json::Arr(
+                    events
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("seq", Json::Num(e.seq as f64)),
+                                ("unix_ms", Json::Num(e.unix_ms as f64)),
+                                ("level", Json::str(e.level.as_str())),
+                                ("subsystem", Json::str(e.subsystem.as_str())),
+                                ("message", Json::str(e.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// `metrics.history`: the retained time-series window, oldest
+    /// sample first — consumers diff consecutive samples into rates.
+    fn metrics_history(&self, limit: Option<u64>) -> Json {
+        let limit = limit.unwrap_or(120).min(600) as usize;
+        let samples = self.inner.timeseries.history(limit);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("retained", Json::Num(self.inner.timeseries.len() as f64)),
+            (
+                "samples",
+                Json::Arr(samples.iter().map(sample_json).collect()),
+            ),
+        ])
+    }
+
+    /// `cluster.status`: this node's status document plus — unless the
+    /// request says `fanout: false` — one per known peer, fetched with
+    /// a short non-retrying dial so one dead peer cannot stall the
+    /// answer. A primary fans out to its follower registry. A follower
+    /// asks its primary, whose document lists every follower the
+    /// primary has seen, then dials its siblings from that list — so
+    /// one request to *any* member reaches the whole group. Peers are
+    /// always asked with `fanout: false`, so the fan-out never recurses.
+    fn cluster_status(&self, fanout: bool) -> Json {
+        let repl = &self.inner.replication;
+        let mut nodes = vec![self.node_status()];
+        if fanout {
+            match self.role() {
+                Role::Primary => {
+                    for peer in self.peer_addrs() {
+                        nodes.push(self.peer_status(&peer));
+                    }
+                }
+                Role::Follower { primary } => {
+                    let primary_doc = self.peer_status(&primary);
+                    let me = self.inner.config.advertise.as_deref();
+                    let mut siblings: Vec<String> = match primary_doc.get("followers") {
+                        Some(Json::Obj(entries)) => entries
+                            .iter()
+                            .map(|(name, _)| name.clone())
+                            .filter(|name| Some(name.as_str()) != me)
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    siblings.sort();
+                    nodes.push(primary_doc);
+                    for sibling in siblings {
+                        nodes.push(self.peer_status(&sibling));
+                    }
+                }
+            }
+        }
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("cluster_size", Json::Num(repl.cluster as f64)),
+            ("quorum", Json::Num(repl.quorum() as f64)),
+            ("nodes", Json::Arr(nodes)),
+        ])
+    }
+
+    /// A primary's peers: every follower that ever synced, keyed by the
+    /// address it advertised.
+    fn peer_addrs(&self) -> Vec<String> {
+        let followers = lock_followers(&self.inner.replication);
+        let mut addrs: Vec<String> = followers.keys().cloned().collect();
+        addrs.sort();
+        addrs
+    }
+
+    /// This node's own `cluster.status` document.
+    fn node_status(&self) -> Json {
+        let report = self.probe_health();
+        let role = self.role();
+        let snapshot = self.metrics();
+        let rate = self.inner.timeseries.request_rate(&snapshot);
+        let epoch = self
+            .inner
+            .storage
+            .as_ref()
+            .map_or(0, |binding| binding.storage.epoch());
+        let mut fields = vec![
+            (
+                "addr",
+                Json::str(
+                    self.inner
+                        .config
+                        .advertise
+                        .clone()
+                        .unwrap_or_else(|| "local".into()),
+                ),
+            ),
+            ("ok", Json::Bool(true)),
+            ("role", Json::str(role.name())),
+            ("epoch", Json::Num(epoch as f64)),
+            ("live", Json::Bool(report.live)),
+            ("ready", Json::Bool(report.ready)),
+            (
+                "causes",
+                Json::Arr(report.causes.iter().map(Json::str).collect()),
+            ),
+            ("lag_seconds", Json::Num(report.lag_seconds)),
+            ("requests", Json::Num(snapshot.requests as f64)),
+            ("req_per_sec", Json::Num(rate)),
+            ("sessions", Json::Num(self.live_sessions() as f64)),
+        ];
+        if let Role::Follower { primary } = &role {
+            fields.push(("primary", Json::str(primary.clone())));
+        }
+        if matches!(role, Role::Primary) {
+            let followers = lock_followers(&self.inner.replication);
+            if !followers.is_empty() {
+                let (cur_epoch, cur_durable) = self.durable_cursor().unwrap_or((0, 0));
+                fields.push((
+                    "followers",
+                    Json::Obj(
+                        followers
+                            .iter()
+                            .map(|(name, f)| {
+                                let current = f.epoch > cur_epoch
+                                    || (f.epoch == cur_epoch && f.offset >= cur_durable);
+                                let lag_events = match f.epoch.cmp(&cur_epoch) {
+                                    std::cmp::Ordering::Greater => 0,
+                                    std::cmp::Ordering::Equal => {
+                                        cur_durable.saturating_sub(f.offset)
+                                    }
+                                    std::cmp::Ordering::Less => cur_durable,
+                                };
+                                let lag_seconds = if current {
+                                    0.0
+                                } else {
+                                    f.caught_up_at.elapsed().as_secs_f64()
+                                };
+                                (
+                                    name.clone(),
+                                    Json::obj([
+                                        ("epoch", Json::Num(f.epoch as f64)),
+                                        ("offset", Json::Num(f.offset as f64)),
+                                        ("lag_events", Json::Num(lag_events as f64)),
+                                        ("lag_seconds", Json::Num(lag_seconds)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Fetch one peer's self-view for the fan-out; an unreachable peer
+    /// becomes an `ok: false` document instead of an error.
+    fn peer_status(&self, addr: &str) -> Json {
+        let fetch = || -> Result<Json, String> {
+            let policy = RetryPolicy {
+                retries: 0,
+                request_timeout: Some(Duration::from_millis(750)),
+                ..RetryPolicy::default()
+            };
+            let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
+            let response = client
+                .request(&Request::ClusterStatus { fanout: false })
+                .map_err(|e| e.to_string())?;
+            response
+                .get("nodes")
+                .and_then(Json::as_arr)
+                .and_then(|nodes| nodes.first())
+                .cloned()
+                .ok_or_else(|| "malformed cluster.status reply".to_string())
+        };
+        match fetch() {
+            Ok(mut doc) => {
+                // The registry key we dialed is authoritative for the
+                // address column (a peer without `--advertise` reports
+                // the "local" placeholder).
+                if let Json::Obj(fields) = &mut doc {
+                    for (key, value) in fields.iter_mut() {
+                        if key == "addr" {
+                            *value = Json::str(addr);
+                        }
+                    }
+                }
+                doc
+            }
+            Err(error) => Json::obj([
+                ("addr", Json::str(addr)),
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(error)),
+            ]),
+        }
+    }
+
+    /// `config.set`: apply a runtime tunable and journal it, so the
+    /// setting survives restart and propagates to followers through
+    /// the replication stream.
+    fn config_set(&self, key: &str, value: u64) -> Result<Json, String> {
+        let seq = self.with_gate(|| -> Result<Option<u64>, String> {
+            self.apply_config_set(key, value)?;
+            Ok(self.journal(&JournalEvent::ConfigSet {
+                key: key.to_string(),
+                value,
+            }))
+        })?;
+        if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
+            binding.storage.sync(seq); // an acked tunable must survive restart
+        }
+        self.inner
+            .diag
+            .info(Subsystem::Config, format_args!("{key} set to {value}"));
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("key", Json::str(key)),
+            ("value", Json::Num(value as f64)),
+        ]))
+    }
+
+    /// Apply one runtime tunable — the shared core of the live
+    /// `config.set` op and journal replay (boot recovery, follower
+    /// tail).
+    fn apply_config_set(&self, key: &str, value: u64) -> Result<(), String> {
+        match key {
+            "slow_ms" => self
+                .inner
+                .trace
+                .set_slow_ns(value.saturating_mul(1_000_000)),
+            // Resizing discards the ring's contents, so a replayed or
+            // repeated set of the current size must be a no-op.
+            "trace_buffer" => {
+                if self.inner.trace.capacity() != value as usize {
+                    self.inner.trace.resize(value as usize);
+                }
+            }
+            "diag_buffer" => {
+                if self.inner.diag.capacity() != value as usize {
+                    self.inner.diag.resize(value as usize);
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown config key `{other}` (slow_ms | trace_buffer | diag_buffer)"
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One health evaluation: alive, ready, and the reasons it is not.
+pub(crate) struct HealthReport {
+    /// Process and journal flusher are up.
+    pub live: bool,
+    /// Fit to serve its role right now.
+    pub ready: bool,
+    /// Human-readable reasons `ready` is false (empty when ready).
+    pub causes: Vec<String>,
+    /// A follower's lag behind its primary in seconds (0 on primaries).
+    pub lag_seconds: f64,
+}
+
+/// 99th-percentile upper bound from `(exclusive upper bound, count)`
+/// histogram buckets; 0 with no observations.
+fn bucket_p99_ns(buckets: &[(u64, u64)]) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, count)| count).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * 99).div_ceil(100).max(1);
+    let mut cumulative = 0;
+    for &(bound, count) in buckets {
+        cumulative += count;
+        if cumulative >= rank {
+            return bound;
+        }
+    }
+    buckets.last().map_or(0, |&(bound, _)| bound)
+}
+
+/// One time-series sample as wire JSON: the counters rate math needs,
+/// plus the per-op latency summaries for rate/p99 columns.
+fn sample_json(sample: &Sample) -> Json {
+    let s = &sample.snapshot;
+    Json::obj([
+        ("unix_ms", Json::Num(sample.unix_ms as f64)),
+        ("uptime_secs", Json::Num(s.uptime_secs as f64)),
+        ("requests", Json::Num(s.requests as f64)),
+        ("errors", Json::Num(s.errors as f64)),
+        ("sessions_committed", Json::Num(s.sessions_committed as f64)),
+        ("cells_fixed", Json::Num(s.cells_fixed as f64)),
+        ("journal_events", Json::Num(s.journal_events as f64)),
+        ("quorum_timeouts", Json::Num(s.quorum_timeouts as f64)),
+        ("connections_open", Json::Num(s.connections_open as f64)),
+        (
+            "latency",
+            Json::Obj(
+                s.latency
+                    .iter()
+                    .map(|l| {
+                        (
+                            l.op.to_string(),
+                            Json::obj([
+                                ("count", Json::Num(l.count as f64)),
+                                ("p50_us", Json::Num(l.p50_ns as f64 / 1000.0)),
+                                ("p99_us", Json::Num(l.p99_ns as f64 / 1000.0)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// One trace span as wire JSON. The trace id rides as a decimal string
@@ -2648,6 +3244,7 @@ fn span_json(span: &Span) -> Json {
         ("dispatch_ns", Json::Num(span.dispatch_ns as f64)),
         ("engine_ns", Json::Num(span.engine_ns as f64)),
         ("fsync_ns", Json::Num(span.fsync_ns as f64)),
+        ("quorum_ns", Json::Num(span.quorum_ns as f64)),
         ("serialize_ns", Json::Num(span.serialize_ns as f64)),
         ("fixpoint_runs", Json::Num(span.stats.fixpoint_runs as f64)),
         ("rule_attempts", Json::Num(span.stats.rule_attempts as f64)),

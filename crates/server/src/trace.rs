@@ -24,11 +24,12 @@
 
 use cerfix::EngineStats;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::time::Duration;
 
-/// Words per slot: trace id, op index, six timings, four engine-stat
+/// Words per slot: trace id, op index, seven timings, four engine-stat
 /// deltas (see `Span::to_words` / `Span::from_words`).
-const SLOT_WORDS: usize = 12;
+const SLOT_WORDS: usize = 13;
 
 /// Slots in the slow-request ring (fixed; the threshold, not the
 /// buffer, is the operator's knob).
@@ -61,6 +62,9 @@ pub(crate) struct Span {
     pub engine_ns: u64,
     /// Time blocked on the journal's group fsync.
     pub fsync_ns: u64,
+    /// Time blocked waiting for follower quorum acks (zero outside
+    /// quorum-mode commits).
+    pub quorum_ns: u64,
     /// Response rendering (tree path; fused into dispatch on the
     /// direct-render hot path).
     pub serialize_ns: u64,
@@ -78,6 +82,7 @@ impl Span {
             self.dispatch_ns,
             self.engine_ns,
             self.fsync_ns,
+            self.quorum_ns,
             self.serialize_ns,
             self.stats.fixpoint_runs as u64,
             self.stats.rule_attempts as u64,
@@ -95,12 +100,13 @@ impl Span {
             dispatch_ns: words[4],
             engine_ns: words[5],
             fsync_ns: words[6],
-            serialize_ns: words[7],
+            quorum_ns: words[7],
+            serialize_ns: words[8],
             stats: EngineStats {
-                fixpoint_runs: words[8] as usize,
-                rule_attempts: words[9] as usize,
-                master_lookups: words[10] as usize,
-                index_probes: words[11] as usize,
+                fixpoint_runs: words[9] as usize,
+                rule_attempts: words[10] as usize,
+                master_lookups: words[11] as usize,
+                index_probes: words[12] as usize,
             },
         }
     }
@@ -214,12 +220,21 @@ impl TraceRing {
     }
 }
 
+/// Read a possibly poisoned lock — ring swaps can't corrupt the data,
+/// so a panicked holder is survivable.
+fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The service's tracing state: the main span ring, the slow-request
-/// ring, the slow threshold and the fallback id allocator.
+/// ring, the slow threshold and the fallback id allocator. The rings
+/// sit behind an `RwLock<Arc<_>>` so `config.set` can swap in a
+/// resized ring at runtime; the hot path only ever takes the
+/// uncontended read side (no allocation, no blocking in steady state).
 pub(crate) struct TraceSink {
-    ring: TraceRing,
-    slow: TraceRing,
-    slow_ns: u64,
+    ring: RwLock<Arc<TraceRing>>,
+    slow: RwLock<Arc<TraceRing>>,
+    slow_ns: AtomicU64,
     synthetic: AtomicU64,
 }
 
@@ -228,42 +243,68 @@ impl TraceSink {
     /// and whose slow ring captures spans at least `slow` long.
     pub(crate) fn new(buffer: usize, slow: Duration) -> TraceSink {
         TraceSink {
-            ring: TraceRing::new(buffer),
-            slow: TraceRing::new(if buffer == 0 { 0 } else { SLOW_SLOTS }),
-            slow_ns: slow.as_nanos().min(u64::MAX as u128) as u64,
+            ring: RwLock::new(Arc::new(TraceRing::new(buffer))),
+            slow: RwLock::new(Arc::new(TraceRing::new(if buffer == 0 {
+                0
+            } else {
+                SLOW_SLOTS
+            }))),
+            slow_ns: AtomicU64::new(slow.as_nanos().min(u64::MAX as u128) as u64),
             synthetic: AtomicU64::new(0),
         }
     }
 
     /// True iff spans are being recorded.
     pub(crate) fn enabled(&self) -> bool {
-        self.ring.enabled()
+        rlock(&self.ring).enabled()
     }
 
     /// The slow-request threshold, nanoseconds.
     pub(crate) fn slow_ns(&self) -> u64 {
-        self.slow_ns
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// Retune the slow-request threshold (the `config.set slow_ms`
+    /// knob). Takes effect for the next recorded span.
+    pub(crate) fn set_slow_ns(&self, slow_ns: u64) {
+        self.slow_ns.store(slow_ns, Ordering::Relaxed);
+    }
+
+    /// Swap in a fresh main ring of `buffer` slots (0 = tracing off).
+    /// Buffered spans and the recorded counter start over — resizing
+    /// is an operator action, not a hot-path one.
+    pub(crate) fn resize(&self, buffer: usize) {
+        let slow_slots = if buffer == 0 { 0 } else { SLOW_SLOTS };
+        *self.ring.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(TraceRing::new(buffer));
+        *self.slow.write().unwrap_or_else(|e| e.into_inner()) =
+            Arc::new(TraceRing::new(slow_slots));
+    }
+
+    /// The main ring's current capacity in slots.
+    pub(crate) fn capacity(&self) -> usize {
+        rlock(&self.ring).slots.len()
     }
 
     /// The main ring (for `trace.read`).
-    pub(crate) fn ring(&self) -> &TraceRing {
-        &self.ring
+    pub(crate) fn ring(&self) -> Arc<TraceRing> {
+        Arc::clone(&rlock(&self.ring))
     }
 
     /// The slow-request ring (for `trace.read`).
-    pub(crate) fn slow(&self) -> &TraceRing {
-        &self.slow
+    pub(crate) fn slow(&self) -> Arc<TraceRing> {
+        Arc::clone(&rlock(&self.slow))
     }
 
     /// Publish a finished span; duplicates it into the slow ring when
     /// it crosses the threshold.
     pub(crate) fn record(&self, span: &Span) {
-        if !self.ring.enabled() {
+        let ring = rlock(&self.ring);
+        if !ring.enabled() {
             return;
         }
-        self.ring.record(span);
-        if span.total_ns >= self.slow_ns {
-            self.slow.record(span);
+        ring.record(span);
+        if span.total_ns >= self.slow_ns() {
+            rlock(&self.slow).record(span);
         }
     }
 
@@ -306,6 +347,7 @@ mod tests {
             dispatch_ns: 2,
             engine_ns: 3,
             fsync_ns: 4,
+            quorum_ns: 9,
             serialize_ns: 5,
             stats: EngineStats {
                 fixpoint_runs: 1,
@@ -361,6 +403,35 @@ mod tests {
         let ids: Vec<u64> = slow.iter().map(|s| s.trace_id).collect();
         assert_eq!(ids, vec![3, 2]);
         assert_eq!(sink.ring().read_recent(16).len(), 3);
+    }
+
+    #[test]
+    fn resize_and_retune_apply_at_runtime() {
+        let sink = TraceSink::new(0, Duration::from_millis(500));
+        assert!(!sink.enabled());
+        sink.record(&span(1, u64::MAX));
+        assert_eq!(sink.ring().recorded(), 0);
+
+        // config.set trace_buffer: the swapped-in ring records.
+        sink.resize(4);
+        assert!(sink.enabled());
+        assert_eq!(sink.capacity(), 4);
+        sink.record(&span(2, 1_000));
+        assert_eq!(sink.ring().recorded(), 1);
+        assert_eq!(sink.ring().read_recent(4)[0], span(2, 1_000));
+
+        // config.set slow_ms: the new threshold gates the slow ring.
+        assert_eq!(sink.slow().recorded(), 0);
+        sink.set_slow_ns(500);
+        sink.record(&span(3, 600));
+        assert_eq!(sink.slow().recorded(), 1);
+
+        // Shrinking back to zero disables both rings again.
+        sink.resize(0);
+        assert!(!sink.enabled());
+        sink.record(&span(4, u64::MAX));
+        assert_eq!(sink.ring().recorded(), 0);
+        assert_eq!(sink.slow().recorded(), 0);
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub enum JournalEvent {
         /// order.
         rows: Vec<Vec<Value>>,
     },
+    /// A runtime-tunable configuration knob was changed (`config.set`).
+    /// Replayed on recovery so operator tuning survives a restart.
+    ConfigSet {
+        /// Knob name (e.g. `slow_ms`, `trace_buffer`, `diag_buffer`).
+        key: String,
+        /// The new value.
+        value: u64,
+    },
 }
 
 impl JournalEvent {
@@ -76,6 +84,7 @@ impl JournalEvent {
             JournalEvent::SessionsEvicted { .. } => "sessions.evicted",
             JournalEvent::RulesReloaded { .. } => "rules.reloaded",
             JournalEvent::MasterAppended { .. } => "master.appended",
+            JournalEvent::ConfigSet { .. } => "config.set",
         }
     }
 
@@ -126,6 +135,11 @@ impl JournalEvent {
                 for row in rows {
                     enc.put_values(row);
                 }
+            }
+            JournalEvent::ConfigSet { key, value } => {
+                enc.put_u8(8);
+                enc.put_str(key);
+                enc.put_u64(*value);
             }
         }
         enc.into_bytes()
@@ -185,6 +199,10 @@ impl JournalEvent {
                         .collect::<Result<Vec<_>, CodecError>>()?,
                 }
             }
+            8 => JournalEvent::ConfigSet {
+                key: dec.get_str()?,
+                value: dec.get_u64()?,
+            },
             tag => return Err(CodecError(format!("unknown journal event tag {tag}"))),
         };
         dec.finish()?;
@@ -408,6 +426,10 @@ mod tests {
                 ],
             },
             JournalEvent::MasterAppended { rows: vec![] },
+            JournalEvent::ConfigSet {
+                key: "slow_ms".into(),
+                value: 250,
+            },
         ]
     }
 

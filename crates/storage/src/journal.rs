@@ -528,6 +528,13 @@ impl Journal {
         lock(&self.shared.filestate).error.clone()
     }
 
+    /// True while the flusher thread is running and the journal file is
+    /// accepting writes — the journal half of a liveness probe. False
+    /// after shutdown or a (simulated) crash.
+    pub fn is_alive(&self) -> bool {
+        !self.shared.stop.load(Ordering::Acquire) && !lock(&self.shared.filestate).dead
+    }
+
     /// Discard every journaled event and start epoch `new_epoch`: the
     /// snapshot carrying that epoch now owns all prior state. The caller
     /// (the service's snapshot path) must have quiesced appends — any

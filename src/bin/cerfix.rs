@@ -13,8 +13,10 @@
 //!                [--workers N] [--input-header a,b,c] [--session-ttl-secs S] \
 //!                [--frontend epoll|threads|auto] \
 //!                [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]
-//!                [--trace-buffer N] [--slow-ms T]
+//!                [--trace-buffer N] [--slow-ms T] [--diag-buffer N] [--diag-file F]
+//!                [--max-lag SECS]
 //! cerfix top     [--addr 127.0.0.1:7117] [--spans N] [--prom]
+//!                [--watch [--interval-secs S]] [--cluster] [--log [--level L]]
 //! cerfix promote [--addr 127.0.0.1:7117]
 //! cerfix recover --data-dir DIR [--inspect]
 //! ```
@@ -43,7 +45,13 @@
 //!   operations view: uptime, throughput, per-op latency, engine-stat
 //!   attribution, replication role/lag and the most recent (and
 //!   slowest) request traces. `--prom` dumps the raw Prometheus text
-//!   exposition instead.
+//!   exposition instead. `--watch` redraws a live view every
+//!   `--interval-secs`, with per-op request rates computed from the
+//!   server's in-process metric time series (`metrics.history`).
+//!   `--cluster` asks one node for the federated `cluster.status`
+//!   document and renders a per-node role/epoch/health/lag table.
+//!   `--log` tails the structured diagnostic ring (`log.read`),
+//!   filterable with `--level` and `--subsystem`.
 //! * `promote` turns a running follower into the primary (epoch bump;
 //!   the deposed primary is fenced on its next contact with the new
 //!   epoch).
@@ -105,9 +113,11 @@ fn usage() -> ExitCode {
                           [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]\n  \
                           [--frontend epoll|threads|auto]\n  \
                           [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
-                          [--trace-buffer N] [--slow-ms T]\n  \
+                          [--trace-buffer N] [--slow-ms T] [--diag-buffer N] [--diag-file F]\n  \
                           [--replicate-from ADDR] [--quorum N] [--ack-timeout-ms T] [--advertise ADDR]\n  \
-         cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom]\n  \
+                          [--max-lag SECS]\n  \
+         cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom] [--cluster]\n  \
+                          [--watch [--interval-secs S]] [--log [--level L] [--subsystem S]]\n  \
          cerfix promote  [--addr 127.0.0.1:7117]\n  \
          cerfix recover  --data-dir DIR [--inspect]"
     );
@@ -389,6 +399,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         precompute_regions: true,
         trace_buffer: parse_option(args, "trace-buffer", defaults.trace_buffer)?,
         slow_ms: parse_option(args, "slow-ms", defaults.slow_ms)?,
+        diag_buffer: parse_option(args, "diag-buffer", defaults.diag_buffer)?,
+        diag_file: args.options.get("diag-file").map(std::path::PathBuf::from),
+        max_lag: std::time::Duration::from_secs_f64(parse_option(
+            args,
+            "max-lag",
+            defaults.max_lag.as_secs_f64(),
+        )?),
         replicate_from: replicate_from.clone(),
         cluster_size,
         ack_timeout: std::time::Duration::from_millis(parse_option(
@@ -494,6 +511,15 @@ fn cmd_top(args: &Args) -> Result<(), String> {
         print!("{}", prom.get("body").and_then(Json::as_str).unwrap_or(""));
         return Ok(());
     }
+    if args.options.contains_key("cluster") {
+        return top_cluster(&mut client);
+    }
+    if args.options.contains_key("log") {
+        return top_log(&mut client, args);
+    }
+    if args.options.contains_key("watch") {
+        return top_watch(&mut client, &addr, args);
+    }
     let hello = client.hello().map_err(|e| e.to_string())?;
     let stats = client.metrics().map_err(|e| e.to_string())?;
     let trace = client
@@ -591,8 +617,8 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             return;
         }
         println!(
-            "\n{title} (newest first):\n{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
-            "trace", "op", "total", "parse", "dispatch", "engine", "fsync", "fixes"
+            "\n{title} (newest first):\n{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            "trace", "op", "total", "parse", "dispatch", "engine", "fsync", "quorum", "fixes"
         );
         for span in list {
             // Synthetic ids are counter noise, not something the
@@ -603,7 +629,7 @@ fn cmd_top(args: &Args) -> Result<(), String> {
                 str_of(span, "trace")
             };
             println!(
-                "{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+                "{:<14} {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
                 trace_col,
                 str_of(span, "op"),
                 fmt_ns(num_of(span, "total_ns")),
@@ -611,6 +637,7 @@ fn cmd_top(args: &Args) -> Result<(), String> {
                 fmt_ns(num_of(span, "dispatch_ns")),
                 fmt_ns(num_of(span, "engine_ns")),
                 fmt_ns(num_of(span, "fsync_ns")),
+                fmt_ns(num_of(span, "quorum_ns")),
                 num_of(span, "fixpoint_runs"),
             );
         }
@@ -625,6 +652,204 @@ fn cmd_top(args: &Args) -> Result<(), String> {
         println!("\ntracing disabled on the server (start with --trace-buffer N to enable)");
     }
     Ok(())
+}
+
+/// `cerfix top --cluster`: render the federated `cluster.status`
+/// document as a per-node table. One request to one node; that node
+/// fans out to every peer it knows about and answers for all of them,
+/// so this works against any member of the replica group.
+fn top_cluster(client: &mut cerfix_server::Client) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::Request;
+    let status = client
+        .request(&Request::ClusterStatus { fanout: true })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "cluster: {} configured, quorum {}",
+        status
+            .get("cluster_size")
+            .and_then(Json::as_u64)
+            .unwrap_or(1),
+        status.get("quorum").and_then(Json::as_u64).unwrap_or(1),
+    );
+    println!(
+        "{:<22} {:<9} {:>6} {:<10} {:>8} {:>10} {:>9}",
+        "node", "role", "epoch", "health", "lag", "requests", "req/s"
+    );
+    let Some(nodes) = status.get("nodes").and_then(Json::as_arr) else {
+        return Ok(());
+    };
+    for node in nodes {
+        let addr = node.get("addr").and_then(Json::as_str).unwrap_or("?");
+        if node.get("ok").and_then(Json::as_bool) != Some(true) {
+            println!(
+                "{addr:<22} unreachable: {}",
+                node.get("error").and_then(Json::as_str).unwrap_or("?")
+            );
+            continue;
+        }
+        let ready = node.get("ready").and_then(Json::as_bool) == Some(true);
+        println!(
+            "{addr:<22} {:<9} {:>6} {:<10} {:>7.1}s {:>10} {:>9.1}",
+            node.get("role").and_then(Json::as_str).unwrap_or("?"),
+            node.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+            if ready { "ready" } else { "NOT READY" },
+            node.get("lag_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            node.get("requests").and_then(Json::as_u64).unwrap_or(0),
+            node.get("req_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        );
+        if !ready {
+            if let Some(causes) = node.get("causes").and_then(Json::as_arr) {
+                for cause in causes {
+                    if let Some(text) = cause.as_str() {
+                        println!("{:<22}   cause: {text}", "");
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `cerfix top --log`: dump the server's structured diagnostic ring,
+/// newest first, optionally filtered by `--level` and `--subsystem`.
+fn top_log(client: &mut cerfix_server::Client, args: &Args) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::Request;
+    let response = client
+        .request(&Request::LogRead {
+            limit: Some(parse_option(args, "limit", 64u64)?),
+            level: args.options.get("level").cloned(),
+            subsystem: args.options.get("subsystem").cloned(),
+        })
+        .map_err(|e| e.to_string())?;
+    if response.get("enabled").and_then(Json::as_bool) != Some(true) {
+        println!("diagnostic log disabled on the server (start with --diag-buffer N)");
+        return Ok(());
+    }
+    println!(
+        "{} recorded, {} emitted, {} rate-limited",
+        response.get("recorded").and_then(Json::as_u64).unwrap_or(0),
+        response.get("emitted").and_then(Json::as_u64).unwrap_or(0),
+        response
+            .get("suppressed")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+    if let Some(events) = response.get("events").and_then(Json::as_arr) {
+        for event in events {
+            println!(
+                "{} [{:<5} {:<11}] {}",
+                event.get("unix_ms").and_then(Json::as_u64).unwrap_or(0),
+                event.get("level").and_then(Json::as_str).unwrap_or("?"),
+                event.get("subsystem").and_then(Json::as_str).unwrap_or("?"),
+                event.get("message").and_then(Json::as_str).unwrap_or(""),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `cerfix top --watch`: live operations view, redrawn every
+/// `--interval-secs`. Each frame pulls the tail of the server's metric
+/// time series and diffs the oldest sample in the window against the
+/// newest, so the per-op `req/s` column reflects the interval the
+/// operator is actually watching rather than a since-boot average.
+/// Runs until interrupted.
+fn top_watch(client: &mut cerfix_server::Client, addr: &str, args: &Args) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::Request;
+    use std::io::Write;
+    let interval = parse_option(args, "interval-secs", 2u64)?.max(1);
+    let num_of =
+        |json: &Json, key: &str| -> u64 { json.get(key).and_then(Json::as_u64).unwrap_or(0) };
+    let f64_of =
+        |json: &Json, key: &str| -> f64 { json.get(key).and_then(Json::as_f64).unwrap_or(0.0) };
+    loop {
+        let health = client
+            .request(&Request::Health)
+            .map_err(|e| e.to_string())?;
+        // The housekeeper samples roughly once a second; ask for one
+        // sample more than the redraw interval so the rate window
+        // matches the refresh cadence.
+        let history = client
+            .request(&Request::MetricsHistory {
+                limit: Some(interval + 1),
+            })
+            .map_err(|e| e.to_string())?;
+        print!("\x1b[2J\x1b[H"); // clear screen, cursor home
+        let ready = health.get("ready").and_then(Json::as_bool) == Some(true);
+        let mut head = format!(
+            "{addr} — {}, {}",
+            health.get("role").and_then(Json::as_str).unwrap_or("?"),
+            if ready { "ready" } else { "NOT READY" },
+        );
+        if let Some(causes) = health.get("causes").and_then(Json::as_arr) {
+            for cause in causes {
+                if let Some(text) = cause.as_str() {
+                    head.push_str(&format!(" ({text})"));
+                }
+            }
+        }
+        println!("{head}");
+        match history.get("samples").and_then(Json::as_arr) {
+            Some(samples) if !samples.is_empty() => {
+                let first = &samples[0];
+                let last = &samples[samples.len() - 1];
+                let window = samples.len() > 1;
+                let dt = ((num_of(last, "unix_ms").saturating_sub(num_of(first, "unix_ms")))
+                    as f64
+                    / 1e3)
+                    .max(1e-9);
+                let rate = |new: u64, old: u64| -> f64 {
+                    if window {
+                        new.saturating_sub(old) as f64 / dt
+                    } else {
+                        0.0
+                    }
+                };
+                println!(
+                    "uptime {}s   requests {} ({:.1}/s)   errors {}   committed {}   cells fixed {}",
+                    num_of(last, "uptime_secs"),
+                    num_of(last, "requests"),
+                    rate(num_of(last, "requests"), num_of(first, "requests")),
+                    num_of(last, "errors"),
+                    num_of(last, "sessions_committed"),
+                    num_of(last, "cells_fixed"),
+                );
+                println!(
+                    "\n{:<18} {:>10} {:>9} {:>12} {:>12}",
+                    "op", "count", "req/s", "p50", "p99"
+                );
+                if let Some(Json::Obj(ops)) = last.get("latency") {
+                    for (op, summary) in ops {
+                        let count = num_of(summary, "count");
+                        if count == 0 {
+                            continue;
+                        }
+                        let prev = first
+                            .get("latency")
+                            .and_then(|l| l.get(op))
+                            .map(|s| num_of(s, "count"))
+                            .unwrap_or(0);
+                        println!(
+                            "{op:<18} {count:>10} {:>9.1} {:>12} {:>12}",
+                            rate(count, prev),
+                            fmt_us(f64_of(summary, "p50_us")),
+                            fmt_us(f64_of(summary, "p99_us")),
+                        );
+                    }
+                }
+            }
+            _ => println!("metrics history is empty (the housekeeper samples once a second)"),
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
 }
 
 /// `cerfix promote [--addr A]`: turn a running follower into the
@@ -771,6 +996,9 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
                         "  [{i}] rules reloaded → {fingerprint:016x} ({} DSL bytes)",
                         dsl.len()
                     ),
+                    JournalEvent::ConfigSet { key, value } => {
+                        println!("  [{i}] config set {key} = {value}")
+                    }
                 }
             }
         }

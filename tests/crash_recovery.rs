@@ -108,9 +108,11 @@ fn oracle_replay(
                     sessions.remove(id);
                 }
             }
-            // The crash workloads here never append master rows or
-            // reload rules; the arms exist so the oracle stays total.
+            // The crash workloads here never append master rows,
+            // reload rules or set tunables; the arms exist so the
+            // oracle stays total.
             JournalEvent::MasterAppended { .. } => {}
+            JournalEvent::ConfigSet { .. } => {}
             JournalEvent::RulesReloaded { .. } => {
                 unreachable!("this workload never reloads rules")
             }

@@ -7,8 +7,12 @@
 //! cumulative buckets, `+Inf`, `_count` agreement) with every new
 //! instrument present; counter monotonicity across scrapes while a
 //! writer thread hammers the service (proptest); stage timings and
-//! engine-stat deltas inside `trace.read` spans; and the version /
-//! protocol / uptime fields on `hello` and `metrics`.
+//! engine-stat deltas inside `trace.read` spans; the version /
+//! protocol / uptime fields on `hello` and `metrics`; health probes
+//! flipping (with `cerfix_healthy` and the structured log agreeing)
+//! when the journal dies; `log.read` level/subsystem filtering;
+//! journaled `config.set` tunables surviving a restart; and the
+//! `metrics.history` time-series ring.
 
 use cerfix::MasterData;
 use cerfix_relation::{RelationBuilder, Schema, Value};
@@ -297,6 +301,10 @@ fn metrics_prom_is_valid_and_has_all_new_instruments() {
         "cerfix_worker_queue_depth",
         "cerfix_trace_spans_recorded_total",
         "cerfix_protocol_version",
+        "cerfix_healthy",
+        "cerfix_live",
+        "cerfix_diag_events_emitted_total",
+        "cerfix_diag_events_suppressed_total",
     ] {
         assert!(
             samples.contains_key(required),
@@ -432,6 +440,7 @@ fn trace_read_reports_stage_timings_and_engine_stats() {
         "dispatch_ns",
         "engine_ns",
         "fsync_ns",
+        "quorum_ns",
         "serialize_ns",
     ]
     .iter()
@@ -483,6 +492,274 @@ fn hello_and_stats_carry_version_protocol_uptime() {
         );
         assert!(json.get("uptime_secs").and_then(Json::as_u64).is_some());
     }
+}
+
+/// A journaled primary reports ready until the disk dies under the
+/// journal flusher; then `health`, the `cerfix_healthy` gauge and the
+/// structured log all flip together, with the triggering cause visible
+/// through `log.read`.
+#[test]
+fn health_flips_not_ready_when_the_journal_dies() {
+    let dir = std::env::temp_dir().join(format!("cerfix-obs-health-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (master, rules) = kv_setup(8);
+    let service = CleaningService::with_storage(
+        Arc::new(master),
+        Arc::new(rules),
+        ServiceConfig {
+            workers: 2,
+            precompute_regions: false,
+            ..ServiceConfig::default()
+        },
+        StorageConfig::new(&dir),
+    )
+    .expect("open storage");
+
+    let healthy = Json::parse(service.handle_line("{\"op\":\"health\"}").trim()).unwrap();
+    assert_eq!(healthy.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(healthy.get("role").and_then(Json::as_str), Some("primary"));
+    assert_eq!(healthy.get("live").and_then(Json::as_bool), Some(true));
+    assert_eq!(healthy.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        healthy
+            .get("causes")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    let samples = validate_prom(&scrape(&service)).expect("valid Prometheus text");
+    assert_eq!(samples.get("cerfix_healthy"), Some(&1.0));
+    assert_eq!(samples.get("cerfix_live"), Some(&1.0));
+
+    service.simulate_crash().unwrap();
+
+    let sick = Json::parse(service.handle_line("{\"op\":\"health\"}").trim()).unwrap();
+    assert_eq!(sick.get("live").and_then(Json::as_bool), Some(false));
+    assert_eq!(sick.get("ready").and_then(Json::as_bool), Some(false));
+    let causes: Vec<&str> = sick
+        .get("causes")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(
+        causes.iter().any(|c| c.contains("journal flusher stopped")),
+        "dead flusher named as the cause: {causes:?}"
+    );
+    let samples = validate_prom(&scrape(&service)).expect("valid Prometheus text");
+    assert_eq!(samples.get("cerfix_healthy"), Some(&0.0));
+    assert_eq!(samples.get("cerfix_live"), Some(&0.0));
+
+    // The not-ready transition reached the structured log, cause and all.
+    let log = Json::parse(
+        service
+            .handle_line("{\"op\":\"log.read\",\"level\":\"warn\",\"subsystem\":\"health\"}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(log.get("ok").and_then(Json::as_bool), Some(true));
+    let events = log.get("events").and_then(Json::as_arr).unwrap();
+    assert!(
+        events.iter().any(|e| e
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("not ready") && m.contains("journal flusher stopped"))),
+        "health transition with its cause in the log"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `log.read` returns structured events newest first, filterable by
+/// minimum level and by subsystem; unknown filter values are rejected.
+#[test]
+fn log_read_filters_by_level_and_subsystem() {
+    let service = kv_service(8, 2);
+    let set = Json::parse(
+        service
+            .handle_line("{\"op\":\"config.set\",\"key\":\"slow_ms\",\"value\":75}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(set.get("ok").and_then(Json::as_bool), Some(true));
+
+    let log = Json::parse(
+        service
+            .handle_line("{\"op\":\"log.read\",\"subsystem\":\"config\"}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(log.get("enabled").and_then(Json::as_bool), Some(true));
+    let events = log.get("events").and_then(Json::as_arr).unwrap();
+    let newest = events.first().expect("config.set logged an event");
+    assert_eq!(newest.get("level").and_then(Json::as_str), Some("info"));
+    assert_eq!(
+        newest.get("subsystem").and_then(Json::as_str),
+        Some("config")
+    );
+    assert!(newest
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("slow_ms set to 75"));
+    assert!(newest.get("unix_ms").and_then(Json::as_u64).unwrap() > 0);
+
+    // Raising the level floor hides the info event.
+    let errors_only = Json::parse(
+        service
+            .handle_line("{\"op\":\"log.read\",\"level\":\"error\",\"subsystem\":\"config\"}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(
+        errors_only
+            .get("events")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+
+    for bad in [
+        "{\"op\":\"log.read\",\"level\":\"loud\"}",
+        "{\"op\":\"log.read\",\"subsystem\":\"disk\"}",
+    ] {
+        let response = Json::parse(service.handle_line(bad).trim()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown"));
+    }
+}
+
+/// `config.set` applies immediately and is journaled: a tunable acked
+/// before a restart still holds after recovery, while a rejected key
+/// never reaches the journal.
+#[test]
+fn config_set_applies_live_and_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("cerfix-obs-cfg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (master, rules) = kv_setup(8);
+    let master = Arc::new(master);
+    let rules = Arc::new(rules);
+    let config = || ServiceConfig {
+        workers: 2,
+        precompute_regions: false,
+        ..ServiceConfig::default()
+    };
+    let service = CleaningService::with_storage(
+        Arc::clone(&master),
+        Arc::clone(&rules),
+        config(),
+        StorageConfig::new(&dir),
+    )
+    .expect("open storage");
+    for (key, value) in [
+        ("slow_ms", 75u64),
+        ("trace_buffer", 32),
+        ("diag_buffer", 64),
+    ] {
+        let response = Json::parse(
+            service
+                .handle_line(&format!(
+                    "{{\"op\":\"config.set\",\"key\":\"{key}\",\"value\":{value}}}"
+                ))
+                .trim(),
+        )
+        .unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{key}"
+        );
+    }
+    let trace = Json::parse(
+        service
+            .handle_line("{\"op\":\"trace.read\",\"limit\":1}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(
+        trace.get("slow_ms").and_then(Json::as_u64),
+        Some(75),
+        "the slow threshold is live immediately"
+    );
+    let bad = Json::parse(
+        service
+            .handle_line("{\"op\":\"config.set\",\"key\":\"bogus\",\"value\":1}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(bad
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown config key"));
+    drop(service);
+
+    let service = CleaningService::with_storage(master, rules, config(), StorageConfig::new(&dir))
+        .expect("reopen storage");
+    let trace = Json::parse(
+        service
+            .handle_line("{\"op\":\"trace.read\",\"limit\":1}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(
+        trace.get("slow_ms").and_then(Json::as_u64),
+        Some(75),
+        "journaled tunable survives restart"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `metrics.history` returns the periodic snapshots oldest first, with
+/// monotonic timestamps and counters and per-op latency attached.
+#[test]
+fn metrics_history_returns_chronological_samples() {
+    let service = kv_service(8, 2);
+    service.handle_line("{\"op\":\"hello\"}");
+    service.sample_timeseries();
+    service.handle_line("{\"op\":\"hello\"}");
+    service.handle_line("{\"op\":\"metrics\"}");
+    service.sample_timeseries();
+
+    let history = Json::parse(
+        service
+            .handle_line("{\"op\":\"metrics.history\",\"limit\":8}")
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(history.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(history.get("retained").and_then(Json::as_u64).unwrap() >= 2);
+    let samples = history.get("samples").and_then(Json::as_arr).unwrap();
+    assert!(samples.len() >= 2);
+    let mut last_ms = 0;
+    let mut last_requests = 0;
+    for sample in samples {
+        let ms = sample.get("unix_ms").and_then(Json::as_u64).unwrap();
+        assert!(ms >= last_ms, "samples are chronological, oldest first");
+        last_ms = ms;
+        let requests = sample.get("requests").and_then(Json::as_u64).unwrap();
+        assert!(requests >= last_requests, "counters are monotonic");
+        last_requests = requests;
+        assert!(sample.get("latency").is_some(), "per-op latency attached");
+    }
+    let oldest = samples[0].get("requests").and_then(Json::as_u64).unwrap();
+    let newest = samples[samples.len() - 1]
+        .get("requests")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        newest > oldest,
+        "the window captured the traffic between samples"
+    );
 }
 
 proptest! {

@@ -26,6 +26,11 @@
 //!    with primary snapshots (forcing snapshot resync) run against an
 //!    in-process primary + follower pair; the follower must match the
 //!    primary, and the primary an in-memory oracle, exactly.
+//! 5. **Cluster-wide observability**: one `cluster.status` request to
+//!    any member of a 3-node group answers for all three nodes, and a
+//!    follower partitioned past `--max-lag` flips exactly its own
+//!    readiness — visible in `cluster.status`, the `cerfix_healthy`
+//!    gauge and the structured diagnostic log.
 
 use cerfix_gen::{make_workload, uk, NoiseSpec};
 use cerfix_relation::Value;
@@ -617,6 +622,276 @@ fn slow_follower_times_out_quorum_commits_then_recovers() {
     );
     assert!(body.contains("cerfix_replication_lag_seconds"), "{body}");
     assert!(body.contains("cerfix_quorum_timeouts_total"), "{body}");
+
+    // The time a commit spent blocked on follower acks is attributed to
+    // its own `quorum_ns` span stage, not lumped into dispatch.
+    let trace = client
+        .request(&Request::TraceRead { limit: Some(64) })
+        .unwrap();
+    let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+    let commit_span = spans
+        .iter()
+        .find(|s| s.get("op").and_then(Json::as_str) == Some("session.commit"))
+        .expect("a commit span in the trace window");
+    assert!(
+        commit_span.get("quorum_ns").and_then(Json::as_u64).unwrap() > 0,
+        "quorum wait attributed: {commit_span:?}"
+    );
+
+    let _ = fc.shutdown();
+    let _ = client.shutdown();
+    let _ = follower.wait();
+    let _ = primary.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 5. Federated cluster.status and max-lag readiness.
+// ---------------------------------------------------------------------
+
+/// Reserve an ephemeral port so a node can be spawned with an
+/// `--advertise` address that actually dials back to it.
+fn reserved_addr() -> String {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn cluster_status_reports_all_three_nodes_from_any_node() {
+    let dir = tmp_dir("cluster-status");
+    let (master, rules) = write_fixture(&dir);
+    let p = reserved_addr();
+    let f1 = reserved_addr();
+    let f2 = reserved_addr();
+    let (mut primary, paddr) = spawn_node(
+        &dir.join("p"),
+        &master,
+        &rules,
+        "threads",
+        &["--addr", &p, "--advertise", &p],
+    );
+    let paddr_s = paddr.to_string();
+    let (mut follower1, _) = spawn_node(
+        &dir.join("f1"),
+        &master,
+        &rules,
+        "threads",
+        &[
+            "--replicate-from",
+            &paddr_s,
+            "--addr",
+            &f1,
+            "--advertise",
+            &f1,
+        ],
+    );
+    let (mut follower2, _) = spawn_node(
+        &dir.join("f2"),
+        &master,
+        &rules,
+        "epoll",
+        &[
+            "--replicate-from",
+            &paddr_s,
+            "--addr",
+            &f2,
+            "--advertise",
+            &f2,
+        ],
+    );
+
+    let mut client = Client::connect(paddr).expect("connect primary");
+    wait_for("both followers caught up", || {
+        client
+            .metrics()
+            .is_ok_and(|m| caught_up(&m, &f1, 0) && caught_up(&m, &f2, 0))
+    });
+    commit_one(&mut client, "k1");
+    commit_one(&mut client, "k2");
+
+    // Any member answers for the whole group.
+    for target in [&p, &f1, &f2] {
+        let mut c = Client::connect(target.as_str()).expect("connect target");
+        let status = c
+            .request(&Request::ClusterStatus { fanout: true })
+            .expect("cluster.status");
+        assert_eq!(status.get("ok").and_then(Json::as_bool), Some(true));
+        let nodes = status.get("nodes").and_then(Json::as_arr).unwrap();
+        assert_eq!(nodes.len(), 3, "asked {target}: {status:?}");
+        let mut primaries = 0;
+        let mut followers = 0;
+        for expected in [&p, &f1, &f2] {
+            let node = nodes
+                .iter()
+                .find(|n| n.get("addr").and_then(Json::as_str) == Some(expected))
+                .unwrap_or_else(|| panic!("asked {target}: no entry for {expected}"));
+            let ctx = format!("asked {target} about {expected}");
+            assert_eq!(node.get("ok").and_then(Json::as_bool), Some(true), "{ctx}");
+            assert_eq!(
+                node.get("live").and_then(Json::as_bool),
+                Some(true),
+                "{ctx}"
+            );
+            assert_eq!(
+                node.get("ready").and_then(Json::as_bool),
+                Some(true),
+                "{ctx}"
+            );
+            assert_eq!(node.get("epoch").and_then(Json::as_u64), Some(0), "{ctx}");
+            assert!(
+                node.get("lag_seconds").and_then(Json::as_f64).is_some(),
+                "{ctx}"
+            );
+            assert!(
+                node.get("requests").and_then(Json::as_u64).is_some(),
+                "{ctx}"
+            );
+            assert!(
+                node.get("req_per_sec").and_then(Json::as_f64).is_some(),
+                "{ctx}"
+            );
+            match node.get("role").and_then(Json::as_str) {
+                Some("primary") => primaries += 1,
+                Some("follower") => followers += 1,
+                other => panic!("{ctx}: unexpected role {other:?}"),
+            }
+        }
+        assert_eq!((primaries, followers), (1, 2), "asked {target}");
+    }
+
+    let _ = client.shutdown();
+    for target in [&f1, &f2] {
+        if let Ok(mut c) = Client::connect(target.as_str()) {
+            let _ = c.shutdown();
+        }
+    }
+    let _ = primary.wait();
+    let _ = follower1.wait();
+    let _ = follower2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lagging_follower_past_max_lag_flips_exactly_its_readiness() {
+    let dir = tmp_dir("max-lag");
+    let (master, rules) = write_fixture(&dir);
+    let p = reserved_addr();
+    let f = reserved_addr();
+    let (mut primary, paddr) = spawn_node(
+        &dir.join("p"),
+        &master,
+        &rules,
+        "threads",
+        &["--addr", &p, "--advertise", &p],
+    );
+    let proxy = start_proxy(paddr);
+    let proxy_s = proxy.addr.to_string();
+    let (mut follower, faddr) = spawn_node(
+        &dir.join("f"),
+        &master,
+        &rules,
+        "threads",
+        &[
+            "--replicate-from",
+            &proxy_s,
+            "--addr",
+            &f,
+            "--advertise",
+            &f,
+            "--max-lag",
+            "1",
+        ],
+    );
+    let mut client = Client::connect(paddr).unwrap();
+    let mut fc = Client::connect(faddr).unwrap();
+    wait_for("follower caught up", || {
+        client.metrics().is_ok_and(|m| caught_up(&m, &f, 0))
+    });
+
+    // Healthy link: the follower is ready and inside its lag budget.
+    let health = fc.request(&Request::Health).unwrap();
+    assert_eq!(health.get("role").and_then(Json::as_str), Some("follower"));
+    assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        health.get("max_lag_seconds").and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    // Partition the replication link and keep writing on the primary.
+    proxy.set(ProxyMode::Partition);
+    commit_one(&mut client, "k5");
+    wait_for("readiness flip past max-lag", || {
+        fc.request(&Request::Health)
+            .is_ok_and(|h| h.get("ready").and_then(Json::as_bool) == Some(false))
+    });
+    let sick = fc.request(&Request::Health).unwrap();
+    assert_eq!(sick.get("live").and_then(Json::as_bool), Some(true));
+    assert!(sick.get("lag_seconds").and_then(Json::as_f64).unwrap() > 1.0);
+    let causes: Vec<String> = sick
+        .get("causes")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|c| c.as_str().map(str::to_string))
+        .collect();
+    assert!(
+        causes.iter().any(|c| c.contains("past max-lag")),
+        "lag named as the cause: {causes:?}"
+    );
+
+    // The flip is visible in the follower's own cluster.status entry…
+    let status = fc
+        .request(&Request::ClusterStatus { fanout: false })
+        .unwrap();
+    let own = &status.get("nodes").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(own.get("ready").and_then(Json::as_bool), Some(false));
+
+    // …and in the primary's federated view: exactly the lagging node.
+    let status = client
+        .request(&Request::ClusterStatus { fanout: true })
+        .unwrap();
+    let nodes = status.get("nodes").and_then(Json::as_arr).unwrap();
+    for node in nodes {
+        let expect_ready = node.get("role").and_then(Json::as_str) == Some("primary");
+        assert_eq!(
+            node.get("ready").and_then(Json::as_bool),
+            Some(expect_ready),
+            "only the lagging follower flips: {node:?}"
+        );
+    }
+
+    // …and as the cerfix_healthy gauge on the follower's exposition.
+    let prom = fc.request(&Request::MetricsProm).unwrap();
+    let body = prom.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("cerfix_healthy 0"), "{body}");
+    assert!(body.contains("cerfix_live 1"), "{body}");
+
+    // …with the triggering cause in the structured log.
+    let log = fc
+        .request(&Request::LogRead {
+            limit: Some(64),
+            level: Some("warn".into()),
+            subsystem: Some("health".into()),
+        })
+        .unwrap();
+    let events = log.get("events").and_then(Json::as_arr).unwrap();
+    assert!(
+        events.iter().any(|e| e
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("not ready") && m.contains("past max-lag"))),
+        "log.read carries the readiness cause: {events:?}"
+    );
+
+    // Heal the link: the follower drains its backlog and recovers.
+    proxy.set(ProxyMode::Forward);
+    wait_for("readiness restored after heal", || {
+        fc.request(&Request::Health)
+            .is_ok_and(|h| h.get("ready").and_then(Json::as_bool) == Some(true))
+    });
 
     let _ = fc.shutdown();
     let _ = client.shutdown();
