@@ -60,15 +60,17 @@
 //! assert_eq!(after.tuple[2], Value::str("131"));
 //! ```
 
-// `deny` (not `forbid`) so the epoll reactor's single FFI module can
-// carve out its `#[allow(unsafe_code)]` for the six raw syscalls; every
-// other module stays unsafe-free.
+// `deny` (not `forbid`) so the two FFI islands — the epoll reactor's
+// raw syscalls and the fsprobe's `statvfs` free-space probe — can carve
+// out their `#[allow(unsafe_code)]`; every other module stays
+// unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 mod client;
 mod diag;
+mod fsprobe;
 mod metrics;
 mod net;
 pub mod protocol;

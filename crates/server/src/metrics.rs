@@ -15,7 +15,7 @@ const LATENCY_BUCKETS: usize = 40;
 /// malformed-line class (`parse_error`), and the class unrecognized ops
 /// fall into (`other` — kept distinct so malformed lines and unknown
 /// ops are not conflated). Indexed by [`op_index`].
-pub const LATENCY_OPS: [&str; 26] = [
+pub const LATENCY_OPS: [&str; 27] = [
     "hello",
     "session.create",
     "session.get",
@@ -39,6 +39,7 @@ pub const LATENCY_OPS: [&str; 26] = [
     "metrics.history",
     "cluster.status",
     "config.set",
+    "scrub",
     "shutdown",
     "parse_error",
     "other",
@@ -199,6 +200,13 @@ pub struct ServiceMetrics {
     /// Commits that timed out waiting for a follower quorum (applied
     /// and locally durable, but answered with `quorum_timeout`).
     quorum_timeouts: AtomicU64,
+    /// Audit-spill write failures (mirrored from the spill, which owns
+    /// the monotonic total).
+    audit_spill_errors: AtomicU64,
+    /// Integrity scrubs run (the `scrub` protocol op).
+    scrubs_run: AtomicU64,
+    /// Corrupt regions found by scrubs, cumulative.
+    scrub_corruptions: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -259,6 +267,13 @@ pub struct MetricsSnapshot {
     pub replication_events_served: u64,
     /// Commits that timed out waiting for a follower quorum.
     pub quorum_timeouts: u64,
+    /// Audit-spill write failures (records retried by the spill's
+    /// flusher; nonzero means the archive may lag the window).
+    pub audit_spill_errors: u64,
+    /// Integrity scrubs run via the `scrub` protocol op.
+    pub scrubs_run: u64,
+    /// Corrupt regions found by those scrubs, cumulative.
+    pub scrub_corruptions: u64,
     /// Per-op request-latency summaries (ops with traffic only).
     pub latency: Vec<OpLatency>,
 }
@@ -302,6 +317,9 @@ impl ServiceMetrics {
             ack_latency: OpHistogram::new(),
             replication_events_served: AtomicU64::new(0),
             quorum_timeouts: AtomicU64::new(0),
+            audit_spill_errors: AtomicU64::new(0),
+            scrubs_run: AtomicU64::new(0),
+            scrub_corruptions: AtomicU64::new(0),
         }
     }
 
@@ -436,6 +454,19 @@ impl ServiceMetrics {
         self.audit_spilled_records.store(n, Ordering::Relaxed);
     }
 
+    /// Counter mirrored from the audit spill (write failures — the
+    /// spill owns the monotonic total).
+    pub(crate) fn audit_spill_errors(&self, n: u64) {
+        self.audit_spill_errors.store(n, Ordering::Relaxed);
+    }
+
+    /// Count one scrub and the corrupt regions it found.
+    pub(crate) fn scrub_run(&self, corruptions: u64) {
+        self.scrubs_run.fetch_add(1, Ordering::Relaxed);
+        self.scrub_corruptions
+            .fetch_add(corruptions, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot_written(&self) {
         self.snapshots_written.fetch_add(1, Ordering::Relaxed);
     }
@@ -485,6 +516,9 @@ impl ServiceMetrics {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             replication_events_served: self.replication_events_served.load(Ordering::Relaxed),
             quorum_timeouts: self.quorum_timeouts.load(Ordering::Relaxed),
+            audit_spill_errors: self.audit_spill_errors.load(Ordering::Relaxed),
+            scrubs_run: self.scrubs_run.load(Ordering::Relaxed),
+            scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
             latency: LATENCY_OPS
                 .iter()
                 .zip(&self.latency)
@@ -515,7 +549,7 @@ impl ServiceMetrics {
             "gauge",
             self.started.elapsed().as_secs_f64(),
         );
-        let counters: [(&str, &str, &AtomicU64); 21] = [
+        let counters: [(&str, &str, &AtomicU64); 24] = [
             (
                 "cerfix_requests_total",
                 "Protocol requests handled (including failed ones).",
@@ -620,6 +654,21 @@ impl ServiceMetrics {
                 "cerfix_quorum_timeouts_total",
                 "Commits that timed out waiting for a follower quorum.",
                 &self.quorum_timeouts,
+            ),
+            (
+                "cerfix_audit_spill_write_errors_total",
+                "Audit-spill write failures (records retried by the flusher).",
+                &self.audit_spill_errors,
+            ),
+            (
+                "cerfix_scrubs_total",
+                "Integrity scrubs run via the scrub protocol op.",
+                &self.scrubs_run,
+            ),
+            (
+                "cerfix_scrub_corruptions_total",
+                "Corrupt regions found by scrubs.",
+                &self.scrub_corruptions,
             ),
         ];
         for (name, help, counter) in counters {

@@ -240,6 +240,9 @@ impl Housekeeper {
                     // nobody is watching.
                     service.sample_timeseries();
                     service.probe_health();
+                    // Storage-fault sweep: free-space watermark in and
+                    // out of degraded mode, poison/spill-error logging.
+                    service.probe_storage();
                 }
             })
             .expect("spawn housekeeper thread");

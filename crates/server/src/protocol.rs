@@ -160,8 +160,14 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
 /// (the in-process metric time-series ring, for server-side rates),
 /// `cluster.status` (one federated per-node role/epoch/health/lag/rate
 /// document, fanned out to known peers) and `config.set` (journaled
-/// runtime tuning of `slow_ms` and the trace/diag ring sizes).
-pub const PROTOCOL_VERSION: u64 = 6;
+/// runtime tuning of `slow_ms` and the trace/diag ring sizes);
+/// version 7 added the storage fault-tolerance surface — `scrub` (walk
+/// the data directory's durable files verifying every checksum, torn
+/// tails distinguished from corruption) and the `resync` flag on
+/// `replica.sync` (a follower whose journal is poisoned or corrupt
+/// demands a fresh snapshot instead of an incremental batch) — plus the
+/// `degraded: disk_full` / `storage_error` error contract on mutations.
+pub const PROTOCOL_VERSION: u64 = 7;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -269,6 +275,10 @@ pub enum Request {
         offset: u64,
         /// Maximum events to return (server-capped).
         max: Option<u64>,
+        /// Demand a fresh snapshot instead of an incremental batch —
+        /// sent by a follower whose journal is poisoned (fsync failure)
+        /// or corrupt, repairing itself from the primary's state.
+        resync: bool,
     },
     /// Promote this (follower) node to primary: bump the snapshot epoch
     /// so the old primary's stale-epoch stream is fenced off, stop
@@ -314,6 +324,11 @@ pub enum Request {
         /// New value (non-negative integer; milliseconds or slots).
         value: u64,
     },
+    /// Walk the data directory's durable files (journal, snapshot,
+    /// audit segment) verifying every checksum online. Torn tails are
+    /// legal crash residue; complete frames failing their CRC are
+    /// reported as typed corruption entries.
+    Scrub,
     /// Ask the server process to stop accepting connections.
     Shutdown,
 }
@@ -376,6 +391,7 @@ impl Request {
             Request::MetricsHistory { .. } => "metrics.history",
             Request::ClusterStatus { .. } => "cluster.status",
             Request::ConfigSet { .. } => "config.set",
+            Request::Scrub => "scrub",
             Request::Shutdown => "shutdown",
         }
     }
@@ -503,6 +519,13 @@ impl Request {
                         })?),
                         None => None,
                     },
+                    // Absent on the wire from pre-v7 followers.
+                    resync: match json.get("resync") {
+                        Some(r) => r
+                            .as_bool()
+                            .ok_or_else(|| WireError("`resync` must be a boolean".into()))?,
+                        None => false,
+                    },
                 }
             }
             "replica.promote" => Request::ReplicaPromote,
@@ -556,6 +579,7 @@ impl Request {
                     .as_u64()
                     .ok_or_else(|| WireError("`value` must be a non-negative integer".into()))?,
             },
+            "scrub" => Request::Scrub,
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -570,6 +594,7 @@ impl Request {
             | Request::MetricsProm
             | Request::ReplicaPromote
             | Request::Health
+            | Request::Scrub
             | Request::Shutdown => {}
             Request::LogRead {
                 limit,
@@ -605,12 +630,18 @@ impl Request {
                 epoch,
                 offset,
                 max,
+                resync,
             } => {
                 fields.push(("follower".into(), Json::str(follower.clone())));
                 fields.push(("epoch".into(), Json::Num(*epoch as f64)));
                 fields.push(("offset".into(), Json::Num(*offset as f64)));
                 if let Some(max) = max {
                     fields.push(("max".into(), Json::Num(*max as f64)));
+                }
+                // Encoded only when set, so pre-v7 primaries still
+                // parse the common case.
+                if *resync {
+                    fields.push(("resync".into(), Json::Bool(true)));
                 }
             }
             Request::TraceRead { limit } => {
@@ -756,12 +787,14 @@ mod tests {
             epoch: 3,
             offset: 4096,
             max: Some(512),
+            resync: false,
         });
         round_trip(Request::ReplicaSync {
             follower: "b".into(),
             epoch: 0,
             offset: 0,
             max: None,
+            resync: true,
         });
         round_trip(Request::ReplicaPromote);
         round_trip(Request::Health);
@@ -783,7 +816,23 @@ mod tests {
             key: "slow_ms".into(),
             value: 250,
         });
+        round_trip(Request::Scrub);
         round_trip(Request::Shutdown);
+    }
+
+    #[test]
+    fn replica_sync_resync_defaults_false_for_pre_v7_followers() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"replica.sync","follower":"a","epoch":1,"offset":2}"#)
+                .unwrap(),
+            Request::ReplicaSync {
+                follower: "a".into(),
+                epoch: 1,
+                offset: 2,
+                max: None,
+                resync: false,
+            }
+        );
     }
 
     #[test]

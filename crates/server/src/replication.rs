@@ -62,6 +62,22 @@ impl Role {
     }
 }
 
+/// Why a follower could not apply a pulled batch — drives the tail
+/// loop's recovery choice.
+#[derive(Debug)]
+pub(crate) enum ReplicaApplyError {
+    /// The local journal was poisoned by an fsync failure. The events
+    /// are applied in memory but can never become durable here, so the
+    /// follower demands a snapshot re-sync from the primary (installing
+    /// it truncates — and thereby un-poisons — the local journal).
+    Poisoned(String),
+    /// A replayed event did not apply — determinism rules this out
+    /// unless the nodes booted from different master data. Fatal.
+    Diverged(String),
+    /// The journal or service is shutting down; exit quietly.
+    Stopped,
+}
+
 /// What the primary knows about one follower, keyed by the follower's
 /// advertised address. Updated on every `replica.sync` it sends.
 pub(crate) struct FollowerStatus {
@@ -242,6 +258,10 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
     let follower_id = service.advertised();
     let mut seed = jitter_seed();
     let mut backoff = BACKOFF_BASE;
+    // Set when the local journal is poisoned (fsync failure): the next
+    // sync demands a snapshot instead of frames — installing it
+    // truncates, and thereby un-poisons, the local journal.
+    let mut force_resync = false;
     'connect: loop {
         if stopped(&service) {
             return;
@@ -275,6 +295,7 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                 epoch,
                 offset,
                 max: Some(TAIL_BATCH),
+                resync: force_resync,
             };
             let response = match client.request(&request) {
                 Ok(response) => response,
@@ -347,6 +368,16 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                             }
                             continue 'connect;
                         }
+                        // A successful install truncated the local
+                        // journal to the new epoch — any poisoning is
+                        // cleared and the repair is complete.
+                        if force_resync {
+                            force_resync = false;
+                            service.diag().info(
+                                Subsystem::Replication,
+                                format_args!("journal repaired by snapshot re-sync from {primary}"),
+                            );
+                        }
                         continue; // re-poll from the new epoch's cursor
                     }
                     None => {
@@ -397,12 +428,30 @@ pub(crate) fn run_tail(service: CleaningService, primary: String) {
                 }
                 continue 'connect;
             }
-            if let Err(message) = service.apply_replica_events(events) {
-                service.diag().error(
-                    Subsystem::Replication,
-                    format_args!("replay diverged, stopping tail of {primary}: {message}"),
-                );
-                return;
+            match service.apply_replica_events(events) {
+                Ok(()) => {}
+                Err(ReplicaApplyError::Poisoned(message)) => {
+                    // The batch is applied in memory but can never be
+                    // durable here: repair by snapshot instead of dying
+                    // (or worse, acking a cursor we do not hold).
+                    service.diag().warn(
+                        Subsystem::Replication,
+                        format_args!(
+                            "journal poisoned ({message}); \
+                             requesting snapshot re-sync from {primary}"
+                        ),
+                    );
+                    force_resync = true;
+                    continue;
+                }
+                Err(ReplicaApplyError::Diverged(message)) => {
+                    service.diag().error(
+                        Subsystem::Replication,
+                        format_args!("replay diverged, stopping tail of {primary}: {message}"),
+                    );
+                    return;
+                }
+                Err(ReplicaApplyError::Stopped) => return,
             }
             note_tail_progress(&service, served_epoch, served_durable);
         }

@@ -58,7 +58,7 @@ use cerfix::{
 use cerfix_relation::{AttrSet, SchemaRef, Tuple, Value};
 use cerfix_rules::{parse_rules, render_er_dsl, RuleDecl, RuleSet};
 use cerfix_storage::{
-    JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig,
+    JournalEvent, RecoveredState, SessionSnapshot, SnapshotData, Storage, StorageConfig, SyncError,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +120,12 @@ pub struct ServiceConfig {
     /// health probe reports not-ready (measured as time since its
     /// durable cursor last covered the primary's).
     pub max_lag: Duration,
+    /// Free-space watermark under the data directory: when available
+    /// bytes drop below this the service degrades to read-only
+    /// (mutations answered `degraded: disk_full`) before the disk is
+    /// actually full, and recovers automatically when space returns.
+    /// `0` disables the watermark; an ENOSPC write still degrades.
+    pub min_free_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -139,6 +145,7 @@ impl Default for ServiceConfig {
             diag_buffer: 1024,
             diag_file: None,
             max_lag: Duration::from_secs(10),
+            min_free_bytes: 0,
         }
     }
 }
@@ -208,6 +215,18 @@ struct ServiceInner {
     /// Last health verdict: 0 = never probed, 1 = ready, 2 = not
     /// ready. Transitions between the two probed states are logged.
     last_ready: AtomicU64,
+    /// Degraded read-only latch: set on ENOSPC (or the free-space
+    /// watermark), cleared by the housekeeper once the journal writes
+    /// cleanly again and space is back above the watermark. While set,
+    /// mutations are answered `degraded: disk_full` and reads keep
+    /// serving.
+    degraded: AtomicBool,
+    /// Whether the current journal poisoning has been announced to the
+    /// diag log (one `error` event per poisoning, not one per probe).
+    poison_logged: AtomicBool,
+    /// Audit-spill write errors already surfaced to the diag log — the
+    /// housekeeper logs only the delta against the spill's own total.
+    spill_errors_seen: AtomicU64,
     storage: Option<StorageBinding>,
     /// Replication state: role, the primary's follower/ack registry and
     /// fencing watermark, a follower's tail-thread handle.
@@ -344,6 +363,9 @@ impl CleaningService {
                 diag,
                 timeseries: TimeSeries::new(),
                 last_ready: AtomicU64::new(0),
+                degraded: AtomicBool::new(false),
+                poison_logged: AtomicBool::new(false),
+                spill_errors_seen: AtomicU64::new(0),
                 storage: storage.map(|storage| StorageBinding {
                     storage,
                     gate: RwLock::new(()),
@@ -474,6 +496,167 @@ impl CleaningService {
         Ok(())
     }
 
+    /// Refuse mutations the storage layer cannot honor: on top of
+    /// [`check_primary`](Self::check_primary), a degraded (disk-full)
+    /// node answers `degraded: disk_full`, and a node whose journal is
+    /// poisoned by an fsync failure answers `storage_error` — accepting
+    /// a mutation that can never reach disk would be an ack the node
+    /// cannot keep. Reads stay unaffected.
+    fn check_writable(&self) -> Result<(), String> {
+        self.check_primary()?;
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(
+                "degraded: disk_full — service is read-only until disk space returns".to_string(),
+            );
+        }
+        if let Some(binding) = &self.inner.storage {
+            if let Some(err) = binding.storage.journal().poisoned() {
+                return Err(format!(
+                    "storage_error: journal poisoned by fsync failure ({err}); \
+                     mutations refused until operator intervention or re-sync"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True while the service is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
+    /// True while the journal is poisoned by an fsync failure (distinct
+    /// from [`is_degraded`](Self::is_degraded): poison is permanent
+    /// until a snapshot rebuilds the journal file).
+    pub fn is_poisoned_journal(&self) -> bool {
+        self.inner
+            .storage
+            .as_ref()
+            .is_some_and(|binding| binding.storage.journal().poisoned().is_some())
+    }
+
+    /// Wait for `seq` to be durable and translate the outcome into the
+    /// protocol's error contract. The mutation is already applied in
+    /// memory and queued in the journal, so every failure here is an
+    /// honest "applied but not yet durable" answer (the quorum-timeout
+    /// precedent), never a silent ack:
+    ///
+    /// * ENOSPC flips the degraded latch (read-only until space
+    ///   returns; the queued frame lands on a later flush).
+    /// * A poisoned journal (fsync failure) is announced once to the
+    ///   diag log and reported as `storage_error` — fsyncgate: the page
+    ///   cache may have dropped the dirty page, so retrying locally
+    ///   could silently lose the write.
+    fn sync_commit(&self, binding: &StorageBinding, seq: u64) -> Result<(), String> {
+        match binding.storage.sync(seq) {
+            Ok(()) => Ok(()),
+            Err(SyncError::WriteFailed { error, enospc }) => {
+                if enospc {
+                    self.enter_degraded(&format!("journal write: {error}"));
+                }
+                Err(format!(
+                    "storage_error: applied but not durable (journal write failed: {error}); \
+                     retry after the disk recovers"
+                ))
+            }
+            Err(SyncError::Poisoned { error }) => {
+                self.note_poisoned(&error);
+                Err(format!(
+                    "storage_error: applied but not durable (journal poisoned: {error})"
+                ))
+            }
+            Err(SyncError::Stopped) => {
+                Err("storage_error: applied but not durable (journal stopped)".to_string())
+            }
+        }
+    }
+
+    /// Flip the degraded latch on (idempotent); log the transition.
+    fn enter_degraded(&self, cause: &str) {
+        if !self.inner.degraded.swap(true, Ordering::AcqRel) {
+            self.inner.diag.warn(
+                Subsystem::Journal,
+                format_args!("degraded to read-only: disk full ({cause})"),
+            );
+        }
+    }
+
+    /// Flip the degraded latch off (idempotent); log the recovery.
+    fn leave_degraded(&self) {
+        if self.inner.degraded.swap(false, Ordering::AcqRel) {
+            self.inner.diag.info(
+                Subsystem::Journal,
+                format_args!("recovered from read-only degradation: disk space is back"),
+            );
+        }
+    }
+
+    /// Announce a journal poisoning to the diag log exactly once per
+    /// poisoning (the latch re-arms if a follower re-sync clears it).
+    fn note_poisoned(&self, error: &str) {
+        if !self.inner.poison_logged.swap(true, Ordering::AcqRel) {
+            self.inner.diag.error(
+                Subsystem::Journal,
+                format_args!("journal poisoned by fsync failure: {error}"),
+            );
+        }
+    }
+
+    /// Periodic storage-fault sweep, run by the housekeeper alongside
+    /// the health probe: announce journal poisoning, surface new
+    /// audit-spill write errors, and drive the degraded latch from the
+    /// free-space watermark (enter when space is low, leave when space
+    /// is back *and* the journal is writing cleanly again). Public so
+    /// embedders with their own runtime — and the disk-fault harness —
+    /// can run the sweep on their own clock.
+    pub fn probe_storage(&self) {
+        let Some(binding) = &self.inner.storage else {
+            return;
+        };
+        match binding.storage.journal().poisoned() {
+            Some(err) => self.note_poisoned(&err),
+            None => self.inner.poison_logged.store(false, Ordering::Release),
+        }
+        let spill_errors = binding.storage.spill().write_errors();
+        let seen = self
+            .inner
+            .spill_errors_seen
+            .swap(spill_errors, Ordering::AcqRel);
+        if spill_errors > seen {
+            self.inner.metrics.audit_spill_errors(spill_errors);
+            self.inner.diag.error(
+                Subsystem::Journal,
+                format_args!(
+                    "audit spill write failed ({} new, {spill_errors} total): {}",
+                    spill_errors - seen,
+                    binding
+                        .storage
+                        .spill()
+                        .last_error()
+                        .unwrap_or_else(|| "unknown".into())
+                ),
+            );
+        }
+        let watermark = self.inner.config.min_free_bytes;
+        let free = binding
+            .storage
+            .free_bytes()
+            .or_else(|| crate::fsprobe::free_bytes(&binding.storage.config().dir));
+        let journal_clean = binding.storage.journal().last_error().is_none();
+        match free {
+            Some(free) if watermark > 0 && free < watermark => {
+                self.enter_degraded(&format!(
+                    "{free} free bytes under the {watermark} watermark"
+                ));
+            }
+            Some(free) if journal_clean && free >= watermark => self.leave_degraded(),
+            // Probe unavailable: leave only on clean journal writes —
+            // the pending frames landing is itself the space signal.
+            None if journal_clean => self.leave_degraded(),
+            _ => {}
+        }
+    }
+
     /// The shared audit log (cell-level provenance of every op).
     pub fn audit(&self) -> &Arc<AuditLog> {
         &self.inner.audit
@@ -549,13 +732,23 @@ impl CleaningService {
         }
         if let Some(binding) = &self.inner.storage {
             let journal = binding.storage.journal();
-            if !journal.is_alive() {
+            if let Some(err) = journal.poisoned() {
+                // fsyncgate: a failed fsync may have dropped dirty
+                // pages, so the journal is permanently untrustworthy —
+                // a liveness failure, not a transient hiccup.
+                live = false;
+                causes.push(format!("storage_error: journal poisoned: {err}"));
+            } else if !journal.is_alive() {
                 live = false;
                 causes.push("journal flusher stopped (disk dead or shut down)".to_string());
+            } else if let Some(err) = journal.last_error() {
+                // A failed *write* is retried by the flusher with the
+                // frames intact — degraded but recoverable, so the node
+                // stays live and reports not-ready.
+                causes.push(format!("journal write error (retrying): {err}"));
             }
-            if let Some(err) = journal.last_error() {
-                live = false;
-                causes.push(format!("journal error: {err}"));
+            if self.inner.degraded.load(Ordering::Acquire) {
+                causes.push("degraded: disk_full (read-only)".to_string());
             }
             // The slow-request threshold doubles as the fsync budget:
             // commits block on fsync, so a p99 past it means acked
@@ -916,22 +1109,59 @@ impl CleaningService {
     /// them through the live correcting path, then block on the group
     /// fsync — the cursor our next `replica.sync` acks with only moves
     /// once the events are durable *here*.
-    pub(crate) fn apply_replica_events(&self, events: Vec<JournalEvent>) -> Result<(), String> {
+    ///
+    /// The fsync outcome decides the follower's fate: a failed *write*
+    /// is retried in place (the events are already applied, so
+    /// re-pulling them from the primary would double-apply
+    /// non-idempotent `MasterAppended` rows — the cursor must not move
+    /// until this exact frame lands); a *poisoned* journal (fsync
+    /// failure) is unrecoverable locally and reported as
+    /// [`ReplicaApplyError::Poisoned`] so the tail loop can demand a
+    /// snapshot re-sync from the primary instead of dying.
+    pub(crate) fn apply_replica_events(
+        &self,
+        events: Vec<JournalEvent>,
+    ) -> Result<(), crate::replication::ReplicaApplyError> {
+        use crate::replication::ReplicaApplyError;
         let Some(binding) = &self.inner.storage else {
-            return Err("follower has no storage attached".into());
+            return Err(ReplicaApplyError::Diverged(
+                "follower has no storage attached".into(),
+            ));
         };
-        let last_seq = self.with_gate(|| -> Result<Option<u64>, String> {
-            let mut last = None;
-            for event in &events {
-                last = Some(binding.storage.append(event));
+        let last_seq = self
+            .with_gate(|| -> Result<Option<u64>, String> {
+                let mut last = None;
+                for event in &events {
+                    last = Some(binding.storage.append(event));
+                }
+                self.replay_events(&events, true)?;
+                Ok(last)
+            })
+            .map_err(ReplicaApplyError::Diverged)?;
+        let Some(seq) = last_seq else {
+            return Ok(());
+        };
+        loop {
+            match binding.storage.sync(seq) {
+                Ok(()) => return Ok(()),
+                Err(SyncError::WriteFailed { error, enospc }) => {
+                    if enospc {
+                        self.enter_degraded(&format!("journal write: {error}"));
+                    }
+                    if self.shutdown_requested() {
+                        return Err(ReplicaApplyError::Stopped);
+                    }
+                    // The frames are back in the flusher's pending
+                    // queue; wait for its retry rather than re-pulling.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(SyncError::Poisoned { error }) => {
+                    self.note_poisoned(&error);
+                    return Err(ReplicaApplyError::Poisoned(error));
+                }
+                Err(SyncError::Stopped) => return Err(ReplicaApplyError::Stopped),
             }
-            self.replay_events(&events, true)?;
-            Ok(last)
-        })?;
-        if let Some(seq) = last_seq {
-            binding.storage.sync(seq);
         }
-        Ok(())
     }
 
     /// Full resync: a follower whose cursor predates the primary's
@@ -1177,40 +1407,41 @@ impl CleaningService {
         let result = match request {
             Request::Hello => Ok(self.hello()),
             Request::SessionCreate { tuple } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.session_create(tuple)),
             Request::SessionGet { session } => self.session_get(*session),
             Request::SessionValidate {
                 session,
                 validations,
             } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.session_validate(*session, validations, span)),
             Request::SessionFix { session } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.session_validate(*session, &[], span)),
             Request::SessionCommit { session } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.session_commit(*session, span)),
             Request::SessionAbort { session } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.session_abort(*session)),
             Request::Clean { tuples, trust } => self.clean_batch(tuples.clone(), trust),
             Request::Regions { top_k } => Ok(self.regions(*top_k)),
             Request::Check { mode } => self.check(mode.as_deref()),
             Request::AuditRead { start, count } => Ok(self.audit_read(*start, *count)),
-            Request::RulesReload { rules } => {
-                self.check_primary().and_then(|()| self.rules_reload(rules))
-            }
+            Request::RulesReload { rules } => self
+                .check_writable()
+                .and_then(|()| self.rules_reload(rules)),
             Request::MasterAppend { tuples } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.master_append(tuples)),
             Request::ReplicaSync {
                 follower,
                 epoch,
                 offset,
                 max,
-            } => self.replica_sync(follower, *epoch, *offset, *max),
+                resync,
+            } => self.replica_sync(follower, *epoch, *offset, *max, *resync),
             Request::ReplicaPromote => self.replica_promote(),
             Request::Metrics => Ok(self.metrics_response()),
             Request::MetricsProm => Ok(self.metrics_prom_response()),
@@ -1224,8 +1455,9 @@ impl CleaningService {
             Request::MetricsHistory { limit } => Ok(self.metrics_history(*limit)),
             Request::ClusterStatus { fanout } => Ok(self.cluster_status(*fanout)),
             Request::ConfigSet { key, value } => self
-                .check_primary()
+                .check_writable()
                 .and_then(|()| self.config_set(key, *value)),
+            Request::Scrub => self.scrub_response(),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
                 self.notify_shutdown();
@@ -1269,6 +1501,7 @@ impl CleaningService {
         epoch: u64,
         offset: u64,
         max: Option<u64>,
+        resync: bool,
     ) -> Result<Json, String> {
         let Some(binding) = &self.inner.storage else {
             return Err("replication requires a journaled server (--data-dir)".into());
@@ -1277,6 +1510,29 @@ impl CleaningService {
             .replication
             .max_epoch_seen
             .fetch_max(epoch, Ordering::AcqRel);
+        if resync {
+            // The follower's journal is poisoned or corrupt: cut a
+            // fresh snapshot (the epoch bump guarantees it installs
+            // over there, and installing truncates — and thereby
+            // un-poisons — the follower's journal) and serve it.
+            self.inner.diag.info(
+                Subsystem::Replication,
+                format_args!("follower {follower} requested a forced snapshot re-sync"),
+            );
+            self.snapshot_now().map_err(|e| e.to_string())?;
+            let snapshot = self.cached_snapshot()?;
+            let cur_epoch = binding.storage.epoch();
+            let (_, durable) = binding.storage.durable_position();
+            self.record_follower(follower, epoch, offset, cur_epoch, durable);
+            return Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::Num(cur_epoch as f64)),
+                ("from", Json::Num(offset as f64)),
+                ("durable", Json::Num(durable as f64)),
+                ("snapshot", Json::Str(hex_encode(&snapshot))),
+                ("events", Json::Arr(Vec::new())),
+            ]));
+        }
         let max = max.unwrap_or(512).clamp(1, 2048) as usize;
         let read = binding
             .storage
@@ -1486,10 +1742,11 @@ impl CleaningService {
     ) -> bool {
         // The mutation gate applies on the hot path too: a follower's
         // fast-scanned `session.commit` must bounce exactly like the
-        // tree-parsed one (reads — `session.get` — stay allowed).
+        // tree-parsed one, and so must a degraded or storage-poisoned
+        // node's (reads — `session.get` — stay allowed).
         let gate_err = match *hot {
             HotOp::SessionGet { .. } => None,
-            _ => self.check_primary().err(),
+            _ => self.check_writable().err(),
         };
         if let Some(message) = gate_err {
             self.inner.metrics.request();
@@ -1714,8 +1971,14 @@ impl CleaningService {
                     (&self.inner.storage, commit)
                 {
                     let sync_started = Instant::now();
-                    binding.storage.sync(seq);
+                    let synced = self.sync_commit(binding, seq);
                     span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
+                    if let Err(message) = synced {
+                        // Applied in memory and queued in the journal,
+                        // but NOT durable — the ack must say so.
+                        self.write_error(&message, raw_id, out);
+                        return;
+                    }
                     if self.inner.replication.cluster > 1 {
                         if let Err(message) = self.wait_for_quorum(epoch, position, span) {
                             self.write_error(&message, raw_id, out);
@@ -2064,8 +2327,11 @@ impl CleaningService {
         // cluster to hold durable copies too.
         if let (Some(binding), Some((seq, (epoch, position)))) = (&self.inner.storage, commit) {
             let sync_started = Instant::now();
-            binding.storage.sync(seq);
+            let synced = self.sync_commit(binding, seq);
             span.fsync_ns += sync_started.elapsed().as_nanos() as u64;
+            // Applied in memory and queued in the journal, but NOT
+            // durable — the ack must say so (quorum-timeout precedent).
+            synced?;
             if self.inner.replication.cluster > 1 {
                 self.wait_for_quorum(epoch, position, span)?;
             }
@@ -2284,15 +2550,90 @@ impl CleaningService {
             .map(|(offset, record)| render_audit_record(start + offset as u64, record, schema))
             .collect();
         let next = start + rendered.len() as u64;
-        Json::obj([
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("start", Json::Num(start as f64)),
             ("count", Json::Num(rendered.len() as f64)),
             ("next", Json::Num(next as f64)),
             ("total", Json::Num(audit.len() as f64)),
             ("spilled", Json::Num(audit.spilled() as f64)),
-            ("records", Json::Arr(rendered)),
-        ])
+        ];
+        // A failing spill means records this read serves from the disk
+        // archive may be missing: a short page must not read as "end of
+        // history", so the response says the archive is truncated.
+        if let Some(binding) = &self.inner.storage {
+            if let Some(err) = binding.storage.spill().last_error() {
+                fields.push(("truncated", Json::Bool(true)));
+                fields.push((
+                    "warning",
+                    Json::str(format!(
+                        "audit archive may be incomplete: spill writes failing ({err})"
+                    )),
+                ));
+            }
+        }
+        fields.push(("records", Json::Arr(rendered)));
+        Json::obj(fields)
+    }
+
+    /// `scrub`: verify every checksum in the data directory online.
+    /// Only the durable prefix of the append-only files is read, so
+    /// in-flight writes are never misdiagnosed as damage. Corruption
+    /// findings are logged and counted, and reported as typed
+    /// `{file, offset, detail}` entries — torn tails stay legal.
+    fn scrub_response(&self) -> Result<Json, String> {
+        let Some(binding) = &self.inner.storage else {
+            return Err("scrub requires a journaled server (--data-dir)".into());
+        };
+        let report = binding
+            .storage
+            .scrub()
+            .map_err(|e| format!("scrub failed to read the data directory: {e}"))?;
+        self.inner
+            .metrics
+            .scrub_run(report.corruptions.len() as u64);
+        if !report.clean() {
+            self.inner.diag.error(
+                Subsystem::Journal,
+                format_args!(
+                    "scrub found {} corrupt region(s): {}",
+                    report.corruptions.len(),
+                    report
+                        .corruptions
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ),
+            );
+        }
+        let corruptions: Vec<Json> = report
+            .corruptions
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("file", Json::str(c.file.clone())),
+                    ("offset", Json::Num(c.offset as f64)),
+                    ("detail", Json::str(c.detail.clone())),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("clean", Json::Bool(report.clean())),
+            ("journal_frames", Json::Num(report.journal_frames as f64)),
+            (
+                "journal_torn_bytes",
+                Json::Num(report.journal_torn_bytes as f64),
+            ),
+            ("snapshot_present", Json::Bool(report.snapshot_present)),
+            ("audit_records", Json::Num(report.audit_records as f64)),
+            (
+                "audit_torn_bytes",
+                Json::Num(report.audit_torn_bytes as f64),
+            ),
+            ("corruptions", Json::Arr(corruptions)),
+        ]))
     }
 
     /// Parse, compile and atomically install a new rule set. The swap
@@ -2330,7 +2671,7 @@ impl CleaningService {
             }
         };
         if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
-            binding.storage.sync(seq); // a reload ack must survive restart
+            self.sync_commit(binding, seq)?; // a reload ack must survive restart
         }
         self.inner.metrics.rules_reload();
         Ok(Json::obj([
@@ -2394,7 +2735,7 @@ impl CleaningService {
             .retire_generations(engine.fingerprint, generation);
         drop(swap);
         if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
-            binding.storage.sync(seq); // an append ack must survive restart
+            self.sync_commit(binding, seq)?; // an append ack must survive restart
         }
         self.inner.metrics.master_append();
         if let Some(n) = recertified {
@@ -2491,6 +2832,20 @@ impl CleaningService {
                 (
                     "snapshots_written",
                     Json::Num(snapshot.snapshots_written as f64),
+                ),
+                ("degraded", Json::Bool(self.is_degraded())),
+                (
+                    "journal_poisoned",
+                    Json::Bool(binding.storage.journal().poisoned().is_some()),
+                ),
+                (
+                    "audit_spill_errors",
+                    Json::Num(binding.storage.spill().write_errors() as f64),
+                ),
+                ("scrubs_run", Json::Num(snapshot.scrubs_run as f64)),
+                (
+                    "scrub_corruptions",
+                    Json::Num(snapshot.scrub_corruptions as f64),
                 ),
             ]);
         }
@@ -2710,6 +3065,31 @@ impl CleaningService {
             "gauge",
             if health.live { 1.0 } else { 0.0 },
         );
+        prom_header(
+            &mut body,
+            "cerfix_degraded",
+            "1 while the service is degraded to read-only, by cause.",
+            "gauge",
+        );
+        prom_sample(
+            &mut body,
+            "cerfix_degraded",
+            Some(("cause", "disk_full")),
+            if self.is_degraded() { 1.0 } else { 0.0 },
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_journal_poisoned",
+            "1 once a journal fsync failure has permanently poisoned the writer.",
+            "gauge",
+            self.inner.storage.as_ref().map_or(0.0, |binding| {
+                if binding.storage.journal().poisoned().is_some() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }),
+        );
         let role = self.role();
         prom_header(
             &mut body,
@@ -2846,6 +3226,7 @@ impl CleaningService {
             ("role", Json::str(role.name())),
             ("live", Json::Bool(report.live)),
             ("ready", Json::Bool(report.ready)),
+            ("degraded", Json::Bool(self.is_degraded())),
             (
                 "causes",
                 Json::Arr(report.causes.iter().map(Json::str).collect()),
@@ -3013,6 +3394,7 @@ impl CleaningService {
             ("epoch", Json::Num(epoch as f64)),
             ("live", Json::Bool(report.live)),
             ("ready", Json::Bool(report.ready)),
+            ("degraded", Json::Bool(self.is_degraded())),
             (
                 "causes",
                 Json::Arr(report.causes.iter().map(Json::str).collect()),
@@ -3121,7 +3503,7 @@ impl CleaningService {
             }))
         })?;
         if let (Some(binding), Some(seq)) = (&self.inner.storage, seq) {
-            binding.storage.sync(seq); // an acked tunable must survive restart
+            self.sync_commit(binding, seq)?; // an acked tunable must survive restart
         }
         self.inner
             .diag

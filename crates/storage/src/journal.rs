@@ -1,9 +1,14 @@
 //! The crash-safe write-ahead session journal.
 //!
-//! Layout: a 16-byte header (`CFXJ` magic, format version, snapshot
-//! epoch) followed by length-prefixed, CRC-checksummed event frames
-//! ([`codec::frame`]). Recovery reads the longest valid frame prefix and
-//! truncates whatever a crash tore off mid-write.
+//! Layout: a 20-byte header (`CFXJ` magic, format version, snapshot
+//! epoch, header CRC) followed by length-prefixed, CRC-checksummed
+//! event frames ([`codec::frame`]). Recovery reads the longest valid
+//! frame prefix and truncates whatever a crash tore off mid-write; a
+//! frame that is *complete but fails its checksum* is not a tear, it is
+//! corruption, and [`scan_journal`] refuses with a typed
+//! [`StorageError::Corrupt`] instead of silently dropping acked events
+//! (a follower may opt into [`ScanMode::Tolerant`] and re-fetch the
+//! corrupt suffix from its primary instead).
 //!
 //! Durability is **group-committed**: [`Journal::append`] only copies
 //! the encoded frame into an in-memory pending buffer under a short
@@ -17,30 +22,69 @@
 //! durability point) and lets every other op ride the background
 //! cadence.
 //!
+//! ## Fault discipline
+//!
+//! A failed **write** is retryable: the file is repaired back to its
+//! durable length, the failed frames return to the front of the pending
+//! buffer, and in-flight [`sync`](Journal::sync) waiters covering them
+//! fail with [`SyncError::WriteFailed`] instead of hanging (a later
+//! retry may still land the frames — same contract as a quorum
+//! timeout: the error says "not durable *yet*", not "lost").
+//!
+//! A failed **fsync** permanently poisons the journal. After `fdatasync`
+//! reports an error, the kernel may have dropped the dirty pages while
+//! clearing the error state, so retrying the fsync and seeing success
+//! proves nothing about the data (the "fsyncgate" failure mode).
+//! A poisoned journal never writes again; every `sync` fails with
+//! [`SyncError::Poisoned`]. The only way out is
+//! [`Journal::truncate_to_epoch`] — `set_len(0)` + a freshly written
+//! and fsynced header is a new file whose entire contents are known
+//! good, which is exactly what installing a snapshot produces.
+//!
 //! The pending buffer is tagged with the journal epoch: snapshot
 //! truncation bumps the epoch while holding both locks, so a flusher
 //! holding taken-but-unwritten pre-snapshot frames detects the bump and
 //! discards them instead of writing them into the new epoch's file.
 //!
 //! [`codec::frame`]: crate::codec::frame
+//! [`StorageError::Corrupt`]: crate::StorageError::Corrupt
 
 use crate::codec::{self, CodecError};
 use crate::events::JournalEvent;
 use crate::spill::AuditSpill;
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use crate::vfs::{StorageFile, StorageFs};
+use crate::StorageError;
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 const MAGIC: &[u8; 4] = b"CFXJ";
-const VERSION: u32 = 1;
-/// Header size: magic + version `u32` + epoch `u64`.
-pub const JOURNAL_HEADER: u64 = 16;
+const VERSION: u32 = 2;
+/// Header size: magic + version `u32` + epoch `u64` + header CRC `u32`.
+pub const JOURNAL_HEADER: u64 = 20;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `StorageFull`, or raw ENOSPC from an OS that predates the kind.
+fn is_enospc(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::StorageFull || e.raw_os_error() == Some(28)
+}
+
+/// How a scan treats a complete-but-corrupt frame (bit rot, as opposed
+/// to the torn tail of a crashed append, which is always truncated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Refuse with [`StorageError::Corrupt`] — a primary must never
+    /// silently drop events it acknowledged (the default).
+    Strict,
+    /// Truncate the corrupt suffix to the last valid frame and report
+    /// it in [`JournalScan::corrupt_bytes`] — sound only for a replica
+    /// that will re-fetch the suffix from its primary.
+    Tolerant,
 }
 
 /// What a scan of an on-disk journal found.
@@ -55,6 +99,9 @@ pub struct JournalScan {
     /// Bytes past the valid prefix (a torn tail from a crash; 0 when
     /// the journal shut down cleanly).
     pub torn_bytes: u64,
+    /// Bytes discarded as *corrupt* (checksum-failed complete frames) —
+    /// only ever non-zero under [`ScanMode::Tolerant`].
+    pub corrupt_bytes: u64,
 }
 
 /// One batch of durable events served to a replication cursor by
@@ -72,59 +119,174 @@ pub struct CursorRead {
     pub events: Vec<JournalEvent>,
 }
 
-/// Read and validate `path` without opening it for writing (used by
-/// recovery and `cerfix recover --inspect`). A missing file scans as an
+/// Read and validate `path` without opening it for writing, refusing
+/// corrupt frames ([`ScanMode::Strict`]). A missing file scans as an
 /// empty epoch-0 journal.
-pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+pub fn scan_journal(path: &Path) -> Result<JournalScan, StorageError> {
+    scan_journal_with(path, ScanMode::Strict)
+}
+
+/// [`scan_journal`] with an explicit corruption policy (used by
+/// recovery and `cerfix recover --inspect`; followers scan tolerant).
+pub fn scan_journal_with(path: &Path, mode: ScanMode) -> Result<JournalScan, StorageError> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(e),
+        Err(e) => return Err(StorageError::Io(e)),
     };
+    scan_journal_bytes(&path.display().to_string(), &bytes, mode)
+}
+
+/// Scan an in-memory journal image (the whole file, or a durable
+/// prefix of it when scrubbing online under concurrent appends).
+pub(crate) fn scan_journal_bytes(
+    file: &str,
+    bytes: &[u8],
+    mode: ScanMode,
+) -> Result<JournalScan, StorageError> {
     if bytes.is_empty() {
         return Ok(JournalScan {
             epoch: 0,
             events: Vec::new(),
             valid_len: 0,
             torn_bytes: 0,
+            corrupt_bytes: 0,
         });
     }
-    if bytes.len() < JOURNAL_HEADER as usize || &bytes[0..4] != MAGIC {
-        // Unrecognized file: treat the whole thing as torn.
+    if bytes.len() < JOURNAL_HEADER as usize {
+        // Shorter than one header: the torn first write of a fresh
+        // journal (there is nothing a complete frame could have acked).
         return Ok(JournalScan {
             epoch: 0,
             events: Vec::new(),
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
+            corrupt_bytes: 0,
         });
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if version != VERSION {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("journal format version {version} (this build reads {VERSION})"),
-        ));
+    let corrupt = |offset: u64, detail: String| StorageError::Corrupt {
+        file: file.to_string(),
+        offset,
+        detail,
+    };
+    // A full-size file with a broken header is corruption, not a tear:
+    // the header is written first and fsynced before any frame.
+    let header_broken = if &bytes[0..4] != MAGIC {
+        Some("bad magic".to_string())
+    } else {
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(corrupt(
+                4,
+                format!("format version {version} (this build reads {VERSION})"),
+            ));
+        }
+        let header_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        if codec::crc32(&bytes[0..16]) != header_crc {
+            Some("header CRC mismatch".to_string())
+        } else {
+            None
+        }
+    };
+    if let Some(detail) = header_broken {
+        return match mode {
+            ScanMode::Strict => Err(corrupt(0, detail)),
+            ScanMode::Tolerant => Ok(JournalScan {
+                epoch: 0,
+                events: Vec::new(),
+                valid_len: 0,
+                torn_bytes: 0,
+                corrupt_bytes: bytes.len() as u64,
+            }),
+        };
     }
     let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
     let mut events = Vec::new();
     let mut at = JOURNAL_HEADER as usize;
-    // A truncated frame, a checksum failure or a garbage payload all end
-    // the valid prefix (the torn tail of a crashed write).
-    while let Ok(Some((payload, frame_len))) = codec::read_frame(&bytes[at..]) {
-        match JournalEvent::decode(payload) {
-            Ok(event) => {
-                events.push(event);
-                at += frame_len;
+    let mut corrupt_at: Option<(u64, String)> = None;
+    // An incomplete frame ends the valid prefix (the torn tail of a
+    // crashed write — legal, because appends are sequential and the
+    // tail was never fsync-acked). A complete frame with a bad checksum
+    // or garbage payload is corruption and is typed as such.
+    loop {
+        match codec::read_frame(&bytes[at..]) {
+            Ok(None) => break, // torn tail
+            Ok(Some((payload, frame_len))) => match JournalEvent::decode(payload) {
+                Ok(event) => {
+                    events.push(event);
+                    at += frame_len;
+                }
+                Err(e) => {
+                    corrupt_at = Some((at as u64, format!("frame payload: {e}")));
+                    break;
+                }
+            },
+            Err(e) => {
+                corrupt_at = Some((at as u64, e.to_string()));
+                break;
             }
-            Err(_) => break,
         }
     }
+    let (torn_bytes, corrupt_bytes) = match corrupt_at {
+        None => ((bytes.len() - at) as u64, 0),
+        Some((offset, detail)) => match mode {
+            ScanMode::Strict => return Err(corrupt(offset, detail)),
+            // Nothing after the first corrupt frame can be trusted.
+            ScanMode::Tolerant => (0, (bytes.len() - at) as u64),
+        },
+    };
     Ok(JournalScan {
         epoch,
         events,
         valid_len: at as u64,
-        torn_bytes: (bytes.len() - at) as u64,
+        torn_bytes,
+        corrupt_bytes,
     })
+}
+
+/// Why a [`Journal::sync`] waiter was released without its sequence
+/// becoming durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// An fsync failed earlier: the journal is permanently poisoned
+    /// (see the module docs) and nothing appended since the last good
+    /// fsync is, or will ever be, durable here.
+    Poisoned {
+        /// The original fsync failure.
+        error: String,
+    },
+    /// The write covering this sequence failed; the frames were
+    /// restored to the pending buffer and a later flush may still land
+    /// them (retry the sync, or give up — the commit was NOT acked).
+    WriteFailed {
+        /// The write failure.
+        error: String,
+        /// True when the failure was ENOSPC — the disk-full signal the
+        /// service uses to enter degraded (read-only) mode.
+        enospc: bool,
+    },
+    /// The journal shut down (or simulated a crash) before the
+    /// sequence became durable.
+    Stopped,
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::Poisoned { error } => write!(f, "journal poisoned: {error}"),
+            SyncError::WriteFailed { error, .. } => write!(f, "journal write failed: {error}"),
+            SyncError::Stopped => write!(f, "journal stopped before sync"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// Failure state shared between the flusher and sync waiters.
+enum FailState {
+    None,
+    WriteFailed { error: String, enospc: bool },
+    Poisoned { error: String },
 }
 
 /// Encoded-but-unflushed frames. Locked briefly by appenders; the
@@ -146,7 +308,7 @@ struct Pending {
 /// The file and its durability bookkeeping. Held across write+fsync by
 /// the flusher; appenders never touch it.
 struct FileState {
-    file: File,
+    file: Box<dyn StorageFile>,
     /// File length guaranteed on disk (fsync'd).
     durable_len: u64,
     /// Complete frames inside `durable_len` — the replication position
@@ -155,11 +317,12 @@ struct FileState {
     epoch: u64,
     /// After a simulated crash: all writes become no-ops.
     dead: bool,
-    /// A write/fsync failed: the file may hold un-fsynced partial bytes
-    /// past `durable_len` and the cursor position is unknown. The next
+    /// A write failed: the file may hold un-fsynced partial bytes past
+    /// `durable_len` and the cursor position is unknown. The next
     /// attempt truncates back to `durable_len` before writing.
     needs_repair: bool,
-    /// First write failure message, for diagnostics.
+    /// Most recent write/fsync failure; cleared by a later fully
+    /// successful flush (sticky while poisoned).
     error: Option<String>,
 }
 
@@ -170,6 +333,13 @@ struct Shared {
     durable_seq: AtomicU64,
     durable_cv: Condvar,
     durable_mutex: Mutex<()>,
+    /// Failure the flusher last hit, read by sync waiters.
+    fail: Mutex<FailState>,
+    /// Highest sequence covered by a *failed* write still pending
+    /// retry — waiters at or below it error instead of blocking.
+    failed_hi: AtomicU64,
+    /// fsync failed: the journal never writes again (module docs).
+    poisoned: AtomicBool,
     /// Kicks the flusher out of its interval sleep.
     flush_cv: Condvar,
     flush_mutex: Mutex<bool>,
@@ -260,13 +430,15 @@ impl std::fmt::Debug for Journal {
     }
 }
 
-fn write_header(file: &mut File, epoch: u64) -> std::io::Result<()> {
+fn write_header(file: &mut dyn StorageFile, epoch: u64) -> std::io::Result<()> {
     file.set_len(0)?;
     file.seek(SeekFrom::Start(0))?;
     let mut header = Vec::with_capacity(JOURNAL_HEADER as usize);
     header.extend_from_slice(MAGIC);
     header.extend_from_slice(&VERSION.to_le_bytes());
     header.extend_from_slice(&epoch.to_le_bytes());
+    let crc = codec::crc32(&header);
+    header.extend_from_slice(&crc.to_le_bytes());
     file.write_all(&header)
 }
 
@@ -280,22 +452,18 @@ impl Journal {
         scan: &JournalScan,
         epoch: u64,
         flush_interval: Duration,
+        fs: &Arc<dyn StorageFs>,
     ) -> std::io::Result<Journal> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let mut file = fs.open_rw(path)?;
         let (start_len, start_events) = if scan.epoch == epoch && scan.valid_len >= JOURNAL_HEADER {
-            file.set_len(scan.valid_len)?; // drop the torn tail
+            file.set_len(scan.valid_len)?; // drop the torn/corrupt tail
             file.seek(SeekFrom::Start(scan.valid_len))?;
             (scan.valid_len, scan.events.len() as u64)
         } else {
             // Fresh file, stale epoch (snapshot landed but truncation
             // didn't), or unrecognized content: start an empty journal
             // at the requested epoch.
-            write_header(&mut file, epoch)?;
+            write_header(file.as_mut(), epoch)?;
             (JOURNAL_HEADER, 0)
         };
         file.sync_data()?;
@@ -319,6 +487,9 @@ impl Journal {
             durable_seq: AtomicU64::new(0),
             durable_cv: Condvar::new(),
             durable_mutex: Mutex::new(()),
+            fail: Mutex::new(FailState::None),
+            failed_hi: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
             flush_cv: Condvar::new(),
             flush_mutex: Mutex::new(false),
             stop: AtomicBool::new(false),
@@ -366,17 +537,45 @@ impl Journal {
         self.shared.flush_cv.notify_one();
     }
 
+    /// The current failure verdict for a waiter on `seq`, if any.
+    fn sync_failure(&self, seq: u64) -> Option<SyncError> {
+        match &*lock(&self.shared.fail) {
+            FailState::None => None,
+            FailState::Poisoned { error } => Some(SyncError::Poisoned {
+                error: error.clone(),
+            }),
+            FailState::WriteFailed { error, enospc }
+                if self.shared.failed_hi.load(Ordering::Acquire) >= seq =>
+            {
+                Some(SyncError::WriteFailed {
+                    error: error.clone(),
+                    enospc: *enospc,
+                })
+            }
+            FailState::WriteFailed { .. } => None,
+        }
+    }
+
     /// Block until the fsync covering `seq` has completed (the group
-    /// commit). Returns immediately if already durable.
-    pub fn sync(&self, seq: u64) {
+    /// commit). Returns immediately if already durable; returns a typed
+    /// error — never hangs — when the journal poisoned, the covering
+    /// write failed, or the journal stopped first.
+    pub fn sync(&self, seq: u64) -> Result<(), SyncError> {
         if self.shared.durable_seq.load(Ordering::Acquire) >= seq {
-            return;
+            return Ok(());
         }
         self.kick_flusher();
         let mut guard = lock(&self.shared.durable_mutex);
-        while self.shared.durable_seq.load(Ordering::Acquire) < seq
-            && !self.shared.stop.load(Ordering::Acquire)
-        {
+        loop {
+            if self.shared.durable_seq.load(Ordering::Acquire) >= seq {
+                return Ok(());
+            }
+            if let Some(err) = self.sync_failure(seq) {
+                return Err(err);
+            }
+            if self.shared.stop.load(Ordering::Acquire) {
+                return Err(SyncError::Stopped);
+            }
             let (g, _) = self
                 .shared
                 .durable_cv
@@ -521,11 +720,25 @@ impl Journal {
         })
     }
 
-    /// First journal write/fsync failure, if any. Failed frames are
-    /// retried on later flush cycles (commit waiters block until they
-    /// land); this surfaces the condition for operators.
+    /// Most recent journal write/fsync failure, if any. Write failures
+    /// clear once a later flush fully succeeds (the frames were retried
+    /// and landed); a poison failure is sticky until a snapshot
+    /// truncation rebuilds the file.
     pub fn last_error(&self) -> Option<String> {
         lock(&self.shared.filestate).error.clone()
+    }
+
+    /// The poison failure, when an fsync error has permanently stopped
+    /// this journal writing (see the module docs for why there is no
+    /// retry). `None` while healthy.
+    pub fn poisoned(&self) -> Option<String> {
+        if !self.shared.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        match &*lock(&self.shared.fail) {
+            FailState::Poisoned { error } => Some(error.clone()),
+            _ => Some("journal poisoned".to_string()),
+        }
     }
 
     /// True while the flusher thread is running and the journal file is
@@ -540,6 +753,10 @@ impl Journal {
     /// (the service's snapshot path) must have quiesced appends — any
     /// pending bytes are dropped, which is only sound because the
     /// snapshot captured the state they produced.
+    ///
+    /// This is also the only exit from the poisoned state: `set_len(0)`
+    /// plus a freshly written and fsynced header is a file whose entire
+    /// contents are known good, unlike any retry against the old bytes.
     pub fn truncate_to_epoch(&self, new_epoch: u64) -> std::io::Result<()> {
         let mut filestate = lock(&self.shared.filestate);
         let mut pending = lock(&self.shared.pending);
@@ -552,14 +769,33 @@ impl Journal {
         pending.base_events = 0;
         pending.retired_seqs = retired;
         drop(pending);
-        write_header(&mut filestate.file, new_epoch)?;
-        filestate.file.sync_data()?;
+        let rebuilt = write_header(filestate.file.as_mut(), new_epoch)
+            .and_then(|()| filestate.file.sync_data());
+        if let Err(e) = rebuilt {
+            // The old content is gone and the new header may be partial
+            // or un-fsynced: nothing about this file is trustworthy.
+            // Poison so no later flush writes into it (recovery is safe
+            // either way: the snapshot owns the state).
+            let msg = format!("journal rebuild failed: {e}");
+            filestate.error = Some(msg.clone());
+            self.shared.poisoned.store(true, Ordering::Release);
+            *lock(&self.shared.fail) = FailState::Poisoned { error: msg };
+            drop(filestate);
+            self.shared.durable_seq.fetch_max(retired, Ordering::AcqRel);
+            self.shared.durable_cv.notify_all();
+            return Err(e);
+        }
         filestate.durable_len = JOURNAL_HEADER;
         filestate.durable_events = 0;
         filestate.epoch = new_epoch;
-        // set_len(0) + fresh header put the file in a known-good state.
+        // set_len(0) + fresh fsynced header put the file in a known-good
+        // state: clear repair, error and poison.
         filestate.needs_repair = false;
+        filestate.error = None;
         drop(filestate);
+        self.shared.poisoned.store(false, Ordering::Release);
+        *lock(&self.shared.fail) = FailState::None;
+        self.shared.failed_hi.store(0, Ordering::Release);
         // Everything up to `retired` is trivially durable now (the
         // snapshot holds it); release any sync waiters.
         self.shared.durable_seq.fetch_max(retired, Ordering::AcqRel);
@@ -597,20 +833,30 @@ impl Journal {
     }
 }
 
+/// Which half of the durability pair failed — a write error is
+/// retryable after repair, an fsync error poisons the journal.
+enum WriteFault {
+    Write(std::io::Error),
+    Fsync(std::io::Error),
+}
+
 /// Append `bytes` and fsync, repairing the file back to its last
 /// durable length first if an earlier attempt failed partway (partial
 /// un-fsynced bytes, unknown cursor). `durable_len` advances only on
 /// full success.
-fn write_durable(filestate: &mut FileState, bytes: &[u8]) -> std::io::Result<()> {
+fn write_durable(filestate: &mut FileState, bytes: &[u8]) -> Result<(), WriteFault> {
     if filestate.needs_repair {
-        filestate.file.set_len(filestate.durable_len)?;
-        filestate
+        let repaired = filestate
             .file
-            .seek(SeekFrom::Start(filestate.durable_len))?;
-        filestate.needs_repair = false;
+            .set_len(filestate.durable_len)
+            .and_then(|()| filestate.file.seek(SeekFrom::Start(filestate.durable_len)));
+        match repaired {
+            Ok(_) => filestate.needs_repair = false,
+            Err(e) => return Err(WriteFault::Write(e)),
+        }
     }
-    filestate.file.write_all(bytes)?;
-    filestate.file.sync_data()?;
+    filestate.file.write_all(bytes).map_err(WriteFault::Write)?;
+    filestate.file.sync_data().map_err(WriteFault::Fsync)?;
     filestate.durable_len += bytes.len() as u64;
     Ok(())
 }
@@ -631,10 +877,14 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
         // owned by a snapshot / crash sim) — only then may durable_seq
         // advance and commit waiters be released. A FAILED write must
         // not ack: the bytes go back to the front of the pending buffer
-        // and the commit waiter stays blocked until a later cycle (or
-        // shutdown) actually lands them.
+        // and the commit waiter gets a typed error (it may retry the
+        // sync; a later cycle can still land the frames). A failed
+        // FSYNC poisons the journal outright — after fdatasync reports
+        // an error the page-cache state is unknowable, so "retry and
+        // see it succeed" could ack data the kernel already dropped.
         let bytes_were_empty = bytes.is_empty();
         let mut retired = false;
+        let mut failed = false;
         if !bytes.is_empty() {
             let mut filestate = lock(&shared.filestate);
             if filestate.dead || filestate.epoch != epoch_at_take {
@@ -642,21 +892,35 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
                 // here retagged the epoch: these frames are already
                 // owned elsewhere — discard and retire.
                 retired = true;
+            } else if shared.poisoned.load(Ordering::Acquire) {
+                // Poisoned: discard, never write. Waiters observe the
+                // poison through sync()'s failure check.
+                failed = true;
             } else {
                 let flush_started = Instant::now();
-                let outcome = write_durable(&mut filestate, &bytes);
-                match outcome {
+                match write_durable(&mut filestate, &bytes) {
                     Ok(()) => {
                         retired = true;
                         // Batch size: events this fsync newly covered.
                         let events =
                             seq_hi.saturating_sub(shared.durable_seq.load(Ordering::Acquire));
                         filestate.durable_events += events;
+                        // A fully successful flush clears any earlier
+                        // transient write failure (the retry landed).
+                        filestate.error = None;
                         shared.flush_stats.record(flush_started.elapsed(), events);
+                        *lock(&shared.fail) = FailState::None;
+                        shared.failed_hi.store(0, Ordering::Release);
                     }
-                    Err(e) => {
+                    Err(WriteFault::Write(e)) => {
+                        failed = true;
                         filestate.needs_repair = true;
-                        filestate.error.get_or_insert_with(|| e.to_string());
+                        filestate.error = Some(e.to_string());
+                        *lock(&shared.fail) = FailState::WriteFailed {
+                            error: e.to_string(),
+                            enospc: is_enospc(&e),
+                        };
+                        shared.failed_hi.fetch_max(seq_hi, Ordering::AcqRel);
                         drop(filestate);
                         // Restore order: failed frames precede anything
                         // appended since the take — unless a truncation
@@ -668,14 +932,29 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
                             pending.buf = restored;
                         } else {
                             retired = true;
+                            failed = false;
                         }
+                    }
+                    Err(WriteFault::Fsync(e)) => {
+                        failed = true;
+                        let msg = format!(
+                            "fdatasync failed ({e}); journal poisoned — \
+                             page-cache state unknown, no retry"
+                        );
+                        filestate.error = Some(msg.clone());
+                        // durable_len stays where the last good fsync
+                        // left it; the bytes written above are dropped
+                        // on the floor along with all pending frames.
+                        shared.poisoned.store(true, Ordering::Release);
+                        *lock(&shared.fail) = FailState::Poisoned { error: msg };
                     }
                 }
             }
         }
         // Companion (audit spill) rides every cycle, not just ones with
         // journal traffic: batch cleans produce audit records without
-        // journal events. A no-op when its buffer is empty.
+        // journal events. A no-op when its buffer is empty; failures
+        // park in the spill's own error state for the service to read.
         let companion = lock(&shared.companion).clone();
         if let Some(spill) = companion {
             let _ = spill.sync();
@@ -683,13 +962,16 @@ fn flusher_loop(shared: &Shared, interval: Duration) {
         if !bytes_were_empty && retired {
             shared.durable_seq.fetch_max(seq_hi, Ordering::AcqRel);
             shared.durable_cv.notify_all();
+        } else if failed {
+            // Wake waiters so they observe the typed failure now
+            // instead of at their next 50 ms poll.
+            shared.durable_cv.notify_all();
         }
         if shared.stop.load(Ordering::Acquire) {
             let drained = lock(&shared.pending).buf.is_empty();
-            let failed = !bytes_were_empty && !retired;
             // Drain what arrived between take and stop — but if the disk
-            // is failing (frames restored to pending), give up instead
-            // of retrying forever inside Drop.
+            // is failing (frames restored to pending) or the journal is
+            // poisoned, give up instead of retrying forever inside Drop.
             if drained || failed {
                 shared.durable_cv.notify_all();
                 return;
@@ -721,7 +1003,7 @@ impl Drop for Journal {
 }
 
 /// Convenience for tests and inspection: decode the events currently on
-/// disk (valid prefix only).
+/// disk (valid prefix only, strict mode).
 pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, CodecError> {
     scan_journal(path)
         .map(|scan| scan.events)
@@ -731,6 +1013,7 @@ pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultFs, FaultPlan, RealFs};
     use cerfix_relation::Value;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -739,6 +1022,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn real_fs() -> Arc<dyn StorageFs> {
+        Arc::new(RealFs)
     }
 
     fn ev(session: u64) -> JournalEvent {
@@ -753,12 +1040,12 @@ mod tests {
         let dir = tmp_dir("round-trip");
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
-        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &real_fs()).unwrap();
         let mut last = 0;
         for i in 0..20 {
             last = journal.append(&ev(i));
         }
-        journal.sync(last);
+        journal.sync(last).unwrap();
         assert_eq!(journal.events_appended(), 20);
         assert!(journal.durable_len() > JOURNAL_HEADER);
         drop(journal);
@@ -775,13 +1062,14 @@ mod tests {
         let dir = tmp_dir("flush-profile");
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
-        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(50)).unwrap();
+        let journal =
+            Journal::open(&path, &scan, 0, Duration::from_millis(50), &real_fs()).unwrap();
         assert_eq!(journal.flush_profile().flushes, 0);
         let mut last = 0;
         for i in 0..8 {
             last = journal.append(&ev(i));
         }
-        journal.sync(last);
+        journal.sync(last).unwrap();
         let profile = journal.flush_profile();
         assert!(profile.flushes >= 1);
         assert_eq!(profile.batch_events_total, 8);
@@ -803,9 +1091,10 @@ mod tests {
         let path = dir.join("journal.wal");
         {
             let scan = scan_journal(&path).unwrap();
-            let journal = Journal::open(&path, &scan, 3, Duration::from_millis(1)).unwrap();
+            let journal =
+                Journal::open(&path, &scan, 3, Duration::from_millis(1), &real_fs()).unwrap();
             let last = (0..5).fold(0, |_, i| journal.append(&ev(i)));
-            journal.sync(last);
+            journal.sync(last).unwrap();
         }
         let full = std::fs::read(&path).unwrap();
         let full_scan = scan_journal(&path).unwrap();
@@ -823,10 +1112,16 @@ mod tests {
             }
             seen.push(scan.events.len());
             // Reopening truncates the tail and accepts new appends.
-            let journal =
-                Journal::open(&path, &scan, scan.epoch, Duration::from_millis(1)).unwrap();
+            let journal = Journal::open(
+                &path,
+                &scan,
+                scan.epoch,
+                Duration::from_millis(1),
+                &real_fs(),
+            )
+            .unwrap();
             let seq = journal.append(&ev(99));
-            journal.sync(seq);
+            journal.sync(seq).unwrap();
             drop(journal);
             let rescan = scan_journal(&path).unwrap();
             assert_eq!(rescan.torn_bytes, 0);
@@ -837,22 +1132,141 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_frame_is_typed_in_strict_mode_and_cut_in_tolerant_mode() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("journal.wal");
+        {
+            let scan = scan_journal(&path).unwrap();
+            let journal =
+                Journal::open(&path, &scan, 0, Duration::from_millis(1), &real_fs()).unwrap();
+            let last = (0..4).fold(0, |_, i| journal.append(&ev(i)));
+            journal.sync(last).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the middle of the file: the frame is
+        // complete, so this is corruption, not a tear.
+        let mut bent = full.clone();
+        let idx = full.len() / 2;
+        bent[idx] ^= 0x01;
+        std::fs::write(&path, &bent).unwrap();
+        match scan_journal(&path) {
+            Err(StorageError::Corrupt { offset, .. }) => {
+                assert!(offset >= JOURNAL_HEADER, "corruption inside the frames");
+            }
+            other => panic!("strict scan must refuse corruption, got {other:?}"),
+        }
+        let scan = scan_journal_with(&path, ScanMode::Tolerant).unwrap();
+        assert!(scan.corrupt_bytes > 0);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(scan.events.len() < 4, "corrupt suffix dropped");
+        for (i, event) in scan.events.iter().enumerate() {
+            assert_eq!(event, &ev(i as u64), "tolerant scan keeps a clean prefix");
+        }
+        // A header flip is typed corruption too (header CRC).
+        let mut bent = full.clone();
+        bent[9] ^= 0x01; // epoch byte
+        std::fs::write(&path, &bent).unwrap();
+        assert!(matches!(
+            scan_journal(&path),
+            Err(StorageError::Corrupt { offset: 0, .. })
+        ));
+        let scan = scan_journal_with(&path, ScanMode::Tolerant).unwrap();
+        assert_eq!(scan.corrupt_bytes, full.len() as u64);
+        assert!(scan.events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_poisons_and_truncate_to_epoch_clears() {
+        let dir = tmp_dir("poison");
+        let path = dir.join("journal.wal");
+        let fault = FaultFs::new(FaultPlan::default());
+        let fs: Arc<dyn StorageFs> = Arc::new(fault.clone());
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &fs).unwrap();
+        let seq = journal.append(&ev(1));
+        journal.sync(seq).unwrap();
+        let durable_before = journal.durable_len();
+        // Fail the next fsync (open + the first sync used some).
+        fault.update_plan(|p| p.fail_fsync_at = Some(fault.fsyncs() + 1));
+        let seq = journal.append(&ev(2));
+        match journal.sync(seq) {
+            Err(SyncError::Poisoned { error }) => assert!(error.contains("injected")),
+            other => panic!("expected poison, got {other:?}"),
+        }
+        assert!(journal.poisoned().is_some());
+        assert!(journal.last_error().is_some());
+        assert_eq!(journal.durable_len(), durable_before, "no false advance");
+        // Appends after the poison fail fast instead of hanging.
+        let seq = journal.append(&ev(3));
+        assert!(matches!(journal.sync(seq), Err(SyncError::Poisoned { .. })));
+        // A snapshot truncation rebuilds the file and clears the poison.
+        journal.truncate_to_epoch(1).unwrap();
+        assert!(journal.poisoned().is_none());
+        assert!(journal.last_error().is_none());
+        let seq = journal.append(&ev(4));
+        journal.sync(seq).unwrap();
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.epoch, 1);
+        assert_eq!(scan.events, vec![ev(4)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failure_errors_waiters_then_recovers_on_retry() {
+        let dir = tmp_dir("enospc");
+        let path = dir.join("journal.wal");
+        let fault = FaultFs::new(FaultPlan::default());
+        let fs: Arc<dyn StorageFs> = Arc::new(fault.clone());
+        let scan = scan_journal(&path).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &fs).unwrap();
+        let seq = journal.append(&ev(1));
+        journal.sync(seq).unwrap();
+        // Exhaust the byte budget: the next flush hits ENOSPC.
+        fault.update_plan(|p| p.capacity_bytes = Some(fault.bytes_written()));
+        let seq = journal.append(&ev(2));
+        match journal.sync(seq) {
+            Err(SyncError::WriteFailed { enospc, .. }) => assert!(enospc),
+            other => panic!("expected ENOSPC write failure, got {other:?}"),
+        }
+        assert!(journal.last_error().is_some());
+        assert!(journal.poisoned().is_none(), "ENOSPC does not poison");
+        // "Free some disk": the restored frames retry and land, and the
+        // error state clears. A sync re-issued before the flusher's
+        // retry cycle may still observe the stale failure ("not durable
+        // *yet*"), so poll until the retry lands.
+        fault.add_capacity(1 << 20);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while journal.sync(seq).is_err() {
+            assert!(Instant::now() < deadline, "retry never landed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(journal.last_error().is_none(), "error clears on success");
+        drop(journal);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.events, vec![ev(1), ev(2)], "retried frame landed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn truncate_to_epoch_resets_and_scan_sees_new_epoch() {
         let dir = tmp_dir("epoch");
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
-        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &real_fs()).unwrap();
         let seq = journal.append(&ev(1));
-        journal.sync(seq);
+        journal.sync(seq).unwrap();
         journal.truncate_to_epoch(1).unwrap();
         let seq = journal.append(&ev(2));
-        journal.sync(seq);
+        journal.sync(seq).unwrap();
         drop(journal);
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.epoch, 1);
         assert_eq!(scan.events, vec![ev(2)]);
         // A stale journal (epoch < snapshot epoch) is reset on open.
-        let reopened = Journal::open(&path, &scan, 5, Duration::from_millis(1)).unwrap();
+        let reopened =
+            Journal::open(&path, &scan, 5, Duration::from_millis(1), &real_fs()).unwrap();
         drop(reopened);
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.epoch, 5);
@@ -866,9 +1280,10 @@ mod tests {
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
         // Hour-long interval: nothing flushes unless sync() forces it.
-        let journal = Journal::open(&path, &scan, 0, Duration::from_secs(3600)).unwrap();
+        let journal =
+            Journal::open(&path, &scan, 0, Duration::from_secs(3600), &real_fs()).unwrap();
         let durable_seq = journal.append(&ev(1));
-        journal.sync(durable_seq);
+        journal.sync(durable_seq).unwrap();
         journal.append(&ev(2)); // never synced
         journal.simulate_crash().unwrap();
         drop(journal);
@@ -883,14 +1298,14 @@ mod tests {
         let dir = tmp_dir("cursor");
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
-        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &real_fs()).unwrap();
         assert_eq!(journal.durable_position(), (0, 0));
         let mut last = 0;
         for i in 0..6 {
             last = journal.append(&ev(i));
         }
         assert_eq!(journal.position_of(last), 6);
-        journal.sync(last);
+        journal.sync(last).unwrap();
         assert_eq!(journal.durable_position(), (0, 6));
         let read = journal.read_durable_from(2, 3).unwrap();
         assert_eq!((read.epoch, read.durable_events), (0, 6));
@@ -899,11 +1314,11 @@ mod tests {
         drop(journal);
         // Seqs restart at 1 on reopen; file positions do not.
         let scan = scan_journal(&path).unwrap();
-        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1)).unwrap();
+        let journal = Journal::open(&path, &scan, 0, Duration::from_millis(1), &real_fs()).unwrap();
         assert_eq!(journal.durable_position(), (0, 6));
         let seq = journal.append(&ev(6));
         assert_eq!(journal.position_of(seq), 7);
-        journal.sync(seq);
+        journal.sync(seq).unwrap();
         assert_eq!(
             journal.read_durable_from(6, 10).unwrap().events,
             vec![ev(6)]
@@ -913,7 +1328,7 @@ mod tests {
         assert_eq!(journal.durable_position(), (1, 0));
         let seq = journal.append(&ev(7));
         assert_eq!(journal.position_of(seq), 1);
-        journal.sync(seq);
+        journal.sync(seq).unwrap();
         let read = journal.read_durable_from(0, 10).unwrap();
         assert_eq!(read.epoch, 1);
         assert_eq!(read.events, vec![ev(7)]);
@@ -925,7 +1340,8 @@ mod tests {
         let dir = tmp_dir("group");
         let path = dir.join("journal.wal");
         let scan = scan_journal(&path).unwrap();
-        let journal = Arc::new(Journal::open(&path, &scan, 0, Duration::from_millis(2)).unwrap());
+        let journal =
+            Arc::new(Journal::open(&path, &scan, 0, Duration::from_millis(2), &real_fs()).unwrap());
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 let journal = Arc::clone(&journal);
@@ -933,7 +1349,7 @@ mod tests {
                     for i in 0..50u64 {
                         let seq = journal.append(&ev(t * 1000 + i));
                         if i % 10 == 9 {
-                            journal.sync(seq);
+                            journal.sync(seq).unwrap();
                         }
                     }
                 })
@@ -943,7 +1359,7 @@ mod tests {
             h.join().unwrap();
         }
         let last = journal.append(&ev(9999));
-        journal.sync(last);
+        journal.sync(last).unwrap();
         drop(journal);
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.events.len(), 201);

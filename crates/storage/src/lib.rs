@@ -36,6 +36,23 @@
 //! cut at the last complete frame and loses only un-fsynced suffix
 //! events. The audit segment is never truncated — it is the system's
 //! provenance archive.
+//!
+//! ## Fault tolerance
+//!
+//! Every write-path syscall goes through the pluggable [`vfs`] layer
+//! ([`RealFs`] in production, [`FaultFs`] under test), so ENOSPC, EIO,
+//! torn writes, bit flips and dropped renames can be injected
+//! deterministically. The failure contract they exercise:
+//!
+//! * a failed journal **write** is retryable ([`SyncError::WriteFailed`]
+//!   — the commit was *not* acked, frames retry next cycle);
+//! * a failed journal **fsync** permanently poisons the writer
+//!   ([`SyncError::Poisoned`] — fsyncgate semantics: after `fdatasync`
+//!   errors, a retried-and-"successful" fsync proves nothing);
+//! * **corruption** (a complete frame or snapshot failing its checksum)
+//!   is a typed [`StorageError::Corrupt`] with file and offset — never
+//!   a silently wrong recovery ([`scrub`] is the offline/online
+//!   detector; replica re-sync, in the server crate, is the repair).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,18 +60,23 @@
 pub mod codec;
 mod events;
 mod journal;
+pub mod scrub;
 pub mod snapshot;
 mod spill;
+pub mod vfs;
 
 pub use codec::CodecError;
 pub use events::{
     decode_audit_record, encode_audit_record, JournalEvent, SessionSnapshot, SnapshotData,
 };
 pub use journal::{
-    read_events, scan_journal, CursorRead, FlushProfile, Journal, JournalScan, JOURNAL_HEADER,
+    read_events, scan_journal, scan_journal_with, CursorRead, FlushProfile, Journal, JournalScan,
+    ScanMode, SyncError, JOURNAL_HEADER,
 };
+pub use scrub::{scrub_dir, Corruption, ScrubReport};
 pub use snapshot::{load_snapshot, write_snapshot, SNAPSHOT_FILE, SNAPSHOT_TMP};
 pub use spill::{AuditSpill, SpillScan};
+pub use vfs::{FaultFs, FaultPlan, RealFs, StorageFile, StorageFs};
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +87,68 @@ use std::time::{Duration, Instant};
 pub const JOURNAL_FILE: &str = "journal.wal";
 /// File name of the audit spill segment inside a data dir.
 pub const AUDIT_FILE: &str = "audit.seg";
+
+/// Why an on-disk structure could not be trusted.
+///
+/// The two variants draw the line the whole crate is built around: an
+/// environmental I/O failure ([`Io`](Self::Io)) may be transient and
+/// names no bytes, while [`Corrupt`](Self::Corrupt) means a *complete,
+/// previously acknowledged* structure failed verification — recovery
+/// must refuse (or, on a replica, re-fetch) rather than guess.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying read/write failed.
+    Io(std::io::Error),
+    /// A checksum-verified structure no longer verifies: bit rot,
+    /// a bad block, or outside interference.
+    Corrupt {
+        /// The damaged file (full path as scanned).
+        file: String,
+        /// Byte offset of the first damaged region.
+        offset: u64,
+        /// What failed to verify (CRC mismatch, bad magic, ...).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt: {file} @ {offset}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+impl From<StorageError> for std::io::Error {
+    fn from(e: StorageError) -> std::io::Error {
+        match e {
+            StorageError::Io(e) => e,
+            corrupt @ StorageError::Corrupt { .. } => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, corrupt.to_string())
+            }
+        }
+    }
+}
 
 /// Tunables for a [`Storage`].
 #[derive(Debug, Clone)]
@@ -82,11 +166,20 @@ pub struct StorageConfig {
     /// Also snapshot (regardless of the interval) once this many events
     /// accumulate in the journal — bounds replay time after a crash.
     pub snapshot_every_events: u64,
+    /// The filesystem every write-path syscall goes through —
+    /// [`RealFs`] in production, [`FaultFs`] under fault injection.
+    pub fs: Arc<dyn StorageFs>,
+    /// How recovery treats a complete-but-corrupt journal frame:
+    /// [`ScanMode::Strict`] (a primary refuses with a typed error)
+    /// or [`ScanMode::Tolerant`] (a replica keeps the clean prefix and
+    /// re-fetches the corrupt suffix from its primary).
+    pub scan_mode: ScanMode,
 }
 
 impl StorageConfig {
     /// Defaults for `dir`: 2 ms group commits, 4096-record audit
-    /// window, snapshots every 60 s or 50 000 events.
+    /// window, snapshots every 60 s or 50 000 events, the real
+    /// filesystem, strict corruption handling.
     pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
         StorageConfig {
             dir: dir.into(),
@@ -94,6 +187,8 @@ impl StorageConfig {
             audit_window: 4096,
             snapshot_interval: Duration::from_secs(60),
             snapshot_every_events: 50_000,
+            fs: Arc::new(RealFs),
+            scan_mode: ScanMode::Strict,
         }
     }
 }
@@ -110,6 +205,11 @@ pub struct RecoveredState {
     pub events: Vec<JournalEvent>,
     /// Journal bytes discarded as a torn tail.
     pub journal_torn_bytes: u64,
+    /// Journal bytes discarded as *corruption* under
+    /// [`ScanMode::Tolerant`] — acked events a replica must re-fetch
+    /// from its primary (always 0 in strict mode, which errors
+    /// instead).
+    pub journal_corrupt_bytes: u64,
     /// Audit records recovered from the spill segment.
     pub audit_records: usize,
     /// Audit-segment bytes discarded as a torn tail.
@@ -133,14 +233,19 @@ impl Storage {
     /// the valid suffix of events, cut torn tails, and reopen the audit
     /// segment. The returned [`RecoveredState`] is what the service
     /// replays.
-    pub fn open(config: StorageConfig) -> std::io::Result<(Storage, RecoveredState)> {
+    ///
+    /// Corruption (as opposed to a legal torn tail) is a typed
+    /// [`StorageError::Corrupt`] under the default
+    /// [`ScanMode::Strict`]; a replica opens with
+    /// [`ScanMode::Tolerant`] and re-fetches instead.
+    pub fn open(config: StorageConfig) -> Result<(Storage, RecoveredState), StorageError> {
         std::fs::create_dir_all(&config.dir)?;
         // A tmp left by a crash mid-snapshot is garbage by construction.
         let _ = std::fs::remove_file(config.dir.join(SNAPSHOT_TMP));
         let snapshot = snapshot::load_snapshot(&config.dir)?;
         let snapshot_epoch = snapshot.as_ref().map_or(0, |s| s.epoch);
         let journal_path = config.dir.join(JOURNAL_FILE);
-        let scan = journal::scan_journal(&journal_path)?;
+        let scan = journal::scan_journal_with(&journal_path, config.scan_mode)?;
         // The journal's events belong to this snapshot lineage only if
         // the epochs agree; otherwise the snapshot already covers them
         // (crash between rename and truncate) and the journal is reset.
@@ -149,14 +254,21 @@ impl Storage {
         } else {
             (Vec::new(), scan.torn_bytes + scan.valid_len)
         };
-        let journal = Journal::open(&journal_path, &scan, snapshot_epoch, config.flush_interval)?;
-        let (spill, spill_scan) = AuditSpill::open(&config.dir.join(AUDIT_FILE))?;
+        let journal = Journal::open(
+            &journal_path,
+            &scan,
+            snapshot_epoch,
+            config.flush_interval,
+            &config.fs,
+        )?;
+        let (spill, spill_scan) = AuditSpill::open(&config.dir.join(AUDIT_FILE), &config.fs)?;
         let spill = Arc::new(spill);
         journal.set_companion(Arc::clone(&spill));
         let recovered = RecoveredState {
             snapshot,
             events,
             journal_torn_bytes: journal_torn,
+            journal_corrupt_bytes: scan.corrupt_bytes,
             audit_records: spill_scan.records,
             audit_torn_bytes: spill_scan.torn_bytes,
         };
@@ -181,9 +293,12 @@ impl Storage {
     }
 
     /// Block until the fsync covering `seq` (journal *and* audit spill)
-    /// completes.
-    pub fn sync(&self, seq: u64) {
-        self.journal.sync(seq);
+    /// completes. Returns a typed [`SyncError`] — never hangs — when
+    /// the covering write failed (retryable), the journal poisoned
+    /// (permanent until a snapshot rebuilds the file), or the journal
+    /// stopped.
+    pub fn sync(&self, seq: u64) -> Result<(), SyncError> {
+        self.journal.sync(seq)
     }
 
     /// The write-ahead journal.
@@ -204,6 +319,13 @@ impl Storage {
     /// Configuration this storage was opened with.
     pub fn config(&self) -> &StorageConfig {
         &self.config
+    }
+
+    /// Free bytes under the data directory, when the filesystem layer
+    /// can tell ([`FaultFs`] reports its remaining injected budget;
+    /// [`RealFs`] returns `None` and the server probes the OS itself).
+    pub fn free_bytes(&self) -> Option<u64> {
+        self.config.fs.free_bytes(&self.config.dir)
     }
 
     /// Current snapshot epoch.
@@ -260,11 +382,15 @@ impl Storage {
     /// Ordering is crash-safe at every step: the snapshot is renamed
     /// into place *before* the journal is truncated, so a crash between
     /// the two leaves a stale-epoch journal that recovery ignores.
+    ///
+    /// This is also the only exit from a poisoned journal: `set_len(0)`
+    /// plus a freshly written, fsynced header is a file whose entire
+    /// contents are known good — unlike any retry against old bytes.
     pub fn install_snapshot(&self, data: &SnapshotData) -> std::io::Result<()> {
         debug_assert!(data.epoch > self.epoch());
         // Make the audit archive at least as fresh as the snapshot.
         self.spill.sync()?;
-        snapshot::write_snapshot(&self.config.dir, data)?;
+        snapshot::write_snapshot(self.config.fs.as_ref(), &self.config.dir, data)?;
         self.journal.truncate_to_epoch(data.epoch)?;
         self.epoch.store(data.epoch, Ordering::Release);
         self.events_since_snapshot.store(0, Ordering::Relaxed);
@@ -273,6 +399,19 @@ impl Storage {
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = Instant::now();
         Ok(())
+    }
+
+    /// Verify checksums across the live directory — the `scrub`
+    /// protocol op. Only the *durable* prefix of the journal and audit
+    /// segment is read, so bytes the flusher is concurrently writing
+    /// are never misdiagnosed as damage; the snapshot is immutable
+    /// between installs and is read whole.
+    pub fn scrub(&self) -> std::io::Result<ScrubReport> {
+        scrub::scrub_with_limits(
+            &self.config.dir,
+            Some(self.journal.durable_len()),
+            Some(self.spill.durable_len()),
+        )
     }
 
     /// Simulate a kill-9 with a cold page cache: every file rolls back
@@ -320,11 +459,12 @@ mod tests {
             assert!(recovered.events.is_empty());
             let seq = storage.append(&ev(1));
             storage.append(&ev(2));
-            storage.sync(seq + 1);
+            storage.sync(seq + 1).unwrap();
         }
         let (_, recovered) = Storage::open(config(&dir)).unwrap();
         assert_eq!(recovered.events, vec![ev(1), ev(2)]);
         assert_eq!(recovered.journal_torn_bytes, 0);
+        assert_eq!(recovered.journal_corrupt_bytes, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -334,7 +474,7 @@ mod tests {
         {
             let (storage, _) = Storage::open(config(&dir)).unwrap();
             let seq = storage.append(&ev(1));
-            storage.sync(seq);
+            storage.sync(seq).unwrap();
             storage
                 .install_snapshot(&SnapshotData {
                     epoch: 1,
@@ -348,7 +488,7 @@ mod tests {
             assert_eq!(storage.epoch(), 1);
             assert_eq!(storage.events_since_snapshot(), 0);
             let seq = storage.append(&ev(2));
-            storage.sync(seq);
+            storage.sync(seq).unwrap();
         }
         let (_, recovered) = Storage::open(config(&dir)).unwrap();
         assert_eq!(recovered.snapshot.as_ref().unwrap().epoch, 1);
@@ -358,6 +498,7 @@ mod tests {
         // by writing a *newer* snapshot while the journal stays at the
         // old epoch. The journal must be ignored.
         write_snapshot(
+            &RealFs,
             &dir,
             &SnapshotData {
                 epoch: 9,
@@ -391,6 +532,69 @@ mod tests {
         storage.append(&ev(2));
         storage.append(&ev(3));
         assert!(storage.should_snapshot(), "event budget reached");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_refuses_open_with_typed_error() {
+        let dir = tmp_dir("corrupt-open");
+        {
+            let (storage, _) = Storage::open(config(&dir)).unwrap();
+            let seq = storage.append(&ev(1));
+            storage.sync(seq).unwrap();
+            storage
+                .install_snapshot(&SnapshotData {
+                    epoch: 1,
+                    fingerprint: 0,
+                    rules_dsl: String::new(),
+                    next_session_id: 2,
+                    master_appended: vec![],
+                    sessions: vec![],
+                })
+                .unwrap();
+        }
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        match Storage::open(config(&dir)) {
+            Err(StorageError::Corrupt { file, .. }) => {
+                assert!(file.ends_with(SNAPSHOT_FILE));
+            }
+            other => panic!("expected typed corruption, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerant_open_cuts_corrupt_journal_suffix_and_reports_it() {
+        let dir = tmp_dir("tolerant-open");
+        {
+            let (storage, _) = Storage::open(config(&dir)).unwrap();
+            let last = (1..=4).fold(0, |_, i| storage.append(&ev(i)));
+            storage.sync(last).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Storage::open(config(&dir)),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let mut cfg = config(&dir);
+        cfg.scan_mode = ScanMode::Tolerant;
+        let (storage, recovered) = Storage::open(cfg).unwrap();
+        assert!(recovered.journal_corrupt_bytes > 0);
+        assert!(recovered.events.len() < 4, "corrupt suffix dropped");
+        for (i, event) in recovered.events.iter().enumerate() {
+            assert_eq!(event, &ev(i as u64 + 1), "clean prefix preserved");
+        }
+        // The re-opened journal accepts appends after the cut.
+        let seq = storage.append(&ev(9));
+        storage.sync(seq).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,22 +23,32 @@
 
 use crate::codec::{self};
 use crate::events::{decode_audit_record, encode_audit_record};
+use crate::vfs::{StorageFile, StorageFs};
 use cerfix::{AuditRecord, AuditSink};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
-const MAGIC: &[u8; 4] = b"CFXA";
-const VERSION: u32 = 1;
-const SEGMENT_HEADER: u64 = 8;
+pub(crate) const MAGIC: &[u8; 4] = b"CFXA";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const SEGMENT_HEADER: u64 = 8;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// `io::Read` over a [`StorageFile`] so the recovery scan can stream
+/// through a `BufReader` without caring which vfs backs the file.
+struct ReadAdapter<'a>(&'a mut dyn StorageFile);
+
+impl Read for ReadAdapter<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
 struct SpillState {
-    file: File,
+    file: Box<dyn StorageFile>,
     /// Byte offset of every record's frame, flushed or buffered.
     offsets: Vec<u64>,
     /// Records already in `offsets` when the segment was opened.
@@ -55,8 +65,12 @@ struct SpillState {
     /// past `committed` and the cursor is unknown. The next sync
     /// truncates back to `committed` before writing.
     needs_repair: bool,
-    /// First write/fsync failure, surfaced via `last_error`.
+    /// Most recent write/fsync failure, surfaced via `last_error`;
+    /// cleared when a later sync lands the buffer successfully.
     error: Option<String>,
+    /// Total write/fsync failures over the life of this handle (each
+    /// failed sync cycle counts once), surfaced via `write_errors`.
+    write_errors: u64,
 }
 
 /// The audit spill segment. Implements [`AuditSink`] so a windowed
@@ -93,14 +107,9 @@ impl AuditSpill {
     /// without bound by design, so startup memory must not grow with it
     /// (the index itself costs 8 bytes per record; segment rotation is
     /// the ROADMAP item that will bound that too).
-    pub fn open(path: &Path) -> std::io::Result<(AuditSpill, SpillScan)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let file_len = file.metadata()?.len();
+    pub fn open(path: &Path, fs: &Arc<dyn StorageFs>) -> std::io::Result<(AuditSpill, SpillScan)> {
+        let mut file = fs.open_rw(path)?;
+        let file_len = file.file_len()?;
         let mut offsets = Vec::new();
         let mut valid_len = SEGMENT_HEADER;
         let mut header = [0u8; SEGMENT_HEADER as usize];
@@ -123,7 +132,7 @@ impl AuditSpill {
                 ));
             }
             {
-                let mut reader = std::io::BufReader::new(&mut file);
+                let mut reader = std::io::BufReader::new(ReadAdapter(file.as_mut()));
                 let mut frame = [0u8; codec::FRAME_HEADER];
                 let mut payload = Vec::new();
                 let mut at = SEGMENT_HEADER;
@@ -178,6 +187,7 @@ impl AuditSpill {
                     dead: false,
                     needs_repair: false,
                     error: None,
+                    write_errors: 0,
                 }),
                 path: path.to_path_buf(),
             },
@@ -211,6 +221,7 @@ impl AuditSpill {
                 Ok(()) => {
                     state.committed += buffer.len() as u64;
                     state.durable = state.committed;
+                    state.error = None; // archive caught up again
                     Ok(())
                 }
                 Err(e) => {
@@ -221,7 +232,8 @@ impl AuditSpill {
         })();
         if let Err(e) = &result {
             state.needs_repair = true;
-            state.error.get_or_insert_with(|| e.to_string());
+            state.write_errors += 1;
+            state.error = Some(e.to_string());
         }
         result
     }
@@ -237,10 +249,20 @@ impl AuditSpill {
         lock(&self.state).durable
     }
 
-    /// First write failure, if any (appends are infallible on the
-    /// [`AuditSink`] trait; failures park here).
+    /// Most recent write failure, if any (appends are infallible on the
+    /// [`AuditSink`] trait; failures park here until a later sync lands
+    /// the buffer). `Some` means the on-disk archive is currently
+    /// *behind* the in-memory index — an `audit.read` answered from disk
+    /// may be shorter than `len()` suggests.
     pub fn last_error(&self) -> Option<String> {
         lock(&self.state).error.clone()
+    }
+
+    /// Total write/fsync failures since open (one per failed sync
+    /// cycle). Monotonic — unlike [`last_error`](Self::last_error),
+    /// which clears on recovery — so stats can expose a counter.
+    pub fn write_errors(&self) -> u64 {
+        lock(&self.state).write_errors
     }
 
     /// Simulate a kill-9 with a cold page cache: lose the buffer and
@@ -291,7 +313,7 @@ impl AuditSink for AuditSpill {
                     .flatten()
                     .and_then(|(payload, _)| decode_audit_record(payload).ok())
             } else {
-                read_record_at(&mut state.file, offset)
+                read_record_at(state.file.as_mut(), offset)
             };
             match record {
                 Some(record) => out.push(record),
@@ -311,7 +333,7 @@ impl AuditSink for AuditSpill {
 
 /// Read one framed record at `offset` via seek+read (the state lock
 /// serializes this against appends).
-fn read_record_at(file: &mut File, offset: u64) -> Option<AuditRecord> {
+fn read_record_at(file: &mut dyn StorageFile, offset: u64) -> Option<AuditRecord> {
     file.seek(SeekFrom::Start(offset)).ok()?;
     let mut header = [0u8; codec::FRAME_HEADER];
     file.read_exact(&mut header).ok()?;
@@ -326,8 +348,13 @@ fn read_record_at(file: &mut File, offset: u64) -> Option<AuditRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealFs;
     use cerfix::CellEvent;
     use cerfix_relation::Value;
+
+    fn real_fs() -> Arc<dyn StorageFs> {
+        Arc::new(RealFs)
+    }
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cerfix-spill-{name}-{}", std::process::id()));
@@ -351,7 +378,7 @@ mod tests {
     #[test]
     fn append_read_reopen() {
         let path = tmp("reopen");
-        let (spill, scan) = AuditSpill::open(&path).unwrap();
+        let (spill, scan) = AuditSpill::open(&path, &real_fs()).unwrap();
         assert_eq!(scan.records, 0);
         for i in 0..10 {
             spill.append(&rec(i));
@@ -367,7 +394,7 @@ mod tests {
         spill.sync().unwrap();
         assert_eq!(spill.len(), 13);
         drop(spill);
-        let (reopened, scan) = AuditSpill::open(&path).unwrap();
+        let (reopened, scan) = AuditSpill::open(&path, &real_fs()).unwrap();
         assert_eq!(scan.records, 13);
         assert_eq!(scan.torn_bytes, 0);
         assert_eq!(reopened.recovered_records(), 13);
@@ -383,7 +410,7 @@ mod tests {
     fn torn_tail_is_dropped_on_open() {
         let path = tmp("torn");
         {
-            let (spill, _) = AuditSpill::open(&path).unwrap();
+            let (spill, _) = AuditSpill::open(&path, &real_fs()).unwrap();
             for i in 0..5 {
                 spill.append(&rec(i));
             }
@@ -392,7 +419,7 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         // Tear mid-way through the last record.
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
-        let (spill, scan) = AuditSpill::open(&path).unwrap();
+        let (spill, scan) = AuditSpill::open(&path, &real_fs()).unwrap();
         assert_eq!(scan.records, 4);
         assert!(scan.torn_bytes > 0);
         assert_eq!(spill.read(0, 10).len(), 4);
@@ -402,7 +429,7 @@ mod tests {
     #[test]
     fn crash_simulation_keeps_only_durable_records() {
         let path = tmp("crash");
-        let (spill, _) = AuditSpill::open(&path).unwrap();
+        let (spill, _) = AuditSpill::open(&path, &real_fs()).unwrap();
         for i in 0..3 {
             spill.append(&rec(i));
         }
@@ -412,7 +439,7 @@ mod tests {
         }
         spill.simulate_crash().unwrap();
         drop(spill);
-        let (reopened, scan) = AuditSpill::open(&path).unwrap();
+        let (reopened, scan) = AuditSpill::open(&path, &real_fs()).unwrap();
         assert_eq!(scan.records, 3);
         assert_eq!(reopened.read(0, 10).len(), 3);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());

@@ -113,13 +113,14 @@ fn usage() -> ExitCode {
                           [--input-header a,b,c] [--session-ttl-secs S] [--max-sessions N]\n  \
                           [--frontend epoll|threads|auto]\n  \
                           [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
-                          [--trace-buffer N] [--slow-ms T] [--diag-buffer N] [--diag-file F]\n  \
-                          [--replicate-from ADDR] [--quorum N] [--ack-timeout-ms T] [--advertise ADDR]\n  \
-                          [--max-lag SECS]\n  \
+                          [--min-free-bytes N] [--trace-buffer N] [--slow-ms T] [--diag-buffer N]\n  \
+                          [--diag-file F] [--replicate-from ADDR] [--quorum N] [--ack-timeout-ms T]\n  \
+                          [--advertise ADDR] [--max-lag SECS]\n  \
          cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom] [--cluster]\n  \
                           [--watch [--interval-secs S]] [--log [--level L] [--subsystem S]]\n  \
          cerfix promote  [--addr 127.0.0.1:7117]\n  \
-         cerfix recover  --data-dir DIR [--inspect]"
+         cerfix recover  --data-dir DIR [--inspect]\n  \
+         cerfix scrub    --data-dir DIR"
     );
     ExitCode::from(2)
 }
@@ -408,6 +409,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         )?),
         replicate_from: replicate_from.clone(),
         cluster_size,
+        min_free_bytes: parse_option(args, "min-free-bytes", defaults.min_free_bytes)?,
         ack_timeout: std::time::Duration::from_millis(parse_option(
             args,
             "ack-timeout-ms",
@@ -453,6 +455,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 "snapshot-interval-secs",
                 storage_config.snapshot_interval.as_secs(),
             )?);
+            // A follower has a second copy of the truth upstream: a
+            // corrupt journal suffix is recoverable by re-sync, so keep
+            // the clean prefix and start tailing instead of refusing to
+            // boot. A primary stays Strict — silently dropping
+            // acknowledged frames on the only copy would lose data.
+            if replicate_from.is_some() {
+                storage_config.scan_mode = cerfix_storage::ScanMode::Tolerant;
+            }
             let service = CleaningService::with_storage(master, rules, config, storage_config)
                 .map_err(|e| format!("open data dir {dir}: {e}"))?;
             let recovered = service.metrics().sessions_recovered;
@@ -1006,6 +1016,56 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cerfix scrub --data-dir DIR`: verify every checksum in a quiesced
+/// data directory and exit nonzero if anything acknowledged is damaged.
+/// Torn tails (crash residue that recovery truncates) are reported but
+/// are not corruption. Storage-only, like `recover`: works on a box
+/// that just has the files.
+fn cmd_scrub(args: &Args) -> Result<(), String> {
+    let dir = std::path::PathBuf::from(args.options.get("data-dir").ok_or("missing --data-dir")?);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let report = cerfix_storage::scrub_dir(&dir).map_err(|e| format!("scrub: {e}"))?;
+    println!(
+        "journal:  {} frames verified, {} torn bytes",
+        report.journal_frames, report.journal_torn_bytes
+    );
+    println!(
+        "snapshot: {}",
+        if report.snapshot_present {
+            if report
+                .corruptions
+                .iter()
+                .any(|c| c.file.contains("snapshot"))
+            {
+                "present (CORRUPT)"
+            } else {
+                "present, verified"
+            }
+        } else {
+            "none"
+        }
+    );
+    println!(
+        "audit:    {} records verified, {} torn bytes",
+        report.audit_records, report.audit_torn_bytes
+    );
+    if report.clean() {
+        println!("scrub: clean");
+        Ok(())
+    } else {
+        for corruption in &report.corruptions {
+            eprintln!("corrupt: {corruption}");
+        }
+        Err(format!(
+            "{} corruption(s) found — restore from a replica (`--replicate-from` re-syncs \
+             automatically) or from a snapshot backup",
+            report.corruptions.len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
@@ -1019,6 +1079,7 @@ fn main() -> ExitCode {
         "top" => cmd_top(&args),
         "promote" => cmd_promote(&args),
         "recover" => cmd_recover(&args),
+        "scrub" => cmd_scrub(&args),
         _ => return usage(),
     };
     match result {

@@ -42,6 +42,15 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
+/// End-of-test cleanup. With `CERFIX_KEEP_CRASH_DIRS` set the data
+/// directories survive so CI's scrub step can run `cerfix scrub` over
+/// real crash residue (kill -9, torn writes, byte-cut journals).
+fn cleanup(dir: &Path) {
+    if std::env::var_os("CERFIX_KEEP_CRASH_DIRS").is_none() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 /// Storage where nothing is durable except through explicit syncs
 /// (commit acks) — the crash window is then fully test-controlled.
 fn manual_storage(dir: &Path) -> StorageConfig {
@@ -254,14 +263,14 @@ fn torn_journal_recovery_matches_oracle_at_every_cut() {
             "cut {cut}: recovered counter"
         );
         drop(service);
-        let _ = std::fs::remove_dir_all(&case_dir);
+        cleanup(&case_dir);
     }
     assert!(
         prefix_lens.len() > 5,
         "sweep exercised {} distinct prefix lengths",
         prefix_lens.len()
     );
-    let _ = std::fs::remove_dir_all(&dir);
+    cleanup(&dir);
 }
 
 /// 2a. Crash mid-snapshot: the half-written tmp is ignored; the previous
@@ -309,7 +318,7 @@ fn crash_mid_snapshot_recovers_from_previous_state() {
             assert_eq!(view.tuple.len(), schema.arity());
         }
     }
-    let _ = std::fs::remove_dir_all(&dir);
+    cleanup(&dir);
 }
 
 /// 2b. Crash between snapshot rename and journal truncation: the stale
@@ -355,7 +364,7 @@ fn stale_epoch_journal_is_not_double_applied() {
         assert_eq!(after.validated, before.validated, "session {id}");
     }
     assert_eq!(schema.arity(), 9);
-    let _ = std::fs::remove_dir_all(&dir);
+    cleanup(&dir);
 }
 
 // ---------------------------------------------------------------------
@@ -437,13 +446,15 @@ proptest! {
         let path = dir.join(JOURNAL_FILE);
         {
             let scan = scan_journal(&path).unwrap();
+            let fs: std::sync::Arc<dyn cerfix_storage::StorageFs> =
+                std::sync::Arc::new(cerfix_storage::RealFs);
             let journal = cerfix_storage::Journal::open(
-                &path, &scan, 0, Duration::from_secs(3600)).unwrap();
+                &path, &scan, 0, Duration::from_secs(3600), &fs).unwrap();
             let mut last = 0;
             for event in &events {
                 last = journal.append(event);
             }
-            journal.sync(last);
+            journal.sync(last).unwrap();
         }
         let scan = scan_journal(&path).unwrap();
         prop_assert_eq!(&scan.events, &events);
@@ -456,7 +467,7 @@ proptest! {
         let scan = scan_journal(&path).unwrap();
         prop_assert!(scan.events.len() <= events.len());
         prop_assert_eq!(&scan.events[..], &events[..scan.events.len()]);
-        let _ = std::fs::remove_dir_all(&dir);
+        cleanup(&dir);
     }
 
     /// Snapshot payloads round-trip for arbitrary session states.
@@ -638,7 +649,7 @@ fn kill_dash_nine_with_frontend(frontend: &str) {
 
     let _ = client.shutdown();
     let _ = child.wait();
-    let _ = std::fs::remove_dir_all(&dir);
+    cleanup(&dir);
 }
 
 // ---------------------------------------------------------------------
@@ -820,5 +831,5 @@ fn three_node_cluster_survives_follower_and_primary_kills() {
     let _ = f2.wait();
     let _ = f1c.shutdown();
     let _ = f1.wait();
-    let _ = std::fs::remove_dir_all(&dir);
+    cleanup(&dir);
 }
