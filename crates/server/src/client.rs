@@ -14,7 +14,12 @@ use crate::wire::{Json, WireError};
 use cerfix_relation::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Redirect-follow cap per request: a `not_primary` chain longer than
+/// this means the cluster cannot agree who leads — give the caller the
+/// error instead of ping-ponging.
+const MAX_REDIRECTS: u32 = 4;
 
 /// Reconnect/retry behavior for [`TcpTransport`].
 ///
@@ -98,6 +103,77 @@ pub(crate) fn jitter_seed() -> u64 {
     (nanos << 1) | 1
 }
 
+/// Token-bucket retry budget: the governor that keeps client retries
+/// from amplifying an overload.
+///
+/// Every `overloaded` / `draining` retry and every `not_primary`
+/// redirect spends one token; tokens refill at `refill_per_sec` up to
+/// `capacity`. A healthy client with occasional hiccups never notices
+/// the budget; a client facing a persistently overloaded server runs
+/// dry and starts surfacing the typed errors to its caller instead of
+/// hammering the server — turning N retrying clients from a thundering
+/// herd into a bounded, self-limiting trickle.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    tokens: f64,
+    capacity: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl Default for RetryBudget {
+    /// A small burst allowance (4 tokens) refilling at 1 token/sec —
+    /// enough to follow a failover redirect chain, too slow to sustain
+    /// a retry storm.
+    fn default() -> RetryBudget {
+        RetryBudget::new(4, 1.0)
+    }
+}
+
+impl RetryBudget {
+    /// A budget holding at most `capacity` tokens (starts full),
+    /// refilling continuously at `refill_per_sec`.
+    pub fn new(capacity: u32, refill_per_sec: f64) -> RetryBudget {
+        RetryBudget {
+            tokens: capacity as f64,
+            capacity: capacity as f64,
+            refill_per_sec: refill_per_sec.max(0.0),
+            last: Instant::now(),
+        }
+    }
+
+    /// Spend one token if available. `false` means the budget is
+    /// exhausted — do not retry.
+    pub fn try_spend(&mut self) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The new-primary address inside a `not_primary` error, when the
+/// follower knows one ("… primary is 127.0.0.1:7117"). Addresses are
+/// host:port; a follower that lost its primary says "unknown", which
+/// is not followable.
+fn redirect_target(message: &str) -> Option<&str> {
+    if !message.starts_with("not_primary") {
+        return None;
+    }
+    let addr = message.rsplit("primary is ").next()?.trim();
+    if addr.contains(':') && !addr.contains(' ') {
+        Some(addr)
+    } else {
+        None
+    }
+}
+
 /// xorshift64*: tiny, stateless-dependency PRNG for jitter only.
 pub(crate) fn next_rand(seed: &mut u64) -> u64 {
     let mut x = *seed;
@@ -155,6 +231,23 @@ pub trait Transport {
 
     /// Receive the next response line (for a previously sent request).
     fn recv(&mut self) -> Result<String, ClientError>;
+
+    /// Re-point the transport at a different server (a `not_primary`
+    /// redirect). `false` means this transport cannot move (the
+    /// in-process transport, for one) and the redirect error should
+    /// surface to the caller.
+    fn repoint(&mut self, addr: &str) -> bool {
+        let _ = addr;
+        false
+    }
+
+    /// Spend one token from the transport's retry budget. `false`
+    /// means the budget is dry — surface the error instead of
+    /// retrying. Transports without a budget never authorize a retry,
+    /// so budget-governed redirect/retry loops are opt-in by transport.
+    fn spend_retry(&mut self) -> bool {
+        false
+    }
 }
 
 /// Blocking TCP transport with redial: any I/O failure marks the
@@ -172,6 +265,9 @@ pub struct TcpTransport {
     /// response, so it is never reused.
     broken: bool,
     seed: u64,
+    /// Governs `not_primary` redirects and `overloaded`/`draining`
+    /// retries so they cannot amplify an overload.
+    budget: RetryBudget,
 }
 
 impl TcpTransport {
@@ -255,6 +351,19 @@ impl Transport for TcpTransport {
     fn recv(&mut self) -> Result<String, ClientError> {
         self.recv_raw()
     }
+
+    fn repoint(&mut self, addr: &str) -> bool {
+        // Marking the connection broken makes the next send redial the
+        // new address; the old socket drops with the replaced reader /
+        // writer at that point.
+        self.addr = addr.to_string();
+        self.broken = true;
+        true
+    }
+
+    fn spend_retry(&mut self) -> bool {
+        self.budget.try_spend()
+    }
 }
 
 /// In-process transport: dispatches into the service directly, still
@@ -320,8 +429,23 @@ impl Client<TcpTransport> {
                 policy,
                 broken: false,
                 seed: jitter_seed(),
+                budget: RetryBudget::default(),
             },
         })
+    }
+
+    /// Replace the redirect/retry [`RetryBudget`] (default: 4 tokens,
+    /// 1/sec refill). A zero-capacity budget disables redirect
+    /// following entirely.
+    pub fn with_retry_budget(mut self, budget: RetryBudget) -> Client<TcpTransport> {
+        self.transport.budget = budget;
+        self
+    }
+
+    /// The address this client is currently pointed at (changes when a
+    /// `not_primary` redirect re-points it).
+    pub fn current_addr(&self) -> &str {
+        &self.transport.addr
     }
 }
 
@@ -509,10 +633,39 @@ pub struct CleanOutcomeView {
 
 impl<T: Transport> Client<T> {
     /// Send a typed request, returning the raw (ok) response object.
+    ///
+    /// Self-healing: a `not_primary` redirect re-points the transport
+    /// at the advertised primary and re-sends; a retryable
+    /// `overloaded` / `draining` rejection backs off and re-sends.
+    /// Both paths spend the transport's [`RetryBudget`] first, so a
+    /// fleet of clients facing a persistent overload self-limits
+    /// instead of amplifying it. Transports without a budget (the
+    /// in-process one) surface the errors unchanged.
     pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
         let line = request.to_json().render();
-        let response_line = self.transport.round_trip(&line)?;
-        Self::check_ok(&response_line)
+        let mut attempt = 0u32;
+        loop {
+            let response_line = self.transport.round_trip(&line)?;
+            let error = match Self::check_ok(&response_line) {
+                Err(ClientError::Server(message)) if attempt < MAX_REDIRECTS => message,
+                other => return other,
+            };
+            if let Some(addr) = redirect_target(&error) {
+                if !(self.transport.spend_retry() && self.transport.repoint(addr)) {
+                    return Err(ClientError::Server(error));
+                }
+            } else if error.starts_with("overloaded:") || error.starts_with("draining:") {
+                if !self.transport.spend_retry() {
+                    return Err(ClientError::Server(error));
+                }
+                // Linear backoff is enough here: the budget, not the
+                // delay curve, is what bounds total retry pressure.
+                std::thread::sleep(Duration::from_millis(20 * (attempt as u64 + 1)));
+            } else {
+                return Err(ClientError::Server(error));
+            }
+            attempt += 1;
+        }
     }
 
     fn check_ok(response_line: &str) -> Result<Json, ClientError> {
@@ -784,6 +937,44 @@ mod tests {
             assert!(delay >= nominal.mul_f64(0.74), "{attempt}: {delay:?}");
             assert!(delay <= nominal.mul_f64(1.26), "{attempt}: {delay:?}");
         }
+    }
+
+    #[test]
+    fn retry_budget_spends_and_refills() {
+        // No refill: exactly `capacity` spends succeed.
+        let mut dry = RetryBudget::new(3, 0.0);
+        assert!(dry.try_spend());
+        assert!(dry.try_spend());
+        assert!(dry.try_spend());
+        assert!(!dry.try_spend(), "capacity exhausted");
+        assert!(!dry.try_spend(), "stays exhausted without refill");
+        // Zero capacity never authorizes a retry.
+        assert!(!RetryBudget::new(0, 1000.0).try_spend());
+        // Refill restores tokens over time, capped at capacity.
+        let mut refilling = RetryBudget::new(1, 200.0);
+        assert!(refilling.try_spend());
+        assert!(!refilling.try_spend());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(refilling.try_spend(), "refilled after ~6 token-periods");
+    }
+
+    #[test]
+    fn redirect_target_parses_not_primary_errors() {
+        assert_eq!(
+            redirect_target(
+                "not_primary: this node is a read-only follower; primary is 127.0.0.1:7117"
+            ),
+            Some("127.0.0.1:7117")
+        );
+        // A follower that lost its primary is not followable.
+        assert_eq!(
+            redirect_target("not_primary: this node is a read-only follower; primary is unknown"),
+            None
+        );
+        // Other errors never parse as redirects.
+        assert_eq!(redirect_target("overloaded: shedding heavy reads"), None);
+        assert_eq!(redirect_target("unknown session 9"), None);
+        assert_eq!(redirect_target("not_primary"), None);
     }
 
     #[test]

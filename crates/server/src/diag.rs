@@ -107,10 +107,12 @@ pub(crate) enum Subsystem {
     Health = 4,
     /// Runtime configuration changes (`config.set`).
     Config = 5,
+    /// Admission control: shed-level transitions, drains, quota refusals.
+    Admission = 6,
 }
 
 /// Number of [`Subsystem`] variants (rate-limit window array size).
-const SUBSYSTEMS: usize = 6;
+const SUBSYSTEMS: usize = 7;
 
 impl Subsystem {
     /// Wire / display name.
@@ -122,6 +124,7 @@ impl Subsystem {
             Subsystem::Replication => "replication",
             Subsystem::Health => "health",
             Subsystem::Config => "config",
+            Subsystem::Admission => "admission",
         }
     }
 
@@ -134,6 +137,7 @@ impl Subsystem {
             "replication" => Some(Subsystem::Replication),
             "health" => Some(Subsystem::Health),
             "config" => Some(Subsystem::Config),
+            "admission" => Some(Subsystem::Admission),
             _ => None,
         }
     }
@@ -145,7 +149,8 @@ impl Subsystem {
             2 => Subsystem::Journal,
             3 => Subsystem::Replication,
             4 => Subsystem::Health,
-            _ => Subsystem::Config,
+            5 => Subsystem::Config,
+            _ => Subsystem::Admission,
         }
     }
 }

@@ -67,6 +67,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 pub mod cache;
 mod client;
 mod diag;
@@ -86,7 +87,7 @@ pub mod wire;
 pub use cache::{ruleset_fingerprint, AnalysisCache};
 pub use client::{
     AuditPage, AuditRecordView, CleanOutcomeView, Client, ClientError, CommitView, LocalClient,
-    LocalTransport, RetryPolicy, SessionView, TcpTransport, Transport,
+    LocalTransport, RetryBudget, RetryPolicy, SessionView, TcpTransport, Transport,
 };
 pub use metrics::{MetricsSnapshot, OpLatency, ServiceMetrics};
 pub use net::{Frontend, Server, ServerHandle};

@@ -15,7 +15,7 @@ const LATENCY_BUCKETS: usize = 40;
 /// malformed-line class (`parse_error`), and the class unrecognized ops
 /// fall into (`other` — kept distinct so malformed lines and unknown
 /// ops are not conflated). Indexed by [`op_index`].
-pub const LATENCY_OPS: [&str; 27] = [
+pub const LATENCY_OPS: [&str; 28] = [
     "hello",
     "session.create",
     "session.get",
@@ -40,6 +40,7 @@ pub const LATENCY_OPS: [&str; 27] = [
     "cluster.status",
     "config.set",
     "scrub",
+    "server.drain",
     "shutdown",
     "parse_error",
     "other",
@@ -207,6 +208,20 @@ pub struct ServiceMetrics {
     scrubs_run: AtomicU64,
     /// Corrupt regions found by scrubs, cumulative.
     scrub_corruptions: AtomicU64,
+    /// Requests shed by the admission shedder with an `overloaded` error.
+    requests_shed_overload: AtomicU64,
+    /// Requests shed because their `deadline_ms` expired before work
+    /// started (or their quorum wait outlived it).
+    requests_shed_deadline: AtomicU64,
+    /// `session.create` requests refused while draining.
+    sessions_refused_draining: AtomicU64,
+    /// Graceful drains started via `server.drain`.
+    drains_started: AtomicU64,
+    /// Connections refused by the global connection quota or drain.
+    connections_refused: AtomicU64,
+    /// Receipt → dispatch queue wait per request (covers worker-pool
+    /// queueing for batched heavy ops; ~0 on the inline path).
+    queue_wait: OpHistogram,
 }
 
 /// A point-in-time copy of every counter.
@@ -274,6 +289,16 @@ pub struct MetricsSnapshot {
     pub scrubs_run: u64,
     /// Corrupt regions found by those scrubs, cumulative.
     pub scrub_corruptions: u64,
+    /// Requests shed by the admission shedder (`overloaded` errors).
+    pub requests_shed_overload: u64,
+    /// Requests shed because their `deadline_ms` expired.
+    pub requests_shed_deadline: u64,
+    /// `session.create` requests refused while draining.
+    pub sessions_refused_draining: u64,
+    /// Graceful drains started via `server.drain`.
+    pub drains_started: u64,
+    /// Connections refused by the global quota or drain.
+    pub connections_refused: u64,
     /// Per-op request-latency summaries (ops with traffic only).
     pub latency: Vec<OpLatency>,
 }
@@ -320,6 +345,12 @@ impl ServiceMetrics {
             audit_spill_errors: AtomicU64::new(0),
             scrubs_run: AtomicU64::new(0),
             scrub_corruptions: AtomicU64::new(0),
+            requests_shed_overload: AtomicU64::new(0),
+            requests_shed_deadline: AtomicU64::new(0),
+            sessions_refused_draining: AtomicU64::new(0),
+            drains_started: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            queue_wait: OpHistogram::new(),
         }
     }
 
@@ -487,6 +518,42 @@ impl ServiceMetrics {
         self.regions_cache_patched.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one request shed by the admission shedder.
+    pub(crate) fn shed_overload(&self) {
+        self.requests_shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request shed for an expired deadline.
+    pub(crate) fn shed_deadline(&self) {
+        self.requests_shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `session.create` refused while draining.
+    pub(crate) fn session_refused_draining(&self) {
+        self.sessions_refused_draining
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one graceful drain started.
+    pub(crate) fn drain_started(&self) {
+        self.drains_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused by quota or drain.
+    pub(crate) fn connection_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// TCP connections currently open (the quota check reads this).
+    pub(crate) fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Record one request's receipt→dispatch queue wait.
+    pub(crate) fn observe_queue_wait(&self, elapsed: Duration) {
+        self.queue_wait.observe(elapsed);
+    }
+
     /// Copy every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -519,6 +586,11 @@ impl ServiceMetrics {
             audit_spill_errors: self.audit_spill_errors.load(Ordering::Relaxed),
             scrubs_run: self.scrubs_run.load(Ordering::Relaxed),
             scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
+            requests_shed_overload: self.requests_shed_overload.load(Ordering::Relaxed),
+            requests_shed_deadline: self.requests_shed_deadline.load(Ordering::Relaxed),
+            sessions_refused_draining: self.sessions_refused_draining.load(Ordering::Relaxed),
+            drains_started: self.drains_started.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
             latency: LATENCY_OPS
                 .iter()
                 .zip(&self.latency)
@@ -549,7 +621,7 @@ impl ServiceMetrics {
             "gauge",
             self.started.elapsed().as_secs_f64(),
         );
-        let counters: [(&str, &str, &AtomicU64); 24] = [
+        let counters: [(&str, &str, &AtomicU64); 29] = [
             (
                 "cerfix_requests_total",
                 "Protocol requests handled (including failed ones).",
@@ -670,6 +742,31 @@ impl ServiceMetrics {
                 "Corrupt regions found by scrubs.",
                 &self.scrub_corruptions,
             ),
+            (
+                "cerfix_requests_shed_overload_total",
+                "Requests shed by the admission shedder with an overloaded error.",
+                &self.requests_shed_overload,
+            ),
+            (
+                "cerfix_requests_shed_deadline_total",
+                "Requests shed because their deadline_ms expired.",
+                &self.requests_shed_deadline,
+            ),
+            (
+                "cerfix_sessions_refused_draining_total",
+                "session.create requests refused while draining.",
+                &self.sessions_refused_draining,
+            ),
+            (
+                "cerfix_drains_started_total",
+                "Graceful drains started via server.drain.",
+                &self.drains_started,
+            ),
+            (
+                "cerfix_connections_refused_total",
+                "Connections refused by the global quota or drain.",
+                &self.connections_refused,
+            ),
         ];
         for (name, help, counter) in counters {
             prom_metric(
@@ -762,6 +859,14 @@ impl ServiceMetrics {
         );
         self.ack_latency
             .render_prom(out, "cerfix_commit_ack_duration_seconds", None);
+        prom_header(
+            out,
+            "cerfix_request_queue_wait_seconds",
+            "Receipt to dispatch queue wait per request.",
+            "histogram",
+        );
+        self.queue_wait
+            .render_prom(out, "cerfix_request_queue_wait_seconds", None);
         // Per-op engine-stat totals (ops that did engine work only).
         let stats_names = [
             (

@@ -27,7 +27,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the housekeeper sweeps idle sessions / checks the
 /// snapshot policy.
@@ -57,6 +57,7 @@ pub(crate) fn respond_line(
     line_bytes: &[u8],
     out: &mut String,
     scratch: &mut RequestScratch,
+    received: Instant,
 ) -> bool {
     let Ok(line) = std::str::from_utf8(line_bytes) else {
         out.push_str(NON_UTF8_REPLY);
@@ -66,7 +67,7 @@ pub(crate) fn respond_line(
     if trimmed.is_empty() {
         return false;
     }
-    service.handle_line_into(trimmed, out, scratch);
+    service.handle_line_at(trimmed, out, scratch, received);
     out.push('\n');
     true
 }
@@ -339,6 +340,19 @@ fn run_threads(listener: TcpListener, service: &CleaningService) -> std::io::Res
                 if service.shutdown_requested() {
                     break Ok(()); // the hook's wake connect, most likely
                 }
+                // Connection-level admission: a draining server or one
+                // at its connection quota refuses at accept time with
+                // one typed error line — cheaper than a thread + buffers
+                // for a connection that would only be told "no" later.
+                if let Err(message) = service.admit_connection() {
+                    use std::io::Write;
+                    let mut stream = stream;
+                    let _ = stream.write_all(
+                        format!("{{\"ok\":false,\"error\":{:?}}}\n", message).as_bytes(),
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
                 let id = registry.register(&stream);
                 let service = service.clone();
                 let live = Arc::clone(&live);
@@ -452,9 +466,13 @@ fn serve_connection(mut stream: TcpStream, service: &CleaningService, live: &Ato
             Ok(n) => {
                 buf.extend(&chunk[..n]);
                 metrics.add_bytes_in(n as u64);
+                // Every line in this chunk shares one arrival stamp —
+                // queue wait and deadlines are measured from the read,
+                // not from when the dispatch loop got around to the line.
+                let received = Instant::now();
                 while let Some(line_bytes) = buf.next_line() {
                     out.clear();
-                    if !respond_line(service, line_bytes, &mut out, &mut scratch) {
+                    if !respond_line(service, line_bytes, &mut out, &mut scratch, received) {
                         continue; // blank line
                     }
                     // One write per response: first responses of a

@@ -73,6 +73,13 @@ pub(crate) struct ScannedLine<'a> {
     pub(crate) id: Option<&'a str>,
     /// The recognized hot shape, when the line is one.
     pub(crate) hot: Option<HotOp<'a>>,
+    /// The plain `op` string, when the scanner saw one — feeds the
+    /// admission shedder before the tree parser spends any work.
+    pub(crate) op: Option<&'a str>,
+    /// Client request deadline in milliseconds from receipt. A value
+    /// the scanner cannot read as `u64` is treated as absent, matching
+    /// the tree parser's unknown-field tolerance.
+    pub(crate) deadline_ms: Option<u64>,
 }
 
 /// Single allocation-free pass over a request line: extracts the
@@ -87,6 +94,7 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
     let mut op = None;
     let mut session = None;
     let mut validations = None;
+    let mut deadline_ms = None;
     // `fastable` drops on any field the scanner cannot vouch for; `id`
     // keeps being collected so even tree-path responses echo it.
     let mut fastable = true;
@@ -114,6 +122,7 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
                 _ => fastable = false,
             },
             "id" if id.is_none() => id = Some(span),
+            "deadline_ms" if deadline_ms.is_none() => deadline_ms = value.as_u64(),
             _ => {}
         }
     }
@@ -138,7 +147,12 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
     } else {
         None
     };
-    ScannedLine { id, hot }
+    ScannedLine {
+        id,
+        hot,
+        op,
+        deadline_ms,
+    }
 }
 
 /// Protocol revision, reported by `hello` and checked by clients.
@@ -166,8 +180,15 @@ pub(crate) fn scan_line(line: &str) -> ScannedLine<'_> {
 /// tails distinguished from corruption) and the `resync` flag on
 /// `replica.sync` (a follower whose journal is poisoned or corrupt
 /// demands a fresh snapshot instead of an incremental batch) — plus the
-/// `degraded: disk_full` / `storage_error` error contract on mutations.
-pub const PROTOCOL_VERSION: u64 = 7;
+/// `degraded: disk_full` / `storage_error` error contract on mutations;
+/// version 8 added the overload-protection surface — an optional
+/// `deadline_ms` field on every request (expired work is shed with a
+/// `deadline_exceeded` error before any engine or fsync cost is paid),
+/// the `overloaded` / `draining` retryable error contract from the
+/// priority-class admission shedder, `server.drain` (stop accepting,
+/// finish in-flight work within a bound, final snapshot, clean exit)
+/// and the `peer_timeout_ms` key on `config.set`.
+pub const PROTOCOL_VERSION: u64 = 8;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -329,6 +350,14 @@ pub enum Request {
     /// legal crash residue; complete frames failing their CRC are
     /// reported as typed corruption entries.
     Scrub,
+    /// Graceful drain: stop accepting connections, refuse new sessions
+    /// with a `draining` error, let in-flight sessions finish (or hand
+    /// off) within a bound, then take a final snapshot and exit clean —
+    /// the rolling-restart primitive that drops zero acked work.
+    Drain {
+        /// Override the default in-flight hand-off bound, in ms.
+        wait_ms: Option<u64>,
+    },
     /// Ask the server process to stop accepting connections.
     Shutdown,
 }
@@ -392,6 +421,7 @@ impl Request {
             Request::ClusterStatus { .. } => "cluster.status",
             Request::ConfigSet { .. } => "config.set",
             Request::Scrub => "scrub",
+            Request::Drain { .. } => "server.drain",
             Request::Shutdown => "shutdown",
         }
     }
@@ -580,6 +610,14 @@ impl Request {
                     .ok_or_else(|| WireError("`value` must be a non-negative integer".into()))?,
             },
             "scrub" => Request::Scrub,
+            "server.drain" => Request::Drain {
+                wait_ms: match json.get("wait_ms") {
+                    Some(w) => Some(w.as_u64().ok_or_else(|| {
+                        WireError("`wait_ms` must be a non-negative integer".into())
+                    })?),
+                    None => None,
+                },
+            },
             "shutdown" => Request::Shutdown,
             other => return Err(WireError(format!("unknown op `{other}`"))),
         })
@@ -596,6 +634,11 @@ impl Request {
             | Request::Health
             | Request::Scrub
             | Request::Shutdown => {}
+            Request::Drain { wait_ms } => {
+                if let Some(wait_ms) = wait_ms {
+                    fields.push(("wait_ms".into(), Json::Num(*wait_ms as f64)));
+                }
+            }
             Request::LogRead {
                 limit,
                 level,
@@ -817,6 +860,8 @@ mod tests {
             value: 250,
         });
         round_trip(Request::Scrub);
+        round_trip(Request::Drain { wait_ms: Some(500) });
+        round_trip(Request::Drain { wait_ms: None });
         round_trip(Request::Shutdown);
     }
 
@@ -893,6 +938,8 @@ mod tests {
             r#"{"op":"config.set","key":"slow_ms"}"#,
             r#"{"op":"config.set","key":7,"value":1}"#,
             r#"{"op":"config.set","key":"slow_ms","value":"fast"}"#,
+            r#"{"op":"server.drain","wait_ms":"forever"}"#,
+            r#"{"op":"server.drain","wait_ms":-1}"#,
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "{line} should fail");
@@ -941,6 +988,29 @@ mod tests {
         let scanned = scan_line(r#"{"op":"session.get","session":1,"session":2,"id":7,"id":8}"#);
         assert_eq!(scanned.hot, Some(HotOp::SessionGet { session: 1 }));
         assert_eq!(scanned.id, Some("7"));
+    }
+
+    #[test]
+    fn scan_line_collects_op_and_deadline() {
+        let scanned = scan_line(r#"{"op":"clean","tuples":[],"deadline_ms":250}"#);
+        assert_eq!(scanned.op, Some("clean"));
+        assert_eq!(scanned.deadline_ms, Some(250));
+
+        // A deadline the scanner cannot read as u64 is treated as absent,
+        // like any other unknown/ill-typed field on the tree path.
+        let scanned = scan_line(r#"{"op":"hello","deadline_ms":"soon"}"#);
+        assert_eq!(scanned.op, Some("hello"));
+        assert_eq!(scanned.deadline_ms, None);
+        assert_eq!(
+            scan_line(r#"{"op":"hello","deadline_ms":-5}"#).deadline_ms,
+            None
+        );
+
+        // Zero is a real (deterministically expired) deadline.
+        assert_eq!(
+            scan_line(r#"{"op":"hello","deadline_ms":0}"#).deadline_ms,
+            Some(0)
+        );
     }
 
     #[test]

@@ -326,7 +326,16 @@ fn submit_batch(service: &CleaningService, shared: &Arc<Shared>, id: u64, batch:
         let mut out = shared.take_string();
         let mut scratch = shared.take_scratch();
         for line_bytes in batch.split(|&b| b == b'\n') {
-            crate::net::respond_line(&service_for_job, line_bytes, &mut out, &mut scratch);
+            // The submit stamp doubles as the arrival time for queue
+            // wait and deadline accounting: time parked behind other
+            // jobs in the pool is exactly what a deadline should cover.
+            crate::net::respond_line(
+                &service_for_job,
+                line_bytes,
+                &mut out,
+                &mut scratch,
+                submitted,
+            );
         }
         // Submit→executed latency: queue wait plus execution, the
         // number that grows first when the pool saturates.
@@ -488,6 +497,17 @@ impl Reactor {
         while self.accepting {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Connection-level admission: a draining server or
+                    // one at its connection quota answers with one typed
+                    // error line and hangs up — no epoll registration,
+                    // no buffers.
+                    if let Err(message) = self.service.admit_connection() {
+                        let mut stream = stream;
+                        let _ = stream.write_all(
+                            format!("{{\"ok\":false,\"error\":{message:?}}}\n").as_bytes(),
+                        );
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -595,6 +615,10 @@ impl Reactor {
             return;
         }
         let journaled = self.service.is_journaled();
+        // Arrival stamp for every line handled inline in this pass; the
+        // reactor runs this immediately after the read, so inline queue
+        // wait is ~zero by construction (batched lines stamp at submit).
+        let received = Instant::now();
         loop {
             let Some(conn) = self.conns.get_mut(&id) else {
                 return;
@@ -638,7 +662,13 @@ impl Reactor {
             // buffer (appended after everything already queued),
             // through the same shared per-line responder as the
             // threaded loop and the batch jobs.
-            crate::net::respond_line(&self.service, line_bytes, &mut conn.out, &mut self.scratch);
+            crate::net::respond_line(
+                &self.service,
+                line_bytes,
+                &mut conn.out,
+                &mut self.scratch,
+                received,
+            );
         }
     }
 

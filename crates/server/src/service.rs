@@ -36,6 +36,7 @@
 //! rule reload holds it in write mode across *swap + journal-append* so
 //! the journal's event order is the order events were applied in.
 
+use crate::admission::{priority, Priority, Shedder};
 use crate::cache::{ruleset_fingerprint, AnalysisCache};
 use crate::client::{Client, RetryPolicy};
 use crate::diag::{DiagSink, Level, Subsystem};
@@ -70,6 +71,12 @@ use std::time::{Duration, Instant};
 const AUDIT_READ_MAX: u64 = 4096;
 /// Default `audit.read` page size.
 const AUDIT_READ_DEFAULT: u64 = 256;
+/// Default `cluster.status` peer-dial timeout (`config.set
+/// peer_timeout_ms` overrides at runtime).
+const DEFAULT_PEER_TIMEOUT_MS: u64 = 750;
+/// Default bound a graceful drain waits for in-flight sessions before
+/// shutting down anyway (`server.drain {"wait_ms": …}` overrides).
+const DEFAULT_DRAIN_WAIT_MS: u64 = 10_000;
 
 /// Tunables for a [`CleaningService`].
 #[derive(Debug, Clone)]
@@ -126,6 +133,15 @@ pub struct ServiceConfig {
     /// actually full, and recovers automatically when space returns.
     /// `0` disables the watermark; an ENOSPC write still degrades.
     pub min_free_bytes: u64,
+    /// Worker-queue depth at which the admission shedder starts
+    /// refusing heavy reads with a retryable `overloaded` error (twice
+    /// this depth also sheds session mutations). `0` — the default —
+    /// derives the watermark from the worker count.
+    pub shed_watermark: usize,
+    /// Global TCP connection quota across both front-ends; connections
+    /// over it are refused with an `overloaded` error line. `0`
+    /// disables the quota.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -146,6 +162,8 @@ impl Default for ServiceConfig {
             diag_file: None,
             max_lag: Duration::from_secs(10),
             min_free_bytes: 0,
+            shed_watermark: 0,
+            max_connections: 0,
         }
     }
 }
@@ -238,6 +256,19 @@ struct ServiceInner {
     boot_master: Arc<MasterData>,
     boot_rules: Arc<RuleSet>,
     config: ServiceConfig,
+    /// The queue-depth-driven load shedder (admission control).
+    shedder: Shedder,
+    /// Graceful-drain latch: set by `server.drain`. While set, front
+    /// ends refuse fresh connections and `session.create` answers
+    /// `draining`; in-flight sessions keep being served until the drain
+    /// monitor (or its bound) triggers shutdown.
+    draining: AtomicBool,
+    /// Guards the single drain-monitor thread (repeated `server.drain`
+    /// calls are idempotent).
+    drain_monitor_started: AtomicBool,
+    /// `cluster.status` peer-dial timeout, milliseconds (runtime
+    /// tunable via `config.set peer_timeout_ms`).
+    peer_timeout_ms: AtomicU64,
     shutdown: AtomicBool,
     /// Out-of-band wakeups run when a `shutdown` request is accepted —
     /// how the TCP front ends (epoll wakeup fd, threaded self-connect +
@@ -375,6 +406,17 @@ impl CleaningService {
                 boot_rules,
                 swap_lock: Mutex::new(()),
                 master_appended: Mutex::new(Vec::new()),
+                shedder: Shedder::new(if config.shed_watermark > 0 {
+                    config.shed_watermark
+                } else {
+                    // Auto: trip well before the health probe's
+                    // workers*256 saturation bound so shedding starts
+                    // while the probe still reports ready.
+                    config.workers.max(1) * 64
+                }),
+                draining: AtomicBool::new(false),
+                drain_monitor_started: AtomicBool::new(false),
+                peer_timeout_ms: AtomicU64::new(DEFAULT_PEER_TIMEOUT_MS),
                 config,
                 shutdown: AtomicBool::new(false),
                 shutdown_hooks: Mutex::new(Vec::new()),
@@ -421,6 +463,30 @@ impl CleaningService {
     /// Worker threads in the batch pool.
     pub fn workers(&self) -> usize {
         self.inner.pool.threads()
+    }
+
+    /// True once a graceful drain has begun: front ends must refuse
+    /// fresh connections and new sessions are answered `draining`.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Admit or refuse one fresh TCP connection (drain + global quota).
+    /// `Err` carries the one-line JSON error the front end should write
+    /// before closing.
+    pub fn admit_connection(&self) -> Result<(), String> {
+        if self.is_draining() {
+            self.inner.metrics.connection_refused();
+            return Err("draining: server is draining; connect to another node".to_string());
+        }
+        let quota = self.inner.config.max_connections;
+        if quota > 0 && self.inner.metrics.connections_open() >= quota as u64 {
+            self.inner.metrics.connection_refused();
+            return Err(format!(
+                "overloaded: connection quota of {quota} reached; retry with backoff"
+            ));
+        }
+        Ok(())
     }
 
     /// True iff this service journals to a data directory.
@@ -769,6 +835,34 @@ impl CleaningService {
             causes.push(format!(
                 "worker queue depth {depth} over the saturation bound {bound}"
             ));
+        }
+        // Probes double as shed-level observations, so the shedder also
+        // decays while no admission checks are running.
+        if let Some((from, to)) = self.inner.shedder.observe(depth) {
+            self.inner.diag.warn(
+                Subsystem::Admission,
+                format_args!(
+                    "shed level {from} -> {to} (worker queue depth {depth}, watermark {})",
+                    self.inner.shedder.high()
+                ),
+            );
+        }
+        let shed_level = self.inner.shedder.level();
+        if shed_level > 0 {
+            causes.push(format!(
+                "overloaded: shedding at level {shed_level} (worker queue depth {depth}, \
+                 watermark {})",
+                self.inner.shedder.high()
+            ));
+        }
+        if self.inner.sessions.at_capacity() {
+            causes.push(format!(
+                "overloaded: session registry at its quota of {}",
+                self.inner.sessions.max_sessions()
+            ));
+        }
+        if self.is_draining() {
+            causes.push("draining: graceful drain in progress".to_string());
         }
         let role = self.role();
         let mut lag_seconds = 0.0;
@@ -1330,12 +1424,71 @@ impl CleaningService {
     /// correlate responses (which always arrive in request order per
     /// connection) without counting lines.
     pub fn handle_line_into(&self, line: &str, out: &mut String, scratch: &mut RequestScratch) {
+        self.handle_line_at(line, out, scratch, Instant::now());
+    }
+
+    /// [`handle_line_into`](Self::handle_line_into) with an explicit
+    /// receipt instant: `received` is when the line arrived (socket
+    /// read, or worker-pool submit for batched heavy ops), so the
+    /// receipt→dispatch gap is accounted as queue wait and a client
+    /// `deadline_ms` is measured from arrival — work whose caller has
+    /// already given up is shed before any engine or fsync cost.
+    pub fn handle_line_at(
+        &self,
+        line: &str,
+        out: &mut String,
+        scratch: &mut RequestScratch,
+        received: Instant,
+    ) {
         let started = Instant::now();
         let scanned = scan_line(line);
+        let queue_wait = started.saturating_duration_since(received);
+        self.inner.metrics.observe_queue_wait(queue_wait);
         let mut span = Span {
             parse_ns: started.elapsed().as_nanos() as u64,
+            queue_ns: queue_wait.as_nanos() as u64,
             ..Span::default()
         };
+        // Deadline check before any engine, journal or fsync cost is
+        // paid. `deadline_ms: 0` is deterministically expired; an
+        // absurd deadline that overflows `Instant` arithmetic can
+        // never expire and is simply dropped.
+        if let Some(deadline) = scanned
+            .deadline_ms
+            .and_then(|ms| received.checked_add(Duration::from_millis(ms)))
+        {
+            if started >= deadline {
+                let ms = scanned.deadline_ms.unwrap_or(0);
+                let op = scanned.op.unwrap_or("other");
+                self.inner.metrics.request();
+                self.inner.metrics.shed_deadline();
+                self.write_error(
+                    &format!("deadline_exceeded: deadline of {ms}ms expired before work began"),
+                    scanned.id,
+                    out,
+                );
+                let elapsed = started.elapsed();
+                self.inner.metrics.observe_latency(op, elapsed);
+                self.finish_span(&mut span, op, scanned.id, elapsed);
+                return;
+            }
+            span.deadline = Some(deadline);
+        }
+        // Admission: when the scanner produced a plain op string the
+        // shed decision costs two atomic loads, before even the hot
+        // path runs. Lines it could not classify are checked after the
+        // tree parse instead (never twice).
+        if let Some(op) = scanned.op {
+            if let Some(message) = self.shed_check(op) {
+                self.inner.metrics.request();
+                self.inner.metrics.shed_overload();
+                self.write_error(&message, scanned.id, out);
+                let elapsed = started.elapsed();
+                self.inner.metrics.observe_latency(op, elapsed);
+                self.finish_span(&mut span, op, scanned.id, elapsed);
+                return;
+            }
+        }
         if let Some(hot) = scanned.hot {
             if self.try_hot(&hot, scanned.id, out, scratch, started, &mut span) {
                 return;
@@ -1346,7 +1499,18 @@ impl CleaningService {
             Ok(request) => {
                 // Tree parse counts as parse time too.
                 span.parse_ns = started.elapsed().as_nanos() as u64;
-                let response = self.dispatch(&request, &mut span);
+                let late_shed = if scanned.op.is_none() {
+                    self.shed_check(request.op())
+                } else {
+                    None
+                };
+                let response = match late_shed {
+                    Some(message) => {
+                        self.inner.metrics.shed_overload();
+                        self.error(message)
+                    }
+                    None => self.dispatch(&request, &mut span),
+                };
                 let render_started = Instant::now();
                 render_response_into(&response, scanned.id, out);
                 span.serialize_ns = render_started.elapsed().as_nanos() as u64;
@@ -1458,6 +1622,7 @@ impl CleaningService {
                 .check_writable()
                 .and_then(|()| self.config_set(key, *value)),
             Request::Scrub => self.scrub_response(),
+            Request::Drain { wait_ms } => self.server_drain(*wait_ms),
             Request::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::Release);
                 self.notify_shutdown();
@@ -1468,6 +1633,106 @@ impl CleaningService {
             }
         };
         result.unwrap_or_else(|message| self.error(message))
+    }
+
+    /// Admission decision for one request: feed the shedder the current
+    /// queue depth, then shed by priority class. `Some` carries the
+    /// retryable `overloaded` error. Two atomic loads when the shedder
+    /// is disarmed — cheap enough for every request.
+    fn shed_check(&self, op: &str) -> Option<String> {
+        let depth = self.inner.pool.queue_depth();
+        if let Some((from, to)) = self.inner.shedder.observe(depth) {
+            self.inner.diag.warn(
+                Subsystem::Admission,
+                format_args!(
+                    "shed level {from} -> {to} (worker queue depth {depth}, watermark {})",
+                    self.inner.shedder.high()
+                ),
+            );
+        }
+        let class = priority(op);
+        if !self.inner.shedder.sheds(class) {
+            return None;
+        }
+        let what = match class {
+            Priority::Heavy => "heavy reads",
+            _ => "session mutations",
+        };
+        Some(format!(
+            "overloaded: shedding {what} at level {} (worker queue depth {depth} over watermark {}); retry with backoff",
+            self.inner.shedder.level(),
+            self.inner.shedder.high(),
+        ))
+    }
+
+    /// `server.drain`: begin a graceful drain. Idempotent — the first
+    /// call latches the draining flag (front ends stop admitting
+    /// connections, `session.create` answers `draining`) and starts a
+    /// monitor thread that waits for in-flight sessions to finish (or
+    /// for the bound to expire), takes a final snapshot, and then runs
+    /// the normal shutdown path. Acked work is never dropped: every
+    /// acknowledged commit is already durable, and the final snapshot
+    /// preserves still-open sessions for the restarted process.
+    fn server_drain(&self, wait_ms: Option<u64>) -> Result<Json, String> {
+        let bound = Duration::from_millis(wait_ms.unwrap_or(DEFAULT_DRAIN_WAIT_MS));
+        let newly = !self.inner.draining.swap(true, Ordering::AcqRel);
+        if newly {
+            self.inner.metrics.drain_started();
+            self.inner.diag.info(
+                Subsystem::Admission,
+                format_args!(
+                    "drain started: {} live sessions, bound {:?}",
+                    self.live_sessions(),
+                    bound
+                ),
+            );
+        }
+        if !self
+            .inner
+            .drain_monitor_started
+            .swap(true, Ordering::AcqRel)
+        {
+            let service = self.clone();
+            std::thread::Builder::new()
+                .name("cerfix-drain".into())
+                .spawn(move || {
+                    let deadline = Instant::now() + bound;
+                    while Instant::now() < deadline
+                        && service.live_sessions() > 0
+                        && !service.shutdown_requested()
+                    {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    let remaining = service.live_sessions();
+                    if remaining > 0 {
+                        service.inner.diag.warn(
+                            Subsystem::Admission,
+                            format_args!(
+                                "drain bound expired with {remaining} sessions still open; \
+                                 snapshotting them for hand-off"
+                            ),
+                        );
+                    }
+                    // The final snapshot hands still-open sessions to
+                    // the restarted process; shutdown then stops the
+                    // front ends, which snapshot once more on exit
+                    // (idempotent).
+                    let _ = service.snapshot_now();
+                    service.inner.diag.info(
+                        Subsystem::Admission,
+                        format_args!("drain complete; shutting down"),
+                    );
+                    service.inner.shutdown.store(true, Ordering::Release);
+                    service.notify_shutdown();
+                })
+                .map_err(|e| format!("storage_error: drain monitor spawn failed: {e}"))?;
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("draining", Json::Bool(true)),
+            ("sessions", Json::Num(self.live_sessions() as f64)),
+            ("wait_ms", Json::Num(bound.as_millis() as f64)),
+        ]))
     }
 
     fn error(&self, message: String) -> Json {
@@ -1658,7 +1923,17 @@ impl CleaningService {
             return Ok(());
         }
         let started = Instant::now();
-        let deadline = started + repl.ack_timeout;
+        // A client deadline tightens (never widens) the ack-timeout
+        // bound: the caller has stopped listening past it, so waiting
+        // longer only burns a dispatch slot.
+        let mut deadline = started + repl.ack_timeout;
+        let mut deadline_cut = false;
+        if let Some(client_deadline) = span.deadline {
+            if client_deadline < deadline {
+                deadline = client_deadline;
+                deadline_cut = true;
+            }
+        }
         let mut followers = lock_followers(repl);
         loop {
             let acked = followers
@@ -1675,8 +1950,15 @@ impl CleaningService {
             let now = Instant::now();
             if now >= deadline {
                 drop(followers);
-                self.inner.metrics.quorum_timeout();
                 span.quorum_ns += started.elapsed().as_nanos() as u64;
+                if deadline_cut {
+                    self.inner.metrics.shed_deadline();
+                    return Err(format!(
+                        "deadline_exceeded: commit is durable locally but the request \
+                         deadline expired with only {acked}/{needed} follower acks"
+                    ));
+                }
+                self.inner.metrics.quorum_timeout();
                 return Err(format!(
                     "quorum_timeout: commit is durable locally but only {acked}/{needed} \
                      follower acks arrived within {:?}",
@@ -2078,6 +2360,11 @@ impl CleaningService {
         if let Role::Follower { primary } = &role {
             fields.push(("primary", Json::str(primary.clone())));
         }
+        // A self-re-pointing client treats a draining node like a
+        // follower: go elsewhere.
+        if self.is_draining() {
+            fields.push(("draining", Json::Bool(true)));
+        }
         fields.push((
             "attributes",
             Json::Arr(
@@ -2092,6 +2379,14 @@ impl CleaningService {
     }
 
     fn session_create(&self, values: &[Value]) -> Result<Json, String> {
+        // In-flight sessions finish during a drain; fresh ones belong
+        // on another node.
+        if self.is_draining() {
+            self.inner.metrics.session_refused_draining();
+            return Err(
+                "draining: server is draining; create the session on another node".to_string(),
+            );
+        }
         let schema = self.input_schema().clone();
         if values.len() != schema.arity() {
             return Err(format!(
@@ -2799,6 +3094,25 @@ impl CleaningService {
             ),
             ("bytes_in", Json::Num(snapshot.bytes_in as f64)),
             ("bytes_out", Json::Num(snapshot.bytes_out as f64)),
+            (
+                "requests_shed_overload",
+                Json::Num(snapshot.requests_shed_overload as f64),
+            ),
+            (
+                "requests_shed_deadline",
+                Json::Num(snapshot.requests_shed_deadline as f64),
+            ),
+            (
+                "sessions_refused_draining",
+                Json::Num(snapshot.sessions_refused_draining as f64),
+            ),
+            ("drains_started", Json::Num(snapshot.drains_started as f64)),
+            (
+                "connections_refused",
+                Json::Num(snapshot.connections_refused as f64),
+            ),
+            ("shed_level", Json::Num(self.inner.shedder.level() as f64)),
+            ("draining", Json::Bool(self.is_draining())),
             ("workers", Json::Num(self.workers() as f64)),
             ("audit_records", Json::Num(self.inner.audit.len() as f64)),
             (
@@ -3014,6 +3328,27 @@ impl CleaningService {
             "Jobs waiting in the worker-pool queue right now.",
             "gauge",
             self.inner.pool.queue_depth() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_shed_level",
+            "Admission shed level: 0 admit all, 1 shed heavy reads, 2 shed sessions too.",
+            "gauge",
+            self.inner.shedder.level() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_shed_watermark",
+            "Worker-queue depth at which the shedder enters level 1.",
+            "gauge",
+            self.inner.shedder.high() as f64,
+        );
+        prom_metric(
+            &mut body,
+            "cerfix_draining",
+            "1 while a graceful drain is in progress.",
+            "gauge",
+            if self.is_draining() { 1.0 } else { 0.0 },
         );
         prom_metric(
             &mut body,
@@ -3263,7 +3598,7 @@ impl CleaningService {
             Some(name) => Some(Subsystem::parse(name).ok_or_else(|| {
                 format!(
                     "unknown subsystem `{name}` \
-                     (server | net | journal | replication | health | config)"
+                     (server | net | journal | replication | health | config | admission)"
                 )
             })?),
             None => None,
@@ -3455,7 +3790,9 @@ impl CleaningService {
         let fetch = || -> Result<Json, String> {
             let policy = RetryPolicy {
                 retries: 0,
-                request_timeout: Some(Duration::from_millis(750)),
+                request_timeout: Some(Duration::from_millis(
+                    self.inner.peer_timeout_ms.load(Ordering::Relaxed).max(1),
+                )),
                 ..RetryPolicy::default()
             };
             let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
@@ -3536,9 +3873,16 @@ impl CleaningService {
                     self.inner.diag.resize(value as usize);
                 }
             }
+            // Clamped to >= 1ms: a zero dial timeout would mark every
+            // peer permanently down.
+            "peer_timeout_ms" => self
+                .inner
+                .peer_timeout_ms
+                .store(value.max(1), Ordering::Relaxed),
             other => {
                 return Err(format!(
-                    "unknown config key `{other}` (slow_ms | trace_buffer | diag_buffer)"
+                    "unknown config key `{other}` \
+                     (slow_ms | trace_buffer | diag_buffer | peer_timeout_ms)"
                 ))
             }
         }
@@ -3628,6 +3972,7 @@ fn span_json(span: &Span) -> Json {
         ("fsync_ns", Json::Num(span.fsync_ns as f64)),
         ("quorum_ns", Json::Num(span.quorum_ns as f64)),
         ("serialize_ns", Json::Num(span.serialize_ns as f64)),
+        ("queue_ns", Json::Num(span.queue_ns as f64)),
         ("fixpoint_runs", Json::Num(span.stats.fixpoint_runs as f64)),
         ("rule_attempts", Json::Num(span.stats.rule_attempts as f64)),
         (

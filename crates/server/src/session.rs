@@ -85,6 +85,17 @@ impl SessionManager {
         self.len() == 0
     }
 
+    /// The configured live-session quota.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// True iff the registry is at its live-session quota (an
+    /// `overloaded` ready-cause; the next `create` must evict or fail).
+    pub fn at_capacity(&self) -> bool {
+        self.len() >= self.max_sessions
+    }
+
     /// Register `session` and return its server id. Runs an eviction
     /// sweep first when at capacity.
     pub fn create(&self, session: MonitorSession) -> Result<u64, SessionError> {

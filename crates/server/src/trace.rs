@@ -27,9 +27,9 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::time::Duration;
 
-/// Words per slot: trace id, op index, seven timings, four engine-stat
+/// Words per slot: trace id, op index, eight timings, four engine-stat
 /// deltas (see `Span::to_words` / `Span::from_words`).
-const SLOT_WORDS: usize = 13;
+const SLOT_WORDS: usize = 14;
 
 /// Slots in the slow-request ring (fixed; the threshold, not the
 /// buffer, is the operator's knob).
@@ -68,6 +68,14 @@ pub(crate) struct Span {
     /// Response rendering (tree path; fused into dispatch on the
     /// direct-render hot path).
     pub serialize_ns: u64,
+    /// Receipt → dispatch queue wait (worker-pool queueing for batched
+    /// heavy ops; ~0 on the inline path). Kept OUTSIDE `total_ns`,
+    /// which starts when service begins.
+    pub queue_ns: u64,
+    /// Absolute request deadline, when the client sent `deadline_ms` —
+    /// threaded through dispatch so quorum waits can cut off early.
+    /// Not serialized into the ring.
+    pub deadline: Option<std::time::Instant>,
     /// Engine work this request performed (deltas, not totals).
     pub stats: EngineStats,
 }
@@ -84,6 +92,7 @@ impl Span {
             self.fsync_ns,
             self.quorum_ns,
             self.serialize_ns,
+            self.queue_ns,
             self.stats.fixpoint_runs as u64,
             self.stats.rule_attempts as u64,
             self.stats.master_lookups as u64,
@@ -102,11 +111,14 @@ impl Span {
             fsync_ns: words[6],
             quorum_ns: words[7],
             serialize_ns: words[8],
+            queue_ns: words[9],
+            // Deadlines are live-request plumbing, not telemetry.
+            deadline: None,
             stats: EngineStats {
-                fixpoint_runs: words[9] as usize,
-                rule_attempts: words[10] as usize,
-                master_lookups: words[11] as usize,
-                index_probes: words[12] as usize,
+                fixpoint_runs: words[10] as usize,
+                rule_attempts: words[11] as usize,
+                master_lookups: words[12] as usize,
+                index_probes: words[13] as usize,
             },
         }
     }
@@ -349,6 +361,8 @@ mod tests {
             fsync_ns: 4,
             quorum_ns: 9,
             serialize_ns: 5,
+            queue_ns: 11,
+            deadline: None,
             stats: EngineStats {
                 fixpoint_runs: 1,
                 rule_attempts: 6,

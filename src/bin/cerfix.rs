@@ -17,6 +17,7 @@
 //!                [--max-lag SECS]
 //! cerfix top     [--addr 127.0.0.1:7117] [--spans N] [--prom]
 //!                [--watch [--interval-secs S]] [--cluster] [--log [--level L]]
+//! cerfix drain   [--addr 127.0.0.1:7117] [--wait-ms N]
 //! cerfix promote [--addr 127.0.0.1:7117]
 //! cerfix recover --data-dir DIR [--inspect]
 //! ```
@@ -52,6 +53,9 @@
 //!   document and renders a per-node role/epoch/health/lag table.
 //!   `--log` tails the structured diagnostic ring (`log.read`),
 //!   filterable with `--level` and `--subsystem`.
+//! * `drain` gracefully drains a running server for a rolling restart:
+//!   stop accepting connections, refuse new sessions with `draining`,
+//!   finish in-flight work within a bound, final snapshot, clean exit.
 //! * `promote` turns a running follower into the primary (epoch bump;
 //!   the deposed primary is fenced on its next contact with the new
 //!   epoch).
@@ -115,9 +119,10 @@ fn usage() -> ExitCode {
                           [--data-dir DIR] [--flush-interval-ms N] [--snapshot-interval-secs N]\n  \
                           [--min-free-bytes N] [--trace-buffer N] [--slow-ms T] [--diag-buffer N]\n  \
                           [--diag-file F] [--replicate-from ADDR] [--quorum N] [--ack-timeout-ms T]\n  \
-                          [--advertise ADDR] [--max-lag SECS]\n  \
+                          [--advertise ADDR] [--max-lag SECS] [--shed-watermark N] [--max-connections N]\n  \
          cerfix top      [--addr 127.0.0.1:7117] [--spans N] [--prom] [--cluster]\n  \
                           [--watch [--interval-secs S]] [--log [--level L] [--subsystem S]]\n  \
+         cerfix drain    [--addr 127.0.0.1:7117] [--wait-ms N]\n  \
          cerfix promote  [--addr 127.0.0.1:7117]\n  \
          cerfix recover  --data-dir DIR [--inspect]\n  \
          cerfix scrub    --data-dir DIR"
@@ -423,6 +428,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .cloned()
                 .unwrap_or_else(|| addr.clone()),
         ),
+        shed_watermark: parse_option(args, "shed-watermark", defaults.shed_watermark)?,
+        max_connections: parse_option(args, "max-connections", defaults.max_connections)?,
     };
     let report = check_consistency(
         &rules,
@@ -769,10 +776,12 @@ fn top_log(client: &mut cerfix_server::Client, args: &Args) -> Result<(), String
 /// time series and diffs the oldest sample in the window against the
 /// newest, so the per-op `req/s` column reflects the interval the
 /// operator is actually watching rather than a since-boot average.
-/// Runs until interrupted.
+/// Runs until interrupted — a server restart (or a rolling-restart
+/// drain) renders a "peer down" frame and keeps reconnecting with the
+/// redraw cadence as its backoff instead of exiting.
 fn top_watch(client: &mut cerfix_server::Client, addr: &str, args: &Args) -> Result<(), String> {
     use cerfix_server::wire::Json;
-    use cerfix_server::Request;
+    use cerfix_server::{Client, Request};
     use std::io::Write;
     let interval = parse_option(args, "interval-secs", 2u64)?.max(1);
     let num_of =
@@ -780,17 +789,33 @@ fn top_watch(client: &mut cerfix_server::Client, addr: &str, args: &Args) -> Res
     let f64_of =
         |json: &Json, key: &str| -> f64 { json.get(key).and_then(Json::as_f64).unwrap_or(0.0) };
     loop {
-        let health = client
-            .request(&Request::Health)
-            .map_err(|e| e.to_string())?;
         // The housekeeper samples roughly once a second; ask for one
         // sample more than the redraw interval so the rate window
         // matches the refresh cadence.
-        let history = client
-            .request(&Request::MetricsHistory {
-                limit: Some(interval + 1),
-            })
-            .map_err(|e| e.to_string())?;
+        let frame = client.request(&Request::Health).and_then(|health| {
+            client
+                .request(&Request::MetricsHistory {
+                    limit: Some(interval + 1),
+                })
+                .map(|history| (health, history))
+        });
+        let (health, history) = match frame {
+            Ok(frame) => frame,
+            Err(e) => {
+                // The server went away mid-watch (restart, drain,
+                // crash): show the outage instead of exiting, and try a
+                // fresh connection each frame until it is back.
+                print!("\x1b[2J\x1b[H");
+                println!("{addr} — PEER DOWN ({e})");
+                println!("retrying every {interval}s until the server returns (^C to stop)");
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_secs(interval));
+                if let Ok(fresh) = Client::connect(addr) {
+                    *client = fresh;
+                }
+                continue;
+            }
+        };
         print!("\x1b[2J\x1b[H"); // clear screen, cursor home
         let ready = health.get("ready").and_then(Json::as_bool) == Some(true);
         let mut head = format!(
@@ -860,6 +885,38 @@ fn top_watch(client: &mut cerfix_server::Client, addr: &str, args: &Args) -> Res
         let _ = std::io::stdout().flush();
         std::thread::sleep(std::time::Duration::from_secs(interval));
     }
+}
+
+/// `cerfix drain [--addr A] [--wait-ms N]`: gracefully drain a running
+/// server for a rolling restart. The server stops accepting
+/// connections, refuses new sessions with a `draining` error, waits up
+/// to the bound for in-flight sessions to finish, writes a final
+/// snapshot and exits cleanly — zero acknowledged work lost.
+fn cmd_drain(args: &Args) -> Result<(), String> {
+    use cerfix_server::wire::Json;
+    use cerfix_server::{Client, Request};
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let wait_ms = match args.options.get("wait-ms") {
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|e| format!("--wait-ms `{raw}`: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client
+        .request(&Request::Drain { wait_ms })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{addr} draining: {} live session(s), shutting down within {} ms",
+        response.get("sessions").and_then(Json::as_u64).unwrap_or(0),
+        response.get("wait_ms").and_then(Json::as_u64).unwrap_or(0),
+    );
+    Ok(())
 }
 
 /// `cerfix promote [--addr A]`: turn a running follower into the
@@ -1077,6 +1134,7 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(&args),
         "serve" => cmd_serve(&args),
         "top" => cmd_top(&args),
+        "drain" => cmd_drain(&args),
         "promote" => cmd_promote(&args),
         "recover" => cmd_recover(&args),
         "scrub" => cmd_scrub(&args),

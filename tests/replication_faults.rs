@@ -36,8 +36,8 @@ use cerfix_gen::{make_workload, uk, NoiseSpec};
 use cerfix_relation::Value;
 use cerfix_server::wire::Json;
 use cerfix_server::{
-    CleaningService, Client, Frontend, LocalClient, Request, Server, ServiceConfig, SessionView,
-    StorageConfig, TcpTransport,
+    CleaningService, Client, Frontend, LocalClient, Request, RetryBudget, Server, ServiceConfig,
+    SessionView, StorageConfig, TcpTransport,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -467,7 +467,12 @@ fn partitioned_follower_resumes_from_cursor_without_resync() {
     );
 
     let mut client = Client::connect(paddr).unwrap();
-    let mut fc = Client::connect(faddr).unwrap();
+    // Zero retry budget: this test asserts the follower's typed
+    // `not_primary` refusal, which a default client would transparently
+    // follow to the primary instead of surfacing.
+    let mut fc = Client::connect(faddr)
+        .unwrap()
+        .with_retry_budget(RetryBudget::new(0, 0.0));
 
     // Healthy link: the follower catches up and serves reads only.
     commit_one(&mut client, "k1");
